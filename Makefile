@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain pip/pytest underneath.
+
+.PHONY: install test bench experiments verify docs clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiment all
+
+verify:
+	python -m repro verify
+
+docs:
+	python -m repro.kernels.docgen
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

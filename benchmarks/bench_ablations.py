@@ -1,0 +1,14 @@
+"""Benchmarks: the model-mechanism ablations (DESIGN.md design-choice
+checks). Each regenerates one ablation table."""
+
+import pytest
+
+from repro.experiments.ablations import ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation(benchmark, name):
+    result = benchmark(ABLATIONS[name], fast=True)
+    print()
+    print(result.render())
+    assert result.rows

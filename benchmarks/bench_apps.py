@@ -1,0 +1,43 @@
+"""Benchmarks: the classic HPC yardsticks built on the reproduction."""
+
+import numpy as np
+
+from repro.apps.hpl import hpl_measure, lu_factor, predict_hpl
+from repro.apps.stream import predict_stream
+from repro.machine import catalog
+from repro.openmp.affinity import PlacementPolicy
+
+
+def test_hpl_lu_factorization(benchmark):
+    """Real blocked LU with partial pivoting at N=256."""
+    rng = np.random.default_rng(0)
+    a = rng.random((256, 256)) - 0.5
+    lu, piv = benchmark(lu_factor, a, 64)
+    assert np.isfinite(lu).all()
+
+
+def test_hpl_end_to_end(benchmark):
+    """Factor + solve + residual check at N=192."""
+    gflops, residual = benchmark(hpl_measure, 192, 64)
+    assert residual < 16.0
+
+
+def test_stream_prediction_all_machines(benchmark):
+    """Predict STREAM for every machine in the study."""
+
+    def predict_all():
+        return [
+            predict_stream(cpu, threads=min(32, cpu.num_cores),
+                           placement=PlacementPolicy.CYCLIC)
+            for cpu in catalog.all_cpus().values()
+        ]
+
+    preds = benchmark(predict_all)
+    assert len(preds) == 7
+
+
+def test_hpl_prediction_all_machines(benchmark):
+    preds = benchmark(
+        lambda: [predict_hpl(cpu) for cpu in catalog.all_cpus().values()]
+    )
+    assert all(p.rmax_gflops > 0 for p in preds)

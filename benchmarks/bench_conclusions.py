@@ -1,0 +1,5 @@
+"""Benchmark: recompute every Section 4 conclusion (paper vs model)."""
+
+
+def test_conclusions(render):
+    render("conclusions")

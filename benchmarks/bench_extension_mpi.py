@@ -1,0 +1,17 @@
+"""Benchmark: the further-work distributed-memory scaling study, plus a
+real SPMD execution of the distributed Jacobi proto-app."""
+
+import numpy as np
+
+from repro.cluster.apps import jacobi2d_distributed
+from repro.experiments.extension_mpi import run
+
+
+def test_extension_mpi(render):
+    render("extension_mpi")
+
+
+def test_spmd_jacobi_execution(benchmark):
+    """Time an actual 4-rank message-passing Jacobi solve."""
+    result = benchmark(jacobi2d_distributed, 4, 64, 64, 5)
+    assert np.isfinite(result).all()

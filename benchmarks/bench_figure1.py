@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure1 via the experiment pipeline."""
+
+
+def test_figure1(render):
+    render("figure1")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure2 via the experiment pipeline."""
+
+
+def test_figure2(render):
+    render("figure2")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure3 via the experiment pipeline."""
+
+
+def test_figure3(render):
+    render("figure3")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure4 via the experiment pipeline."""
+
+
+def test_figure4(render):
+    render("figure4")

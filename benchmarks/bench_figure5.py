@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure5 via the experiment pipeline."""
+
+
+def test_figure5(render):
+    render("figure5")

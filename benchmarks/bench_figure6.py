@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure6 via the experiment pipeline."""
+
+
+def test_figure6(render):
+    render("figure6")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's figure7 via the experiment pipeline."""
+
+
+def test_figure7(render):
+    render("figure7")

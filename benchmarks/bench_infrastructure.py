@@ -1,0 +1,44 @@
+"""Benchmarks of the reproduction's own substrates: the RVV-rollback
+translator and the analytic performance model."""
+
+from repro.compiler.model import VectorFlavor
+from repro.isa.codegen import LoopSpec, generate_loop
+from repro.isa.encoding import render_assembly
+from repro.isa.rollback import rollback
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.suite.config import RunConfig
+from repro.suite.runner import run_suite
+
+
+def test_rollback_throughput(benchmark):
+    """Translate a realistic vector loop body repeatedly (the rollback
+    tool processes whole .s files in practice)."""
+    spec = LoopSpec(
+        dtype=DType.FP32, num_inputs=2, ops=("vfmacc.vv",), has_store=True
+    )
+    text = render_assembly(
+        generate_loop(spec, VectorFlavor.VLA, rvv_version="1.0")
+    )
+    big = "\n".join([text] * 100)
+    out = benchmark(rollback, big)
+    assert "vle.v" in out
+
+
+def test_full_suite_prediction(benchmark):
+    """One complete 64-kernel suite prediction on the SG2042 — the unit
+    of work every experiment is built from."""
+    sg = catalog.sg2042()
+    config = RunConfig(threads=32, precision="fp32", placement="cluster",
+                       runs=1, noise_sigma=0.0)
+    result = benchmark(run_suite, sg, config)
+    assert len(result.runs) == 64
+
+
+def test_placement_resolution(benchmark):
+    """Thread placement for the full 64-core machine."""
+    from repro.openmp.affinity import PlacementPolicy, assign_cores
+
+    topo = catalog.sg2042().topology
+    cores = benchmark(assign_cores, topo, 64, PlacementPolicy.CLUSTER)
+    assert len(cores) == 64

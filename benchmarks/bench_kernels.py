@@ -1,0 +1,43 @@
+"""Micro-benchmarks of the NumPy kernel implementations themselves.
+
+These time the *executable* face of the suite (the host machine running
+the NumPy code), one representative kernel per class — useful for
+catching performance regressions in the kernel implementations and for
+sizing test workloads.
+"""
+
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+
+#: One representative kernel per class at a laptop-friendly size.
+REPRESENTATIVES = {
+    "TRIAD": 200_000,
+    "MEMCPY": 200_000,
+    "DAXPY": 200_000,
+    "HYDRO_1D": 200_000,
+    "JACOBI_2D": 90_000,  # 300x300
+    "FIR": 100_000,
+}
+
+
+@pytest.mark.parametrize("name,size", sorted(REPRESENTATIVES.items()))
+def test_kernel_execute(benchmark, name, size):
+    kernel = get_kernel(name)
+    ws = kernel.prepare(size, DType.FP64)
+    benchmark(kernel.execute, ws)
+    assert kernel.checksum(ws) == kernel.checksum(ws)
+
+
+def test_recursive_doubling_recurrence(benchmark):
+    """The parallel reformulation used by TRIDIAG_ELIM/GEN_LIN_RECUR."""
+    import numpy as np
+
+    from repro.kernels.lcals import solve_linear_recurrence
+
+    rng = np.random.default_rng(0)
+    coef = rng.uniform(-0.9, 0.9, 100_000)
+    rhs = rng.uniform(-1, 1, 100_000)
+    result = benchmark(solve_linear_recurrence, coef, rhs)
+    assert np.isfinite(result).all()

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's table1 via the experiment pipeline."""
+
+
+def test_table1(render):
+    render("table1")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's table2 via the experiment pipeline."""
+
+
+def test_table2(render):
+    render("table2")

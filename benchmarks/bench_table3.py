@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's table3 via the experiment pipeline."""
+
+
+def test_table3(render):
+    render("table3")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate the paper's table4 via the experiment pipeline."""
+
+
+def test_table4(render):
+    render("table4")

@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper via
+``pytest-benchmark`` and prints the reproduced rows once, so
+``pytest benchmarks/ --benchmark-only`` both times the pipeline and
+emits the paper's tables/figures for comparison against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_render(benchmark, exp_id: str, fast: bool = True):
+    """Benchmark one experiment and print its rendering once."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    result = benchmark(ALL_EXPERIMENTS[exp_id], fast=fast)
+    print()
+    print(result.render())
+    assert result.rows
+    return result
+
+
+@pytest.fixture
+def render(benchmark):
+    def _run(exp_id: str, fast: bool = True):
+        return run_and_render(benchmark, exp_id, fast)
+
+    return _run

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Define your own machine in JSON and run the paper's pipeline on it.
+
+Exports the SG2042 model to JSON, edits it into a hypothetical
+"SG2042-Pro" (RVV 1.0 with FP64 vectors, faster DRAM), saves it, loads
+it back, and compares the two through the standard suite — the workflow
+for evaluating unreleased hardware with this library.
+
+Usage::
+
+    python examples/custom_machine.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import RunConfig, catalog, run_suite
+from repro.machine.serialize import cpu_from_dict, cpu_to_dict, load_cpu, save_cpu
+from repro.suite.report import class_summaries
+
+
+def main() -> None:
+    base = catalog.sg2042()
+    data = cpu_to_dict(base)
+
+    # Edit the JSON the way a user would in a text editor.
+    data["name"] = "SG2042-Pro (hypothetical)"
+    data["core"]["isa"] = {
+        "name": "RVV v1.0",
+        "width_bits": 256,
+        "vectorizable": ["fp16", "fp32", "fp64", "int8", "int16",
+                          "int32", "int64"],
+        "vla": True,
+        "version": "1.0",
+    }
+    data["memory"]["efficiency"] = 0.5  # a sane memory controller
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sg2042_pro.json"
+        path.write_text(json.dumps(data, indent=2), encoding="utf-8")
+        pro = load_cpu(path)
+        # Round-trip sanity: save and reload our own rendering too.
+        save_cpu(pro, path)
+        assert load_cpu(path) == pro
+
+    config = RunConfig(threads=32, precision="fp64", placement="cluster",
+                       runs=1, noise_sigma=0.0)
+    base_run = run_suite(base, config)
+    pro_run = run_suite(pro, config)
+
+    print(f"{pro.name} vs {base.name} (32 threads, FP64):")
+    for klass, summary in class_summaries(base_run, pro_run).items():
+        print(f"  {klass.value:<12} {summary.mean:+6.2f} "
+              f"[{summary.minimum:+.2f} .. {summary.maximum:+.2f}]")
+    print("\n(positive = times faster; FP64 vectors + a sane memory "
+          "controller buy up to ~2.7x on vectorizable kernels, nothing "
+          "on the cache-resident stream class at this thread count)")
+
+
+if __name__ == "__main__":
+    main()

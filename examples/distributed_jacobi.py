@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Distributed-memory Jacobi — the paper's "further work", both faces.
+
+1. **Correctness**: actually run a row-decomposed Jacobi-2D solve on the
+   in-process SPMD runtime (threads + message passing) and check it
+   matches the sequential solve bit-for-bit.
+2. **Performance**: predict strong scaling of the same solve on SG2042
+   clusters over 25/100GbE against an AMD Rome cluster on an HPC fabric,
+   quantifying how much the network adaptor choice matters.
+
+Usage::
+
+    python examples/distributed_jacobi.py
+"""
+
+import numpy as np
+
+from repro.cluster.apps import jacobi2d_distributed, jacobi2d_reference
+from repro.cluster.machine import ClusterModel
+from repro.cluster.network import ethernet_25g, ethernet_100g, slingshot
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.util.tables import render_table
+
+
+def correctness_demo() -> None:
+    print("=== 1. Executable SPMD run (threads + message passing) ===")
+    ranks, ny, nx, steps = 4, 32, 24, 10
+    parallel = jacobi2d_distributed(ranks, ny, nx, steps)
+    reference = jacobi2d_reference(ny, nx, steps)
+    err = float(np.max(np.abs(parallel - reference)))
+    print(f"  {ranks} ranks, {ny}x{nx} grid, {steps} steps: "
+          f"max |parallel - sequential| = {err:.3e}")
+    assert err < 1e-12
+
+
+def scaling_study() -> None:
+    print("\n=== 2. Predicted strong scaling (1000x1000 FP64 grid) ===")
+    clusters = [
+        ClusterModel(node=catalog.sg2042(), num_nodes=1,
+                     network=ethernet_25g(), threads_per_node=32),
+        ClusterModel(node=catalog.sg2042(), num_nodes=1,
+                     network=ethernet_100g(), threads_per_node=32),
+        ClusterModel(node=catalog.amd_rome(), num_nodes=1,
+                     network=slingshot()),
+    ]
+    node_counts = [1, 2, 4, 8, 16, 32]
+    rows = []
+    for cluster in clusters:
+        times = cluster.strong_scaling(
+            "jacobi2d", 1_000_000, node_counts, DType.FP64
+        )
+        label = f"{cluster.node.part} / {cluster.network.name}"
+        row = [label] + [
+            f"{times[n] * 1e3:.2f}ms (PE {times[node_counts[0]] / times[n] / n:.2f})"
+            for n in node_counts
+        ]
+        rows.append(tuple(row))
+    print(
+        render_table(
+            ("cluster",) + tuple(f"{n} nodes" for n in node_counts),
+            rows,
+        )
+    )
+    print(
+        "\ntakeaway: parallel efficiency collapses beyond ~8 SG2042 "
+        "nodes as halo messages start to dominate the (fast, cache-"
+        "resident) local sweeps, and the 100GbE adaptor buys a visible "
+        "edge over 25GbE — the paper's observation that 'networking "
+        "performance would also be driven by the auxiliaries', "
+        "quantified."
+    )
+
+
+if __name__ == "__main__":
+    correctness_demo()
+    scaling_study()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""What-if study: the hardware improvements the paper's conclusion asks
+for.
+
+Section 4 wishes the next-generation RISC-V CPU had: RVV v1.0 (mainline
+compiler support), FP64 vectorization, wider vector registers, and more
+memory controllers per NUMA region. The machine model makes these
+one-line edits, so we can quantify each ask — an ablation the paper
+could not run.
+
+Usage::
+
+    python examples/future_hardware.py
+"""
+
+from dataclasses import replace
+
+from repro import RunConfig, catalog, run_suite
+from repro.machine.vector import rvv_1_0
+from repro.suite.report import suite_average_relative
+from repro.util.stats import from_relative
+
+
+def variant(name, cpu):
+    return name, cpu
+
+
+def build_variants():
+    base = catalog.sg2042()
+
+    # FP64 vectorization + RVV 1.0 (same 128-bit width).
+    fp64_vec = replace(
+        base,
+        name="SG2042 + RVV1.0/FP64 vectors",
+        core=replace(base.core, isa=rvv_1_0(width_bits=128)),
+    )
+
+    # 256-bit vectors on top of that.
+    wide = replace(
+        base,
+        name="SG2042 + 256-bit RVV1.0",
+        core=replace(base.core, isa=rvv_1_0(width_bits=256)),
+    )
+
+    # Double the memory controllers per NUMA region (8 total).
+    controllers = replace(
+        base,
+        name="SG2042 + 8 controllers",
+        memory=replace(base.memory, controllers=8),
+    )
+
+    # All of it together.
+    dream = replace(
+        base,
+        name="SG2042 next-gen (all of the above)",
+        core=replace(base.core, isa=rvv_1_0(width_bits=256)),
+        memory=replace(base.memory, controllers=8),
+    )
+
+    return [
+        variant("baseline SG2042", base),
+        variant("+ FP64 vectors (RVV 1.0)", fp64_vec),
+        variant("+ 256-bit vectors", wide),
+        variant("+ 2x memory controllers", controllers),
+        variant("next-gen (all)", dream),
+    ]
+
+
+def main() -> None:
+    variants = build_variants()
+    baseline_cpu = variants[0][1]
+    rome = catalog.amd_rome()
+
+    for precision in ("fp64", "fp32"):
+        config = RunConfig(
+            threads=32, precision=precision, placement="cluster",
+            runs=1, noise_sigma=0.0,
+            # Future parts run RVV 1.0: use Clang directly, no rollback.
+        )
+        base_run = run_suite(baseline_cpu, config)
+        rome_run = run_suite(rome, RunConfig(
+            threads=64, precision=precision, runs=1, noise_sigma=0.0))
+        rome_gap = from_relative(
+            suite_average_relative(base_run, rome_run)
+        )
+        print(f"=== {precision.upper()} (32 threads, cluster placement; "
+              f"AMD Rome currently {rome_gap:.1f}x ahead) ===")
+        for name, cpu in variants:
+            run = run_suite(cpu, config)
+            gain = from_relative(suite_average_relative(base_run, run))
+            gap = from_relative(suite_average_relative(run, rome_run))
+            print(f"  {name:<28} {gain:5.2f}x vs baseline, "
+                  f"Rome ahead by {gap:5.2f}x")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: predict and verify RAJAPerf on the modelled SG2042.
+
+Runs the 64-kernel suite on the Sophon SG2042 model at one thread and at
+the paper's best multithreaded configuration, prints per-class times,
+and numerically executes a few kernels to show the suite's second face
+(the NumPy implementations are real and tested).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import RunConfig, catalog, run_suite
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+from repro.suite.runner import verify_kernel
+from repro.util.units import format_seconds
+
+
+def main() -> None:
+    sg2042 = catalog.sg2042()
+    print(sg2042.describe())
+    print()
+    print(sg2042.topology.lscpu())
+    print()
+
+    # --- Predict: one thread vs the paper's best threaded config -------
+    single = run_suite(sg2042, RunConfig(threads=1, precision="fp32"))
+    threaded = run_suite(
+        sg2042,
+        RunConfig(threads=32, precision="fp32", placement="cluster"),
+    )
+
+    print("predicted class times (FP32):")
+    print(f"{'class':<12} {'1 thread':>12} {'32 thr/cluster':>16} "
+          f"{'speedup':>8}")
+    for klass, t1 in sorted(
+        single.class_means().items(), key=lambda kv: kv[0].value
+    ):
+        tp = threaded.class_means()[klass]
+        print(
+            f"{klass.value:<12} {format_seconds(t1):>12} "
+            f"{format_seconds(tp):>16} {t1 / tp:>8.2f}"
+        )
+
+    # --- Verify: actually run a few kernels numerically ----------------
+    print("\nnumerical verification (NumPy implementations):")
+    for name in ("TRIAD", "GEMM", "FLOYD_WARSHALL", "HALOEXCHANGE"):
+        kernel = get_kernel(name)
+        checksum = verify_kernel(kernel, 10_000, DType.FP64)
+        print(f"  {name:<16} checksum = {checksum:.6g}")
+
+    print("\nNext steps: examples/placement_tuning.py, "
+          "examples/compiler_flow.py, examples/future_hardware.py")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml. This file exists so the package can
+be installed on machines without the ``wheel`` package (where PEP 660
+editable installs are unavailable): ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Reproduction of *Is RISC-V ready for HPC prime-time: Evaluating the
+64-core Sophon SG2042 RISC-V CPU* (Brown, Jamieson, Lee — SC-W 2023).
+
+The paper is a hardware characterization study; this package substitutes
+the physical testbed with an analytic machine performance model while
+reimplementing everything that *is* software:
+
+``repro.kernels``
+    The full RAJAPerf benchmark suite (64 kernels, 6 classes) as runnable
+    NumPy implementations with static traffic/flop characterizations.
+``repro.machine``
+    Microarchitectural descriptions of the seven CPUs the paper measures
+    (SG2042, VisionFive V1/V2, AMD Rome, Intel Broadwell/Icelake/Sandybridge).
+``repro.isa``
+    An RVV assembly model including a working RVV v1.0 -> v0.7.1 rollback
+    rewriter (the paper's enabling tool for Clang experiments).
+``repro.compiler``
+    Auto-vectorization decision models for XuanTie GCC and Clang.
+``repro.openmp``
+    A simulated OpenMP runtime: OMP_PLACES/OMP_PROC_BIND parsing and the
+    block / NUMA-cyclic / cluster-cyclic thread placement policies from
+    Section 3.2 of the paper.
+``repro.perfmodel``
+    The analytic simulator: cache hierarchy, NUMA memory-controller
+    contention, superscalar/vector throughput, fork-join overheads.
+``repro.suite``
+    A RAJAPerf-style harness: run configs, repetition and averaging,
+    class-level aggregation and baselining.
+``repro.experiments``
+    One module per table/figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import catalog, run_suite, RunConfig
+    sg2042 = catalog.sg2042()
+    result = run_suite(sg2042, RunConfig(threads=1, precision="fp32"))
+    print(result.class_means())
+"""
+
+from repro.machine import catalog
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.runner import SuiteResult, run_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "catalog",
+    "RunConfig",
+    "Precision",
+    "Placement",
+    "run_suite",
+    "SuiteResult",
+    "__version__",
+]

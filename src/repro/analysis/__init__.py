@@ -1,0 +1,29 @@
+"""Performance analysis on top of the machine and kernel models.
+
+Provides the classic analysis artifacts a performance engineer builds
+from exactly the data this reproduction models:
+
+* :mod:`repro.analysis.roofline` — roofline model: per-machine compute
+  and bandwidth ceilings, per-kernel operational intensity, bound
+  classification and attainable-performance predictions;
+* :mod:`repro.analysis.bottleneck` — per-kernel bottleneck attribution
+  for a full suite run (which resource limits each kernel at a given
+  configuration, and what speedup removing it would buy).
+"""
+
+from repro.analysis.bottleneck import BottleneckReport, attribute_bottlenecks
+from repro.analysis.roofline import (
+    KernelPoint,
+    Roofline,
+    build_roofline,
+    classify_kernels,
+)
+
+__all__ = [
+    "Roofline",
+    "KernelPoint",
+    "build_roofline",
+    "classify_kernels",
+    "attribute_bottlenecks",
+    "BottleneckReport",
+]

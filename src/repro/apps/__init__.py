@@ -1,0 +1,32 @@
+"""Classic whole-machine HPC benchmarks built on the reproduction.
+
+The paper situates the SG2042 against the standard HPC yardsticks; this
+subpackage implements the two canonical ones with the same two-faced
+approach as the suite:
+
+* :mod:`repro.apps.hpl` — High-Performance Linpack: a real blocked LU
+  factorization with partial pivoting (executable, tested against
+  SciPy) plus a model-side Rmax prediction per machine;
+* :mod:`repro.apps.stream` — McCalpin STREAM: measured host bandwidth
+  and model-side sustained-bandwidth predictions per machine and thread
+  placement.
+"""
+
+from repro.apps.hpl import (
+    HplPrediction,
+    hpl_measure,
+    lu_factor,
+    lu_solve,
+    predict_hpl,
+)
+from repro.apps.stream import StreamPrediction, predict_stream
+
+__all__ = [
+    "lu_factor",
+    "lu_solve",
+    "hpl_measure",
+    "predict_hpl",
+    "HplPrediction",
+    "predict_stream",
+    "StreamPrediction",
+]

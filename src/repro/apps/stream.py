@@ -1,0 +1,114 @@
+"""McCalpin STREAM: modelled sustained bandwidth per machine.
+
+The measured face reuses :mod:`repro.suite.measured` over the suite's
+stream kernels; this module adds the model face — predicted sustained
+GB/s for each of the four STREAM operations at any thread placement,
+derived from the same memory model that drives the tables/figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.vectorizer import analyze
+from repro.kernels.registry import get_kernel
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy, assign_cores
+from repro.perfmodel.execution import simulate_kernel
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+
+#: STREAM operation -> suite kernel.
+STREAM_OPS = {
+    "copy": "COPY",
+    "scale": "MUL",
+    "add": "ADD",
+    "triad": "TRIAD",
+}
+
+
+@dataclass(frozen=True)
+class StreamPrediction:
+    """Predicted STREAM numbers for one machine configuration."""
+
+    machine: str
+    threads: int
+    placement: PlacementPolicy
+    bandwidth_gb: dict  # op -> sustained GB/s
+
+    def best(self) -> float:
+        return max(self.bandwidth_gb.values())
+
+
+def predict_stream(
+    cpu: CPUModel,
+    threads: int = 1,
+    placement: PlacementPolicy = PlacementPolicy.CLUSTER,
+    precision: DType = DType.FP64,
+    n: int | None = None,
+) -> StreamPrediction:
+    """Predict sustained STREAM bandwidth on a modelled machine.
+
+    ``n`` defaults to a footprint ~4x the machine's total last-level
+    cache, matching STREAM's own sizing rule (defeat the caches) —
+    unlike the RAJAPerf default sizes, which deliberately fit the
+    SG2042's system cache.
+    """
+    if not 1 <= threads <= cpu.num_cores:
+        raise ConfigError(f"threads must be in 1..{cpu.num_cores}")
+    if n is None:
+        llc = cpu.caches.levels[-1]
+        instances = {
+            "core": cpu.num_cores,
+            "cluster": cpu.topology.num_clusters,
+            "numa": cpu.topology.num_numa_nodes,
+            "package": 1,
+        }[llc.sharing.value]
+        total_llc = llc.capacity_bytes * instances
+        n = int(4 * total_llc / precision.bytes / 3)  # 3 arrays
+    cores = assign_cores(cpu.topology, threads, placement)
+    config = RunConfig(threads=threads, precision=precision,
+                       placement=placement)
+    compiler = config.resolve_compiler(cpu)
+
+    bandwidth = {}
+    for op, kernel_name in STREAM_OPS.items():
+        kernel = get_kernel(kernel_name)
+        report = analyze(compiler, kernel, cpu.core.isa)
+        result = simulate_kernel(
+            kernel, cpu, cores, precision, report, n=n, reps=1
+        )
+        nbytes = kernel.traits.bytes_per_iter(precision) * n
+        bandwidth[op] = nbytes / result.seconds / 1e9
+    return StreamPrediction(
+        machine=cpu.name,
+        threads=threads,
+        placement=placement,
+        bandwidth_gb=bandwidth,
+    )
+
+
+def render_stream_table(predictions: list[StreamPrediction]) -> str:
+    """Render a STREAM comparison table."""
+    from repro.util.tables import render_table
+
+    if not predictions:
+        raise ConfigError("no predictions to render")
+    rows = [
+        (
+            p.machine,
+            p.threads,
+            f"{p.bandwidth_gb['copy']:.1f}",
+            f"{p.bandwidth_gb['scale']:.1f}",
+            f"{p.bandwidth_gb['add']:.1f}",
+            f"{p.bandwidth_gb['triad']:.1f}",
+        )
+        for p in predictions
+    ]
+    return render_table(
+        ("machine", "threads", "copy GB/s", "scale GB/s", "add GB/s",
+         "triad GB/s"),
+        rows,
+        title="Predicted STREAM bandwidth (cache-defeating sizes)",
+    )

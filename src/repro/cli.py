@@ -1,0 +1,333 @@
+"""Command-line interface: ``sg2042-repro`` (or ``python -m repro``).
+
+Subcommands::
+
+    sg2042-repro list                 # machines, kernels, experiments
+    sg2042-repro describe sg2042      # machine spec block + lscpu view
+    sg2042-repro run --cpu sg2042 --threads 32 --placement cluster
+    sg2042-repro experiment table2    # reproduce one table/figure
+    sg2042-repro experiment all       # reproduce everything
+    sg2042-repro verify               # execute all kernels numerically
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS
+from repro.kernels.registry import all_kernels, kernel_names
+from repro.machine import catalog
+from repro.suite.config import RunConfig
+from repro.suite.runner import run_suite, verify_kernel
+from repro.util.errors import ReproError
+from repro.util.tables import render_table
+from repro.util.units import format_seconds
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("machines:")
+    for name in catalog.all_cpus():
+        print(f"  {name}")
+    print("experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    print(f"kernels ({len(kernel_names())}):")
+    for name in kernel_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    cpus = catalog.all_cpus()
+    if args.cpu not in cpus:
+        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
+              file=sys.stderr)
+        return 2
+    cpu = cpus[args.cpu]
+    print(cpu.describe())
+    print()
+    print(cpu.topology.lscpu())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.machine_file:
+        from repro.machine.serialize import load_cpu
+
+        cpu = load_cpu(args.machine_file)
+    else:
+        cpus = catalog.all_cpus()
+        if args.cpu not in cpus:
+            print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
+                  file=sys.stderr)
+            return 2
+        cpu = cpus[args.cpu]
+    config = RunConfig(
+        threads=args.threads,
+        precision=args.precision,
+        placement=args.placement,
+        vectorize=not args.no_vectorize,
+        compiler=args.compiler,
+        rollback=args.rollback,
+    )
+    result = run_suite(cpu, config)
+    rows = [
+        (
+            run.kernel_name,
+            run.klass.value,
+            format_seconds(run.seconds),
+            run.prediction.serving_level,
+            run.prediction.bound,
+            "vector" if run.prediction.vector_executed else "scalar",
+        )
+        for run in result.runs.values()
+    ]
+    print(
+        render_table(
+            ("kernel", "class", "time", "served by", "bound", "path"),
+            rows,
+            title=f"{cpu.name}: {config.threads} thread(s), "
+            f"{config.precision.label}, {config.placement.value}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        names = list(EXPERIMENTS)  # the paper's tables and figures
+    elif args.name == "ablations":
+        names = [n for n in ALL_EXPERIMENTS if n.startswith("ablation")]
+    else:
+        names = [args.name]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: "
+                  f"{sorted(ALL_EXPERIMENTS)}, 'all' or 'ablations'",
+                  file=sys.stderr)
+            return 2
+    for name in names:
+        print(ALL_EXPERIMENTS[name](fast=args.fast).render(
+            chart=args.chart))
+        print()
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.kernels.base import KernelClass
+    from repro.kernels.registry import kernels_in_class
+    from repro.machine.vector import DType
+    from repro.suite.measured import measure_suite, render_measurements
+
+    if args.kernel_class == "all":
+        kernels = all_kernels()
+    else:
+        kernels = kernels_in_class(KernelClass.from_label(args.kernel_class))
+    precision = DType.from_label(args.precision)
+    measurements = measure_suite(kernels, n=args.size, precision=precision)
+    print(render_measurements(measurements))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.suite.explain import explain_kernel
+
+    cpus = catalog.all_cpus()
+    if args.cpu not in cpus:
+        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
+              file=sys.stderr)
+        return 2
+    print(explain_kernel(args.kernel, cpus[args.cpu]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.kernels.registry import get_kernel
+    from repro.suite.config import Placement, Precision
+    from repro.suite.sweep import sweep
+
+    cpus = catalog.all_cpus()
+    if args.cpu not in cpus:
+        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
+              file=sys.stderr)
+        return 2
+    cpu = cpus[args.cpu]
+    kernels = [get_kernel(n) for n in args.kernels.split(",")]
+    threads = [int(t) for t in args.threads.split(",")]
+    placements = [Placement.from_label(p)
+                  for p in args.placements.split(",")]
+    precisions = [Precision.from_label(p)
+                  for p in args.precisions.split(",")]
+    result = sweep(cpu, kernels, threads, placements, precisions)
+    if args.csv:
+        print(result.to_csv())
+    else:
+        rows = [
+            (p.kernel, p.threads, p.placement.value, p.precision.label,
+             format_seconds(p.seconds))
+            for p in result.points
+        ]
+        print(render_table(
+            ("kernel", "threads", "placement", "precision", "time"),
+            rows, title=f"{cpu.name} sweep",
+        ))
+        best_t, best_pl, best_pr = result.best_overall()
+        print(f"\nbest overall: {best_t} threads, {best_pl.value}, "
+              f"{best_pr.label}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.bottleneck import render_bottleneck_report
+    from repro.analysis.roofline import render_roofline_report
+    from repro.machine.vector import DType
+
+    cpus = catalog.all_cpus()
+    if args.cpu not in cpus:
+        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
+              file=sys.stderr)
+        return 2
+    cpu = cpus[args.cpu]
+    precision = DType.from_label(args.precision)
+    kernels = all_kernels()
+    if args.mode == "roofline":
+        print(render_roofline_report(cpu, kernels, precision,
+                                     args.threads))
+    elif args.mode == "sensitivity":
+        from repro.analysis.sensitivity import render_sensitivities
+
+        config = RunConfig(threads=args.threads, precision=precision,
+                           placement=args.placement, runs=1,
+                           noise_sigma=0.0)
+        print(render_sensitivities(cpu, config))
+    else:
+        config = RunConfig(threads=args.threads, precision=precision,
+                           placement=args.placement)
+        print(render_bottleneck_report(cpu, config, kernels))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.machine.vector import DType
+
+    failures = 0
+    for kernel in all_kernels():
+        try:
+            checksum = verify_kernel(kernel, args.size, DType.FP64)
+            print(f"  {kernel.name:24s} ok (checksum {checksum:.6g})")
+        except Exception as exc:  # pragma: no cover - surfaced to user
+            failures += 1
+            print(f"  {kernel.name:24s} FAILED: {exc}")
+    print(f"{64 - failures}/64 kernels verified")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sg2042-repro",
+        description="Reproduction of the SC-W 2023 Sophon SG2042 "
+        "benchmarking study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list machines, kernels, experiments")
+
+    p_desc = sub.add_parser("describe", help="describe a machine model")
+    p_desc.add_argument("cpu")
+
+    p_run = sub.add_parser("run", help="run the suite on one machine")
+    p_run.add_argument("--cpu", default="sg2042")
+    p_run.add_argument("--machine-file", default=None,
+                       help="load a custom machine JSON instead of --cpu")
+    p_run.add_argument("--threads", type=int, default=1)
+    p_run.add_argument("--precision", default="fp64",
+                       choices=["fp32", "fp64"])
+    p_run.add_argument("--placement", default="block",
+                       choices=["block", "cyclic", "cluster"])
+    p_run.add_argument("--no-vectorize", action="store_true")
+    p_run.add_argument("--compiler", default=None)
+    p_run.add_argument("--rollback", action="store_true",
+                       help="apply the RVV-rollback tool (Clang on C920)")
+
+    p_exp = sub.add_parser("experiment", help="reproduce a table/figure")
+    p_exp.add_argument(
+        "name",
+        help="experiment id, 'all' (paper tables/figures) or "
+        "'ablations' (model-mechanism ablations)",
+    )
+    p_exp.add_argument("--fast", action="store_true",
+                       help="reduced sweeps for quick checks")
+    p_exp.add_argument("--chart", action="store_true",
+                       help="append an ASCII bar chart (figures only)")
+
+    p_ver = sub.add_parser("verify",
+                           help="numerically execute every kernel")
+    p_ver.add_argument("--size", type=int, default=10_000)
+
+    p_explain = sub.add_parser(
+        "explain", help="everything the models know about one kernel"
+    )
+    p_explain.add_argument("kernel")
+    p_explain.add_argument("--cpu", default="sg2042")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep a configuration grid over selected kernels"
+    )
+    p_sweep.add_argument("--cpu", default="sg2042")
+    p_sweep.add_argument("--kernels", default="TRIAD,DAXPY,GEMM",
+                         help="comma-separated kernel names")
+    p_sweep.add_argument("--threads", default="1,8,32")
+    p_sweep.add_argument("--placements", default="cyclic,cluster")
+    p_sweep.add_argument("--precisions", default="fp32")
+    p_sweep.add_argument("--csv", action="store_true")
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="roofline or bottleneck analysis of a machine",
+    )
+    p_an.add_argument("mode",
+                      choices=["roofline", "bottleneck", "sensitivity"])
+    p_an.add_argument("--cpu", default="sg2042")
+    p_an.add_argument("--threads", type=int, default=1)
+    p_an.add_argument("--precision", default="fp64",
+                      choices=["fp32", "fp64"])
+    p_an.add_argument("--placement", default="cluster",
+                      choices=["block", "cyclic", "cluster"])
+
+    p_meas = sub.add_parser(
+        "measure",
+        help="time the NumPy kernel implementations on this host",
+    )
+    p_meas.add_argument("--kernel-class", default="stream",
+                        choices=["all", "algorithm", "apps", "basic",
+                                 "lcals", "polybench", "stream"])
+    p_meas.add_argument("--size", type=int, default=100_000)
+    p_meas.add_argument("--precision", default="fp64",
+                        choices=["fp32", "fp64"])
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "describe": _cmd_describe,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "verify": _cmd_verify,
+        "measure": _cmd_measure,
+        "analyze": _cmd_analyze,
+        "sweep": _cmd_sweep,
+        "explain": _cmd_explain,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Distributed-memory extension: the paper's "further work".
+
+Section 4 of the paper proposes exploring distributed-memory (MPI)
+performance of clusters built from SG2042 nodes, noting that networking
+performance will be driven by the adaptor coupled to the CPU. This
+subpackage implements that study in the same two-faced style as the rest
+of the reproduction:
+
+* **Cost model** (:mod:`repro.cluster.network`, :mod:`repro.cluster.mpi`,
+  :mod:`repro.cluster.machine`): network adaptor models (latency +
+  bandwidth + per-message overhead), MPI collective cost functions
+  (ring/tree algorithms) and a :class:`ClusterModel` composing node CPU
+  models with a fabric.
+* **Executable runtime** (:mod:`repro.cluster.runtime`): a real
+  in-process SPMD message-passing runtime (threads + queues) with
+  send/recv/allreduce, used to *run* the distributed proto-apps
+  numerically and test their correctness.
+* **Proto-apps** (:mod:`repro.cluster.apps`): distributed Jacobi-2D with
+  halo exchange, distributed dot/allreduce, and embarrassingly parallel
+  stream — the patterns whose scaling the paper wants measured.
+"""
+
+from repro.cluster.machine import ClusterModel
+from repro.cluster.mpi import (
+    allreduce_time,
+    halo_exchange_time,
+    point_to_point_time,
+)
+from repro.cluster.network import NetworkModel, ethernet_25g, ethernet_100g
+from repro.cluster.runtime import SpmdRuntime
+
+__all__ = [
+    "NetworkModel",
+    "ethernet_25g",
+    "ethernet_100g",
+    "ClusterModel",
+    "point_to_point_time",
+    "allreduce_time",
+    "halo_exchange_time",
+    "SpmdRuntime",
+]

@@ -1,0 +1,180 @@
+"""Cluster model: N nodes of one CPU model joined by a fabric.
+
+Composes the node-level performance model with the MPI cost functions to
+predict distributed proto-app times — the study the paper proposes as
+further work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.mpi import allreduce_time, halo_exchange_time
+from repro.cluster.network import NetworkModel
+from repro.compiler.vectorizer import analyze
+from repro.kernels.registry import get_kernel
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy, assign_cores
+from repro.perfmodel.execution import simulate_kernel
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A homogeneous cluster.
+
+    Attributes:
+        node: Per-node CPU model.
+        num_nodes: Node count.
+        network: Fabric model.
+        threads_per_node: OpenMP threads per node (MPI+X style); default
+            uses the node's paper-best configuration.
+        placement: Thread placement within a node.
+    """
+
+    node: CPUModel
+    num_nodes: int
+    network: NetworkModel
+    threads_per_node: int = 0  # 0 -> all cores
+    placement: PlacementPolicy = PlacementPolicy.CLUSTER
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        if self.threads_per_node < 0:
+            raise ConfigError("threads_per_node must be >= 0")
+        if self.threads_per_node > self.node.num_cores:
+            raise ConfigError("threads_per_node exceeds node cores")
+
+    @property
+    def threads(self) -> int:
+        return self.threads_per_node or self.node.num_cores
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_nodes} x {self.node.name} "
+            f"({self.threads} threads/node) over {self.network.name}"
+        )
+
+    # -- node-level compute times ----------------------------------------
+
+    def _node_kernel_time(
+        self, kernel_name: str, n: int, precision: DType
+    ) -> float:
+        """Predicted time of one kernel repetition on one node with the
+        cluster's threading configuration."""
+        kernel = get_kernel(kernel_name)
+        config = RunConfig(threads=self.threads, precision=precision,
+                          placement=self.placement)
+        compiler = config.resolve_compiler(self.node)
+        report = analyze(compiler, kernel, self.node.core.isa)
+        cores = assign_cores(
+            self.node.topology, self.threads, self.placement
+        )
+        result = simulate_kernel(
+            kernel, self.node, cores, precision, report, n=n, reps=1
+        )
+        return result.seconds
+
+    # -- distributed proto-app predictions --------------------------------
+
+    def jacobi2d_step_time(
+        self, global_points: int, precision: DType = DType.FP64
+    ) -> float:
+        """One distributed Jacobi-2D timestep: local stencil compute +
+        halo exchange with up to 4 neighbours (1D row decomposition:
+        2 neighbours)."""
+        if global_points < self.num_nodes:
+            raise ConfigError("fewer grid points than nodes")
+        local_points = global_points // self.num_nodes
+        compute = self._node_kernel_time(
+            "JACOBI_2D", local_points, precision
+        )
+        # 1D row decomposition: two faces of sqrt(global_points) points.
+        face_elems = int(round(global_points ** 0.5))
+        face_bytes = face_elems * precision.bytes
+        neighbours = 0 if self.num_nodes == 1 else 2
+        comm = halo_exchange_time(self.network, face_bytes, neighbours)
+        return compute + comm
+
+    def dot_time(
+        self, global_elems: int, precision: DType = DType.FP64
+    ) -> float:
+        """Distributed dot product: local DOT + allreduce of one scalar."""
+        if global_elems < self.num_nodes:
+            raise ConfigError("fewer elements than nodes")
+        local = global_elems // self.num_nodes
+        compute = self._node_kernel_time("DOT", local, precision)
+        comm = allreduce_time(
+            self.network, precision.bytes, self.num_nodes
+        )
+        return compute + comm
+
+    def stream_triad_time(
+        self, global_elems: int, precision: DType = DType.FP64
+    ) -> float:
+        """Embarrassingly parallel distributed TRIAD (no communication)."""
+        if global_elems < self.num_nodes:
+            raise ConfigError("fewer elements than nodes")
+        local = global_elems // self.num_nodes
+        return self._node_kernel_time("TRIAD", local, precision)
+
+    def strong_scaling(
+        self,
+        app: str,
+        global_size: int,
+        node_counts: list[int],
+        precision: DType = DType.FP64,
+    ) -> dict[int, float]:
+        """Strong-scaling sweep: same global problem, growing cluster.
+
+        ``app`` is one of ``"jacobi2d"``, ``"dot"``, ``"triad"``.
+        """
+        from dataclasses import replace
+
+        apps = {
+            "jacobi2d": "jacobi2d_step_time",
+            "dot": "dot_time",
+            "triad": "stream_triad_time",
+        }
+        if app not in apps:
+            raise ConfigError(f"unknown app {app!r}; known: {sorted(apps)}")
+        times = {}
+        for nodes in node_counts:
+            cluster = replace(self, num_nodes=nodes)
+            times[nodes] = getattr(cluster, apps[app])(
+                global_size, precision
+            )
+        return times
+
+    def weak_scaling(
+        self,
+        app: str,
+        per_node_size: int,
+        node_counts: list[int],
+        precision: DType = DType.FP64,
+    ) -> dict[int, float]:
+        """Weak-scaling sweep: the global problem grows with the
+        cluster (``per_node_size`` points per node). Flat times mean
+        perfect weak scaling; growth exposes the communication terms.
+        """
+        from dataclasses import replace
+
+        apps = {
+            "jacobi2d": "jacobi2d_step_time",
+            "dot": "dot_time",
+            "triad": "stream_triad_time",
+        }
+        if app not in apps:
+            raise ConfigError(f"unknown app {app!r}; known: {sorted(apps)}")
+        if per_node_size < 1:
+            raise ConfigError("per_node_size must be >= 1")
+        times = {}
+        for nodes in node_counts:
+            cluster = replace(self, num_nodes=nodes)
+            times[nodes] = getattr(cluster, apps[app])(
+                per_node_size * nodes, precision
+            )
+        return times

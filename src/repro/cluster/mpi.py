@@ -1,0 +1,87 @@
+"""MPI operation cost functions over a :class:`NetworkModel`.
+
+Standard algorithm cost models (Thakur et al.): binomial trees for
+small-message collectives, ring/recursive-doubling for large; halo
+exchange as concurrent neighbour messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.network import NetworkModel
+from repro.util.errors import ConfigError
+
+#: Message size where allreduce switches from tree to ring algorithm
+#: (matches common MPI implementation defaults).
+RING_THRESHOLD_BYTES = 64 * 1024
+
+
+def point_to_point_time(net: NetworkModel, nbytes: float) -> float:
+    """One MPI_Send/Recv pair."""
+    return net.message_time(nbytes)
+
+
+def allreduce_time(net: NetworkModel, nbytes: float, ranks: int) -> float:
+    """MPI_Allreduce of ``nbytes`` across ``ranks``.
+
+    Small messages: recursive doubling — ``ceil(log2 p)`` rounds of the
+    full payload. Large messages: ring reduce-scatter + allgather —
+    ``2 (p-1)`` steps of ``n/p`` each.
+    """
+    if ranks < 1:
+        raise ConfigError("ranks must be >= 1")
+    if nbytes < 0:
+        raise ConfigError("nbytes must be >= 0")
+    if ranks == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(ranks))
+    if nbytes <= RING_THRESHOLD_BYTES:
+        return rounds * net.message_time(nbytes)
+    chunk = nbytes / ranks
+    steps = 2 * (ranks - 1)
+    return steps * net.message_time(chunk)
+
+
+def broadcast_time(net: NetworkModel, nbytes: float, ranks: int) -> float:
+    """MPI_Bcast: binomial tree."""
+    if ranks < 1:
+        raise ConfigError("ranks must be >= 1")
+    if ranks == 1:
+        return 0.0
+    return math.ceil(math.log2(ranks)) * net.message_time(nbytes)
+
+
+def halo_exchange_time(
+    net: NetworkModel,
+    face_bytes: float,
+    neighbours: int,
+    overlap: float = 0.5,
+) -> float:
+    """One halo exchange: ``neighbours`` concurrent sends+recvs of
+    ``face_bytes`` each.
+
+    ``overlap`` in [0, 1] is the fraction of the neighbour messages the
+    NIC pipelines concurrently (1 = perfectly parallel, 0 = fully
+    serialized).
+    """
+    if neighbours < 0:
+        raise ConfigError("neighbours must be >= 0")
+    if not 0 <= overlap <= 1:
+        raise ConfigError("overlap must be in [0, 1]")
+    if neighbours == 0:
+        return 0.0
+    one = net.message_time(face_bytes)
+    serialized = neighbours * one
+    parallel = one
+    return overlap * parallel + (1 - overlap) * serialized
+
+
+def barrier_time(net: NetworkModel, ranks: int) -> float:
+    """MPI_Barrier: dissemination algorithm, ``ceil(log2 p)`` rounds of
+    empty messages."""
+    if ranks < 1:
+        raise ConfigError("ranks must be >= 1")
+    if ranks == 1:
+        return 0.0
+    return math.ceil(math.log2(ranks)) * net.message_time(0)

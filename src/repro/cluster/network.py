@@ -1,0 +1,79 @@
+"""Network fabric models.
+
+A message's wire time follows the classic alpha-beta model with a
+per-message software overhead: ``t(n) = overhead + latency + n/bandwidth``.
+Presets cover the adaptors plausible for SG2042-based clusters (the
+Pioneer box exposes PCIe Gen4, so 25GbE is the natural baseline and
+100GbE the optimistic case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta-gamma network cost model.
+
+    Attributes:
+        name: Fabric name for reports.
+        latency_s: One-way wire+switch latency (alpha).
+        bandwidth_bytes: Sustained point-to-point bandwidth (1/beta).
+        per_message_overhead_s: Host software overhead per message
+            (MPI stack + driver; higher on slow cores — the paper notes
+            auxiliaries will be driven by the CPU).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bytes: float
+    per_message_overhead_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.per_message_overhead_s < 0:
+            raise ConfigError("latency/overhead must be >= 0")
+        if self.bandwidth_bytes <= 0:
+            raise ConfigError("bandwidth must be positive")
+
+    def message_time(self, nbytes: float) -> float:
+        """One point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError("message size must be >= 0")
+        return (
+            self.per_message_overhead_s
+            + self.latency_s
+            + nbytes / self.bandwidth_bytes
+        )
+
+
+def ethernet_25g(host_overhead_s: float = 3e-6) -> NetworkModel:
+    """25GbE RoCE-ish: ~2us latency, ~2.9 GB/s sustained."""
+    return NetworkModel(
+        name="25GbE",
+        latency_s=2e-6,
+        bandwidth_bytes=2.9e9,
+        per_message_overhead_s=host_overhead_s,
+    )
+
+
+def ethernet_100g(host_overhead_s: float = 2e-6) -> NetworkModel:
+    """100GbE: ~1.5us latency, ~11.5 GB/s sustained."""
+    return NetworkModel(
+        name="100GbE",
+        latency_s=1.5e-6,
+        bandwidth_bytes=11.5e9,
+        per_message_overhead_s=host_overhead_s,
+    )
+
+
+def slingshot() -> NetworkModel:
+    """HPE Slingshot-ish HPC fabric (the ARCHER2 comparison point)."""
+    return NetworkModel(
+        name="Slingshot",
+        latency_s=1.1e-6,
+        bandwidth_bytes=21e9,
+        per_message_overhead_s=0.8e-6,
+    )

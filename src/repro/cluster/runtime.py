@@ -1,0 +1,194 @@
+"""An executable in-process SPMD message-passing runtime.
+
+Real (if small) message passing: each rank runs in its own thread with
+point-to-point channels and collectives, mirroring the MPI subset the
+proto-apps need — send/recv, allreduce, broadcast, barrier. SPMD rules
+apply: every rank must call collectives in the same order.
+
+This is the *correctness* face of the cluster study; the performance
+face is the cost model in :mod:`repro.cluster.mpi`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+class Communicator:
+    """Per-rank handle: the MPI-like API visible to rank functions."""
+
+    def __init__(self, rank: int, size: int, runtime: "SpmdRuntime") -> None:
+        self.rank = rank
+        self.size = size
+        self._rt = runtime
+        self._collective_seq = 0
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Send ``payload`` to ``dest`` (buffered, non-blocking).
+
+        NumPy arrays are copied on send, matching MPI's buffer semantics
+        (the sender may mutate its array afterwards).
+        """
+        if not 0 <= dest < self.size:
+            raise ConfigError(f"invalid dest rank {dest}")
+        if dest == self.rank:
+            raise ConfigError("send to self deadlocks a blocking recv")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self._rt.channel(self.rank, dest, tag).put(payload)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        """Blocking receive from ``source``."""
+        if not 0 <= source < self.size:
+            raise ConfigError(f"invalid source rank {source}")
+        try:
+            return self._rt.channel(source, self.rank, tag).get(
+                timeout=timeout
+            )
+        except queue.Empty:
+            raise ConfigError(
+                f"rank {self.rank}: recv from {source} (tag {tag}) "
+                "timed out — deadlock?"
+            ) from None
+
+    def sendrecv(self, dest: int, payload: Any, source: int,
+                 tag: int = 0) -> Any:
+        """Exchange with neighbours without deadlocking (send is
+        buffered, so send-then-recv is safe)."""
+        self.send(dest, payload, tag)
+        return self.recv(source, tag)
+
+    # -- collectives -------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._collective_seq
+        self._collective_seq += 1
+        return seq
+
+    def barrier(self) -> None:
+        self._next_seq()
+        self._rt.barrier.wait()
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Allreduce over scalars or NumPy arrays."""
+        seq = self._next_seq()
+        slot = self._rt.collective_slot(seq)
+        slot[self.rank] = value
+        self._rt.barrier.wait()
+        values = [slot[r] for r in range(self.size)]
+        if op == "sum":
+            result = values[0]
+            for v in values[1:]:
+                result = result + v
+        elif op == "min":
+            result = min(values) if not isinstance(
+                values[0], np.ndarray
+            ) else np.minimum.reduce(values)
+        elif op == "max":
+            result = max(values) if not isinstance(
+                values[0], np.ndarray
+            ) else np.maximum.reduce(values)
+        else:
+            raise ConfigError(f"unknown allreduce op {op!r}")
+        # Second phase: everyone has read the slot; safe to reuse after.
+        self._rt.barrier.wait()
+        return result
+
+    def broadcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise ConfigError(f"invalid root {root}")
+        seq = self._next_seq()
+        slot = self._rt.collective_slot(seq)
+        if self.rank == root:
+            slot[root] = value
+        self._rt.barrier.wait()
+        result = slot[root]
+        self._rt.barrier.wait()
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        seq = self._next_seq()
+        slot = self._rt.collective_slot(seq)
+        slot[self.rank] = value
+        self._rt.barrier.wait()
+        result = (
+            [slot[r] for r in range(self.size)]
+            if self.rank == root
+            else None
+        )
+        self._rt.barrier.wait()
+        return result
+
+
+class SpmdRuntime:
+    """Run one function on N ranks (threads) with message passing.
+
+    Usage::
+
+        rt = SpmdRuntime(4)
+        results = rt.run(lambda comm: comm.rank * 2)
+        assert results == [0, 2, 4, 6]
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise ConfigError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+        self._channels: dict[tuple[int, int, int], queue.Queue] = {}
+        self._channels_lock = threading.Lock()
+        self._slots: dict[int, dict[int, Any]] = {}
+        self._slots_lock = threading.Lock()
+        self.barrier = threading.Barrier(num_ranks)
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._channels_lock:
+            if key not in self._channels:
+                self._channels[key] = queue.Queue()
+            return self._channels[key]
+
+    def collective_slot(self, seq: int) -> dict[int, Any]:
+        with self._slots_lock:
+            if seq not in self._slots:
+                self._slots[seq] = {}
+            return self._slots[seq]
+
+    def run(self, fn: Callable[[Communicator], Any],
+            timeout: float = 60.0) -> list[Any]:
+        """Execute ``fn(comm)`` on every rank; returns per-rank results.
+
+        Any rank raising propagates (the first exception wins) after all
+        threads are joined or timed out.
+        """
+        results: list[Any] = [None] * self.num_ranks
+        errors: list[BaseException] = []
+
+        def worker(rank: int) -> None:
+            comm = Communicator(rank, self.num_ranks, self)
+            try:
+                results[rank] = fn(comm)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+                self.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), daemon=True)
+            for rank in range(self.num_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+        if any(t.is_alive() for t in threads):
+            raise ConfigError("SPMD run timed out (deadlock?)")
+        if errors:
+            raise errors[0]
+        return results

@@ -1,0 +1,190 @@
+"""A small loop-nest IR for the RAJAPerf kernels.
+
+The vectorization decision model reasons over
+:class:`~repro.kernels.base.LoopFeature` sets. Rather than hand-waving
+those features, each kernel carries an IR sketch of its loop nest —
+statements with typed array accesses, reductions, recurrences, calls —
+and :mod:`repro.compiler.analysis` *derives* the features from it with
+the same static analyses a real auto-vectorizer performs (stride
+inspection, dependence classification, reduction recognition, alias
+reasoning). A test pins the derived features to the traits the
+performance model consumes, for all 64 kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import CompilationError
+
+#: Marker trip count for "the problem size" (symbolic n).
+TRIP_N = -1
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One array access inside a loop body.
+
+    Attributes:
+        array: Array name.
+        stride: Elements advanced per innermost-loop iteration; ``None``
+            means the index comes through another array (gather/scatter).
+        offset: Constant offset relative to the loop counter (stencils
+            read several offsets of the same array).
+        kind: Read or write.
+    """
+
+    array: str
+    stride: int | None
+    kind: AccessKind
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stride is not None and self.stride == 0:
+            raise CompilationError(
+                f"{self.array}: zero stride is a loop-invariant access; "
+                "model it as a scalar instead"
+            )
+
+
+def read(array: str, stride: int | None = 1, offset: int = 0) -> Access:
+    return Access(array, stride, AccessKind.READ, offset)
+
+
+def write(array: str, stride: int | None = 1, offset: int = 0) -> Access:
+    return Access(array, stride, AccessKind.WRITE, offset)
+
+
+class ReduceOp(enum.Enum):
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+    MINLOC = "minloc"  # min with index (FIRST_MIN)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base statement; concrete kinds below."""
+
+
+@dataclass(frozen=True)
+class Compute(Statement):
+    """Elementwise computation.
+
+    Attributes:
+        accesses: All array accesses of the statement.
+        conditional: Body contains a data-dependent branch.
+        math_calls: libm routines invoked (``("exp",)``); empty for
+            plain arithmetic (sqrt is an instruction, not a call).
+        atomic: The update is atomic.
+    """
+
+    accesses: tuple[Access, ...]
+    conditional: bool = False
+    math_calls: tuple[str, ...] = ()
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class Reduce(Statement):
+    """A reduction into a scalar."""
+
+    op: ReduceOp
+    accesses: tuple[Access, ...]
+    is_float: bool = True
+    conditional: bool = False
+    math_calls: tuple[str, ...] = ()
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class Scan(Statement):
+    """A prefix dependence (cumulative sum / stream compaction)."""
+
+    accesses: tuple[Access, ...]
+    conditional: bool = False
+
+
+@dataclass(frozen=True)
+class Recurrence(Statement):
+    """A true loop-carried dependence of the given distance."""
+
+    accesses: tuple[Access, ...]
+    distance: int = 1
+
+    def __post_init__(self) -> None:
+        if self.distance < 1:
+            raise CompilationError("recurrence distance must be >= 1")
+
+
+@dataclass(frozen=True)
+class Call(Statement):
+    """The body defers to a library routine (std::sort)."""
+
+    callee: str
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level.
+
+    Attributes:
+        trip: Iteration count — ``TRIP_N`` for the problem size, or a
+            positive compile-time constant (tile sizes, tap counts).
+        body: Statements and nested loops, in order.
+        parallel: This level is (OpenMP-)parallelizable.
+    """
+
+    trip: int
+    body: tuple = ()
+    parallel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trip != TRIP_N and self.trip < 1:
+            raise CompilationError(f"invalid trip count {self.trip}")
+        if not self.body:
+            raise CompilationError("empty loop body")
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A kernel's loop structure.
+
+    Attributes:
+        loops: Top-level loops, executed in sequence (multi-statement
+            kernels like MULADDSUB have several).
+        restrict_pointers: The source declares its arrays ``restrict``
+            (or the compiler can otherwise prove no aliasing). Stencil
+            kernels reading and writing overlapping index ranges of
+            plain pointers cannot be proven alias-free and get runtime
+            versioning.
+    """
+
+    loops: tuple[Loop, ...]
+    restrict_pointers: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise CompilationError("loop nest needs at least one loop")
+
+    def walk(self):
+        """Yield ``(statement, depth, path)`` for every statement, where
+        ``path`` is the tuple of enclosing loops outermost-first."""
+
+        def _walk(loop: Loop, path: tuple[Loop, ...]):
+            new_path = path + (loop,)
+            for item in loop.body:
+                if isinstance(item, Loop):
+                    yield from _walk(item, new_path)
+                else:
+                    yield item, len(new_path), new_path
+
+        for loop in self.loops:
+            yield from _walk(loop, ())

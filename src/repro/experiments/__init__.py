@@ -1,0 +1,64 @@
+"""Experiment reproductions: one module per table/figure in the paper.
+
+Every module exposes ``run(fast=False)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports. ``fast=True`` shrinks
+problem sizes/thread sweeps for quick benchmark iterations.
+
+Registry::
+
+    from repro.experiments import EXPERIMENTS
+    result = EXPERIMENTS["table2"]()
+    print(result.render())
+"""
+
+from typing import Callable
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments import (
+    conclusions,
+    extension_mpi,
+    extension_yardsticks,
+)
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.common import ExperimentResult
+
+#: The paper's tables and figures.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figure1.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "table4": table4.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+}
+
+#: Everything runnable: paper experiments, model ablations, and the
+#: further-work extension study.
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    **EXPERIMENTS,
+    **ABLATIONS,
+    "extension_mpi": extension_mpi.run,
+    "extension_yardsticks": extension_yardsticks.run,
+    "conclusions": conclusions.run,
+}
+
+__all__ = ["EXPERIMENTS", "ABLATIONS", "ALL_EXPERIMENTS",
+           "ExperimentResult"]

@@ -1,0 +1,118 @@
+"""The paper's Section 4 conclusions, recomputed.
+
+The conclusions condense the whole evaluation into a handful of "N times
+faster" statements. This experiment recomputes every one of them from
+the model and prints paper-vs-measured side by side — the quantitative
+summary behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    best_threaded_run,
+    fast_config,
+)
+from repro.machine import catalog
+from repro.suite.config import Precision, RunConfig
+from repro.suite.report import suite_average_relative
+from repro.suite.runner import run_suite
+from repro.util.stats import from_relative
+
+#: The conclusions' stated factors: (label, paper value).
+_PAPER = {
+    ("single", "fp32", "amd_rome"): 3.0,
+    ("single", "fp32", "intel_broadwell"): 4.0,
+    ("single", "fp32", "intel_icelake"): 4.0,
+    ("single", "fp32", "intel_sandybridge"): 2.0,
+    ("single", "fp64", "amd_rome"): 4.0,
+    ("single", "fp64", "intel_broadwell"): 4.0,
+    ("single", "fp64", "intel_icelake"): 5.0,
+    ("single", "fp64", "intel_sandybridge"): 1.2,
+    ("multi", "fp32", "amd_rome"): 8.0,
+    ("multi", "fp32", "intel_broadwell"): 6.0,
+    ("multi", "fp32", "intel_icelake"): 6.0,
+    ("multi", "fp64", "amd_rome"): 5.0,
+    ("multi", "fp64", "intel_broadwell"): 4.0,
+    ("multi", "fp64", "intel_icelake"): 8.0,
+}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    sg = catalog.sg2042()
+    x86 = catalog.x86_cpus()
+    rows = []
+
+    # C920 vs U74 (V2) averages.
+    v2 = catalog.visionfive_v2()
+    for precision, paper in ((Precision.FP64, "3-6x"),
+                             (Precision.FP32, "5-10x")):
+        cfg = fast_config(RunConfig(threads=1, precision=precision), fast)
+        base = run_suite(v2, cfg)
+        sg_run = run_suite(sg, cfg)
+        measured = from_relative(suite_average_relative(base, sg_run))
+        rows.append(
+            (
+                f"C920 vs U74, single core, {precision.label}",
+                paper,
+                f"{measured:.1f}x",
+            )
+        )
+
+    # x86 vs SG2042, single core and multithreaded.
+    for mode in ("single", "multi"):
+        for precision in (Precision.FP64, Precision.FP32):
+            if mode == "single":
+                cfg = fast_config(
+                    RunConfig(threads=1, precision=precision), fast
+                )
+                base = run_suite(sg, cfg)
+            else:
+                base = best_threaded_run(sg, precision, fast)
+            for name, cpu in x86.items():
+                key = (mode, precision.label, name)
+                if key not in _PAPER:
+                    continue
+                if mode == "single":
+                    other = run_suite(cpu, cfg)
+                else:
+                    other = best_threaded_run(cpu, precision, fast)
+                measured = from_relative(
+                    suite_average_relative(base, other)
+                )
+                rows.append(
+                    (
+                        f"{cpu.name} vs SG2042, {mode}, "
+                        f"{precision.label}",
+                        f"{_PAPER[key]:.1f}x",
+                        f"{measured:.1f}x",
+                    )
+                )
+
+    # The Sandybridge multithreaded loss.
+    for precision in (Precision.FP64, Precision.FP32):
+        base = best_threaded_run(sg, precision, fast)
+        sb = best_threaded_run(
+            catalog.intel_sandybridge(), precision, fast
+        )
+        measured = from_relative(suite_average_relative(base, sb))
+        rows.append(
+            (
+                f"Sandybridge vs SG2042, multi, {precision.label}",
+                "SG2042 wins",
+                f"{measured:.2f}x"
+                + (" (SG2042 wins)" if measured < 1 else ""),
+            )
+        )
+
+    return ExperimentResult(
+        exp_id="conclusions",
+        title="Section 4 conclusions: paper-stated factors vs the "
+        "model's suite averages",
+        headers=("claim", "paper", "measured"),
+        rows=tuple(rows),
+        notes=(
+            "suite averages over all 64 kernels (mean of signed "
+            "times-faster values, converted back to a ratio)",
+        ),
+    )

@@ -1,0 +1,21 @@
+"""Figure 4: FP64 single-core comparison against x86, baselined against
+the SG2042."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.x86compare import single_core_figure
+from repro.suite.config import Precision
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return single_core_figure(
+        "figure4",
+        Precision.FP64,
+        fast=fast,
+        notes=(
+            "paper averages: Rome ~4x, Broadwell ~4x, Icelake ~5x, "
+            "Sandybridge ~1.2x faster; Sandybridge slower on average "
+            "for the stream and algorithm classes",
+        ),
+    )

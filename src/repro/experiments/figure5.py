@@ -1,0 +1,20 @@
+"""Figure 5: FP32 single-core comparison against x86, baselined against
+the SG2042."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.x86compare import single_core_figure
+from repro.suite.config import Precision
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return single_core_figure(
+        "figure5",
+        Precision.FP32,
+        fast=fast,
+        notes=(
+            "paper averages: Rome ~3x (lacklustre at FP32), Broadwell "
+            "~4x, Icelake ~4x, Sandybridge ~2x faster",
+        ),
+    )

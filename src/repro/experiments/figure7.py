@@ -1,0 +1,21 @@
+"""Figure 7: FP32 multithreaded comparison against x86, baselined
+against the SG2042 (each machine at its most performant thread
+count)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.x86compare import multithreaded_figure
+from repro.suite.config import Precision
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return multithreaded_figure(
+        "figure7",
+        Precision.FP32,
+        fast=fast,
+        notes=(
+            "paper averages: Rome ~8x, Broadwell ~6x, Icelake ~6x "
+            "faster; Sandybridge slower than the SG2042 in every class",
+        ),
+    )

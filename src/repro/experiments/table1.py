@@ -1,0 +1,25 @@
+"""Table 1: thread scaling with **block** allocation — threads map
+contiguously to CPU cores (thread t on core t)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.scaling import scaling_table
+from repro.suite.config import Placement
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    return scaling_table(
+        exp_id="table1",
+        title=(
+            "Table 1: speedup and parallel efficiency, FP32, block "
+            "allocation of threads to cores"
+        ),
+        placement=Placement.BLOCK,
+        fast=fast,
+        notes=(
+            "paper highlights: poor scaling beyond 16 threads; 32-thread "
+            "runs can be slower than 1 thread (stream 0.82x) because "
+            "block placement saturates two NUMA regions' controllers",
+        ),
+    )

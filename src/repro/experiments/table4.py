@@ -1,0 +1,27 @@
+"""Table 4: summary of the x86 CPUs compared against the SG2042."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.machine import catalog
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rows = []
+    for cpu in catalog.x86_cpus().values():
+        rows.append(
+            (
+                cpu.name,
+                cpu.part,
+                f"{cpu.core.clock_hz / 1e9:.2f}GHz",
+                cpu.num_cores,
+                cpu.core.isa.name,
+            )
+        )
+    return ExperimentResult(
+        exp_id="table4",
+        title="Table 4: summary of x86 CPUs used to compare against the "
+        "SG2042",
+        headers=("CPU", "Part", "Clock", "Cores", "Vector"),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,79 @@
+"""Shared implementation of Figures 4-7: x86 CPUs vs the SG2042.
+
+Figures 4/5 compare single cores (FP64/FP32); Figures 6/7 compare the
+most performant multithreaded configuration of each machine. In every
+case the SG2042 is the baseline and bars report times faster (positive)
+or slower (negative), class-averaged with min/max whiskers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    best_threaded_run,
+    fast_config,
+    figure_headers,
+    relative_chart_data,
+    relative_figure_rows,
+)
+from repro.machine import catalog
+from repro.suite.config import Precision, RunConfig
+from repro.suite.runner import run_suite
+
+
+def single_core_figure(
+    exp_id: str,
+    precision: Precision,
+    fast: bool = False,
+    notes: tuple[str, ...] = (),
+) -> ExperimentResult:
+    sg = catalog.sg2042()
+    cfg = fast_config(RunConfig(threads=1, precision=precision), fast)
+    baseline = run_suite(sg, cfg)
+    others = [
+        (cpu.name, run_suite(cpu, cfg))
+        for cpu in catalog.x86_cpus().values()
+    ]
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=(
+            f"{exp_id.capitalize().replace('figure', 'Figure ')}: "
+            f"{precision.label.upper()} single core comparison against "
+            "x86, baselined against the SG2042"
+        ),
+        headers=figure_headers(),
+        rows=relative_figure_rows(baseline, others),
+        notes=notes,
+        chart_data=relative_chart_data(baseline, others),
+    )
+
+
+def multithreaded_figure(
+    exp_id: str,
+    precision: Precision,
+    fast: bool = False,
+    notes: tuple[str, ...] = (),
+) -> ExperimentResult:
+    sg = catalog.sg2042()
+    baseline = best_threaded_run(sg, precision, fast)
+    others = [
+        (cpu.name, best_threaded_run(cpu, precision, fast))
+        for cpu in catalog.x86_cpus().values()
+    ]
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=(
+            f"{exp_id.capitalize().replace('figure', 'Figure ')}: "
+            f"{precision.label.upper()} multithreaded comparison against "
+            "x86 (most performant thread count each), baselined against "
+            "the SG2042"
+        ),
+        headers=figure_headers(),
+        rows=relative_figure_rows(baseline, others),
+        chart_data=relative_chart_data(baseline, others),
+        notes=notes
+        + (
+            "x86 best thread count = all physical cores (SMT off); "
+            "SG2042 best of 32 (cluster placement) and 64 threads",
+        ),
+    )

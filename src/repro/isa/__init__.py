@@ -1,0 +1,32 @@
+"""RISC-V Vector (RVV) assembly model.
+
+The C920 implements RVV v0.7.1 while Clang emits only RVV v1.0 — the two
+are incompatible at the assembly level. The paper works around this with
+the RVV-rollback tool [11], which rewrites v1.0 assembly into v0.7.1.
+This subpackage reimplements that pipeline:
+
+* :mod:`repro.isa.encoding` — instruction dataclasses and an assembly
+  text parser;
+* :mod:`repro.isa.rvv` — the v0.7.1 and v1.0 mnemonic/operand tables
+  needed by the benchmark kernels;
+* :mod:`repro.isa.rollback` — the v1.0 -> v0.7.1 rewriter;
+* :mod:`repro.isa.codegen` — a kernel-body code generator producing VLS
+  or VLA vector loops, used by the Figure 3 experiment.
+"""
+
+from repro.isa.encoding import Instruction, parse_assembly, render_assembly
+from repro.isa.rollback import RollbackError, rollback
+from repro.isa.rvv import RVV_0_7_1, RVV_1_0, RvvDialect
+from repro.isa.codegen import generate_loop
+
+__all__ = [
+    "Instruction",
+    "parse_assembly",
+    "render_assembly",
+    "rollback",
+    "RollbackError",
+    "RvvDialect",
+    "RVV_0_7_1",
+    "RVV_1_0",
+    "generate_loop",
+]

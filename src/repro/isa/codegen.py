@@ -1,0 +1,156 @@
+"""Vector loop code generation: VLS and VLA flavours.
+
+Generates the assembly a compiler would emit for a simple elementwise
+kernel body — enough to drive the rollback tool end-to-end the way the
+paper does (Clang emits v1.0 VLA or VLS, rollback rewrites it, the C920
+"executes" it) and to let tests reason about instruction counts.
+
+VLS (Vector Length Specific) hard-codes the 128-bit vector width: the
+trip count is pre-divided and no per-iteration ``vsetvli`` re-negotiation
+happens inside the hot loop. VLA (Vector Length Agnostic) re-issues
+``vsetvli`` with the remaining length each iteration — the strip-mining
+overhead that makes VLA slightly slower on the C920 (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.model import VectorFlavor
+from repro.isa.encoding import Instruction
+from repro.machine.vector import DType
+from repro.util.errors import IsaError
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """A minimal elementwise loop: ``dst[i] = a[i] OP b[i]`` repeated.
+
+    Attributes:
+        dtype: Element type (selects SEW and load/store width).
+        num_inputs: Input streams (1 or 2).
+        ops: Arithmetic vector instructions per iteration (e.g.
+            ``("vfmul.vv", "vfadd.vv")`` for a triad).
+        has_store: Whether the loop writes a stream.
+    """
+
+    dtype: DType
+    num_inputs: int
+    ops: tuple[str, ...]
+    has_store: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_inputs not in (1, 2):
+            raise IsaError("loops model 1 or 2 input streams")
+        if not self.ops and not self.has_store:
+            raise IsaError("loop must compute or store something")
+
+
+def _sew(dtype: DType) -> str:
+    return f"e{dtype.bits}"
+
+
+def generate_loop(
+    spec: LoopSpec,
+    flavor: VectorFlavor,
+    rvv_version: str = "1.0",
+    vector_bits: int = 128,
+) -> list[Instruction]:
+    """Emit the vector loop for ``spec`` in the requested flavour.
+
+    ``rvv_version`` selects the dialect of the emitted assembly:
+    ``"1.0"`` (what Clang produces) uses width-encoded memory mnemonics
+    and tail/mask policy flags; ``"0.7.1"`` (XuanTie GCC) uses the
+    SEW-implicit forms.
+    """
+    if rvv_version not in ("0.7.1", "1.0"):
+        raise IsaError(f"unknown RVV version {rvv_version!r}")
+    v10 = rvv_version == "1.0"
+    sew = _sew(spec.dtype)
+    lanes = vector_bits // spec.dtype.bits
+
+    if v10:
+        load = f"vle{spec.dtype.bits}.v"
+        store = f"vse{spec.dtype.bits}.v"
+        vset_ops = ("t0", "a0", sew, "m1", "ta", "ma")
+    else:
+        load = "vle.v"
+        store = "vse.v"
+        vset_ops = ("t0", "a0", sew, "m1")
+
+    body: list[Instruction] = []
+
+    def emit(mnemonic: str, *operands: str, label: str | None = None,
+             comment: str | None = None) -> None:
+        body.append(
+            Instruction(
+                mnemonic=mnemonic, operands=tuple(operands), label=label,
+                comment=comment,
+            )
+        )
+
+    if flavor is VectorFlavor.VLS:
+        # One vsetvli ahead of the loop; the loop advances by the fixed
+        # lane count.
+        emit("li", "t1", str(lanes), comment="VLS: fixed vector length")
+        emit("vsetvli", *(("t0", "t1") + vset_ops[2:]))
+        loop_label = "vls_loop"
+    else:
+        loop_label = "vla_loop"
+
+    label: str | None = loop_label
+    if flavor is VectorFlavor.VLA:
+        # Strip-mining: negotiate the next chunk every iteration.
+        emit("vsetvli", *vset_ops, label=label, comment="VLA strip-mine")
+        label = None
+    emit(load, "v1", "(a1)", label=label)
+    if spec.num_inputs == 2:
+        emit(load, "v2", "(a2)")
+    if any(op.startswith(("vfmacc", "vfnmsac", "vfmadd")) for op in
+           spec.ops):
+        # Accumulating ops read their destination: zero it each strip
+        # (the compiler materializes the accumulator per vector chunk).
+        emit("vmv.v.i", "v0", "0")
+    for op in spec.ops:
+        emit(op, "v0", "v1", "v2" if spec.num_inputs == 2 else "v1")
+    if spec.has_store:
+        emit(store, "v0", "(a3)")
+    # Pointer/trip-count bookkeeping.
+    step = "t0" if flavor is VectorFlavor.VLA else "t1"
+    emit("sub", "a0", "a0", step)
+    emit("slli", "t2", step, str(spec.dtype.bytes.bit_length() - 1))
+    emit("add", "a1", "a1", "t2")
+    if spec.num_inputs == 2:
+        emit("add", "a2", "a2", "t2")
+    if spec.has_store:
+        emit("add", "a3", "a3", "t2")
+    emit("bnez", "a0", loop_label)
+    emit("ret")
+    return body
+
+
+def count_dynamic_instructions(
+    spec: LoopSpec,
+    flavor: VectorFlavor,
+    n: int,
+    vector_bits: int = 128,
+) -> int:
+    """Estimate dynamically executed instructions for ``n`` elements —
+    exposes the VLA strip-mining overhead quantitatively."""
+    if n < 0:
+        raise IsaError("n must be >= 0")
+    lanes = max(1, vector_bits // spec.dtype.bits)
+    iters = (n + lanes - 1) // lanes
+    per_iter = (
+        spec.num_inputs  # loads
+        + len(spec.ops)
+        + (1 if spec.has_store else 0)
+        + 3  # bookkeeping adds/sub
+        + (1 if spec.num_inputs == 2 else 0)
+        + (1 if spec.has_store else 0)
+        + 1  # branch
+    )
+    if flavor is VectorFlavor.VLA:
+        per_iter += 1  # vsetvli every strip
+        return iters * per_iter + 1  # + ret
+    return iters * per_iter + 2 + 1  # + li/vsetvli preamble + ret

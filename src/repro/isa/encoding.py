@@ -1,0 +1,128 @@
+"""Assembly-level instruction representation and text parsing.
+
+The rollback tool operates on textual assembly (like the real
+RVV-rollback, which rewrites compiler ``.s`` output), so the core
+representation is deliberately simple: mnemonic + operand strings +
+optional label/comment, round-trippable through text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.util.errors import IsaError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_DIRECTIVE_RE = re.compile(r"^\.[A-Za-z_]")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One line of assembly.
+
+    Attributes:
+        mnemonic: Lower-case mnemonic (``"vsetvli"``), empty for pure
+            label or directive lines.
+        operands: Operand strings with whitespace normalized.
+        label: Label defined on this line, if any.
+        directive: Raw assembler directive text, if the line is one.
+        comment: Trailing comment without the ``#``.
+    """
+
+    mnemonic: str = ""
+    operands: tuple[str, ...] = ()
+    label: str | None = None
+    directive: str | None = None
+    comment: str | None = None
+
+    @property
+    def is_code(self) -> bool:
+        return bool(self.mnemonic)
+
+    def with_mnemonic(self, mnemonic: str) -> "Instruction":
+        return Instruction(
+            mnemonic=mnemonic,
+            operands=self.operands,
+            label=self.label,
+            directive=self.directive,
+            comment=self.comment,
+        )
+
+    def with_operands(self, operands: tuple[str, ...]) -> "Instruction":
+        return Instruction(
+            mnemonic=self.mnemonic,
+            operands=operands,
+            label=self.label,
+            directive=self.directive,
+            comment=self.comment,
+        )
+
+    def render(self) -> str:
+        """Render back to one assembly line."""
+        if self.label is not None and not self.mnemonic:
+            text = f"{self.label}:"
+        elif self.directive is not None:
+            text = f"    {self.directive}"
+        else:
+            ops = ", ".join(self.operands)
+            text = f"    {self.mnemonic} {ops}".rstrip()
+            if self.label is not None:
+                text = f"{self.label}: {text.strip()}"
+        if self.comment is not None:
+            text = f"{text}  # {self.comment}"
+        return text
+
+
+def parse_line(line: str) -> Instruction | None:
+    """Parse one line of assembly; ``None`` for blank lines."""
+    comment = None
+    if "#" in line:
+        line, _, comment_text = line.partition("#")
+        comment = comment_text.strip()
+    text = line.strip()
+    if not text:
+        return None if comment is None else Instruction(comment=comment)
+
+    label = None
+    m = _LABEL_RE.match(text)
+    if m:
+        return Instruction(label=m.group(1), comment=comment)
+    if ":" in text.split()[0] and text.split()[0].endswith(":"):
+        label = text.split()[0][:-1]
+        text = text[len(label) + 1 :].strip()
+        if not text:
+            return Instruction(label=label, comment=comment)
+
+    if _DIRECTIVE_RE.match(text):
+        return Instruction(directive=text, label=label, comment=comment)
+
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands: tuple[str, ...] = ()
+    if len(parts) > 1:
+        operands = tuple(op.strip() for op in parts[1].split(","))
+        if any(not op for op in operands):
+            raise IsaError(f"malformed operand list in {line!r}")
+    return Instruction(
+        mnemonic=mnemonic, operands=operands, label=label, comment=comment
+    )
+
+
+def parse_assembly(text: str) -> list[Instruction]:
+    """Parse multi-line assembly text into instructions (blank lines
+    dropped)."""
+    out: list[Instruction] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            inst = parse_line(line)
+        except IsaError as exc:
+            raise IsaError(f"line {lineno}: {exc}") from exc
+        if inst is not None:
+            out.append(inst)
+    return out
+
+
+def render_assembly(instructions: list[Instruction]) -> str:
+    """Render instructions back to assembly text."""
+    return "\n".join(inst.render() for inst in instructions)

@@ -1,0 +1,262 @@
+"""An executable interpreter for the RVV loop subset.
+
+Executes the assembly produced by :mod:`repro.isa.codegen` — in either
+dialect, before or after rollback — against real buffers, so tests can
+prove *semantic* equivalence: the rolled-back v0.7.1 loop computes the
+same values as the original v1.0 loop and as the NumPy reference.
+
+The supported subset is exactly what the generated loops use: ``li``,
+``vsetvli``, unit-stride vector loads/stores (both the v1.0
+width-encoded and the v0.7.1 SEW-implicit mnemonics), elementwise vector
+arithmetic, pointer bookkeeping (``add``/``sub``/``slli``), ``bnez`` and
+``ret``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.encoding import Instruction, parse_assembly
+from repro.isa.rvv import sew_bits
+from repro.util.errors import IsaError
+
+#: Architectural vector register width (the C920's 128 bits).
+DEFAULT_VLEN_BITS = 128
+
+_SEW_DTYPES = {16: np.float16, 32: np.float32, 64: np.float64}
+
+#: Guard against runaway loops (mis-generated tail handling).
+MAX_STEPS = 5_000_000
+
+
+@dataclass
+class MachineState:
+    """Registers + byte-addressable memory."""
+
+    vlen_bits: int = DEFAULT_VLEN_BITS
+    memory_bytes: int = 1 << 20
+    scalars: dict = field(default_factory=dict)
+    vectors: dict = field(default_factory=dict)
+    memory: bytearray = field(default_factory=bytearray)
+    sew: int = 32
+    vl: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.memory:
+            self.memory = bytearray(self.memory_bytes)
+
+    # -- scalar registers --------------------------------------------------
+
+    def get_s(self, reg: str) -> int:
+        if reg == "x0" or reg == "zero":
+            return 0
+        return int(self.scalars.get(reg, 0))
+
+    def set_s(self, reg: str, value: int) -> None:
+        if reg in ("x0", "zero"):
+            return
+        self.scalars[reg] = int(value)
+
+    # -- memory ------------------------------------------------------------
+
+    def write_array(self, address: int, data: np.ndarray) -> None:
+        raw = data.tobytes()
+        if address < 0 or address + len(raw) > len(self.memory):
+            raise IsaError(f"store out of bounds at {address}")
+        self.memory[address : address + len(raw)] = raw
+
+    def read_array(self, address: int, count: int, sew: int) -> np.ndarray:
+        dtype = _SEW_DTYPES[sew]
+        nbytes = count * (sew // 8)
+        if address < 0 or address + nbytes > len(self.memory):
+            raise IsaError(f"load out of bounds at {address}")
+        return np.frombuffer(
+            self.memory, dtype=dtype, count=count, offset=address
+        ).copy()
+
+
+def _parse_mem_operand(op: str) -> str:
+    text = op.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise IsaError(f"expected (reg) memory operand, got {op!r}")
+    return text[1:-1]
+
+
+_VECTOR_BINOPS = {
+    "vfadd.vv": np.add,
+    "vfsub.vv": np.subtract,
+    "vfmul.vv": np.multiply,
+    "vfdiv.vv": np.divide,
+    "vfmin.vv": np.minimum,
+    "vfmax.vv": np.maximum,
+    "vadd.vv": np.add,
+    "vsub.vv": np.subtract,
+    "vmul.vv": np.multiply,
+}
+
+
+class RvvInterpreter:
+    """Execute parsed instructions against a :class:`MachineState`."""
+
+    def __init__(self, state: MachineState | None = None) -> None:
+        self.state = state or MachineState()
+
+    # -- single-instruction execution ---------------------------------------
+
+    def _vsetvli(self, inst: Instruction) -> None:
+        state = self.state
+        ops = [o.strip() for o in inst.operands]
+        rd, avl_reg, sew_token = ops[0], ops[1], ops[2]
+        state.sew = sew_bits(sew_token)
+        vlmax = state.vlen_bits // state.sew
+        avl = state.get_s(avl_reg)
+        state.vl = min(vlmax, max(0, avl))
+        state.set_s(rd, state.vl)
+
+    def _vector_load(self, inst: Instruction) -> None:
+        state = self.state
+        vd = inst.operands[0].strip()
+        address = state.get_s(_parse_mem_operand(inst.operands[1]))
+        state.vectors[vd] = state.read_array(address, state.vl, state.sew)
+
+    def _vector_store(self, inst: Instruction) -> None:
+        state = self.state
+        vs = inst.operands[0].strip()
+        address = state.get_s(_parse_mem_operand(inst.operands[1]))
+        data = self._vreg(vs)
+        state.write_array(address, data[: state.vl])
+
+    def _vreg(self, name: str) -> np.ndarray:
+        state = self.state
+        if name not in state.vectors:
+            dtype = _SEW_DTYPES[state.sew]
+            state.vectors[name] = np.zeros(state.vl, dtype=dtype)
+        vec = state.vectors[name]
+        if vec.size < state.vl:
+            grown = np.zeros(state.vl, dtype=vec.dtype)
+            grown[: vec.size] = vec
+            state.vectors[name] = grown
+        return state.vectors[name]
+
+    def _vector_arith(self, inst: Instruction) -> None:
+        state = self.state
+        m = inst.mnemonic
+        if m == "vmv.v.i":
+            vd = inst.operands[0].strip()
+            imm = int(inst.operands[1].strip(), 0)
+            out = self._vreg(vd)
+            out[: state.vl] = imm
+            return
+        vd, vs1, vs2 = (o.strip() for o in inst.operands[:3])
+        a = self._vreg(vs1)[: state.vl]
+        b = self._vreg(vs2)[: state.vl]
+        if m == "vfmacc.vv":
+            acc = self._vreg(vd)
+            acc[: state.vl] = acc[: state.vl] + a * b
+            return
+        if m in _VECTOR_BINOPS:
+            out = self._vreg(vd)
+            out[: state.vl] = _VECTOR_BINOPS[m](a, b)
+            return
+        raise IsaError(f"unsupported vector arithmetic {m!r}")
+
+    def _scalar(self, inst: Instruction) -> None:
+        state = self.state
+        m = inst.mnemonic
+        ops = [o.strip() for o in inst.operands]
+        if m == "li":
+            state.set_s(ops[0], int(ops[1], 0))
+        elif m == "add":
+            state.set_s(
+                ops[0], state.get_s(ops[1]) + state.get_s(ops[2])
+            )
+        elif m == "sub":
+            state.set_s(
+                ops[0], state.get_s(ops[1]) - state.get_s(ops[2])
+            )
+        elif m == "slli":
+            state.set_s(ops[0], state.get_s(ops[1]) << int(ops[2], 0))
+        elif m == "mv":
+            state.set_s(ops[0], state.get_s(ops[1]))
+        else:
+            raise IsaError(f"unsupported scalar instruction {m!r}")
+
+    # -- program execution ---------------------------------------------------
+
+    def run(self, text: str) -> int:
+        """Execute assembly text until ``ret``; returns executed
+        instruction count."""
+        program = [
+            inst for inst in parse_assembly(text)
+            if inst.is_code or inst.label
+        ]
+        labels: dict[str, int] = {}
+        for idx, inst in enumerate(program):
+            if inst.label:
+                labels[inst.label] = idx
+
+        pc = 0
+        steps = 0
+        while pc < len(program):
+            inst = program[pc]
+            if not inst.is_code:
+                pc += 1
+                continue
+            steps += 1
+            if steps > MAX_STEPS:
+                raise IsaError("instruction budget exceeded (runaway loop)")
+            m = inst.mnemonic
+            if m == "ret":
+                return steps
+            if m == "vsetvli":
+                self._vsetvli(inst)
+            elif m.startswith("vle") or m == "vle.v":
+                self._vector_load(inst)
+            elif m.startswith("vse") or m == "vse.v":
+                self._vector_store(inst)
+            elif m.startswith("v"):
+                self._vector_arith(inst)
+            elif m == "bnez":
+                if self.state.get_s(inst.operands[0].strip()) != 0:
+                    target = inst.operands[1].strip()
+                    if target not in labels:
+                        raise IsaError(f"unknown label {target!r}")
+                    pc = labels[target]
+                    continue
+            else:
+                self._scalar(inst)
+            pc += 1
+        raise IsaError("program fell off the end without ret")
+
+
+def run_triad_loop(
+    text: str,
+    b: np.ndarray,
+    c: np.ndarray,
+    vlen_bits: int = DEFAULT_VLEN_BITS,
+) -> np.ndarray:
+    """Execute a generated two-input/one-output loop on real data.
+
+    Lays ``b`` and ``c`` out in memory, points the ABI registers at them
+    (a0 = element count, a1/a2 = inputs, a3 = output), runs the loop and
+    returns the output array — the harness used by the semantic
+    equivalence tests.
+    """
+    if b.shape != c.shape or b.dtype != c.dtype:
+        raise IsaError("inputs must have matching shape and dtype")
+    n = b.size
+    elem = b.dtype.itemsize
+    state = MachineState(vlen_bits=vlen_bits,
+                         memory_bytes=max(1 << 20, 4 * n * elem + 4096))
+    base_b, base_c, base_out = 0, n * elem, 2 * n * elem
+    state.write_array(base_b, b)
+    state.write_array(base_c, c)
+    state.set_s("a0", n)
+    state.set_s("a1", base_b)
+    state.set_s("a2", base_c)
+    state.set_s("a3", base_out)
+    RvvInterpreter(state).run(text)
+    sew = elem * 8
+    return state.read_array(base_out, n, sew)

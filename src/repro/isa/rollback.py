@@ -1,0 +1,166 @@
+"""RVV v1.0 -> v0.7.1 assembly rewriter (the RVV-rollback tool, [11]).
+
+Clang can only emit RVV v1.0 assembly, which the C920 (RVV v0.7.1)
+cannot execute. The paper uses Lee et al.'s RVV-rollback tool to backport
+the assembly; this module reimplements its rewrite rules:
+
+1. ``vsetvli``/``vsetivli``: strip the v1.0 tail/mask-agnostic flags
+   (v0.7.1 hardware is always tail-undisturbed); expand ``vsetivli``'s
+   immediate AVL through a scratch register; reject fractional LMUL,
+   which has no v0.7.1 encoding.
+2. Unit-stride/strided/indexed loads and stores: rewrite the
+   width-encoded v1.0 mnemonics (``vle32.v``) to the SEW-implicit
+   v0.7.1 forms (``vle.v``), checking the encoded EEW against the
+   active SEW — a mismatch would silently load the wrong width, so it
+   is an error (the real tool inserts vtype toggles for the common
+   cases; we support the matching-width cases the compilers emit).
+3. Renamed mask/reduction ops: ``vcpop.m``->``vpopc.m``,
+   ``vfirst.m``->``vmfirst.m``, ``vmandn.mm``->``vmandnot.mm``,
+   ``vmorn.mm``->``vmornot.mm``, ``vfredusum.vs``->``vfredsum.vs``.
+4. Whole-register moves (``vmv1r.v``) become ``vmv.v.v``; larger
+   register-group moves need LMUL context and are rejected.
+5. ``vzext``/``vsext`` have no v0.7.1 equivalent -> error.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.encoding import Instruction, parse_assembly, render_assembly
+from repro.isa.rvv import RVV_0_7_1, V10_LMUL, sew_bits
+from repro.util.errors import IsaError
+
+
+class RollbackError(IsaError):
+    """A v1.0 construct with no v0.7.1 equivalent was encountered."""
+
+
+_MEM_RE = re.compile(
+    r"^(?P<op>vl|vs)(?P<kind>e|se|uxei|oxei)(?P<eew>8|16|32|64)\.v$"
+)
+
+_RENAMES = {
+    "vmandn.mm": "vmandnot.mm",
+    "vmorn.mm": "vmornot.mm",
+    "vcpop.m": "vpopc.m",
+    "vfirst.m": "vmfirst.m",
+    "vfredusum.vs": "vfredsum.vs",
+}
+
+#: v0.7.1 mnemonic for each (load/store, addressing-kind) pair.
+_MEM_MAP = {
+    ("vl", "e"): "vle.v",
+    ("vs", "e"): "vse.v",
+    ("vl", "se"): "vlse.v",
+    ("vs", "se"): "vsse.v",
+    ("vl", "uxei"): "vlxe.v",
+    ("vl", "oxei"): "vlxe.v",
+    ("vs", "uxei"): "vsuxe.v",
+    ("vs", "oxei"): "vsxe.v",
+}
+
+_NO_EQUIVALENT_PREFIXES = ("vzext.", "vsext.")
+_WHOLE_REG_MOVES = {"vmv2r.v", "vmv4r.v", "vmv8r.v"}
+
+
+def _rollback_vsetvli(inst: Instruction) -> tuple[Instruction, int | None]:
+    """Strip v1.0 policy flags; return (rewritten, active SEW bits)."""
+    ops = [op.strip() for op in inst.operands]
+    if len(ops) < 3:
+        raise RollbackError(f"malformed vsetvli: {inst.render().strip()}")
+    rd, avl, sew = ops[0], ops[1], ops[2]
+    sew_val = sew_bits(sew)
+    kept = [rd, avl, sew]
+    for token in ops[3:]:
+        if token in ("ta", "tu", "ma", "mu"):
+            continue  # v0.7.1 has no policy flags
+        if token in V10_LMUL:
+            if token.startswith("mf"):
+                raise RollbackError(
+                    f"fractional LMUL {token!r} has no RVV v0.7.1 encoding"
+                )
+            kept.append(token)
+            continue
+        raise RollbackError(f"unknown vsetvli token {token!r}")
+    return inst.with_operands(tuple(kept)), sew_val
+
+
+def _rollback_vsetivli(
+    inst: Instruction,
+) -> tuple[list[Instruction], int | None]:
+    """v0.7.1 has no immediate-AVL form: materialize the AVL in t6."""
+    ops = [op.strip() for op in inst.operands]
+    if len(ops) < 3:
+        raise RollbackError(f"malformed vsetivli: {inst.render().strip()}")
+    rd, imm, rest = ops[0], ops[1], ops[2:]
+    li = Instruction(mnemonic="li", operands=("t6", imm), label=inst.label)
+    vset = Instruction(
+        mnemonic="vsetvli",
+        operands=tuple([rd, "t6"] + rest),
+        comment=inst.comment,
+    )
+    rewritten, sew_val = _rollback_vsetvli(vset)
+    return [li, rewritten], sew_val
+
+
+def rollback_instruction(
+    inst: Instruction, active_sew: int | None
+) -> tuple[list[Instruction], int | None]:
+    """Rewrite one instruction; returns (replacement list, new SEW)."""
+    if not inst.is_code:
+        return [inst], active_sew
+
+    m = inst.mnemonic
+
+    if m == "vsetvli":
+        new, sew = _rollback_vsetvli(inst)
+        return [new], sew
+    if m == "vsetivli":
+        return _rollback_vsetivli(inst)
+
+    if m in _RENAMES:
+        return [inst.with_mnemonic(_RENAMES[m])], active_sew
+
+    if m == "vmv1r.v":
+        return [inst.with_mnemonic("vmv.v.v")], active_sew
+    if m in _WHOLE_REG_MOVES:
+        raise RollbackError(
+            f"{m} moves a register group; no v0.7.1 equivalent"
+        )
+
+    if m.startswith(_NO_EQUIVALENT_PREFIXES):
+        raise RollbackError(f"{m} has no RVV v0.7.1 equivalent")
+
+    mem = _MEM_RE.match(m)
+    if mem:
+        eew = int(mem.group("eew"))
+        if active_sew is None:
+            raise RollbackError(
+                f"{m} before any vsetvli: cannot check EEW against SEW"
+            )
+        if eew != active_sew:
+            raise RollbackError(
+                f"{m} has EEW {eew} but active SEW is {active_sew}; "
+                "v0.7.1 memory ops are SEW-implicit"
+            )
+        target = _MEM_MAP[(mem.group("op"), mem.group("kind"))]
+        return [inst.with_mnemonic(target)], active_sew
+
+    # Everything else is dialect-common or scalar; validate and pass.
+    RVV_0_7_1.validate_mnemonic(m)
+    return [inst], active_sew
+
+
+def rollback(text: str) -> str:
+    """Rewrite RVV v1.0 assembly text into RVV v0.7.1.
+
+    Raises :class:`RollbackError` for constructs without an equivalent —
+    the situations where the real tool refuses as well.
+    """
+    instructions = parse_assembly(text)
+    out: list[Instruction] = []
+    active_sew: int | None = None
+    for inst in instructions:
+        replacement, active_sew = rollback_instruction(inst, active_sew)
+        out.extend(replacement)
+    return render_assembly(out)

@@ -1,0 +1,171 @@
+"""RVV dialect tables: v0.7.1 (XuanTie C920) and v1.0 (ratified).
+
+Only the instruction surface the RAJAPerf kernels and the rollback tool
+need is modelled, but the differences that matter between the dialects
+are encoded faithfully:
+
+* v1.0 ``vsetvli`` takes tail/mask agnosticism flags (``ta, ma``) and
+  fractional LMUL (``mf2``...); v0.7.1 has neither.
+* v1.0 unit-stride memory ops encode the element width in the mnemonic
+  (``vle32.v``); v0.7.1 uses SEW-implicit ``vle.v``/width-specific
+  ``vlw.v`` forms.
+* Several mask/reduction mnemonics were renamed for v1.0
+  (``vcpop.m`` was ``vpopc.m``, ``vfredusum`` was ``vfredsum``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import IsaError
+
+#: Scalar RISC-V mnemonics that may appear around vector code in our
+#: generated loops (not exhaustive — enough for validation).
+SCALAR_MNEMONICS = frozenset(
+    {
+        "add", "addi", "sub", "mul", "li", "lui", "mv", "slli", "srli",
+        "beq", "bne", "bge", "blt", "bnez", "beqz", "j", "jal", "jalr",
+        "ret", "ld", "sd", "lw", "sw", "fld", "fsd", "flw", "fsw",
+        "fadd.d", "fmul.d", "fmadd.d", "fadd.s", "fmul.s", "fmadd.s",
+        "min", "max", "neg", "sext.w",
+    }
+)
+
+_COMMON_VECTOR = frozenset(
+    {
+        "vadd.vv", "vadd.vx", "vsub.vv", "vsub.vx", "vrsub.vx",
+        "vmul.vv", "vmul.vx", "vdiv.vv",
+        "vfadd.vv", "vfadd.vf", "vfsub.vv", "vfsub.vf",
+        "vfmul.vv", "vfmul.vf", "vfdiv.vv",
+        "vfmacc.vv", "vfmacc.vf", "vfmadd.vv", "vfmadd.vf",
+        "vfnmsac.vv", "vfsqrt.v",
+        "vmin.vv", "vmax.vv", "vfmin.vv", "vfmax.vv",
+        "vmv.v.v", "vmv.v.x", "vmv.v.i", "vfmv.v.f",
+        "vmv.x.s", "vfmv.f.s", "vmv.s.x", "vfmv.s.f",
+        "vmseq.vv", "vmslt.vv", "vmsle.vv", "vmflt.vv", "vmfle.vv",
+        "vmand.mm", "vmor.mm", "vmxor.mm", "vmnand.mm", "vmnor.mm",
+        "vmxnor.mm",
+        "vredsum.vs", "vredmin.vs", "vredmax.vs",
+        "vfredosum.vs", "vfredmin.vs", "vfredmax.vs",
+        "vslideup.vx", "vslidedown.vx", "vslide1up.vx", "vslide1down.vx",
+        "vrgather.vv", "vid.v",
+        "vsetvli", "vsetvl",
+    }
+)
+
+#: Mnemonics only valid in v0.7.1.
+V071_ONLY = frozenset(
+    {
+        "vle.v", "vse.v",            # SEW-implicit unit-stride
+        "vlw.v", "vsw.v", "vlh.v", "vsh.v", "vlb.v", "vsb.v",
+        "vlse.v", "vsse.v",          # strided
+        "vlxe.v", "vsxe.v", "vsuxe.v",  # indexed
+        "vmandnot.mm", "vmornot.mm",
+        "vpopc.m", "vmfirst.m",
+        "vfredsum.vs",
+    }
+)
+
+#: Mnemonics only valid in v1.0 (element width in mnemonic, renames,
+#: new instructions).
+V10_ONLY = frozenset(
+    {
+        "vle8.v", "vle16.v", "vle32.v", "vle64.v",
+        "vse8.v", "vse16.v", "vse32.v", "vse64.v",
+        "vlse8.v", "vlse16.v", "vlse32.v", "vlse64.v",
+        "vsse8.v", "vsse16.v", "vsse32.v", "vsse64.v",
+        "vluxei8.v", "vluxei16.v", "vluxei32.v", "vluxei64.v",
+        "vloxei8.v", "vloxei16.v", "vloxei32.v", "vloxei64.v",
+        "vsuxei8.v", "vsuxei16.v", "vsuxei32.v", "vsuxei64.v",
+        "vsoxei8.v", "vsoxei16.v", "vsoxei32.v", "vsoxei64.v",
+        "vmandn.mm", "vmorn.mm",
+        "vcpop.m", "vfirst.m",
+        "vfredusum.vs",
+        "vsetivli",
+        "vzext.vf2", "vzext.vf4", "vsext.vf2", "vsext.vf4",
+        "vmv1r.v", "vmv2r.v", "vmv4r.v", "vmv8r.v",
+    }
+)
+
+#: Valid SEW settings per dialect (v0.7.1 on the C920 supports up to
+#: e64 for integer; both accept e8..e64 syntactically).
+VALID_SEW = frozenset({"e8", "e16", "e32", "e64"})
+
+#: LMUL: v0.7.1 has integer multipliers only; v1.0 adds fractional.
+V071_LMUL = frozenset({"m1", "m2", "m4", "m8"})
+V10_LMUL = V071_LMUL | frozenset({"mf2", "mf4", "mf8"})
+
+
+@dataclass(frozen=True)
+class RvvDialect:
+    """One RVV specification version as a validation surface."""
+
+    name: str
+    version: str
+    vector_mnemonics: frozenset[str]
+    lmuls: frozenset[str]
+    has_tail_policy: bool
+
+    def is_vector(self, mnemonic: str) -> bool:
+        return mnemonic in self.vector_mnemonics
+
+    def validate_mnemonic(self, mnemonic: str) -> None:
+        """Raise :class:`IsaError` for a vector mnemonic that does not
+        exist in this dialect. Scalar and unknown non-vector mnemonics
+        pass through (we do not model the whole scalar ISA)."""
+        if mnemonic.startswith("v") and not self.is_vector(mnemonic):
+            if mnemonic in (V071_ONLY | V10_ONLY | _COMMON_VECTOR):
+                raise IsaError(
+                    f"{mnemonic!r} is not part of RVV {self.version}"
+                )
+            raise IsaError(f"unknown vector mnemonic {mnemonic!r}")
+
+    def validate_vsetvli(self, operands: tuple[str, ...]) -> None:
+        """Check a ``vsetvli`` operand list against this dialect."""
+        if len(operands) < 3:
+            raise IsaError(f"vsetvli needs >= 3 operands, got {operands}")
+        config = [op.strip() for op in operands[2:]]
+        sew = config[0]
+        if sew not in VALID_SEW:
+            raise IsaError(f"invalid SEW {sew!r}")
+        rest = config[1:]
+        lmul = rest[0] if rest else "m1"
+        if lmul in ("ta", "tu", "ma", "mu"):
+            lmul, rest = "m1", config[1:]
+        else:
+            rest = rest[1:]
+        if lmul not in self.lmuls:
+            raise IsaError(
+                f"LMUL {lmul!r} not supported by RVV {self.version}"
+            )
+        if rest and not self.has_tail_policy:
+            raise IsaError(
+                f"tail/mask policy flags {rest} are v1.0-only syntax"
+            )
+        for flag in rest:
+            if flag not in ("ta", "tu", "ma", "mu"):
+                raise IsaError(f"invalid vsetvli flag {flag!r}")
+
+
+RVV_0_7_1 = RvvDialect(
+    name="RVV v0.7.1 (XuanTie C920)",
+    version="0.7.1",
+    vector_mnemonics=_COMMON_VECTOR | V071_ONLY,
+    lmuls=V071_LMUL,
+    has_tail_policy=False,
+)
+
+RVV_1_0 = RvvDialect(
+    name="RVV v1.0",
+    version="1.0",
+    vector_mnemonics=_COMMON_VECTOR | V10_ONLY,
+    lmuls=V10_LMUL,
+    has_tail_policy=True,
+)
+
+
+def sew_bits(sew: str) -> int:
+    """Numeric element width of an ``eNN`` SEW token."""
+    if sew not in VALID_SEW:
+        raise IsaError(f"invalid SEW {sew!r}")
+    return int(sew[1:])

@@ -1,0 +1,50 @@
+"""The RAJAPerf benchmark suite, reimplemented in NumPy.
+
+All 64 kernels of RAJA Performance Suite v2022 are present, organised in
+the paper's six classes (Section 2.2):
+
+* **Algorithm** (6): SCAN, SORT, SORTPAIRS, REDUCE_SUM, MEMSET, MEMCPY
+* **Apps** (13): CONVECTION3DPA, DEL_DOT_VEC_2D, DIFFUSION3DPA, ENERGY,
+  FIR, HALOEXCHANGE, HALOEXCHANGE_FUSED, LTIMES, LTIMES_NOVIEW, MASS3DPA,
+  NODAL_ACCUMULATION_3D, PRESSURE, VOL3D
+* **Basic** (16): DAXPY, DAXPY_ATOMIC, IF_QUAD, INDEXLIST,
+  INDEXLIST_3LOOP, INIT3, INIT_VIEW1D, INIT_VIEW1D_OFFSET, MAT_MAT_SHARED,
+  MULADDSUB, NESTED_INIT, PI_ATOMIC, PI_REDUCE, REDUCE3_INT,
+  REDUCE_STRUCT, TRAP_INT
+* **Lcals** (11): DIFF_PREDICT, EOS, FIRST_DIFF, FIRST_MIN, FIRST_SUM,
+  GEN_LIN_RECUR, HYDRO_1D, HYDRO_2D, INT_PREDICT, PLANCKIAN, TRIDIAG_ELIM
+* **Polybench** (13): 2MM, 3MM, ADI, ATAX, FDTD_2D, FLOYD_WARSHALL, GEMM,
+  GEMVER, GESUMMV, HEAT_3D, JACOBI_1D, JACOBI_2D, MVT
+* **Stream** (5): ADD, COPY, DOT, MUL, TRIAD
+
+Each kernel couples a runnable NumPy implementation (tested against naive
+references) with a static characterization — flops and element traffic per
+iteration, memory footprint, loop features — that drives the compiler and
+performance models.
+"""
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+)
+from repro.kernels.registry import (
+    all_kernels,
+    get_kernel,
+    kernel_names,
+    kernels_in_class,
+)
+
+__all__ = [
+    "Kernel",
+    "KernelClass",
+    "KernelTraits",
+    "LoopFeature",
+    "Workspace",
+    "all_kernels",
+    "get_kernel",
+    "kernel_names",
+    "kernels_in_class",
+]

@@ -1,0 +1,214 @@
+"""Algorithm class: SCAN, SORT, SORTPAIRS, REDUCE_SUM, MEMSET, MEMCPY.
+
+"Basic algorithmic activities such as memory copies, the sorting of data
+and reductions" (Section 2.2). SORT and SORTPAIRS defer to library sorts —
+neither GCC nor Clang vectorizes them, and their parallel fraction is low,
+which drags the class average down at high thread counts (Tables 1-3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    linspace_init,
+    numpy_dtype,
+)
+from repro.machine.vector import DType
+
+_ALGO_SIZE = 1_000_000
+
+
+class Scan(Kernel):
+    """Exclusive prefix sum: ``y[i] = sum(x[0:i])``.
+
+    Sequentially a textbook loop-carried dependence; parallel versions use
+    the two-pass blocked scan, giving a decent but sub-linear parallel
+    fraction.
+    """
+
+    name = "SCAN"
+    klass = KernelClass.ALGORITHM
+    default_size = _ALGO_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=1.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.SCAN_DEP}),
+        parallel_fraction=0.90,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = linspace_init(n, dtype, 0.0, 1.0)
+        return {"x": x, "y": np.zeros_like(x)}
+
+    def execute(self, ws: Workspace) -> None:
+        # Exclusive scan: y[0] = 0, y[i] = y[i-1] + x[i-1].
+        y = ws["y"]
+        np.cumsum(ws["x"][:-1], out=y[1:])
+        y[0] = 0
+
+
+class Sort(Kernel):
+    """In-place sort of a pseudo-random array (RAJAPerf uses std::sort).
+
+    Re-sorts the same scrambled snapshot every repetition so repeated
+    ``execute`` calls do equal work.
+    """
+
+    name = "SORT"
+    klass = KernelClass.ALGORITHM
+    default_size = _ALGO_SIZE
+    reps = 20
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=20.0,  # ~log2(1e6) passes over the data
+        writes_per_iter=20.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.LIBRARY_CALL}),
+        parallel_fraction=0.30,
+        traffic_scale=0.25,  # most passes hit cache
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = self.rng().random(n).astype(numpy_dtype(dtype))
+        return {"x": x, "out": np.empty_like(x)}
+
+    def execute(self, ws: Workspace) -> None:
+        np.copyto(ws["out"], ws["x"])
+        ws["out"].sort()
+
+    def checksum(self, ws: Workspace) -> float:
+        out = ws["out"]
+        # Weighted sum is order-sensitive, catching a broken sort.
+        idx = np.arange(1, out.size + 1, dtype=np.float64)
+        return float(np.dot(out.astype(np.float64), idx) / out.size)
+
+
+class SortPairs(Kernel):
+    """Key-value sort: sort keys, permute values along (std::sort on
+    pairs in RAJAPerf)."""
+
+    name = "SORTPAIRS"
+    klass = KernelClass.ALGORITHM
+    default_size = _ALGO_SIZE
+    reps = 20
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=40.0,
+        writes_per_iter=40.0,
+        footprint_elems=4.0,
+        features=frozenset(
+            {LoopFeature.LIBRARY_CALL, LoopFeature.INDIRECTION}
+        ),
+        parallel_fraction=0.30,
+        traffic_scale=0.25,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        keys = self.rng().random(n).astype(numpy_dtype(dtype))
+        vals = linspace_init(n, dtype, 0.0, 1.0)
+        return {
+            "keys": keys,
+            "vals": vals,
+            "out_keys": np.empty_like(keys),
+            "out_vals": np.empty_like(vals),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        order = np.argsort(ws["keys"], kind="stable")
+        np.take(ws["keys"], order, out=ws["out_keys"])
+        np.take(ws["vals"], order, out=ws["out_vals"])
+
+    def checksum(self, ws: Workspace) -> float:
+        out = ws["out_keys"].astype(np.float64)
+        idx = np.arange(1, out.size + 1, dtype=np.float64)
+        return float(
+            np.dot(out, idx) / out.size
+            + np.sum(ws["out_vals"], dtype=np.float64)
+        )
+
+
+class ReduceSum(Kernel):
+    """``sum += x[i]`` — a bare bandwidth-bound reduction."""
+
+    name = "REDUCE_SUM"
+    klass = KernelClass.ALGORITHM
+    default_size = _ALGO_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=1.0,
+        writes_per_iter=0.0,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.STREAMING, LoopFeature.REDUCTION_SUM}
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        return {"x": linspace_init(n, dtype, 0.0, 1.0), "sum": 0.0}
+
+    def execute(self, ws: Workspace) -> None:
+        ws["sum"] = float(np.sum(ws["x"]))
+
+    def checksum(self, ws: Workspace) -> float:
+        return ws["sum"]
+
+
+class Memset(Kernel):
+    """``x[i] = value`` — pure store bandwidth. The paper's standout
+    single-core result: 40x (FP32) and 18x (FP64) faster on the C920 than
+    the U74 (Section 3.1)."""
+
+    name = "MEMSET"
+    klass = KernelClass.ALGORITHM
+    default_size = _ALGO_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=0.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = np.zeros(n, dtype=numpy_dtype(dtype))
+        return {"x": x, "value": x.dtype.type(0.123)}
+
+    def execute(self, ws: Workspace) -> None:
+        ws["x"][:] = ws["value"]
+
+
+class Memcpy(Kernel):
+    """``y[i] = x[i]`` via memcpy semantics."""
+
+    name = "MEMCPY"
+    klass = KernelClass.ALGORITHM
+    default_size = _ALGO_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=1.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = linspace_init(n, dtype, 0.0, 1.0)
+        return {"x": x, "y": np.empty_like(x)}
+
+    def execute(self, ws: Workspace) -> None:
+        np.copyto(ws["y"], ws["x"])
+
+
+ALGORITHM_KERNELS = (Scan, Sort, SortPairs, ReduceSum, Memset, Memcpy)

@@ -1,0 +1,710 @@
+"""Apps class: thirteen kernels representing common HPC application
+components — FIR filter, halo-exchange packing, 3D diffusion/convection by
+partial assembly, pressure/energy hydro fragments (Section 2.2).
+
+These kernels carry little work per repetition (halo packs touch only
+surface data) and several have indirection or low parallel fractions, so
+the class scales worst with threads — the paper's Tables 1-3 even show a
+2-thread slowdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    linspace_init,
+    numpy_dtype,
+)
+from repro.machine.vector import DType
+
+_FEM_FEATURES = frozenset(
+    {LoopFeature.OUTER_ONLY_PARALLEL, LoopFeature.NONUNIT_STRIDE}
+)
+
+
+class Convection3dpa(Kernel):
+    """CONVECTION3DPA: convection operator by partial assembly — batched
+    small tensor contractions per finite element."""
+
+    name = "CONVECTION3DPA"
+    klass = KernelClass.APPS
+    default_size = 4_096  # elements; each carries ~Q^3*D work
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=2500.0,
+        reads_per_iter=130.0,
+        writes_per_iter=64.0,
+        footprint_elems=256.0,
+        features=_FEM_FEATURES,
+        parallel_fraction=0.97,
+        vector_speedup_cap=0.6,
+    )
+
+    #: quadrature/basis extents of the per-element tensors
+    Q = 4
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        q = self.Q
+        rng = self.rng()
+        return {
+            "basis": rng.random((q, q)).astype(npdt),
+            "dbasis": rng.random((q, q)).astype(npdt),
+            "dofs": rng.random((n, q, q, q)).astype(npdt),
+            "vel": rng.random((n, 3)).astype(npdt),
+            "out": np.zeros((n, q, q, q), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        basis, dbasis = ws["basis"], ws["dbasis"]
+        dofs, vel, out = ws["dofs"], ws["vel"], ws["out"]
+        # Interpolate to quadrature points along each axis, apply the
+        # velocity-weighted derivative, project back: B (D B^T u).
+        gx = np.einsum("qi,eijk->eqjk", dbasis, dofs)
+        gy = np.einsum("qj,eijk->eiqk", dbasis, dofs)
+        gz = np.einsum("qk,eijk->eijq", dbasis, dofs)
+        adv = (
+            vel[:, 0, None, None, None] * gx
+            + vel[:, 1, None, None, None] * gy
+            + vel[:, 2, None, None, None] * gz
+        )
+        out[...] = np.einsum("qi,eqjk->eijk", basis, adv)
+
+
+class DelDotVec2d(Kernel):
+    """DEL_DOT_VEC_2D: divergence of a vector field over a 2D staggered
+    mesh with node indirection lists."""
+
+    name = "DEL_DOT_VEC_2D"
+    klass = KernelClass.APPS
+    default_size = 250_000  # zones
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=32.0,
+        reads_per_iter=9.0,
+        writes_per_iter=1.0,
+        footprint_elems=6.0,
+        features=frozenset({LoopFeature.INDIRECTION}),
+        vector_speedup_cap=0.5,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = max(2, int(round(n ** 0.5)))
+        npdt = numpy_dtype(dtype)
+        nnodes = (dim + 1) * (dim + 1)
+        rng = self.rng()
+        x = rng.random(nnodes).astype(npdt)
+        y = rng.random(nnodes).astype(npdt)
+        xdot = rng.random(nnodes).astype(npdt)
+        ydot = rng.random(nnodes).astype(npdt)
+        # Node index lists for each zone corner (the RAJAPerf real_zones
+        # indirection).
+        ii, jj = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+        n00 = (ii * (dim + 1) + jj).ravel()
+        n10 = n00 + (dim + 1)
+        n01 = n00 + 1
+        n11 = n10 + 1
+        return {
+            "x": x, "y": y, "xdot": xdot, "ydot": ydot,
+            "n00": n00, "n01": n01, "n10": n10, "n11": n11,
+            "div": np.zeros(dim * dim, dtype=npdt),
+            "half": npdt(0.5),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x, y = ws["x"], ws["y"]
+        xd, yd = ws["xdot"], ws["ydot"]
+        n00, n01 = ws["n00"], ws["n01"]
+        n10, n11 = ws["n10"], ws["n11"]
+        half = ws["half"]
+        # Gather corner coordinates and velocities per zone.
+        dx1 = half * (x[n10] + x[n11] - x[n00] - x[n01])
+        dy1 = half * (y[n10] + y[n11] - y[n00] - y[n01])
+        dx2 = half * (x[n01] + x[n11] - x[n00] - x[n10])
+        dy2 = half * (y[n01] + y[n11] - y[n00] - y[n10])
+        du1 = half * (xd[n10] + xd[n11] - xd[n00] - xd[n01])
+        dv1 = half * (yd[n10] + yd[n11] - yd[n00] - yd[n01])
+        du2 = half * (xd[n01] + xd[n11] - xd[n00] - xd[n10])
+        dv2 = half * (yd[n01] + yd[n11] - yd[n00] - yd[n10])
+        area = dx1 * dy2 - dx2 * dy1
+        area = np.where(np.abs(area) < 1e-12, 1e-12, area)
+        ws["div"][:] = (du1 * dy2 - du2 * dy1 + dv2 * dx1 - dv1 * dx2) / area
+
+
+class Diffusion3dpa(Kernel):
+    """DIFFUSION3DPA: 3D diffusion by partial assembly."""
+
+    name = "DIFFUSION3DPA"
+    klass = KernelClass.APPS
+    default_size = 4_096
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=3000.0,
+        reads_per_iter=130.0,
+        writes_per_iter=64.0,
+        footprint_elems=256.0,
+        features=_FEM_FEATURES,
+        parallel_fraction=0.97,
+        vector_speedup_cap=0.6,
+    )
+
+    Q = 4
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        q = self.Q
+        rng = self.rng()
+        return {
+            "dbasis": rng.random((q, q)).astype(npdt),
+            "coeff": rng.random((n, q, q, q)).astype(npdt),
+            "dofs": rng.random((n, q, q, q)).astype(npdt),
+            "out": np.zeros((n, q, q, q), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        d = ws["dbasis"]
+        dofs, coeff, out = ws["dofs"], ws["coeff"], ws["out"]
+        gx = np.einsum("qi,eijk->eqjk", d, dofs)
+        gy = np.einsum("qj,eijk->eiqk", d, dofs)
+        gz = np.einsum("qk,eijk->eijq", d, dofs)
+        out[...] = (
+            np.einsum("qi,eqjk->eijk", d, coeff * gx)
+            + np.einsum("qj,eiqk->eijk", d, coeff * gy)
+            + np.einsum("qk,eijq->eijk", d, coeff * gz)
+        )
+
+
+class Energy(Kernel):
+    """ENERGY: the LLNL hydrodynamics energy update — six coupled
+    elementwise loops with data-dependent conditionals."""
+
+    name = "ENERGY"
+    klass = KernelClass.APPS
+    default_size = 1_000_000
+    reps = 130
+    traits = KernelTraits(
+        flops_per_iter=18.0,
+        reads_per_iter=10.0,
+        writes_per_iter=2.0,
+        footprint_elems=12.0,
+        features=frozenset(
+            # The sound-speed update calls sqrt (libm on GCC 8 RISC-V).
+            {LoopFeature.STREAMING, LoopFeature.CONDITIONAL,
+             LoopFeature.MATH_CALL}
+        ),
+        vector_speedup_cap=0.5,
+        regions_per_rep=6,  # RAJAPerf's ENERGY is six parallel loops
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+
+        def arr(salt: float = 1.0):
+            return (rng.random(n) * salt).astype(npdt)
+
+        return {
+            "e_new": np.zeros(n, dtype=npdt),
+            "e_old": arr(),
+            "delvc": (rng.random(n) - 0.5).astype(npdt),
+            "p_new": arr(), "p_old": arr(),
+            "q_new": np.zeros(n, dtype=npdt), "q_old": arr(),
+            "work": arr(0.1),
+            "compHalfStep": arr(), "pHalfStep": arr(),
+            "bvc": arr(), "pbvc": arr(),
+            "ql_old": arr(0.5), "qq_old": arr(0.5),
+            "vnewc": arr() + npdt(0.5),
+            "rho0": npdt(1.0),
+            "e_cut": npdt(1e-7), "emin": npdt(-1e15), "q_cut": npdt(1e-7),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        half = ws["e_new"].dtype.type(0.5)
+        e_new, delvc = ws["e_new"], ws["delvc"]
+        e_new[:] = (
+            ws["e_old"]
+            - half * delvc * (ws["p_old"] + ws["q_old"])
+            + half * ws["work"]
+        )
+        np.maximum(e_new, ws["emin"], out=e_new)
+        # q at half step, guarded by the sign of delvc.
+        vhalf = np.sqrt(np.abs(ws["compHalfStep"])) + 1.0
+        ssc = ws["pbvc"] * e_new + vhalf * ws["bvc"] * ws["pHalfStep"]
+        np.maximum(ssc, 1e-12, out=ssc)
+        ssc = np.sqrt(ssc / ws["rho0"])
+        q_half = np.where(
+            delvc > 0,
+            0.0,
+            ssc * ws["ql_old"] + ws["qq_old"],
+        )
+        e_new += half * delvc * (
+            3.0 * (ws["p_old"] + ws["q_old"])
+            - 4.0 * (ws["pHalfStep"] + q_half)
+        )
+        e_new += half * ws["work"]
+        small = np.abs(e_new) < ws["e_cut"]
+        e_new[small] = 0.0
+        np.maximum(e_new, ws["emin"], out=e_new)
+        ws["q_new"][:] = np.where(delvc > 0, 0.0, q_half)
+
+
+class Fir(Kernel):
+    """FIR: 16-tap finite impulse response filter,
+    ``out[i] = sum_j coeff[j] * in[i+j]``."""
+
+    name = "FIR"
+    klass = KernelClass.APPS
+    default_size = 1_000_000
+    reps = 160
+    traits = KernelTraits(
+        flops_per_iter=32.0,
+        reads_per_iter=2.0,  # sliding window is cache-resident
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.STREAMING, LoopFeature.STENCIL}),
+        vector_speedup_cap=0.8,
+    )
+
+    TAPS = 16
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        coeff = np.asarray(
+            [3.0, -1.0, -1.0, -1.0, -1.0, 3.0, -1.0, -1.0,
+             -1.0, -1.0, 3.0, -1.0, -1.0, -1.0, -1.0, 3.0],
+            dtype=npdt,
+        )
+        sig = linspace_init(n + self.TAPS, dtype, 0.0, 1.0)
+        return {
+            "in": sig,
+            "out": np.zeros(n, dtype=npdt),
+            "coeff": coeff,
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x, out, coeff = ws["in"], ws["out"], ws["coeff"]
+        n = out.size
+        out[:] = 0
+        for j, c in enumerate(coeff):
+            out += c * x[j : j + n]
+
+
+def _halo_index_lists(dim: int, width: int) -> list[np.ndarray]:
+    """Index lists of the six faces of a dim^3 grid, ``width`` deep —
+    what a 3D halo exchange packs and unpacks."""
+    grid = np.arange(dim**3).reshape(dim, dim, dim)
+    lists = []
+    for axis in range(3):
+        view = np.moveaxis(grid, axis, 0)
+        lists.append(view[:width].ravel().copy())
+        lists.append(view[-width:].ravel().copy())
+    return lists
+
+
+class HaloExchange(Kernel):
+    """HALOEXCHANGE: pack and unpack six face buffers through index
+    lists — one loop per variable per face."""
+
+    name = "HALOEXCHANGE"
+    klass = KernelClass.APPS
+    default_size = 125_000  # 50^3 grid
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=1.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.2,
+        features=frozenset({LoopFeature.INDIRECTION}),
+        parallel_fraction=0.80,
+        traffic_scale=0.25,  # only faces move, not the volume
+        regions_per_rep=36,  # one loop per (face, variable, direction)
+    )
+
+    NVARS = 3
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = max(4, int(round(n ** (1.0 / 3.0))))
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        variables = [
+            rng.random(dim**3).astype(npdt) for _ in range(self.NVARS)
+        ]
+        lists = _halo_index_lists(dim, width=1)
+        buffers = [
+            np.zeros(lst.size * self.NVARS, dtype=npdt) for lst in lists
+        ]
+        return {"vars": variables, "lists": lists, "buffers": buffers}
+
+    def execute(self, ws: Workspace) -> None:
+        for lst, buf in zip(ws["lists"], ws["buffers"]):
+            m = lst.size
+            for v, var in enumerate(ws["vars"]):
+                np.take(var, lst, out=buf[v * m : (v + 1) * m])
+            for v, var in enumerate(ws["vars"]):
+                var[lst] = buf[v * m : (v + 1) * m]
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(
+            sum(np.sum(v, dtype=np.float64) for v in ws["vars"])
+        )
+
+
+class HaloExchangeFused(Kernel):
+    """HALOEXCHANGE_FUSED: the same packing with all per-variable loops
+    fused into one workgroup launch — less launch overhead, same data."""
+
+    name = "HALOEXCHANGE_FUSED"
+    klass = KernelClass.APPS
+    default_size = 125_000
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=1.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.2,
+        features=frozenset({LoopFeature.INDIRECTION}),
+        parallel_fraction=0.88,
+        traffic_scale=0.25,
+        regions_per_rep=2,  # fused pack and fused unpack
+    )
+
+    NVARS = 3
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = max(4, int(round(n ** (1.0 / 3.0))))
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        variables = [
+            rng.random(dim**3).astype(npdt) for _ in range(self.NVARS)
+        ]
+        lists = _halo_index_lists(dim, width=1)
+        fused_list = np.concatenate(lists)
+        buffer = np.zeros(fused_list.size * self.NVARS, dtype=npdt)
+        return {"vars": variables, "list": fused_list, "buffer": buffer}
+
+    def execute(self, ws: Workspace) -> None:
+        lst, buf = ws["list"], ws["buffer"]
+        m = lst.size
+        for v, var in enumerate(ws["vars"]):
+            np.take(var, lst, out=buf[v * m : (v + 1) * m])
+        for v, var in enumerate(ws["vars"]):
+            var[lst] = buf[v * m : (v + 1) * m]
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(
+            sum(np.sum(v, dtype=np.float64) for v in ws["vars"])
+        )
+
+
+class Ltimes(Kernel):
+    """LTIMES: discrete-ordinates scattering source,
+    ``phi[z,g,m] += ell[m,d] * psi[z,g,d]`` (through RAJA views)."""
+
+    name = "LTIMES"
+    klass = KernelClass.APPS
+    default_size = 64_000  # zones
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=1568.0,  # 2 * G(32) * M(49) * ... per zone scaled
+        reads_per_iter=50.0,
+        writes_per_iter=25.0,
+        footprint_elems=80.0,
+        features=_FEM_FEATURES,
+        parallel_fraction=0.97,
+        vector_speedup_cap=0.7,
+    )
+
+    NG = 32
+    NM = 7
+    ND = 7
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        return {
+            "ell": rng.random((self.NM, self.ND)).astype(npdt),
+            "psi": rng.random((n, self.NG, self.ND)).astype(npdt),
+            "phi": np.zeros((n, self.NG, self.NM), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        ws["phi"] += np.einsum("md,zgd->zgm", ws["ell"], ws["psi"])
+
+
+class LtimesNoview(Kernel):
+    """LTIMES_NOVIEW: identical arithmetic to LTIMES on raw arrays —
+    RAJAPerf's control for view abstraction overhead."""
+
+    name = "LTIMES_NOVIEW"
+    klass = KernelClass.APPS
+    default_size = 64_000
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=1568.0,
+        reads_per_iter=50.0,
+        writes_per_iter=25.0,
+        footprint_elems=80.0,
+        features=_FEM_FEATURES,
+        parallel_fraction=0.97,
+        vector_speedup_cap=0.7,
+    )
+
+    NG = 32
+    NM = 7
+    ND = 7
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng(7)
+        return {
+            "ell": rng.random((self.NM, self.ND)).astype(npdt),
+            "psi": rng.random((n, self.NG, self.ND)).astype(npdt),
+            "phi": np.zeros((n, self.NG, self.NM), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        phi, ell, psi = ws["phi"], ws["ell"], ws["psi"]
+        # Same contraction expressed as a matmul over the trailing axes.
+        phi += psi @ ell.T
+
+
+class Mass3dpa(Kernel):
+    """MASS3DPA: mass-matrix action by partial assembly — interpolate to
+    quadrature points, scale by quadrature data, project back."""
+
+    name = "MASS3DPA"
+    klass = KernelClass.APPS
+    default_size = 4_096
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=2000.0,
+        reads_per_iter=130.0,
+        writes_per_iter=64.0,
+        footprint_elems=256.0,
+        features=_FEM_FEATURES,
+        parallel_fraction=0.97,
+        vector_speedup_cap=0.6,
+    )
+
+    Q = 4
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        q = self.Q
+        rng = self.rng()
+        return {
+            "basis": rng.random((q, q)).astype(npdt),
+            "quad": rng.random((n, q, q, q)).astype(npdt),
+            "dofs": rng.random((n, q, q, q)).astype(npdt),
+            "out": np.zeros((n, q, q, q), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        b = ws["basis"]
+        # Tensor-product interpolation to quadrature points...
+        u = np.einsum("qi,eijk->eqjk", b, ws["dofs"])
+        u = np.einsum("rj,eqjk->eqrk", b, u)
+        u = np.einsum("sk,eqrk->eqrs", b, u)
+        u *= ws["quad"]
+        # ...then the transpose projection back to dofs.
+        u = np.einsum("sk,eqrs->eqrk", b, u)
+        u = np.einsum("rj,eqrk->eqjk", b, u)
+        ws["out"][...] = np.einsum("qi,eqjk->eijk", b, u)
+
+
+class NodalAccumulation3d(Kernel):
+    """NODAL_ACCUMULATION_3D: scatter-add a zonal quantity to the eight
+    surrounding nodes — an atomic/indirection kernel."""
+
+    name = "NODAL_ACCUMULATION_3D"
+    klass = KernelClass.APPS
+    default_size = 125_000
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=8.0,
+        reads_per_iter=1.0,
+        writes_per_iter=8.0,
+        footprint_elems=2.1,
+        features=frozenset(
+            {LoopFeature.INDIRECTION, LoopFeature.ATOMIC}
+        ),
+        parallel_fraction=0.85,
+        vector_speedup_cap=0.4,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = max(2, int(round(n ** (1.0 / 3.0))))
+        npdt = numpy_dtype(dtype)
+        nzones = dim**3
+        nnodes = (dim + 1) ** 3
+        vol = self.rng().random(nzones).astype(npdt)
+        side = dim + 1
+        ii, jj, kk = np.meshgrid(
+            np.arange(dim), np.arange(dim), np.arange(dim), indexing="ij"
+        )
+        base = (ii * side + jj) * side + kk
+        offsets = [
+            0, 1, side, side + 1,
+            side * side, side * side + 1,
+            side * side + side, side * side + side + 1,
+        ]
+        corners = np.stack([base.ravel() + off for off in offsets], axis=1)
+        return {
+            "vol": vol,
+            "corners": corners,
+            "x": np.zeros(nnodes, dtype=npdt),
+            "eighth": npdt(0.125),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x, corners = ws["x"], ws["corners"]
+        contrib = (ws["eighth"] * ws["vol"])[:, None]
+        np.add.at(x, corners.ravel(),
+                  np.broadcast_to(contrib, corners.shape).ravel())
+
+
+class Pressure(Kernel):
+    """PRESSURE: the LLNL hydro pressure EOS update — two loops, the
+    second guarded by compression/volume conditionals."""
+
+    name = "PRESSURE"
+    klass = KernelClass.APPS
+    default_size = 1_000_000
+    reps = 700
+    traits = KernelTraits(
+        flops_per_iter=5.0,
+        reads_per_iter=3.0,
+        writes_per_iter=2.0,
+        footprint_elems=5.0,
+        features=frozenset(
+            {LoopFeature.STREAMING, LoopFeature.CONDITIONAL}
+        ),
+        vector_speedup_cap=0.6,
+        regions_per_rep=2,  # RAJAPerf's PRESSURE is two parallel loops
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        return {
+            "compression": (rng.random(n) - 0.1).astype(npdt),
+            "bvc": np.zeros(n, dtype=npdt),
+            "p_new": np.zeros(n, dtype=npdt),
+            "e_old": rng.random(n).astype(npdt),
+            "vnewc": (rng.random(n) + 0.5).astype(npdt),
+            "cls": npdt(2.0 / 3.0),
+            "p_cut": npdt(1e-7),
+            "pmin": npdt(1e-9),
+            "eosvmax": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        one = ws["bvc"].dtype.type(1.0)
+        np.multiply(ws["compression"] + one, ws["cls"], out=ws["bvc"])
+        p = ws["bvc"] * ws["e_old"]
+        p[np.abs(p) < ws["p_cut"]] = 0.0
+        p = np.where(ws["vnewc"] >= ws["eosvmax"], 0.0, p)
+        np.maximum(p, ws["pmin"], out=p)
+        ws["p_new"][:] = p
+
+
+class Vol3d(Kernel):
+    """VOL3D: hexahedral cell volumes from node coordinates — a
+    flop-dense 3D stencil over the node mesh."""
+
+    name = "VOL3D"
+    klass = KernelClass.APPS
+    default_size = 125_000
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=72.0,
+        reads_per_iter=24.0,
+        writes_per_iter=1.0,
+        footprint_elems=4.0,
+        features=frozenset(
+            {
+                LoopFeature.STENCIL,
+                LoopFeature.STREAMING,
+                LoopFeature.ALIAS_UNPROVABLE,
+            }
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = max(2, int(round(n ** (1.0 / 3.0))))
+        npdt = numpy_dtype(dtype)
+        side = dim + 1
+        # Jittered unit grid keeps volumes positive but nontrivial.
+        axes = np.arange(side, dtype=np.float64)
+        zz, yy, xx = np.meshgrid(axes, axes, axes, indexing="ij")
+        rng = self.rng()
+        jitter = lambda: (rng.random((side, side, side)) - 0.5) * 0.2
+        return {
+            "x": (xx + jitter()).astype(npdt),
+            "y": (yy + jitter()).astype(npdt),
+            "z": (zz + jitter()).astype(npdt),
+            "vol": np.zeros((dim, dim, dim), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x, y, z, vol = ws["x"], ws["y"], ws["z"], ws["vol"]
+        i = slice(0, -1)
+        j = slice(1, None)
+
+        def corners(a):
+            return (
+                a[i, i, i], a[i, i, j], a[i, j, i], a[i, j, j],
+                a[j, i, i], a[j, i, j], a[j, j, i], a[j, j, j],
+            )
+
+        cx = corners(x)
+        cy = corners(y)
+        cz = corners(z)
+
+        def tet(a, b, c, d):
+            """Unsigned volume of tetrahedron (a, b, c, d) by corner
+            index, vectorized over all cells."""
+            ux, uy, uz = cx[b] - cx[a], cy[b] - cy[a], cz[b] - cz[a]
+            vx, vy, vz = cx[c] - cx[a], cy[c] - cy[a], cz[c] - cz[a]
+            wx, wy, wz = cx[d] - cx[a], cy[d] - cy[a], cz[d] - cz[a]
+            det = (
+                ux * (vy * wz - vz * wy)
+                - uy * (vx * wz - vz * wx)
+                + uz * (vx * wy - vy * wx)
+            )
+            return np.abs(det)
+
+        # Kuhn decomposition of the hexahedron into six tetrahedra along
+        # the 0-7 long diagonal; exact for affine cells.
+        vol[...] = (
+            tet(0, 1, 3, 7)
+            + tet(0, 1, 5, 7)
+            + tet(0, 2, 3, 7)
+            + tet(0, 2, 6, 7)
+            + tet(0, 4, 5, 7)
+            + tet(0, 4, 6, 7)
+        ) / vol.dtype.type(6.0)
+
+
+APPS_KERNELS = (
+    Convection3dpa,
+    DelDotVec2d,
+    Diffusion3dpa,
+    Energy,
+    Fir,
+    HaloExchange,
+    HaloExchangeFused,
+    Ltimes,
+    LtimesNoview,
+    Mass3dpa,
+    NodalAccumulation3d,
+    Pressure,
+    Vol3d,
+)

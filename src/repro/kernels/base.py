@@ -1,0 +1,255 @@
+"""Kernel base classes: the contract every RAJAPerf kernel implements.
+
+A kernel has two faces:
+
+1. **Executable**: ``prepare`` builds a deterministic workspace of NumPy
+   arrays for a problem size and dtype, ``execute`` runs one repetition in
+   place, ``checksum`` collapses the outputs to a float for correctness
+   tests. The NumPy implementations follow the hpc-parallel guide idioms:
+   vectorized expressions, views over copies, in-place updates.
+
+2. **Characterized**: :class:`KernelTraits` captures what the performance
+   and compiler models need — flops and element traffic per iteration,
+   loop features that gate auto-vectorization, the Amdahl parallel
+   fraction, and the footprint function.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.machine.vector import DType
+from repro.util.errors import ConfigError
+
+#: Workspace: named arrays plus optional scalars produced by ``prepare``.
+Workspace = dict
+
+
+class KernelClass(enum.Enum):
+    """The six RAJAPerf kernel classes (Section 2.2 of the paper)."""
+
+    ALGORITHM = "algorithm"
+    APPS = "apps"
+    BASIC = "basic"
+    LCALS = "lcals"
+    POLYBENCH = "polybench"
+    STREAM = "stream"
+
+    @classmethod
+    def from_label(cls, label: str) -> "KernelClass":
+        for member in cls:
+            if member.value == label.lower():
+                return member
+        raise ConfigError(f"unknown kernel class {label!r}")
+
+
+class LoopFeature(enum.Enum):
+    """Static loop-nest properties that auto-vectorizers reason about.
+
+    The compiler model (:mod:`repro.compiler.vectorizer`) applies
+    per-compiler rules over these features to decide whether a kernel is
+    vectorized and whether the vector path actually executes at runtime.
+    """
+
+    STREAMING = "streaming"  # unit-stride elementwise body
+    REDUCTION_SUM = "reduction_sum"  # associative +/* reduction
+    REDUCTION_MINMAX = "reduction_minmax"  # min/max (+ location) reduction
+    CONDITIONAL = "conditional"  # data-dependent branch in body
+    INDIRECTION = "indirection"  # gather/scatter via index array
+    LOOP_CARRIED_DEP = "loop_carried_dep"  # true recurrence
+    STENCIL = "stencil"  # neighbour reads (shifted views)
+    NONUNIT_STRIDE = "nonunit_stride"  # strided or transposed access
+    ATOMIC = "atomic"  # atomic update in body
+    SCAN_DEP = "scan_dep"  # prefix-sum dependency
+    LIBRARY_CALL = "library_call"  # body defers to library (sort)
+    MATH_CALL = "math_call"  # transcendental libm call in body
+    NESTED_REDUCTION = "nested_reduction"  # reduction inside a loop nest
+    TRIANGULAR = "triangular"  # triangular iteration space
+    ALIAS_UNPROVABLE = "alias_unprovable"  # needs runtime alias check
+    SMALL_INNER_TRIP = "small_inner_trip"  # tiny/unknown inner trip count
+    OUTER_ONLY_PARALLEL = "outer_only_parallel"  # only outer loop parallel
+
+
+@dataclass(frozen=True)
+class KernelTraits:
+    """Static characterization of one kernel.
+
+    Attributes:
+        flops_per_iter: Floating-point operations per main-loop iteration
+            (an FMA counts as two).
+        reads_per_iter: Elements read per iteration.
+        writes_per_iter: Elements written per iteration.
+        footprint_elems: Multiplier: total resident elements as a multiple
+            of the problem size (e.g. TRIAD touches 3 arrays -> 3.0).
+        features: Loop features for the compiler model.
+        integer_kernel: True for kernels whose main datapath is integer
+            (REDUCE3_INT, FLOYD_WARSHALL-style) — these vectorize on the
+            C920 even at "FP64" configs, which is what drives the one
+            positive FP64 whisker in Figure 2.
+        parallel_fraction: Amdahl-law parallel fraction of one repetition.
+        vector_speedup_cap: Fraction (0-1] of the ideal lane speedup this
+            kernel's body can realize when vectorized (stride, shuffles
+            and tail handling eat into it).
+        traffic_scale: Fraction of the nominal per-iteration traffic that
+            must come from DRAM when the footprint misses cache entirely
+            (captures reuse inside the body, e.g. blocked matmul ~0.1).
+        regions_per_rep: OpenMP parallel regions launched per repetition.
+            Most kernels fork once, but e.g. HALOEXCHANGE launches one
+            region per (face, variable, direction) — the fork-join cost
+            multiplies accordingly, which is why the apps class loses to
+            threading overhead (Tables 1-3) and why the FUSED variant
+            exists.
+    """
+
+    flops_per_iter: float
+    reads_per_iter: float
+    writes_per_iter: float
+    footprint_elems: float
+    features: frozenset[LoopFeature] = field(default_factory=frozenset)
+    integer_kernel: bool = False
+    parallel_fraction: float = 1.0
+    vector_speedup_cap: float = 1.0
+    traffic_scale: float = 1.0
+    regions_per_rep: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops_per_iter < 0:
+            raise ConfigError("flops_per_iter must be >= 0")
+        if self.reads_per_iter < 0 or self.writes_per_iter < 0:
+            raise ConfigError("traffic per iteration must be >= 0")
+        if self.reads_per_iter + self.writes_per_iter == 0:
+            raise ConfigError("kernel must touch memory")
+        if self.footprint_elems <= 0:
+            raise ConfigError("footprint must be positive")
+        if not 0 < self.parallel_fraction <= 1:
+            raise ConfigError("parallel_fraction must be in (0, 1]")
+        if not 0 < self.vector_speedup_cap <= 1:
+            raise ConfigError("vector_speedup_cap must be in (0, 1]")
+        if not 0 < self.traffic_scale <= 1:
+            raise ConfigError("traffic_scale must be in (0, 1]")
+        if self.regions_per_rep < 1:
+            raise ConfigError("regions_per_rep must be >= 1")
+
+    def bytes_per_iter(self, dtype: DType) -> float:
+        """Nominal bytes moved per iteration for element type ``dtype``."""
+        return (self.reads_per_iter + self.writes_per_iter) * dtype.bytes
+
+    def arithmetic_intensity(self, dtype: DType) -> float:
+        """Flops per byte — the roofline x-axis."""
+        return self.flops_per_iter / self.bytes_per_iter(dtype)
+
+
+_NUMPY_DTYPES: Mapping[DType, type] = {
+    DType.FP32: np.float32,
+    DType.FP64: np.float64,
+    DType.INT32: np.int32,
+    DType.INT64: np.int64,
+}
+
+
+def numpy_dtype(dtype: DType):
+    """NumPy dtype object for a model :class:`DType`."""
+    try:
+        return _NUMPY_DTYPES[dtype]
+    except KeyError:
+        raise ConfigError(
+            f"kernels cannot execute with dtype {dtype.label}"
+        ) from None
+
+
+class Kernel(abc.ABC):
+    """Abstract RAJAPerf kernel.
+
+    Subclasses define ``name``, ``klass``, ``default_size``, ``reps``,
+    ``traits`` and the three executable methods. ``default_size`` is the
+    size of the *main* loop (RAJAPerf's "problem size"); ``reps`` is the
+    RAJAPerf repetition count used by the timing model — short kernels run
+    many reps, so per-rep fork/join overhead matters for them, which is
+    the mechanism behind the 64-thread collapse of the stream class in
+    Tables 1-3.
+    """
+
+    #: Unique kernel name, upper-case RAJAPerf spelling.
+    name: str = ""
+    #: Kernel class.
+    klass: KernelClass
+    #: Default problem size (main loop trip count).
+    default_size: int = 100_000
+    #: RAJAPerf repetition count at default size.
+    reps: int = 100
+    #: Static characterization.
+    traits: KernelTraits
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if getattr(cls, "name", ""):
+            if cls.default_size < 1:
+                raise ConfigError(f"{cls.name}: default_size must be >= 1")
+            if cls.reps < 1:
+                raise ConfigError(f"{cls.name}: reps must be >= 1")
+
+    # -- executable face ---------------------------------------------------
+
+    @abc.abstractmethod
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        """Allocate and deterministically initialize the workspace for
+        problem size ``n``. Must be reproducible: no global RNG."""
+
+    @abc.abstractmethod
+    def execute(self, ws: Workspace) -> None:
+        """Run one repetition in place on the workspace."""
+
+    def checksum(self, ws: Workspace) -> float:
+        """Collapse the kernel outputs to one float.
+
+        Default: sum of all floating arrays in the workspace. Kernels with
+        scalar outputs override this.
+        """
+        total = 0.0
+        for value in ws.values():
+            if isinstance(value, np.ndarray):
+                total += float(np.sum(value, dtype=np.float64))
+        return total
+
+    # -- characterized face --------------------------------------------------
+
+    def footprint_bytes(self, n: int, dtype: DType) -> float:
+        """Total resident bytes at problem size ``n``."""
+        return self.traits.footprint_elems * n * dtype.bytes
+
+    def total_flops(self, n: int, dtype: DType) -> float:
+        """Flops in one repetition at problem size ``n``."""
+        return self.traits.flops_per_iter * n
+
+    def total_bytes(self, n: int, dtype: DType) -> float:
+        """Nominal bytes moved in one repetition at size ``n``."""
+        return self.traits.bytes_per_iter(dtype) * n
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """Kernel-specific deterministic RNG for workspace init.
+
+        Seeded via BLAKE2 (not ``hash``, which is salted per process) so
+        workspaces — and therefore checksums — are reproducible across
+        runs and machines.
+        """
+        from repro.util.rng import derive_seed
+
+        seed = derive_seed("kernel-init", self.name, salt) % (2**32)
+        return np.random.default_rng(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel {self.name} ({self.klass.value})>"
+
+
+def linspace_init(n: int, dtype: DType, lo: float = 0.0,
+                  hi: float = 1.0) -> np.ndarray:
+    """Deterministic, dtype-correct array initialization used by most
+    kernels (matches RAJAPerf's predictable init data)."""
+    if n < 1:
+        raise ConfigError("array size must be >= 1")
+    return np.linspace(lo, hi, n, dtype=numpy_dtype(dtype))

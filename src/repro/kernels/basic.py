@@ -1,0 +1,600 @@
+"""Basic class: sixteen foundational kernels (DAXPY, matrix multiply,
+integer reduction, PI by reduction, ...).
+
+REDUCE3_INT is the class's one integer kernel: the C920 vectorizes INT64
+even though it cannot vectorize FP64, and the paper observes that this
+single kernel drives the basic class's small positive FP64-vectorization
+average in Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    linspace_init,
+    numpy_dtype,
+)
+from repro.machine.vector import DType
+
+_BASIC_SIZE = 1_000_000
+
+
+class Daxpy(Kernel):
+    """``y[i] += a * x[i]``."""
+
+    name = "DAXPY"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = linspace_init(n, dtype, 0.0, 1.0)
+        y = linspace_init(n, dtype, 1.0, 2.0)
+        return {"x": x, "y": y, "a": x.dtype.type(0.5)}
+
+    def execute(self, ws: Workspace) -> None:
+        # y += a*x in place: scale into a temp-free fused update.
+        y = ws["y"]
+        y += ws["a"] * ws["x"]
+
+
+class DaxpyAtomic(Kernel):
+    """DAXPY with an atomic update per element (RAJAPerf's atomic
+    variant). Same arithmetic, but the atomic defeats auto-vectorization
+    for GCC and serializes part of the update."""
+
+    name = "DAXPY_ATOMIC"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.STREAMING, LoopFeature.ATOMIC}),
+        parallel_fraction=0.95,
+        vector_speedup_cap=0.5,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = linspace_init(n, dtype, 0.0, 1.0)
+        y = linspace_init(n, dtype, 1.0, 2.0)
+        return {"x": x, "y": y, "a": x.dtype.type(0.5)}
+
+    def execute(self, ws: Workspace) -> None:
+        np.add.at(ws["y"], slice(None), ws["a"] * ws["x"])
+
+
+class IfQuad(Kernel):
+    """Solve ``a x^2 + b x + c = 0`` per element, guarded by a
+    discriminant conditional — RAJAPerf's branchy kernel."""
+
+    name = "IF_QUAD"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=11.0,
+        reads_per_iter=3.0,
+        writes_per_iter=2.0,
+        footprint_elems=5.0,
+        features=frozenset(
+            # sqrt lowers to a libm call on GCC 8's RISC-V backend.
+            {LoopFeature.STREAMING, LoopFeature.CONDITIONAL,
+             LoopFeature.MATH_CALL}
+        ),
+        vector_speedup_cap=0.6,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        a = (rng.random(n) + 0.5).astype(npdt)
+        b = (rng.random(n) * 4.0 + 2.0).astype(npdt)  # keeps disc > 0 mostly
+        c = (rng.random(n) * 0.5).astype(npdt)
+        return {
+            "a": a, "b": b, "c": c,
+            "x1": np.zeros(n, dtype=npdt),
+            "x2": np.zeros(n, dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        a, b, c = ws["a"], ws["b"], ws["c"]
+        disc = b * b - a * c * a.dtype.type(4.0)
+        ok = disc >= 0
+        root = np.sqrt(np.where(ok, disc, 0))
+        inv2a = a.dtype.type(0.5) / a
+        np.multiply((-b + root), inv2a, out=ws["x1"], where=ok)
+        np.multiply((-b - root), inv2a, out=ws["x2"], where=ok)
+
+
+class IndexList(Kernel):
+    """Build the list of indices where ``x < 0`` — a stream-compaction
+    with a scan dependence on the output position."""
+
+    name = "INDEXLIST"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=1.0,
+        writes_per_iter=0.5,
+        footprint_elems=2.0,
+        features=frozenset(
+            {LoopFeature.CONDITIONAL, LoopFeature.INDIRECTION}
+        ),
+        parallel_fraction=0.85,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = (self.rng().random(n) - 0.5).astype(numpy_dtype(dtype))
+        return {"x": x, "list": np.zeros(n, dtype=np.int64), "len": 0}
+
+    def execute(self, ws: Workspace) -> None:
+        idx = np.nonzero(ws["x"] < 0)[0]
+        ws["list"][: idx.size] = idx
+        ws["len"] = int(idx.size)
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(ws["len"]) + float(
+            np.sum(ws["list"][: ws["len"]], dtype=np.float64)
+        ) / max(1, ws["len"])
+
+
+class IndexList3Loop(Kernel):
+    """Three-pass INDEXLIST: flag, exclusive scan, fill — the
+    parallel-friendly formulation."""
+
+    name = "INDEXLIST_3LOOP"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=3.0,
+        writes_per_iter=2.0,
+        footprint_elems=3.0,
+        features=frozenset(
+            {LoopFeature.CONDITIONAL, LoopFeature.INDIRECTION}
+        ),
+        parallel_fraction=0.92,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = (self.rng().random(n) - 0.5).astype(numpy_dtype(dtype))
+        return {
+            "x": x,
+            "counts": np.zeros(n + 1, dtype=np.int64),
+            "list": np.zeros(n, dtype=np.int64),
+            "len": 0,
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x, counts = ws["x"], ws["counts"]
+        flags = (x < 0).astype(np.int64)
+        counts[0] = 0
+        np.cumsum(flags, out=counts[1:])
+        total = int(counts[-1])
+        positions = counts[:-1][flags.astype(bool)]
+        ws["list"][:total] = np.nonzero(flags)[0]
+        ws["len"] = total
+        # positions are exactly 0..total-1 by construction; keep the
+        # assertion cheap but real so a broken scan fails tests.
+        assert positions.size == total
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(ws["len"]) + float(
+            np.sum(ws["list"][: ws["len"]], dtype=np.float64)
+        ) / max(1, ws["len"])
+
+
+class Init3(Kernel):
+    """``out1[i] = out2[i] = out3[i] = -in1[i] - in2[i]``."""
+
+    name = "INIT3"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=2.0,
+        writes_per_iter=3.0,
+        footprint_elems=5.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        in1 = linspace_init(n, dtype, 0.0, 1.0)
+        in2 = linspace_init(n, dtype, 1.0, 2.0)
+        z = np.zeros_like(in1)
+        return {
+            "in1": in1, "in2": in2,
+            "out1": z.copy(), "out2": z.copy(), "out3": z.copy(),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.add(ws["in1"], ws["in2"], out=ws["out1"])
+        np.negative(ws["out1"], out=ws["out1"])
+        np.copyto(ws["out2"], ws["out1"])
+        np.copyto(ws["out3"], ws["out1"])
+
+
+class InitView1d(Kernel):
+    """``a[i] = (i+1) * v`` through a RAJA view."""
+
+    name = "INIT_VIEW1D"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=0.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        return {
+            "a": np.zeros(n, dtype=npdt),
+            "v": npdt(0.00000123),
+            "iota": np.arange(1, n + 1, dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.multiply(ws["iota"], ws["v"], out=ws["a"])
+
+
+class InitView1dOffset(Kernel):
+    """``a[i-ibegin] = i * v`` — INIT_VIEW1D with an offset layout."""
+
+    name = "INIT_VIEW1D_OFFSET"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=0.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        return {
+            "a": np.zeros(n, dtype=npdt),
+            "v": npdt(0.00000123),
+            "iota": np.arange(1, n + 1, dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.multiply(ws["iota"], ws["v"], out=ws["a"])
+
+
+class MatMatShared(Kernel):
+    """Tiled dense matmul using shared/tile-local storage
+    (RAJAPerf's MAT_MAT_SHARED). Problem size n maps to an
+    ``N = sqrt(n)`` square matrix."""
+
+    name = "MAT_MAT_SHARED"
+    klass = KernelClass.BASIC
+    default_size = 1_000_000  # -> N = 1000
+    reps = 10
+    traits = KernelTraits(
+        flops_per_iter=2000.0,  # 2N flops per output element at N=1000
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=frozenset({LoopFeature.OUTER_ONLY_PARALLEL}),
+        traffic_scale=0.1,  # tiling reuses cached tiles
+        vector_speedup_cap=0.8,
+    )
+
+    @staticmethod
+    def matrix_dim(n: int) -> int:
+        return max(2, int(round(n ** 0.5)))
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = self.matrix_dim(n)
+        npdt = numpy_dtype(dtype)
+        a = linspace_init(dim * dim, dtype, 0.0, 1.0).reshape(dim, dim)
+        b = linspace_init(dim * dim, dtype, 1.0, 2.0).reshape(dim, dim)
+        return {"a": a, "b": b, "c": np.zeros((dim, dim), dtype=npdt)}
+
+    def execute(self, ws: Workspace) -> None:
+        np.matmul(ws["a"], ws["b"], out=ws["c"])
+
+
+class MulAddSub(Kernel):
+    """``out1 = in1*in2; out2 = in1+in2; out3 = in1-in2``."""
+
+    name = "MULADDSUB"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=3.0,
+        reads_per_iter=2.0,
+        writes_per_iter=3.0,
+        footprint_elems=5.0,
+        features=frozenset({LoopFeature.STREAMING}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        in1 = linspace_init(n, dtype, 0.0, 1.0)
+        in2 = linspace_init(n, dtype, 1.0, 2.0)
+        z = np.zeros_like(in1)
+        return {
+            "in1": in1, "in2": in2,
+            "out1": z.copy(), "out2": z.copy(), "out3": z.copy(),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.multiply(ws["in1"], ws["in2"], out=ws["out1"])
+        np.add(ws["in1"], ws["in2"], out=ws["out2"])
+        np.subtract(ws["in1"], ws["in2"], out=ws["out3"])
+
+
+class NestedInit(Kernel):
+    """``array[i,j,k] = i*j*k`` over a 3D nest; n maps to a cube of side
+    ``cbrt(n)``."""
+
+    name = "NESTED_INIT"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=0.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.STREAMING, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+    )
+
+    @staticmethod
+    def cube_dim(n: int) -> int:
+        return max(2, int(round(n ** (1.0 / 3.0))))
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = self.cube_dim(n)
+        npdt = numpy_dtype(dtype)
+        iota = np.arange(dim, dtype=npdt)
+        return {
+            "array": np.zeros((dim, dim, dim), dtype=npdt),
+            "i": iota.reshape(dim, 1, 1),
+            "j": iota.reshape(1, dim, 1),
+            "k": iota.reshape(1, 1, dim),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        ws["array"][...] = ws["i"] * ws["j"] * ws["k"]
+
+
+class PiAtomic(Kernel):
+    """Compute pi by quadrature with an atomic accumulator."""
+
+    name = "PI_ATOMIC"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=6.0,
+        reads_per_iter=0.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset({LoopFeature.ATOMIC, LoopFeature.REDUCTION_SUM}),
+        parallel_fraction=0.80,
+        vector_speedup_cap=0.4,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        dx = 1.0 / n
+        x = (np.arange(n, dtype=np.float64) + 0.5) * dx
+        return {"x": x.astype(npdt), "dx": npdt(dx), "pi": 0.0}
+
+    def execute(self, ws: Workspace) -> None:
+        x = ws["x"].astype(np.float64)
+        ws["pi"] = float(np.sum(4.0 / (1.0 + x * x)) * float(ws["dx"]))
+
+    def checksum(self, ws: Workspace) -> float:
+        return ws["pi"]
+
+
+class PiReduce(Kernel):
+    """Compute pi by quadrature with an OpenMP-style reduction."""
+
+    name = "PI_REDUCE"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=6.0,
+        reads_per_iter=0.0,
+        writes_per_iter=0.0001,  # one scalar result
+        footprint_elems=1.0,
+        features=frozenset({LoopFeature.REDUCTION_SUM}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        dx = 1.0 / n
+        x = (np.arange(n, dtype=np.float64) + 0.5) * dx
+        return {"x": x.astype(npdt), "dx": npdt(dx), "pi": 0.0}
+
+    def execute(self, ws: Workspace) -> None:
+        x = ws["x"].astype(np.float64)
+        ws["pi"] = float(np.sum(4.0 / (1.0 + x * x)) * float(ws["dx"]))
+
+    def checksum(self, ws: Workspace) -> float:
+        return ws["pi"]
+
+
+class Reduce3Int(Kernel):
+    """Sum, min and max of an **integer** array in one pass.
+
+    The class's integer kernel: the C920 vectorizes INT64 even at the
+    FP64 configuration, producing the positive FP64 whisker the paper
+    calls out in Figure 2.
+    """
+
+    name = "REDUCE3_INT"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=3.0,
+        reads_per_iter=1.0,
+        writes_per_iter=0.0,
+        footprint_elems=1.0,
+        features=frozenset(
+            {
+                LoopFeature.STREAMING,
+                LoopFeature.REDUCTION_SUM,
+                LoopFeature.REDUCTION_MINMAX,
+            }
+        ),
+        integer_kernel=True,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        # Integer kernel: precision selects int width, mirroring how the
+        # suite maps FP32 -> INT32, FP64 -> INT64.
+        npdt = np.int32 if dtype == DType.FP32 else np.int64
+        vals = self.rng().integers(-1000, 1000, size=n).astype(npdt)
+        return {"x": vals, "sum": 0, "min": 0, "max": 0}
+
+    def execute(self, ws: Workspace) -> None:
+        x = ws["x"]
+        ws["sum"] = int(np.sum(x, dtype=np.int64))
+        ws["min"] = int(np.min(x))
+        ws["max"] = int(np.max(x))
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(ws["sum"] + ws["min"] + ws["max"])
+
+
+class ReduceStruct(Kernel):
+    """Reduce x/y particle coordinates to sums and bounding box
+    (RAJAPerf's struct-of-arrays reduction)."""
+
+    name = "REDUCE_STRUCT"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=6.0,
+        reads_per_iter=2.0,
+        writes_per_iter=0.0,
+        footprint_elems=2.0,
+        features=frozenset(
+            {
+                LoopFeature.STREAMING,
+                LoopFeature.REDUCTION_SUM,
+                LoopFeature.REDUCTION_MINMAX,
+                # Float min/max without -ffast-math lowers to compare
+                # branches GCC 8 will not vectorize (NaN semantics);
+                # the *integer* min/max idiom in REDUCE3_INT is fine.
+                LoopFeature.CONDITIONAL,
+            }
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        return {
+            "x": linspace_init(n, dtype, 0.0, 1.0),
+            "y": linspace_init(n, dtype, -1.0, 1.0),
+            "out": np.zeros(6, dtype=np.float64),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x, y = ws["x"], ws["y"]
+        out = ws["out"]
+        out[0] = np.sum(x, dtype=np.float64)
+        out[1] = np.min(x)
+        out[2] = np.max(x)
+        out[3] = np.sum(y, dtype=np.float64)
+        out[4] = np.min(y)
+        out[5] = np.max(y)
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(np.sum(ws["out"]))
+
+
+class TrapInt(Kernel):
+    """Trapezoidal integration of RAJAPerf's test integrand — a reduction
+    whose body is expensive enough to be compute-bound."""
+
+    name = "TRAP_INT"
+    klass = KernelClass.BASIC
+    default_size = _BASIC_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=10.0,
+        reads_per_iter=0.0,
+        writes_per_iter=0.0001,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.REDUCTION_SUM, LoopFeature.MATH_CALL}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        h = 1.0 / n
+        x0 = 0.0
+        return {
+            "n": n,
+            "h": npdt(h),
+            "x": ((np.arange(n, dtype=np.float64) + 0.5) * h + x0).astype(npdt),
+            "sumx": 0.0,
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        x = ws["x"].astype(np.float64)
+        # RAJAPerf's trap_int_func: x^2 / sqrt(2 + x^2 y^2) with y = x.
+        vals = (x * x) / np.sqrt(2.0 + (x * x) * (x * x))
+        ws["sumx"] = float(np.sum(vals) * float(ws["h"]))
+
+    def checksum(self, ws: Workspace) -> float:
+        return ws["sumx"]
+
+
+BASIC_KERNELS = (
+    Daxpy,
+    DaxpyAtomic,
+    IfQuad,
+    IndexList,
+    IndexList3Loop,
+    Init3,
+    InitView1d,
+    InitView1dOffset,
+    MatMatShared,
+    MulAddSub,
+    NestedInit,
+    PiAtomic,
+    PiReduce,
+    Reduce3Int,
+    ReduceStruct,
+    TrapInt,
+)

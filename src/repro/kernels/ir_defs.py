@@ -1,0 +1,486 @@
+"""Loop-nest IR sketches for all 64 RAJAPerf kernels.
+
+Each entry mirrors the corresponding C++ kernel's loop structure closely
+enough for the static analyses in :mod:`repro.compiler.analysis` to
+derive its vectorizer-relevant features. The derived features are pinned
+to the declared kernel traits in ``tests/compiler/test_analysis.py`` —
+any drift between the two representations fails loudly.
+
+Conventions: ``TRIP_N`` is the symbolic problem size; stride values are
+element strides of the innermost loop (``ROW`` stands for a symbolic
+row-length stride in 2D/3D nests, any value with |stride| > 1 behaves
+identically in the analysis); ``stride=None`` marks indirect
+(gather/scatter) accesses.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Call,
+    Compute,
+    Loop,
+    LoopNest,
+    Recurrence,
+    Reduce,
+    ReduceOp,
+    Scan,
+    TRIP_N,
+    read,
+    write,
+)
+from repro.util.errors import ConfigError
+
+#: Symbolic "one matrix row" stride for 2D/3D plane neighbours.
+ROW = 1024
+
+
+def _elementwise(*arrays_out, reads=(), conditional=False,
+                 math_calls=(), atomic=False) -> LoopNest:
+    """A single unit-stride elementwise loop."""
+    accesses = tuple(read(a) for a in reads) + tuple(
+        write(a) for a in arrays_out
+    )
+    return LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute(accesses, conditional=conditional,
+                        math_calls=math_calls, atomic=atomic),
+            )),
+        )
+    )
+
+
+def _stencil(out: str, in_: str, offsets, restrict_pointers: bool,
+             extra_reads=()) -> LoopNest:
+    accesses = tuple(
+        read(in_, offset=off) for off in offsets
+    ) + tuple(read(a) for a in extra_reads) + (write(out),)
+    return LoopNest(
+        loops=(Loop(TRIP_N, body=(Compute(accesses),)),),
+        restrict_pointers=restrict_pointers,
+    )
+
+
+def _matmul_nest() -> LoopNest:
+    """GEMM nest after the vectorizer's loop interchange (ikj order):
+    unit-stride accesses, symbolic-trip innermost reduction."""
+    return LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    Loop(TRIP_N, parallel=False, body=(
+                        Reduce(ReduceOp.SUM, (read("A"), read("B"))),
+                    )),
+                )),
+            )),
+        )
+    )
+
+
+def _matvec_nest(arrays=("A",)) -> LoopNest:
+    """i/j matvec nest: nested reduction per output element."""
+    reads = tuple(read(a) for a in arrays) + (read("x"),)
+    return LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    Reduce(ReduceOp.SUM, reads),
+                )),
+            )),
+        )
+    )
+
+
+def _fem_nest() -> LoopNest:
+    """Partial-assembly FEM: per-element tensor contractions with
+    non-unit tensor strides, constant-trip inner loops."""
+    return LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(4, parallel=False, body=(
+                    Loop(4, parallel=False, body=(
+                        Compute((read("dofs", stride=4),
+                                 read("basis", stride=4),
+                                 write("out", stride=4))),
+                    )),
+                )),
+            )),
+        )
+    )
+
+
+KERNEL_IR: dict[str, LoopNest] = {
+    # --- Algorithm -------------------------------------------------------
+    "SCAN": LoopNest(
+        loops=(Loop(TRIP_N, body=(Scan((read("x"), write("y"))),)),)
+    ),
+    "SORT": LoopNest(loops=(Loop(TRIP_N, body=(Call("std::sort"),)),)),
+    "SORTPAIRS": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(Call("std::sort"),)),
+            Loop(TRIP_N, body=(
+                Compute((read("vals", stride=None), write("out_vals"))),
+            )),
+        )
+    ),
+    "REDUCE_SUM": LoopNest(
+        loops=(Loop(TRIP_N, body=(Reduce(ReduceOp.SUM, (read("x"),)),)),)
+    ),
+    "MEMSET": _elementwise("x"),
+    "MEMCPY": _elementwise("y", reads=("x",)),
+    # --- Apps --------------------------------------------------------------
+    "CONVECTION3DPA": _fem_nest(),
+    "DIFFUSION3DPA": _fem_nest(),
+    "MASS3DPA": _fem_nest(),
+    "LTIMES": _fem_nest(),
+    "LTIMES_NOVIEW": _fem_nest(),
+    "DEL_DOT_VEC_2D": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((
+                    read("x", stride=None), read("y", stride=None),
+                    read("xdot", stride=None), read("ydot", stride=None),
+                    write("div"),
+                )),
+            )),
+        )
+    ),
+    "ENERGY": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("e_old"), read("delvc"), write("e_new")),
+                        conditional=True),
+            )),
+            Loop(TRIP_N, body=(
+                Compute((read("pbvc"), read("bvc"), write("q_new")),
+                        conditional=True, math_calls=("sqrt",)),
+            )),
+        )
+    ),
+    "FIR": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute(tuple(
+                    read("in", offset=j) for j in range(16)
+                ) + (write("out"),)),
+            )),
+        )
+    ),
+    "HALOEXCHANGE": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("var", stride=None), write("buffer"))),
+            )),
+            Loop(TRIP_N, body=(
+                Compute((read("buffer"), write("var", stride=None))),
+            )),
+        )
+    ),
+    "HALOEXCHANGE_FUSED": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("vars", stride=None), write("buffer"))),
+            )),
+            Loop(TRIP_N, body=(
+                Compute((read("buffer"), write("vars", stride=None))),
+            )),
+        )
+    ),
+    "NODAL_ACCUMULATION_3D": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("vol"), write("x", stride=None)),
+                        atomic=True),
+            )),
+        )
+    ),
+    "PRESSURE": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("compression"), write("bvc"))),
+            )),
+            Loop(TRIP_N, body=(
+                Compute((read("bvc"), read("e_old"), write("p_new")),
+                        conditional=True),
+            )),
+        )
+    ),
+    "VOL3D": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute(tuple(
+                    read(a, offset=off)
+                    for a in ("x", "y", "z")
+                    for off in (0, 1, ROW, ROW + 1)
+                ) + (write("vol"),)),
+            )),
+        ),
+        # x/y/z/vol are plain pointers into one mesh allocation.
+        restrict_pointers=False,
+    ),
+    # --- Basic -------------------------------------------------------------
+    "DAXPY": _elementwise("y", reads=("x", "y")),
+    "DAXPY_ATOMIC": _elementwise("y", reads=("x", "y"), atomic=True),
+    "IF_QUAD": _elementwise(
+        "x1", "x2", reads=("a", "b", "c"), conditional=True,
+        math_calls=("sqrt",),
+    ),
+    "INDEXLIST": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("x"), write("list", stride=None)),
+                        conditional=True),
+            )),
+        )
+    ),
+    "INDEXLIST_3LOOP": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("x"), write("counts")), conditional=True),
+            )),
+            # The scan pass is a library/parallel-primitive scan in the
+            # three-loop formulation; the fill pass scatters through the
+            # counts.
+            Loop(TRIP_N, body=(
+                Compute((read("counts"),
+                         write("list", stride=None)),
+                        conditional=True),
+            )),
+        )
+    ),
+    "INIT3": _elementwise("out1", "out2", "out3", reads=("in1", "in2")),
+    "INIT_VIEW1D": _elementwise("a"),
+    "INIT_VIEW1D_OFFSET": _elementwise("a"),
+    "MAT_MAT_SHARED": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(16, parallel=False, body=(
+                    Loop(16, parallel=False, body=(
+                        Reduce(ReduceOp.SUM,
+                               (read("tile_a"), read("tile_b"))),
+                    )),
+                )),
+            )),
+        )
+    ),
+    "MULADDSUB": _elementwise(
+        "out1", "out2", "out3", reads=("in1", "in2")
+    ),
+    "NESTED_INIT": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    Loop(TRIP_N, parallel=False, body=(
+                        Compute((write("array"),)),
+                    )),
+                )),
+            )),
+        )
+    ),
+    "PI_ATOMIC": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Reduce(ReduceOp.SUM, (read("x"),), atomic=True),
+            )),
+        )
+    ),
+    "PI_REDUCE": LoopNest(
+        loops=(Loop(TRIP_N, body=(Reduce(ReduceOp.SUM, (read("x"),)),)),)
+    ),
+    "REDUCE3_INT": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Reduce(ReduceOp.SUM, (read("x"),), is_float=False),
+                Reduce(ReduceOp.MIN, (read("x"),), is_float=False),
+                Reduce(ReduceOp.MAX, (read("x"),), is_float=False),
+            )),
+        )
+    ),
+    "REDUCE_STRUCT": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Reduce(ReduceOp.SUM, (read("x"),)),
+                Reduce(ReduceOp.MIN, (read("x"),)),
+                Reduce(ReduceOp.MAX, (read("x"),)),
+                Reduce(ReduceOp.SUM, (read("y"),)),
+                Reduce(ReduceOp.MIN, (read("y"),)),
+                Reduce(ReduceOp.MAX, (read("y"),)),
+            )),
+        )
+    ),
+    "TRAP_INT": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Reduce(ReduceOp.SUM, (read("x"),),
+                       math_calls=("sqrt",)),
+            )),
+        )
+    ),
+    # --- Lcals -------------------------------------------------------------
+    "DIFF_PREDICT": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("px", stride=14), read("cx"),
+                         write("px", stride=14))),
+            )),
+        )
+    ),
+    "EOS": _stencil("x", "u", offsets=(0, 1, 2, 3, 4, 5, 6),
+                    restrict_pointers=False, extra_reads=("y", "z")),
+    "FIRST_DIFF": _stencil("x", "y", offsets=(0, 1),
+                           restrict_pointers=True),
+    "FIRST_MIN": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Reduce(ReduceOp.MINLOC, (read("x"),), is_float=True),
+            )),
+        )
+    ),
+    "FIRST_SUM": _stencil("x", "y", offsets=(-1, 0),
+                          restrict_pointers=False),
+    "GEN_LIN_RECUR": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=False, body=(
+                Recurrence((read("sa"), read("sb"), write("b5")),
+                           distance=1),
+            )),
+        )
+    ),
+    "HYDRO_1D": _stencil("x", "z", offsets=(10, 11),
+                         restrict_pointers=True, extra_reads=("y",)),
+    "HYDRO_2D": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    Compute((
+                        read("zp", offset=-ROW), read("zq", offset=-ROW),
+                        read("zr"), read("zm"), write("za"),
+                    )),
+                    Compute((
+                        read("za"), read("zb", offset=ROW),
+                        read("zz", offset=1), write("zu"),
+                    )),
+                )),
+            )),
+        ),
+        restrict_pointers=False,
+    ),
+    "INT_PREDICT": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("px", stride=13), write("px", stride=13))),
+            )),
+        )
+    ),
+    "PLANCKIAN": _elementwise(
+        "w", "y", reads=("x", "u", "v"), math_calls=("exp",)
+    ),
+    "TRIDIAG_ELIM": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=False, body=(
+                Recurrence((read("y"), read("z"), write("x")),
+                           distance=1),
+            )),
+        )
+    ),
+    # --- Polybench ---------------------------------------------------------
+    "2MM": _matmul_nest(),
+    "3MM": _matmul_nest(),
+    "GEMM": _matmul_nest(),
+    "ADI": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    # Sweeps vectorize only across the orthogonal axis:
+                    # column-stride accesses.
+                    Compute((read("u", stride=ROW),
+                             write("v", stride=ROW))),
+                )),
+            )),
+        )
+    ),
+    "ATAX": _matvec_nest(),
+    "FDTD_2D": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Compute((read("hz", offset=0), read("hz", offset=-1),
+                         write("ey"))),
+            )),
+            Loop(TRIP_N, body=(
+                Compute((read("ex", offset=1), read("ey", offset=ROW),
+                         write("hz"))),
+            )),
+        ),
+        restrict_pointers=False,
+    ),
+    "FLOYD_WARSHALL": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=False, body=(  # pivot k
+                Loop(TRIP_N, parallel=True, body=(
+                    Loop(TRIP_N, parallel=False, body=(
+                        # path[i,j] = min(path[i,j], ...) on floats:
+                        # a compare-branch for GCC 8.
+                        Compute((read("path"), read("path_k"),
+                                 write("path")), conditional=True),
+                    )),
+                )),
+            )),
+        )
+    ),
+    "GEMVER": _matvec_nest(arrays=("A", "u1")),
+    "GESUMMV": _matvec_nest(arrays=("A", "B")),
+    "HEAT_3D": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    Loop(TRIP_N, parallel=False, body=(
+                        Compute((
+                            read("A", offset=0), read("A", offset=1),
+                            read("A", offset=-1),
+                            read("A", stride=ROW),
+                            read("A", stride=ROW * ROW),
+                            write("B"),
+                        )),
+                    )),
+                )),
+            )),
+        )
+    ),
+    "JACOBI_1D": _stencil("B", "A", offsets=(-1, 0, 1),
+                          restrict_pointers=False),
+    "JACOBI_2D": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=True, body=(
+                Loop(TRIP_N, parallel=False, body=(
+                    Compute((
+                        read("A", offset=0), read("A", offset=-1),
+                        read("A", offset=1), read("A", offset=-ROW),
+                        read("A", offset=ROW), write("B"),
+                    )),
+                )),
+            )),
+        ),
+        restrict_pointers=False,
+    ),
+    "MVT": _matvec_nest(),
+    # --- Stream ------------------------------------------------------------
+    "ADD": _elementwise("c", reads=("a", "b")),
+    "COPY": _elementwise("c", reads=("a",)),
+    "DOT": LoopNest(
+        loops=(
+            Loop(TRIP_N, body=(
+                Reduce(ReduceOp.SUM, (read("a"), read("b"))),
+            )),
+        )
+    ),
+    "MUL": _elementwise("b", reads=("c",)),
+    "TRIAD": _elementwise("a", reads=("b", "c")),
+}
+
+
+def ir_for(kernel_name: str) -> LoopNest:
+    """The IR sketch for one kernel (by RAJAPerf name)."""
+    key = kernel_name.upper()
+    if key not in KERNEL_IR:
+        raise ConfigError(f"no IR defined for kernel {kernel_name!r}")
+    return KERNEL_IR[key]

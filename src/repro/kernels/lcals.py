@@ -1,0 +1,463 @@
+"""Lcals class: the Livermore Compiler Analysis Loop Suite (11 kernels).
+
+Includes tridiagonal elimination and the general linear recurrence — true
+loop-carried dependences that no compiler vectorizes directly. Their NumPy
+implementations use recursive doubling (O(n log n) but fully vectorized),
+a standard parallel reformulation of first-order recurrences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    linspace_init,
+    numpy_dtype,
+)
+from repro.machine.vector import DType
+
+_LCALS_SIZE = 1_000_000
+
+
+def solve_linear_recurrence(
+    coef: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve ``x[i] = rhs[i] + coef[i] * x[i-1]`` (with ``x[-1] = 0``)
+    by recursive doubling in float64.
+
+    Composition of the affine maps ``x -> rhs + coef*x`` is associative,
+    so log2(n) vectorized passes suffice — the classic parallel scan
+    formulation of a first-order linear recurrence.
+    """
+    x = rhs.astype(np.float64).copy()
+    c = coef.astype(np.float64).copy()
+    n = x.size
+    shift = 1
+    while shift < n:
+        x[shift:] = x[shift:] + c[shift:] * x[:-shift]
+        c[shift:] = c[shift:] * c[:-shift]
+        shift *= 2
+    return x
+
+
+class DiffPredict(Kernel):
+    """LCALS kernel 2: difference predictors — 13-term elementwise update
+    over a strided predictor array."""
+
+    name = "DIFF_PREDICT"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=13.0,
+        reads_per_iter=14.0,
+        writes_per_iter=13.0,
+        footprint_elems=28.0,
+        features=frozenset({LoopFeature.NONUNIT_STRIDE}),
+        vector_speedup_cap=0.6,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        px = self.rng().random((14, n)).astype(npdt)
+        cx = self.rng(1).random(n).astype(npdt)
+        return {"px": px, "cx": cx}
+
+    def execute(self, ws: Workspace) -> None:
+        px, cx = ws["px"], ws["cx"]
+        ar = cx.copy()
+        for j in range(13):
+            br = ar - px[j]
+            px[j] = ar
+            ar = br
+
+
+class Eos(Kernel):
+    """LCALS equation-of-state fragment: elementwise with forward stencil
+    reads on ``u``."""
+
+    name = "EOS"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 300
+    traits = KernelTraits(
+        flops_per_iter=16.0,
+        reads_per_iter=4.0,
+        writes_per_iter=1.0,
+        footprint_elems=4.0,
+        features=frozenset(
+            {LoopFeature.STREAMING, LoopFeature.STENCIL,
+             LoopFeature.ALIAS_UNPROVABLE}
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        m = n + 8
+        return {
+            "x": np.zeros(n, dtype=npdt),
+            "y": linspace_init(m, dtype, 0.0, 1.0),
+            "z": linspace_init(m, dtype, 1.0, 2.0),
+            "u": linspace_init(m, dtype, 0.5, 1.5),
+            "q": npdt(0.5), "r": npdt(0.25), "t": npdt(0.125),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        n = ws["x"].size
+        y, z, u = ws["y"], ws["z"], ws["u"]
+        q, r, t = ws["q"], ws["r"], ws["t"]
+        ws["x"][:] = (
+            u[:n]
+            + r * (z[:n] + r * y[:n])
+            + t * (
+                u[3 : n + 3]
+                + r * (u[2 : n + 2] + r * u[1 : n + 1])
+                + t * (u[6 : n + 6] + q * (u[5 : n + 5] + q * u[4 : n + 4]))
+            )
+        )
+
+
+class FirstDiff(Kernel):
+    """LCALS first difference: ``x[i] = y[i+1] - y[i]``."""
+
+    name = "FIRST_DIFF"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset({LoopFeature.STREAMING, LoopFeature.STENCIL}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        y = linspace_init(n + 1, dtype, 0.0, 1.0) ** 2
+        return {"x": np.zeros(n, dtype=y.dtype), "y": y}
+
+    def execute(self, ws: Workspace) -> None:
+        y = ws["y"]
+        np.subtract(y[1:], y[:-1], out=ws["x"])
+
+
+class FirstMin(Kernel):
+    """LCALS first minimum: value and location of the array minimum —
+    a min-with-index reduction compilers struggle to vectorize."""
+
+    name = "FIRST_MIN"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 300
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=1.0,
+        writes_per_iter=0.0,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.REDUCTION_MINMAX, LoopFeature.CONDITIONAL}
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        x = self.rng().random(n).astype(numpy_dtype(dtype))
+        x[n // 2] = -1.0
+        return {"x": x, "loc": 0, "val": 0.0}
+
+    def execute(self, ws: Workspace) -> None:
+        ws["loc"] = int(np.argmin(ws["x"]))
+        ws["val"] = float(ws["x"][ws["loc"]])
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(ws["loc"]) + ws["val"]
+
+
+class FirstSum(Kernel):
+    """LCALS first sum: ``x[i] = y[i-1] + y[i]``."""
+
+    name = "FIRST_SUM"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset(
+            {LoopFeature.STREAMING, LoopFeature.STENCIL,
+             LoopFeature.ALIAS_UNPROVABLE}
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        y = linspace_init(n, dtype, 0.0, 1.0) ** 2
+        return {"x": np.zeros_like(y), "y": y}
+
+    def execute(self, ws: Workspace) -> None:
+        x, y = ws["x"], ws["y"]
+        x[0] = y[0] + y[0]
+        np.add(y[:-1], y[1:], out=x[1:])
+
+
+class GenLinRecur(Kernel):
+    """LCALS general linear recurrence: ``b5[k] = sa[k] + sb[k]*b5[k-1]``
+    — a true sequential dependence, solved here by recursive doubling."""
+
+    name = "GEN_LIN_RECUR"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=4.0,
+        reads_per_iter=3.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=frozenset({LoopFeature.LOOP_CARRIED_DEP}),
+        parallel_fraction=0.70,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        sa = rng.random(n).astype(npdt)
+        # Coefficients below 1 in magnitude keep the recurrence stable.
+        sb = (rng.random(n) * 0.9 - 0.45).astype(npdt)
+        return {"sa": sa, "sb": sb, "b5": np.zeros(n, dtype=npdt)}
+
+    def execute(self, ws: Workspace) -> None:
+        result = solve_linear_recurrence(ws["sb"], ws["sa"])
+        ws["b5"][:] = result.astype(ws["b5"].dtype)
+
+
+class Hydro1d(Kernel):
+    """LCALS hydro fragment: ``x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])``."""
+
+    name = "HYDRO_1D"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 500
+    traits = KernelTraits(
+        flops_per_iter=5.0,
+        reads_per_iter=3.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=frozenset({LoopFeature.STREAMING, LoopFeature.STENCIL}),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        return {
+            "x": np.zeros(n, dtype=npdt),
+            "y": linspace_init(n, dtype, 0.0, 1.0),
+            "z": linspace_init(n + 12, dtype, 1.0, 2.0),
+            "q": npdt(0.5), "r": npdt(0.25), "t": npdt(0.125),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        n = ws["x"].size
+        z = ws["z"]
+        ws["x"][:] = ws["q"] + ws["y"] * (
+            ws["r"] * z[10 : n + 10] + ws["t"] * z[11 : n + 11]
+        )
+
+
+class Hydro2d(Kernel):
+    """LCALS 2D hydrodynamics fragment over ``sqrt(n)``-sided grids with
+    neighbour stencils."""
+
+    name = "HYDRO_2D"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=20.0,
+        reads_per_iter=12.0,
+        writes_per_iter=3.0,
+        footprint_elems=9.0,
+        features=frozenset(
+            {LoopFeature.STENCIL, LoopFeature.OUTER_ONLY_PARALLEL,
+             LoopFeature.ALIAS_UNPROVABLE}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    @staticmethod
+    def grid_dim(n: int) -> int:
+        return max(4, int(round(n ** 0.5)))
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = self.grid_dim(n)
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        shape = (dim, dim)
+        return {
+            "za": np.zeros(shape, dtype=npdt),
+            "zb": np.zeros(shape, dtype=npdt),
+            "zm": np.zeros(shape, dtype=npdt),
+            "zp": rng.random(shape).astype(npdt),
+            "zq": rng.random(shape).astype(npdt),
+            "zr": rng.random(shape).astype(npdt),
+            "zu": rng.random(shape).astype(npdt),
+            "zv": rng.random(shape).astype(npdt),
+            "zz": rng.random(shape).astype(npdt),
+            "s": npdt(0.0041),
+            "t": npdt(0.0037),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        zp, zq, zr = ws["zp"], ws["zq"], ws["zr"]
+        zu, zv, zz = ws["zu"], ws["zv"], ws["zz"]
+        za, zb, zm = ws["za"], ws["zb"], ws["zm"]
+        s, t = ws["s"], ws["t"]
+        j = slice(1, -1)
+        jm = slice(0, -2)
+        jp = slice(2, None)
+        za[j, j] = (
+            (zp[jm, j] + zq[jm, j])
+            * (zr[j, j] + zr[jm, j])
+            / (zm[jm, j] + zm[j, j] + 1.0)
+        )
+        zb[j, j] = (
+            (zp[j, jm] + zq[j, jm])
+            * (zr[j, j] + zr[j, jm])
+            / (zm[j, jm] + zm[j, j] + 1.0)
+        )
+        zu[j, j] += s * (
+            za[j, j] * (zz[j, j] - zz[j, jp])
+            - za[j, jm] * (zz[j, j] - zz[j, jm])
+            - zb[j, j] * (zz[j, j] - zz[jm, j])
+            + zb[jp, j] * (zz[j, j] - zz[jp, j])
+        )
+        zv[j, j] += s * (
+            za[j, j] * (zr[j, j] - zr[j, jp])
+            - za[j, jm] * (zr[j, j] - zr[j, jm])
+            - zb[j, j] * (zr[j, j] - zr[jm, j])
+            + zb[jp, j] * (zr[j, j] - zr[jp, j])
+        )
+        zr[j, j] = zr[j, j] + t * zu[j, j]
+        zz[j, j] = zz[j, j] + t * zv[j, j]
+
+
+class IntPredict(Kernel):
+    """LCALS integrate predictors: elementwise polynomial combination of
+    13 predictor terms."""
+
+    name = "INT_PREDICT"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 300
+    traits = KernelTraits(
+        flops_per_iter=17.0,
+        reads_per_iter=13.0,
+        writes_per_iter=1.0,
+        footprint_elems=13.0,
+        features=frozenset({LoopFeature.NONUNIT_STRIDE}),
+        vector_speedup_cap=0.6,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        px = self.rng().random((13, n)).astype(npdt)
+        coeffs = np.asarray(
+            [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 0.05],
+            dtype=npdt,
+        )
+        return {"px": px, "c": coeffs}
+
+    def execute(self, ws: Workspace) -> None:
+        px, c = ws["px"], ws["c"]
+        acc = c[0] * px[1]
+        for j in range(1, 12):
+            acc = acc + c[j] * px[j + 1]
+        px[0] = acc
+
+
+class Planckian(Kernel):
+    """LCALS Planckian distribution: ``w = x / (exp(u/v) - 1)`` — the
+    transcendental-heavy loop."""
+
+    name = "PLANCKIAN"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=25.0,  # exp expansion dominates
+        reads_per_iter=3.0,
+        writes_per_iter=2.0,
+        footprint_elems=5.0,
+        features=frozenset(
+            {LoopFeature.STREAMING, LoopFeature.MATH_CALL}
+        ),
+        vector_speedup_cap=0.8,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        u = linspace_init(n, dtype, 0.1, 2.0)
+        v = linspace_init(n, dtype, 0.5, 1.5)
+        return {
+            "x": linspace_init(n, dtype, 0.0, 1.0),
+            "u": u,
+            "v": v,
+            "y": np.zeros(n, dtype=npdt),
+            "w": np.zeros(n, dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.divide(ws["u"], ws["v"], out=ws["y"])
+        np.expm1(ws["y"], out=ws["w"])
+        np.divide(ws["x"], ws["w"], out=ws["w"])
+
+
+class TridiagElim(Kernel):
+    """LCALS tridiagonal elimination, below diagonal:
+    ``x[i] = z[i] * (y[i] - x[i-1])`` — a loop-carried dependence solved
+    by recursive doubling."""
+
+    name = "TRIDIAG_ELIM"
+    klass = KernelClass.LCALS
+    default_size = _LCALS_SIZE
+    reps = 100
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=3.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=frozenset({LoopFeature.LOOP_CARRIED_DEP}),
+        parallel_fraction=0.70,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        y = rng.random(n).astype(npdt)
+        z = (rng.random(n) * 0.9 - 0.45).astype(npdt)
+        return {"x": np.zeros(n, dtype=npdt), "y": y, "z": z}
+
+    def execute(self, ws: Workspace) -> None:
+        # x[i] = z[i]*y[i] + (-z[i]) * x[i-1]
+        z = ws["z"]
+        rhs = z * ws["y"]
+        result = solve_linear_recurrence(-z, rhs)
+        ws["x"][:] = result.astype(ws["x"].dtype)
+
+
+LCALS_KERNELS = (
+    DiffPredict,
+    Eos,
+    FirstDiff,
+    FirstMin,
+    FirstSum,
+    GenLinRecur,
+    Hydro1d,
+    Hydro2d,
+    IntPredict,
+    Planckian,
+    TridiagElim,
+)

@@ -1,0 +1,572 @@
+"""Polybench class: thirteen polyhedral kernels.
+
+This class supplies the kernels of Figure 3 (Clang VLA/VLS vs GCC): GCC
+cannot auto-vectorize FLOYD_WARSHALL or HEAT_3D, vectorizes JACOBI_1D and
+JACOBI_2D but selects the scalar path at runtime (alias versioning), while
+Clang vectorizes everything except that 2MM, 3MM and GEMM execute in
+scalar mode. Polybench is also the class that scales best with threads
+(Tables 1-3) because its kernels carry the most work per fork-join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    linspace_init,
+    numpy_dtype,
+)
+from repro.machine.vector import DType
+
+
+def _square(n: int) -> int:
+    """Matrix side for a problem size that counts output elements."""
+    return max(2, int(round(n ** 0.5)))
+
+
+def _cube(n: int) -> int:
+    return max(4, int(round(n ** (1.0 / 3.0))))
+
+
+def _matrix(kernel: Kernel, n: int, dtype: DType, salt: int,
+            scale: float = 1.0) -> np.ndarray:
+    dim = _square(n)
+    rng = kernel.rng(salt)
+    return (rng.random((dim, dim)) * scale).astype(numpy_dtype(dtype))
+
+
+class TwoMM(Kernel):
+    """Polybench 2MM: ``D = alpha*A*B*C + beta*D`` (two chained GEMMs).
+
+    One of the three kernels Clang leaves on the scalar path at runtime
+    (Figure 3): the inner-product trip count defeats its cost model.
+    """
+
+    name = "2MM"
+    klass = KernelClass.POLYBENCH
+    default_size = 640_000  # -> 800x800 matrices
+    reps = 5
+    traits = KernelTraits(
+        flops_per_iter=3200.0,  # ~2 GEMMs x 2N flops per output at N=800
+        reads_per_iter=4.0,
+        writes_per_iter=2.0,
+        footprint_elems=5.0,
+        features=frozenset(
+            {LoopFeature.OUTER_ONLY_PARALLEL, LoopFeature.SMALL_INNER_TRIP}
+        ),
+        traffic_scale=0.05,
+        vector_speedup_cap=0.8,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "B": _matrix(self, n, dtype, 1),
+            "C": _matrix(self, n, dtype, 2),
+            "D": _matrix(self, n, dtype, 3),
+            "tmp": np.zeros((_square(n), _square(n)), dtype=npdt),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.matmul(ws["A"], ws["B"], out=ws["tmp"])
+        ws["tmp"] *= ws["alpha"]
+        ws["D"] *= ws["beta"]
+        ws["D"] += ws["tmp"] @ ws["C"]
+
+
+class ThreeMM(Kernel):
+    """Polybench 3MM: ``G = (A*B) * (C*D)``."""
+
+    name = "3MM"
+    klass = KernelClass.POLYBENCH
+    default_size = 640_000
+    reps = 5
+    traits = KernelTraits(
+        flops_per_iter=4800.0,
+        reads_per_iter=6.0,
+        writes_per_iter=3.0,
+        footprint_elems=7.0,
+        features=frozenset(
+            {LoopFeature.OUTER_ONLY_PARALLEL, LoopFeature.SMALL_INNER_TRIP}
+        ),
+        traffic_scale=0.05,
+        vector_speedup_cap=0.8,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "B": _matrix(self, n, dtype, 1),
+            "C": _matrix(self, n, dtype, 2),
+            "D": _matrix(self, n, dtype, 3),
+            "E": np.zeros((dim, dim), dtype=npdt),
+            "F": np.zeros((dim, dim), dtype=npdt),
+            "G": np.zeros((dim, dim), dtype=npdt),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.matmul(ws["A"], ws["B"], out=ws["E"])
+        np.matmul(ws["C"], ws["D"], out=ws["F"])
+        np.matmul(ws["E"], ws["F"], out=ws["G"])
+
+
+class Adi(Kernel):
+    """Polybench ADI: alternating direction implicit solver — forward and
+    backward first-order recurrences swept along rows then columns each
+    timestep, implemented with vectorized recursive doubling along the
+    sweep axis."""
+
+    name = "ADI"
+    klass = KernelClass.POLYBENCH
+    default_size = 250_000  # -> 500x500 grid
+    reps = 4
+    traits = KernelTraits(
+        flops_per_iter=30.0,
+        reads_per_iter=6.0,
+        writes_per_iter=4.0,
+        footprint_elems=4.0,
+        features=frozenset(
+            {
+                # The sweep recurrences are only vectorizable across the
+                # orthogonal axis, which GCC's loop vectorizer misses
+                # (non-unit stride); Clang's SLP handles it.
+                LoopFeature.NONUNIT_STRIDE,
+                LoopFeature.OUTER_ONLY_PARALLEL,
+            }
+        ),
+        parallel_fraction=0.98,
+        vector_speedup_cap=0.5,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        u = self.rng().random((dim, dim)).astype(npdt)
+        return {
+            "u": u,
+            "v": np.zeros_like(u),
+            "a": npdt(0.25),
+            "b": npdt(0.5),
+        }
+
+    @staticmethod
+    def _sweep(src: np.ndarray, a: float, b: float) -> np.ndarray:
+        """One implicit sweep along axis 1: x[:, j] = b*src[:, j] +
+        a*x[:, j-1], via recursive doubling on the column axis."""
+        x = (b * src).astype(np.float64)
+        m = x.shape[1]
+        shift = 1
+        coef = a
+        while shift < m:
+            x[:, shift:] += coef * x[:, :-shift]
+            coef *= coef
+            shift *= 2
+        return x
+
+    def execute(self, ws: Workspace) -> None:
+        u, v = ws["u"], ws["v"]
+        a, b = float(ws["a"]), float(ws["b"])
+        # Column sweep writes v, row sweep writes u (one ADI timestep).
+        v[...] = self._sweep(u, a, b).astype(v.dtype)
+        u[...] = self._sweep(v.T, a, b).T.astype(u.dtype)
+        # Keep the field bounded so repeated reps stay finite.
+        np.clip(u, -1e6, 1e6, out=u)
+
+
+class Atax(Kernel):
+    """Polybench ATAX: ``y = A^T (A x)``."""
+
+    name = "ATAX"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000  # -> 1000x1000
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=4.0,  # two matvecs: 4 flops per matrix element
+        reads_per_iter=1.0,
+        writes_per_iter=0.01,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.NESTED_REDUCTION, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "x": linspace_init(dim, dtype, 0.0, 1.0),
+            "y": np.zeros(dim, dtype=numpy_dtype(dtype)),
+            "tmp": np.zeros(dim, dtype=numpy_dtype(dtype)),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.matmul(ws["A"], ws["x"], out=ws["tmp"])
+        np.matmul(ws["A"].T, ws["tmp"], out=ws["y"])
+
+
+class Fdtd2d(Kernel):
+    """Polybench FDTD-2D: one finite-difference time-domain step updating
+    the ey/ex/hz fields with shifted-view stencils."""
+
+    name = "FDTD_2D"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000  # -> 1000x1000
+    reps = 20
+    traits = KernelTraits(
+        flops_per_iter=11.0,
+        reads_per_iter=7.0,
+        writes_per_iter=3.0,
+        footprint_elems=3.0,
+        features=frozenset(
+            {LoopFeature.STENCIL, LoopFeature.ALIAS_UNPROVABLE}
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        rng = self.rng()
+        return {
+            "ex": rng.random((dim, dim)).astype(npdt),
+            "ey": rng.random((dim, dim)).astype(npdt),
+            "hz": rng.random((dim, dim)).astype(npdt),
+            "t": 0,
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        ex, ey, hz = ws["ex"], ws["ey"], ws["hz"]
+        half = ex.dtype.type(0.5)
+        sev = ex.dtype.type(0.7)
+        ey[0, :] = ex.dtype.type(ws["t"] % 7)
+        ey[1:, :] -= half * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] -= half * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] -= sev * (
+            ex[:-1, 1:] - ex[:-1, :-1] + ey[1:, :-1] - ey[:-1, :-1]
+        )
+        ws["t"] += 1
+
+
+class FloydWarshall(Kernel):
+    """Polybench FLOYD_WARSHALL: all-pairs shortest paths,
+    ``path[i,j] = min(path[i,j], path[i,k] + path[k,j])``.
+
+    GCC cannot auto-vectorize it (the float min lowers to a branch);
+    Clang can — the paper's Figure 3 shows Clang clearly ahead here.
+    """
+
+    name = "FLOYD_WARSHALL"
+    klass = KernelClass.POLYBENCH
+    default_size = 40_000  # -> 200x200 (k-loop makes it O(N^3))
+    reps = 2
+    traits = KernelTraits(
+        flops_per_iter=400.0,  # 2*N per element at N=200
+        reads_per_iter=3.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.CONDITIONAL, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+        traffic_scale=0.1,
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        rng = self.rng()
+        path = (rng.random((dim, dim)) * 10.0 + 1.0).astype(numpy_dtype(dtype))
+        np.fill_diagonal(path, 0.0)
+        return {"path": path}
+
+    def execute(self, ws: Workspace) -> None:
+        path = ws["path"]
+        for k in range(path.shape[0]):
+            # Vectorized over (i, j) for each pivot k.
+            via_k = path[:, k, None] + path[None, k, :]
+            np.minimum(path, via_k, out=path)
+
+
+class Gemm(Kernel):
+    """Polybench GEMM: ``C = alpha*A*B + beta*C``."""
+
+    name = "GEMM"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000  # -> 1000x1000
+    reps = 5
+    traits = KernelTraits(
+        flops_per_iter=2000.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=frozenset(
+            {LoopFeature.OUTER_ONLY_PARALLEL, LoopFeature.SMALL_INNER_TRIP}
+        ),
+        traffic_scale=0.05,
+        vector_speedup_cap=0.8,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "B": _matrix(self, n, dtype, 1),
+            "C": _matrix(self, n, dtype, 2),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        C = ws["C"]
+        C *= ws["beta"]
+        C += ws["alpha"] * (ws["A"] @ ws["B"])
+
+
+class Gemver(Kernel):
+    """Polybench GEMVER: rank-2 update plus two matvecs."""
+
+    name = "GEMVER"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000
+    reps = 30
+    traits = KernelTraits(
+        flops_per_iter=10.0,
+        reads_per_iter=3.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.NESTED_REDUCTION, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "u1": linspace_init(dim, dtype, 0.0, 1.0),
+            "v1": linspace_init(dim, dtype, 1.0, 2.0),
+            "u2": linspace_init(dim, dtype, -1.0, 0.0),
+            "v2": linspace_init(dim, dtype, 0.5, 1.5),
+            "x": np.zeros(dim, dtype=npdt),
+            "y": linspace_init(dim, dtype, 0.0, 1.0),
+            "z": linspace_init(dim, dtype, 0.1, 1.1),
+            "w": np.zeros(dim, dtype=npdt),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        A = ws["A"]
+        A += np.outer(ws["u1"], ws["v1"]) + np.outer(ws["u2"], ws["v2"])
+        ws["x"][:] = ws["beta"] * (A.T @ ws["y"]) + ws["z"]
+        ws["w"][:] = ws["alpha"] * (A @ ws["x"])
+        # Bound A so repeated reps stay finite.
+        np.clip(A, -1e6, 1e6, out=A)
+
+
+class Gesummv(Kernel):
+    """Polybench GESUMMV: ``y = alpha*A*x + beta*B*x``."""
+
+    name = "GESUMMV"
+    klass = KernelClass.POLYBENCH
+    default_size = 640_000
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=4.0,
+        reads_per_iter=2.0,
+        writes_per_iter=0.01,
+        footprint_elems=2.0,
+        features=frozenset(
+            {LoopFeature.NESTED_REDUCTION, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "B": _matrix(self, n, dtype, 1),
+            "x": linspace_init(dim, dtype, 0.0, 1.0),
+            "y": np.zeros(dim, dtype=npdt),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        ws["y"][:] = ws["alpha"] * (ws["A"] @ ws["x"]) + ws["beta"] * (
+            ws["B"] @ ws["x"]
+        )
+
+
+class Heat3d(Kernel):
+    """Polybench HEAT_3D: 3D heat equation, 7-point stencil, double
+    buffered. One of the two Figure 3 kernels GCC cannot vectorize (the
+    k/j-plane neighbours are non-unit-stride)."""
+
+    name = "HEAT_3D"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000  # -> 100^3
+    reps = 20
+    traits = KernelTraits(
+        flops_per_iter=15.0,
+        reads_per_iter=7.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset(
+            {
+                LoopFeature.STENCIL,
+                LoopFeature.NONUNIT_STRIDE,
+                LoopFeature.OUTER_ONLY_PARALLEL,
+            }
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _cube(n)
+        npdt = numpy_dtype(dtype)
+        a = self.rng().random((dim, dim, dim)).astype(npdt)
+        return {"A": a, "B": a.copy()}
+
+    def execute(self, ws: Workspace) -> None:
+        A, B = ws["A"], ws["B"]
+        c = A.dtype.type(0.125)
+        two = A.dtype.type(2.0)
+        i = slice(1, -1)
+        B[i, i, i] = A[i, i, i] + c * (
+            (A[2:, i, i] - two * A[i, i, i] + A[:-2, i, i])
+            + (A[i, 2:, i] - two * A[i, i, i] + A[i, :-2, i])
+            + (A[i, i, 2:] - two * A[i, i, i] + A[i, i, :-2])
+        )
+        # Swap buffers: next rep reads the freshly written field.
+        ws["A"], ws["B"] = B, A
+
+
+class Jacobi1d(Kernel):
+    """Polybench JACOBI_1D: 3-point average, double buffered. Vectorized
+    by GCC but executed on the scalar path at runtime (Figure 3)."""
+
+    name = "JACOBI_1D"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000
+    reps = 200
+    traits = KernelTraits(
+        flops_per_iter=3.0,
+        reads_per_iter=3.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset(
+            {
+                LoopFeature.STREAMING,
+                LoopFeature.STENCIL,
+                LoopFeature.ALIAS_UNPROVABLE,
+            }
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        a = linspace_init(n, dtype, 0.0, 1.0)
+        return {"A": a, "B": a.copy()}
+
+    def execute(self, ws: Workspace) -> None:
+        A, B = ws["A"], ws["B"]
+        third = A.dtype.type(1.0 / 3.0)
+        B[1:-1] = third * (A[:-2] + A[1:-1] + A[2:])
+        ws["A"], ws["B"] = B, A
+
+
+class Jacobi2d(Kernel):
+    """Polybench JACOBI_2D: 5-point average, double buffered. The kernel
+    that surprised the paper by running *slower* with Clang than GCC on
+    the C920 (Figure 3)."""
+
+    name = "JACOBI_2D"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000  # -> 1000x1000
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=5.0,
+        reads_per_iter=5.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset(
+            {LoopFeature.STENCIL, LoopFeature.ALIAS_UNPROVABLE}
+        ),
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        a = self.rng().random((dim, dim)).astype(numpy_dtype(dtype))
+        return {"A": a, "B": a.copy()}
+
+    def execute(self, ws: Workspace) -> None:
+        A, B = ws["A"], ws["B"]
+        fifth = A.dtype.type(0.2)
+        i = slice(1, -1)
+        B[i, i] = fifth * (
+            A[i, i] + A[i, :-2] + A[i, 2:] + A[2:, i] + A[:-2, i]
+        )
+        ws["A"], ws["B"] = B, A
+
+
+class Mvt(Kernel):
+    """Polybench MVT: ``x1 += A y1; x2 += A^T y2``."""
+
+    name = "MVT"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000
+    reps = 50
+    traits = KernelTraits(
+        flops_per_iter=4.0,
+        reads_per_iter=1.0,
+        writes_per_iter=0.01,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.NESTED_REDUCTION, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        return {
+            "A": _matrix(self, n, dtype, 0),
+            "x1": linspace_init(dim, dtype, 0.0, 1.0),
+            "x2": linspace_init(dim, dtype, 1.0, 2.0),
+            "y1": linspace_init(dim, dtype, 0.5, 1.5),
+            "y2": linspace_init(dim, dtype, -0.5, 0.5),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        ws["x1"] += ws["A"] @ ws["y1"]
+        ws["x2"] += ws["A"].T @ ws["y2"]
+
+
+POLYBENCH_KERNELS = (
+    TwoMM,
+    ThreeMM,
+    Adi,
+    Atax,
+    Fdtd2d,
+    FloydWarshall,
+    Gemm,
+    Gemver,
+    Gesummv,
+    Heat3d,
+    Jacobi1d,
+    Jacobi2d,
+    Mvt,
+)

@@ -1,0 +1,80 @@
+"""Kernel registry: lookup by name or class, construction of the suite.
+
+The registry instantiates each kernel exactly once per call, keeping
+kernels stateless between suite runs (state lives in workspaces).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.kernels.algorithm import ALGORITHM_KERNELS
+from repro.kernels.apps import APPS_KERNELS
+from repro.kernels.base import Kernel, KernelClass
+from repro.kernels.basic import BASIC_KERNELS
+from repro.kernels.lcals import LCALS_KERNELS
+from repro.kernels.polybench import POLYBENCH_KERNELS
+from repro.kernels.stream import STREAM_KERNELS
+from repro.util.errors import ConfigError
+
+_ALL_KERNEL_TYPES: tuple[type[Kernel], ...] = (
+    ALGORITHM_KERNELS
+    + APPS_KERNELS
+    + BASIC_KERNELS
+    + LCALS_KERNELS
+    + POLYBENCH_KERNELS
+    + STREAM_KERNELS
+)
+
+#: Expected class sizes from Section 2.2 of the paper.
+EXPECTED_CLASS_SIZES = {
+    KernelClass.ALGORITHM: 6,
+    KernelClass.APPS: 13,
+    KernelClass.BASIC: 16,
+    KernelClass.LCALS: 11,
+    KernelClass.POLYBENCH: 13,
+    KernelClass.STREAM: 5,
+}
+
+
+@lru_cache(maxsize=1)
+def _kernel_types_by_name() -> dict[str, type[Kernel]]:
+    by_name: dict[str, type[Kernel]] = {}
+    for ktype in _ALL_KERNEL_TYPES:
+        if ktype.name in by_name:
+            raise ConfigError(f"duplicate kernel name {ktype.name!r}")
+        by_name[ktype.name] = ktype
+    total = sum(EXPECTED_CLASS_SIZES.values())
+    if len(by_name) != total:
+        raise ConfigError(
+            f"registry has {len(by_name)} kernels, expected {total}"
+        )
+    return by_name
+
+
+def all_kernels() -> list[Kernel]:
+    """Fresh instances of all 64 kernels, in class order."""
+    return [ktype() for ktype in _ALL_KERNEL_TYPES]
+
+
+def kernel_names() -> list[str]:
+    """All kernel names, in class order."""
+    return [ktype.name for ktype in _ALL_KERNEL_TYPES]
+
+
+def get_kernel(name: str) -> Kernel:
+    """Instantiate one kernel by its RAJAPerf name (case-insensitive)."""
+    by_name = _kernel_types_by_name()
+    key = name.upper()
+    if key not in by_name:
+        raise ConfigError(
+            f"unknown kernel {name!r}; known: {sorted(by_name)}"
+        )
+    return by_name[key]()
+
+
+def kernels_in_class(klass: KernelClass | str) -> list[Kernel]:
+    """Fresh instances of every kernel in one class."""
+    if isinstance(klass, str):
+        klass = KernelClass.from_label(klass)
+    return [k for k in all_kernels() if k.klass == klass]

@@ -1,0 +1,170 @@
+"""Stream class: the five memory-bandwidth kernels (ADD, COPY, DOT, MUL,
+TRIAD), modelled on McCalpin's STREAM as packaged in RAJAPerf.
+
+These are the kernels GCC auto-vectorizes completely (the paper notes the
+stream class is "unique as GCC is able to vectorise all of its constituent
+kernels"), which is why it shows the largest FP32 vectorization benefit in
+Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    linspace_init,
+)
+from repro.machine.vector import DType
+
+_STREAM_FEATURES = frozenset({LoopFeature.STREAMING})
+
+#: RAJAPerf stream default problem size (1M elements) — three 8-byte
+#: arrays total 24 MB, which *fits the SG2042's 64 MiB L3* but not the
+#: Sandybridge's 10 MiB L3: the mechanism behind Figure 4's stream bars.
+_STREAM_SIZE = 1_000_000
+_STREAM_REPS = 1000
+
+
+class StreamAdd(Kernel):
+    """``c[i] = a[i] + b[i]``."""
+
+    name = "ADD"
+    klass = KernelClass.STREAM
+    default_size = _STREAM_SIZE
+    reps = _STREAM_REPS
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=_STREAM_FEATURES,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        return {
+            "a": linspace_init(n, dtype, 0.0, 1.0),
+            "b": linspace_init(n, dtype, 1.0, 2.0),
+            "c": np.zeros(n, dtype=linspace_init(1, dtype).dtype),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.add(ws["a"], ws["b"], out=ws["c"])
+
+
+class StreamCopy(Kernel):
+    """``c[i] = a[i]``."""
+
+    name = "COPY"
+    klass = KernelClass.STREAM
+    default_size = _STREAM_SIZE
+    reps = _STREAM_REPS
+    traits = KernelTraits(
+        flops_per_iter=0.0,
+        reads_per_iter=1.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=_STREAM_FEATURES,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        return {
+            "a": linspace_init(n, dtype, 0.0, 1.0),
+            "c": np.zeros(n, dtype=linspace_init(1, dtype).dtype),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.copyto(ws["c"], ws["a"])
+
+
+class StreamDot(Kernel):
+    """``dot += a[i] * b[i]`` — the only stream kernel with a reduction."""
+
+    name = "DOT"
+    klass = KernelClass.STREAM
+    default_size = _STREAM_SIZE
+    reps = _STREAM_REPS
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=2.0,
+        writes_per_iter=0.0,
+        footprint_elems=2.0,
+        features=_STREAM_FEATURES | {LoopFeature.REDUCTION_SUM},
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        return {
+            "a": linspace_init(n, dtype, 0.0, 1.0),
+            "b": linspace_init(n, dtype, 1.0, 2.0),
+            "dot": 0.0,
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        ws["dot"] = float(np.dot(ws["a"], ws["b"]))
+
+    def checksum(self, ws: Workspace) -> float:
+        return ws["dot"]
+
+
+class StreamMul(Kernel):
+    """``b[i] = alpha * c[i]``."""
+
+    name = "MUL"
+    klass = KernelClass.STREAM
+    default_size = _STREAM_SIZE
+    reps = _STREAM_REPS
+    traits = KernelTraits(
+        flops_per_iter=1.0,
+        reads_per_iter=1.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=_STREAM_FEATURES,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        arr = linspace_init(n, dtype, 0.0, 1.0)
+        return {
+            "b": np.zeros_like(arr),
+            "c": arr,
+            "alpha": arr.dtype.type(0.5),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        np.multiply(ws["c"], ws["alpha"], out=ws["b"])
+
+
+class StreamTriad(Kernel):
+    """``a[i] = b[i] + alpha * c[i]`` — the canonical STREAM triad."""
+
+    name = "TRIAD"
+    klass = KernelClass.STREAM
+    default_size = _STREAM_SIZE
+    reps = _STREAM_REPS
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=_STREAM_FEATURES,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        b = linspace_init(n, dtype, 0.0, 1.0)
+        return {
+            "a": np.zeros_like(b),
+            "b": b,
+            "c": linspace_init(n, dtype, 1.0, 2.0),
+            "alpha": b.dtype.type(0.5),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        # a = b + alpha * c without a temporary: multiply into a, then add.
+        np.multiply(ws["c"], ws["alpha"], out=ws["a"])
+        np.add(ws["a"], ws["b"], out=ws["a"])
+
+
+STREAM_KERNELS = (StreamAdd, StreamCopy, StreamDot, StreamMul, StreamTriad)

@@ -1,0 +1,28 @@
+"""Microarchitectural machine descriptions.
+
+This subpackage encodes the published hardware parameters of every CPU the
+paper measures (Section 2.1 and Table 4): core microarchitecture, vector
+ISA and per-dtype vectorization support, cache hierarchy with sharing
+domains, and NUMA topology including the SG2042's unusual non-contiguous
+core-id map.
+"""
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, Sharing
+from repro.machine.cpu import CoreModel, CPUModel, MemorySystem
+from repro.machine.topology import NumaTopology
+from repro.machine.vector import DType, VectorISA
+
+from repro.machine import catalog
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "Sharing",
+    "CoreModel",
+    "CPUModel",
+    "MemorySystem",
+    "NumaTopology",
+    "VectorISA",
+    "DType",
+    "catalog",
+]

@@ -1,0 +1,194 @@
+"""Cache hierarchy descriptions.
+
+The SG2042's distinguishing cache feature is the 1MiB L2 shared between
+each cluster of four C920 cores — the paper's cluster-aware placement
+policy (Table 3) exists precisely to spread threads across those L2s. We
+model each level with a capacity, a *sharing domain* (core / cluster /
+NUMA region / package) and bandwidth/latency parameters that feed the
+analytic model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+from repro.util.units import format_bytes
+
+
+class Sharing(enum.Enum):
+    """Which set of cores shares one instance of a cache level."""
+
+    CORE = "core"
+    CLUSTER = "cluster"
+    NUMA = "numa"
+    PACKAGE = "package"
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    Attributes:
+        name: ``"L1D"``, ``"L2"``, ``"L3"``.
+        capacity_bytes: Capacity of **one instance** of this level.
+        sharing: The domain that shares one instance.
+        line_bytes: Cache line size (64 on every CPU in the paper).
+        associativity: Set associativity, used by the set-associative
+            simulator in :mod:`repro.perfmodel.cachesim`.
+        latency_cycles: Load-to-use latency, used by the pipeline model.
+        bandwidth_bytes_per_cycle: Sustained bandwidth one *core* can draw
+            from this level (its port bandwidth).
+        aggregate_bandwidth_bytes_per_cycle: Total bandwidth one instance
+            of this level can deliver to all its sharers; ``None`` means
+            it scales with the sharers (fully banked).
+        contention_threshold: Number of sharers beyond which the
+            instance's aggregate bandwidth degrades (crossbar/bank
+            conflicts). ``None`` disables the effect. This models the
+            SG2042's 64-thread collapse on cache-resident stream kernels
+            (Tables 1-3).
+        contention_exponent: Degradation exponent: aggregate bandwidth is
+            multiplied by ``(threshold / sharers) ** exponent`` when
+            sharers exceed the threshold.
+    """
+
+    name: str
+    capacity_bytes: int
+    sharing: Sharing
+    line_bytes: int = 64
+    associativity: int = 8
+    latency_cycles: int = 4
+    bandwidth_bytes_per_cycle: float = 32.0
+    aggregate_bandwidth_bytes_per_cycle: float | None = None
+    contention_threshold: int | None = None
+    contention_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        if self.line_bytes <= 0 or (self.line_bytes & (self.line_bytes - 1)):
+            raise ConfigError(
+                f"{self.name}: line size must be a positive power of two"
+            )
+        if self.capacity_bytes % self.line_bytes:
+            raise ConfigError(
+                f"{self.name}: capacity not a whole number of lines"
+            )
+        if self.associativity < 1:
+            raise ConfigError(f"{self.name}: associativity must be >= 1")
+        n_lines = self.capacity_bytes // self.line_bytes
+        if n_lines % self.associativity:
+            raise ConfigError(
+                f"{self.name}: line count {n_lines} not divisible by "
+                f"associativity {self.associativity}"
+            )
+        if self.latency_cycles < 1:
+            raise ConfigError(f"{self.name}: latency must be >= 1 cycle")
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigError(f"{self.name}: bandwidth must be positive")
+        if (self.aggregate_bandwidth_bytes_per_cycle is not None
+                and self.aggregate_bandwidth_bytes_per_cycle <= 0):
+            raise ConfigError(
+                f"{self.name}: aggregate bandwidth must be positive"
+            )
+        if self.contention_threshold is not None:
+            if self.contention_threshold < 1:
+                raise ConfigError(
+                    f"{self.name}: contention threshold must be >= 1"
+                )
+        if self.contention_exponent < 0:
+            raise ConfigError(
+                f"{self.name}: contention exponent must be >= 0"
+            )
+
+    def effective_aggregate_bandwidth(self, sharers: int) -> float | None:
+        """Aggregate bytes/cycle one instance delivers with ``sharers``
+        active cores, after the contention penalty. ``None`` = unbounded
+        (scales with sharers)."""
+        if sharers < 1:
+            raise ConfigError("sharers must be >= 1")
+        agg = self.aggregate_bandwidth_bytes_per_cycle
+        if agg is None:
+            return None
+        if (self.contention_threshold is not None
+                and sharers > self.contention_threshold):
+            agg *= (self.contention_threshold / sharers) ** (
+                self.contention_exponent
+            )
+        return agg
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity_bytes // self.line_bytes // self.associativity
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {format_bytes(self.capacity_bytes)} per "
+            f"{self.sharing.value}, {self.associativity}-way, "
+            f"{self.line_bytes}B lines, {self.latency_cycles} cy"
+        )
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered tuple of cache levels, innermost first.
+
+    Validates monotonicity constraints that every real hierarchy obeys and
+    that the analytic cache model depends on: capacities grow outward (per
+    sharing instance this can be checked only loosely, so we check
+    latencies strictly and require distinct level names).
+    """
+
+    levels: tuple[CacheLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigError("cache hierarchy needs at least one level")
+        names = [lvl.name for lvl in self.levels]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate cache level names: {names}")
+        for inner, outer in zip(self.levels, self.levels[1:]):
+            if outer.latency_cycles <= inner.latency_cycles:
+                raise ConfigError(
+                    f"{outer.name} latency must exceed {inner.name} latency"
+                )
+            if outer.line_bytes != inner.line_bytes:
+                raise ConfigError(
+                    "mixed cache line sizes are not supported"
+                )
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    @property
+    def line_bytes(self) -> int:
+        return self.levels[0].line_bytes
+
+    def level(self, name: str) -> CacheLevel:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise ConfigError(f"no cache level named {name!r}")
+
+    def capacity_available(
+        self,
+        level: CacheLevel,
+        active_in_domain: int,
+    ) -> float:
+        """Effective capacity one thread sees in ``level`` when
+        ``active_in_domain`` threads share the same instance.
+
+        This is the mechanism behind the paper's cluster-placement result:
+        with four active cores per cluster each thread sees only a quarter
+        of the 1MiB L2.
+        """
+        if active_in_domain < 1:
+            raise ConfigError("active_in_domain must be >= 1")
+        return level.capacity_bytes / active_in_domain
+
+    def describe(self) -> str:
+        return "\n".join(lvl.describe() for lvl in self.levels)

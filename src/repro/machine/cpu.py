@@ -1,0 +1,266 @@
+"""Whole-CPU model: core microarchitecture + caches + topology + memory.
+
+A :class:`CPUModel` is a pure description — the analytic performance model
+in :mod:`repro.perfmodel` consumes it. Parameters come from datasheets
+where published (clock, widths, capacities, controller counts) and from a
+small set of calibration factors (sustained-versus-peak efficiencies)
+documented per machine in :mod:`repro.machine.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cache import CacheHierarchy
+from repro.machine.topology import NumaTopology
+from repro.machine.vector import DType, VectorISA
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """One CPU core as the throughput model sees it.
+
+    Attributes:
+        name: Core name (``"XuanTie C920"``, ``"SiFive U74"``).
+        clock_hz: Core clock.
+        fp_ops_per_cycle: Peak scalar floating-point operations retired per
+            cycle (counting an FMA as two). 2 for a single fully pipelined
+            FMA unit, 4 for dual FMA pipes.
+        vector_pipes: Number of vector execution pipes; total vector
+            flops/cycle = ``vector_pipes * lanes(dtype) * fma factor``.
+        fma: Whether fused multiply-add doubles per-op flops.
+        out_of_order: Out-of-order vs in-order; in-order cores take the
+            :attr:`inorder_penalty` multiplier on achievable IPC.
+        scalar_efficiency: Calibration factor in (0, 1] for sustained vs
+            peak scalar throughput on loop kernels.
+        vector_efficiency: Same for vector code.
+        isa: The vector ISA description.
+        inorder_penalty: Throughput derating applied when
+            ``out_of_order`` is False (dependency stalls an OoO window
+            would hide).
+        ls_ops_per_cycle: Load/store instructions issued per cycle. A
+            vector load/store moves ``lanes`` elements per instruction,
+            which is why enabling RVV helps the bandwidth-hungry stream
+            class on the C920 even when the data is cache-resident.
+    """
+
+    name: str
+    clock_hz: float
+    fp_ops_per_cycle: float
+    vector_pipes: int
+    isa: VectorISA
+    fma: bool = True
+    out_of_order: bool = True
+    scalar_efficiency: float = 0.7
+    vector_efficiency: float = 0.6
+    inorder_penalty: float = 0.55
+    ls_ops_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError(f"{self.name}: clock must be positive")
+        if self.fp_ops_per_cycle <= 0:
+            raise ConfigError(f"{self.name}: fp_ops_per_cycle must be > 0")
+        if self.vector_pipes < 0:
+            raise ConfigError(f"{self.name}: vector_pipes must be >= 0")
+        for attr in ("scalar_efficiency", "vector_efficiency",
+                     "inorder_penalty"):
+            val = getattr(self, attr)
+            if not 0 < val <= 1:
+                raise ConfigError(
+                    f"{self.name}: {attr} must be in (0, 1], got {val}"
+                )
+        if self.vector_pipes and self.isa.is_scalar_only:
+            raise ConfigError(
+                f"{self.name}: vector pipes without a vector ISA"
+            )
+        if self.ls_ops_per_cycle <= 0:
+            raise ConfigError(f"{self.name}: ls_ops_per_cycle must be > 0")
+
+    def scalar_flops_per_second(self, dtype: DType) -> float:
+        """Sustained scalar FLOP rate for loop code of ``dtype``."""
+        rate = self.clock_hz * self.fp_ops_per_cycle * self.scalar_efficiency
+        if not self.out_of_order:
+            rate *= self.inorder_penalty
+        # FP64 on 32-bit-datapath FPUs would halve here; every core in the
+        # paper has a 64-bit scalar FPU so scalar rate is dtype-neutral.
+        return rate
+
+    def vector_flops_per_second(self, dtype: DType) -> float:
+        """Sustained FLOP rate when the executed code path is vector code
+        of ``dtype``. Falls back to the scalar rate when the ISA cannot
+        vectorize the dtype (the C920-FP64 case)."""
+        if not self.isa.supports(dtype):
+            return self.scalar_flops_per_second(dtype)
+        lanes = self.isa.lanes(dtype)
+        ops = 2.0 if self.fma else 1.0
+        rate = (
+            self.clock_hz
+            * self.vector_pipes
+            * lanes
+            * ops
+            * self.vector_efficiency
+        )
+        if not self.out_of_order:
+            rate *= self.inorder_penalty
+        return rate
+
+    def flops_per_second(self, dtype: DType, vectorized: bool) -> float:
+        """Dispatch on the executed code path."""
+        if vectorized:
+            return self.vector_flops_per_second(dtype)
+        return self.scalar_flops_per_second(dtype)
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """DRAM subsystem: controllers, their placement and bandwidth.
+
+    Attributes:
+        controllers: Total number of memory controllers in the package.
+            The paper stresses that the SG2042 has one controller per NUMA
+            region while Rome has two and single-node Icelake has eight.
+        channel_bandwidth_bytes: Peak bandwidth of one controller/channel
+            (e.g. DDR4-3200 -> 25.6 GB/s).
+        efficiency: Sustained/peak calibration factor. The SG2042's memory
+            subsystem is known to sustain a small fraction of peak (STREAM
+            triad measures ~15-20 GB/s package-wide); x86 servers sustain
+            70-85%.
+        latency_ns: Loaded DRAM latency, feeding the latency term for
+            strided/irregular kernels.
+        numa_local: Whether controllers are distributed one-per-NUMA-region
+            (True for SG2042/Rome) or pooled on a single node.
+        per_core_bandwidth_bytes: Maximum DRAM bandwidth one core can draw
+            (limited by its load/store units and MSHR count) regardless of
+            how idle the controllers are. This is what bounds the
+            single-thread Stream results.
+        thrash_threshold: Active cores per NUMA region beyond which the
+            region's controller bandwidth degrades (row-buffer and queue
+            thrashing). ``None`` disables the effect; it is what the
+            paper's 64-thread measurements suggest for the SG2042.
+        thrash_exponent: Degradation exponent, as in
+            :meth:`repro.machine.cache.CacheLevel.effective_aggregate_bandwidth`.
+    """
+
+    controllers: int
+    channel_bandwidth_bytes: float
+    efficiency: float
+    latency_ns: float = 100.0
+    numa_local: bool = True
+    per_core_bandwidth_bytes: float = 10e9
+    thrash_threshold: int | None = None
+    thrash_exponent: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.controllers < 1:
+            raise ConfigError("need at least one memory controller")
+        if self.channel_bandwidth_bytes <= 0:
+            raise ConfigError("channel bandwidth must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError(
+                f"memory efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.latency_ns <= 0:
+            raise ConfigError("latency must be positive")
+        if self.per_core_bandwidth_bytes <= 0:
+            raise ConfigError("per-core bandwidth must be positive")
+        if self.thrash_threshold is not None and self.thrash_threshold < 1:
+            raise ConfigError("thrash threshold must be >= 1")
+        if self.thrash_exponent < 0:
+            raise ConfigError("thrash exponent must be >= 0")
+
+    @property
+    def package_bandwidth(self) -> float:
+        """Sustained package-wide DRAM bandwidth in bytes/s."""
+        return self.controllers * self.channel_bandwidth_bytes * self.efficiency
+
+    def bandwidth_per_numa(self, num_numa: int) -> float:
+        """Sustained bandwidth available inside one NUMA region."""
+        if num_numa < 1:
+            raise ConfigError("num_numa must be >= 1")
+        if self.controllers % num_numa and self.numa_local:
+            raise ConfigError(
+                f"{self.controllers} controllers cannot be spread evenly "
+                f"over {num_numa} NUMA regions"
+            )
+        return self.package_bandwidth / num_numa
+
+    def effective_region_bandwidth(
+        self, num_numa: int, active_in_region: int
+    ) -> float:
+        """Region bandwidth after the oversubscription thrash penalty."""
+        if active_in_region < 1:
+            raise ConfigError("active_in_region must be >= 1")
+        bandwidth = self.bandwidth_per_numa(num_numa)
+        if (self.thrash_threshold is not None
+                and active_in_region > self.thrash_threshold):
+            bandwidth *= (
+                self.thrash_threshold / active_in_region
+            ) ** self.thrash_exponent
+        return bandwidth
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """A complete CPU package description.
+
+    Attributes:
+        name: Marketing name used in reports (``"Sophon SG2042"``).
+        part: Part number (``"EPYC 7742"``).
+        core: The per-core model.
+        caches: Data-cache hierarchy.
+        topology: NUMA/cluster map.
+        memory: DRAM subsystem.
+        fork_join_ns: Base cost of an OpenMP fork+join at one thread;
+            grows with thread count in the runtime model.
+        smt: SMT ways; the paper disables SMT everywhere, so always 1 here,
+            but kept explicit because the claim matters.
+    """
+
+    name: str
+    part: str
+    core: CoreModel
+    caches: CacheHierarchy
+    topology: NumaTopology
+    memory: MemorySystem
+    fork_join_ns: float = 2000.0
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fork_join_ns < 0:
+            raise ConfigError("fork_join_ns must be >= 0")
+        if self.smt != 1:
+            raise ConfigError(
+                "the paper disables SMT on every platform; smt must be 1"
+            )
+        if self.memory.numa_local:
+            # validated for side effect: controllers divide evenly
+            self.memory.bandwidth_per_numa(self.topology.num_numa_nodes)
+
+    @property
+    def num_cores(self) -> int:
+        return self.topology.num_cores
+
+    def describe(self) -> str:
+        """Human-readable spec block, as used in README/EXPERIMENTS."""
+        mem = self.memory
+        lines = [
+            f"{self.name} ({self.part})",
+            f"  cores: {self.num_cores} x {self.core.name} @ "
+            f"{self.core.clock_hz / 1e9:.2f} GHz",
+            f"  vector: {self.core.isa.name} "
+            f"({self.core.isa.width_bits}-bit)",
+            "  caches:",
+        ]
+        lines.extend("    " + line for line in self.caches.describe().split("\n"))
+        lines.append(
+            f"  memory: {mem.controllers} controllers x "
+            f"{mem.channel_bandwidth_bytes / 1e9:.1f} GB/s "
+            f"(sustained {mem.package_bandwidth / 1e9:.1f} GB/s)"
+        )
+        lines.append(
+            f"  NUMA regions: {self.topology.num_numa_nodes}, "
+            f"clusters: {self.topology.num_clusters}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""NUMA and cluster topology.
+
+Section 3.2 of the paper discovers (via ``lscpu``) that the SG2042's core
+ids are *not* contiguous within a NUMA region: node 0 holds cores 0-7 and
+16-23, node 1 holds 8-15 and 24-31, node 2 holds 32-39 and 48-55, node 3
+holds 40-47 and 56-63. Clusters of four consecutive core ids share an L2.
+The placement policies in :mod:`repro.openmp.affinity` are defined against
+this map, so we encode it exactly and validate its invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Mapping from core ids to NUMA regions and L2 clusters.
+
+    Attributes:
+        numa_nodes: One tuple of core ids per NUMA region.
+        clusters: One tuple of core ids per L2-sharing cluster. For CPUs
+            with a private (or fully package-shared) L2 each core is its
+            own cluster.
+    """
+
+    numa_nodes: tuple[tuple[int, ...], ...]
+    clusters: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        all_numa = [c for node in self.numa_nodes for c in node]
+        all_clus = [c for cl in self.clusters for c in cl]
+        if not all_numa:
+            raise ConfigError("topology must contain at least one core")
+        if sorted(all_numa) != list(range(len(all_numa))):
+            raise ConfigError(
+                "NUMA nodes must partition core ids 0..n-1 exactly once"
+            )
+        if sorted(all_clus) != sorted(all_numa):
+            raise ConfigError("clusters must partition the same core ids")
+        # A cluster must not straddle NUMA regions: real hardware keeps L2
+        # domains inside a node, and the placement policies assume it.
+        node_of = {c: i for i, node in enumerate(self.numa_nodes) for c in node}
+        for cluster in self.clusters:
+            nodes = {node_of[c] for c in cluster}
+            if len(nodes) != 1:
+                raise ConfigError(
+                    f"cluster {cluster} straddles NUMA regions {nodes}"
+                )
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return sum(len(node) for node in self.numa_nodes)
+
+    @property
+    def num_numa_nodes(self) -> int:
+        return len(self.numa_nodes)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def numa_of(self, core: int) -> int:
+        """NUMA region id containing ``core``."""
+        for i, node in enumerate(self.numa_nodes):
+            if core in node:
+                return i
+        raise ConfigError(f"core {core} not in topology")
+
+    def cluster_of(self, core: int) -> int:
+        """Cluster id containing ``core``."""
+        for i, cluster in enumerate(self.clusters):
+            if core in cluster:
+                return i
+        raise ConfigError(f"core {core} not in topology")
+
+    def clusters_in_numa(self, numa: int) -> tuple[int, ...]:
+        """Cluster ids whose cores live in NUMA region ``numa``."""
+        if not 0 <= numa < self.num_numa_nodes:
+            raise ConfigError(f"no NUMA region {numa}")
+        node = set(self.numa_nodes[numa])
+        return tuple(
+            i for i, cl in enumerate(self.clusters) if set(cl) <= node
+        )
+
+    def cores_per_numa(self) -> tuple[int, ...]:
+        return tuple(len(node) for node in self.numa_nodes)
+
+    # -- derived views ----------------------------------------------------
+
+    def active_per_numa(self, cores: tuple[int, ...]) -> dict[int, int]:
+        """Count active cores per NUMA region for a placement."""
+        counts: dict[int, int] = {}
+        for core in cores:
+            node = self.numa_of(core)
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def active_per_cluster(self, cores: tuple[int, ...]) -> dict[int, int]:
+        """Count active cores per L2 cluster for a placement."""
+        counts: dict[int, int] = {}
+        for core in cores:
+            cl = self.cluster_of(core)
+            counts[cl] = counts.get(cl, 0) + 1
+        return counts
+
+    def lscpu(self) -> str:
+        """Render the topology in the style of ``lscpu`` output, matching
+        how the paper's authors discovered the SG2042 map."""
+        lines = [
+            f"CPU(s):              {self.num_cores}",
+            f"NUMA node(s):        {self.num_numa_nodes}",
+        ]
+        for i, node in enumerate(self.numa_nodes):
+            lines.append(
+                f"NUMA node{i} CPU(s):   {_format_ranges(node)}"
+            )
+        return "\n".join(lines)
+
+
+def _format_ranges(cores: tuple[int, ...]) -> str:
+    """Collapse a sorted id tuple into lscpu-style ranges: 0-7,16-23."""
+    ids = sorted(cores)
+    parts: list[str] = []
+    start = prev = ids[0]
+    for core in ids[1:]:
+        if core == prev + 1:
+            prev = core
+            continue
+        parts.append(f"{start}-{prev}" if start != prev else f"{start}")
+        start = prev = core
+    parts.append(f"{start}-{prev}" if start != prev else f"{start}")
+    return ",".join(parts)
+
+
+def contiguous_topology(
+    num_cores: int, num_numa: int = 1, cluster_size: int = 1
+) -> NumaTopology:
+    """Build the ordinary topology where core ids are contiguous within a
+    NUMA region — every CPU in the paper except the SG2042."""
+    if num_cores < 1 or num_numa < 1 or cluster_size < 1:
+        raise ConfigError("num_cores, num_numa, cluster_size must be >= 1")
+    if num_cores % num_numa:
+        raise ConfigError(
+            f"{num_cores} cores not divisible into {num_numa} NUMA regions"
+        )
+    per_node = num_cores // num_numa
+    if per_node % cluster_size:
+        raise ConfigError(
+            f"{per_node} cores per node not divisible into clusters of "
+            f"{cluster_size}"
+        )
+    nodes = tuple(
+        tuple(range(i * per_node, (i + 1) * per_node)) for i in range(num_numa)
+    )
+    clusters = tuple(
+        tuple(range(i * cluster_size, (i + 1) * cluster_size))
+        for i in range(num_cores // cluster_size)
+    )
+    return NumaTopology(numa_nodes=nodes, clusters=clusters)
+
+
+def sg2042_topology() -> NumaTopology:
+    """The SG2042's interleaved NUMA map as reported in Section 3.2.
+
+    Cores 0-7 and 16-23 are in NUMA region 0, 8-15 and 24-31 in region 1,
+    32-39 and 48-55 in region 2, and 40-47 and 56-63 in region 3. Clusters
+    of four consecutive ids share an L2.
+    """
+    nodes = (
+        tuple(range(0, 8)) + tuple(range(16, 24)),
+        tuple(range(8, 16)) + tuple(range(24, 32)),
+        tuple(range(32, 40)) + tuple(range(48, 56)),
+        tuple(range(40, 48)) + tuple(range(56, 64)),
+    )
+    clusters = tuple(tuple(range(i, i + 4)) for i in range(0, 64, 4))
+    return NumaTopology(numa_nodes=nodes, clusters=clusters)

@@ -1,0 +1,166 @@
+"""Vector ISA descriptions.
+
+The paper's central microarchitectural finding is that the XuanTie C920's
+RVV v0.7.1 implementation does **not** vectorize FP64 (Section 3.2,
+Figure 2), while the x86 CPUs vectorize both precisions. We encode a
+vector ISA as a register width plus the set of element types it can
+vectorize, so lane counts fall out as ``width_bits // dtype_bits`` and the
+FP64 asymmetry is data, not a special case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigError
+
+
+class DType(enum.Enum):
+    """Element data types that appear in the RAJAPerf kernels."""
+
+    FP16 = ("fp16", 16, True)
+    FP32 = ("fp32", 32, True)
+    FP64 = ("fp64", 64, True)
+    INT8 = ("int8", 8, False)
+    INT16 = ("int16", 16, False)
+    INT32 = ("int32", 32, False)
+    INT64 = ("int64", 64, False)
+
+    def __init__(self, label: str, bits: int, is_float: bool) -> None:
+        self.label = label
+        self.bits = bits
+        self.is_float = is_float
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @classmethod
+    def from_label(cls, label: str) -> "DType":
+        for member in cls:
+            if member.label == label:
+                return member
+        raise ConfigError(f"unknown dtype label {label!r}")
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """A SIMD/vector instruction set as the performance model sees it.
+
+    Attributes:
+        name: Human-readable ISA name (``"RVV v0.7.1"``, ``"AVX2"``).
+        width_bits: Architectural vector register width. For the
+            Sandybridge E5-2609 we follow the paper and treat AVX as
+            128-bit for arithmetic throughput.
+        vectorizable: Data types for which the hardware executes vector
+            arithmetic. Missing dtypes fall back to scalar (1 lane).
+        vla: Whether the ISA supports Vector Length Agnostic code
+            (RVV only; x86 SIMD is fixed-width).
+        version: Optional version string used by the compiler model to
+            check assembly compatibility (RVV v0.7.1 vs v1.0 matters).
+    """
+
+    name: str
+    width_bits: int
+    vectorizable: frozenset[DType] = field(default_factory=frozenset)
+    vla: bool = False
+    version: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 0 or self.width_bits % 64 not in (0,):
+            if self.width_bits != 0:
+                raise ConfigError(
+                    f"vector width must be a multiple of 64 bits or 0, got "
+                    f"{self.width_bits}"
+                )
+
+    @property
+    def is_scalar_only(self) -> bool:
+        """True for cores with no vector unit at all (SiFive U74)."""
+        return self.width_bits == 0 or not self.vectorizable
+
+    def supports(self, dtype: DType) -> bool:
+        """Whether vector *arithmetic* on ``dtype`` executes in the vector
+        unit (as opposed to falling back to the scalar pipeline)."""
+        return not self.is_scalar_only and dtype in self.vectorizable
+
+    def lanes(self, dtype: DType) -> int:
+        """Number of elements of ``dtype`` processed per vector operation.
+
+        Returns 1 when the ISA cannot vectorize the dtype — the scalar
+        fallback the paper observes for FP64 on the C920.
+        """
+        if not self.supports(dtype):
+            return 1
+        return max(1, self.width_bits // dtype.bits)
+
+
+_ALL_FLOATS = frozenset({DType.FP16, DType.FP32})
+_ALL_INTS = frozenset(
+    {DType.INT8, DType.INT16, DType.INT32, DType.INT64}
+)
+
+
+def rvv_0_7_1() -> VectorISA:
+    """The C920's RVV v0.7.1: 128-bit, FP16/FP32 + integers, **no FP64**.
+
+    The T-Head datasheet is contradictory about FP64 (Section 2.1 of the
+    paper); the paper's measurements (Figure 2) show no FP64 vector
+    benefit, so the model follows the measurements.
+    """
+    return VectorISA(
+        name="RVV v0.7.1",
+        width_bits=128,
+        vectorizable=_ALL_FLOATS | _ALL_INTS,
+        vla=True,
+        version="0.7.1",
+    )
+
+
+def rvv_1_0(width_bits: int = 128) -> VectorISA:
+    """Ratified RVV v1.0 (what Clang targets); includes FP64."""
+    return VectorISA(
+        name="RVV v1.0",
+        width_bits=width_bits,
+        vectorizable=_ALL_FLOATS | _ALL_INTS | {DType.FP64},
+        vla=True,
+        version="1.0",
+    )
+
+
+def scalar_only() -> VectorISA:
+    """No vector extension (SiFive U74: RV64GC only)."""
+    return VectorISA(name="none", width_bits=0)
+
+
+def avx() -> VectorISA:
+    """AVX as present on Sandybridge.
+
+    The paper treats the E5-2609's effective vector width as 128-bit
+    ("the vector register lengths are the same, 128-bit, as the SG2042");
+    we follow the paper so Figure 4/5 comparisons carry over.
+    """
+    return VectorISA(
+        name="AVX",
+        width_bits=128,
+        vectorizable=frozenset({DType.FP32, DType.FP64}),
+    )
+
+
+def avx2() -> VectorISA:
+    """AVX2 + FMA (Rome, Broadwell): 256-bit, all float and int types."""
+    return VectorISA(
+        name="AVX2",
+        width_bits=256,
+        vectorizable=_ALL_FLOATS | _ALL_INTS | {DType.FP64},
+    )
+
+
+def avx512() -> VectorISA:
+    """AVX-512 (Icelake server): 512-bit."""
+    return VectorISA(
+        name="AVX512",
+        width_bits=512,
+        vectorizable=_ALL_FLOATS | _ALL_INTS | {DType.FP64},
+    )

@@ -1,0 +1,26 @@
+"""Simulated OpenMP runtime.
+
+Provides the pieces of an OpenMP runtime the paper's experiments exercise:
+``OMP_PROC_BIND``/``OMP_PLACES`` parsing, the three thread-placement
+policies of Section 3.2 (block, NUMA-cyclic, cluster-aware cyclic),
+static loop scheduling, and a fork-join/barrier cost model.
+"""
+
+from repro.openmp.affinity import (
+    PlacementPolicy,
+    assign_cores,
+    parse_omp_places,
+    parse_omp_proc_bind,
+)
+from repro.openmp.runtime import OpenMPRuntime, barrier_cost_seconds
+from repro.openmp.schedule import static_chunks
+
+__all__ = [
+    "PlacementPolicy",
+    "assign_cores",
+    "parse_omp_places",
+    "parse_omp_proc_bind",
+    "OpenMPRuntime",
+    "barrier_cost_seconds",
+    "static_chunks",
+]

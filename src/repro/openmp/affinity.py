@@ -1,0 +1,172 @@
+"""Thread placement policies and OMP environment parsing.
+
+Section 3.2 of the paper evaluates three ways of pinning OpenMP threads
+onto the SG2042's cores (with ``OMP_PROC_BIND=true`` so threads never
+migrate):
+
+* **block** — thread *t* on core *t* (Table 1);
+* **cyclic** — threads cycle round the NUMA regions, contiguously within
+  a region: 4 threads -> cores 0, 8, 32, 40; 8 threads -> 0, 8, 32, 40,
+  1, 9, 33, 41 (Table 2);
+* **cluster** — additionally cycle round the four-core L2 clusters inside
+  each region: 8 threads -> 0, 8, 32, 40, 16, 24, 48, 56 (Table 3).
+
+``assign_cores`` reproduces those exact sequences against the SG2042's
+interleaved NUMA map.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.machine.topology import NumaTopology
+from repro.util.errors import ConfigError
+
+
+class PlacementPolicy(enum.Enum):
+    """The three placements evaluated by the paper."""
+
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+    CLUSTER = "cluster"
+
+    @classmethod
+    def from_label(cls, label: str) -> "PlacementPolicy":
+        for member in cls:
+            if member.value == label.lower():
+                return member
+        raise ConfigError(f"unknown placement policy {label!r}")
+
+
+def _region_order_contiguous(
+    topo: NumaTopology, region: int
+) -> list[int]:
+    """Cores of a region in ascending id order (the cyclic policy's
+    within-region order)."""
+    return sorted(topo.numa_nodes[region])
+
+
+def _region_order_cluster(topo: NumaTopology, region: int) -> list[int]:
+    """Cores of a region ordered to cycle round its L2 clusters.
+
+    The SG2042's regions consist of two non-adjacent 8-core blocks; the
+    paper's example (thread 5 of 8 lands on core 16, not core 4) shows
+    the runtime alternates between the blocks while cycling clusters, so
+    we interleave the clusters of the two halves before round-robining.
+    """
+    cluster_ids = topo.clusters_in_numa(region)
+    clusters = sorted(
+        (sorted(topo.clusters[cid]) for cid in cluster_ids),
+        key=lambda cl: cl[0],
+    )
+    half = (len(clusters) + 1) // 2
+    lo, hi = clusters[:half], clusters[half:]
+    interleaved: list[list[int]] = []
+    for i in range(half):
+        interleaved.append(lo[i])
+        if i < len(hi):
+            interleaved.append(hi[i])
+    # Round-robin over clusters, contiguous within each cluster.
+    order: list[int] = []
+    depth = max(len(cl) for cl in interleaved)
+    for d in range(depth):
+        for cl in interleaved:
+            if d < len(cl):
+                order.append(cl[d])
+    return order
+
+
+def assign_cores(
+    topo: NumaTopology,
+    nthreads: int,
+    policy: PlacementPolicy,
+) -> tuple[int, ...]:
+    """Map ``nthreads`` OpenMP threads onto core ids under ``policy``.
+
+    Thread *t* runs on the *t*-th returned core. Raises
+    :class:`ConfigError` when the machine has fewer cores than threads
+    (the paper never oversubscribes).
+    """
+    if nthreads < 1:
+        raise ConfigError(f"need at least one thread, got {nthreads}")
+    if nthreads > topo.num_cores:
+        raise ConfigError(
+            f"{nthreads} threads exceed {topo.num_cores} cores"
+        )
+
+    if policy is PlacementPolicy.BLOCK:
+        return tuple(range(nthreads))
+
+    if policy is PlacementPolicy.CYCLIC:
+        region_orders = [
+            _region_order_contiguous(topo, r)
+            for r in range(topo.num_numa_nodes)
+        ]
+    elif policy is PlacementPolicy.CLUSTER:
+        region_orders = [
+            _region_order_cluster(topo, r)
+            for r in range(topo.num_numa_nodes)
+        ]
+    else:  # pragma: no cover - exhaustive enum
+        raise ConfigError(f"unhandled policy {policy}")
+
+    picks: list[int] = []
+    cursors = [0] * len(region_orders)
+    region = 0
+    while len(picks) < nthreads:
+        # Skip exhausted regions (possible when regions are uneven).
+        for _ in range(len(region_orders)):
+            order = region_orders[region % len(region_orders)]
+            cursor = cursors[region % len(region_orders)]
+            if cursor < len(order):
+                break
+            region += 1
+        else:
+            raise ConfigError("ran out of cores while placing threads")
+        idx = region % len(region_orders)
+        picks.append(region_orders[idx][cursors[idx]])
+        cursors[idx] += 1
+        region += 1
+    return tuple(picks)
+
+
+def parse_omp_proc_bind(value: str) -> bool:
+    """Parse ``OMP_PROC_BIND``: the paper sets it to ``true`` so threads
+    cannot migrate. Supported values: true/false/close/spread/master
+    (anything but ``false`` pins threads)."""
+    val = value.strip().lower()
+    if val in ("true", "close", "spread", "master", "primary"):
+        return True
+    if val == "false":
+        return False
+    raise ConfigError(f"invalid OMP_PROC_BIND value {value!r}")
+
+
+def parse_omp_places(value: str, topo: NumaTopology) -> list[tuple[int, ...]]:
+    """Parse a subset of ``OMP_PLACES``: ``cores``, ``sockets`` (NUMA
+    regions here), or an explicit place list like ``{0,8},{1,9}``.
+
+    Returns one tuple of core ids per place.
+    """
+    val = value.strip().lower()
+    if val == "cores" or val == "threads":
+        return [(c,) for c in range(topo.num_cores)]
+    if val == "sockets" or val == "numa_domains":
+        return [tuple(node) for node in topo.numa_nodes]
+    if val.startswith("{"):
+        places: list[tuple[int, ...]] = []
+        for chunk in val.split("},"):
+            chunk = chunk.strip().strip("{}")
+            if not chunk:
+                raise ConfigError(f"empty place in OMP_PLACES {value!r}")
+            try:
+                cores = tuple(int(c) for c in chunk.split(","))
+            except ValueError as exc:
+                raise ConfigError(
+                    f"invalid OMP_PLACES entry {chunk!r}"
+                ) from exc
+            for core in cores:
+                topo.numa_of(core)  # validates existence
+            places.append(cores)
+        return places
+    raise ConfigError(f"unsupported OMP_PLACES value {value!r}")

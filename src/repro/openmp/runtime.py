@@ -1,0 +1,55 @@
+"""Simulated OpenMP runtime objects.
+
+:class:`OpenMPRuntime` bundles the environment a RAJAPerf run sees —
+thread count, binding, placement policy — and resolves it to concrete
+core assignments against a machine topology. ``barrier_cost_seconds``
+re-exports the fork-join model so runtime consumers need not reach into
+perfmodel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cpu import CPUModel
+from repro.openmp.affinity import PlacementPolicy, assign_cores
+from repro.perfmodel.threading import barrier_seconds
+from repro.util.errors import ConfigError
+
+
+def barrier_cost_seconds(cpu: CPUModel, nthreads: int) -> float:
+    """Cost of one fork-join/barrier on ``cpu`` with ``nthreads``."""
+    return barrier_seconds(cpu, nthreads)
+
+
+@dataclass(frozen=True)
+class OpenMPRuntime:
+    """Resolved OpenMP execution environment.
+
+    Mirrors the paper's setup: ``OMP_PROC_BIND=true`` (threads pinned for
+    the whole run) and a placement policy choosing the pin targets.
+    """
+
+    nthreads: int
+    policy: PlacementPolicy = PlacementPolicy.BLOCK
+    proc_bind: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nthreads < 1:
+            raise ConfigError("nthreads must be >= 1")
+        if not self.proc_bind:
+            raise ConfigError(
+                "the paper pins threads (OMP_PROC_BIND=true); unpinned "
+                "runs are not modelled"
+            )
+
+    def placement(self, cpu: CPUModel) -> tuple[int, ...]:
+        """Core ids for each thread on ``cpu``."""
+        return assign_cores(cpu.topology, self.nthreads, self.policy)
+
+    def describe(self, cpu: CPUModel) -> str:
+        cores = self.placement(cpu)
+        return (
+            f"OMP_NUM_THREADS={self.nthreads} OMP_PROC_BIND=true "
+            f"policy={self.policy.value} cores={list(cores)}"
+        )

@@ -1,0 +1,47 @@
+"""OpenMP loop scheduling.
+
+Only ``schedule(static)`` is modelled — RAJAPerf's OpenMP variants use
+the default static schedule — but the chunker is a real one: it produces
+the exact iteration ranges libgomp assigns, and the property tests check
+coverage, disjointness and balance.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigError
+
+
+def static_chunks(n: int, nthreads: int) -> list[range]:
+    """Iteration ranges of ``schedule(static)`` over ``n`` iterations.
+
+    libgomp semantics: the first ``n % nthreads`` threads get
+    ``ceil(n / nthreads)`` iterations, the rest get the floor; threads
+    beyond ``n`` get empty ranges.
+    """
+    if n < 0:
+        raise ConfigError(f"iteration count must be >= 0, got {n}")
+    if nthreads < 1:
+        raise ConfigError(f"nthreads must be >= 1, got {nthreads}")
+    base = n // nthreads
+    extra = n % nthreads
+    chunks: list[range] = []
+    start = 0
+    for t in range(nthreads):
+        size = base + (1 if t < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def chunk_of_iteration(n: int, nthreads: int, iteration: int) -> int:
+    """Which thread owns ``iteration`` under ``schedule(static)``."""
+    if not 0 <= iteration < n:
+        raise ConfigError(f"iteration {iteration} out of range 0..{n - 1}")
+    base = n // nthreads
+    extra = n % nthreads
+    boundary = extra * (base + 1)
+    if iteration < boundary:
+        return iteration // (base + 1)
+    if base == 0:
+        raise ConfigError("iteration beyond all non-empty chunks")
+    return extra + (iteration - boundary) // base

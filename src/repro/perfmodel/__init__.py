@@ -1,0 +1,35 @@
+"""The analytic performance model.
+
+``simulate_kernel`` predicts the execution time of one RAJAPerf kernel on
+one modelled CPU for a given thread placement, precision and compilation
+outcome. The prediction composes four sub-models:
+
+* **pipeline** (:mod:`repro.perfmodel.pipeline`): per-iteration cycles
+  from FP throughput and load/store issue rates, scalar or vector;
+* **cache/memory** (:mod:`repro.perfmodel.memory`): which level of the
+  hierarchy serves the working set given capacity sharing, and the
+  per-thread bandwidth after NUMA-controller and cache-port contention;
+* **threading** (:mod:`repro.perfmodel.threading`): Amdahl composition
+  plus the fork-join/barrier overhead model;
+* **cachesim** (:mod:`repro.perfmodel.cachesim`): a concrete
+  set-associative LRU cache simulator used to validate the analytic
+  capacity model against address traces.
+"""
+
+from repro.perfmodel.cachesim import CacheStats, SetAssociativeCache
+from repro.perfmodel.execution import ExecutionResult, simulate_kernel
+from repro.perfmodel.memory import MemoryTimes, memory_time_per_iter
+from repro.perfmodel.pipeline import pipeline_time_per_iter
+from repro.perfmodel.threading import barrier_seconds, compose_parallel_time
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "simulate_kernel",
+    "ExecutionResult",
+    "memory_time_per_iter",
+    "MemoryTimes",
+    "pipeline_time_per_iter",
+    "barrier_seconds",
+    "compose_parallel_time",
+]

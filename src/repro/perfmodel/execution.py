@@ -1,0 +1,139 @@
+"""End-to-end kernel time prediction.
+
+``simulate_kernel`` is the single entry point the suite harness calls:
+given a kernel, a machine, a thread placement, the element type and the
+compilation outcome, it returns the predicted wall time of one full
+kernel execution (all RAJAPerf repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.vectorizer import VectorizationReport
+from repro.kernels.base import Kernel
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.perfmodel.memory import memory_time_per_iter
+from repro.perfmodel.pipeline import pipeline_time_per_iter
+from repro.perfmodel.threading import barrier_seconds, compose_parallel_time
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Prediction for one (kernel, machine, configuration) point.
+
+    Attributes:
+        seconds: Total predicted wall time (all repetitions).
+        seconds_per_rep: One repetition.
+        serving_level: Cache level (or DRAM) serving the slowest thread.
+        bound: ``"compute"`` or ``"memory"`` for the slowest thread.
+        vector_executed: Whether vector code actually ran.
+    """
+
+    seconds: float
+    seconds_per_rep: float
+    serving_level: str
+    bound: str
+    vector_executed: bool
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0 or self.seconds_per_rep <= 0:
+            raise SimulationError("predicted time must be positive")
+
+
+def execution_dtype(kernel: Kernel, precision: DType) -> DType:
+    """Element type the kernel's datapath actually uses.
+
+    Integer kernels (REDUCE3_INT) map FP32 configs to INT32 and FP64
+    configs to INT64 — and therefore *do* vectorize on the C920 at the
+    FP64 configuration, the one positive FP64 whisker in Figure 2.
+    """
+    if not kernel.traits.integer_kernel:
+        return precision
+    return DType.INT32 if precision == DType.FP32 else DType.INT64
+
+
+def simulate_kernel(
+    kernel: Kernel,
+    cpu: CPUModel,
+    cores: tuple[int, ...],
+    precision: DType,
+    report: VectorizationReport,
+    n: int | None = None,
+    reps: int | None = None,
+) -> ExecutionResult:
+    """Predict the wall time of one kernel execution.
+
+    Args:
+        kernel: The RAJAPerf kernel.
+        cpu: Machine model.
+        cores: Thread placement — one core id per OpenMP thread.
+        precision: FP32 or FP64 run configuration.
+        report: Compilation outcome from the vectorizer.
+        n: Problem size; defaults to the kernel's RAJAPerf size.
+        reps: Repetition count; defaults to the kernel's RAJAPerf reps.
+    """
+    if not cores:
+        raise SimulationError("placement must contain at least one core")
+    if len(set(cores)) != len(cores):
+        raise SimulationError(f"duplicate cores in placement {cores}")
+    size = kernel.default_size if n is None else n
+    repetitions = kernel.reps if reps is None else reps
+    if size < 1 or repetitions < 1:
+        raise SimulationError("size and reps must be >= 1")
+
+    dtype = execution_dtype(kernel, precision)
+    vectorized = report.effective and cpu.core.isa.supports(dtype)
+    nthreads = len(cores)
+    traits = kernel.traits
+
+    pipe_secs = pipeline_time_per_iter(
+        cpu.core, traits, dtype, vectorized,
+        report.efficiency if vectorized else 1.0,
+    )
+
+    # Parallel part: static schedule, slowest thread decides.
+    par_iters_total = traits.parallel_fraction * size
+    chunk = par_iters_total / nthreads
+    slowest = 0.0
+    slow_level = "?"
+    slow_bound = "?"
+    for core_id in cores:
+        mem = memory_time_per_iter(cpu, kernel, size, dtype, core_id, cores)
+        per_iter = max(pipe_secs, mem.seconds_per_iter)
+        t = chunk * per_iter
+        if t >= slowest:
+            slowest = t
+            slow_level = mem.serving_level
+            slow_bound = (
+                "compute" if pipe_secs >= mem.seconds_per_iter else "memory"
+            )
+
+    # Serial part runs on the master thread with the full machine idle.
+    serial_iters = (1.0 - traits.parallel_fraction) * size
+    if serial_iters > 0:
+        master = cores[0]
+        mem1 = memory_time_per_iter(
+            cpu, kernel, size, dtype, master, (master,)
+        )
+        serial_time = serial_iters * max(pipe_secs, mem1.seconds_per_iter)
+    else:
+        serial_time = 0.0
+
+    rep_time = compose_parallel_time(
+        serial_time,
+        slowest,
+        barrier_seconds(cpu, nthreads) * traits.regions_per_rep,
+    )
+    if rep_time <= 0:
+        raise SimulationError("non-positive repetition time")
+
+    return ExecutionResult(
+        seconds=rep_time * repetitions,
+        seconds_per_rep=rep_time,
+        serving_level=slow_level,
+        bound=slow_bound,
+        vector_executed=vectorized,
+    )

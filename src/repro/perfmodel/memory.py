@@ -1,0 +1,175 @@
+"""Cache/NUMA memory-path model.
+
+Decides, per thread, which level of the hierarchy serves a kernel's
+working set and at what per-thread bandwidth, accounting for:
+
+* capacity sharing — threads co-resident in a cluster split its L2, all
+  package threads split the L3 (this is why cluster-aware placement wins
+  in Table 3);
+* port vs aggregate cache bandwidth with a contention penalty when too
+  many sharers hammer one instance;
+* NUMA-controller bandwidth split among the threads placed in each
+  region, with the oversubscription thrash penalty (Tables 1-2's
+  block-vs-cyclic gap and the 64-thread collapse);
+* a gather/scatter derating for indirection kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.base import Kernel, LoopFeature
+from repro.machine.cache import CacheLevel, Sharing
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.util.errors import SimulationError
+
+#: Bandwidth efficiency of gather/scatter relative to unit-stride when
+#: data is served beyond the L1 (one element per cache line touched).
+GATHER_EFFICIENCY = 0.5
+
+#: Usable fraction of a cache's capacity for a thread's partitioned
+#: working-set slice. With one or two sharers, streaming slices settle
+#: into a shared cache with ~10% conflict loss; with three or more
+#: sharers, inter-thread conflict misses escalate and only about half
+#: the capacity is effectively retained (validated against the
+#: set-associative simulator in tests/perfmodel/test_cachesim.py).
+FIT_HEADROOM_FEW = 0.90
+FIT_HEADROOM_MANY = 0.40
+FEW_SHARERS = 2
+
+
+def fit_headroom(sharers: int) -> float:
+    """Capacity fraction usable when ``sharers`` threads share a cache."""
+    if sharers < 1:
+        raise SimulationError("sharers must be >= 1")
+    return FIT_HEADROOM_FEW if sharers <= FEW_SHARERS else FIT_HEADROOM_MANY
+
+
+@dataclass(frozen=True)
+class MemoryTimes:
+    """Per-iteration memory-path outcome for one thread."""
+
+    seconds_per_iter: float
+    serving_level: str  # cache level name, or "DRAM"
+    per_thread_bandwidth: float  # bytes/s actually available
+
+
+def _sharers_of_level(
+    cpu: CPUModel, level: CacheLevel, core: int, cores: tuple[int, ...]
+) -> int:
+    """How many active threads share the instance of ``level`` that
+    ``core`` uses."""
+    topo = cpu.topology
+    if level.sharing is Sharing.CORE:
+        return 1
+    if level.sharing is Sharing.CLUSTER:
+        return topo.active_per_cluster(cores).get(topo.cluster_of(core), 1)
+    if level.sharing is Sharing.NUMA:
+        return topo.active_per_numa(cores).get(topo.numa_of(core), 1)
+    if level.sharing is Sharing.PACKAGE:
+        return len(cores)
+    raise SimulationError(f"unknown sharing {level.sharing}")
+
+
+def _level_bandwidth_per_thread(
+    cpu: CPUModel, level: CacheLevel, sharers: int
+) -> float:
+    """Bytes/s one thread can draw from ``level``."""
+    port = level.bandwidth_bytes_per_cycle * cpu.core.clock_hz
+    agg = level.effective_aggregate_bandwidth(sharers)
+    if agg is None:
+        return port
+    return min(port, agg * cpu.core.clock_hz / sharers)
+
+
+def _dram_bandwidth_per_thread(
+    cpu: CPUModel, core: int, cores: tuple[int, ...]
+) -> float:
+    """Bytes/s one thread can draw from DRAM given the placement."""
+    topo = cpu.topology
+    mem = cpu.memory
+    if mem.numa_local and topo.num_numa_nodes > 1:
+        region = topo.numa_of(core)
+        active = topo.active_per_numa(cores).get(region, 1)
+        regional = mem.effective_region_bandwidth(
+            topo.num_numa_nodes, active
+        )
+        share = regional / active
+    else:
+        active = len(cores)
+        total = mem.package_bandwidth
+        if mem.thrash_threshold is not None and active > mem.thrash_threshold:
+            total *= (mem.thrash_threshold / active) ** mem.thrash_exponent
+        share = total / active
+    return min(share, mem.per_core_bandwidth_bytes)
+
+
+def serving_level(
+    cpu: CPUModel,
+    kernel: Kernel,
+    n: int,
+    dtype: DType,
+    core: int,
+    cores: tuple[int, ...],
+) -> CacheLevel | None:
+    """Innermost cache level whose (shared) capacity holds the working
+    set, or ``None`` when the kernel streams from DRAM.
+
+    Each thread works on ``footprint / nthreads`` bytes; a level fits if
+    the combined slices of all threads sharing the instance fit its
+    capacity (with a 10% headroom for conflict misses, matching what the
+    set-associative simulator shows for streaming patterns).
+    """
+    nthreads = len(cores)
+    slice_bytes = kernel.footprint_bytes(n, dtype) / nthreads
+    for level in cpu.caches:
+        sharers = _sharers_of_level(cpu, level, core, cores)
+        headroom = fit_headroom(sharers)
+        if slice_bytes * sharers <= headroom * level.capacity_bytes:
+            return level
+    return None
+
+
+def memory_time_per_iter(
+    cpu: CPUModel,
+    kernel: Kernel,
+    n: int,
+    dtype: DType,
+    core: int,
+    cores: tuple[int, ...],
+) -> MemoryTimes:
+    """Seconds of memory-path time per main-loop iteration for the
+    thread pinned to ``core``."""
+    if n < 1:
+        raise SimulationError(f"problem size must be >= 1, got {n}")
+    if core not in cores:
+        raise SimulationError(f"core {core} not in placement {cores}")
+
+    traits = kernel.traits
+    bytes_per_iter = traits.bytes_per_iter(dtype)
+
+    level = serving_level(cpu, kernel, n, dtype, core, cores)
+    if level is not None:
+        sharers = _sharers_of_level(cpu, level, core, cores)
+        bandwidth = _level_bandwidth_per_thread(cpu, level, sharers)
+        name = level.name
+        # Blocked kernels (traffic_scale < 1) also shrink outer-level
+        # traffic; inner levels see the full stream.
+        if level is not cpu.caches.levels[0]:
+            bytes_per_iter *= traits.traffic_scale
+    else:
+        bandwidth = _dram_bandwidth_per_thread(cpu, core, cores)
+        name = "DRAM"
+        bytes_per_iter *= traits.traffic_scale
+
+    if LoopFeature.INDIRECTION in traits.features and name != "L1D":
+        bandwidth *= GATHER_EFFICIENCY
+
+    if bandwidth <= 0:
+        raise SimulationError("non-positive memory bandwidth")
+    return MemoryTimes(
+        seconds_per_iter=bytes_per_iter / bandwidth,
+        serving_level=name,
+        per_thread_bandwidth=bandwidth,
+    )

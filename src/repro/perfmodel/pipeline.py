@@ -1,0 +1,79 @@
+"""Per-iteration pipeline cost: FP throughput vs load/store issue rate.
+
+A superscalar core overlaps arithmetic with address generation, so the
+per-iteration cycle cost is the *maximum* of the FP-pipe time and the
+load/store-pipe time, not their sum. Vectorization divides both: a vector
+op retires ``lanes`` elements of arithmetic, and a unit-stride vector
+load/store moves ``lanes`` elements per instruction — which is why
+enabling RVV helps the C920 even on cache-resident, bandwidth-flavoured
+kernels (Figure 2's stream class).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import KernelTraits
+from repro.machine.cpu import CoreModel
+from repro.machine.vector import DType
+from repro.util.errors import SimulationError
+
+
+def _mode_efficiency(core: CoreModel, vectorized: bool) -> float:
+    eff = core.vector_efficiency if vectorized else core.scalar_efficiency
+    if not core.out_of_order:
+        eff *= core.inorder_penalty
+    return eff
+
+
+def pipeline_time_per_iter(
+    core: CoreModel,
+    traits: KernelTraits,
+    dtype: DType,
+    vectorized: bool,
+    vector_efficiency: float = 1.0,
+) -> float:
+    """Seconds of core-pipeline time per main-loop iteration.
+
+    ``vectorized`` means vector code *executes* (compiler emitted it and
+    the runtime path is the vector one). ``vector_efficiency`` is the
+    compiler/kernel quality multiplier from the vectorization report.
+
+    When the ISA cannot vectorize ``dtype`` (FP64 on the C920's RVV
+    v0.7.1), lane count collapses to 1 and the arithmetic falls back to
+    the scalar pipes — executing "vector" FP64 code is then no faster
+    than scalar, reproducing Figure 2.
+    """
+    if not 0 < vector_efficiency <= 1:
+        raise SimulationError(
+            f"vector_efficiency must be in (0, 1], got {vector_efficiency}"
+        )
+
+    lanes = core.isa.lanes(dtype) if vectorized else 1
+    vec_active = vectorized and lanes > 1
+
+    if vec_active:
+        ops_factor = 2.0 if core.fma else 1.0
+        flops_per_cycle = (
+            core.vector_pipes * lanes * ops_factor
+            * _mode_efficiency(core, True)
+            * vector_efficiency
+        )
+        mem_lanes = lanes * vector_efficiency
+        ls_eff = _mode_efficiency(core, True)
+    else:
+        flops_per_cycle = (
+            core.fp_ops_per_cycle * _mode_efficiency(core, False)
+        )
+        mem_lanes = 1.0
+        ls_eff = _mode_efficiency(core, False)
+
+    if flops_per_cycle <= 0 or ls_eff <= 0:
+        raise SimulationError("non-positive pipeline throughput")
+
+    flop_cycles = traits.flops_per_iter / flops_per_cycle
+    mem_ops = (traits.reads_per_iter + traits.writes_per_iter) / mem_lanes
+    mem_cycles = mem_ops / (core.ls_ops_per_cycle * ls_eff)
+
+    cycles = max(flop_cycles, mem_cycles)
+    if cycles < 0:
+        raise SimulationError(f"negative cycle count {cycles}")
+    return cycles / core.clock_hz

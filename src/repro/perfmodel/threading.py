@@ -1,0 +1,53 @@
+"""Threading composition: Amdahl's law plus fork-join overhead.
+
+One RAJAPerf repetition decomposes into a serial fraction (executed by
+the master thread at single-thread speed), a parallel fraction (split by
+the static scheduler, finishing when the slowest thread does), and the
+OpenMP fork-join/barrier cost paid once per repetition.
+
+The barrier cost grows with thread count; on the SG2042 it is large
+enough that short kernels (halo exchanges, stream passes at high rep
+counts) lose their threading gains — the mechanism behind the apps
+class's 2-thread *slowdown* and much of the 64-thread collapse in
+Tables 1-3.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cpu import CPUModel
+from repro.util.errors import SimulationError
+
+#: Barrier growth: cost = fork_join_ns * (1 + LINEAR * (p - 1)) — a
+#: centralized-barrier model; log-tree barriers would grow slower but the
+#: GOMP default on these platforms is centralized.
+BARRIER_LINEAR_FACTOR = 0.15
+
+
+def barrier_seconds(cpu: CPUModel, nthreads: int) -> float:
+    """Fork-join plus barrier cost of one parallel region."""
+    if nthreads < 1:
+        raise SimulationError(f"nthreads must be >= 1, got {nthreads}")
+    if nthreads == 1:
+        # No parallel region is forked for a single thread.
+        return 0.0
+    return (
+        cpu.fork_join_ns
+        * (1.0 + BARRIER_LINEAR_FACTOR * (nthreads - 1))
+        * 1e-9
+    )
+
+
+def compose_parallel_time(
+    serial_fraction_time: float,
+    slowest_chunk_time: float,
+    barrier_time: float,
+) -> float:
+    """Total time of one repetition."""
+    for name, value in (
+        ("serial_fraction_time", serial_fraction_time),
+        ("slowest_chunk_time", slowest_chunk_time),
+        ("barrier_time", barrier_time),
+    ):
+        if value < 0:
+            raise SimulationError(f"{name} must be >= 0, got {value}")
+    return serial_fraction_time + slowest_chunk_time + barrier_time

@@ -1,0 +1,30 @@
+"""RAJAPerf-style benchmark harness.
+
+Couples the kernel suite, the compiler model and the performance model
+into runnable experiments: a :class:`~repro.suite.config.RunConfig`
+describes one configuration (threads, placement, precision, compiler,
+vector flavour), ``run_suite`` produces per-kernel times averaged over
+five simulated runs (like the paper), and :mod:`repro.suite.report`
+aggregates them into the paper's class-level bars, whiskers, speedups
+and parallel efficiencies.
+"""
+
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.report import (
+    class_speedups,
+    class_summaries,
+    kernel_relative,
+)
+from repro.suite.runner import SuiteResult, run_suite, verify_kernel
+
+__all__ = [
+    "RunConfig",
+    "Precision",
+    "Placement",
+    "run_suite",
+    "SuiteResult",
+    "verify_kernel",
+    "class_summaries",
+    "class_speedups",
+    "kernel_relative",
+]

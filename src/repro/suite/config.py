@@ -1,0 +1,129 @@
+"""Run configuration: one point in the paper's experiment space.
+
+A configuration pins everything Section 3 varies: thread count, placement
+policy, precision, whether vectorization is enabled, which compiler and
+vector flavour produced the binary, and whether the RVV-rollback tool was
+applied (required to run Clang output on the C920).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.compiler.model import (
+    CLANG_16,
+    Compiler,
+    GCC_8_3,
+    GCC_11_2,
+    VectorFlavor,
+    XUANTIE_GCC_8_4,
+    compiler_by_name,
+)
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy
+from repro.util.errors import ConfigError
+
+#: Public aliases matching the paper's vocabulary.
+Precision = DType
+Placement = PlacementPolicy
+
+#: The paper averages every reported result over five runs.
+DEFAULT_RUNS = 5
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One benchmark configuration.
+
+    Attributes:
+        threads: OpenMP thread count.
+        precision: FP32 or FP64 (multithreaded runs in the paper use
+            FP32; figure comparisons use both).
+        placement: Thread placement policy (Tables 1-3).
+        vectorize: Whether vector code generation is enabled; ``False``
+            models ``-fno-tree-vectorize`` builds (Figure 2 baseline).
+        compiler: Compiler short id, or ``None`` to use the platform
+            default (XuanTie GCC 8.4 on RVV 0.7.1 targets, GCC 11.2 on
+            AMD Rome/ARCHER2, GCC 8.3 elsewhere — Section 3.3).
+        flavor: VLS or VLA vector code (Figure 3; GCC only emits VLS).
+        rollback: Apply the RVV-rollback tool to run RVV v1.0 assembly
+            on a v0.7.1 core.
+        runs: Simulated repetitions to average (paper: 5).
+        noise_sigma: Lognormal run-to-run noise; 0 for exact model output.
+        size_scale: Multiplier on every kernel's default problem size.
+    """
+
+    threads: int = 1
+    precision: Precision = Precision.FP64
+    placement: Placement = Placement.BLOCK
+    vectorize: bool = True
+    compiler: str | None = None
+    flavor: VectorFlavor = VectorFlavor.VLS
+    rollback: bool = False
+    runs: int = DEFAULT_RUNS
+    noise_sigma: float = 0.02
+    size_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Accept string shorthands ("fp32", "cyclic", "vla") for
+        # ergonomic CLI/example use.
+        if isinstance(self.precision, str):
+            object.__setattr__(
+                self, "precision", DType.from_label(self.precision)
+            )
+        if isinstance(self.placement, str):
+            object.__setattr__(
+                self, "placement", PlacementPolicy.from_label(self.placement)
+            )
+        if isinstance(self.flavor, str):
+            object.__setattr__(
+                self, "flavor", VectorFlavor(self.flavor.lower())
+            )
+        if self.threads < 1:
+            raise ConfigError(f"threads must be >= 1, got {self.threads}")
+        if self.precision not in (DType.FP32, DType.FP64):
+            raise ConfigError(
+                "precision must be FP32 or FP64 (the suite's run modes)"
+            )
+        if self.runs < 1:
+            raise ConfigError(f"runs must be >= 1, got {self.runs}")
+        if self.noise_sigma < 0:
+            raise ConfigError("noise_sigma must be >= 0")
+        if self.size_scale <= 0:
+            raise ConfigError("size_scale must be positive")
+        if self.compiler is not None:
+            compiler_by_name(self.compiler)  # validates
+
+    def with_threads(self, threads: int, placement: Placement | None = None
+                     ) -> "RunConfig":
+        """Derive a config differing only in thread count/placement."""
+        if placement is None:
+            return replace(self, threads=threads)
+        return replace(self, threads=threads, placement=placement)
+
+    def resolve_compiler(self, cpu: CPUModel) -> Compiler:
+        """The compiler used for ``cpu`` under this config.
+
+        Defaults follow the paper: XuanTie GCC 8.4 for RVV v0.7.1 cores
+        (the only toolchain emitting v0.7.1), GCC 11.2 on ARCHER2's AMD
+        Rome, GCC 8.3 everywhere else.
+        """
+        if self.compiler is not None:
+            comp = compiler_by_name(self.compiler)
+        elif cpu.core.isa.version == "0.7.1":
+            comp = XUANTIE_GCC_8_4
+        elif cpu.part == "EPYC 7742":
+            comp = GCC_11_2
+        else:
+            comp = GCC_8_3
+        if (
+            comp is CLANG_16
+            and cpu.core.isa.version == "0.7.1"
+            and not self.rollback
+        ):
+            raise ConfigError(
+                "Clang emits RVV v1.0 only; enable rollback=True to run "
+                "its output on the C920 (the paper's RVV-rollback flow)"
+            )
+        return comp

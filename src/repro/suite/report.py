@@ -1,0 +1,92 @@
+"""Aggregation: class-level bars, whiskers, speedups, efficiencies.
+
+Implements the exact reporting conventions of the paper's figures and
+tables (see :mod:`repro.util.stats` for the conventions themselves).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import KernelClass
+from repro.suite.runner import SuiteResult
+from repro.util.errors import ConfigError
+from repro.util.stats import (
+    Summary,
+    arithmetic_mean,
+    parallel_efficiency,
+    relative_to_baseline,
+    speedup,
+    summarize,
+)
+
+
+def _common_kernels(a: SuiteResult, b: SuiteResult) -> list[str]:
+    common = [k for k in a.runs if k in b.runs]
+    if not common:
+        raise ConfigError("results share no kernels")
+    return common
+
+
+def kernel_relative(
+    baseline: SuiteResult, other: SuiteResult
+) -> dict[str, float]:
+    """Per-kernel signed times-faster/slower of ``other`` vs
+    ``baseline`` (the figures' y-axis quantity)."""
+    return {
+        name: relative_to_baseline(
+            baseline.time(name), other.time(name)
+        )
+        for name in _common_kernels(baseline, other)
+    }
+
+
+def class_summaries(
+    baseline: SuiteResult, other: SuiteResult
+) -> dict[KernelClass, Summary]:
+    """Class-level bar + whiskers of ``other`` relative to ``baseline``
+    — one figure's worth of data."""
+    rel = kernel_relative(baseline, other)
+    out: dict[KernelClass, Summary] = {}
+    for klass in KernelClass:
+        values = [
+            rel[r.kernel_name]
+            for r in baseline.kernels_in_class(klass)
+            if r.kernel_name in rel
+        ]
+        if values:
+            out[klass] = summarize(values)
+    return out
+
+
+def class_speedups(
+    single_thread: SuiteResult, threaded: SuiteResult
+) -> dict[KernelClass, tuple[float, float]]:
+    """Class-level (speedup, parallel efficiency) — one row of
+    Tables 1-3.
+
+    The class speedup is the mean of per-kernel speedups; efficiency
+    divides by the threaded run's thread count.
+    """
+    if single_thread.config.threads != 1:
+        raise ConfigError("baseline must be a single-thread run")
+    threads = threaded.config.threads
+    out: dict[KernelClass, tuple[float, float]] = {}
+    for klass in KernelClass:
+        pairs = [
+            (r.seconds, threaded.time(r.kernel_name))
+            for r in single_thread.kernels_in_class(klass)
+            if r.kernel_name in threaded.runs
+        ]
+        if not pairs:
+            continue
+        s = arithmetic_mean([speedup(t1, tp) for t1, tp in pairs])
+        out[klass] = (s, parallel_efficiency(s, threads))
+    return out
+
+
+def suite_average_relative(
+    baseline: SuiteResult, other: SuiteResult
+) -> float:
+    """Whole-suite mean of the signed relative values — the "on average
+    N times faster" statements in the paper's conclusions."""
+    rel = kernel_relative(baseline, other)
+    return arithmetic_mean(list(rel.values()))

@@ -1,0 +1,150 @@
+"""Suite runner: predict per-kernel times for one configuration.
+
+``run_suite`` is the workhorse behind every table and figure: it resolves
+the thread placement, compiles each kernel through the compiler model,
+asks the performance model for the time, injects seeded run-to-run noise
+and averages over the configured number of runs — mirroring how the paper
+collected its numbers (five runs, -O3, pinned threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.vectorizer import VectorizationReport, analyze
+from repro.kernels.base import Kernel, KernelClass
+from repro.kernels.registry import all_kernels
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.openmp.affinity import assign_cores
+from repro.perfmodel.execution import ExecutionResult, simulate_kernel
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed, noise_factors
+from repro.util.stats import arithmetic_mean
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """One kernel's outcome within a suite run."""
+
+    kernel_name: str
+    klass: KernelClass
+    seconds: float  # run-averaged
+    prediction: ExecutionResult
+    report: VectorizationReport
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All kernel outcomes for one (machine, configuration) pair."""
+
+    cpu_name: str
+    config: RunConfig
+    runs: dict[str, KernelRun]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise ConfigError("suite result contains no kernels")
+
+    def time(self, kernel_name: str) -> float:
+        key = kernel_name.upper()
+        if key not in self.runs:
+            raise ConfigError(f"no result for kernel {kernel_name!r}")
+        return self.runs[key].seconds
+
+    def kernels_in_class(self, klass: KernelClass) -> list[KernelRun]:
+        return [r for r in self.runs.values() if r.klass == klass]
+
+    def class_means(self) -> dict[KernelClass, float]:
+        """Mean kernel time per class (seconds)."""
+        out: dict[KernelClass, float] = {}
+        for klass in KernelClass:
+            members = self.kernels_in_class(klass)
+            if members:
+                out[klass] = arithmetic_mean([r.seconds for r in members])
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.runs.values())
+
+
+def _noisy_average(base_seconds: float, seed: int, runs: int,
+                   sigma: float) -> float:
+    """Average of ``runs`` noisy samples of the model prediction."""
+    factors = noise_factors(seed, runs, sigma)
+    return float(base_seconds * np.mean(factors))
+
+
+def run_suite(
+    cpu: CPUModel,
+    config: RunConfig,
+    kernels: list[Kernel] | None = None,
+) -> SuiteResult:
+    """Run (predict) the whole suite on ``cpu`` under ``config``."""
+    if kernels is None:
+        kernels = all_kernels()
+    if not kernels:
+        raise ConfigError("kernel list is empty")
+    compiler = config.resolve_compiler(cpu)
+    cores = assign_cores(cpu.topology, config.threads, config.placement)
+
+    runs: dict[str, KernelRun] = {}
+    for kernel in kernels:
+        if config.vectorize:
+            report = analyze(
+                compiler,
+                kernel,
+                cpu.core.isa,
+                flavor=config.flavor,
+                rollback=config.rollback,
+            )
+        else:
+            report = VectorizationReport(
+                vectorized=False,
+                vector_path_executed=False,
+                flavor=None,
+                efficiency=1.0,
+                reason="vectorization disabled",
+            )
+        size = max(1, int(round(kernel.default_size * config.size_scale)))
+        prediction = simulate_kernel(
+            kernel, cpu, cores, config.precision, report, n=size
+        )
+        seed = derive_seed(
+            cpu.name, kernel.name, config.threads,
+            config.placement.value, config.precision.label,
+            config.vectorize, compiler.name, config.flavor.value,
+        )
+        seconds = _noisy_average(
+            prediction.seconds, seed, config.runs, config.noise_sigma
+        )
+        runs[kernel.name] = KernelRun(
+            kernel_name=kernel.name,
+            klass=kernel.klass,
+            seconds=seconds,
+            prediction=prediction,
+            report=report,
+        )
+    return SuiteResult(cpu_name=cpu.name, config=config, runs=runs)
+
+
+def verify_kernel(
+    kernel: Kernel, n: int, precision: DType, reps: int = 2
+) -> float:
+    """Actually execute a kernel's NumPy implementation and return its
+    checksum — the correctness face of the suite, used by tests and the
+    quickstart example."""
+    if n < 1 or reps < 1:
+        raise ConfigError("n and reps must be >= 1")
+    ws = kernel.prepare(n, precision)
+    for _ in range(reps):
+        kernel.execute(ws)
+    checksum = kernel.checksum(ws)
+    if not np.isfinite(checksum):
+        raise ConfigError(
+            f"{kernel.name} produced a non-finite checksum at n={n}"
+        )
+    return checksum

@@ -1,0 +1,129 @@
+"""Configuration sweeps: run grids of (threads, placement, precision).
+
+The experiments hand-roll their specific sweeps; this module provides
+the general tool a user points at their own question — "which
+configuration is best for these kernels on this machine?" — with tidy
+long-format results and CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.kernels.base import Kernel
+from repro.machine.cpu import CPUModel
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.runner import SuiteResult, run_suite
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One row of a sweep result (long format)."""
+
+    cpu: str
+    threads: int
+    placement: Placement
+    precision: Precision
+    kernel: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep."""
+
+    points: tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigError("sweep produced no points")
+
+    def filtered(self, **criteria) -> list[SweepPoint]:
+        """Points matching all given attribute values."""
+        out = []
+        for point in self.points:
+            if all(
+                getattr(point, key) == value
+                for key, value in criteria.items()
+            ):
+                out.append(point)
+        return out
+
+    def best_for_kernel(self, kernel: str) -> SweepPoint:
+        """Fastest configuration for one kernel."""
+        candidates = self.filtered(kernel=kernel.upper())
+        if not candidates:
+            raise ConfigError(f"no sweep points for kernel {kernel!r}")
+        return min(candidates, key=lambda p: p.seconds)
+
+    def best_overall(self) -> tuple[int, Placement, Precision]:
+        """Configuration minimizing the summed time over all kernels."""
+        totals: dict[tuple, float] = {}
+        for p in self.points:
+            key = (p.threads, p.placement, p.precision)
+            totals[key] = totals.get(key, 0.0) + p.seconds
+        return min(totals, key=totals.get)
+
+    def to_csv(self) -> str:
+        from repro.util.tables import render_csv
+
+        rows = [
+            (
+                p.cpu,
+                p.threads,
+                p.placement.value,
+                p.precision.label,
+                p.kernel,
+                f"{p.seconds:.9f}",
+            )
+            for p in self.points
+        ]
+        return render_csv(
+            ("cpu", "threads", "placement", "precision", "kernel",
+             "seconds"),
+            rows,
+        )
+
+
+def sweep(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    threads: Sequence[int] = (1,),
+    placements: Sequence[Placement] = (Placement.BLOCK,),
+    precisions: Sequence[Precision] = (Precision.FP64,),
+    runs: int = 1,
+    noise_sigma: float = 0.0,
+) -> SweepResult:
+    """Run the full configuration grid and collect long-format points."""
+    if not kernels:
+        raise ConfigError("kernel list is empty")
+    if not threads or not placements or not precisions:
+        raise ConfigError("sweep axes must be non-empty")
+    points: list[SweepPoint] = []
+    kernel_list = list(kernels)
+    for t, placement, precision in product(
+        threads, placements, precisions
+    ):
+        config = RunConfig(
+            threads=t,
+            placement=placement,
+            precision=precision,
+            runs=runs,
+            noise_sigma=noise_sigma,
+        )
+        result: SuiteResult = run_suite(cpu, config, kernels=kernel_list)
+        for name, run in result.runs.items():
+            points.append(
+                SweepPoint(
+                    cpu=cpu.name,
+                    threads=t,
+                    placement=placement,
+                    precision=precision,
+                    kernel=name,
+                    seconds=run.seconds,
+                )
+            )
+    return SweepResult(points=tuple(points))

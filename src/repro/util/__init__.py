@@ -1,0 +1,48 @@
+"""Shared utilities: units, statistics, table rendering, deterministic RNG."""
+
+from repro.util.errors import ConfigError, ReproError, SimulationError
+from repro.util.rng import derive_seed, noise_factors
+from repro.util.stats import (
+    geometric_mean,
+    parallel_efficiency,
+    relative_to_baseline,
+    speedup,
+    summarize,
+    Summary,
+)
+from repro.util.units import (
+    GB,
+    GHZ,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    format_bytes,
+    format_seconds,
+    parse_size,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "derive_seed",
+    "noise_factors",
+    "speedup",
+    "parallel_efficiency",
+    "relative_to_baseline",
+    "geometric_mean",
+    "summarize",
+    "Summary",
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "GHZ",
+    "format_bytes",
+    "format_seconds",
+    "parse_size",
+]

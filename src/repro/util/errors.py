@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError` so callers can catch package failures without also
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid run configuration, machine description or experiment
+    parameter was supplied (e.g. more threads than cores, a precision the
+    kernel does not support, an unknown placement policy)."""
+
+
+class SimulationError(ReproError):
+    """The performance model reached an inconsistent state (e.g. negative
+    predicted time, empty thread chunking). Indicates a bug or a machine
+    description violating model invariants."""
+
+
+class IsaError(ReproError):
+    """Assembly could not be parsed or translated (unknown mnemonic,
+    malformed operands, unsupported RVV construct)."""
+
+
+class CompilationError(ReproError):
+    """The compiler model was asked something it cannot answer (unknown
+    kernel IR construct, incompatible target/ISA combination)."""

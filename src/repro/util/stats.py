@@ -1,0 +1,116 @@
+"""Statistics helpers used throughout the suite and experiments.
+
+The paper reports three derived quantities, reproduced here with the same
+conventions:
+
+* **speedup** (Tables 1-3): time on one thread divided by time on *n*.
+* **parallel efficiency** (Tables 1-3): speedup divided by thread count.
+* **times faster/slower** (Figures 1-7): a signed ratio where ``0`` means
+  equal performance, ``+x`` means ``(x+1)`` times faster than the baseline
+  and ``-x`` means ``(x+1)`` times slower. This is the quantity plotted on
+  every figure's vertical axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.util.errors import ConfigError
+
+
+def speedup(t_base: float, t_new: float) -> float:
+    """Classic speedup: execution time of the baseline divided by the new
+    configuration's time. ``>1`` means the new configuration is faster."""
+    if t_base <= 0 or t_new <= 0:
+        raise ConfigError(f"times must be positive, got {t_base} and {t_new}")
+    return t_base / t_new
+
+
+def parallel_efficiency(speedup_value: float, threads: int) -> float:
+    """Parallel efficiency, the paper's footnote 3: speedup over thread
+    count. 1 is ideal; superlinear speedups can exceed 1 (the paper reports
+    e.g. 1.40 for Stream at 8 threads with cluster placement)."""
+    if threads < 1:
+        raise ConfigError(f"thread count must be >= 1, got {threads}")
+    if speedup_value < 0:
+        raise ConfigError(f"speedup must be non-negative, got {speedup_value}")
+    return speedup_value / threads
+
+
+def relative_to_baseline(t_baseline: float, t_other: float) -> float:
+    """The figures' signed "number of times faster/slower" convention.
+
+    ``0``  -> same performance.
+    ``+1`` -> twice as fast as the baseline.
+    ``-1`` -> twice as slow as the baseline.
+
+    The mapping is ``ratio - 1`` for speedups and ``1 - 1/ratio`` inverted
+    (``-(t_other/t_baseline - 1)``) for slowdowns, matching the symmetric
+    axis in the paper's figures.
+    """
+    ratio = speedup(t_baseline, t_other)
+    if ratio >= 1.0:
+        return ratio - 1.0
+    return -(1.0 / ratio - 1.0)
+
+
+def from_relative(rel: float) -> float:
+    """Invert :func:`relative_to_baseline`, returning the plain time ratio
+    ``t_baseline / t_other``."""
+    if rel >= 0:
+        return rel + 1.0
+    return 1.0 / (1.0 - rel)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the right average for ratios. Raises on empty input
+    or non-positive entries (a silent 0 would poison downstream means)."""
+    vals = list(values)
+    if not vals:
+        raise ConfigError("geometric mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ConfigError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean, raising on empty input."""
+    vals = list(values)
+    if not vals:
+        raise ConfigError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean plus min/max whiskers — one bar of a paper figure."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError("summary requires at least one sample")
+        if not (self.minimum <= self.mean <= self.maximum):
+            raise ConfigError(
+                f"inconsistent summary: min={self.minimum} mean={self.mean} "
+                f"max={self.maximum}"
+            )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Collapse per-kernel values to a class-level bar + whiskers, matching
+    the aggregation used by all the paper figures (arithmetic mean of the
+    signed relative values, whiskers at min/max)."""
+    vals = list(values)
+    if not vals:
+        raise ConfigError("cannot summarize empty sequence")
+    lo, hi = min(vals), max(vals)
+    # Clamp: summing then dividing can round the mean a ULP outside the
+    # sample range for denormal-scale values.
+    mean = min(max(arithmetic_mean(vals), lo), hi)
+    return Summary(mean=mean, minimum=lo, maximum=hi, count=len(vals))

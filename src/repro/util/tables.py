@@ -1,0 +1,109 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment modules print tables shaped exactly like the paper's
+(Tables 1-4) and textual renderings of the figures' bar+whisker data, so
+the harness output can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.errors import ConfigError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Every row must have the same arity as ``headers``; cells are converted
+    with ``str`` and right-padded. Floats should be pre-formatted by the
+    caller so each experiment controls its own precision.
+    """
+    ncols = len(headers)
+    if ncols == 0:
+        raise ConfigError("table needs at least one column")
+    str_rows = []
+    for row in rows:
+        if len(row) != ncols:
+            raise ConfigError(
+                f"row {row!r} has {len(row)} cells, expected {ncols}"
+            )
+        str_rows.append([str(cell) for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    means: Sequence[float],
+    mins: Sequence[float],
+    maxs: Sequence[float],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render a horizontal bar chart with whiskers as ASCII art.
+
+    Used by the figure experiments: each label gets a bar proportional to
+    its mean plus a ``[min, max]`` annotation — the textual analogue of the
+    paper's bar+whisker plots.
+    """
+    n = len(labels)
+    if not (n == len(means) == len(mins) == len(maxs)):
+        raise ConfigError("labels/means/mins/maxs must have equal length")
+    if n == 0:
+        raise ConfigError("bar chart needs at least one bar")
+    label_w = max(len(lbl) for lbl in labels)
+    span = max(abs(v) for seq in (means, mins, maxs) for v in seq)
+    span = max(span, 1e-12)
+    scale = width / span
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for lbl, mean, lo, hi in zip(labels, means, mins, maxs):
+        bar_len = int(round(abs(mean) * scale))
+        bar = ("+" if mean >= 0 else "-") * bar_len
+        lines.append(
+            f"{lbl.ljust(label_w)} | {mean:+8.2f} {bar:<{width}} "
+            f"[{lo:+.2f}, {hi:+.2f}]"
+        )
+    return "\n".join(lines)
+
+
+def render_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render rows as simple CSV (no quoting: experiment cells never
+    contain commas)."""
+    ncols = len(headers)
+    out = [",".join(headers)]
+    for row in rows:
+        if len(row) != ncols:
+            raise ConfigError(
+                f"row {row!r} has {len(row)} cells, expected {ncols}"
+            )
+        cells = [str(c) for c in row]
+        if any("," in c for c in cells):
+            raise ConfigError(f"cell containing comma in row {row!r}")
+        out.append(",".join(cells))
+    return "\n".join(out)

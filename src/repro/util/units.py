@@ -1,0 +1,87 @@
+"""Unit constants and human-friendly formatting helpers.
+
+Hardware datasheets mix decimal (DDR bandwidth, clock) and binary (cache
+capacity) units; we keep both explicit to avoid the classic KB/KiB 2.4%
+errors compounding through the cache model.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConfigError
+
+#: Decimal byte units (used for DRAM bandwidth).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+#: Binary byte units (used for cache and memory capacities).
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: Frequency unit (Hz).
+MHZ = 1_000_000
+GHZ = 1_000_000_000
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]i?B|B)?\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": 1_000_000_000_000,
+    "KIB": KIB,
+    "MIB": MIB,
+    "GIB": GIB,
+    "TIB": 1024**4,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``"64KiB"``, ``"1MB"``, ``"512 B"``) into
+    bytes.
+
+    Raises :class:`ConfigError` for malformed strings so that bad machine
+    descriptions fail loudly at construction time.
+    """
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"cannot parse size {text!r}")
+    unit = match.group("unit")
+    factor = _UNIT_FACTORS[unit.upper() if unit else None]
+    value = float(match.group("num")) * factor
+    if value != int(value):
+        raise ConfigError(f"size {text!r} is not a whole number of bytes")
+    return int(value)
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count with the largest binary unit that keeps the
+    mantissa >= 1 (``65536`` -> ``"64.0KiB"``)."""
+    if n < 0:
+        raise ConfigError(f"byte count must be non-negative, got {n}")
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{value:.0f}B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with an adaptive unit (s / ms / us / ns)."""
+    if t < 0:
+        raise ConfigError(f"duration must be non-negative, got {t}")
+    if t >= 1.0:
+        return f"{t:.3f}s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f}ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.3f}us"
+    return f"{t * 1e9:.3f}ns"

@@ -1,0 +1,77 @@
+"""Bottleneck attribution tests."""
+
+import pytest
+
+from repro.analysis.bottleneck import (
+    attribute_bottlenecks,
+    render_bottleneck_report,
+)
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def config32():
+    return RunConfig(threads=32, precision="fp32", placement="cluster")
+
+
+class TestAttribution:
+    def test_all_kernels_attributed(self, sg2042, config32, kernels):
+        reports = attribute_bottlenecks(sg2042, config32, kernels)
+        assert len(reports) == 64
+        for r in reports:
+            assert 0 <= r.parallel_share <= 1
+            assert r.balance > 0
+
+    def test_gemm_pipeline_bound(self, sg2042, config32):
+        (report,) = attribute_bottlenecks(
+            sg2042, config32, [get_kernel("GEMM")]
+        )
+        assert report.bound == "pipeline"
+        assert report.balance > 1
+
+    def test_triad_cache_bound_at_one_thread(self, sg2042):
+        cfg = RunConfig(threads=1, precision="fp32")
+        (report,) = attribute_bottlenecks(
+            sg2042, cfg, [get_kernel("TRIAD")]
+        )
+        assert report.bound in ("L2", "L3", "DRAM")
+        assert report.balance < 1
+
+    def test_sort_serial_bound_at_scale(self, sg2042):
+        cfg = RunConfig(threads=64, precision="fp32")
+        (report,) = attribute_bottlenecks(
+            sg2042, cfg, [get_kernel("SORT")]
+        )
+        assert report.bound == "serial"
+        assert report.serial_share > 0.5
+
+    def test_haloexchange_overhead_bound_at_scale(self, sg2042):
+        cfg = RunConfig(threads=64, precision="fp32")
+        (report,) = attribute_bottlenecks(
+            sg2042, cfg, [get_kernel("HALOEXCHANGE")]
+        )
+        assert report.overhead_share > 0.2
+
+    def test_single_thread_has_no_overhead(self, sg2042):
+        cfg = RunConfig(threads=1, precision="fp64")
+        (report,) = attribute_bottlenecks(
+            sg2042, cfg, [get_kernel("DAXPY")]
+        )
+        assert report.overhead_share == 0.0
+
+    def test_empty_kernels_rejected(self, sg2042, config32):
+        with pytest.raises(ConfigError):
+            attribute_bottlenecks(sg2042, config32, [])
+
+
+class TestReport:
+    def test_render(self, sg2042, config32):
+        text = render_bottleneck_report(
+            sg2042, config32,
+            [get_kernel("TRIAD"), get_kernel("GEMM"),
+             get_kernel("SORT")],
+        )
+        assert "bottleneck attribution" in text
+        assert "GEMM" in text

@@ -1,0 +1,114 @@
+"""Roofline model tests, cross-checked against the execution model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.roofline import (
+    build_roofline,
+    classify_kernels,
+    render_roofline_report,
+)
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.util.errors import ConfigError
+
+
+class TestRooflineConstruction:
+    def test_ceilings_positive(self, sg2042):
+        r = build_roofline(sg2042, DType.FP64)
+        assert r.peak_flops > 0 and r.peak_bandwidth > 0
+
+    def test_fp64_peak_equals_scalar_on_c920(self, sg2042):
+        """No FP64 vectors: the vector ceiling IS the scalar ceiling."""
+        r = build_roofline(sg2042, DType.FP64)
+        assert r.peak_flops == pytest.approx(r.scalar_flops)
+
+    def test_fp32_peak_above_scalar_on_c920(self, sg2042):
+        r = build_roofline(sg2042, DType.FP32)
+        assert r.peak_flops > 2 * r.scalar_flops
+
+    def test_threads_scale_compute(self, sg2042):
+        one = build_roofline(sg2042, DType.FP32, threads=1)
+        many = build_roofline(sg2042, DType.FP32, threads=32)
+        assert many.peak_flops == pytest.approx(32 * one.peak_flops)
+
+    def test_bandwidth_saturates_with_threads(self, sg2042):
+        few = build_roofline(sg2042, DType.FP32, threads=2)
+        many = build_roofline(sg2042, DType.FP32, threads=64)
+        assert many.peak_bandwidth <= sg2042.memory.package_bandwidth
+        assert many.peak_bandwidth < 32 * few.peak_bandwidth
+
+    def test_ridge_point(self, amd_rome):
+        r = build_roofline(amd_rome, DType.FP64)
+        assert r.attainable(r.ridge_intensity) == pytest.approx(
+            r.peak_flops
+        )
+        assert r.bound_of(r.ridge_intensity / 2) == "memory"
+        assert r.bound_of(r.ridge_intensity * 2) == "compute"
+
+    def test_attainable_monotone(self, sg2042):
+        r = build_roofline(sg2042, DType.FP32)
+        values = [r.attainable(x) for x in (0.01, 0.1, 1.0, 10.0, 100.0)]
+        assert values == sorted(values)
+
+    def test_invalid_threads_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            build_roofline(sg2042, DType.FP64, threads=65)
+
+    @given(intensity=st.floats(0.001, 1000))
+    def test_attainable_never_exceeds_either_ceiling(self, intensity):
+        r = build_roofline(catalog.intel_icelake(), DType.FP64)
+        a = r.attainable(intensity)
+        assert a <= r.peak_flops * (1 + 1e-12)
+        assert a <= intensity * r.peak_bandwidth * (1 + 1e-12)
+
+
+class TestKernelClassification:
+    def test_all_kernels_classified(self, sg2042, kernels):
+        points = classify_kernels(sg2042, kernels)
+        assert len(points) == 64
+
+    def test_stream_kernels_memory_bound(self, sg2042):
+        points = classify_kernels(
+            sg2042, [get_kernel(n) for n in ("TRIAD", "COPY", "ADD")]
+        )
+        assert all(p.bound == "memory" for p in points)
+
+    def test_gemm_compute_bound(self, sg2042):
+        (point,) = classify_kernels(sg2042, [get_kernel("GEMM")])
+        assert point.bound == "compute"
+        assert point.intensity > 10
+
+    def test_memset_pinned_left(self, sg2042):
+        (point,) = classify_kernels(sg2042, [get_kernel("MEMSET")])
+        assert point.bound == "memory"
+
+    def test_fp32_halves_bytes_doubles_intensity(self, sg2042):
+        (p64,) = classify_kernels(
+            sg2042, [get_kernel("TRIAD")], dtype=DType.FP64
+        )
+        (p32,) = classify_kernels(
+            sg2042, [get_kernel("TRIAD")], dtype=DType.FP32
+        )
+        assert p32.intensity == pytest.approx(2 * p64.intensity)
+
+    def test_integer_kernel_uses_integer_dtype(self, sg2042):
+        (p64,) = classify_kernels(
+            sg2042, [get_kernel("REDUCE3_INT")], dtype=DType.FP64
+        )
+        # INT64 at FP64 config: same byte width, sane intensity.
+        assert p64.intensity == pytest.approx(3 / 8)
+
+    def test_empty_kernel_list_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            classify_kernels(sg2042, [])
+
+
+class TestReport:
+    def test_render(self, sg2042):
+        text = render_roofline_report(
+            sg2042, [get_kernel("TRIAD"), get_kernel("GEMM")]
+        )
+        assert "ridge" in text
+        assert "TRIAD" in text and "GEMM" in text

@@ -1,0 +1,79 @@
+"""Sensitivity analysis tests."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    KNOBS,
+    render_sensitivities,
+    sensitivities,
+)
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def results_1t(sg2042):
+    return sensitivities(
+        sg2042, RunConfig(threads=1, precision="fp32", runs=1,
+                          noise_sigma=0.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def results_64t(sg2042):
+    return sensitivities(
+        sg2042,
+        RunConfig(threads=64, precision="fp32", placement="cluster",
+                  runs=1, noise_sigma=0.0),
+    )
+
+
+def by_knob(results):
+    return {s.knob: s for s in results}
+
+
+class TestSensitivities:
+    def test_all_knobs_reported(self, results_1t):
+        assert {s.knob for s in results_1t} == set(KNOBS)
+
+    def test_clock_helps(self, results_1t):
+        """Faster clock -> less time (negative elasticity)."""
+        assert by_knob(results_1t)["core clock"].elasticity < -0.2
+
+    def test_fork_join_irrelevant_single_thread(self, results_1t):
+        assert by_knob(results_1t)[
+            "fork-join cost"
+        ].elasticity == pytest.approx(0.0, abs=1e-9)
+
+    def test_fork_join_costs_at_scale(self, results_64t):
+        assert by_knob(results_64t)["fork-join cost"].elasticity > 0.0
+
+    def test_cache_bandwidth_matters_more_at_scale(
+        self, results_1t, results_64t
+    ):
+        """At 64 threads the contended L3 slices dominate; at 1 thread
+        most kernels are pipeline-bound."""
+        one = by_knob(results_1t)["cache bandwidth"].elasticity
+        many = by_knob(results_64t)["cache bandwidth"].elasticity
+        assert many < one  # more negative = more impactful
+
+    def test_no_knob_slows_when_improved(self, results_1t, results_64t):
+        for s in list(results_1t) + list(results_64t):
+            if s.knob == "fork-join cost":
+                continue  # a cost knob: bumping it hurts by design
+            assert s.elasticity <= 1e-9, s.knob
+
+    def test_bump_validation(self, sg2042):
+        with pytest.raises(ConfigError):
+            sensitivities(sg2042, RunConfig(), bump=0)
+
+
+class TestRender:
+    def test_table(self, sg2042):
+        text = render_sensitivities(
+            sg2042,
+            RunConfig(threads=32, precision="fp32", placement="cluster",
+                      runs=1, noise_sigma=0.0),
+        )
+        assert "parameter sensitivity" in text
+        assert "core clock" in text

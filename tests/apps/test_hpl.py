@@ -1,0 +1,127 @@
+"""HPL tests: the blocked LU against SciPy, the residual check, and the
+machine predictions."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.apps.hpl import (
+    hpl_flops,
+    hpl_measure,
+    hpl_residual,
+    lu_factor,
+    lu_solve,
+    predict_hpl,
+)
+from repro.machine import catalog
+from repro.util.errors import ConfigError
+
+
+def random_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, n)) - 0.5
+
+
+class TestLuFactor:
+    @pytest.mark.parametrize("n,block", [(5, 2), (16, 4), (64, 16),
+                                         (100, 64), (30, 64)])
+    def test_matches_scipy(self, n, block):
+        a = random_matrix(n)
+        lu, piv = lu_factor(a, block)
+        lu_ref, piv_ref = scipy.linalg.lu_factor(a)
+        np.testing.assert_allclose(lu, lu_ref, rtol=1e-9, atol=1e-11)
+        np.testing.assert_array_equal(piv, piv_ref)
+
+    def test_identity(self):
+        lu, piv = lu_factor(np.eye(8))
+        np.testing.assert_array_equal(lu, np.eye(8))
+        np.testing.assert_array_equal(piv, np.arange(8))
+
+    def test_pivoting_happens(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu, piv = lu_factor(a)
+        assert piv[0] == 1  # first pivot selects row 1
+
+    def test_singular_rejected(self):
+        with pytest.raises(ConfigError, match="singular"):
+            lu_factor(np.zeros((4, 4)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigError):
+            lu_factor(np.zeros((3, 4)))
+
+    def test_input_not_mutated(self):
+        a = random_matrix(10)
+        before = a.copy()
+        lu_factor(a)
+        np.testing.assert_array_equal(a, before)
+
+
+class TestLuSolve:
+    @pytest.mark.parametrize("n", [3, 17, 80])
+    def test_solves_system(self, n):
+        a = random_matrix(n, seed=n)
+        b = np.linspace(-1, 1, n)
+        lu, piv = lu_factor(a)
+        x = lu_solve(lu, piv, b)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8, atol=1e-10)
+
+    def test_matches_scipy_solve(self):
+        a = random_matrix(40)
+        b = np.arange(40, dtype=float)
+        x = lu_solve(*lu_factor(a), b)
+        np.testing.assert_allclose(x, np.linalg.solve(a, b), rtol=1e-8)
+
+    def test_rhs_mismatch_rejected(self):
+        lu, piv = lu_factor(random_matrix(4))
+        with pytest.raises(ConfigError):
+            lu_solve(lu, piv, np.zeros(5))
+
+
+class TestHplRun:
+    def test_measure_passes_residual(self):
+        gflops, residual = hpl_measure(128, block=32)
+        assert gflops > 0
+        assert residual < 16.0
+
+    def test_flop_count(self):
+        assert hpl_flops(1000) == pytest.approx(
+            (2 / 3) * 1e9 + 2e6
+        )
+
+    def test_residual_detects_wrong_solution(self):
+        a = random_matrix(16)
+        b = np.ones(16)
+        x = np.ones(16)  # not the solution
+        assert hpl_residual(a, x, b) > 16.0
+
+    def test_residual_degenerate_denominator_rejected(self):
+        a = random_matrix(16)
+        with pytest.raises(ConfigError):
+            hpl_residual(a, np.zeros(16), np.ones(16))
+
+
+class TestPredictions:
+    def test_c920_rmax_far_below_rpeak(self, sg2042):
+        """The C920 cannot vectorize FP64: its HPL efficiency collapses
+        relative to the 128-bit paper Rpeak."""
+        pred = predict_hpl(sg2042)
+        assert pred.efficiency < 0.35
+
+    def test_x86_efficiency_healthy(self, amd_rome):
+        pred = predict_hpl(amd_rome)
+        assert pred.efficiency > 0.35
+
+    def test_rome_beats_sg2042(self, sg2042, amd_rome):
+        assert predict_hpl(amd_rome).rmax_gflops > 3 * predict_hpl(
+            sg2042
+        ).rmax_gflops
+
+    def test_threads_scale_linearly(self, sg2042):
+        one = predict_hpl(sg2042, threads=1)
+        many = predict_hpl(sg2042, threads=64)
+        assert many.rmax_gflops == pytest.approx(64 * one.rmax_gflops)
+
+    def test_thread_validation(self, sg2042):
+        with pytest.raises(ConfigError):
+            predict_hpl(sg2042, threads=65)

@@ -1,0 +1,74 @@
+"""STREAM prediction tests."""
+
+import pytest
+
+from repro.apps.stream import (
+    STREAM_OPS,
+    predict_stream,
+    render_stream_table,
+)
+from repro.machine import catalog
+from repro.openmp.affinity import PlacementPolicy
+from repro.util.errors import ConfigError
+
+
+class TestPredictStream:
+    def test_all_ops_predicted(self, sg2042):
+        pred = predict_stream(sg2042, threads=1)
+        assert set(pred.bandwidth_gb) == set(STREAM_OPS)
+        assert all(v > 0 for v in pred.bandwidth_gb.values())
+
+    def test_cache_defeating_sizes_hit_dram(self, sg2042):
+        """Unlike the RAJAPerf defaults, STREAM sizing defeats the
+        SG2042's 64MiB system cache: single-thread triad is bounded by
+        the per-core DRAM draw."""
+        pred = predict_stream(sg2042, threads=1)
+        per_core = sg2042.memory.per_core_bandwidth_bytes / 1e9
+        assert pred.bandwidth_gb["triad"] <= per_core * 1.01
+
+    def test_package_bandwidth_bounds_full_machine(self, sg2042):
+        pred = predict_stream(
+            sg2042, threads=32, placement=PlacementPolicy.CYCLIC
+        )
+        package = sg2042.memory.package_bandwidth / 1e9
+        assert pred.best() <= package * 1.01
+
+    def test_sg2042_sustains_near_package_at_32(self, sg2042):
+        """The real SG2042 STREAM story: ~24 GB/s package-wide."""
+        pred = predict_stream(
+            sg2042, threads=32, placement=PlacementPolicy.CYCLIC
+        )
+        assert pred.best() > 0.6 * sg2042.memory.package_bandwidth / 1e9
+
+    def test_rome_far_more_bandwidth(self, sg2042, amd_rome):
+        sg = predict_stream(sg2042, threads=32,
+                            placement=PlacementPolicy.CYCLIC)
+        rome = predict_stream(amd_rome, threads=64,
+                              placement=PlacementPolicy.CYCLIC)
+        assert rome.best() > 4 * sg.best()
+
+    def test_explicit_size(self, sg2042):
+        pred = predict_stream(sg2042, threads=1, n=50_000_000)
+        assert pred.bandwidth_gb["copy"] > 0
+
+    def test_thread_validation(self, sg2042):
+        with pytest.raises(ConfigError):
+            predict_stream(sg2042, threads=0)
+
+
+class TestRender:
+    def test_table(self, sg2042, intel_sandybridge):
+        text = render_stream_table(
+            [
+                predict_stream(sg2042, threads=32,
+                               placement=PlacementPolicy.CYCLIC),
+                predict_stream(intel_sandybridge, threads=4,
+                               placement=PlacementPolicy.BLOCK),
+            ]
+        )
+        assert "triad GB/s" in text
+        assert "Sophon SG2042" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_stream_table([])

@@ -1,0 +1,48 @@
+"""Distributed proto-app correctness: parallel == sequential."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.apps import (
+    dot_distributed,
+    jacobi2d_distributed,
+    jacobi2d_reference,
+)
+from repro.util.errors import ConfigError
+
+
+class TestJacobi2dDistributed:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_matches_reference(self, ranks):
+        parallel = jacobi2d_distributed(ranks, ny=16, nx=12, steps=5)
+        reference = jacobi2d_reference(16, 12, 5)
+        np.testing.assert_allclose(parallel, reference, rtol=1e-12)
+
+    def test_many_steps_still_match(self):
+        parallel = jacobi2d_distributed(4, ny=8, nx=8, steps=25)
+        reference = jacobi2d_reference(8, 8, 25)
+        np.testing.assert_allclose(parallel, reference, rtol=1e-12)
+
+    def test_uneven_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            jacobi2d_distributed(3, ny=16, nx=8, steps=1)
+
+    def test_smoothing_contracts_range(self):
+        out = jacobi2d_distributed(2, ny=16, nx=16, steps=30)
+        start = jacobi2d_reference(16, 16, 0)
+        assert np.ptp(out[4:-4, 4:-4]) < np.ptp(start[4:-4, 4:-4])
+
+
+class TestDotDistributed:
+    @pytest.mark.parametrize("ranks", [1, 2, 5])
+    def test_matches_numpy(self, ranks):
+        n = 10_000
+        result = dot_distributed(ranks, n)
+        rng = np.random.default_rng(0)
+        a = rng.random(n)
+        b = rng.random(n)
+        assert result == pytest.approx(float(np.dot(a, b)), rel=1e-12)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigError):
+            dot_distributed(3, 1000)

@@ -1,0 +1,184 @@
+"""Cluster cost-model tests: network, MPI collectives, scaling shapes."""
+
+import pytest
+
+from repro.cluster.machine import ClusterModel
+from repro.cluster.mpi import (
+    allreduce_time,
+    barrier_time,
+    broadcast_time,
+    halo_exchange_time,
+    point_to_point_time,
+)
+from repro.cluster.network import (
+    NetworkModel,
+    ethernet_25g,
+    ethernet_100g,
+    slingshot,
+)
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.util.errors import ConfigError
+
+
+class TestNetworkModel:
+    def test_message_time_components(self):
+        net = NetworkModel("t", latency_s=1e-6, bandwidth_bytes=1e9,
+                           per_message_overhead_s=1e-6)
+        assert net.message_time(0) == pytest.approx(2e-6)
+        assert net.message_time(1e6) == pytest.approx(2e-6 + 1e-3)
+
+    def test_presets_ordered_by_speed(self):
+        nbytes = 1_000_000
+        t25 = ethernet_25g().message_time(nbytes)
+        t100 = ethernet_100g().message_time(nbytes)
+        tss = slingshot().message_time(nbytes)
+        assert tss < t100 < t25
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NetworkModel("bad", latency_s=-1, bandwidth_bytes=1e9)
+        with pytest.raises(ConfigError):
+            ethernet_25g().message_time(-1)
+
+
+class TestMpiCosts:
+    def test_p2p_equals_message_time(self):
+        net = ethernet_25g()
+        assert point_to_point_time(net, 4096) == net.message_time(4096)
+
+    def test_allreduce_single_rank_free(self):
+        assert allreduce_time(ethernet_25g(), 8, 1) == 0.0
+
+    def test_allreduce_grows_logarithmically_small(self):
+        net = ethernet_25g()
+        t2 = allreduce_time(net, 8, 2)
+        t16 = allreduce_time(net, 8, 16)
+        assert t16 == pytest.approx(4 * t2)
+
+    def test_allreduce_large_uses_ring(self):
+        net = ethernet_25g()
+        nbytes = 64 * 1024 * 1024
+        # Ring time is ~2x the payload wire time, independent of p for
+        # large p; far less than log2(p) full-payload rounds.
+        tree_estimate = 5 * net.message_time(nbytes)
+        assert allreduce_time(net, nbytes, 32) < tree_estimate
+
+    def test_halo_overlap_bounds(self):
+        net = ethernet_25g()
+        serial = halo_exchange_time(net, 8192, 4, overlap=0.0)
+        parallel = halo_exchange_time(net, 8192, 4, overlap=1.0)
+        mid = halo_exchange_time(net, 8192, 4, overlap=0.5)
+        assert parallel < mid < serial
+        assert serial == pytest.approx(4 * parallel)
+
+    def test_zero_neighbours_free(self):
+        assert halo_exchange_time(ethernet_25g(), 8192, 0) == 0.0
+
+    def test_barrier_and_broadcast(self):
+        net = ethernet_25g()
+        assert barrier_time(net, 1) == 0.0
+        assert barrier_time(net, 8) == pytest.approx(
+            3 * net.message_time(0)
+        )
+        assert broadcast_time(net, 1024, 8) == pytest.approx(
+            3 * net.message_time(1024)
+        )
+
+
+class TestClusterModel:
+    @pytest.fixture(scope="class")
+    def sg_cluster(self):
+        return ClusterModel(
+            node=catalog.sg2042(), num_nodes=4, network=ethernet_25g(),
+            threads_per_node=32,
+        )
+
+    def test_describe(self, sg_cluster):
+        text = sg_cluster.describe()
+        assert "4 x Sophon SG2042" in text and "25GbE" in text
+
+    def test_triad_scales_embarrassingly(self, sg_cluster):
+        times = sg_cluster.strong_scaling(
+            "triad", 4_000_000, [1, 2, 4]
+        )
+        assert times[4] < times[2] < times[1]
+        # No communication: near-perfect halving.
+        assert times[1] / times[4] > 3.0
+
+    def test_jacobi_strong_scaling_saturates(self):
+        """Communication eventually dominates: efficiency decays."""
+        cluster = ClusterModel(
+            node=catalog.sg2042(), num_nodes=1,
+            network=ethernet_25g(), threads_per_node=32,
+        )
+        times = cluster.strong_scaling(
+            "jacobi2d", 1_000_000, [1, 2, 4, 8, 16]
+        )
+        eff_2 = times[1] / (2 * times[2])
+        eff_16 = times[1] / (16 * times[16])
+        assert eff_16 < eff_2
+
+    def test_better_network_helps_jacobi(self):
+        size = 250_000
+        slow = ClusterModel(
+            node=catalog.sg2042(), num_nodes=8,
+            network=ethernet_25g(), threads_per_node=32,
+        )
+        fast = ClusterModel(
+            node=catalog.sg2042(), num_nodes=8,
+            network=slingshot(), threads_per_node=32,
+        )
+        assert fast.jacobi2d_step_time(size) < slow.jacobi2d_step_time(
+            size
+        )
+
+    def test_dot_includes_allreduce(self, sg_cluster):
+        t = sg_cluster.dot_time(4_000_000)
+        compute_only = sg_cluster.stream_triad_time(4_000_000)
+        assert t > 0 and compute_only > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterModel(node=catalog.sg2042(), num_nodes=0,
+                         network=ethernet_25g())
+        cluster = ClusterModel(
+            node=catalog.sg2042(), num_nodes=4, network=ethernet_25g()
+        )
+        with pytest.raises(ConfigError):
+            cluster.jacobi2d_step_time(2)  # fewer points than nodes
+        with pytest.raises(ConfigError):
+            cluster.strong_scaling("fft", 1000, [1])
+
+    def test_fp32_faster_than_fp64(self, sg_cluster):
+        t32 = sg_cluster.jacobi2d_step_time(1_000_000, DType.FP32)
+        t64 = sg_cluster.jacobi2d_step_time(1_000_000, DType.FP64)
+        assert t32 < t64
+
+
+class TestWeakScaling:
+    def test_triad_flat(self):
+        cluster = ClusterModel(
+            node=catalog.sg2042(), num_nodes=1,
+            network=ethernet_25g(), threads_per_node=32,
+        )
+        times = cluster.weak_scaling("triad", 1_000_000, [1, 4, 16])
+        assert times[16] == pytest.approx(times[1], rel=0.05)
+
+    def test_jacobi_efficiency_decays_gently(self):
+        cluster = ClusterModel(
+            node=catalog.sg2042(), num_nodes=1,
+            network=ethernet_25g(), threads_per_node=32,
+        )
+        times = cluster.weak_scaling("jacobi2d", 500_000, [1, 4, 16])
+        # Communication adds on top of constant local work.
+        assert times[16] >= times[1]
+
+    def test_validation(self):
+        cluster = ClusterModel(
+            node=catalog.sg2042(), num_nodes=1, network=ethernet_25g()
+        )
+        with pytest.raises(ConfigError):
+            cluster.weak_scaling("jacobi2d", 0, [1])
+        with pytest.raises(ConfigError):
+            cluster.weak_scaling("fft", 1000, [1])

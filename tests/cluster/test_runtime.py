@@ -1,0 +1,153 @@
+"""SPMD runtime tests: real message passing in threads."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.runtime import SpmdRuntime
+from repro.util.errors import ConfigError
+
+
+class TestBasics:
+    def test_single_rank(self):
+        assert SpmdRuntime(1).run(lambda c: c.rank) == [0]
+
+    def test_rank_and_size(self):
+        results = SpmdRuntime(4).run(lambda c: (c.rank, c.size))
+        assert results == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ConfigError):
+            SpmdRuntime(0)
+
+    def test_exception_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(ValueError, match="boom"):
+            SpmdRuntime(2).run(fn)
+
+
+class TestPointToPoint:
+    def test_ring_pass(self):
+        def fn(comm):
+            dest = (comm.rank + 1) % comm.size
+            source = (comm.rank - 1) % comm.size
+            return comm.sendrecv(dest, comm.rank, source)
+
+        results = SpmdRuntime(4).run(fn)
+        assert results == [3, 0, 1, 2]
+
+    def test_numpy_payload_copied_on_send(self):
+        def fn(comm):
+            if comm.rank == 0:
+                arr = np.arange(4.0)
+                comm.send(1, arr)
+                arr[:] = -1  # mutating after send must not corrupt
+                return None
+            return comm.recv(0).tolist()
+
+        results = SpmdRuntime(2).run(fn)
+        assert results[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_tags_separate_channels(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, "tag5", tag=5)
+                comm.send(1, "tag3", tag=3)
+                return None
+            # Receive in the opposite order of sending.
+            first = comm.recv(0, tag=3)
+            second = comm.recv(0, tag=5)
+            return (first, second)
+
+        results = SpmdRuntime(2).run(fn)
+        assert results[1] == ("tag3", "tag5")
+
+    def test_send_to_self_rejected(self):
+        def fn(comm):
+            comm.send(comm.rank, 1)
+
+        with pytest.raises(ConfigError, match="self"):
+            SpmdRuntime(2).run(fn)
+
+    def test_recv_timeout_is_diagnosed(self):
+        def fn(comm):
+            if comm.rank == 1:
+                return comm.recv(0, timeout=0.1)
+            return None
+
+        with pytest.raises(ConfigError, match="timed out"):
+            SpmdRuntime(2).run(fn)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        results = SpmdRuntime(4).run(
+            lambda c: c.allreduce(c.rank + 1, op="sum")
+        )
+        assert results == [10, 10, 10, 10]
+
+    def test_allreduce_min_max(self):
+        rt_results = SpmdRuntime(3).run(
+            lambda c: (c.allreduce(c.rank, "min"),
+                       c.allreduce(c.rank, "max"))
+        )
+        assert all(r == (0, 2) for r in rt_results)
+
+    def test_allreduce_arrays(self):
+        def fn(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), "sum")
+
+        results = SpmdRuntime(3).run(fn)
+        for r in results:
+            np.testing.assert_array_equal(r, [3.0, 3.0, 3.0])
+
+    def test_allreduce_unknown_op(self):
+        with pytest.raises(ConfigError):
+            SpmdRuntime(2).run(lambda c: c.allreduce(1, op="xor"))
+
+    def test_sequential_collectives_do_not_collide(self):
+        def fn(comm):
+            a = comm.allreduce(1, "sum")
+            b = comm.allreduce(comm.rank, "max")
+            c = comm.allreduce(2, "sum")
+            return (a, b, c)
+
+        results = SpmdRuntime(4).run(fn)
+        assert all(r == (4, 3, 8) for r in results)
+
+    def test_broadcast(self):
+        def fn(comm):
+            value = "hello" if comm.rank == 2 else None
+            return comm.broadcast(value, root=2)
+
+        assert SpmdRuntime(4).run(fn) == ["hello"] * 4
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        results = SpmdRuntime(3).run(fn)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None
+
+    def test_barrier_runs(self):
+        def fn(comm):
+            comm.barrier()
+            comm.barrier()
+            return True
+
+        assert SpmdRuntime(4).run(fn) == [True] * 4
+
+
+class TestPiExample:
+    def test_pi_by_quadrature(self):
+        from repro.cluster.apps import pi_distributed
+
+        assert pi_distributed(4, 100_000) == pytest.approx(
+            math.pi, abs=1e-6
+        )

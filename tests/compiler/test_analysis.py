@@ -1,0 +1,207 @@
+"""Static loop analysis tests: every kernel's declared traits must be a
+consequence of its IR, and the derived features must drive the
+vectorizer to identical decisions."""
+
+import pytest
+
+from repro.compiler.analysis import (
+    DECISIVE_FEATURES,
+    derive_features,
+    features_agree,
+)
+from repro.compiler.ir import (
+    Access,
+    AccessKind,
+    Call,
+    Compute,
+    Loop,
+    LoopNest,
+    Recurrence,
+    Reduce,
+    ReduceOp,
+    Scan,
+    TRIP_N,
+    read,
+    write,
+)
+from repro.compiler.model import CLANG_16, XUANTIE_GCC_8_4
+from repro.kernels.base import LoopFeature
+from repro.kernels.ir_defs import KERNEL_IR, ir_for
+from repro.kernels.registry import all_kernels
+from repro.util.errors import CompilationError, ConfigError
+
+
+class TestIrCoverage:
+    def test_every_kernel_has_ir(self, kernels):
+        for kernel in kernels:
+            assert kernel.name in KERNEL_IR, kernel.name
+        assert len(KERNEL_IR) == 64
+
+    def test_ir_for_unknown_kernel(self):
+        with pytest.raises(ConfigError):
+            ir_for("NOT_A_KERNEL")
+
+
+class TestDerivedEqualsDeclared:
+    """The central pin: traits features are consequences of the IR."""
+
+    def test_all_64_kernels_agree(self, kernels):
+        mismatches = []
+        for kernel in kernels:
+            derived = derive_features(ir_for(kernel.name))
+            if not features_agree(kernel.traits.features, derived):
+                mismatches.append(
+                    (
+                        kernel.name,
+                        sorted(
+                            f.value
+                            for f in kernel.traits.features
+                            & DECISIVE_FEATURES
+                        ),
+                        sorted(
+                            f.value for f in derived & DECISIVE_FEATURES
+                        ),
+                    )
+                )
+        assert not mismatches, mismatches
+
+    def test_vectorizer_decisions_identical_under_derived_features(
+        self, kernels
+    ):
+        """Swapping declared features for IR-derived features must not
+        change a single compilation outcome."""
+        from dataclasses import replace
+
+        from repro.compiler.vectorizer import analyze
+        from repro.machine.vector import rvv_0_7_1
+
+        for kernel in kernels:
+            derived = derive_features(ir_for(kernel.name))
+            shim = type(kernel)()
+            shim.traits = replace(kernel.traits, features=derived)
+            for compiler, rollback in (
+                (XUANTIE_GCC_8_4, False),
+                (CLANG_16, True),
+            ):
+                a = analyze(compiler, kernel, rvv_0_7_1(),
+                            rollback=rollback)
+                b = analyze(compiler, shim, rvv_0_7_1(),
+                            rollback=rollback)
+                assert a.vectorized == b.vectorized, kernel.name
+                assert (
+                    a.vector_path_executed == b.vector_path_executed
+                ), kernel.name
+
+
+class TestAnalysisRules:
+    def test_gather_detected(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("x", stride=None), write("y"))),
+        )),))
+        assert LoopFeature.INDIRECTION in derive_features(nest)
+
+    def test_nonunit_stride_detected(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("x", stride=4), write("y"))),
+        )),))
+        assert LoopFeature.NONUNIT_STRIDE in derive_features(nest)
+
+    def test_float_minmax_adds_conditional(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Reduce(ReduceOp.MIN, (read("x"),), is_float=True),
+        )),))
+        feats = derive_features(nest)
+        assert LoopFeature.CONDITIONAL in feats
+        assert LoopFeature.REDUCTION_MINMAX in feats
+
+    def test_int_minmax_is_branch_free(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Reduce(ReduceOp.MIN, (read("x"),), is_float=False),
+        )),))
+        assert LoopFeature.CONDITIONAL not in derive_features(nest)
+
+    def test_depth2_symbolic_reduction_is_nested(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Loop(TRIP_N, body=(Reduce(ReduceOp.SUM, (read("A"),)),)),
+        )),))
+        feats = derive_features(nest)
+        assert LoopFeature.NESTED_REDUCTION in feats
+        assert LoopFeature.SMALL_INNER_TRIP not in feats
+
+    def test_depth3_symbolic_reduction_is_cost_model_trap(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Loop(TRIP_N, body=(
+                Loop(TRIP_N, body=(
+                    Reduce(ReduceOp.SUM, (read("A"),)),
+                )),
+            )),
+        )),))
+        feats = derive_features(nest)
+        assert LoopFeature.SMALL_INNER_TRIP in feats
+        assert LoopFeature.NESTED_REDUCTION not in feats
+
+    def test_constant_trip_reduction_is_free(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Loop(16, body=(Reduce(ReduceOp.SUM, (read("A"),)),)),
+        )),))
+        assert not (derive_features(nest) & DECISIVE_FEATURES)
+
+    def test_alias_requires_write(self):
+        read_only = LoopNest(
+            loops=(Loop(TRIP_N, body=(
+                Reduce(ReduceOp.SUM, (read("x"),)),
+            )),),
+            restrict_pointers=False,
+        )
+        assert LoopFeature.ALIAS_UNPROVABLE not in derive_features(
+            read_only
+        )
+
+    def test_alias_detected_on_writes(self):
+        nest = LoopNest(
+            loops=(Loop(TRIP_N, body=(
+                Compute((read("a", offset=1), write("b"))),
+            )),),
+            restrict_pointers=False,
+        )
+        assert LoopFeature.ALIAS_UNPROVABLE in derive_features(nest)
+
+    def test_library_call(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(Call("qsort"),)),))
+        assert LoopFeature.LIBRARY_CALL in derive_features(nest)
+
+    def test_recurrence_and_scan(self):
+        rec = LoopNest(loops=(Loop(TRIP_N, body=(
+            Recurrence((read("a"), write("x"))),
+        )),))
+        scan = LoopNest(loops=(Loop(TRIP_N, body=(
+            Scan((read("a"), write("x"))),
+        )),))
+        assert LoopFeature.LOOP_CARRIED_DEP in derive_features(rec)
+        assert LoopFeature.SCAN_DEP in derive_features(scan)
+
+
+class TestIrValidation:
+    def test_zero_stride_rejected(self):
+        with pytest.raises(CompilationError):
+            Access("x", 0, AccessKind.READ)
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(CompilationError):
+            Loop(TRIP_N, body=())
+
+    def test_empty_nest_rejected(self):
+        with pytest.raises(CompilationError):
+            LoopNest(loops=())
+
+    def test_bad_recurrence_distance(self):
+        with pytest.raises(CompilationError):
+            Recurrence((read("a"),), distance=0)
+
+    def test_walk_reports_depth(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Loop(4, body=(Compute((write("x"),)),)),
+        )),))
+        ((stmt, depth, path),) = list(nest.walk())
+        assert depth == 2
+        assert path[0].trip == TRIP_N and path[1].trip == 4

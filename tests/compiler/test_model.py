@@ -1,0 +1,99 @@
+"""Compiler description tests."""
+
+import pytest
+
+from repro.compiler.model import (
+    CLANG_16,
+    Compiler,
+    GCC_8_3,
+    GCC_11_2,
+    VectorFlavor,
+    XUANTIE_GCC_8_4,
+    compiler_by_name,
+)
+from repro.kernels.base import LoopFeature
+from repro.util.errors import ConfigError
+
+
+class TestCompilerDefinitions:
+    def test_xuantie_gcc_emits_rvv_071(self):
+        assert XUANTIE_GCC_8_4.rvv_version == "0.7.1"
+
+    def test_clang_emits_rvv_10_only(self):
+        assert CLANG_16.rvv_version == "1.0"
+
+    def test_x86_gcc_emits_no_rvv(self):
+        assert GCC_8_3.rvv_version is None
+        assert GCC_11_2.rvv_version is None
+
+    def test_gcc_vls_only(self):
+        assert XUANTIE_GCC_8_4.flavors == (VectorFlavor.VLS,)
+        assert not XUANTIE_GCC_8_4.supports_flavor(VectorFlavor.VLA)
+
+    def test_clang_supports_both_flavors(self):
+        assert CLANG_16.supports_flavor(VectorFlavor.VLA)
+        assert CLANG_16.supports_flavor(VectorFlavor.VLS)
+
+    def test_clang_blockers_are_subset_of_gcc_blockers(self):
+        """Clang vectorizes strictly more than GCC (59 vs 30)."""
+        assert CLANG_16.blockers < XUANTIE_GCC_8_4.blockers
+
+    def test_gcc_family_rules_shared(self):
+        assert GCC_8_3.blockers == XUANTIE_GCC_8_4.blockers
+        assert GCC_11_2.blockers == GCC_8_3.blockers
+
+    def test_alias_check_is_gcc_runtime_scalar_trigger(self):
+        assert (
+            LoopFeature.ALIAS_UNPROVABLE
+            in XUANTIE_GCC_8_4.runtime_scalar_features
+        )
+
+    def test_small_inner_trip_is_clang_runtime_scalar_trigger(self):
+        assert (
+            LoopFeature.SMALL_INNER_TRIP
+            in CLANG_16.runtime_scalar_features
+        )
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name", ["xuantie-gcc-8.4", "gcc-8.3", "gcc-11.2", "clang-16"]
+    )
+    def test_known_names(self, name):
+        assert compiler_by_name(name).name
+
+    def test_case_insensitive(self):
+        assert compiler_by_name("CLANG-16") is CLANG_16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            compiler_by_name("icc")
+
+
+class TestValidation:
+    def test_bad_family_rejected(self):
+        with pytest.raises(ConfigError):
+            Compiler(
+                name="x", family="msvc", rvv_version=None,
+                flavors=(VectorFlavor.VLS,),
+                blockers=frozenset(),
+                runtime_scalar_features=frozenset(),
+            )
+
+    def test_empty_flavors_rejected(self):
+        with pytest.raises(ConfigError):
+            Compiler(
+                name="x", family="gcc", rvv_version=None, flavors=(),
+                blockers=frozenset(),
+                runtime_scalar_features=frozenset(),
+            )
+
+    def test_bad_quirk_rejected(self):
+        with pytest.raises(ConfigError):
+            Compiler(
+                name="x", family="gcc", rvv_version=None,
+                flavors=(VectorFlavor.VLS,),
+                blockers=frozenset(),
+                runtime_scalar_features=frozenset(),
+                kernel_quirks={"K": 0.0},
+            )

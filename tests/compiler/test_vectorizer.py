@@ -1,0 +1,148 @@
+"""Auto-vectorization decision tests: every published statistic and
+every kernel the paper names."""
+
+import pytest
+
+from repro.compiler.model import (
+    CLANG_16,
+    GCC_8_3,
+    VectorFlavor,
+    XUANTIE_GCC_8_4,
+)
+from repro.compiler.vectorizer import analyze, suite_statistics
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine.vector import avx2, rvv_0_7_1, rvv_1_0, scalar_only
+from repro.util.errors import CompilationError
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return all_kernels()
+
+
+class TestPublishedCounts:
+    """Section 3.2 quoting [11]: GCC vectorizes 30/64 (7 runtime-scalar),
+    Clang 59/64 (3 runtime-scalar)."""
+
+    def test_gcc_counts(self, kernels):
+        stats = suite_statistics(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        assert stats == {
+            "total": 64, "vectorized": 30, "runtime_scalar": 7
+        }
+
+    def test_clang_counts(self, kernels):
+        stats = suite_statistics(
+            CLANG_16, kernels, rvv_1_0(), rollback=True
+        )
+        assert stats == {
+            "total": 64, "vectorized": 59, "runtime_scalar": 3
+        }
+
+
+class TestNamedKernels:
+    """Kernels the paper names explicitly in Figure 3's discussion."""
+
+    def gcc(self, name):
+        return analyze(XUANTIE_GCC_8_4, get_kernel(name), rvv_0_7_1())
+
+    def clang(self, name, flavor=VectorFlavor.VLS):
+        return analyze(
+            CLANG_16, get_kernel(name), rvv_0_7_1(),
+            flavor=flavor, rollback=True,
+        )
+
+    def test_gcc_cannot_vectorize_floyd_warshall(self):
+        assert not self.gcc("FLOYD_WARSHALL").vectorized
+
+    def test_gcc_cannot_vectorize_heat_3d(self):
+        assert not self.gcc("HEAT_3D").vectorized
+
+    @pytest.mark.parametrize("name", ["JACOBI_1D", "JACOBI_2D"])
+    def test_gcc_vectorizes_jacobi_but_scalar_at_runtime(self, name):
+        report = self.gcc(name)
+        assert report.vectorized
+        assert not report.vector_path_executed
+
+    @pytest.mark.parametrize("name", ["2MM", "3MM", "GEMM"])
+    def test_clang_vectorizes_matmuls_but_scalar_at_runtime(self, name):
+        report = self.clang(name)
+        assert report.vectorized
+        assert not report.vector_path_executed
+
+    @pytest.mark.parametrize("name", ["2MM", "3MM", "GEMM"])
+    def test_gcc_executes_vector_path_for_matmuls(self, name):
+        report = self.gcc(name)
+        assert report.effective
+
+    def test_gcc_vectorizes_all_stream_kernels(self):
+        """'The stream class is unique as GCC is able to vectorise all
+        of its constituent kernels.'"""
+        for name in ("ADD", "COPY", "DOT", "MUL", "TRIAD"):
+            assert self.gcc(name).effective, name
+
+    def test_clang_vectorizes_warshall_and_heat3d(self):
+        assert self.clang("FLOYD_WARSHALL").effective
+        assert self.clang("HEAT_3D").effective
+
+    def test_jacobi_2d_clang_quirk_applied(self):
+        report = self.clang("JACOBI_2D")
+        assert report.effective
+        assert report.efficiency < 0.25  # derated per Figure 3
+
+    def test_vla_less_efficient_than_vls(self):
+        vls = self.clang("FLOYD_WARSHALL", VectorFlavor.VLS)
+        vla = self.clang("FLOYD_WARSHALL", VectorFlavor.VLA)
+        assert vla.efficiency < vls.efficiency
+
+
+class TestCompatibilityRules:
+    def test_clang_without_rollback_rejected_on_c920(self):
+        """'It is not possible to use Clang directly to compile code
+        targeting the C920's RVV.'"""
+        with pytest.raises(CompilationError, match="RVV-rollback"):
+            analyze(CLANG_16, get_kernel("TRIAD"), rvv_0_7_1())
+
+    def test_clang_with_rollback_accepted(self):
+        report = analyze(
+            CLANG_16, get_kernel("TRIAD"), rvv_0_7_1(), rollback=True
+        )
+        assert report.effective
+
+    def test_clang_direct_on_rvv10_target(self):
+        report = analyze(CLANG_16, get_kernel("TRIAD"), rvv_1_0())
+        assert report.effective
+
+    def test_gcc_cannot_emit_vla(self):
+        with pytest.raises(CompilationError, match="VLA"):
+            analyze(
+                XUANTIE_GCC_8_4, get_kernel("TRIAD"), rvv_0_7_1(),
+                flavor=VectorFlavor.VLA,
+            )
+
+    def test_scalar_target_never_vectorizes(self):
+        report = analyze(GCC_8_3, get_kernel("TRIAD"), scalar_only())
+        assert not report.vectorized
+        assert "no vector unit" in report.reason
+
+    def test_x86_gcc_on_avx2(self):
+        report = analyze(GCC_8_3, get_kernel("TRIAD"), avx2())
+        assert report.effective
+
+
+class TestReports:
+    def test_blocked_report_names_features(self):
+        report = analyze(
+            XUANTIE_GCC_8_4, get_kernel("SORT"), rvv_0_7_1()
+        )
+        assert "library_call" in report.reason
+
+    def test_runtime_scalar_report_explains(self):
+        report = analyze(
+            XUANTIE_GCC_8_4, get_kernel("JACOBI_1D"), rvv_0_7_1()
+        )
+        assert "scalar path" in report.reason
+
+    def test_efficiency_bounded(self, kernels):
+        for kernel in kernels:
+            report = analyze(XUANTIE_GCC_8_4, kernel, rvv_0_7_1())
+            assert 0 < report.efficiency <= 1

@@ -1,0 +1,60 @@
+"""Shared fixtures: machine models, kernels, small run configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.registry import all_kernels
+from repro.machine import catalog
+
+
+@pytest.fixture(scope="session")
+def sg2042():
+    return catalog.sg2042()
+
+
+@pytest.fixture(scope="session")
+def visionfive_v2():
+    return catalog.visionfive_v2()
+
+
+@pytest.fixture(scope="session")
+def visionfive_v1():
+    return catalog.visionfive_v1()
+
+
+@pytest.fixture(scope="session")
+def amd_rome():
+    return catalog.amd_rome()
+
+
+@pytest.fixture(scope="session")
+def intel_broadwell():
+    return catalog.intel_broadwell()
+
+
+@pytest.fixture(scope="session")
+def intel_icelake():
+    return catalog.intel_icelake()
+
+
+@pytest.fixture(scope="session")
+def intel_sandybridge():
+    return catalog.intel_sandybridge()
+
+
+@pytest.fixture(scope="session")
+def all_cpus():
+    return catalog.all_cpus()
+
+
+@pytest.fixture(scope="session")
+def kernels():
+    """One instance of every kernel (session-scoped: kernels hold no
+    mutable state — workspaces do)."""
+    return all_kernels()
+
+
+@pytest.fixture(scope="session")
+def kernels_by_name(kernels):
+    return {k.name: k for k in kernels}

@@ -1,0 +1,61 @@
+"""Ablation tests: removing a modelled mechanism must remove exactly the
+phenomenon it explains."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    ablation_barrier,
+    ablation_l2_sharing,
+    ablation_l3_contention,
+    ablation_l3_slicing,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: fn(fast=True) for name, fn in ABLATIONS.items()}
+
+
+class TestAblationRegistry:
+    def test_four_ablations(self):
+        assert len(ABLATIONS) == 4
+
+    def test_all_render(self, results):
+        for name, result in results.items():
+            assert result.render()
+            assert result.exp_id == name
+
+
+class TestL3Slicing:
+    def test_sliced_l3_creates_placement_gap(self, results):
+        rows = results["ablation_l3_slicing"].rows
+        sliced, unified = rows
+        # With slicing: big cyclic/block ratio; unified: ~1.
+        assert float(sliced[3].rstrip("x")) > 5.0
+        assert float(unified[3].rstrip("x")) < 1.5
+
+
+class TestL3Contention:
+    def test_contention_causes_collapse(self, results):
+        rows = results["ablation_l3_contention"].rows
+        base, ablated = rows
+        assert base[3] == "collapses"
+        assert ablated[3] == "keeps scaling"
+
+
+class TestL2Sharing:
+    def test_shared_l2_gives_cluster_advantage(self, results):
+        rows = results["ablation_l2_sharing"].rows
+        base, private = rows
+        assert float(base[3].rstrip("x")) > 1.3
+        assert float(private[3].rstrip("x")) == pytest.approx(1.0,
+                                                              abs=0.1)
+
+
+class TestBarrier:
+    def test_free_barriers_improve_apps_scaling(self, results):
+        rows = results["ablation_barrier"].rows
+        base, free = rows
+        assert float(free[2]) > float(base[2])  # 64-thread speedup
+        assert float(free[1]) >= float(base[1])  # 2-thread speedup

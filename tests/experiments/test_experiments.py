@@ -1,0 +1,115 @@
+"""Every experiment must run and render; spot checks on their rows."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import (
+    CLASS_ORDER,
+    ExperimentResult,
+    best_threaded_run,
+)
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once in fast mode (shared across tests)."""
+    return {name: fn(fast=True) for name, fn in EXPERIMENTS.items()}
+
+
+class TestAllExperiments:
+    def test_registry_covers_all_tables_and_figures(self):
+        expected = {
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "figure6", "figure7", "table1", "table2", "table3", "table4",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_all_run_and_render(self, results):
+        for name, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            text = result.render()
+            assert result.title in text
+            assert len(text.splitlines()) >= 3, name
+
+    def test_exp_ids_match_registry_keys(self, results):
+        for name, result in results.items():
+            assert result.exp_id == name
+
+    def test_csv_export(self, results):
+        for name, result in results.items():
+            csv = result.to_csv()
+            assert csv.count("\n") == len(result.rows)
+
+
+class TestSpecificRows:
+    def test_figure1_has_five_configurations(self, results):
+        assert len(results["figure1"].rows) == 5
+
+    def test_scaling_tables_sweep_threads(self, results):
+        for name in ("table1", "table2", "table3"):
+            threads = [row[0] for row in results[name].rows]
+            assert threads == sorted(threads)
+            assert threads[0] == 2
+
+    def test_scaling_tables_have_class_columns(self, results):
+        headers = results["table1"].headers
+        for klass in CLASS_ORDER:
+            assert f"{klass.value} speedup" in headers
+
+    def test_figure2_has_both_precisions(self, results):
+        labels = [row[0] for row in results["figure2"].rows]
+        assert any("fp32" in lbl for lbl in labels)
+        assert any("fp64" in lbl for lbl in labels)
+
+    def test_figure3_covers_polybench(self, results):
+        names = {row[0] for row in results["figure3"].rows}
+        assert {"2MM", "3MM", "GEMM", "FLOYD_WARSHALL", "HEAT_3D",
+                "JACOBI_1D", "JACOBI_2D"} <= names
+
+    def test_figure3_signs_match_paper(self, results):
+        rows = {row[0]: row for row in results["figure3"].rows}
+        for name in ("2MM", "3MM", "GEMM", "JACOBI_2D"):
+            assert float(rows[name][2]) < 0, name  # Clang VLS slower
+        for name in ("FLOYD_WARSHALL", "HEAT_3D"):
+            assert float(rows[name][2]) > 0, name
+
+    def test_figure3_vls_at_least_vla(self, results):
+        for row in results["figure3"].rows:
+            assert float(row[2]) >= float(row[1]) - 1e-9, row[0]
+
+    def test_table4_lists_four_x86(self, results):
+        rows = results["table4"].rows
+        assert len(rows) == 4
+        parts = {row[1] for row in rows}
+        assert parts == {
+            "EPYC 7742", "Xeon E5-2695", "Xeon 6330", "Xeon E5-2609"
+        }
+
+    def test_x86_figures_have_four_rows(self, results):
+        for name in ("figure4", "figure5", "figure6", "figure7"):
+            assert len(results[name].rows) == 4, name
+
+
+class TestBestThreadedRun:
+    def test_x86_uses_all_cores(self, intel_broadwell):
+        from repro.suite.config import Precision
+
+        result = best_threaded_run(
+            intel_broadwell, Precision.FP64, fast=True
+        )
+        assert result.config.threads == 18
+
+    def test_sg2042_tries_32_and_64(self, sg2042):
+        from repro.suite.config import Precision
+
+        result = best_threaded_run(sg2042, Precision.FP32, fast=True)
+        assert result.config.threads in (32, 64)
+
+
+class TestExperimentResult:
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentResult(
+                exp_id="x", title="t", headers=("a",), rows=()
+            )

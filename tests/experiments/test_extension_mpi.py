@@ -1,0 +1,68 @@
+"""Extension experiment tests (distributed Jacobi scaling)."""
+
+import pytest
+
+from repro.experiments.extension_mpi import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(fast=True)
+
+
+class TestExtensionMpi:
+    def test_runs_and_renders(self, result):
+        assert "Jacobi-2D" in result.render()
+
+    def test_three_clusters(self, result):
+        clusters = {row[0] for row in result.rows}
+        assert len(clusters) == 3
+        assert any("25GbE" in c for c in clusters)
+        assert any("Slingshot" in c for c in clusters)
+
+    def test_single_node_pe_is_one(self, result):
+        for row in result.rows:
+            if row[1] == 1:
+                assert float(row[4]) == pytest.approx(1.0)
+
+    def test_speedups_relative_to_one_node(self, result):
+        for row in result.rows:
+            assert float(row[3]) > 0
+
+    def test_registered(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        assert "extension_mpi" in ALL_EXPERIMENTS
+
+
+class TestConclusionsExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.conclusions import run as run_conclusions
+
+        return run_conclusions(fast=True)
+
+    def test_covers_all_stated_claims(self, result):
+        # 2 RISC-V rows + 14 x86 rows + 2 Sandybridge-multi rows.
+        assert len(result.rows) == 18
+
+    def test_sandybridge_multi_rows_show_sg2042_winning(self, result):
+        sb_rows = [r for r in result.rows if "Sandybridge vs" in r[0]
+                   and "multi" in r[0]]
+        assert len(sb_rows) == 2
+        for row in sb_rows:
+            assert "SG2042 wins" in row[2]
+
+    def test_single_core_factors_in_band(self, result):
+        """Every single-core measured factor within 2x of the paper's."""
+        for claim, paper, measured in result.rows:
+            if "single" not in claim or "C920" in claim:
+                continue
+            paper_val = float(paper.rstrip("x"))
+            measured_val = float(measured.split("x")[0])
+            assert paper_val / 2 < measured_val < paper_val * 2, claim
+
+    def test_registered(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        assert "conclusions" in ALL_EXPERIMENTS

@@ -1,0 +1,272 @@
+"""Integration tests: the paper's headline qualitative shapes.
+
+These are the acceptance criteria from DESIGN.md — who wins, by roughly
+what factor, and where the crossovers fall. Absolute numbers are not
+expected to match (our substrate is a model, not the authors' testbed);
+the *shapes* are asserted here.
+"""
+
+import pytest
+
+from repro.kernels.base import KernelClass
+from repro.machine import catalog
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.report import (
+    class_speedups,
+    class_summaries,
+    kernel_relative,
+    suite_average_relative,
+)
+from repro.suite.runner import run_suite
+from repro.util.stats import from_relative
+
+CFG = dict(noise_sigma=0.0, runs=1)
+
+
+@pytest.fixture(scope="module")
+def sg():
+    return catalog.sg2042()
+
+
+@pytest.fixture(scope="module")
+def sg_fp32_1t(sg):
+    return run_suite(sg, RunConfig(threads=1, precision="fp32", **CFG))
+
+
+@pytest.fixture(scope="module")
+def sg_fp64_1t(sg):
+    return run_suite(sg, RunConfig(threads=1, precision="fp64", **CFG))
+
+
+class TestFigure1Shapes:
+    """C920 vs U74 and V1 vs V2."""
+
+    @pytest.fixture(scope="class")
+    def v2_fp64(self):
+        return run_suite(
+            catalog.visionfive_v2(),
+            RunConfig(threads=1, precision="fp64", **CFG),
+        )
+
+    def test_c920_fp64_four_to_sevenfold(self, v2_fp64, sg_fp64_1t):
+        """Paper: 4.3-6.5x class averages at FP64."""
+        for summary in class_summaries(v2_fp64, sg_fp64_1t).values():
+            ratio = from_relative(summary.mean)
+            assert 3.0 < ratio < 8.0
+
+    def test_c920_fp32_five_to_fifteenfold(self, v2_fp64, sg_fp32_1t):
+        """Paper: 5.6-11.8x class averages at FP32."""
+        for summary in class_summaries(v2_fp64, sg_fp32_1t).values():
+            ratio = from_relative(summary.mean)
+            assert 4.5 < ratio < 16.0
+
+    def test_no_kernel_slower_on_c920(self, v2_fp64, sg_fp64_1t,
+                                      sg_fp32_1t):
+        """Paper: 'there were no kernels that ran slower on the C920'."""
+        for result in (sg_fp64_1t, sg_fp32_1t):
+            rel = kernel_relative(v2_fp64, result)
+            assert min(rel.values()) > 0
+
+    def test_v1_slower_than_v2_with_fp64_asymmetry(self, v2_fp64):
+        """Paper: V1 is 3-6x slower at FP64 but only 1-3x at FP32."""
+        v1 = catalog.visionfive_v1()
+        v1_fp64 = run_suite(
+            v1, RunConfig(threads=1, precision="fp64", **CFG)
+        )
+        v1_fp32 = run_suite(
+            v1, RunConfig(threads=1, precision="fp32", **CFG)
+        )
+        v2_fp32 = run_suite(
+            catalog.visionfive_v2(),
+            RunConfig(threads=1, precision="fp32", **CFG),
+        )
+        slow64 = 1 / from_relative(suite_average_relative(v2_fp64, v1_fp64))
+        slow32 = 1 / from_relative(suite_average_relative(v2_fp32, v1_fp32))
+        assert slow64 > 2.5
+        # The asymmetry: FP64 hurts the bandwidth-starved V1 more. The
+        # paper's gap (3-6x vs 1-3x) is larger than the pure-bandwidth
+        # mechanism reproduces; we assert the direction and a 1.25x gap.
+        assert slow64 > 1.25 * slow32
+
+
+class TestTables123Shapes:
+    """Placement-policy scaling."""
+
+    def _speedups(self, sg, baseline, threads, placement):
+        run = run_suite(
+            sg,
+            RunConfig(threads=threads, precision="fp32",
+                      placement=placement, **CFG),
+        )
+        return class_speedups(baseline, run)
+
+    def test_cyclic_beats_block_at_32(self, sg, sg_fp32_1t):
+        block = self._speedups(sg, sg_fp32_1t, 32, Placement.BLOCK)
+        cyclic = self._speedups(sg, sg_fp32_1t, 32, Placement.CYCLIC)
+        for klass in KernelClass:
+            assert cyclic[klass][0] >= 0.95 * block[klass][0], klass
+        # Stream shows the dramatic gap the paper reports (13.91 vs 0.82).
+        assert cyclic[KernelClass.STREAM][0] > 5 * (
+            block[KernelClass.STREAM][0]
+        )
+
+    def test_block_stream_collapses_at_32(self, sg, sg_fp32_1t):
+        """Paper Table 1: stream speedup 0.82 at 32 threads (slower
+        than one thread)."""
+        block = self._speedups(sg, sg_fp32_1t, 32, Placement.BLOCK)
+        assert block[KernelClass.STREAM][0] < 1.5
+
+    def test_cluster_beats_cyclic_up_to_32(self, sg, sg_fp32_1t):
+        """Paper Table 3: cluster-aware placement helps through 32
+        threads."""
+        for threads in (8, 16, 32):
+            cyclic = self._speedups(sg, sg_fp32_1t, threads,
+                                    Placement.CYCLIC)
+            cluster = self._speedups(sg, sg_fp32_1t, threads,
+                                     Placement.CLUSTER)
+            better = sum(
+                1
+                for klass in KernelClass
+                if cluster[klass][0] >= cyclic[klass][0] * 0.98
+            )
+            assert better >= 4, threads
+
+    def test_placements_coincide_at_64(self, sg, sg_fp32_1t):
+        """At 64 threads every core is active: all policies equal."""
+        results = [
+            self._speedups(sg, sg_fp32_1t, 64, p)
+            for p in (Placement.BLOCK, Placement.CYCLIC, Placement.CLUSTER)
+        ]
+        for klass in KernelClass:
+            values = [r[klass][0] for r in results]
+            assert max(values) - min(values) < 0.05 * max(values)
+
+    def test_polybench_scales_best(self, sg, sg_fp32_1t):
+        cyclic = self._speedups(sg, sg_fp32_1t, 64, Placement.CYCLIC)
+        poly = cyclic[KernelClass.POLYBENCH][0]
+        for klass in KernelClass:
+            assert poly >= cyclic[klass][0], klass
+
+    def test_stream_collapses_at_64(self, sg, sg_fp32_1t):
+        """Paper: stream speedup drops to ~1.6-1.8 at 64 threads."""
+        cyclic32 = self._speedups(sg, sg_fp32_1t, 32, Placement.CYCLIC)
+        cyclic64 = self._speedups(sg, sg_fp32_1t, 64, Placement.CYCLIC)
+        assert (
+            cyclic64[KernelClass.STREAM][0]
+            < 0.6 * cyclic32[KernelClass.STREAM][0]
+        )
+
+    def test_superlinear_stream_pe_with_cluster_placement(
+        self, sg, sg_fp32_1t
+    ):
+        """Paper Table 3 reports PE up to 1.40 for stream — the shared
+        L2 capacity effect."""
+        cluster = self._speedups(sg, sg_fp32_1t, 16, Placement.CLUSTER)
+        assert cluster[KernelClass.STREAM][1] > 1.0
+
+
+class TestFigure2Shapes:
+    """Vectorization on/off."""
+
+    def _summaries(self, sg, precision):
+        scalar = run_suite(
+            sg,
+            RunConfig(threads=1, precision=precision, vectorize=False,
+                      **CFG),
+        )
+        vector = run_suite(
+            sg, RunConfig(threads=1, precision=precision, **CFG)
+        )
+        return class_summaries(scalar, vector)
+
+    def test_fp64_benefit_marginal(self, sg):
+        summaries = self._summaries(sg, Precision.FP64)
+        for klass, s in summaries.items():
+            assert s.mean < 0.1, klass
+
+    def test_fp64_basic_whisker_is_the_integer_kernel(self, sg):
+        """One integer kernel drives the basic-class FP64 average up."""
+        summaries = self._summaries(sg, Precision.FP64)
+        assert summaries[KernelClass.BASIC].maximum > 0.2
+
+    def test_fp32_benefit_positive_and_stream_largest(self, sg):
+        summaries = self._summaries(sg, Precision.FP32)
+        stream = summaries[KernelClass.STREAM].mean
+        assert stream > 0.5
+        for klass, s in summaries.items():
+            assert s.mean >= -0.05, klass
+            assert stream >= s.mean, klass
+
+
+class TestFigures45Shapes:
+    """Single-core x86 vs SG2042."""
+
+    @pytest.mark.parametrize(
+        "factory,lo,hi",
+        [
+            (catalog.amd_rome, 2.5, 6.0),
+            (catalog.intel_broadwell, 2.5, 6.0),
+            (catalog.intel_icelake, 3.0, 7.0),
+            (catalog.intel_sandybridge, 1.0, 2.5),
+        ],
+    )
+    def test_fp64_single_core_averages(self, sg_fp64_1t, factory, lo, hi):
+        other = run_suite(
+            factory(), RunConfig(threads=1, precision="fp64", **CFG)
+        )
+        avg = from_relative(
+            suite_average_relative(sg_fp64_1t, other)
+        )
+        assert lo < avg < hi, factory.__name__
+
+    def test_sandybridge_not_faster_for_stream_fp64(self, sg_fp64_1t):
+        """Paper: SB performs slower on average for stream (and
+        algorithm) at FP64 — its 10MiB L3 cannot hold the stream
+        arrays while the SG2042's 64MiB system cache can."""
+        sb = run_suite(
+            catalog.intel_sandybridge(),
+            RunConfig(threads=1, precision="fp64", **CFG),
+        )
+        summary = class_summaries(sg_fp64_1t, sb)[KernelClass.STREAM]
+        assert summary.mean < 0.3
+
+    def test_sandybridge_faster_everywhere_fp32(self, sg_fp32_1t):
+        sb = run_suite(
+            catalog.intel_sandybridge(),
+            RunConfig(threads=1, precision="fp32", **CFG),
+        )
+        summaries = class_summaries(sg_fp32_1t, sb)
+        for klass, s in summaries.items():
+            assert s.mean > 0, klass
+
+
+class TestFigures67Shapes:
+    """Multithreaded x86 vs SG2042."""
+
+    def _best(self, cpu, precision):
+        from repro.experiments.common import best_threaded_run
+
+        return best_threaded_run(cpu, precision, fast=True)
+
+    @pytest.mark.parametrize("precision", ["fp64", "fp32"])
+    def test_sg2042_beats_sandybridge_everywhere(self, sg, precision):
+        prec = Precision.from_label(precision)
+        base = self._best(sg, prec)
+        sb = self._best(catalog.intel_sandybridge(), prec)
+        for klass, s in class_summaries(base, sb).items():
+            assert s.mean < 0, (precision, klass)
+
+    @pytest.mark.parametrize("precision", ["fp64", "fp32"])
+    def test_big_x86_beat_sg2042_on_average(self, sg, precision):
+        prec = Precision.from_label(precision)
+        base = self._best(sg, prec)
+        for factory in (
+            catalog.amd_rome,
+            catalog.intel_broadwell,
+            catalog.intel_icelake,
+        ):
+            other = self._best(factory(), prec)
+            avg = from_relative(suite_average_relative(base, other))
+            # Paper band is 4-8x; the model lands 2.5-13x (Rome's
+            # cache-resident scaling is over-strong — see EXPERIMENTS.md).
+            assert 1.5 < avg < 15.0, (factory.__name__, precision)

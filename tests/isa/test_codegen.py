@@ -1,0 +1,129 @@
+"""Vector loop code generator tests, including the VLA/VLS contrast and
+the full generate -> rollback pipeline."""
+
+import pytest
+
+from repro.compiler.model import VectorFlavor
+from repro.isa.codegen import (
+    LoopSpec,
+    count_dynamic_instructions,
+    generate_loop,
+)
+from repro.isa.encoding import render_assembly
+from repro.isa.rollback import rollback
+from repro.isa.rvv import RVV_0_7_1, RVV_1_0
+from repro.machine.vector import DType
+from repro.util.errors import IsaError
+
+TRIAD = LoopSpec(
+    dtype=DType.FP32, num_inputs=2, ops=("vfmul.vf", "vfadd.vv")[:1],
+)
+
+
+def triad_spec():
+    return LoopSpec(
+        dtype=DType.FP32, num_inputs=2, ops=("vfmacc.vv",), has_store=True
+    )
+
+
+class TestGeneration:
+    def test_vls_has_one_vsetvli_outside_loop(self):
+        insts = generate_loop(triad_spec(), VectorFlavor.VLS)
+        vsets = [i for i in insts if i.mnemonic == "vsetvli"]
+        assert len(vsets) == 1
+        # The single vsetvli precedes the loop label.
+        labels = [i for i in insts if i.label]
+        assert insts.index(vsets[0]) < insts.index(labels[0])
+
+    def test_vla_renegotiates_inside_loop(self):
+        insts = generate_loop(triad_spec(), VectorFlavor.VLA)
+        vsets = [i for i in insts if i.mnemonic == "vsetvli"]
+        assert len(vsets) == 1
+        assert vsets[0].label == "vla_loop"  # inside the loop
+
+    def test_v10_uses_width_encoded_memory_ops(self):
+        insts = generate_loop(
+            triad_spec(), VectorFlavor.VLS, rvv_version="1.0"
+        )
+        ms = {i.mnemonic for i in insts}
+        assert "vle32.v" in ms and "vse32.v" in ms
+
+    def test_v071_uses_sew_implicit_memory_ops(self):
+        insts = generate_loop(
+            triad_spec(), VectorFlavor.VLS, rvv_version="0.7.1"
+        )
+        ms = {i.mnemonic for i in insts}
+        assert "vle.v" in ms and "vse.v" in ms
+
+    def test_fp64_selects_e64(self):
+        spec = LoopSpec(dtype=DType.FP64, num_inputs=1, ops=("vfadd.vv",))
+        insts = generate_loop(spec, VectorFlavor.VLS)
+        vset = next(i for i in insts if i.mnemonic == "vsetvli")
+        assert "e64" in vset.operands
+
+    def test_emitted_dialects_validate(self):
+        for version, dialect in (("1.0", RVV_1_0), ("0.7.1", RVV_0_7_1)):
+            insts = generate_loop(
+                triad_spec(), VectorFlavor.VLA, rvv_version=version
+            )
+            for inst in insts:
+                if inst.mnemonic.startswith("v"):
+                    dialect.validate_mnemonic(inst.mnemonic)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(IsaError):
+            generate_loop(triad_spec(), VectorFlavor.VLS, rvv_version="2.0")
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(IsaError):
+            LoopSpec(dtype=DType.FP32, num_inputs=3, ops=("vfadd.vv",))
+
+
+class TestPipelineWithRollback:
+    """The paper's Clang flow: emit v1.0, roll back, run on the C920."""
+
+    @pytest.mark.parametrize("flavor", [VectorFlavor.VLS, VectorFlavor.VLA])
+    def test_rolled_back_output_is_valid_v071(self, flavor):
+        insts = generate_loop(triad_spec(), flavor, rvv_version="1.0")
+        rolled = rollback(render_assembly(insts))
+        from repro.isa.encoding import parse_assembly
+
+        for inst in parse_assembly(rolled):
+            if inst.is_code and inst.mnemonic.startswith("v"):
+                RVV_0_7_1.validate_mnemonic(inst.mnemonic)
+
+    def test_rollback_preserves_loop_structure(self):
+        insts = generate_loop(
+            triad_spec(), VectorFlavor.VLS, rvv_version="1.0"
+        )
+        rolled = rollback(render_assembly(insts))
+        assert "vls_loop" in rolled
+        assert "bnez" in rolled
+
+
+class TestDynamicCounts:
+    def test_vla_executes_more_instructions_than_vls(self):
+        """The strip-mining overhead that makes VLA slower (Figure 3)."""
+        spec = triad_spec()
+        n = 10_000
+        vla = count_dynamic_instructions(spec, VectorFlavor.VLA, n)
+        vls = count_dynamic_instructions(spec, VectorFlavor.VLS, n)
+        assert vla > vls
+
+    def test_counts_scale_with_n(self):
+        spec = triad_spec()
+        small = count_dynamic_instructions(spec, VectorFlavor.VLS, 1000)
+        large = count_dynamic_instructions(spec, VectorFlavor.VLS, 2000)
+        assert large > small
+
+    def test_wider_elements_mean_more_strips(self):
+        fp64 = LoopSpec(dtype=DType.FP64, num_inputs=2, ops=("vfmacc.vv",))
+        fp32 = triad_spec()
+        n = 4096
+        assert count_dynamic_instructions(
+            fp64, VectorFlavor.VLS, n
+        ) > count_dynamic_instructions(fp32, VectorFlavor.VLS, n)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(IsaError):
+            count_dynamic_instructions(triad_spec(), VectorFlavor.VLS, -1)

@@ -1,0 +1,110 @@
+"""Assembly parser/renderer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    Instruction,
+    parse_assembly,
+    parse_line,
+    render_assembly,
+)
+from repro.util.errors import IsaError
+
+
+class TestParseLine:
+    def test_simple_instruction(self):
+        inst = parse_line("    vadd.vv v0, v1, v2")
+        assert inst.mnemonic == "vadd.vv"
+        assert inst.operands == ("v0", "v1", "v2")
+
+    def test_label_only(self):
+        inst = parse_line("loop:")
+        assert inst.label == "loop"
+        assert not inst.is_code
+
+    def test_label_with_instruction(self):
+        inst = parse_line("loop: vle32.v v1, (a1)")
+        assert inst.label == "loop"
+        assert inst.mnemonic == "vle32.v"
+
+    def test_directive(self):
+        inst = parse_line("    .align 2")
+        assert inst.directive == ".align 2"
+        assert not inst.is_code
+
+    def test_comment_stripped(self):
+        inst = parse_line("    add a0, a0, t0  # bump pointer")
+        assert inst.comment == "bump pointer"
+        assert inst.operands == ("a0", "a0", "t0")
+
+    def test_blank_line_is_none(self):
+        assert parse_line("   ") is None
+
+    def test_mnemonic_lowercased(self):
+        assert parse_line("VSETVLI t0, a0, e32").mnemonic == "vsetvli"
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(IsaError):
+            parse_line("add a0,, t0")
+
+    def test_vsetvli_operands(self):
+        inst = parse_line("vsetvli t0, a0, e32, m1, ta, ma")
+        assert inst.operands == ("t0", "a0", "e32", "m1", "ta", "ma")
+
+
+class TestRoundTrip:
+    def test_parse_render_parse_fixpoint(self):
+        src = "\n".join(
+            [
+                "loop:",
+                "    vsetvli t0, a0, e32, m1, ta, ma",
+                "    vle32.v v1, (a1)",
+                "    vfadd.vv v0, v1, v1",
+                "    vse32.v v0, (a3)",
+                "    sub a0, a0, t0",
+                "    bnez a0, loop",
+                "    ret",
+            ]
+        )
+        once = parse_assembly(src)
+        twice = parse_assembly(render_assembly(once))
+        assert [(i.mnemonic, i.operands, i.label) for i in once] == [
+            (i.mnemonic, i.operands, i.label) for i in twice
+        ]
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(IsaError, match="line 2"):
+            parse_assembly("add a0, a0, t0\nadd a0,, t0")
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["add a0, a1, a2", "vadd.vv v0, v1, v2", "loop:",
+                 "ret", "    .word 0"]
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, lines):
+        text = "\n".join(lines)
+        once = parse_assembly(text)
+        twice = parse_assembly(render_assembly(once))
+        assert [(i.mnemonic, i.operands) for i in once] == [
+            (i.mnemonic, i.operands) for i in twice
+        ]
+
+
+class TestInstruction:
+    def test_with_mnemonic_preserves_rest(self):
+        inst = Instruction(mnemonic="vle32.v", operands=("v1", "(a1)"),
+                           comment="load")
+        new = inst.with_mnemonic("vle.v")
+        assert new.mnemonic == "vle.v"
+        assert new.operands == inst.operands
+        assert new.comment == "load"
+
+    def test_render_label_and_code(self):
+        inst = Instruction(mnemonic="ret", label="done")
+        assert inst.render().startswith("done: ret")

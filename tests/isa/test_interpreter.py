@@ -1,0 +1,166 @@
+"""Semantic equivalence: generated loops — v1.0, v0.7.1, and rolled-back
+v1.0 — all compute the NumPy reference result when actually executed."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.model import VectorFlavor
+from repro.isa.codegen import LoopSpec, generate_loop
+from repro.isa.encoding import render_assembly
+from repro.isa.interpreter import (
+    MachineState,
+    RvvInterpreter,
+    run_triad_loop,
+)
+from repro.isa.rollback import rollback
+from repro.machine.vector import DType
+from repro.util.errors import IsaError
+
+
+def fmacc_spec(dtype=DType.FP32):
+    return LoopSpec(dtype=dtype, num_inputs=2, ops=("vfmacc.vv",),
+                    has_store=True)
+
+
+def gen(flavor, version, dtype=DType.FP32):
+    return render_assembly(
+        generate_loop(fmacc_spec(dtype), flavor, rvv_version=version)
+    )
+
+
+def data(n, dtype=np.float32, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random(n).astype(dtype), rng.random(n).astype(dtype))
+
+
+class TestSemanticEquivalence:
+    """The rollback tool's correctness, proven by execution."""
+
+    def test_vla_v10_computes_fmacc(self):
+        b, c = data(1000)  # deliberately not a lane multiple
+        out = run_triad_loop(gen(VectorFlavor.VLA, "1.0"), b, c)
+        np.testing.assert_allclose(out, b * c, rtol=1e-6)
+
+    def test_vls_v10_computes_fmacc(self):
+        b, c = data(1024)  # VLS assumes a lane-multiple trip count
+        out = run_triad_loop(gen(VectorFlavor.VLS, "1.0"), b, c)
+        np.testing.assert_allclose(out, b * c, rtol=1e-6)
+
+    @pytest.mark.parametrize("flavor", [VectorFlavor.VLA,
+                                        VectorFlavor.VLS])
+    def test_rolled_back_equals_original(self, flavor):
+        n = 1024
+        b, c = data(n)
+        original = gen(flavor, "1.0")
+        rolled = rollback(original)
+        out_orig = run_triad_loop(original, b, c)
+        out_rolled = run_triad_loop(rolled, b, c)
+        np.testing.assert_array_equal(out_orig, out_rolled)
+
+    def test_native_v071_equals_rolled_back_v10(self):
+        n = 512
+        b, c = data(n)
+        native = gen(VectorFlavor.VLA, "0.7.1")
+        rolled = rollback(gen(VectorFlavor.VLA, "1.0"))
+        np.testing.assert_array_equal(
+            run_triad_loop(native, b, c), run_triad_loop(rolled, b, c)
+        )
+
+    def test_fp64_loop(self):
+        b, c = data(512, np.float64)
+        out = run_triad_loop(
+            gen(VectorFlavor.VLA, "1.0", DType.FP64), b, c
+        )
+        np.testing.assert_allclose(out, b * c, rtol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 2000))
+    def test_vla_handles_any_trip_count(self, n):
+        """VLA strip-mining handles tails of every length."""
+        b, c = data(n)
+        out = run_triad_loop(gen(VectorFlavor.VLA, "1.0"), b, c)
+        np.testing.assert_allclose(out, b * c, rtol=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        ops=st.lists(
+            st.sampled_from(["vfadd.vv", "vfmul.vv", "vfsub.vv"]),
+            min_size=1, max_size=3,
+        ).map(tuple)
+    )
+    def test_arbitrary_op_chains_execute(self, ops):
+        spec = LoopSpec(dtype=DType.FP32, num_inputs=2, ops=ops,
+                        has_store=True)
+        text = render_assembly(
+            generate_loop(spec, VectorFlavor.VLA, rvv_version="1.0")
+        )
+        b, c = data(96)
+        out = run_triad_loop(text, b, c)
+        assert np.isfinite(out).all()
+
+
+class TestInterpreterMechanics:
+    def test_vsetvli_caps_at_vlmax(self):
+        state = MachineState()
+        state.set_s("a0", 1000)
+        interp = RvvInterpreter(state)
+        interp.run("vsetvli t0, a0, e32, m1, ta, ma\nret")
+        assert state.vl == 4  # 128 bits / 32
+        assert state.get_s("t0") == 4
+
+    def test_vsetvli_tail(self):
+        state = MachineState()
+        state.set_s("a0", 3)
+        RvvInterpreter(state).run("vsetvli t0, a0, e32, m1\nret")
+        assert state.vl == 3
+
+    def test_scalar_arithmetic(self):
+        state = MachineState()
+        RvvInterpreter(state).run(
+            "li t0, 6\nli t1, 7\nadd t2, t0, t1\nslli t3, t2, 2\nret"
+        )
+        assert state.get_s("t2") == 13
+        assert state.get_s("t3") == 52
+
+    def test_x0_hardwired_zero(self):
+        state = MachineState()
+        RvvInterpreter(state).run("li x0, 99\nret")
+        assert state.get_s("x0") == 0
+
+    def test_branch_loop(self):
+        state = MachineState()
+        program = "\n".join(
+            ["li t0, 5", "li t1, 1", "loop:", "sub t0, t0, t1",
+             "bnez t0, loop", "ret"]
+        )
+        steps = RvvInterpreter(state).run(program)
+        assert state.get_s("t0") == 0
+        assert steps == 2 + 2 * 5 + 1  # 2 li + 5x(sub+bnez) + ret
+
+    def test_missing_ret_rejected(self):
+        with pytest.raises(IsaError, match="without ret"):
+            RvvInterpreter().run("li t0, 1")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(IsaError, match="unknown label"):
+            RvvInterpreter().run("li t0, 1\nbnez t0, nowhere\nret")
+
+    def test_runaway_loop_bounded(self):
+        program = "li t0, 1\nspin:\nbnez t0, spin\nret"
+        with pytest.raises(IsaError, match="budget"):
+            RvvInterpreter().run(program)
+
+    def test_oob_store_rejected(self):
+        state = MachineState(memory_bytes=64)
+        state.memory = bytearray(64)
+        with pytest.raises(IsaError, match="out of bounds"):
+            state.write_array(60, np.ones(4, dtype=np.float32))
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(IsaError):
+            run_triad_loop(
+                "ret",
+                np.ones(4, dtype=np.float32),
+                np.ones(5, dtype=np.float32),
+            )

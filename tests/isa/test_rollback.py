@@ -1,0 +1,147 @@
+"""RVV-rollback rewriter tests: every published rewrite rule."""
+
+import pytest
+
+from repro.isa.encoding import parse_assembly
+from repro.isa.rollback import RollbackError, rollback
+from repro.isa.rvv import RVV_0_7_1
+
+
+def mnemonics(text: str) -> list[str]:
+    return [i.mnemonic for i in parse_assembly(text) if i.is_code]
+
+
+class TestVsetvli:
+    def test_policy_flags_stripped(self):
+        out = rollback("vsetvli t0, a0, e32, m1, ta, ma")
+        assert "ta" not in out and "ma" not in out
+        assert "vsetvli t0, a0, e32, m1" in out
+
+    def test_lmul_preserved(self):
+        out = rollback("vsetvli t0, a0, e64, m4, ta, ma")
+        assert "e64, m4" in out
+
+    def test_fractional_lmul_rejected(self):
+        with pytest.raises(RollbackError, match="fractional LMUL"):
+            rollback("vsetvli t0, a0, e32, mf2, ta, ma")
+
+    def test_vsetivli_expanded_through_scratch_register(self):
+        out = rollback("vsetivli t0, 8, e32, m1, ta, ma")
+        ms = mnemonics(out)
+        assert ms == ["li", "vsetvli"]
+        assert "t6, 8" in out
+
+    def test_malformed_rejected(self):
+        with pytest.raises(RollbackError):
+            rollback("vsetvli t0")
+
+
+class TestMemoryOps:
+    def test_unit_stride_load(self):
+        out = rollback("vsetvli t0, a0, e32, m1, ta, ma\nvle32.v v1, (a1)")
+        assert "vle.v v1, (a1)" in out
+
+    def test_unit_stride_store(self):
+        out = rollback("vsetvli t0, a0, e64, m1\nvse64.v v0, (a2)")
+        assert "vse.v v0, (a2)" in out
+
+    def test_strided_load(self):
+        out = rollback(
+            "vsetvli t0, a0, e32, m1\nvlse32.v v1, (a1), t2"
+        )
+        assert "vlse.v" in out
+
+    def test_indexed_load(self):
+        out = rollback(
+            "vsetvli t0, a0, e32, m1\nvluxei32.v v1, (a1), v2"
+        )
+        assert "vlxe.v" in out
+
+    def test_eew_sew_mismatch_rejected(self):
+        with pytest.raises(RollbackError, match="EEW 64.*SEW is 32"):
+            rollback("vsetvli t0, a0, e32, m1\nvle64.v v1, (a1)")
+
+    def test_memory_op_before_vsetvli_rejected(self):
+        with pytest.raises(RollbackError, match="before any vsetvli"):
+            rollback("vle32.v v1, (a1)")
+
+    def test_sew_tracking_across_multiple_vsetvli(self):
+        src = "\n".join(
+            [
+                "vsetvli t0, a0, e32, m1",
+                "vle32.v v1, (a1)",
+                "vsetvli t0, a0, e64, m1",
+                "vle64.v v2, (a2)",
+            ]
+        )
+        out = rollback(src)
+        assert out.count("vle.v") == 2
+
+
+class TestRenames:
+    @pytest.mark.parametrize(
+        "v10,v071",
+        [
+            ("vcpop.m t0, v0", "vpopc.m"),
+            ("vfirst.m t0, v0", "vmfirst.m"),
+            ("vmandn.mm v0, v1, v2", "vmandnot.mm"),
+            ("vmorn.mm v0, v1, v2", "vmornot.mm"),
+            ("vfredusum.vs v0, v1, v2", "vfredsum.vs"),
+        ],
+    )
+    def test_rename(self, v10, v071):
+        assert v071 in rollback(v10)
+
+    def test_vmv1r_becomes_vmv_v_v(self):
+        assert "vmv.v.v" in rollback("vmv1r.v v0, v1")
+
+    def test_group_moves_rejected(self):
+        with pytest.raises(RollbackError):
+            rollback("vmv2r.v v0, v2")
+
+    def test_extension_ops_rejected(self):
+        with pytest.raises(RollbackError, match="no RVV v0.7.1"):
+            rollback("vzext.vf2 v0, v1")
+
+
+class TestPassThrough:
+    def test_scalar_code_untouched(self):
+        src = "add a0, a0, t0\nbnez a0, loop\nret"
+        assert mnemonics(rollback(src)) == ["add", "bnez", "ret"]
+
+    def test_common_vector_arith_untouched(self):
+        out = rollback("vfmacc.vv v0, v1, v2")
+        assert "vfmacc.vv" in out
+
+    def test_labels_and_comments_survive(self):
+        out = rollback("loop: vfadd.vv v0, v1, v2  # hot loop")
+        assert "loop:" in out and "hot loop" in out
+
+
+class TestEndToEnd:
+    def test_output_is_valid_v071(self):
+        """Every vector mnemonic in rolled-back output must exist in
+        the v0.7.1 dialect."""
+        src = "\n".join(
+            [
+                "vsetvli t0, a0, e32, m1, ta, ma",
+                "loop:",
+                "vle32.v v1, (a1)",
+                "vle32.v v2, (a2)",
+                "vfmacc.vv v0, v1, v2",
+                "vse32.v v0, (a3)",
+                "sub a0, a0, t0",
+                "bnez a0, loop",
+                "vfredusum.vs v0, v0, v31",
+                "ret",
+            ]
+        )
+        for inst in parse_assembly(rollback(src)):
+            if inst.is_code and inst.mnemonic.startswith("v"):
+                RVV_0_7_1.validate_mnemonic(inst.mnemonic)
+
+    def test_idempotent_on_v071_output(self):
+        """Rolling back already-rolled-back code is the identity."""
+        src = "vsetvli t0, a0, e32, m1, ta, ma\nvle32.v v1, (a1)"
+        once = rollback(src)
+        assert rollback(once) == once

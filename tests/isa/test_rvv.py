@@ -1,0 +1,79 @@
+"""RVV dialect table tests."""
+
+import pytest
+
+from repro.isa.rvv import RVV_0_7_1, RVV_1_0, sew_bits
+from repro.util.errors import IsaError
+
+
+class TestDialectMembership:
+    def test_v10_memory_ops_not_in_v071(self):
+        assert RVV_1_0.is_vector("vle32.v")
+        assert not RVV_0_7_1.is_vector("vle32.v")
+
+    def test_v071_memory_ops_not_in_v10(self):
+        assert RVV_0_7_1.is_vector("vle.v")
+        assert not RVV_1_0.is_vector("vle.v")
+
+    def test_common_ops_in_both(self):
+        for m in ("vfadd.vv", "vfmacc.vv", "vsetvli", "vredsum.vs"):
+            assert RVV_0_7_1.is_vector(m)
+            assert RVV_1_0.is_vector(m)
+
+    def test_renamed_pairs_split_correctly(self):
+        assert RVV_0_7_1.is_vector("vpopc.m")
+        assert RVV_1_0.is_vector("vcpop.m")
+        assert not RVV_1_0.is_vector("vpopc.m")
+        assert not RVV_0_7_1.is_vector("vcpop.m")
+
+
+class TestValidateMnemonic:
+    def test_wrong_dialect_raises_with_version(self):
+        with pytest.raises(IsaError, match="not part of RVV 0.7.1"):
+            RVV_0_7_1.validate_mnemonic("vle32.v")
+
+    def test_unknown_vector_op_raises(self):
+        with pytest.raises(IsaError, match="unknown vector"):
+            RVV_1_0.validate_mnemonic("vmadeup.vv")
+
+    def test_scalar_ops_pass(self):
+        RVV_0_7_1.validate_mnemonic("add")
+        RVV_0_7_1.validate_mnemonic("bnez")
+
+
+class TestValidateVsetvli:
+    def test_v071_accepts_plain(self):
+        RVV_0_7_1.validate_vsetvli(("t0", "a0", "e32", "m1"))
+
+    def test_v071_rejects_policy_flags(self):
+        with pytest.raises(IsaError, match="v1.0-only"):
+            RVV_0_7_1.validate_vsetvli(
+                ("t0", "a0", "e32", "m1", "ta", "ma")
+            )
+
+    def test_v10_accepts_policy_flags(self):
+        RVV_1_0.validate_vsetvli(("t0", "a0", "e32", "m1", "ta", "ma"))
+
+    def test_v071_rejects_fractional_lmul(self):
+        with pytest.raises(IsaError, match="mf2"):
+            RVV_0_7_1.validate_vsetvli(("t0", "a0", "e32", "mf2"))
+
+    def test_v10_accepts_fractional_lmul(self):
+        RVV_1_0.validate_vsetvli(("t0", "a0", "e32", "mf2"))
+
+    def test_invalid_sew_rejected(self):
+        with pytest.raises(IsaError, match="SEW"):
+            RVV_1_0.validate_vsetvli(("t0", "a0", "e128"))
+
+    def test_lmul_defaults_to_m1(self):
+        RVV_1_0.validate_vsetvli(("t0", "a0", "e32", "ta", "ma"))
+
+
+class TestSewBits:
+    def test_values(self):
+        assert sew_bits("e8") == 8
+        assert sew_bits("e64") == 64
+
+    def test_invalid(self):
+        with pytest.raises(IsaError):
+            sew_bits("e128")

@@ -1,0 +1,22 @@
+"""The committed kernel reference must match the generated one."""
+
+from pathlib import Path
+
+from repro.kernels.docgen import generate_kernel_reference
+
+
+def test_kernels_md_in_sync():
+    committed = (
+        Path(__file__).resolve().parents[2] / "docs" / "KERNELS.md"
+    ).read_text(encoding="utf-8")
+    assert committed == generate_kernel_reference(), (
+        "docs/KERNELS.md is stale; regenerate with "
+        "`python -m repro.kernels.docgen`"
+    )
+
+
+def test_reference_covers_all_classes():
+    text = generate_kernel_reference()
+    for heading in ("Algorithm (6", "Apps (13", "Basic (16",
+                    "Lcals (11", "Polybench (13", "Stream (5"):
+        assert heading in text

@@ -1,0 +1,86 @@
+"""Numerical correctness of the algorithm-class kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+
+N = 300
+
+
+def test_scan_is_exclusive_prefix_sum():
+    k = get_kernel("SCAN")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    x = ws["x"]
+    expected = np.concatenate([[0.0], np.cumsum(x)[:-1]])
+    np.testing.assert_allclose(ws["y"], expected, rtol=1e-12)
+
+
+def test_scan_first_element_zero():
+    k = get_kernel("SCAN")
+    ws = k.prepare(N, DType.FP32)
+    k.execute(ws)
+    assert ws["y"][0] == 0.0
+
+
+def test_sort_produces_sorted_permutation():
+    k = get_kernel("SORT")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    out = ws["out"]
+    assert (np.diff(out) >= 0).all()
+    np.testing.assert_array_equal(np.sort(ws["x"]), out)
+
+
+def test_sort_checksum_changes_if_unsorted():
+    """The weighted checksum must be order-sensitive."""
+    k = get_kernel("SORT")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    good = k.checksum(ws)
+    ws["out"][0], ws["out"][-1] = ws["out"][-1], ws["out"][0]
+    assert k.checksum(ws) != pytest.approx(good)
+
+
+def test_sortpairs_keys_sorted_and_values_follow():
+    k = get_kernel("SORTPAIRS")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    assert (np.diff(ws["out_keys"]) >= 0).all()
+    # Each output (key, value) pair must exist in the input pairing.
+    order = np.argsort(ws["keys"], kind="stable")
+    np.testing.assert_array_equal(ws["out_vals"], ws["vals"][order])
+
+
+def test_reduce_sum_matches_naive():
+    k = get_kernel("REDUCE_SUM")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    assert ws["sum"] == pytest.approx(float(np.sum(ws["x"])), rel=1e-10)
+
+
+def test_memset_fills_value():
+    k = get_kernel("MEMSET")
+    ws = k.prepare(N, DType.FP32)
+    k.execute(ws)
+    assert (ws["x"] == ws["value"]).all()
+
+
+def test_memcpy_copies():
+    k = get_kernel("MEMCPY")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    np.testing.assert_array_equal(ws["y"], ws["x"])
+
+
+def test_sort_reps_do_equal_work():
+    """SORT must re-sort the same scrambled input each rep (checksum
+    stable across reps)."""
+    k = get_kernel("SORT")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    first = k.checksum(ws)
+    k.execute(ws)
+    assert k.checksum(ws) == first

@@ -1,0 +1,179 @@
+"""Numerical correctness of the Lcals kernels, in particular the
+recursive-doubling recurrence solver against sequential references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.lcals import solve_linear_recurrence
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+
+N = 350
+
+
+class TestLinearRecurrenceSolver:
+    def _sequential(self, coef, rhs):
+        out = np.zeros_like(rhs, dtype=np.float64)
+        prev = 0.0
+        for i in range(rhs.size):
+            prev = rhs[i] + coef[i] * prev
+            out[i] = prev
+        return out
+
+    def test_matches_sequential(self):
+        rng = np.random.default_rng(0)
+        coef = rng.uniform(-0.9, 0.9, 100)
+        rhs = rng.uniform(-1, 1, 100)
+        np.testing.assert_allclose(
+            solve_linear_recurrence(coef, rhs),
+            self._sequential(coef, rhs),
+            rtol=1e-10,
+        )
+
+    def test_zero_coefficients_reduce_to_rhs(self):
+        rhs = np.arange(10.0)
+        np.testing.assert_array_equal(
+            solve_linear_recurrence(np.zeros(10), rhs), rhs
+        )
+
+    def test_single_element(self):
+        out = solve_linear_recurrence(np.array([0.5]), np.array([2.0]))
+        assert out[0] == 2.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(-0.95, 0.95, allow_nan=False), min_size=1,
+            max_size=64,
+        )
+    )
+    def test_property_vs_sequential(self, coefs):
+        coef = np.asarray(coefs)
+        rhs = np.linspace(-1, 1, coef.size)
+        np.testing.assert_allclose(
+            solve_linear_recurrence(coef, rhs),
+            self._sequential(coef, rhs),
+            rtol=1e-8,
+            atol=1e-12,
+        )
+
+
+def test_first_diff():
+    k = get_kernel("FIRST_DIFF")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    np.testing.assert_allclose(
+        ws["x"], ws["y"][1:] - ws["y"][:-1], rtol=1e-12
+    )
+
+
+def test_first_sum():
+    k = get_kernel("FIRST_SUM")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    y = ws["y"]
+    assert ws["x"][0] == pytest.approx(2 * y[0])
+    np.testing.assert_allclose(ws["x"][1:], y[:-1] + y[1:], rtol=1e-12)
+
+
+def test_first_min_finds_planted_minimum():
+    k = get_kernel("FIRST_MIN")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    assert ws["loc"] == N // 2
+    assert ws["val"] == -1.0
+
+
+def test_eos_matches_naive():
+    k = get_kernel("EOS")
+    ws = k.prepare(50, DType.FP64)
+    k.execute(ws)
+    y, z, u = ws["y"], ws["z"], ws["u"]
+    q, r, t = float(ws["q"]), float(ws["r"]), float(ws["t"])
+    for i in (0, 17, 49):
+        expected = (
+            u[i]
+            + r * (z[i] + r * y[i])
+            + t * (
+                u[i + 3]
+                + r * (u[i + 2] + r * u[i + 1])
+                + t * (u[i + 6] + q * (u[i + 5] + q * u[i + 4]))
+            )
+        )
+        assert ws["x"][i] == pytest.approx(expected, rel=1e-12)
+
+
+def test_hydro_1d_matches_naive():
+    k = get_kernel("HYDRO_1D")
+    ws = k.prepare(50, DType.FP64)
+    k.execute(ws)
+    y, z = ws["y"], ws["z"]
+    q, r, t = float(ws["q"]), float(ws["r"]), float(ws["t"])
+    for i in (0, 25, 49):
+        expected = q + y[i] * (r * z[i + 10] + t * z[i + 11])
+        assert ws["x"][i] == pytest.approx(expected, rel=1e-12)
+
+
+def test_tridiag_elim_matches_sequential():
+    k = get_kernel("TRIDIAG_ELIM")
+    ws = k.prepare(200, DType.FP64)
+    k.execute(ws)
+    x, y, z = ws["x"], ws["y"], ws["z"]
+    seq = np.zeros(200)
+    prev = 0.0
+    for i in range(200):
+        prev = z[i] * (y[i] - prev)
+        seq[i] = prev
+    np.testing.assert_allclose(x, seq, rtol=1e-6, atol=1e-10)
+
+
+def test_gen_lin_recur_matches_sequential():
+    k = get_kernel("GEN_LIN_RECUR")
+    ws = k.prepare(200, DType.FP64)
+    k.execute(ws)
+    sa, sb = ws["sa"], ws["sb"]
+    seq = np.zeros(200)
+    prev = 0.0
+    for i in range(200):
+        prev = sa[i] + sb[i] * prev
+        seq[i] = prev
+    np.testing.assert_allclose(ws["b5"], seq, rtol=1e-6, atol=1e-10)
+
+
+def test_planckian_matches_naive():
+    k = get_kernel("PLANCKIAN")
+    ws = k.prepare(N, DType.FP64)
+    k.execute(ws)
+    expected = ws["x"] / (np.exp(ws["u"] / ws["v"]) - 1.0)
+    np.testing.assert_allclose(ws["w"], expected, rtol=1e-9)
+
+
+def test_diff_predict_runs_and_shifts_predictors():
+    k = get_kernel("DIFF_PREDICT")
+    ws = k.prepare(N, DType.FP64)
+    before = ws["px"].copy()
+    k.execute(ws)
+    # First predictor row becomes cx (the new observation chain head).
+    np.testing.assert_allclose(ws["px"][0], ws["cx"], rtol=1e-12)
+    assert not np.array_equal(ws["px"], before)
+
+
+def test_int_predict_polynomial_combination():
+    k = get_kernel("INT_PREDICT")
+    ws = k.prepare(N, DType.FP64)
+    px_before = ws["px"].copy()
+    k.execute(ws)
+    c = ws["c"]
+    expected = sum(c[j] * px_before[j + 1] for j in range(12))
+    np.testing.assert_allclose(ws["px"][0], expected, rtol=1e-9)
+
+
+def test_hydro_2d_interior_update_finite():
+    k = get_kernel("HYDRO_2D")
+    ws = k.prepare(20 * 20, DType.FP64)
+    k.execute(ws)
+    for key in ("za", "zb", "zr", "zz"):
+        assert np.isfinite(ws[key]).all()
+    # Boundary rows untouched by the interior-slice update.
+    assert (ws["za"][0, :] == 0).all()

@@ -1,0 +1,187 @@
+"""Numerical correctness of the Polybench kernels vs naive references."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+
+# Problem sizes map to matrix side sqrt(n); keep tiny for naive loops.
+N_MAT = 12 * 12
+
+
+def test_gemm_matches_naive():
+    k = get_kernel("GEMM")
+    ws = k.prepare(N_MAT, DType.FP64)
+    a, b = ws["A"].copy(), ws["B"].copy()
+    c0 = ws["C"].copy()
+    k.execute(ws)
+    expected = 1.2 * c0 + 1.5 * (a @ b)
+    np.testing.assert_allclose(ws["C"], expected, rtol=1e-10)
+
+
+def test_2mm_matches_naive():
+    k = get_kernel("2MM")
+    ws = k.prepare(N_MAT, DType.FP64)
+    a, b, c, d0 = (ws[x].copy() for x in "ABCD")
+    k.execute(ws)
+    expected = 1.2 * d0 + (1.5 * (a @ b)) @ c
+    np.testing.assert_allclose(ws["D"], expected, rtol=1e-10)
+
+
+def test_3mm_matches_naive():
+    k = get_kernel("3MM")
+    ws = k.prepare(N_MAT, DType.FP64)
+    k.execute(ws)
+    expected = (ws["A"] @ ws["B"]) @ (ws["C"] @ ws["D"])
+    np.testing.assert_allclose(ws["G"], expected, rtol=1e-10)
+
+
+def test_atax_matches_naive():
+    k = get_kernel("ATAX")
+    ws = k.prepare(N_MAT, DType.FP64)
+    k.execute(ws)
+    expected = ws["A"].T @ (ws["A"] @ ws["x"])
+    np.testing.assert_allclose(ws["y"], expected, rtol=1e-6)
+
+
+def test_gesummv_matches_naive():
+    k = get_kernel("GESUMMV")
+    ws = k.prepare(N_MAT, DType.FP64)
+    k.execute(ws)
+    expected = 1.5 * (ws["A"] @ ws["x"]) + 1.2 * (ws["B"] @ ws["x"])
+    np.testing.assert_allclose(ws["y"], expected, rtol=1e-10)
+
+
+def test_mvt_matches_naive():
+    k = get_kernel("MVT")
+    ws = k.prepare(N_MAT, DType.FP64)
+    x1_0, x2_0 = ws["x1"].copy(), ws["x2"].copy()
+    k.execute(ws)
+    np.testing.assert_allclose(
+        ws["x1"], x1_0 + ws["A"] @ ws["y1"], rtol=1e-10
+    )
+    np.testing.assert_allclose(
+        ws["x2"], x2_0 + ws["A"].T @ ws["y2"], rtol=1e-10
+    )
+
+
+def test_gemver_matches_naive():
+    k = get_kernel("GEMVER")
+    ws = k.prepare(N_MAT, DType.FP64)
+    a0 = ws["A"].copy()
+    k.execute(ws)
+    a_hat = a0 + np.outer(ws["u1"], ws["v1"]) + np.outer(ws["u2"], ws["v2"])
+    x = 1.2 * (a_hat.T @ ws["y"]) + ws["z"]
+    np.testing.assert_allclose(ws["x"], x, rtol=1e-10)
+    np.testing.assert_allclose(ws["w"], 1.5 * (a_hat @ x), rtol=1e-10)
+
+
+def test_floyd_warshall_shortest_paths():
+    k = get_kernel("FLOYD_WARSHALL")
+    ws = k.prepare(8 * 8, DType.FP64)
+    path0 = ws["path"].copy()
+    k.execute(ws)
+    # Reference: naive triple loop.
+    ref = path0.copy()
+    n = ref.shape[0]
+    for kk in range(n):
+        for i in range(n):
+            for j in range(n):
+                ref[i, j] = min(ref[i, j], ref[i, kk] + ref[kk, j])
+    np.testing.assert_allclose(ws["path"], ref, rtol=1e-12)
+
+
+def test_floyd_warshall_triangle_inequality():
+    k = get_kernel("FLOYD_WARSHALL")
+    ws = k.prepare(10 * 10, DType.FP64)
+    k.execute(ws)
+    p = ws["path"]
+    n = p.shape[0]
+    via = p[:, :, None] + p[None, :, :]
+    # p[i,j] <= p[i,k] + p[k,j] for all k after convergence.
+    assert (p[:, None, :] <= via.transpose(0, 1, 2) + 1e-9).all()
+
+
+def test_jacobi_1d_stencil():
+    k = get_kernel("JACOBI_1D")
+    ws = k.prepare(64, DType.FP64)
+    a0 = ws["A"].copy()
+    k.execute(ws)
+    expected = (a0[:-2] + a0[1:-1] + a0[2:]) / 3.0
+    np.testing.assert_allclose(ws["A"][1:-1], expected, rtol=1e-12)
+
+
+def test_jacobi_2d_stencil():
+    k = get_kernel("JACOBI_2D")
+    ws = k.prepare(12 * 12, DType.FP64)
+    a0 = ws["A"].copy()
+    k.execute(ws)
+    i, j = 5, 7
+    expected = 0.2 * (
+        a0[i, j] + a0[i, j - 1] + a0[i, j + 1] + a0[i + 1, j] + a0[i - 1, j]
+    )
+    assert ws["A"][i, j] == pytest.approx(expected, rel=1e-12)
+
+
+def test_jacobi_converges_to_constant():
+    """Repeated Jacobi smoothing flattens the field (a real invariant of
+    the average stencil: the range contracts)."""
+    k = get_kernel("JACOBI_2D")
+    ws = k.prepare(10 * 10, DType.FP64)
+    before = np.ptp(ws["A"][1:-1, 1:-1])
+    for _ in range(50):
+        k.execute(ws)
+    after = np.ptp(ws["A"][3:-3, 3:-3])
+    assert after < before
+
+
+def test_heat_3d_stencil():
+    k = get_kernel("HEAT_3D")
+    ws = k.prepare(8**3, DType.FP64)
+    a0 = ws["A"].copy()
+    k.execute(ws)
+    i = j = m = 3
+    lap = (
+        (a0[i + 1, j, m] - 2 * a0[i, j, m] + a0[i - 1, j, m])
+        + (a0[i, j + 1, m] - 2 * a0[i, j, m] + a0[i, j - 1, m])
+        + (a0[i, j, m + 1] - 2 * a0[i, j, m] + a0[i, j, m - 1])
+    )
+    expected = a0[i, j, m] + 0.125 * lap
+    assert ws["A"][i, j, m] == pytest.approx(expected, rel=1e-12)
+
+
+def test_heat_3d_buffers_swap():
+    k = get_kernel("HEAT_3D")
+    ws = k.prepare(8**3, DType.FP64)
+    a_id = id(ws["A"])
+    k.execute(ws)
+    assert id(ws["B"]) == a_id  # swapped
+
+
+def test_fdtd_2d_updates_all_fields():
+    k = get_kernel("FDTD_2D")
+    ws = k.prepare(16 * 16, DType.FP64)
+    before = {f: ws[f].copy() for f in ("ex", "ey", "hz")}
+    k.execute(ws)
+    for f in ("ex", "ey", "hz"):
+        assert not np.array_equal(ws[f], before[f]), f
+    assert ws["t"] == 1
+
+
+def test_adi_sweep_is_linear_recurrence():
+    from repro.kernels.polybench import Adi
+
+    src = np.ones((3, 6))
+    out = Adi._sweep(src, a=0.5, b=1.0)
+    # x[j] = 1 + 0.5 x[j-1] -> geometric approach to 2.
+    expected = [1.0, 1.5, 1.75, 1.875, 1.9375, 1.96875]
+    np.testing.assert_allclose(out[0], expected, rtol=1e-12)
+
+
+def test_adi_remains_finite_over_reps():
+    k = get_kernel("ADI")
+    ws = k.prepare(20 * 20, DType.FP64)
+    for _ in range(5):
+        k.execute(ws)
+    assert np.isfinite(ws["u"]).all()

@@ -1,0 +1,142 @@
+"""Cache hierarchy description tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, Sharing
+from repro.util.errors import ConfigError
+from repro.util.units import KIB, MIB
+
+
+def l1(**kw):
+    defaults = dict(
+        name="L1D", capacity_bytes=32 * KIB, sharing=Sharing.CORE,
+        associativity=8, latency_cycles=4,
+    )
+    defaults.update(kw)
+    return CacheLevel(**defaults)
+
+
+class TestCacheLevel:
+    def test_num_sets(self):
+        assert l1().num_sets == 32 * KIB // 64 // 8
+
+    def test_describe(self):
+        text = l1().describe()
+        assert "32.0KiB" in text and "8-way" in text
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            l1(capacity_bytes=0)
+
+    def test_nonpow2_line_rejected(self):
+        with pytest.raises(ConfigError):
+            l1(line_bytes=48)
+
+    def test_capacity_not_multiple_of_line_rejected(self):
+        with pytest.raises(ConfigError):
+            l1(capacity_bytes=100)
+
+    def test_lines_not_divisible_by_assoc_rejected(self):
+        with pytest.raises(ConfigError):
+            l1(capacity_bytes=64 * 10, associativity=3)
+
+    def test_contention_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            l1(contention_threshold=0)
+
+
+class TestEffectiveAggregateBandwidth:
+    def test_unbounded_when_none(self):
+        assert l1().effective_aggregate_bandwidth(16) is None
+
+    def test_no_penalty_below_threshold(self):
+        lvl = l1(
+            aggregate_bandwidth_bytes_per_cycle=16.0,
+            contention_threshold=8,
+            contention_exponent=3.0,
+        )
+        assert lvl.effective_aggregate_bandwidth(8) == 16.0
+
+    def test_penalty_above_threshold(self):
+        lvl = l1(
+            aggregate_bandwidth_bytes_per_cycle=16.0,
+            contention_threshold=8,
+            contention_exponent=3.0,
+        )
+        # (8/16)^3 = 1/8.
+        assert lvl.effective_aggregate_bandwidth(16) == pytest.approx(2.0)
+
+    def test_zero_sharers_rejected(self):
+        with pytest.raises(ConfigError):
+            l1().effective_aggregate_bandwidth(0)
+
+    @given(st.integers(1, 128))
+    def test_monotone_nonincreasing_in_sharers(self, sharers):
+        lvl = l1(
+            aggregate_bandwidth_bytes_per_cycle=32.0,
+            contention_threshold=4,
+            contention_exponent=2.0,
+        )
+        a = lvl.effective_aggregate_bandwidth(sharers)
+        b = lvl.effective_aggregate_bandwidth(sharers + 1)
+        assert b <= a
+
+
+class TestCacheHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy(
+            levels=(
+                l1(),
+                CacheLevel("L2", 1 * MIB, Sharing.CLUSTER,
+                           associativity=16, latency_cycles=14),
+            )
+        )
+
+    def test_iteration_order_innermost_first(self):
+        names = [lvl.name for lvl in self._hierarchy()]
+        assert names == ["L1D", "L2"]
+
+    def test_level_lookup(self):
+        assert self._hierarchy().level("L2").name == "L2"
+        with pytest.raises(ConfigError):
+            self._hierarchy().level("L9")
+
+    def test_latency_monotonicity_enforced(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy(
+                levels=(
+                    l1(latency_cycles=10),
+                    CacheLevel("L2", 1 * MIB, Sharing.CLUSTER,
+                               associativity=16, latency_cycles=5),
+                )
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy(levels=(l1(), l1(latency_cycles=10)))
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy(
+                levels=(
+                    l1(),
+                    CacheLevel("L2", 1 * MIB, Sharing.CLUSTER,
+                               line_bytes=128, associativity=16,
+                               latency_cycles=14),
+                )
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy(levels=())
+
+    def test_capacity_available_splits_among_sharers(self):
+        h = self._hierarchy()
+        lvl = h.level("L2")
+        assert h.capacity_available(lvl, 4) == lvl.capacity_bytes / 4
+
+    def test_capacity_available_validates(self):
+        h = self._hierarchy()
+        with pytest.raises(ConfigError):
+            h.capacity_available(h.level("L2"), 0)

@@ -1,0 +1,129 @@
+"""Catalog tests: every published spec the paper states must be encoded
+exactly."""
+
+import pytest
+
+from repro.machine import catalog
+from repro.machine.cache import Sharing
+from repro.machine.vector import DType
+from repro.util.units import GHZ, KIB, MIB
+
+
+class TestSg2042:
+    def test_core_count_and_clock(self, sg2042):
+        assert sg2042.num_cores == 64
+        assert sg2042.core.clock_hz == 2.0 * GHZ
+
+    def test_vector_is_rvv071_128bit(self, sg2042):
+        assert sg2042.core.isa.version == "0.7.1"
+        assert sg2042.core.isa.width_bits == 128
+
+    def test_no_fp64_vectors(self, sg2042):
+        assert not sg2042.core.isa.supports(DType.FP64)
+
+    def test_l1_64k(self, sg2042):
+        assert sg2042.caches.level("L1D").capacity_bytes == 64 * KIB
+
+    def test_l2_1mib_per_cluster(self, sg2042):
+        l2 = sg2042.caches.level("L2")
+        assert l2.capacity_bytes == 1 * MIB
+        assert l2.sharing is Sharing.CLUSTER
+
+    def test_l3_totals_64mib(self, sg2042):
+        l3 = sg2042.caches.level("L3")
+        instances = sg2042.topology.num_numa_nodes
+        assert l3.capacity_bytes * instances == 64 * MIB
+
+    def test_four_ddr4_3200_controllers(self, sg2042):
+        assert sg2042.memory.controllers == 4
+        assert sg2042.memory.channel_bandwidth_bytes == pytest.approx(
+            25.6e9
+        )
+
+    def test_one_controller_per_numa_region(self, sg2042):
+        assert sg2042.memory.numa_local
+        assert sg2042.topology.num_numa_nodes == 4
+
+    def test_smt_disabled(self, sg2042):
+        assert sg2042.smt == 1
+
+
+class TestVisionFive:
+    def test_v2_four_u74_cores(self, visionfive_v2):
+        assert visionfive_v2.num_cores == 4
+        assert visionfive_v2.core.name == "SiFive U74"
+        assert visionfive_v2.core.clock_hz == 1.5 * GHZ
+
+    def test_v1_two_cores(self, visionfive_v1):
+        assert visionfive_v1.num_cores == 2
+
+    def test_u74_has_no_vector_extension(self, visionfive_v2):
+        assert visionfive_v2.core.isa.is_scalar_only
+
+    def test_2mib_shared_l2(self, visionfive_v2):
+        l2 = visionfive_v2.caches.level("L2")
+        assert l2.capacity_bytes == 2 * MIB
+        assert l2.sharing is Sharing.PACKAGE
+
+    def test_v1_memory_slower_than_v2(self, visionfive_v1, visionfive_v2):
+        """The modelled explanation for the paper's unexplained V1/V2
+        gap: a drastically slower DRAM path."""
+        assert (
+            visionfive_v1.memory.per_core_bandwidth_bytes
+            < visionfive_v2.memory.per_core_bandwidth_bytes / 3
+        )
+
+
+class TestX86Table4:
+    """Table 4 of the paper, row by row."""
+
+    def test_rome(self, amd_rome):
+        assert amd_rome.part == "EPYC 7742"
+        assert amd_rome.core.clock_hz == 2.25 * GHZ
+        assert amd_rome.num_cores == 64
+        assert amd_rome.core.isa.name == "AVX2"
+
+    def test_rome_numa(self, amd_rome):
+        assert amd_rome.topology.num_numa_nodes == 4
+        assert amd_rome.memory.controllers == 8
+
+    def test_broadwell(self, intel_broadwell):
+        assert intel_broadwell.part == "Xeon E5-2695"
+        assert intel_broadwell.core.clock_hz == 2.1 * GHZ
+        assert intel_broadwell.num_cores == 18
+        assert intel_broadwell.core.isa.name == "AVX2"
+        assert intel_broadwell.topology.num_numa_nodes == 1
+
+    def test_icelake(self, intel_icelake):
+        assert intel_icelake.part == "Xeon 6330"
+        assert intel_icelake.core.clock_hz == 2.0 * GHZ
+        assert intel_icelake.num_cores == 28
+        assert intel_icelake.core.isa.name == "AVX512"
+        assert intel_icelake.caches.level("L2").capacity_bytes == 1 * MIB
+
+    def test_sandybridge(self, intel_sandybridge):
+        assert intel_sandybridge.part == "Xeon E5-2609"
+        assert intel_sandybridge.core.clock_hz == 2.4 * GHZ
+        assert intel_sandybridge.num_cores == 4
+        assert intel_sandybridge.core.isa.name == "AVX"
+        # The paper's 128-bit equal-width claim.
+        assert intel_sandybridge.core.isa.width_bits == 128
+
+    def test_all_x86_vectorize_fp64(self, all_cpus):
+        for name, cpu in all_cpus.items():
+            if name.startswith(("amd", "intel")):
+                assert cpu.core.isa.supports(DType.FP64), name
+
+
+class TestCatalogApi:
+    def test_all_cpus_has_seven(self, all_cpus):
+        assert len(all_cpus) == 7
+
+    def test_factories_return_fresh_equal_instances(self):
+        assert catalog.sg2042() == catalog.sg2042()
+        assert catalog.sg2042() is not catalog.sg2042()
+
+    def test_describe_runs_for_all(self, all_cpus):
+        for cpu in all_cpus.values():
+            text = cpu.describe()
+            assert cpu.name in text

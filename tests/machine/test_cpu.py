@@ -1,0 +1,117 @@
+"""Core/memory/CPU model tests."""
+
+import pytest
+
+from repro.machine.cpu import CoreModel, MemorySystem
+from repro.machine.vector import DType, rvv_0_7_1, scalar_only
+from repro.util.errors import ConfigError
+from repro.util.units import GHZ
+
+
+def c920_like(**kw):
+    defaults = dict(
+        name="test-core",
+        clock_hz=2.0 * GHZ,
+        fp_ops_per_cycle=2.0,
+        vector_pipes=1,
+        isa=rvv_0_7_1(),
+        scalar_efficiency=0.6,
+        vector_efficiency=0.5,
+    )
+    defaults.update(kw)
+    return CoreModel(**defaults)
+
+
+class TestCoreModel:
+    def test_scalar_rate(self):
+        core = c920_like()
+        assert core.scalar_flops_per_second(DType.FP64) == pytest.approx(
+            2.0e9 * 2.0 * 0.6
+        )
+
+    def test_vector_fp32_rate(self):
+        core = c920_like()
+        # 1 pipe * 4 lanes * 2 (FMA) * 0.5 efficiency.
+        assert core.vector_flops_per_second(DType.FP32) == pytest.approx(
+            2.0e9 * 1 * 4 * 2 * 0.5
+        )
+
+    def test_vector_fp64_falls_back_to_scalar(self):
+        """The C920-on-FP64 case: 'vector' FP64 executes at scalar rate."""
+        core = c920_like()
+        assert core.vector_flops_per_second(
+            DType.FP64
+        ) == core.scalar_flops_per_second(DType.FP64)
+
+    def test_inorder_penalty_applies(self):
+        ooo = c920_like()
+        inorder = c920_like(out_of_order=False, inorder_penalty=0.5)
+        assert inorder.scalar_flops_per_second(DType.FP64) == pytest.approx(
+            0.5 * ooo.scalar_flops_per_second(DType.FP64)
+        )
+
+    def test_flops_dispatch(self):
+        core = c920_like()
+        assert core.flops_per_second(
+            DType.FP32, vectorized=True
+        ) > core.flops_per_second(DType.FP32, vectorized=False)
+
+    def test_vector_pipes_without_isa_rejected(self):
+        with pytest.raises(ConfigError):
+            c920_like(isa=scalar_only())
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            c920_like(scalar_efficiency=1.5)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            c920_like(clock_hz=0)
+
+
+class TestMemorySystem:
+    def _mem(self, **kw):
+        defaults = dict(
+            controllers=4,
+            channel_bandwidth_bytes=25.6e9,
+            efficiency=0.25,
+            numa_local=True,
+        )
+        defaults.update(kw)
+        return MemorySystem(**defaults)
+
+    def test_package_bandwidth(self):
+        assert self._mem().package_bandwidth == pytest.approx(
+            4 * 25.6e9 * 0.25
+        )
+
+    def test_bandwidth_per_numa(self):
+        assert self._mem().bandwidth_per_numa(4) == pytest.approx(
+            25.6e9 * 0.25
+        )
+
+    def test_uneven_controllers_rejected(self):
+        with pytest.raises(ConfigError):
+            self._mem(controllers=3).bandwidth_per_numa(4)
+
+    def test_thrash_penalty(self):
+        mem = self._mem(thrash_threshold=8, thrash_exponent=2.0)
+        full = mem.effective_region_bandwidth(4, 8)
+        thrashed = mem.effective_region_bandwidth(4, 16)
+        assert thrashed == pytest.approx(full * 0.25)
+
+    def test_no_thrash_below_threshold(self):
+        mem = self._mem(thrash_threshold=8)
+        assert mem.effective_region_bandwidth(
+            4, 4
+        ) == mem.bandwidth_per_numa(4)
+
+    def test_no_thrash_when_disabled(self):
+        mem = self._mem(thrash_threshold=None)
+        assert mem.effective_region_bandwidth(
+            4, 64
+        ) == mem.bandwidth_per_numa(4)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigError):
+            self._mem(efficiency=0.0)

@@ -1,0 +1,88 @@
+"""Machine serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.machine import catalog
+from repro.machine.serialize import (
+    cpu_from_dict,
+    cpu_to_dict,
+    isa_from_dict,
+    isa_to_dict,
+    load_cpu,
+    save_cpu,
+)
+from repro.machine.vector import avx2, rvv_0_7_1
+from repro.util.errors import ConfigError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(catalog.all_cpus()))
+    def test_all_catalog_machines(self, name):
+        cpu = catalog.all_cpus()[name]
+        assert cpu_from_dict(cpu_to_dict(cpu)) == cpu
+
+    def test_dict_is_json_compatible(self, sg2042):
+        text = json.dumps(cpu_to_dict(sg2042))
+        assert cpu_from_dict(json.loads(text)) == sg2042
+
+    @pytest.mark.parametrize("isa", [rvv_0_7_1(), avx2()])
+    def test_isa_roundtrip(self, isa):
+        assert isa_from_dict(isa_to_dict(isa)) == isa
+
+
+class TestFiles:
+    def test_save_load(self, sg2042, tmp_path):
+        path = tmp_path / "sg2042.json"
+        save_cpu(sg2042, path)
+        assert load_cpu(path) == sg2042
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_cpu(tmp_path / "nope.json")
+
+    def test_loaded_machine_usable_end_to_end(self, sg2042, tmp_path):
+        from repro.suite.config import RunConfig
+        from repro.suite.runner import run_suite
+
+        path = tmp_path / "machine.json"
+        save_cpu(sg2042, path)
+        loaded = load_cpu(path)
+        result = run_suite(
+            loaded, RunConfig(threads=1, runs=1, noise_sigma=0.0)
+        )
+        reference = run_suite(
+            sg2042, RunConfig(threads=1, runs=1, noise_sigma=0.0)
+        )
+        for name in reference.runs:
+            assert result.time(name) == reference.time(name)
+
+    def test_custom_machine_edit(self, sg2042, tmp_path):
+        """The what-if workflow: edit the JSON, load, get a new model."""
+        data = cpu_to_dict(sg2042)
+        data["name"] = "SG2042-overclock"
+        data["core"]["clock_hz"] = 3.0e9
+        fast = cpu_from_dict(data)
+        assert fast.core.clock_hz == 3.0e9
+        assert fast != sg2042
+
+
+class TestValidation:
+    def test_missing_field_rejected(self, sg2042):
+        data = cpu_to_dict(sg2042)
+        del data["core"]
+        with pytest.raises(ConfigError, match="missing field"):
+            cpu_from_dict(data)
+
+    def test_malformed_core_rejected(self, sg2042):
+        data = cpu_to_dict(sg2042)
+        data["core"]["bogus_field"] = 1
+        with pytest.raises(ConfigError, match="malformed"):
+            cpu_from_dict(data)
+
+    def test_invalid_values_caught_by_constructors(self, sg2042):
+        data = cpu_to_dict(sg2042)
+        data["core"]["clock_hz"] = -1
+        with pytest.raises(ConfigError):
+            cpu_from_dict(data)

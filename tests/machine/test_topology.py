@@ -1,0 +1,145 @@
+"""NUMA topology tests, including the SG2042's exact interleaved map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.topology import (
+    NumaTopology,
+    contiguous_topology,
+    sg2042_topology,
+)
+from repro.util.errors import ConfigError
+
+
+class TestSg2042Map:
+    """Section 3.2: the non-contiguous core-id map found via lscpu."""
+
+    def test_node0(self):
+        topo = sg2042_topology()
+        assert set(topo.numa_nodes[0]) == set(range(0, 8)) | set(
+            range(16, 24)
+        )
+
+    def test_node1(self):
+        topo = sg2042_topology()
+        assert set(topo.numa_nodes[1]) == set(range(8, 16)) | set(
+            range(24, 32)
+        )
+
+    def test_node2(self):
+        topo = sg2042_topology()
+        assert set(topo.numa_nodes[2]) == set(range(32, 40)) | set(
+            range(48, 56)
+        )
+
+    def test_node3(self):
+        topo = sg2042_topology()
+        assert set(topo.numa_nodes[3]) == set(range(40, 48)) | set(
+            range(56, 64)
+        )
+
+    def test_sixteen_clusters_of_four(self):
+        topo = sg2042_topology()
+        assert topo.num_clusters == 16
+        assert all(len(cl) == 4 for cl in topo.clusters)
+
+    def test_cluster_of_consecutive_ids(self):
+        topo = sg2042_topology()
+        assert topo.cluster_of(0) == topo.cluster_of(3)
+        assert topo.cluster_of(3) != topo.cluster_of(4)
+
+    def test_lscpu_rendering(self):
+        text = sg2042_topology().lscpu()
+        assert "NUMA node0 CPU(s):   0-7,16-23" in text
+        assert "NUMA node3 CPU(s):   40-47,56-63" in text
+        assert "CPU(s):              64" in text
+
+
+class TestQueries:
+    def test_numa_of(self):
+        topo = sg2042_topology()
+        assert topo.numa_of(0) == 0
+        assert topo.numa_of(8) == 1
+        assert topo.numa_of(16) == 0
+        assert topo.numa_of(63) == 3
+
+    def test_numa_of_unknown_core(self):
+        with pytest.raises(ConfigError):
+            sg2042_topology().numa_of(64)
+
+    def test_clusters_in_numa(self):
+        topo = sg2042_topology()
+        cluster_ids = topo.clusters_in_numa(0)
+        cores = {c for cid in cluster_ids for c in topo.clusters[cid]}
+        assert cores == set(topo.numa_nodes[0])
+
+    def test_active_per_numa(self):
+        topo = sg2042_topology()
+        counts = topo.active_per_numa((0, 1, 8, 32, 40, 41))
+        assert counts == {0: 2, 1: 1, 2: 1, 3: 2}
+
+    def test_active_per_cluster(self):
+        topo = sg2042_topology()
+        counts = topo.active_per_cluster((0, 1, 2, 3, 4))
+        assert counts[topo.cluster_of(0)] == 4
+        assert counts[topo.cluster_of(4)] == 1
+
+
+class TestContiguousTopology:
+    def test_single_numa(self):
+        topo = contiguous_topology(18)
+        assert topo.num_numa_nodes == 1
+        assert topo.num_cores == 18
+
+    def test_rome_shape(self):
+        topo = contiguous_topology(64, num_numa=4, cluster_size=4)
+        assert topo.cores_per_numa() == (16, 16, 16, 16)
+        assert topo.num_clusters == 16
+        assert topo.numa_of(15) == 0
+        assert topo.numa_of(16) == 1
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ConfigError):
+            contiguous_topology(10, num_numa=3)
+
+    def test_uneven_clusters_rejected(self):
+        with pytest.raises(ConfigError):
+            contiguous_topology(8, num_numa=1, cluster_size=3)
+
+
+class TestValidation:
+    def test_duplicate_core_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology(numa_nodes=((0, 1), (1, 2)),
+                         clusters=((0,), (1,), (2,)))
+
+    def test_gap_in_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology(numa_nodes=((0, 2),), clusters=((0,), (2,)))
+
+    def test_cluster_numa_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology(
+                numa_nodes=((0, 1), (2, 3)),
+                clusters=((0, 2), (1, 3)),  # straddles regions
+            )
+
+    def test_cluster_core_set_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology(numa_nodes=((0, 1),), clusters=((0,),))
+
+
+@given(
+    num_numa=st.sampled_from([1, 2, 4]),
+    per_node=st.sampled_from([2, 4, 8]),
+)
+def test_contiguous_partition_property(num_numa, per_node):
+    """Every core belongs to exactly one region and one cluster."""
+    topo = contiguous_topology(
+        num_numa * per_node, num_numa=num_numa, cluster_size=2
+    )
+    for core in range(topo.num_cores):
+        region = topo.numa_of(core)
+        assert core in topo.numa_nodes[region]
+        cluster = topo.cluster_of(core)
+        assert core in topo.clusters[cluster]

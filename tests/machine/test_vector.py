@@ -1,0 +1,108 @@
+"""Vector ISA tests — the FP64 asymmetry is the paper's core finding."""
+
+import pytest
+
+from repro.machine.vector import (
+    DType,
+    VectorISA,
+    avx,
+    avx2,
+    avx512,
+    rvv_0_7_1,
+    rvv_1_0,
+    scalar_only,
+)
+from repro.util.errors import ConfigError
+
+
+class TestDType:
+    def test_bits_and_bytes(self):
+        assert DType.FP64.bits == 64
+        assert DType.FP64.bytes == 8
+        assert DType.FP32.bytes == 4
+
+    def test_from_label(self):
+        assert DType.from_label("fp32") is DType.FP32
+        assert DType.from_label("int64") is DType.INT64
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ConfigError):
+            DType.from_label("fp128")
+
+    def test_float_flags(self):
+        assert DType.FP32.is_float
+        assert not DType.INT32.is_float
+
+
+class TestRvv071:
+    """The C920's vector unit: the paper's measurements say no FP64."""
+
+    def test_no_fp64_vectorization(self):
+        isa = rvv_0_7_1()
+        assert not isa.supports(DType.FP64)
+        assert isa.lanes(DType.FP64) == 1
+
+    def test_fp32_four_lanes(self):
+        assert rvv_0_7_1().lanes(DType.FP32) == 4
+
+    def test_fp16_eight_lanes(self):
+        assert rvv_0_7_1().lanes(DType.FP16) == 8
+
+    def test_integers_vectorize(self):
+        # INT64 vectorizes even though FP64 does not — drives the one
+        # positive FP64 whisker in Figure 2 (REDUCE3_INT).
+        isa = rvv_0_7_1()
+        assert isa.supports(DType.INT64)
+        assert isa.lanes(DType.INT64) == 2
+
+    def test_is_vla(self):
+        assert rvv_0_7_1().vla
+
+    def test_version(self):
+        assert rvv_0_7_1().version == "0.7.1"
+
+
+class TestRvv10:
+    def test_fp64_supported(self):
+        assert rvv_1_0().supports(DType.FP64)
+        assert rvv_1_0().lanes(DType.FP64) == 2
+
+    def test_version_differs_from_071(self):
+        assert rvv_1_0().version != rvv_0_7_1().version
+
+
+class TestX86:
+    def test_avx2_fp64_four_lanes(self):
+        assert avx2().lanes(DType.FP64) == 4
+
+    def test_avx512_fp64_eight_lanes(self):
+        assert avx512().lanes(DType.FP64) == 8
+
+    def test_avx_follows_paper_width(self):
+        # The paper treats Sandybridge AVX as 128-bit, same as the C920.
+        assert avx().width_bits == 128
+        assert avx().lanes(DType.FP64) == 2
+
+    def test_avx_no_integer_vectorization(self):
+        assert not avx().supports(DType.INT32)
+
+    def test_x86_is_not_vla(self):
+        assert not avx2().vla
+
+
+class TestScalarOnly:
+    def test_u74_has_no_vectors(self):
+        isa = scalar_only()
+        assert isa.is_scalar_only
+        for dtype in DType:
+            assert isa.lanes(dtype) == 1
+            assert not isa.supports(dtype)
+
+
+class TestValidation:
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            VectorISA(name="bad", width_bits=100)
+
+    def test_zero_width_allowed(self):
+        assert VectorISA(name="none", width_bits=0).is_scalar_only

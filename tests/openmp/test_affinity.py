@@ -1,0 +1,158 @@
+"""Thread placement tests: the paper's exact example sequences plus
+property-based invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.topology import contiguous_topology, sg2042_topology
+from repro.openmp.affinity import (
+    PlacementPolicy,
+    assign_cores,
+    parse_omp_places,
+    parse_omp_proc_bind,
+)
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return sg2042_topology()
+
+
+class TestPaperSequences:
+    """Section 3.2 gives these placements verbatim."""
+
+    def test_block_is_identity(self, topo):
+        assert assign_cores(topo, 8, PlacementPolicy.BLOCK) == tuple(
+            range(8)
+        )
+
+    def test_cyclic_four_threads(self, topo):
+        assert assign_cores(topo, 4, PlacementPolicy.CYCLIC) == (
+            0, 8, 32, 40,
+        )
+
+    def test_cyclic_eight_threads(self, topo):
+        assert assign_cores(topo, 8, PlacementPolicy.CYCLIC) == (
+            0, 8, 32, 40, 1, 9, 33, 41,
+        )
+
+    def test_cluster_eight_threads(self, topo):
+        assert assign_cores(topo, 8, PlacementPolicy.CLUSTER) == (
+            0, 8, 32, 40, 16, 24, 48, 56,
+        )
+
+    def test_cluster_four_threads_matches_cyclic(self, topo):
+        assert assign_cores(
+            topo, 4, PlacementPolicy.CLUSTER
+        ) == assign_cores(topo, 4, PlacementPolicy.CYCLIC)
+
+
+class TestPlacementProperties:
+    @pytest.mark.parametrize("policy", list(PlacementPolicy))
+    @pytest.mark.parametrize("threads", [1, 2, 3, 7, 16, 33, 64])
+    def test_no_duplicates_and_valid_cores(self, topo, policy, threads):
+        cores = assign_cores(topo, threads, policy)
+        assert len(cores) == threads
+        assert len(set(cores)) == threads
+        assert all(0 <= c < 64 for c in cores)
+
+    @pytest.mark.parametrize("policy", list(PlacementPolicy))
+    def test_full_machine_uses_every_core(self, topo, policy):
+        cores = assign_cores(topo, 64, policy)
+        assert sorted(cores) == list(range(64))
+
+    def test_cyclic_balances_numa_regions(self, topo):
+        for threads in (4, 8, 16, 32, 64):
+            cores = assign_cores(topo, threads, PlacementPolicy.CYCLIC)
+            counts = topo.active_per_numa(cores)
+            assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_cluster_minimizes_l2_sharing(self, topo):
+        """Up to 16 threads the cluster policy never doubles up a
+        cluster; the cyclic policy does from 5 threads on."""
+        cores = assign_cores(topo, 16, PlacementPolicy.CLUSTER)
+        assert max(topo.active_per_cluster(cores).values()) == 1
+        cyc = assign_cores(topo, 16, PlacementPolicy.CYCLIC)
+        assert max(topo.active_per_cluster(cyc).values()) > 1
+
+    def test_block_fills_numa_zero_first(self, topo):
+        cores = assign_cores(topo, 8, PlacementPolicy.BLOCK)
+        assert topo.active_per_numa(cores) == {0: 8}
+
+    def test_block_at_32_uses_only_two_regions(self, topo):
+        """The paper's diagnosis of Table 1: block placement at medium
+        thread counts leaves NUMA regions (and controllers) idle."""
+        cores = assign_cores(topo, 32, PlacementPolicy.BLOCK)
+        counts = topo.active_per_numa(cores)
+        assert set(counts) == {0, 1}
+        assert counts[0] == counts[1] == 16
+
+    def test_too_many_threads_rejected(self, topo):
+        with pytest.raises(ConfigError):
+            assign_cores(topo, 65, PlacementPolicy.CLUSTER)
+
+    def test_zero_threads_rejected(self, topo):
+        with pytest.raises(ConfigError):
+            assign_cores(topo, 0, PlacementPolicy.BLOCK)
+
+    @given(threads=st.integers(1, 64))
+    def test_prefix_property_cyclic(self, threads):
+        """Placements are prefix-stable: adding a thread never moves
+        existing ones."""
+        topo = sg2042_topology()
+        small = assign_cores(topo, threads, PlacementPolicy.CYCLIC)
+        if threads < 64:
+            big = assign_cores(topo, threads + 1, PlacementPolicy.CYCLIC)
+            assert big[:threads] == small
+
+
+class TestOtherTopologies:
+    def test_single_numa_cyclic_equals_block(self):
+        topo = contiguous_topology(18)
+        assert assign_cores(
+            topo, 10, PlacementPolicy.CYCLIC
+        ) == assign_cores(topo, 10, PlacementPolicy.BLOCK)
+
+    def test_rome_cyclic_spreads_regions(self):
+        topo = contiguous_topology(64, num_numa=4, cluster_size=4)
+        cores = assign_cores(topo, 4, PlacementPolicy.CYCLIC)
+        assert {topo.numa_of(c) for c in cores} == {0, 1, 2, 3}
+
+
+class TestEnvParsing:
+    def test_proc_bind_true(self):
+        assert parse_omp_proc_bind("true")
+        assert parse_omp_proc_bind("SPREAD")
+
+    def test_proc_bind_false(self):
+        assert not parse_omp_proc_bind("false")
+
+    def test_proc_bind_invalid(self):
+        with pytest.raises(ConfigError):
+            parse_omp_proc_bind("maybe")
+
+    def test_places_cores(self):
+        topo = sg2042_topology()
+        places = parse_omp_places("cores", topo)
+        assert len(places) == 64
+
+    def test_places_sockets(self):
+        topo = sg2042_topology()
+        places = parse_omp_places("sockets", topo)
+        assert len(places) == 4
+        assert places[0] == topo.numa_nodes[0]
+
+    def test_places_explicit(self):
+        topo = sg2042_topology()
+        assert parse_omp_places("{0,8},{1,9}", topo) == [(0, 8), (1, 9)]
+
+    def test_places_invalid_core(self):
+        topo = sg2042_topology()
+        with pytest.raises(ConfigError):
+            parse_omp_places("{99}", topo)
+
+    def test_places_garbage(self):
+        topo = sg2042_topology()
+        with pytest.raises(ConfigError):
+            parse_omp_places("everywhere", topo)

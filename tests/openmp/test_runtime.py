@@ -1,0 +1,42 @@
+"""Simulated OpenMP runtime tests."""
+
+import pytest
+
+from repro.openmp.affinity import PlacementPolicy
+from repro.openmp.runtime import OpenMPRuntime, barrier_cost_seconds
+from repro.util.errors import ConfigError
+
+
+class TestOpenMPRuntime:
+    def test_placement_resolves(self, sg2042):
+        rt = OpenMPRuntime(nthreads=4, policy=PlacementPolicy.CYCLIC)
+        assert rt.placement(sg2042) == (0, 8, 32, 40)
+
+    def test_describe_mentions_env(self, sg2042):
+        rt = OpenMPRuntime(nthreads=2)
+        text = rt.describe(sg2042)
+        assert "OMP_NUM_THREADS=2" in text
+        assert "OMP_PROC_BIND=true" in text
+
+    def test_unpinned_rejected(self):
+        with pytest.raises(ConfigError, match="OMP_PROC_BIND"):
+            OpenMPRuntime(nthreads=2, proc_bind=False)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            OpenMPRuntime(nthreads=0)
+
+
+class TestBarrierCost:
+    def test_single_thread_free(self, sg2042):
+        assert barrier_cost_seconds(sg2042, 1) == 0.0
+
+    def test_grows_with_threads(self, sg2042):
+        costs = [barrier_cost_seconds(sg2042, p) for p in (2, 8, 32, 64)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_x86_barriers_cheaper_than_sg2042(self, sg2042, amd_rome):
+        assert barrier_cost_seconds(amd_rome, 64) < barrier_cost_seconds(
+            sg2042, 64
+        )

@@ -1,0 +1,58 @@
+"""Static scheduler tests: libgomp chunking semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.openmp.schedule import chunk_of_iteration, static_chunks
+from repro.util.errors import ConfigError
+
+
+class TestStaticChunks:
+    def test_even_split(self):
+        chunks = static_chunks(8, 4)
+        assert [len(c) for c in chunks] == [2, 2, 2, 2]
+
+    def test_remainder_goes_to_first_threads(self):
+        chunks = static_chunks(10, 4)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_chunks(2, 4)
+        assert [len(c) for c in chunks] == [1, 1, 0, 0]
+
+    def test_zero_iterations(self):
+        assert all(len(c) == 0 for c in static_chunks(0, 4))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            static_chunks(-1, 2)
+        with pytest.raises(ConfigError):
+            static_chunks(10, 0)
+
+    @given(n=st.integers(0, 1000), p=st.integers(1, 64))
+    def test_coverage_and_disjointness(self, n, p):
+        """Chunks partition [0, n) exactly: every iteration appears in
+        exactly one chunk, in order."""
+        chunks = static_chunks(n, p)
+        assert len(chunks) == p
+        flat = [i for c in chunks for i in c]
+        assert flat == list(range(n))
+
+    @given(n=st.integers(1, 1000), p=st.integers(1, 64))
+    def test_balance(self, n, p):
+        """Static scheduling never unbalances by more than one."""
+        sizes = [len(c) for c in static_chunks(n, p)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkOfIteration:
+    @given(n=st.integers(1, 500), p=st.integers(1, 32))
+    def test_agrees_with_chunks(self, n, p):
+        chunks = static_chunks(n, p)
+        for t, chunk in enumerate(chunks):
+            for i in chunk:
+                assert chunk_of_iteration(n, p, i) == t
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            chunk_of_iteration(10, 2, 10)

@@ -1,0 +1,110 @@
+"""Set-associative cache simulator tests, and its agreement with the
+analytic capacity model's fit rule."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import CacheLevel, Sharing
+from repro.perfmodel.cachesim import (
+    SetAssociativeCache,
+    streaming_miss_rate,
+)
+from repro.util.errors import ConfigError
+from repro.util.units import KIB
+
+
+def small_cache(capacity=4 * KIB, assoc=4):
+    return CacheLevel(
+        "T", capacity, Sharing.CORE, associativity=assoc, latency_cycles=3
+    )
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(small_cache())
+        assert not cache.access(0)
+        assert cache.access(0)
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache(small_cache())
+        cache.access(0)
+        assert cache.access(63)  # same 64B line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction_order(self):
+        # Direct-mapped-ish: 2 ways, force 3 conflicting lines.
+        cache = SetAssociativeCache(small_cache(capacity=128 * 64, assoc=2))
+        sets = cache.num_sets
+        a, b, c = 0, sets * 64, 2 * sets * 64  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a: b is now LRU
+        cache.access(c)  # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_eviction_counted(self):
+        cache = SetAssociativeCache(small_cache(capacity=128 * 64, assoc=2))
+        sets = cache.num_sets
+        for i in range(3):
+            cache.access(i * sets * 64)
+        assert cache.stats.evictions == 1
+
+    def test_reset(self):
+        cache = SetAssociativeCache(small_cache())
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.access(0)
+
+    def test_negative_address_rejected(self):
+        cache = SetAssociativeCache(small_cache())
+        with pytest.raises(ConfigError):
+            cache.access(-1)
+
+    def test_access_array(self):
+        cache = SetAssociativeCache(small_cache())
+        addrs = np.array([0, 64, 0, 64])
+        assert cache.access_array(addrs) == 2
+
+    def test_hit_rate_without_accesses_rejected(self):
+        cache = SetAssociativeCache(small_cache())
+        with pytest.raises(ConfigError):
+            cache.stats.hit_rate
+
+
+class TestStreamingMissRate:
+    """Validates the analytic fit rule's shape: footprints within
+    capacity re-stream almost free; larger ones miss every line."""
+
+    def test_fitting_footprint_hits(self):
+        rate = streaming_miss_rate(small_cache(16 * KIB), 8 * KIB)
+        assert rate == 0.0
+
+    def test_capacity_footprint_hits(self):
+        rate = streaming_miss_rate(small_cache(16 * KIB), 16 * KIB)
+        assert rate == 0.0
+
+    def test_oversized_footprint_misses_everything(self):
+        # Classic LRU pathology: streaming 2x capacity misses 100%.
+        rate = streaming_miss_rate(small_cache(16 * KIB), 32 * KIB)
+        assert rate == 1.0
+
+    def test_monotone_in_footprint(self):
+        cache_level = small_cache(16 * KIB)
+        rates = [
+            streaming_miss_rate(cache_level, kb * KIB)
+            for kb in (4, 8, 16, 24, 32)
+        ]
+        assert rates == sorted(rates)
+
+
+class TestAgreementWithAnalyticModel:
+    def test_fit_headroom_constants_are_conservative(self):
+        """The analytic FIT_HEADROOM_FEW (0.9) must be safe: a footprint
+        at 90% of capacity really does re-stream with ~0 misses."""
+        from repro.perfmodel.memory import FIT_HEADROOM_FEW
+
+        level = small_cache(64 * KIB, assoc=8)
+        footprint = int(level.capacity_bytes * FIT_HEADROOM_FEW)
+        assert streaming_miss_rate(level, footprint) == 0.0

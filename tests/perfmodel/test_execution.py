@@ -1,0 +1,135 @@
+"""End-to-end execution model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.model import XUANTIE_GCC_8_4
+from repro.compiler.vectorizer import VectorizationReport, analyze
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy, assign_cores
+from repro.perfmodel.execution import execution_dtype, simulate_kernel
+from repro.perfmodel.threading import (
+    barrier_seconds,
+    compose_parallel_time,
+)
+from repro.util.errors import SimulationError
+
+SCALAR = VectorizationReport(
+    vectorized=False, vector_path_executed=False, flavor=None,
+    efficiency=1.0, reason="test",
+)
+
+
+def vec_report(kernel, cpu):
+    return analyze(XUANTIE_GCC_8_4, kernel, cpu.core.isa)
+
+
+class TestExecutionDtype:
+    def test_float_kernels_keep_precision(self):
+        assert execution_dtype(get_kernel("TRIAD"), DType.FP32) == DType.FP32
+
+    def test_integer_kernel_maps_precisions(self):
+        k = get_kernel("REDUCE3_INT")
+        assert execution_dtype(k, DType.FP32) == DType.INT32
+        assert execution_dtype(k, DType.FP64) == DType.INT64
+
+
+class TestSimulateKernel:
+    def test_returns_positive_time(self, sg2042):
+        k = get_kernel("DAXPY")
+        result = simulate_kernel(k, sg2042, (0,), DType.FP64, SCALAR)
+        assert result.seconds > 0
+        assert result.seconds == pytest.approx(
+            result.seconds_per_rep * k.reps
+        )
+
+    def test_vectorized_fp32_faster(self, sg2042):
+        k = get_kernel("TRIAD")
+        scalar = simulate_kernel(k, sg2042, (0,), DType.FP32, SCALAR)
+        vector = simulate_kernel(
+            k, sg2042, (0,), DType.FP32, vec_report(k, sg2042)
+        )
+        assert vector.seconds < scalar.seconds
+        assert vector.vector_executed
+
+    def test_vectorized_fp64_identical_to_scalar(self, sg2042):
+        """Executing FP64 'vector' code on the C920 runs the scalar
+        datapath (Figure 2)."""
+        k = get_kernel("TRIAD")
+        scalar = simulate_kernel(k, sg2042, (0,), DType.FP64, SCALAR)
+        vector = simulate_kernel(
+            k, sg2042, (0,), DType.FP64, vec_report(k, sg2042)
+        )
+        assert vector.seconds == pytest.approx(scalar.seconds, rel=0.01)
+
+    def test_threads_reduce_time_for_parallel_kernel(self, sg2042):
+        k = get_kernel("GEMM")
+        report = vec_report(k, sg2042)
+        one = simulate_kernel(k, sg2042, (0,), DType.FP32, report)
+        cores = assign_cores(sg2042.topology, 16, PlacementPolicy.CLUSTER)
+        many = simulate_kernel(k, sg2042, cores, DType.FP32, report)
+        assert many.seconds < one.seconds / 8
+
+    def test_amdahl_limits_serial_kernel(self, sg2042):
+        k = get_kernel("SORT")  # parallel_fraction 0.30
+        cores = assign_cores(sg2042.topology, 64, PlacementPolicy.CLUSTER)
+        one = simulate_kernel(k, sg2042, (0,), DType.FP64, SCALAR)
+        many = simulate_kernel(k, sg2042, cores, DType.FP64, SCALAR)
+        assert one.seconds / many.seconds < 1.0 / 0.70 + 0.2
+
+    def test_regions_per_rep_multiplies_overhead(self, sg2042):
+        halo = get_kernel("HALOEXCHANGE")
+        fused = get_kernel("HALOEXCHANGE_FUSED")
+        cores = assign_cores(sg2042.topology, 64, PlacementPolicy.CYCLIC)
+        t_halo = simulate_kernel(halo, sg2042, cores, DType.FP64, SCALAR)
+        t_fused = simulate_kernel(fused, sg2042, cores, DType.FP64, SCALAR)
+        # Fusing the packing loops is faster at scale — the reason the
+        # FUSED variant exists in RAJAPerf.
+        assert t_fused.seconds < t_halo.seconds
+
+    def test_duplicate_cores_rejected(self, sg2042):
+        with pytest.raises(SimulationError):
+            simulate_kernel(
+                get_kernel("TRIAD"), sg2042, (0, 0), DType.FP32, SCALAR
+            )
+
+    def test_empty_placement_rejected(self, sg2042):
+        with pytest.raises(SimulationError):
+            simulate_kernel(
+                get_kernel("TRIAD"), sg2042, (), DType.FP32, SCALAR
+            )
+
+    def test_explicit_size_and_reps(self, sg2042):
+        k = get_kernel("DAXPY")
+        small = simulate_kernel(
+            k, sg2042, (0,), DType.FP64, SCALAR, n=1000, reps=1
+        )
+        large = simulate_kernel(
+            k, sg2042, (0,), DType.FP64, SCALAR, n=1000, reps=10
+        )
+        assert large.seconds == pytest.approx(10 * small.seconds)
+
+    @settings(max_examples=20, deadline=None)
+    @given(threads=st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_time_positive_for_all_thread_counts(self, threads):
+        from repro.machine import catalog
+
+        sg = catalog.sg2042()
+        cores = assign_cores(sg.topology, threads, PlacementPolicy.CYCLIC)
+        k = get_kernel("HYDRO_1D")
+        result = simulate_kernel(k, sg, cores, DType.FP32, SCALAR)
+        assert result.seconds > 0
+
+
+class TestThreadingPrimitives:
+    def test_compose_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            compose_parallel_time(-1.0, 1.0, 0.0)
+
+    def test_barrier_zero_for_one_thread(self, sg2042):
+        assert barrier_seconds(sg2042, 1) == 0.0
+
+    def test_barrier_validation(self, sg2042):
+        with pytest.raises(SimulationError):
+            barrier_seconds(sg2042, 0)

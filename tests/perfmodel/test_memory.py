@@ -1,0 +1,150 @@
+"""Memory-path model tests: serving levels, placement sensitivity and
+contention — the mechanisms behind Tables 1-3."""
+
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy, assign_cores
+from repro.perfmodel.memory import (
+    fit_headroom,
+    memory_time_per_iter,
+    serving_level,
+)
+from repro.util.errors import SimulationError
+
+
+def placement(cpu, threads, policy=PlacementPolicy.CYCLIC):
+    return assign_cores(cpu.topology, threads, policy)
+
+
+class TestServingLevel:
+    def test_stream_fits_sg2042_l3_single_core(self, sg2042):
+        """1M-element FP32 stream arrays (12MB) live in a 16MiB L3
+        slice — the serving level behind Figure 2's stream numbers."""
+        triad = get_kernel("TRIAD")
+        level = serving_level(
+            sg2042, triad, triad.default_size, DType.FP32, 0, (0,)
+        )
+        assert level is not None and level.name == "L3"
+
+    def test_stream_fp64_exceeds_l3_slice(self, sg2042):
+        triad = get_kernel("TRIAD")
+        level = serving_level(
+            sg2042, triad, triad.default_size, DType.FP64, 0, (0,)
+        )
+        assert level is None  # DRAM
+
+    def test_stream_misses_sandybridge_l3(self, intel_sandybridge):
+        """24MB > 10MiB L3: why the paper finds Sandybridge slower for
+        stream at FP64 (Figure 4)."""
+        triad = get_kernel("TRIAD")
+        level = serving_level(
+            intel_sandybridge, triad, triad.default_size, DType.FP64,
+            0, (0,),
+        )
+        assert level is None
+
+    def test_stream_fits_broadwell_l3(self, intel_broadwell):
+        triad = get_kernel("TRIAD")
+        level = serving_level(
+            intel_broadwell, triad, triad.default_size, DType.FP64,
+            0, (0,),
+        )
+        assert level is not None and level.name == "L3"
+
+    def test_small_footprint_fits_l1(self, sg2042):
+        triad = get_kernel("TRIAD")
+        level = serving_level(sg2042, triad, 1000, DType.FP32, 0, (0,))
+        assert level is not None and level.name == "L1D"
+
+    def test_cluster_placement_unlocks_l2(self, sg2042):
+        """At 16 threads the per-thread stream slice fits the 1MiB L2
+        only if the placement leaves one thread per cluster — the
+        Table 3 mechanism."""
+        triad = get_kernel("TRIAD")
+        n = triad.default_size
+        cluster = placement(sg2042, 16, PlacementPolicy.CLUSTER)
+        cyclic = placement(sg2042, 16, PlacementPolicy.CYCLIC)
+        lvl_cluster = serving_level(
+            sg2042, triad, n, DType.FP32, cluster[0], cluster
+        )
+        lvl_cyclic = serving_level(
+            sg2042, triad, n, DType.FP32, cyclic[0], cyclic
+        )
+        assert lvl_cluster.name == "L2"
+        assert lvl_cyclic.name == "L3"
+
+    def test_fit_headroom_monotone(self):
+        assert fit_headroom(1) >= fit_headroom(3)
+        with pytest.raises(SimulationError):
+            fit_headroom(0)
+
+
+class TestBandwidthAndContention:
+    def test_block_slower_than_cyclic_at_32(self, sg2042):
+        """Block placement crams 16 threads per region (2 regions idle);
+        cyclic spreads 8 per region — Table 1 vs Table 2."""
+        triad = get_kernel("TRIAD")
+        n = triad.default_size
+        block = placement(sg2042, 32, PlacementPolicy.BLOCK)
+        cyclic = placement(sg2042, 32, PlacementPolicy.CYCLIC)
+        t_block = memory_time_per_iter(
+            sg2042, triad, n, DType.FP32, block[0], block
+        )
+        t_cyclic = memory_time_per_iter(
+            sg2042, triad, n, DType.FP32, cyclic[0], cyclic
+        )
+        assert t_block.seconds_per_iter > 3 * t_cyclic.seconds_per_iter
+
+    def test_64_thread_contention_collapse(self, sg2042):
+        """All 64 threads hammering the L3 slices degrades per-thread
+        bandwidth below the 32-thread point (the Tables' collapse)."""
+        triad = get_kernel("TRIAD")
+        n = triad.default_size
+        p32 = placement(sg2042, 32, PlacementPolicy.CYCLIC)
+        p64 = placement(sg2042, 64, PlacementPolicy.CYCLIC)
+        t32 = memory_time_per_iter(
+            sg2042, triad, n, DType.FP32, p32[0], p32
+        )
+        t64 = memory_time_per_iter(
+            sg2042, triad, n, DType.FP32, p64[0], p64
+        )
+        # Per-iteration time at 64 threads is much worse than 2x the
+        # 32-thread time: total throughput collapses.
+        assert t64.seconds_per_iter > 4 * t32.seconds_per_iter
+
+    def test_single_thread_bandwidths_ranked(self, sg2042, visionfive_v2):
+        triad = get_kernel("TRIAD")
+        n = triad.default_size
+        t_sg = memory_time_per_iter(
+            sg2042, triad, n, DType.FP64, 0, (0,)
+        )
+        t_v2 = memory_time_per_iter(
+            visionfive_v2, triad, n, DType.FP64, 0, (0,)
+        )
+        assert t_v2.seconds_per_iter > 3 * t_sg.seconds_per_iter
+
+    def test_gather_penalty_applied(self, sg2042):
+        halo = get_kernel("HALOEXCHANGE")
+        fir = get_kernel("FIR")
+        n = 125_000
+        t_halo = memory_time_per_iter(
+            sg2042, halo, n, DType.FP64, 0, (0,)
+        )
+        t_fir = memory_time_per_iter(sg2042, fir, n, DType.FP64, 0, (0,))
+        # Same serving-level class of kernel, but the indirection kernel
+        # gets the gather derating.
+        assert t_halo.per_thread_bandwidth < t_fir.per_thread_bandwidth
+
+    def test_invalid_core_rejected(self, sg2042):
+        triad = get_kernel("TRIAD")
+        with pytest.raises(SimulationError):
+            memory_time_per_iter(
+                sg2042, triad, 1000, DType.FP32, 5, (0, 1)
+            )
+
+    def test_invalid_size_rejected(self, sg2042):
+        triad = get_kernel("TRIAD")
+        with pytest.raises(SimulationError):
+            memory_time_per_iter(sg2042, triad, 0, DType.FP32, 0, (0,))

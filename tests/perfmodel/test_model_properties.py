@@ -1,0 +1,100 @@
+"""Property-based invariants of the execution model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.model import XUANTIE_GCC_8_4
+from repro.compiler.vectorizer import analyze
+from repro.kernels.registry import get_kernel
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy, assign_cores
+from repro.perfmodel.execution import simulate_kernel
+
+SG = catalog.sg2042()
+
+
+def report_for(kernel):
+    return analyze(XUANTIE_GCC_8_4, kernel, SG.core.isa)
+
+
+KERNEL_NAMES = st.sampled_from(
+    ["TRIAD", "DAXPY", "GEMM", "HYDRO_1D", "FIR", "REDUCE_SUM"]
+)
+
+
+class TestScalingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(name=KERNEL_NAMES, reps=st.integers(1, 50))
+    def test_time_linear_in_reps(self, name, reps):
+        kernel = get_kernel(name)
+        rep = report_for(kernel)
+        one = simulate_kernel(
+            kernel, SG, (0,), DType.FP32, rep, n=10_000, reps=1
+        )
+        many = simulate_kernel(
+            kernel, SG, (0,), DType.FP32, rep, n=10_000, reps=reps
+        )
+        assert many.seconds == pytest.approx(reps * one.seconds)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        name=KERNEL_NAMES,
+        n1=st.integers(1_000, 100_000),
+        n2=st.integers(1_000, 100_000),
+    )
+    def test_time_monotone_in_problem_size(self, name, n1, n2):
+        if n1 > n2:
+            n1, n2 = n2, n1
+        kernel = get_kernel(name)
+        rep = report_for(kernel)
+        small = simulate_kernel(
+            kernel, SG, (0,), DType.FP32, rep, n=n1, reps=1
+        )
+        large = simulate_kernel(
+            kernel, SG, (0,), DType.FP32, rep, n=n2, reps=1
+        )
+        assert large.seconds >= small.seconds * 0.999
+
+    @settings(max_examples=20, deadline=None)
+    @given(name=KERNEL_NAMES, seed=st.integers(0, 1000))
+    def test_placement_order_irrelevant(self, name, seed):
+        """Only the *set* of cores matters, not the thread ordering."""
+        import random
+
+        kernel = get_kernel(name)
+        rep = report_for(kernel)
+        cores = assign_cores(SG.topology, 8, PlacementPolicy.CLUSTER)
+        shuffled = list(cores)
+        random.Random(seed).shuffle(shuffled)
+        a = simulate_kernel(kernel, SG, cores, DType.FP32, rep)
+        b = simulate_kernel(
+            kernel, SG, tuple(shuffled), DType.FP32, rep
+        )
+        assert a.seconds == pytest.approx(b.seconds)
+
+    @settings(max_examples=15, deadline=None)
+    @given(name=KERNEL_NAMES)
+    def test_fp64_never_faster_than_fp32(self, name):
+        """Doubling the element width never speeds a kernel up."""
+        kernel = get_kernel(name)
+        rep = report_for(kernel)
+        t32 = simulate_kernel(kernel, SG, (0,), DType.FP32, rep)
+        t64 = simulate_kernel(kernel, SG, (0,), DType.FP64, rep)
+        assert t64.seconds >= t32.seconds * 0.999
+
+
+class TestCrossMachineProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(name=KERNEL_NAMES)
+    def test_c920_always_beats_u74(self, name):
+        """Figure 1's 'no kernel slower' as a property over kernels."""
+        v2 = catalog.visionfive_v2()
+        kernel = get_kernel(name)
+        sg_rep = report_for(kernel)
+        from repro.compiler.model import GCC_8_3
+
+        v2_rep = analyze(GCC_8_3, kernel, v2.core.isa)
+        t_sg = simulate_kernel(kernel, SG, (0,), DType.FP64, sg_rep)
+        t_v2 = simulate_kernel(kernel, v2, (0,), DType.FP64, v2_rep)
+        assert t_sg.seconds < t_v2.seconds

@@ -1,0 +1,111 @@
+"""Pipeline model tests: the vectorization asymmetries the paper hinges
+on must come straight out of the throughput arithmetic."""
+
+import pytest
+
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.perfmodel.pipeline import pipeline_time_per_iter
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def c920():
+    return catalog.sg2042().core
+
+
+@pytest.fixture(scope="module")
+def triad_traits(kernels_by_name=None):
+    from repro.kernels.registry import get_kernel
+
+    return get_kernel("TRIAD").traits
+
+
+class TestVectorizationEffects:
+    def test_fp32_vector_faster_than_scalar(self, c920, triad_traits):
+        scalar = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP32, vectorized=False
+        )
+        vector = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP32, vectorized=True
+        )
+        assert vector < scalar
+
+    def test_fp64_vector_no_faster_than_scalar(self, c920, triad_traits):
+        """The C920's missing FP64 vectors: 'vector' FP64 == scalar."""
+        scalar = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP64, vectorized=False
+        )
+        vector = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP64, vectorized=True
+        )
+        assert vector == pytest.approx(scalar)
+
+    def test_int64_vectorizes_on_c920(self, c920):
+        from repro.kernels.registry import get_kernel
+
+        traits = get_kernel("REDUCE3_INT").traits
+        scalar = pipeline_time_per_iter(
+            c920, traits, DType.INT64, vectorized=False
+        )
+        vector = pipeline_time_per_iter(
+            c920, traits, DType.INT64, vectorized=True
+        )
+        assert vector < scalar
+
+    def test_avx2_fp64_vectorizes(self, triad_traits):
+        rome = catalog.amd_rome().core
+        scalar = pipeline_time_per_iter(
+            rome, triad_traits, DType.FP64, vectorized=False
+        )
+        vector = pipeline_time_per_iter(
+            rome, triad_traits, DType.FP64, vectorized=True
+        )
+        assert vector < scalar
+
+    def test_efficiency_scales_vector_time(self, c920, triad_traits):
+        fast = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP32, True, vector_efficiency=1.0
+        )
+        slow = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP32, True, vector_efficiency=0.25
+        )
+        assert slow > fast
+
+    def test_bad_efficiency_rejected(self, c920, triad_traits):
+        with pytest.raises(SimulationError):
+            pipeline_time_per_iter(
+                c920, triad_traits, DType.FP32, True, vector_efficiency=0
+            )
+
+
+class TestRelativeCoreSpeeds:
+    def test_c920_beats_u74_scalar(self, c920, triad_traits):
+        u74 = catalog.visionfive_v2().core
+        c920_time = pipeline_time_per_iter(
+            c920, triad_traits, DType.FP64, False
+        )
+        u74_time = pipeline_time_per_iter(
+            u74, triad_traits, DType.FP64, False
+        )
+        assert u74_time > 2 * c920_time
+
+    def test_x86_beats_c920_scalar(self, c920, triad_traits):
+        for cpu in catalog.x86_cpus().values():
+            x86_time = pipeline_time_per_iter(
+                cpu.core, triad_traits, DType.FP64, False
+            )
+            c920_time = pipeline_time_per_iter(
+                c920, triad_traits, DType.FP64, False
+            )
+            assert x86_time < c920_time, cpu.name
+
+    def test_compute_bound_kernel_governed_by_flops(self, c920):
+        from repro.kernels.registry import get_kernel
+
+        gemm = get_kernel("GEMM").traits
+        triad = get_kernel("TRIAD").traits
+        gemm_t = pipeline_time_per_iter(c920, gemm, DType.FP64, False)
+        triad_t = pipeline_time_per_iter(c920, triad, DType.FP64, False)
+        # GEMM does 1000x the flops per iteration.
+        assert gemm_t > 100 * triad_t

@@ -1,0 +1,79 @@
+"""Integration: the full Clang-on-C920 suite run (the Figure 3 path).
+
+Exercises RunConfig -> compiler resolution -> per-kernel vectorization
+with rollback -> performance model, across all 64 kernels.
+"""
+
+import pytest
+
+from repro.suite.config import RunConfig
+from repro.suite.runner import run_suite
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def clang_run(sg2042):
+    return run_suite(
+        sg2042,
+        RunConfig(
+            threads=1, precision="fp32", compiler="clang-16",
+            rollback=True, runs=1, noise_sigma=0.0,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def gcc_run(sg2042):
+    return run_suite(
+        sg2042,
+        RunConfig(threads=1, precision="fp32", runs=1, noise_sigma=0.0),
+    )
+
+
+class TestClangSuiteRun:
+    def test_runs_all_64(self, clang_run):
+        assert len(clang_run.runs) == 64
+
+    def test_five_kernels_not_vectorized(self, clang_run):
+        unvectorized = {
+            name
+            for name, run in clang_run.runs.items()
+            if not run.report.vectorized
+        }
+        assert unvectorized == {
+            "SORT", "SORTPAIRS", "SCAN", "GEN_LIN_RECUR", "TRIDIAG_ELIM"
+        }
+
+    def test_three_runtime_scalar(self, clang_run):
+        scalar_at_runtime = {
+            name
+            for name, run in clang_run.runs.items()
+            if run.report.vectorized and not run.report.vector_path_executed
+        }
+        assert scalar_at_runtime == {"2MM", "3MM", "GEMM"}
+
+    def test_matmuls_slower_than_gcc(self, clang_run, gcc_run):
+        for name in ("2MM", "3MM", "GEMM"):
+            assert clang_run.time(name) > gcc_run.time(name), name
+
+    def test_gcc_blocked_kernels_faster_with_clang(self, clang_run,
+                                                   gcc_run):
+        for name in ("FLOYD_WARSHALL", "HEAT_3D", "DIFF_PREDICT",
+                     "PLANCKIAN"):
+            assert clang_run.time(name) < gcc_run.time(name), name
+
+    def test_without_rollback_rejected(self, sg2042):
+        cfg = RunConfig(threads=1, compiler="clang-16")
+        with pytest.raises(ConfigError, match="rollback"):
+            run_suite(sg2042, cfg)
+
+    def test_vla_slower_or_equal_everywhere(self, sg2042, clang_run):
+        vla = run_suite(
+            sg2042,
+            RunConfig(
+                threads=1, precision="fp32", compiler="clang-16",
+                rollback=True, flavor="vla", runs=1, noise_sigma=0.0,
+            ),
+        )
+        for name in vla.runs:
+            assert vla.time(name) >= clang_run.time(name) * 0.999, name

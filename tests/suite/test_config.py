@@ -1,0 +1,82 @@
+"""RunConfig tests."""
+
+import pytest
+
+from repro.compiler.model import (
+    CLANG_16,
+    GCC_8_3,
+    GCC_11_2,
+    VectorFlavor,
+    XUANTIE_GCC_8_4,
+)
+from repro.machine import catalog
+from repro.machine.vector import DType
+from repro.openmp.affinity import PlacementPolicy
+from repro.suite.config import RunConfig
+from repro.util.errors import ConfigError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cfg = RunConfig()
+        assert cfg.threads == 1
+        assert cfg.precision is DType.FP64
+        assert cfg.placement is PlacementPolicy.BLOCK
+        assert cfg.runs == 5  # the paper's averaging
+
+    def test_string_shorthands(self):
+        cfg = RunConfig(precision="fp32", placement="cluster", flavor="vla")
+        assert cfg.precision is DType.FP32
+        assert cfg.placement is PlacementPolicy.CLUSTER
+        assert cfg.flavor is VectorFlavor.VLA
+
+    def test_int_precision_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(precision="int32")
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(threads=0)
+
+    def test_bad_compiler_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            RunConfig(compiler="icc")
+
+    def test_with_threads(self):
+        cfg = RunConfig(threads=1).with_threads(8, PlacementPolicy.CYCLIC)
+        assert cfg.threads == 8
+        assert cfg.placement is PlacementPolicy.CYCLIC
+
+
+class TestCompilerResolution:
+    """Section 2.1/3.3 toolchain selection."""
+
+    def test_sg2042_defaults_to_xuantie_gcc(self, sg2042):
+        assert RunConfig().resolve_compiler(sg2042) is XUANTIE_GCC_8_4
+
+    def test_rome_uses_gcc_11_2(self, amd_rome):
+        """'We use GCC version 8.3 on all systems apart from ARCHER2,
+        where GCC version 11.2 is used.'"""
+        assert RunConfig().resolve_compiler(amd_rome) is GCC_11_2
+
+    def test_other_x86_use_gcc_8_3(
+        self, intel_broadwell, intel_icelake, intel_sandybridge
+    ):
+        for cpu in (intel_broadwell, intel_icelake, intel_sandybridge):
+            assert RunConfig().resolve_compiler(cpu) is GCC_8_3
+
+    def test_visionfive_uses_gcc_8_3(self, visionfive_v2):
+        assert RunConfig().resolve_compiler(visionfive_v2) is GCC_8_3
+
+    def test_clang_on_c920_requires_rollback(self, sg2042):
+        cfg = RunConfig(compiler="clang-16")
+        with pytest.raises(ConfigError, match="rollback"):
+            cfg.resolve_compiler(sg2042)
+
+    def test_clang_with_rollback_resolves(self, sg2042):
+        cfg = RunConfig(compiler="clang-16", rollback=True)
+        assert cfg.resolve_compiler(sg2042) is CLANG_16
+
+    def test_explicit_compiler_wins(self, sg2042):
+        cfg = RunConfig(compiler="gcc-8.3")
+        assert cfg.resolve_compiler(sg2042) is GCC_8_3

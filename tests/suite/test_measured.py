@@ -1,0 +1,78 @@
+"""Measured-mode tests (host timing of the NumPy implementations)."""
+
+import pytest
+
+from repro.kernels.base import KernelClass
+from repro.kernels.registry import get_kernel, kernels_in_class
+from repro.machine.vector import DType
+from repro.suite.measured import (
+    Measurement,
+    measure_kernel,
+    measure_suite,
+    render_measurements,
+)
+from repro.util.errors import ConfigError
+
+
+class TestMeasureKernel:
+    def test_returns_positive_time_and_rates(self):
+        m = measure_kernel(get_kernel("TRIAD"), 10_000, DType.FP64,
+                           reps=2, runs=2)
+        assert m.seconds_per_rep > 0
+        assert m.bandwidth_bytes > 0
+        assert m.flops > 0
+        assert m.kernel == "TRIAD"
+
+    def test_checksum_matches_direct_execution(self):
+        kernel = get_kernel("DOT")
+        m = measure_kernel(kernel, 5_000, DType.FP64, reps=1, runs=1,
+                           warmup=0)
+        ws = kernel.prepare(5_000, DType.FP64)
+        kernel.execute(ws)
+        assert m.checksum == pytest.approx(kernel.checksum(ws))
+
+    def test_fp32_supported(self):
+        m = measure_kernel(get_kernel("DAXPY"), 5_000, DType.FP32,
+                           reps=1, runs=1)
+        assert m.seconds_per_rep > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            measure_kernel(get_kernel("TRIAD"), 0, DType.FP64)
+        with pytest.raises(ConfigError):
+            measure_kernel(get_kernel("TRIAD"), 10, DType.FP64, runs=0)
+
+    def test_zero_flop_kernel_reports_zero_rate(self):
+        m = measure_kernel(get_kernel("COPY"), 5_000, DType.FP64,
+                           reps=1, runs=1)
+        assert m.flops == 0.0
+        assert m.bandwidth_bytes > 0
+
+
+class TestMeasureSuite:
+    def test_stream_class(self):
+        ms = measure_suite(
+            kernels_in_class(KernelClass.STREAM), n=5_000, reps=1, runs=1
+        )
+        assert {m.kernel for m in ms} == {
+            "ADD", "COPY", "DOT", "MUL", "TRIAD"
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            measure_suite([])
+
+    def test_render(self):
+        ms = measure_suite([get_kernel("TRIAD")], n=2_000, reps=1,
+                           runs=1)
+        text = render_measurements(ms)
+        assert "GB/s" in text and "TRIAD" in text
+
+
+class TestMeasurementValidation:
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ConfigError):
+            Measurement(
+                kernel="X", n=1, seconds_per_rep=0.0,
+                bandwidth_bytes=1.0, flops=1.0, checksum=0.0,
+            )

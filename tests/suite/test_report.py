@@ -1,0 +1,81 @@
+"""Aggregation/report tests."""
+
+import pytest
+
+from repro.kernels.base import KernelClass
+from repro.suite.config import RunConfig
+from repro.suite.report import (
+    class_speedups,
+    class_summaries,
+    kernel_relative,
+    suite_average_relative,
+)
+from repro.suite.runner import run_suite
+from repro.util.errors import ConfigError
+from repro.util.stats import from_relative
+
+
+@pytest.fixture(scope="module")
+def base(sg2042):
+    return run_suite(
+        sg2042, RunConfig(threads=1, precision="fp32", noise_sigma=0.0,
+                          runs=1)
+    )
+
+
+@pytest.fixture(scope="module")
+def threaded(sg2042):
+    return run_suite(
+        sg2042,
+        RunConfig(threads=8, precision="fp32", placement="cluster",
+                  noise_sigma=0.0, runs=1),
+    )
+
+
+class TestKernelRelative:
+    def test_self_comparison_is_zero(self, base):
+        rel = kernel_relative(base, base)
+        assert all(v == 0.0 for v in rel.values())
+
+    def test_threaded_mostly_positive(self, base, threaded):
+        rel = kernel_relative(base, threaded)
+        positive = sum(1 for v in rel.values() if v > 0)
+        assert positive > 50  # most kernels speed up at 8 threads
+
+    def test_covers_all_kernels(self, base, threaded):
+        assert len(kernel_relative(base, threaded)) == 64
+
+
+class TestClassSummaries:
+    def test_all_classes_present(self, base, threaded):
+        summaries = class_summaries(base, threaded)
+        assert set(summaries) == set(KernelClass)
+
+    def test_whiskers_bracket_mean(self, base, threaded):
+        for s in class_summaries(base, threaded).values():
+            assert s.minimum <= s.mean <= s.maximum
+
+
+class TestClassSpeedups:
+    def test_rows_match_manual_computation(self, base, threaded):
+        speedups = class_speedups(base, threaded)
+        stream_s, stream_pe = speedups[KernelClass.STREAM]
+        manual = [
+            base.time(n) / threaded.time(n)
+            for n in ("ADD", "COPY", "DOT", "MUL", "TRIAD")
+        ]
+        assert stream_s == pytest.approx(sum(manual) / 5)
+        assert stream_pe == pytest.approx(stream_s / 8)
+
+    def test_requires_single_thread_baseline(self, threaded):
+        with pytest.raises(ConfigError):
+            class_speedups(threaded, threaded)
+
+
+class TestSuiteAverage:
+    def test_self_is_zero(self, base):
+        assert suite_average_relative(base, base) == 0.0
+
+    def test_from_relative_roundtrip(self, base, threaded):
+        avg = suite_average_relative(base, threaded)
+        assert from_relative(avg) > 1.0  # threading helps on average

@@ -1,0 +1,96 @@
+"""Suite runner tests."""
+
+import pytest
+
+from repro.kernels.base import KernelClass
+from repro.kernels.registry import get_kernel, kernels_in_class
+from repro.machine.vector import DType
+from repro.suite.config import RunConfig
+from repro.suite.runner import run_suite, verify_kernel
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def sg_result(sg2042):
+    return run_suite(sg2042, RunConfig(threads=1, precision="fp32"))
+
+
+class TestRunSuite:
+    def test_covers_all_64_kernels(self, sg_result):
+        assert len(sg_result.runs) == 64
+
+    def test_times_positive(self, sg_result):
+        assert all(r.seconds > 0 for r in sg_result.runs.values())
+
+    def test_deterministic(self, sg2042):
+        cfg = RunConfig(threads=2, precision="fp32")
+        a = run_suite(sg2042, cfg)
+        b = run_suite(sg2042, cfg)
+        for name in a.runs:
+            assert a.time(name) == b.time(name)
+
+    def test_noise_averaging_close_to_model(self, sg2042):
+        noisy = run_suite(
+            sg2042, RunConfig(threads=1, noise_sigma=0.02, runs=5)
+        )
+        exact = run_suite(
+            sg2042, RunConfig(threads=1, noise_sigma=0.0, runs=1)
+        )
+        for name in noisy.runs:
+            assert noisy.time(name) == pytest.approx(
+                exact.time(name), rel=0.1
+            )
+
+    def test_kernel_subset(self, sg2042):
+        stream = kernels_in_class(KernelClass.STREAM)
+        result = run_suite(sg2042, RunConfig(), kernels=stream)
+        assert set(result.runs) == {"ADD", "COPY", "DOT", "MUL", "TRIAD"}
+
+    def test_empty_kernel_list_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            run_suite(sg2042, RunConfig(), kernels=[])
+
+    def test_time_lookup_unknown_kernel(self, sg_result):
+        with pytest.raises(ConfigError):
+            sg_result.time("NOPE")
+
+    def test_class_means_cover_all_classes(self, sg_result):
+        means = sg_result.class_means()
+        assert set(means) == set(KernelClass)
+        assert all(v > 0 for v in means.values())
+
+    def test_vectorize_false_runs_scalar(self, sg2042):
+        result = run_suite(
+            sg2042, RunConfig(threads=1, vectorize=False)
+        )
+        assert not any(
+            r.prediction.vector_executed for r in result.runs.values()
+        )
+
+    def test_size_scale_shrinks_footprints(self, sg2042):
+        big = run_suite(sg2042, RunConfig(noise_sigma=0.0, runs=1))
+        small = run_suite(
+            sg2042,
+            RunConfig(noise_sigma=0.0, runs=1, size_scale=0.1),
+        )
+        assert small.time("TRIAD") < big.time("TRIAD")
+
+    def test_total_seconds(self, sg_result):
+        assert sg_result.total_seconds() == pytest.approx(
+            sum(r.seconds for r in sg_result.runs.values())
+        )
+
+
+class TestVerifyKernel:
+    def test_returns_finite_checksum(self):
+        value = verify_kernel(get_kernel("TRIAD"), 1000, DType.FP64)
+        assert value == value  # not NaN
+
+    def test_all_kernels_verify_both_precisions(self, kernels):
+        for kernel in kernels:
+            for precision in (DType.FP32, DType.FP64):
+                verify_kernel(kernel, 512, precision, reps=2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            verify_kernel(get_kernel("TRIAD"), 0, DType.FP64)

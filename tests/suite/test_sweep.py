@@ -1,0 +1,66 @@
+"""Sweep utility tests."""
+
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.suite.config import Placement, Precision
+from repro.suite.sweep import sweep
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def small_sweep(sg2042):
+    return sweep(
+        sg2042,
+        kernels=[get_kernel("TRIAD"), get_kernel("GEMM")],
+        threads=(1, 8, 32),
+        placements=(Placement.CYCLIC, Placement.CLUSTER),
+        precisions=(Precision.FP32,),
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, small_sweep):
+        # 2 kernels x 3 thread counts x 2 placements x 1 precision.
+        assert len(small_sweep.points) == 12
+
+    def test_filtered(self, small_sweep):
+        points = small_sweep.filtered(threads=8,
+                                      placement=Placement.CYCLIC)
+        assert len(points) == 2
+
+    def test_best_for_kernel_is_min(self, small_sweep):
+        best = small_sweep.best_for_kernel("TRIAD")
+        all_triad = small_sweep.filtered(kernel="TRIAD")
+        assert best.seconds == min(p.seconds for p in all_triad)
+
+    def test_best_for_kernel_case_insensitive(self, small_sweep):
+        assert small_sweep.best_for_kernel("triad").kernel == "TRIAD"
+
+    def test_best_overall_shape(self, small_sweep):
+        threads, placement, precision = small_sweep.best_overall()
+        assert threads in (1, 8, 32)
+        assert placement in (Placement.CYCLIC, Placement.CLUSTER)
+        assert precision is Precision.FP32
+
+    def test_threading_helps_gemm(self, small_sweep):
+        best = small_sweep.best_for_kernel("GEMM")
+        assert best.threads > 1
+
+    def test_to_csv(self, small_sweep):
+        csv = small_sweep.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("cpu,threads")
+        assert len(lines) == 13
+
+    def test_unknown_kernel_rejected(self, small_sweep):
+        with pytest.raises(ConfigError):
+            small_sweep.best_for_kernel("NOPE")
+
+    def test_empty_axes_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            sweep(sg2042, kernels=[get_kernel("TRIAD")], threads=())
+
+    def test_empty_kernels_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            sweep(sg2042, kernels=[])

@@ -1,0 +1,90 @@
+"""CLI tests driving ``sg2042-repro`` through its main() entry."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sg2042" in out
+        assert "table2" in out
+        assert "TRIAD" in out
+
+
+class TestDescribe:
+    def test_describe_sg2042(self, capsys):
+        assert main(["describe", "sg2042"]) == 0
+        out = capsys.readouterr().out
+        assert "XuanTie C920" in out
+        assert "NUMA node0 CPU(s):   0-7,16-23" in out
+
+    def test_unknown_machine(self, capsys):
+        assert main(["describe", "pentium"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_single_core(self, capsys):
+        assert main(["run", "--cpu", "sg2042", "--threads", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TRIAD" in out
+        assert "fp64" in out
+
+    def test_run_with_placement(self, capsys):
+        rc = main(
+            ["run", "--cpu", "sg2042", "--threads", "8",
+             "--placement", "cluster", "--precision", "fp32"]
+        )
+        assert rc == 0
+        assert "cluster" in capsys.readouterr().out
+
+    def test_run_clang_requires_rollback(self, capsys):
+        rc = main(
+            ["run", "--cpu", "sg2042", "--compiler", "clang-16"]
+        )
+        assert rc == 1
+        assert "rollback" in capsys.readouterr().err
+
+    def test_run_clang_with_rollback(self, capsys):
+        rc = main(
+            ["run", "--cpu", "sg2042", "--compiler", "clang-16",
+             "--rollback"]
+        )
+        assert rc == 0
+
+    def test_unknown_machine(self, capsys):
+        assert main(["run", "--cpu", "z80"]) == 2
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "table4", "--fast"]) == 0
+        assert "EPYC 7742" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "table9"]) == 2
+
+    def test_figure2_fast(self, capsys):
+        assert main(["experiment", "figure2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized fp32" in out
+
+
+class TestVerify:
+    def test_verify_small(self, capsys):
+        assert main(["verify", "--size", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "64/64 kernels verified" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_precision_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--precision", "fp16"])

@@ -1,0 +1,127 @@
+"""CLI tests for the analysis/measure/sweep/chart surfaces."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_roofline(self, capsys):
+        assert main(["analyze", "roofline", "--cpu", "sg2042",
+                     "--precision", "fp32"]) == 0
+        out = capsys.readouterr().out
+        assert "ridge" in out
+        assert "GEMM" in out
+
+    def test_bottleneck(self, capsys):
+        assert main(["analyze", "bottleneck", "--cpu", "sg2042",
+                     "--threads", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck attribution" in out
+
+    def test_unknown_cpu(self, capsys):
+        assert main(["analyze", "roofline", "--cpu", "m68k"]) == 2
+
+    def test_mode_required(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "everything"])
+
+
+class TestMeasure:
+    def test_stream_class(self, capsys):
+        assert main(["measure", "--kernel-class", "stream",
+                     "--size", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "TRIAD" in out and "GB/s" in out
+
+    def test_fp32(self, capsys):
+        assert main(["measure", "--kernel-class", "basic",
+                     "--size", "1000", "--precision", "fp32"]) == 0
+
+
+class TestSweep:
+    def test_table_output(self, capsys):
+        assert main(["sweep", "--kernels", "TRIAD",
+                     "--threads", "1,8", "--placements", "cluster",
+                     "--precisions", "fp32"]) == 0
+        out = capsys.readouterr().out
+        assert "best overall" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["sweep", "--kernels", "TRIAD",
+                     "--threads", "1", "--placements", "block",
+                     "--precisions", "fp64", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("cpu,threads")
+
+    def test_unknown_cpu(self, capsys):
+        assert main(["sweep", "--cpu", "z80"]) == 2
+
+    def test_unknown_kernel_surfaces_error(self, capsys):
+        assert main(["sweep", "--kernels", "BOGUS"]) == 1
+        assert "unknown kernel" in capsys.readouterr().err
+
+
+class TestChartFlag:
+    def test_figure_with_chart(self, capsys):
+        assert main(["experiment", "figure1", "--fast", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "bars: times faster/slower" in out
+
+    def test_table_with_chart_flag_is_harmless(self, capsys):
+        assert main(["experiment", "table4", "--fast", "--chart"]) == 0
+
+
+class TestMachineFile:
+    def test_run_with_custom_machine(self, capsys, tmp_path):
+        from repro.machine import catalog
+        from repro.machine.serialize import cpu_to_dict, save_cpu
+        from repro.machine.serialize import cpu_from_dict
+
+        data = cpu_to_dict(catalog.sg2042())
+        data["name"] = "Custom-920"
+        path = tmp_path / "custom.json"
+        save_cpu(cpu_from_dict(data), path)
+        assert main(["run", "--machine-file", str(path)]) == 0
+        assert "Custom-920" in capsys.readouterr().out
+
+    def test_missing_machine_file(self, capsys):
+        assert main(["run", "--machine-file", "/nope.json"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_triad(self, capsys):
+        assert main(["explain", "TRIAD"]) == 0
+        out = capsys.readouterr().out
+        assert "characterization:" in out
+        assert "XuanTie GCC 8.4" in out
+        assert "roofline" in out
+
+    def test_explain_case_insensitive(self, capsys):
+        assert main(["explain", "gemm"]) == 0
+        assert "GEMM" in capsys.readouterr().out
+
+    def test_explain_unknown_kernel(self, capsys):
+        assert main(["explain", "BOGUS"]) == 1
+
+    def test_explain_unknown_cpu(self, capsys):
+        assert main(["explain", "TRIAD", "--cpu", "z80"]) == 2
+
+
+class TestExtensionExperiments:
+    def test_yardsticks(self, capsys):
+        assert main(["experiment", "extension_yardsticks"]) == 0
+        out = capsys.readouterr().out
+        assert "Rmax" in out
+        assert "Sophon SG2042" in out
+
+
+class TestSensitivityCli:
+    def test_sensitivity_mode(self, capsys):
+        assert main(["analyze", "sensitivity", "--threads", "32",
+                     "--placement", "cluster",
+                     "--precision", "fp32"]) == 0
+        out = capsys.readouterr().out
+        assert "parameter sensitivity" in out
+        assert "elasticity" in out

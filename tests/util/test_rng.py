@@ -1,0 +1,62 @@
+"""Deterministic RNG tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed, noise_factors
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_order_sensitive(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_parts_are_delimited(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            derive_seed()
+
+    def test_fits_63_bits(self):
+        for salt in range(50):
+            assert 0 <= derive_seed("x", salt) < 2**63
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_stable_across_calls(self, a, b):
+        assert derive_seed(a, b) == derive_seed(a, b)
+
+
+class TestNoiseFactors:
+    def test_zero_sigma_is_exact(self):
+        assert np.array_equal(noise_factors(1, 5, sigma=0.0), np.ones(5))
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(
+            noise_factors(42, 10), noise_factors(42, 10)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            noise_factors(1, 10), noise_factors(2, 10)
+        )
+
+    def test_positive(self):
+        assert (noise_factors(7, 1000) > 0).all()
+
+    def test_median_near_one(self):
+        factors = noise_factors(3, 20_000, sigma=0.02)
+        assert np.median(factors) == pytest.approx(1.0, abs=0.01)
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigError):
+            noise_factors(1, 0)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ConfigError):
+            noise_factors(1, 5, sigma=-0.1)

@@ -1,0 +1,135 @@
+"""Statistics tests, including hypothesis properties for the paper's
+"times faster/slower" convention."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.errors import ConfigError
+from repro.util.stats import (
+    Summary,
+    arithmetic_mean,
+    from_relative,
+    geometric_mean,
+    parallel_efficiency,
+    relative_to_baseline,
+    speedup,
+    summarize,
+)
+
+positive_times = st.floats(
+    min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSpeedup:
+    def test_faster(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_slower(self):
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_equal(self):
+        assert speedup(3.0, 3.0) == 1.0
+
+    @pytest.mark.parametrize("t1,t2", [(0, 1), (1, 0), (-1, 1), (1, -1)])
+    def test_nonpositive_raises(self, t1, t2):
+        with pytest.raises(ConfigError):
+            speedup(t1, t2)
+
+
+class TestParallelEfficiency:
+    def test_ideal(self):
+        assert parallel_efficiency(8.0, 8) == 1.0
+
+    def test_superlinear_allowed(self):
+        # The paper reports PE 1.40 for stream at 8 threads (Table 3).
+        assert parallel_efficiency(11.2, 8) == pytest.approx(1.40)
+
+    def test_zero_threads_raises(self):
+        with pytest.raises(ConfigError):
+            parallel_efficiency(1.0, 0)
+
+
+class TestRelativeConvention:
+    """The figures' signed times-faster/slower axis."""
+
+    def test_same_performance_is_zero(self):
+        assert relative_to_baseline(1.0, 1.0) == 0.0
+
+    def test_twice_as_fast_is_plus_one(self):
+        assert relative_to_baseline(2.0, 1.0) == pytest.approx(1.0)
+
+    def test_twice_as_slow_is_minus_one(self):
+        assert relative_to_baseline(1.0, 2.0) == pytest.approx(-1.0)
+
+    def test_forty_times_faster(self):
+        # The paper's memset result: 40x faster -> +39 on the axis.
+        assert relative_to_baseline(40.0, 1.0) == pytest.approx(39.0)
+
+    @given(positive_times, positive_times)
+    def test_antisymmetry(self, a, b):
+        """Swapping baseline and subject flips the sign."""
+        fwd = relative_to_baseline(a, b)
+        rev = relative_to_baseline(b, a)
+        assert fwd == pytest.approx(-rev, rel=1e-9, abs=1e-9)
+
+    @given(positive_times, positive_times)
+    def test_from_relative_roundtrip(self, a, b):
+        rel = relative_to_baseline(a, b)
+        assert from_relative(rel) == pytest.approx(a / b, rel=1e-9)
+
+    @given(positive_times, positive_times)
+    def test_sign_tracks_ordering(self, a, b):
+        rel = relative_to_baseline(a, b)
+        if a > b:
+            assert rel > 0
+        elif a < b:
+            assert rel < 0
+
+
+class TestMeans:
+    def test_geometric_mean_of_ratios(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    @given(st.lists(positive_times, min_size=1, max_size=30))
+    def test_geo_mean_bounded_by_extremes(self, values):
+        gm = geometric_mean(values)
+        assert min(values) <= gm * (1 + 1e-9)
+        assert gm <= max(values) * (1 + 1e-9)
+
+
+class TestSummary:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == Summary(mean=2.0, minimum=1.0, maximum=3.0, count=3)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == s.minimum == s.maximum == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+    def test_inconsistent_summary_rejected(self):
+        with pytest.raises(ConfigError):
+            Summary(mean=5.0, minimum=1.0, maximum=2.0, count=3)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_mean_within_whiskers(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.mean <= s.maximum
+        assert s.count == len(values)

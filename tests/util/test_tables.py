@@ -1,0 +1,68 @@
+"""ASCII table / chart rendering tests."""
+
+import pytest
+
+from repro.util.errors import ConfigError
+from repro.util.tables import render_bar_chart, render_csv, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(("a", "b"), [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "30" in lines[-1]
+
+    def test_title(self):
+        text = render_table(("x",), [(1,)], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_column_alignment(self):
+        text = render_table(("col",), [("short",), ("longer-cell",)])
+        lines = text.splitlines()
+        # All rows padded to same width.
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_empty_headers_raises(self):
+        with pytest.raises(ConfigError):
+            render_table((), [])
+
+
+class TestRenderCsv:
+    def test_basic(self):
+        assert render_csv(("a", "b"), [(1, 2)]) == "a,b\n1,2"
+
+    def test_comma_in_cell_raises(self):
+        with pytest.raises(ConfigError):
+            render_csv(("a",), [("x,y",)])
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            render_csv(("a",), [(1, 2)])
+
+
+class TestRenderBarChart:
+    def test_positive_and_negative_bars(self):
+        text = render_bar_chart(
+            ["fast", "slow"], [2.0, -1.0], [1.5, -1.2], [2.5, -0.8]
+        )
+        lines = text.splitlines()
+        assert "+" in lines[0]
+        assert "-" in lines[1]
+        assert "[+1.50, +2.50]" in lines[0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            render_bar_chart(["a"], [1.0, 2.0], [0.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            render_bar_chart([], [], [], [])
+
+    def test_all_zero_means_no_crash(self):
+        text = render_bar_chart(["z"], [0.0], [0.0], [0.0])
+        assert "z" in text

@@ -1,0 +1,84 @@
+"""Unit-handling tests: parsing, formatting, error paths."""
+
+import pytest
+
+from repro.util.errors import ConfigError
+from repro.util.units import (
+    GIB,
+    KB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_seconds,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+        assert parse_size("512B") == 512
+
+    def test_binary_units(self):
+        assert parse_size("64KiB") == 64 * KIB
+        assert parse_size("1MiB") == MIB
+        assert parse_size("2GiB") == 2 * GIB
+
+    def test_decimal_units(self):
+        assert parse_size("1KB") == KB
+        assert parse_size("25.6GB") == 25_600_000_000
+
+    def test_case_insensitive(self):
+        assert parse_size("64kib") == 64 * KIB
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  64 KiB ") == 64 * KIB
+
+    def test_fractional_decimal_allowed_when_integral(self):
+        assert parse_size("0.5KiB") == 512
+
+    @pytest.mark.parametrize("bad", ["", "KiB", "12XB", "1.2.3MB", "-5KB"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+    def test_non_integral_bytes_raises(self):
+        with pytest.raises(ConfigError):
+            parse_size("0.3B")
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kib(self):
+        assert format_bytes(64 * KIB) == "64.0KiB"
+
+    def test_mib(self):
+        assert format_bytes(MIB) == "1.0MiB"
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigError):
+            format_bytes(-1)
+
+    def test_roundtrip_with_parse(self):
+        for n in (1, KIB, 3 * MIB, 7 * GIB):
+            assert parse_size(format_bytes(n)) == n
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.500s"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0025) == "2.500ms"
+
+    def test_microseconds(self):
+        assert format_seconds(3.2e-5) == "32.000us"
+
+    def test_nanoseconds(self):
+        assert format_seconds(5e-9) == "5.000ns"
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigError):
+            format_seconds(-0.1)
