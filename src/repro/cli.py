@@ -14,15 +14,51 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS
 from repro.kernels.registry import all_kernels, kernel_names
 from repro.machine import catalog
+from repro.resilience import inject_faults, load_fault_plan
+from repro.resilience.retry import FailurePolicy, RetrySpec
 from repro.suite.config import RunConfig
+from repro.suite.report import failure_summary
 from repro.suite.runner import run_suite, verify_kernel
 from repro.util.errors import ReproError
 from repro.util.tables import render_table
 from repro.util.units import format_seconds
+
+
+def _chaos_context(args: argparse.Namespace):
+    """Context manager installing ``--fault-plan``, if given."""
+    if getattr(args, "fault_plan", None):
+        return inject_faults(load_fault_plan(args.fault_plan))
+    return nullcontext()
+
+
+def _failure_policy(args: argparse.Namespace) -> FailurePolicy:
+    return FailurePolicy.from_label(args.on_failure)
+
+
+def _retry_spec(args: argparse.Namespace) -> RetrySpec:
+    return RetrySpec(max_retries=args.retries)
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.json",
+        help="inject faults from this seeded chaos plan (JSON)",
+    )
+    parser.add_argument(
+        "--on-failure", default="abort",
+        choices=["abort", "skip", "retry"],
+        help="kernel failure policy: abort the run (default), skip and "
+        "record, or retry with backoff then record",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="retry budget per kernel for --on-failure retry",
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -71,7 +107,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         compiler=args.compiler,
         rollback=args.rollback,
     )
-    result = run_suite(cpu, config)
+    with _chaos_context(args):
+        result = run_suite(
+            cpu, config,
+            policy=_failure_policy(args),
+            retry=_retry_spec(args),
+        )
     rows = [
         (
             run.kernel_name,
@@ -91,6 +132,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{config.precision.label}, {config.placement.value}",
         )
     )
+    if result.failures:
+        print()
+        print(failure_summary(result))
     return 0
 
 
@@ -159,7 +203,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   for p in args.placements.split(",")]
     precisions = [Precision.from_label(p)
                   for p in args.precisions.split(",")]
-    result = sweep(cpu, kernels, threads, placements, precisions)
+    with _chaos_context(args):
+        result = sweep(
+            cpu, kernels, threads, placements, precisions,
+            policy=_failure_policy(args),
+            retry=_retry_spec(args),
+            checkpoint=args.checkpoint,
+        )
     if args.csv:
         print(result.to_csv())
     else:
@@ -172,9 +222,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ("kernel", "threads", "placement", "precision", "time"),
             rows, title=f"{cpu.name} sweep",
         ))
-        best_t, best_pl, best_pr = result.best_overall()
-        print(f"\nbest overall: {best_t} threads, {best_pl.value}, "
-              f"{best_pr.label}")
+        if result.points:
+            best_t, best_pl, best_pr = result.best_overall()
+            print(f"\nbest overall: {best_t} threads, {best_pl.value}, "
+                  f"{best_pr.label}")
+    if result.failures:
+        print()
+        print(result.failure_summary())
     return 0
 
 
@@ -229,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of the SC-W 2023 Sophon SG2042 "
         "benchmarking study",
     )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="re-raise package errors with a full traceback instead of "
+        "the one-line message",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list machines, kernels, experiments")
@@ -249,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--compiler", default=None)
     p_run.add_argument("--rollback", action="store_true",
                        help="apply the RVV-rollback tool (Clang on C920)")
+    _add_resilience_flags(p_run)
 
     p_exp = sub.add_parser("experiment", help="reproduce a table/figure")
     p_exp.add_argument(
@@ -281,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--placements", default="cyclic,cluster")
     p_sweep.add_argument("--precisions", default="fp32")
     p_sweep.add_argument("--csv", action="store_true")
+    p_sweep.add_argument(
+        "--checkpoint", default=None, metavar="FILE.jsonl",
+        help="persist completed points here and resume from them",
+    )
+    _add_resilience_flags(p_sweep)
 
     p_an = sub.add_parser(
         "analyze",
@@ -325,8 +390,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as exc:
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

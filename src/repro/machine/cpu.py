@@ -237,6 +237,12 @@ class CPUModel:
         if self.memory.numa_local:
             # validated for side effect: controllers divide evenly
             self.memory.bandwidth_per_numa(self.topology.num_numa_nodes)
+        # Cross-cutting model invariants (capacity monotonicity, issue
+        # widths, ...) live in the resilience validator; imported lazily
+        # because repro.resilience type-hints against this module.
+        from repro.resilience.validate import validate_cpu
+
+        validate_cpu(self)
 
     @property
     def num_cores(self) -> int:

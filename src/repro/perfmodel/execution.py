@@ -8,6 +8,7 @@ kernel execution (all RAJAPerf repetitions).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.compiler.vectorizer import VectorizationReport
@@ -17,6 +18,8 @@ from repro.machine.vector import DType
 from repro.perfmodel.memory import memory_time_per_iter
 from repro.perfmodel.pipeline import pipeline_time_per_iter
 from repro.perfmodel.threading import barrier_seconds, compose_parallel_time
+from repro.resilience import chaos
+from repro.resilience.faults import FaultSite
 from repro.util.errors import SimulationError
 
 
@@ -39,6 +42,12 @@ class ExecutionResult:
     vector_executed: bool
 
     def __post_init__(self) -> None:
+        # Explicit finiteness check: NaN compares False against 0, so a
+        # garbled prediction would sail through a pure sign test.
+        if not math.isfinite(self.seconds) or not math.isfinite(
+            self.seconds_per_rep
+        ):
+            raise SimulationError("predicted time must be finite")
         if self.seconds <= 0 or self.seconds_per_rep <= 0:
             raise SimulationError("predicted time must be positive")
 
@@ -75,6 +84,7 @@ def simulate_kernel(
         n: Problem size; defaults to the kernel's RAJAPerf size.
         reps: Repetition count; defaults to the kernel's RAJAPerf reps.
     """
+    chaos.raise_if_fault(FaultSite.SIMULATE, kernel.name, kernel.klass)
     if not cores:
         raise SimulationError("placement must contain at least one core")
     if len(set(cores)) != len(cores):
@@ -129,6 +139,9 @@ def simulate_kernel(
     )
     if rep_time <= 0:
         raise SimulationError("non-positive repetition time")
+    rep_time = chaos.corrupt_value(
+        FaultSite.PREDICTION, kernel.name, rep_time, kernel.klass
+    )
 
     return ExecutionResult(
         seconds=rep_time * repetitions,

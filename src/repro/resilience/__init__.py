@@ -1,0 +1,72 @@
+"""Fault injection, retries, checkpoints and machine validation.
+
+The robustness face of the reproduction: the paper's campaigns ran on
+flaky early silicon where runs fail, throttle and return garbage, and
+the follow-up studies repeat them at scales where one failed kernel must
+not abort a whole sweep. This package makes the pipeline survive — and,
+just as important, makes that survival *testable*:
+
+``repro.resilience.faults`` / ``repro.resilience.chaos``
+    Seeded, deterministic fault plans and the injection hooks through
+    which they reach the simulator and runner.
+``repro.resilience.retry``
+    Failure policies (abort / skip / retry), exponential backoff with
+    deadlines, and the failure records surfaced in results.
+``repro.resilience.checkpoint``
+    JSONL sweep checkpoints with an integrity header for mid-grid
+    resume.
+``repro.resilience.validate``
+    Cross-cutting machine-description invariants, checked at model
+    construction and before every suite run.
+"""
+
+from repro.resilience.chaos import (
+    active_plan,
+    corrupt_value,
+    inject_faults,
+    injection_log,
+    raise_if_fault,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    point_key,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    load_fault_plan,
+    transient_plan,
+)
+from repro.resilience.retry import (
+    FailurePolicy,
+    FailureRecord,
+    RetryExhaustedError,
+    RetrySpec,
+    call_with_retry,
+)
+from repro.resilience.validate import cpu_violations, validate_cpu
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "load_fault_plan",
+    "transient_plan",
+    "inject_faults",
+    "active_plan",
+    "injection_log",
+    "raise_if_fault",
+    "corrupt_value",
+    "FailurePolicy",
+    "FailureRecord",
+    "RetrySpec",
+    "RetryExhaustedError",
+    "call_with_retry",
+    "SweepCheckpoint",
+    "CHECKPOINT_VERSION",
+    "point_key",
+    "cpu_violations",
+    "validate_cpu",
+]

@@ -1,0 +1,155 @@
+"""Chaos injection hooks: where fault plans meet the pipeline.
+
+The production code calls two cheap hooks — :func:`raise_if_fault` at
+failure sites and :func:`corrupt_value` where a prediction could be
+silently garbled. With no plan installed both are near-free (one module
+attribute check), so the fault-free path stays seed-identical and fast.
+
+A plan is installed for the duration of a ``with inject_faults(plan):``
+block. Attempt counters are tracked per (site, kernel) inside the block,
+which is what makes "fail twice, then succeed" transient faults
+expressible; the :attr:`injection_log` records every injected fault for
+tests and failure reports.
+
+Not thread-safe by design: chaos runs belong in tests and controlled
+campaigns, not concurrent production paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.kernels.base import KernelClass
+from repro.resilience.faults import FaultPlan, FaultRule, FaultSite
+from repro.util.errors import (
+    ConfigError,
+    SimulationError,
+    TransientError,
+)
+
+_active_plan: FaultPlan | None = None
+_attempts: dict[tuple[str, str], int] = {}
+_failures: dict[tuple[str, str], int] = {}
+_log: list["Injection"] = []
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One injected fault, as recorded in the log."""
+
+    site: FaultSite
+    kernel: str
+    attempt: int
+    mode: str
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block.
+
+    Counters and the injection log reset on entry, so a plan replays
+    identically every time it is installed. Nesting is rejected — two
+    overlapping plans have no sensible semantics.
+    """
+    global _active_plan
+    if _active_plan is not None:
+        raise ConfigError("a fault plan is already active; do not nest")
+    _active_plan = plan
+    _attempts.clear()
+    _failures.clear()
+    _log.clear()
+    try:
+        yield plan
+    finally:
+        _active_plan = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _active_plan
+
+
+def injection_log() -> tuple[Injection, ...]:
+    """Faults injected since the current (or last) plan was installed."""
+    return tuple(_log)
+
+
+def _next_attempt(site: FaultSite, kernel: str) -> int:
+    key = (site.value, kernel)
+    _attempts[key] = _attempts.get(key, 0) + 1
+    return _attempts[key]
+
+
+def _evaluate(
+    site: FaultSite, kernel: str, klass: KernelClass | None
+) -> tuple[FaultRule | None, int]:
+    """Advance the attempt counter and ask the plan whether to fire."""
+    attempt = _next_attempt(site, kernel)
+    key = (site.value, kernel)
+    rule = _active_plan.fires(
+        site, kernel, klass, attempt, _failures.get(key, 0)
+    )
+    if rule is not None:
+        _failures[key] = _failures.get(key, 0) + 1
+        _log.append(
+            Injection(site=site, kernel=kernel, attempt=attempt,
+                      mode=rule.mode)
+        )
+    return rule, attempt
+
+
+def raise_if_fault(
+    site: FaultSite,
+    kernel: str = "*",
+    klass: KernelClass | None = None,
+) -> None:
+    """Raise the site's exception type if the active plan fires here.
+
+    No-op (one attribute check) when no plan is installed. The raised
+    exception carries a ``fault_site`` attribute so failure records can
+    distinguish injected faults from organic ones.
+    """
+    if _active_plan is None:
+        return
+    rule, attempt = _evaluate(site, kernel, klass)
+    if rule is None:
+        return
+    message = (
+        f"injected fault at site {site.value!r} "
+        f"(kernel {kernel}, attempt {attempt})"
+    )
+    if site is FaultSite.SIMULATE:
+        exc: Exception = SimulationError(message)
+    elif site is FaultSite.MACHINE:
+        exc = ConfigError(
+            f"injected fault: corrupted machine description "
+            f"(attempt {attempt})"
+        )
+    else:
+        exc = TransientError(message)
+    exc.fault_site = site.value  # type: ignore[attr-defined]
+    raise exc
+
+
+def corrupt_value(
+    site: FaultSite,
+    kernel: str,
+    value: float,
+    klass: KernelClass | None = None,
+) -> float:
+    """Return ``value``, corrupted if the active plan fires at ``site``.
+
+    Used at the PREDICTION site: ``"nan"`` mode returns NaN, and
+    ``"negative"`` negates the value — both tripping the downstream
+    :class:`ExecutionResult` invariants instead of silently polluting
+    tables, which is exactly the behaviour under test.
+    """
+    if _active_plan is None:
+        return value
+    rule, _ = _evaluate(site, kernel, klass)
+    if rule is None:
+        return value
+    if rule.mode == "negative":
+        return -abs(value)
+    return float("nan")

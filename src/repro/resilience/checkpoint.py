@@ -1,0 +1,139 @@
+"""JSONL sweep checkpoints: persist completed points, resume mid-grid.
+
+A killed 64-core sweep should not recompute the 500 points it already
+finished. The checkpoint is a line-oriented JSON file: one header line
+carrying an integrity stamp (format version + a hash of the sweep grid),
+then one line per completed point. Appends are flushed per point, so a
+kill mid-grid loses at most the point in flight; a torn trailing line
+(killed mid-write) is detected and ignored on load.
+
+The grid hash ties a checkpoint to one exact sweep (machine, kernels,
+axes, runs, noise). Resuming with a different grid is an error, not a
+silent mix of incompatible numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.util.errors import CheckpointError
+
+#: Bump when the line format changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Fields that identify one sweep point inside a checkpoint.
+POINT_FIELDS = ("threads", "placement", "precision", "kernel")
+
+PointKey = tuple[int, str, str, str]
+
+
+def point_key(
+    threads: int, placement: str, precision: str, kernel: str
+) -> PointKey:
+    return (int(threads), placement, precision, kernel.upper())
+
+
+class SweepCheckpoint:
+    """One sweep's checkpoint file, opened for resume + append."""
+
+    def __init__(self, path: str | Path, grid_hash: int):
+        self.path = Path(path)
+        self.grid_hash = int(grid_hash)
+        self.completed: dict[PointKey, dict[str, Any]] = {}
+        if self.path.exists():
+            self._load()
+        else:
+            self._write_header()
+
+    # -- reading ----------------------------------------------------------
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            self._write_header()
+            return
+        header = self._parse_header(lines[0])
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has format version "
+                f"{header.get('version')!r}; this build writes "
+                f"{CHECKPOINT_VERSION}"
+            )
+        if header.get("grid_hash") != self.grid_hash:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different sweep "
+                f"(grid hash {header.get('grid_hash')} != "
+                f"{self.grid_hash}); delete it or rerun the original grid"
+            )
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    # Torn final line from a mid-write kill: recompute
+                    # that one point instead of failing the resume.
+                    break
+                raise CheckpointError(
+                    f"checkpoint {self.path} is corrupt at line {lineno}"
+                )
+            if not all(f in record for f in POINT_FIELDS):
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {lineno} is missing "
+                    f"point fields {POINT_FIELDS}"
+                )
+            self.completed[point_key(
+                record["threads"], record["placement"],
+                record["precision"], record["kernel"],
+            )] = record
+
+    def _parse_header(self, line: str) -> dict[str, Any]:
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} has an unreadable header: {exc}"
+            ) from exc
+        if not isinstance(header, dict) or "grid_hash" not in header:
+            raise CheckpointError(
+                f"checkpoint {self.path} header is not a sweep "
+                "checkpoint stamp"
+            )
+        return header
+
+    # -- writing ----------------------------------------------------------
+
+    def _write_header(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w") as fh:
+            fh.write(json.dumps({
+                "version": CHECKPOINT_VERSION,
+                "grid_hash": self.grid_hash,
+            }) + "\n")
+
+    def record(self, point: dict[str, Any]) -> None:
+        """Append one completed point and flush it to disk."""
+        missing = [f for f in POINT_FIELDS if f not in point]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint point is missing fields {missing}"
+            )
+        key = point_key(
+            point["threads"], point["placement"],
+            point["precision"], point["kernel"],
+        )
+        if key in self.completed:
+            return
+        self.completed[key] = dict(point)
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(point) + "\n")
+            fh.flush()
+
+    def has(self, key: PointKey) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)

@@ -1,0 +1,294 @@
+"""Deterministic fault plans for chaos testing the pipeline.
+
+The paper's numbers come from campaigns on flaky early silicon where
+individual runs fail, throttle or return garbage. A :class:`FaultPlan`
+reproduces that environment *deterministically*: it decides, from a seed
+and nothing else, whether a given injection site fires for a given
+kernel on a given attempt. The same plan always injects the same faults,
+so every robustness feature (retry, skip, checkpoint/resume, graceful
+reporting) is testable with exact expectations.
+
+Plans are data: they serialize to/from JSON so the CLI can load one with
+``--fault-plan plan.json``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.kernels.base import KernelClass
+from repro.util.errors import ConfigError
+from repro.util.rng import derive_seed
+
+
+class FaultSite(enum.Enum):
+    """Where in the pipeline a fault is injected.
+
+    Attributes:
+        SIMULATE: ``simulate_kernel`` raises :class:`SimulationError`
+            before producing a prediction (the model "crashes").
+        PREDICTION: The predicted time is corrupted to NaN or a negative
+            value before the result is constructed — caught by the
+            :class:`ExecutionResult` invariants, modelling a run that
+            returns garbage instead of failing loudly.
+        MACHINE: The machine description is reported corrupted at the
+            pre-run validation step (:class:`ConfigError`); a
+            whole-configuration failure, not a per-kernel one.
+        RUN: A transient per-kernel run failure
+            (:class:`TransientError`) in the suite runner — the flaky
+            node case retries are made for.
+    """
+
+    SIMULATE = "simulate"
+    PREDICTION = "prediction"
+    MACHINE = "machine"
+    RUN = "run"
+
+    @classmethod
+    def from_label(cls, label: str) -> "FaultSite":
+        for member in cls:
+            if member.value == label.lower():
+                return member
+        raise ConfigError(
+            f"unknown fault site {label!r}; "
+            f"known: {[m.value for m in cls]}"
+        )
+
+
+#: Corruption modes for the PREDICTION site.
+PREDICTION_MODES = ("nan", "negative")
+
+
+def _coerce_int(field_name: str, value: Any) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"fault rule {field_name} must be an integer, got {value!r}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule inside a plan.
+
+    Attributes:
+        site: Which injection site this rule arms.
+        probability: Per-attempt chance of firing in [0, 1]. The draw is
+            derived deterministically from the plan seed, the rule index,
+            the kernel and the attempt number.
+        kernels: Restrict to these kernel names (case-insensitive);
+            ``None`` matches every kernel.
+        klass: Restrict to one kernel class; ``None`` matches all.
+        max_failures: Stop firing for a kernel after this many injected
+            failures — a hard transience bound that guarantees retry
+            convergence. ``None`` means the rule can fire on any attempt.
+        mode: Corruption mode for the PREDICTION site (``"nan"`` or
+            ``"negative"``); ignored elsewhere.
+    """
+
+    site: FaultSite
+    probability: float = 1.0
+    kernels: tuple[str, ...] | None = None
+    klass: KernelClass | None = None
+    max_failures: int | None = None
+    mode: str = "nan"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.site, str):
+            object.__setattr__(self, "site", FaultSite.from_label(self.site))
+        if isinstance(self.klass, str):
+            object.__setattr__(
+                self, "klass", KernelClass.from_label(self.klass)
+            )
+        if self.kernels is not None:
+            object.__setattr__(
+                self,
+                "kernels",
+                tuple(k.upper() for k in self.kernels),
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"fault probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.max_failures is not None and self.max_failures < 1:
+            raise ConfigError("max_failures must be >= 1")
+        if self.site is FaultSite.PREDICTION and (
+            self.mode not in PREDICTION_MODES
+        ):
+            raise ConfigError(
+                f"prediction corruption mode must be one of "
+                f"{PREDICTION_MODES}, got {self.mode!r}"
+            )
+
+    def matches(self, kernel_name: str, klass: KernelClass | None) -> bool:
+        if self.kernels is not None and kernel_name.upper() not in self.kernels:
+            return False
+        if self.klass is not None and klass is not self.klass:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site.value,
+            "probability": self.probability,
+            "kernels": list(self.kernels) if self.kernels else None,
+            "klass": self.klass.value if self.klass else None,
+            "max_failures": self.max_failures,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultRule":
+        if "site" not in data:
+            raise ConfigError("fault rule needs a 'site' field")
+        kernels = data.get("kernels")
+        try:
+            probability = float(data.get("probability", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"fault rule probability must be a number, "
+                f"got {data.get('probability')!r}"
+            ) from exc
+        return cls(
+            site=FaultSite.from_label(data["site"]),
+            probability=probability,
+            kernels=tuple(kernels) if kernels else None,
+            klass=(
+                KernelClass.from_label(data["klass"])
+                if data.get("klass")
+                else None
+            ),
+            max_failures=(
+                _coerce_int("max_failures", data["max_failures"])
+                if data.get("max_failures") is not None
+                else None
+            ),
+            mode=data.get("mode", "nan"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of fault rules.
+
+    The decision for (rule, kernel, attempt) is a pure function of the
+    plan seed: :func:`repro.util.rng.derive_seed` feeds a dedicated RNG
+    per decision, so plans replay identically across processes and
+    Python versions.
+    """
+
+    seed: int
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def fires(
+        self,
+        site: FaultSite,
+        kernel_name: str,
+        klass: KernelClass | None,
+        attempt: int,
+        failures_so_far: int,
+    ) -> FaultRule | None:
+        """The first armed rule that fires at this site, or ``None``.
+
+        Args:
+            site: Injection site being evaluated.
+            kernel_name: Kernel at the site (``"*"`` for config-level
+                sites like MACHINE).
+            klass: Kernel class, if per-kernel.
+            attempt: 1-based attempt counter for this (site, kernel).
+            failures_so_far: Faults already injected for this
+                (site, kernel) — compared against ``max_failures``.
+        """
+        if attempt < 1:
+            raise ConfigError("attempt must be >= 1")
+        for index, rule in enumerate(self.rules):
+            if rule.site is not site:
+                continue
+            if not rule.matches(kernel_name, klass):
+                continue
+            if (rule.max_failures is not None
+                    and failures_so_far >= rule.max_failures):
+                continue
+            draw_seed = derive_seed(
+                self.seed, index, site.value, kernel_name.upper(), attempt
+            )
+            draw = float(np.random.default_rng(draw_seed).random())
+            if draw < rule.probability:
+                return rule
+        return None
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        if "seed" not in data:
+            raise ConfigError("fault plan needs a 'seed' field")
+        try:
+            seed = int(data["seed"])
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"fault plan seed must be an integer, got {data['seed']!r}"
+            ) from exc
+        return cls(
+            seed=seed,
+            rules=tuple(
+                FaultRule.from_dict(r) for r in data.get("rules", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid fault plan JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+
+def load_fault_plan(path: str | Path) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file (CLI ``--fault-plan``)."""
+    p = Path(path)
+    if not p.is_file():
+        raise ConfigError(f"fault plan file not found: {p}")
+    return FaultPlan.from_json(p.read_text())
+
+
+def transient_plan(
+    seed: int,
+    probability: float,
+    max_failures: int | None = None,
+    site: FaultSite = FaultSite.RUN,
+) -> FaultPlan:
+    """Convenience: one rule injecting transient failures everywhere."""
+    return FaultPlan(
+        seed=seed,
+        rules=(
+            FaultRule(
+                site=site,
+                probability=probability,
+                max_failures=max_failures,
+            ),
+        ),
+    )

@@ -1,0 +1,91 @@
+"""Machine-description invariant checker.
+
+The dataclasses in :mod:`repro.machine` validate their own fields; this
+module checks the *cross-cutting* invariants the analytic model silently
+depends on — the ones a hand-edited machine JSON is most likely to break
+without tripping any single field check. Violations become actionable
+:class:`ConfigError`s at :class:`CPUModel` construction and again before
+every suite run (a loaded description can be mutated only by
+reconstruction, but the pre-run check also hosts the chaos MACHINE
+injection site).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.machine.cpu import CPUModel
+
+
+def cpu_violations(cpu: "CPUModel") -> list[str]:
+    """All model-invariant violations in ``cpu`` (empty = valid)."""
+    violations: list[str] = []
+    core = cpu.core
+    mem = cpu.memory
+
+    # Issue widths: a core that cannot issue one op per cycle breaks the
+    # throughput model's per-iter composition.
+    if core.fp_ops_per_cycle < 1:
+        violations.append(
+            f"core issue width: fp_ops_per_cycle must be >= 1, "
+            f"got {core.fp_ops_per_cycle}"
+        )
+    if core.ls_ops_per_cycle < 1:
+        violations.append(
+            f"core issue width: ls_ops_per_cycle must be >= 1, "
+            f"got {core.ls_ops_per_cycle}"
+        )
+    if core.clock_hz <= 0:
+        violations.append(f"clock must be positive, got {core.clock_hz}")
+
+    # Cache hierarchy: capacities must grow outward (per instance) and
+    # bandwidths/latencies must be positive, or the serving-level search
+    # in the memory model picks nonsense levels.
+    levels = cpu.caches.levels
+    for inner, outer in zip(levels, levels[1:]):
+        if outer.capacity_bytes < inner.capacity_bytes:
+            violations.append(
+                f"cache capacities must be monotone outward: "
+                f"{outer.name} ({outer.capacity_bytes}B) smaller than "
+                f"{inner.name} ({inner.capacity_bytes}B)"
+            )
+    for level in levels:
+        if level.bandwidth_bytes_per_cycle <= 0:
+            violations.append(
+                f"{level.name}: bandwidth must be positive"
+            )
+        if level.latency_cycles < 1:
+            violations.append(
+                f"{level.name}: latency must be >= 1 cycle"
+            )
+
+    # Memory subsystem.
+    if mem.controllers < 1:
+        violations.append(
+            f"memory controllers must be >= 1, got {mem.controllers}"
+        )
+    if mem.channel_bandwidth_bytes <= 0:
+        violations.append("memory channel bandwidth must be positive")
+    if mem.latency_ns <= 0:
+        violations.append("memory latency must be positive")
+    if mem.per_core_bandwidth_bytes <= 0:
+        violations.append("per-core memory bandwidth must be positive")
+
+    # Topology consistency with the core model.
+    if cpu.topology.num_cores < 1:
+        violations.append("topology must contain at least one core")
+
+    return violations
+
+
+def validate_cpu(cpu: "CPUModel") -> None:
+    """Raise :class:`ConfigError` listing every violated invariant."""
+    violations = cpu_violations(cpu)
+    if violations:
+        raise ConfigError(
+            f"machine description {cpu.name!r} violates model "
+            "invariants:\n  - " + "\n  - ".join(violations)
+        )

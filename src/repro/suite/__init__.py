@@ -9,10 +9,12 @@ aggregates them into the paper's class-level bars, whiskers, speedups
 and parallel efficiencies.
 """
 
+from repro.resilience.retry import FailurePolicy, FailureRecord, RetrySpec
 from repro.suite.config import Placement, Precision, RunConfig
 from repro.suite.report import (
     class_speedups,
     class_summaries,
+    failure_summary,
     kernel_relative,
 )
 from repro.suite.runner import SuiteResult, run_suite, verify_kernel
@@ -27,4 +29,8 @@ __all__ = [
     "class_summaries",
     "class_speedups",
     "kernel_relative",
+    "failure_summary",
+    "FailurePolicy",
+    "FailureRecord",
+    "RetrySpec",
 ]

@@ -18,6 +18,7 @@ from repro.machine.cpu import CPUModel
 from repro.machine.vector import DType
 from repro.openmp.affinity import PlacementPolicy, assign_cores
 from repro.perfmodel.execution import simulate_kernel
+from repro.util.errors import ReproError
 from repro.util.units import format_bytes, format_seconds
 
 
@@ -75,10 +76,20 @@ def explain_kernel(kernel_name: str, cpu: CPUModel) -> str:
         (32, PlacementPolicy.CLUSTER, DType.FP32),
         (cpu.num_cores, PlacementPolicy.CLUSTER, DType.FP32),
     ):
-        cores = assign_cores(cpu.topology, threads, placement)
-        result = simulate_kernel(
-            kernel, cpu, cores, precision, gcc
-        )
+        try:
+            cores = assign_cores(cpu.topology, threads, placement)
+            result = simulate_kernel(
+                kernel, cpu, cores, precision, gcc
+            )
+        except ReproError as exc:
+            # Degrade to an explicit gap: one failed configuration must
+            # not take down the rest of the explanation.
+            lines.append(
+                f"  {threads:>3} thread(s) {placement.value:<8} "
+                f"{precision.label}: prediction failed "
+                f"({type(exc).__name__}: {exc})"
+            )
+            continue
         lines.append(
             f"  {threads:>3} thread(s) {placement.value:<8} "
             f"{precision.label}: {format_seconds(result.seconds):>12} "

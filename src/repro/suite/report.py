@@ -90,3 +90,25 @@ def suite_average_relative(
     N times faster" statements in the paper's conclusions."""
     rel = kernel_relative(baseline, other)
     return arithmetic_mean(list(rel.values()))
+
+
+def failure_summary(result: SuiteResult) -> str:
+    """Render a suite's failures as an explicit gap report.
+
+    Tables and figures computed from a degraded result carry this
+    alongside, so a missing kernel reads as "failed after N attempts",
+    never as silently absent data.
+    """
+    if not result.failures:
+        return f"{result.cpu_name}: all {len(result.runs)} kernels ok"
+    lines = [
+        f"{result.cpu_name}: {len(result.runs)} kernels ok, "
+        f"{len(result.failures)} failed"
+    ]
+    for record in result.failures:
+        site = f" [injected: {record.site}]" if record.site else ""
+        lines.append(
+            f"  {record.kernel:<14} {record.error_type} after "
+            f"{record.attempts} attempt(s): {record.message}{site}"
+        )
+    return "\n".join(lines)

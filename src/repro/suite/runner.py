@@ -5,11 +5,21 @@ the thread placement, compiles each kernel through the compiler model,
 asks the performance model for the time, injects seeded run-to-run noise
 and averages over the configured number of runs — mirroring how the paper
 collected its numbers (five runs, -O3, pinned threads).
+
+The execution path is hardened for the flaky-hardware reality behind
+those numbers: each kernel runs in isolation under a
+:class:`~repro.resilience.retry.FailurePolicy` (abort / skip / retry
+with exponential backoff), failures are recorded on the result instead
+of aborting the suite, and a chaos :class:`FaultPlan` can be installed
+to test all of it deterministically. The default policy (ABORT, no
+retry) reproduces the historical behaviour bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,8 +30,18 @@ from repro.machine.cpu import CPUModel
 from repro.machine.vector import DType
 from repro.openmp.affinity import assign_cores
 from repro.perfmodel.execution import ExecutionResult, simulate_kernel
+from repro.resilience import chaos
+from repro.resilience.faults import FaultSite
+from repro.resilience.retry import (
+    FailurePolicy,
+    FailureRecord,
+    RetryExhaustedError,
+    RetrySpec,
+    call_with_retry,
+)
+from repro.resilience.validate import validate_cpu
 from repro.suite.config import RunConfig
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, ReproError, SimulationError
 from repro.util.rng import derive_seed, noise_factors
 from repro.util.stats import arithmetic_mean
 
@@ -35,23 +55,37 @@ class KernelRun:
     seconds: float  # run-averaged
     prediction: ExecutionResult
     report: VectorizationReport
+    attempts: int = 1  # attempts it took under the retry policy
 
 
 @dataclass(frozen=True)
 class SuiteResult:
-    """All kernel outcomes for one (machine, configuration) pair."""
+    """All kernel outcomes for one (machine, configuration) pair.
+
+    ``failures`` lists kernels that never produced a time under a
+    non-ABORT failure policy; reports render those as explicit gaps
+    instead of crashing.
+    """
 
     cpu_name: str
     config: RunConfig
     runs: dict[str, KernelRun]
+    failures: tuple[FailureRecord, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
-        if not self.runs:
+        if not self.runs and not self.failures:
             raise ConfigError("suite result contains no kernels")
 
     def time(self, kernel_name: str) -> float:
         key = kernel_name.upper()
         if key not in self.runs:
+            failed = self.failed_kernels()
+            if key in failed:
+                record = failed[key]
+                raise ConfigError(
+                    f"kernel {kernel_name!r} failed after "
+                    f"{record.attempts} attempt(s): {record.message}"
+                )
             raise ConfigError(f"no result for kernel {kernel_name!r}")
         return self.runs[key].seconds
 
@@ -70,6 +104,17 @@ class SuiteResult:
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.runs.values())
 
+    def failed_kernels(self) -> dict[str, FailureRecord]:
+        """Failure records keyed by (upper-cased) kernel name."""
+        return {f.kernel.upper(): f for f in self.failures}
+
+    def total_attempts(self) -> int:
+        """Attempts across all kernels, successes and failures alike."""
+        return (
+            sum(r.attempts for r in self.runs.values())
+            + sum(f.attempts for f in self.failures)
+        )
+
 
 def _noisy_average(base_seconds: float, seed: int, runs: int,
                    sigma: float) -> float:
@@ -78,57 +123,149 @@ def _noisy_average(base_seconds: float, seed: int, runs: int,
     return float(base_seconds * np.mean(factors))
 
 
+def _run_one_kernel(
+    kernel: Kernel,
+    cpu: CPUModel,
+    config: RunConfig,
+    compiler,
+    cores: tuple[int, ...],
+) -> KernelRun:
+    """The per-kernel unit of work the failure policy isolates."""
+    chaos.raise_if_fault(FaultSite.RUN, kernel.name, kernel.klass)
+    if config.vectorize:
+        report = analyze(
+            compiler,
+            kernel,
+            cpu.core.isa,
+            flavor=config.flavor,
+            rollback=config.rollback,
+        )
+    else:
+        report = VectorizationReport(
+            vectorized=False,
+            vector_path_executed=False,
+            flavor=None,
+            efficiency=1.0,
+            reason="vectorization disabled",
+        )
+    size = max(1, int(round(kernel.default_size * config.size_scale)))
+    prediction = simulate_kernel(
+        kernel, cpu, cores, config.precision, report, n=size
+    )
+    seed = derive_seed(
+        cpu.name, kernel.name, config.threads,
+        config.placement.value, config.precision.label,
+        config.vectorize, compiler.name, config.flavor.value,
+    )
+    seconds = _noisy_average(
+        prediction.seconds, seed, config.runs, config.noise_sigma
+    )
+    if not math.isfinite(seconds) or seconds <= 0:
+        raise SimulationError(
+            f"{kernel.name}: run-averaged time is not a positive finite "
+            f"number ({seconds})"
+        )
+    return KernelRun(
+        kernel_name=kernel.name,
+        klass=kernel.klass,
+        seconds=seconds,
+        prediction=prediction,
+        report=report,
+    )
+
+
 def run_suite(
     cpu: CPUModel,
     config: RunConfig,
     kernels: list[Kernel] | None = None,
+    *,
+    policy: FailurePolicy = FailurePolicy.ABORT,
+    retry: RetrySpec | None = None,
 ) -> SuiteResult:
-    """Run (predict) the whole suite on ``cpu`` under ``config``."""
+    """Run (predict) the whole suite on ``cpu`` under ``config``.
+
+    Args:
+        cpu: Machine model (re-validated before the run).
+        config: The run configuration.
+        kernels: Subset to run; defaults to all 64.
+        policy: What a kernel failure does to the rest of the suite —
+            ABORT (default, historical behaviour), SKIP (record and
+            continue) or RETRY (retry per ``retry``, then record).
+        retry: Attempt/backoff budget for the RETRY policy; defaults to
+            ``RetrySpec()`` (3 retries, no sleeping). Ignored otherwise.
+    """
     if kernels is None:
         kernels = all_kernels()
     if not kernels:
         raise ConfigError("kernel list is empty")
+    if isinstance(policy, str):
+        policy = FailurePolicy.from_label(policy)
+    validate_cpu(cpu)
+    chaos.raise_if_fault(FaultSite.MACHINE)
     compiler = config.resolve_compiler(cpu)
     cores = assign_cores(cpu.topology, config.threads, config.placement)
+    spec = retry if retry is not None else RetrySpec()
 
     runs: dict[str, KernelRun] = {}
+    failures: list[FailureRecord] = []
     for kernel in kernels:
-        if config.vectorize:
-            report = analyze(
-                compiler,
-                kernel,
-                cpu.core.isa,
-                flavor=config.flavor,
-                rollback=config.rollback,
+        # First attempt runs inline for every policy: the fault-free
+        # path pays only this try/except, keeping the hardened runner
+        # seed-identical and essentially free next to the legacy one.
+        try:
+            runs[kernel.name] = _run_one_kernel(
+                kernel, cpu, config, compiler, cores
             )
-        else:
-            report = VectorizationReport(
-                vectorized=False,
-                vector_path_executed=False,
-                flavor=None,
-                efficiency=1.0,
-                reason="vectorization disabled",
+            continue
+        except ReproError as exc:
+            if policy is FailurePolicy.ABORT:
+                raise
+            if policy is FailurePolicy.SKIP or spec.max_retries == 0:
+                failures.append(
+                    FailureRecord.from_exception(kernel.name, exc, 1)
+                )
+                continue
+        # RETRY: attempt 1 is spent; sleep the first backoff here, then
+        # hand the rest of the budget to the retry engine (its attempt k
+        # is overall attempt k + 1, so its backoff base advances one
+        # step to keep the exponential schedule intact).
+        first_pause = spec.backoff_seconds(1)
+        if first_pause > 0:
+            time.sleep(first_pause)
+        try:
+            run, engine_attempts = call_with_retry(
+                lambda k=kernel: _run_one_kernel(
+                    k, cpu, config, compiler, cores
+                ),
+                RetrySpec(
+                    max_retries=spec.max_retries - 1,
+                    backoff_base_s=(
+                        spec.backoff_base_s * spec.backoff_factor
+                    ),
+                    backoff_factor=spec.backoff_factor,
+                    deadline_s=spec.deadline_s,
+                ),
             )
-        size = max(1, int(round(kernel.default_size * config.size_scale)))
-        prediction = simulate_kernel(
-            kernel, cpu, cores, config.precision, report, n=size
-        )
-        seed = derive_seed(
-            cpu.name, kernel.name, config.threads,
-            config.placement.value, config.precision.label,
-            config.vectorize, compiler.name, config.flavor.value,
-        )
-        seconds = _noisy_average(
-            prediction.seconds, seed, config.runs, config.noise_sigma
-        )
-        runs[kernel.name] = KernelRun(
-            kernel_name=kernel.name,
-            klass=kernel.klass,
-            seconds=seconds,
-            prediction=prediction,
-            report=report,
-        )
-    return SuiteResult(cpu_name=cpu.name, config=config, runs=runs)
+            runs[kernel.name] = KernelRun(
+                kernel_name=run.kernel_name,
+                klass=run.klass,
+                seconds=run.seconds,
+                prediction=run.prediction,
+                report=run.report,
+                attempts=engine_attempts + 1,
+            )
+        except RetryExhaustedError as exc:
+            failures.append(
+                FailureRecord.from_exception(
+                    kernel.name, exc.last, exc.attempts + 1
+                )
+            )
+    return SuiteResult(
+        cpu_name=cpu.name,
+        config=config,
+        runs=runs,
+        failures=tuple(failures),
+    )
 
 
 def verify_kernel(

@@ -4,19 +4,28 @@ The experiments hand-roll their specific sweeps; this module provides
 the general tool a user points at their own question — "which
 configuration is best for these kernels on this machine?" — with tidy
 long-format results and CSV export.
+
+Sweeps are resilient: per-kernel failures degrade to explicit
+``failures`` records under the skip/retry policies instead of killing
+the grid, and a JSONL checkpoint (``checkpoint=``) persists completed
+points so a killed sweep resumes mid-grid without recomputing them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields as dataclass_fields
 from itertools import product
+from pathlib import Path
 from typing import Sequence
 
 from repro.kernels.base import Kernel
 from repro.machine.cpu import CPUModel
+from repro.resilience.checkpoint import SweepCheckpoint, point_key
+from repro.resilience.retry import FailurePolicy, FailureRecord, RetrySpec
 from repro.suite.config import Placement, Precision, RunConfig
 from repro.suite.runner import SuiteResult, run_suite
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, ReproError
+from repro.util.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -32,17 +41,47 @@ class SweepPoint:
 
 
 @dataclass(frozen=True)
+class SweepFailure:
+    """One kernel (or whole configuration) that failed inside a sweep.
+
+    ``kernel`` is ``"*"`` when the entire configuration failed before
+    any kernel ran (e.g. a corrupted machine description).
+    """
+
+    cpu: str
+    threads: int
+    placement: Placement
+    precision: Precision
+    kernel: str
+    error_type: str
+    message: str
+    attempts: int
+    site: str | None = None
+
+
+#: Attribute names ``SweepResult.filtered`` accepts as criteria.
+_POINT_ATTRS = frozenset(f.name for f in dataclass_fields(SweepPoint))
+
+
+@dataclass(frozen=True)
 class SweepResult:
-    """All points of one sweep."""
+    """All points of one sweep, plus any recorded failures."""
 
     points: tuple[SweepPoint, ...]
+    failures: tuple[SweepFailure, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
-        if not self.points:
+        if not self.points and not self.failures:
             raise ConfigError("sweep produced no points")
 
     def filtered(self, **criteria) -> list[SweepPoint]:
         """Points matching all given attribute values."""
+        unknown = sorted(set(criteria) - _POINT_ATTRS)
+        if unknown:
+            raise ConfigError(
+                f"unknown sweep point attribute(s) {unknown}; "
+                f"known: {sorted(_POINT_ATTRS)}"
+            )
         out = []
         for point in self.points:
             if all(
@@ -61,6 +100,8 @@ class SweepResult:
 
     def best_overall(self) -> tuple[int, Placement, Precision]:
         """Configuration minimizing the summed time over all kernels."""
+        if not self.points:
+            raise ConfigError("sweep has no successful points")
         totals: dict[tuple, float] = {}
         for p in self.points:
             key = (p.threads, p.placement, p.precision)
@@ -87,6 +128,41 @@ class SweepResult:
             rows,
         )
 
+    def failure_summary(self) -> str:
+        """Human-readable list of the sweep's failures (may be empty)."""
+        if not self.failures:
+            return "no failures"
+        lines = [f"{len(self.failures)} failure(s):"]
+        for f in self.failures:
+            lines.append(
+                f"  {f.kernel:<14} {f.threads:>3}t {f.placement.value:<8}"
+                f" {f.precision.label}: {f.error_type} after "
+                f"{f.attempts} attempt(s): {f.message}"
+            )
+        return "\n".join(lines)
+
+
+def _grid_hash(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    threads: Sequence[int],
+    placements: Sequence[Placement],
+    precisions: Sequence[Precision],
+    runs: int,
+    noise_sigma: float,
+) -> int:
+    """Integrity stamp tying a checkpoint to one exact sweep grid."""
+    return derive_seed(
+        "sweep-checkpoint",
+        cpu.name,
+        tuple(k.name for k in kernels),
+        tuple(int(t) for t in threads),
+        tuple(p.value for p in placements),
+        tuple(p.label for p in precisions),
+        runs,
+        noise_sigma,
+    )
+
 
 def sweep(
     cpu: CPUModel,
@@ -96,28 +172,91 @@ def sweep(
     precisions: Sequence[Precision] = (Precision.FP64,),
     runs: int = 1,
     noise_sigma: float = 0.0,
+    *,
+    policy: FailurePolicy = FailurePolicy.ABORT,
+    retry: RetrySpec | None = None,
+    checkpoint: str | Path | None = None,
 ) -> SweepResult:
-    """Run the full configuration grid and collect long-format points."""
+    """Run the full configuration grid and collect long-format points.
+
+    Args:
+        policy: Failure policy forwarded to :func:`run_suite`; non-ABORT
+            policies additionally catch whole-configuration failures
+            (recorded with ``kernel="*"``) so the rest of the grid runs.
+        retry: Retry budget for the RETRY policy.
+        checkpoint: Path of a JSONL checkpoint. Completed points are
+            flushed there as the grid progresses and skipped on resume;
+            the file's header hash must match this exact grid.
+    """
     if not kernels:
         raise ConfigError("kernel list is empty")
     if not threads or not placements or not precisions:
         raise ConfigError("sweep axes must be non-empty")
-    points: list[SweepPoint] = []
+    if isinstance(policy, str):
+        policy = FailurePolicy.from_label(policy)
     kernel_list = list(kernels)
+
+    ckpt: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        ckpt = SweepCheckpoint(
+            checkpoint,
+            _grid_hash(cpu, kernel_list, threads, placements, precisions,
+                       runs, noise_sigma),
+        )
+
+    points: list[SweepPoint] = []
+    failures: list[SweepFailure] = []
     for t, placement, precision in product(
         threads, placements, precisions
     ):
-        config = RunConfig(
-            threads=t,
-            placement=placement,
-            precision=precision,
-            runs=runs,
-            noise_sigma=noise_sigma,
-        )
-        result: SuiteResult = run_suite(cpu, config, kernels=kernel_list)
-        for name, run in result.runs.items():
-            points.append(
-                SweepPoint(
+        restored: dict[str, SweepPoint] = {}
+        todo: list[Kernel] = []
+        for kernel in kernel_list:
+            key = point_key(
+                t, placement.value, precision.label, kernel.name
+            )
+            if ckpt is not None and ckpt.has(key):
+                record = ckpt.completed[key]
+                restored[kernel.name] = SweepPoint(
+                    cpu=record.get("cpu", cpu.name),
+                    threads=t,
+                    placement=placement,
+                    precision=precision,
+                    kernel=kernel.name,
+                    seconds=float(record["seconds"]),
+                )
+            else:
+                todo.append(kernel)
+
+        fresh: dict[str, SweepPoint] = {}
+        if todo:
+            config = RunConfig(
+                threads=t,
+                placement=placement,
+                precision=precision,
+                runs=runs,
+                noise_sigma=noise_sigma,
+            )
+            try:
+                result: SuiteResult = run_suite(
+                    cpu, config, kernels=todo, policy=policy, retry=retry
+                )
+            except ReproError as exc:
+                if policy is FailurePolicy.ABORT:
+                    raise
+                failures.append(
+                    _sweep_failure(
+                        cpu.name, t, placement, precision,
+                        FailureRecord.from_exception("*", exc, 1),
+                    )
+                )
+                points.extend(
+                    restored[k.name] for k in kernel_list
+                    if k.name in restored
+                )
+                continue
+            for name, run in result.runs.items():
+                point = SweepPoint(
                     cpu=cpu.name,
                     threads=t,
                     placement=placement,
@@ -125,5 +264,45 @@ def sweep(
                     kernel=name,
                     seconds=run.seconds,
                 )
+                fresh[name] = point
+                if ckpt is not None:
+                    ckpt.record({
+                        "cpu": cpu.name,
+                        "threads": t,
+                        "placement": placement.value,
+                        "precision": precision.label,
+                        "kernel": name,
+                        "seconds": run.seconds,
+                        "attempts": run.attempts,
+                    })
+            failures.extend(
+                _sweep_failure(cpu.name, t, placement, precision, record)
+                for record in result.failures
             )
-    return SweepResult(points=tuple(points))
+
+        # Emit points in kernel order regardless of restore/run split.
+        for kernel in kernel_list:
+            point = restored.get(kernel.name) or fresh.get(kernel.name)
+            if point is not None:
+                points.append(point)
+    return SweepResult(points=tuple(points), failures=tuple(failures))
+
+
+def _sweep_failure(
+    cpu_name: str,
+    threads: int,
+    placement: Placement,
+    precision: Precision,
+    record: FailureRecord,
+) -> SweepFailure:
+    return SweepFailure(
+        cpu=cpu_name,
+        threads=threads,
+        placement=placement,
+        precision=precision,
+        kernel=record.kernel,
+        error_type=record.error_type,
+        message=record.message,
+        attempts=record.attempts,
+        site=record.site,
+    )

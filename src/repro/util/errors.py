@@ -24,6 +24,17 @@ class SimulationError(ReproError):
     description violating model invariants."""
 
 
+class TransientError(ReproError):
+    """A failure expected to clear on retry (flaky early-silicon run,
+    injected chaos fault at the ``run`` site). The resilient runner's
+    retry policy exists for exactly this class of error."""
+
+
+class CheckpointError(ConfigError):
+    """A sweep checkpoint file does not match the sweep being resumed
+    (wrong grid hash, unreadable header, incompatible version)."""
+
+
 class IsaError(ReproError):
     """Assembly could not be parsed or translated (unknown mnemonic,
     malformed operands, unsupported RVV construct)."""

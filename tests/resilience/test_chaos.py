@@ -1,0 +1,105 @@
+"""Chaos hook behaviour: sites, attempt counting, exception types."""
+
+import math
+
+import pytest
+
+from repro.resilience import chaos
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    transient_plan,
+)
+from repro.util.errors import (
+    ConfigError,
+    SimulationError,
+    TransientError,
+)
+
+
+def always(site, **kwargs):
+    return FaultPlan(seed=0, rules=(
+        FaultRule(site=site, probability=1.0, **kwargs),
+    ))
+
+
+class TestHooks:
+    def test_noop_without_plan(self):
+        chaos.raise_if_fault(FaultSite.RUN, "TRIAD")
+        assert chaos.corrupt_value(
+            FaultSite.PREDICTION, "TRIAD", 1.25
+        ) == 1.25
+        assert chaos.active_plan() is None
+
+    def test_run_site_raises_transient(self):
+        with chaos.inject_faults(always(FaultSite.RUN)):
+            with pytest.raises(TransientError) as err:
+                chaos.raise_if_fault(FaultSite.RUN, "TRIAD")
+        assert err.value.fault_site == "run"
+
+    def test_simulate_site_raises_simulation_error(self):
+        with chaos.inject_faults(always(FaultSite.SIMULATE)):
+            with pytest.raises(SimulationError):
+                chaos.raise_if_fault(FaultSite.SIMULATE, "TRIAD")
+
+    def test_machine_site_raises_config_error(self):
+        with chaos.inject_faults(always(FaultSite.MACHINE)):
+            with pytest.raises(ConfigError):
+                chaos.raise_if_fault(FaultSite.MACHINE)
+
+    def test_prediction_nan_corruption(self):
+        with chaos.inject_faults(always(FaultSite.PREDICTION, mode="nan")):
+            value = chaos.corrupt_value(FaultSite.PREDICTION, "X", 2.0)
+        assert math.isnan(value)
+
+    def test_prediction_negative_corruption(self):
+        with chaos.inject_faults(
+            always(FaultSite.PREDICTION, mode="negative")
+        ):
+            assert chaos.corrupt_value(
+                FaultSite.PREDICTION, "X", 2.0
+            ) == -2.0
+
+    def test_transient_clears_after_max_failures(self):
+        plan = transient_plan(seed=1, probability=1.0, max_failures=2)
+        with chaos.inject_faults(plan):
+            for _ in range(2):
+                with pytest.raises(TransientError):
+                    chaos.raise_if_fault(FaultSite.RUN, "TRIAD")
+            chaos.raise_if_fault(FaultSite.RUN, "TRIAD")  # healed
+            # Counters are per kernel: a fresh kernel fails again.
+            with pytest.raises(TransientError):
+                chaos.raise_if_fault(FaultSite.RUN, "GEMM")
+
+    def test_injection_log_records_faults(self):
+        plan = transient_plan(seed=1, probability=1.0, max_failures=1)
+        with chaos.inject_faults(plan):
+            with pytest.raises(TransientError):
+                chaos.raise_if_fault(FaultSite.RUN, "TRIAD")
+            log = chaos.injection_log()
+        assert len(log) == 1
+        assert log[0].kernel == "TRIAD"
+        assert log[0].site is FaultSite.RUN
+        assert log[0].attempt == 1
+
+    def test_counters_reset_per_installation(self):
+        plan = transient_plan(seed=1, probability=1.0, max_failures=1)
+        for _ in range(2):
+            with chaos.inject_faults(plan):
+                with pytest.raises(TransientError):
+                    chaos.raise_if_fault(FaultSite.RUN, "TRIAD")
+
+    def test_nested_plans_rejected(self):
+        plan = transient_plan(seed=1, probability=1.0)
+        with chaos.inject_faults(plan):
+            with pytest.raises(ConfigError):
+                with chaos.inject_faults(plan):
+                    pass
+
+    def test_plan_uninstalled_after_exception(self):
+        plan = transient_plan(seed=1, probability=1.0)
+        with pytest.raises(RuntimeError):
+            with chaos.inject_faults(plan):
+                raise RuntimeError("boom")
+        assert chaos.active_plan() is None

@@ -1,0 +1,193 @@
+"""Checkpoint/resume: integrity header, torn lines, mid-grid resume
+without recomputation, and seed-identical resumed results."""
+
+import json
+
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    point_key,
+)
+from repro.suite.config import Placement, Precision
+from repro.suite import sweep as sweep_mod
+from repro.suite.sweep import sweep
+from repro.util.errors import CheckpointError
+
+
+KERNELS = ("TRIAD", "GEMM", "DOT")
+GRID = dict(
+    threads=(1, 8),
+    placements=(Placement.CLUSTER,),
+    precisions=(Precision.FP32,),
+)
+
+
+def grid_kernels():
+    return [get_kernel(name) for name in KERNELS]
+
+
+def run_grid(cpu, **kwargs):
+    return sweep(cpu, grid_kernels(), **GRID, **kwargs)
+
+
+class TestSweepCheckpointFile:
+    def test_creates_header(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        SweepCheckpoint(path, grid_hash=123)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "version": CHECKPOINT_VERSION, "grid_hash": 123,
+        }
+
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        ck.record({"threads": 1, "placement": "cluster",
+                   "precision": "fp32", "kernel": "TRIAD",
+                   "seconds": 0.5})
+        again = SweepCheckpoint(path, grid_hash=1)
+        assert len(again) == 1
+        assert again.has(point_key(1, "cluster", "fp32", "TRIAD"))
+
+    def test_mismatched_grid_hash_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        SweepCheckpoint(path, grid_hash=1)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            SweepCheckpoint(path, grid_hash=2)
+
+    def test_unreadable_header_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(CheckpointError, match="header"):
+            SweepCheckpoint(path, grid_hash=1)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text(json.dumps(
+            {"version": 999, "grid_hash": 1}
+        ) + "\n")
+        with pytest.raises(CheckpointError, match="version"):
+            SweepCheckpoint(path, grid_hash=1)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        ck.record({"threads": 1, "placement": "cluster",
+                   "precision": "fp32", "kernel": "TRIAD",
+                   "seconds": 0.5})
+        with path.open("a") as fh:
+            fh.write('{"threads": 8, "placement": "clu')  # kill mid-write
+        again = SweepCheckpoint(path, grid_hash=1)
+        assert len(again) == 1
+
+    def test_corrupt_interior_line_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        lines = path.read_text()
+        path.write_text(lines + "garbage\n" + json.dumps({
+            "threads": 1, "placement": "cluster", "precision": "fp32",
+            "kernel": "TRIAD", "seconds": 0.5,
+        }) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            SweepCheckpoint(path, grid_hash=1)
+
+    def test_missing_point_fields_rejected(self, tmp_path):
+        ck = SweepCheckpoint(tmp_path / "ck.jsonl", grid_hash=1)
+        with pytest.raises(CheckpointError, match="missing"):
+            ck.record({"threads": 1, "seconds": 0.5})
+
+    def test_duplicate_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        point = {"threads": 1, "placement": "cluster",
+                 "precision": "fp32", "kernel": "TRIAD", "seconds": 0.5}
+        ck.record(point)
+        ck.record(point)
+        assert len(path.read_text().splitlines()) == 2  # header + 1
+
+
+class TestSweepResume:
+    def test_full_run_writes_all_points(self, sg2042, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        result = run_grid(sg2042, checkpoint=path)
+        assert len(result.points) == 6
+        assert len(path.read_text().splitlines()) == 7  # header + 6
+
+    def test_resume_skips_completed_points(
+        self, sg2042, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "sweep.jsonl"
+        full = run_grid(sg2042, checkpoint=path)
+
+        # Simulate a kill after 4 completed points: drop the last 2.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:5]) + "\n")
+
+        ran: list[str] = []
+        real_run_suite = sweep_mod.run_suite
+
+        def counting_run_suite(cpu, config, kernels=None, **kwargs):
+            ran.extend(k.name for k in kernels)
+            return real_run_suite(cpu, config, kernels=kernels, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "run_suite", counting_run_suite)
+        resumed = run_grid(sg2042, checkpoint=path)
+        assert len(ran) == 2  # only the dropped points recompute
+        assert [(p.kernel, p.threads, p.seconds) for p in resumed.points] \
+            == [(p.kernel, p.threads, p.seconds) for p in full.points]
+
+    def test_fully_checkpointed_sweep_runs_nothing(
+        self, sg2042, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "sweep.jsonl"
+        full = run_grid(sg2042, checkpoint=path)
+
+        def exploding_run_suite(*args, **kwargs):
+            raise AssertionError("should not recompute anything")
+
+        monkeypatch.setattr(sweep_mod, "run_suite", exploding_run_suite)
+        resumed = run_grid(sg2042, checkpoint=path)
+        assert [p.seconds for p in resumed.points] \
+            == [p.seconds for p in full.points]
+
+    def test_resumed_numbers_match_uncheckpointed_run(
+        self, sg2042, tmp_path
+    ):
+        path = tmp_path / "sweep.jsonl"
+        run_grid(sg2042, checkpoint=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = run_grid(sg2042, checkpoint=path)
+        plain = run_grid(sg2042)
+        assert [(p.kernel, p.seconds) for p in resumed.points] \
+            == [(p.kernel, p.seconds) for p in plain.points]
+
+    def test_different_grid_rejects_checkpoint(self, sg2042, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_grid(sg2042, checkpoint=path)
+        with pytest.raises(CheckpointError, match="different sweep"):
+            sweep(
+                sg2042, grid_kernels(),
+                threads=(1, 32),  # different axis
+                placements=(Placement.CLUSTER,),
+                precisions=(Precision.FP32,),
+                checkpoint=path,
+            )
+
+    def test_failed_kernels_are_not_checkpointed(self, sg2042, tmp_path):
+        from repro.resilience import chaos
+        from repro.resilience.faults import transient_plan
+        from repro.resilience.retry import FailurePolicy
+
+        path = tmp_path / "sweep.jsonl"
+        always = transient_plan(seed=1, probability=1.0)
+        with chaos.inject_faults(always):
+            run_grid(sg2042, checkpoint=path,
+                     policy=FailurePolicy.SKIP)
+        assert len(path.read_text().splitlines()) == 1  # header only
+        # Resume without the faults: everything recomputes cleanly.
+        resumed = run_grid(sg2042, checkpoint=path)
+        assert len(resumed.points) == 6

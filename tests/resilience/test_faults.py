@@ -1,0 +1,148 @@
+"""Fault plan semantics: determinism, matching, serialization."""
+
+import pytest
+
+from repro.kernels.base import KernelClass
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    load_fault_plan,
+    transient_plan,
+)
+from repro.util.errors import ConfigError
+
+
+class TestFaultRule:
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultRule(site=FaultSite.RUN, probability=1.5)
+        with pytest.raises(ConfigError):
+            FaultRule(site=FaultSite.RUN, probability=-0.1)
+
+    def test_string_site_coerced(self):
+        rule = FaultRule(site="run")
+        assert rule.site is FaultSite.RUN
+
+    def test_kernel_names_uppercased(self):
+        rule = FaultRule(site=FaultSite.RUN, kernels=("triad",))
+        assert rule.matches("TRIAD", None)
+        assert not rule.matches("GEMM", None)
+
+    def test_class_filter(self):
+        rule = FaultRule(site=FaultSite.RUN, klass=KernelClass.STREAM)
+        assert rule.matches("TRIAD", KernelClass.STREAM)
+        assert not rule.matches("GEMM", KernelClass.POLYBENCH)
+
+    def test_bad_prediction_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRule(site=FaultSite.PREDICTION, mode="zero")
+
+    def test_max_failures_positive(self):
+        with pytest.raises(ConfigError):
+            FaultRule(site=FaultSite.RUN, max_failures=0)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSite.from_label("meteor-strike")
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = transient_plan(seed=11, probability=0.3)
+        b = transient_plan(seed=11, probability=0.3)
+        decisions_a = [
+            a.fires(FaultSite.RUN, "TRIAD", None, n, 0) is not None
+            for n in range(1, 50)
+        ]
+        decisions_b = [
+            b.fires(FaultSite.RUN, "TRIAD", None, n, 0) is not None
+            for n in range(1, 50)
+        ]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_differ(self):
+        a = transient_plan(seed=1, probability=0.5)
+        b = transient_plan(seed=2, probability=0.5)
+        decisions_a = [
+            a.fires(FaultSite.RUN, "TRIAD", None, n, 0) is not None
+            for n in range(1, 100)
+        ]
+        decisions_b = [
+            b.fires(FaultSite.RUN, "TRIAD", None, n, 0) is not None
+            for n in range(1, 100)
+        ]
+        assert decisions_a != decisions_b
+
+    def test_probability_one_always_fires(self):
+        plan = transient_plan(seed=3, probability=1.0)
+        assert plan.fires(FaultSite.RUN, "X", None, 1, 0) is not None
+
+    def test_probability_zero_never_fires(self):
+        plan = transient_plan(seed=3, probability=0.0)
+        assert all(
+            plan.fires(FaultSite.RUN, "X", None, n, 0) is None
+            for n in range(1, 30)
+        )
+
+    def test_max_failures_stops_firing(self):
+        plan = transient_plan(seed=5, probability=1.0, max_failures=2)
+        assert plan.fires(FaultSite.RUN, "X", None, 1, 0) is not None
+        assert plan.fires(FaultSite.RUN, "X", None, 2, 1) is not None
+        assert plan.fires(FaultSite.RUN, "X", None, 3, 2) is None
+
+    def test_wrong_site_never_fires(self):
+        plan = transient_plan(seed=5, probability=1.0)
+        assert plan.fires(FaultSite.SIMULATE, "X", None, 1, 0) is None
+
+    def test_bad_attempt_rejected(self):
+        plan = transient_plan(seed=5, probability=1.0)
+        with pytest.raises(ConfigError):
+            plan.fires(FaultSite.RUN, "X", None, 0, 0)
+
+    def test_rate_roughly_matches_probability(self):
+        plan = transient_plan(seed=9, probability=0.2)
+        fired = sum(
+            plan.fires(FaultSite.RUN, f"K{i}", None, 1, 0) is not None
+            for i in range(500)
+        )
+        assert 60 <= fired <= 140  # 0.2 +- generous tolerance
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            rules=(
+                FaultRule(site=FaultSite.RUN, probability=0.2,
+                          max_failures=2),
+                FaultRule(site=FaultSite.PREDICTION, probability=1.0,
+                          kernels=("TRIAD",), mode="negative"),
+                FaultRule(site=FaultSite.SIMULATE,
+                          klass=KernelClass.STREAM),
+            ),
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(transient_plan(1, 0.5).to_json())
+        assert load_fault_plan(path) == transient_plan(1, 0.5)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_fault_plan(tmp_path / "absent.json")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json("{}")  # no seed
+
+    def test_rule_needs_site(self):
+        with pytest.raises(ConfigError):
+            FaultRule.from_dict({"probability": 0.5})

@@ -1,0 +1,140 @@
+"""Retry engine: policies, backoff schedule, deadlines, records."""
+
+import pytest
+
+from repro.resilience.retry import (
+    FailurePolicy,
+    FailureRecord,
+    RetryExhaustedError,
+    RetrySpec,
+    call_with_retry,
+)
+from repro.util.errors import ConfigError, TransientError
+
+
+class Flaky:
+    """Callable failing the first ``failures`` times."""
+
+    def __init__(self, failures: int, value: float = 42.0):
+        self.failures = failures
+        self.calls = 0
+        self.value = value
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise TransientError(f"flake #{self.calls}")
+        return self.value
+
+
+class TestFailurePolicy:
+    def test_labels_round_trip(self):
+        for policy in FailurePolicy:
+            assert FailurePolicy.from_label(policy.value) is policy
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigError):
+            FailurePolicy.from_label("panic")
+
+
+class TestRetrySpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetrySpec(max_retries=-1)
+        with pytest.raises(ConfigError):
+            RetrySpec(backoff_base_s=-0.1)
+        with pytest.raises(ConfigError):
+            RetrySpec(backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            RetrySpec(deadline_s=0)
+
+    def test_backoff_schedule_is_exponential(self):
+        spec = RetrySpec(backoff_base_s=0.1, backoff_factor=2.0)
+        assert spec.backoff_seconds(1) == pytest.approx(0.1)
+        assert spec.backoff_seconds(2) == pytest.approx(0.2)
+        assert spec.backoff_seconds(3) == pytest.approx(0.4)
+        with pytest.raises(ConfigError):
+            spec.backoff_seconds(0)
+
+
+class TestCallWithRetry:
+    def test_success_first_try(self):
+        value, attempts = call_with_retry(Flaky(0), RetrySpec())
+        assert (value, attempts) == (42.0, 1)
+
+    def test_success_after_retries(self):
+        value, attempts = call_with_retry(
+            Flaky(2), RetrySpec(max_retries=3)
+        )
+        assert (value, attempts) == (42.0, 3)
+
+    def test_exhaustion_raises_with_counts(self):
+        with pytest.raises(RetryExhaustedError) as err:
+            call_with_retry(Flaky(10), RetrySpec(max_retries=2))
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last, TransientError)
+
+    def test_zero_retries_means_single_attempt(self):
+        flaky = Flaky(1)
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(flaky, RetrySpec(max_retries=0))
+        assert flaky.calls == 1
+
+    def test_non_repro_errors_propagate_immediately(self):
+        def broken():
+            raise ValueError("bug, not flake")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, RetrySpec(max_retries=5))
+
+    def test_backoff_sleeps_recorded(self):
+        sleeps: list[float] = []
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(
+                Flaky(10),
+                RetrySpec(max_retries=3, backoff_base_s=0.5,
+                          backoff_factor=2.0),
+                sleep=sleeps.append,
+            )
+        assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_zero_backoff_never_sleeps(self):
+        sleeps: list[float] = []
+        call_with_retry(
+            Flaky(2), RetrySpec(max_retries=3), sleep=sleeps.append
+        )
+        assert sleeps == []
+
+    def test_deadline_stops_retries(self):
+        now = [0.0]
+
+        def clock():
+            now[0] += 10.0
+            return now[0]
+
+        with pytest.raises(RetryExhaustedError) as err:
+            call_with_retry(
+                Flaky(10),
+                RetrySpec(max_retries=100, deadline_s=25.0),
+                clock=clock,
+            )
+        # start=10; retries allowed while elapsed < 25 -> a handful of
+        # attempts, far fewer than the 101-attempt budget.
+        assert err.value.attempts < 10
+
+
+class TestFailureRecord:
+    def test_from_exception_captures_site(self):
+        exc = TransientError("injected")
+        exc.fault_site = "run"
+        record = FailureRecord.from_exception("TRIAD", exc, 4)
+        assert record.kernel == "TRIAD"
+        assert record.error_type == "TransientError"
+        assert record.attempts == 4
+        assert record.site == "run"
+
+    def test_from_exception_without_site(self):
+        record = FailureRecord.from_exception(
+            "GEMM", ConfigError("bad"), 1
+        )
+        assert record.site is None

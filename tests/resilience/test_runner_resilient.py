@@ -1,0 +1,243 @@
+"""Resilient suite execution under injected faults — the acceptance
+scenarios: a seeded 20% transient failure rate across the full suite
+must complete under the retry policy (everything eventually succeeds,
+attempts recorded) and under the skip policy (failures listed, surviving
+points intact), while the no-plan path stays seed-identical."""
+
+import pytest
+
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.resilience import chaos
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    transient_plan,
+)
+from repro.resilience.retry import FailurePolicy, RetrySpec
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.report import failure_summary
+from repro.suite.runner import run_suite
+from repro.suite.sweep import sweep
+from repro.util.errors import ConfigError, ReproError
+
+#: The acceptance-criteria plan: 20% per-kernel transient failures,
+#: bounded at 2 injected failures per kernel so retry always converges.
+TWENTY_PCT = transient_plan(seed=2042, probability=0.2, max_failures=2)
+
+
+@pytest.fixture
+def config():
+    return RunConfig(threads=4, precision="fp32")
+
+
+class TestRetryPolicy:
+    def test_full_suite_completes_with_attempts_recorded(
+        self, sg2042, config
+    ):
+        with chaos.inject_faults(TWENTY_PCT):
+            result = run_suite(
+                sg2042, config,
+                policy=FailurePolicy.RETRY,
+                retry=RetrySpec(max_retries=3),
+            )
+            injected = len(chaos.injection_log())
+        assert len(result.runs) == 64
+        assert not result.failures
+        retried = [r for r in result.runs.values() if r.attempts > 1]
+        assert injected > 0
+        assert len(retried) > 0
+        assert result.total_attempts() == 64 + injected
+
+    def test_retry_results_match_fault_free_run(self, sg2042, config):
+        with chaos.inject_faults(TWENTY_PCT):
+            faulted = run_suite(
+                sg2042, config,
+                policy=FailurePolicy.RETRY,
+                retry=RetrySpec(max_retries=3),
+            )
+        clean = run_suite(sg2042, config)
+        for name in clean.runs:
+            assert faulted.time(name) == clean.time(name)
+
+    def test_exhausted_retries_degrade_to_failure(self, sg2042, config):
+        always = transient_plan(seed=1, probability=1.0)
+        with chaos.inject_faults(always):
+            result = run_suite(
+                sg2042, config,
+                kernels=[get_kernel("TRIAD"), get_kernel("GEMM")],
+                policy=FailurePolicy.RETRY,
+                retry=RetrySpec(max_retries=2),
+            )
+        assert not result.runs
+        assert len(result.failures) == 2
+        assert all(f.attempts == 3 for f in result.failures)
+        assert all(f.site == "run" for f in result.failures)
+
+
+class TestSkipPolicy:
+    def test_failures_listed_and_survivors_intact(self, sg2042, config):
+        with chaos.inject_faults(TWENTY_PCT):
+            result = run_suite(
+                sg2042, config, policy=FailurePolicy.SKIP
+            )
+        assert result.failures  # 20% of 64 — some must fail
+        assert len(result.runs) + len(result.failures) == 64
+        clean = run_suite(sg2042, config)
+        for name in result.runs:
+            assert result.time(name) == clean.time(name)
+
+    def test_time_on_failed_kernel_explains_failure(self, sg2042, config):
+        always = transient_plan(seed=1, probability=1.0)
+        with chaos.inject_faults(always):
+            result = run_suite(
+                sg2042, config, kernels=[get_kernel("TRIAD")],
+                policy=FailurePolicy.SKIP,
+            )
+        with pytest.raises(ConfigError, match="failed after 1 attempt"):
+            result.time("TRIAD")
+
+    def test_failure_summary_renders_gaps(self, sg2042, config):
+        with chaos.inject_faults(TWENTY_PCT):
+            result = run_suite(
+                sg2042, config, policy=FailurePolicy.SKIP
+            )
+        text = failure_summary(result)
+        assert "failed" in text
+        assert "[injected: run]" in text
+
+    def test_failure_summary_clean_suite(self, sg2042, config):
+        result = run_suite(sg2042, config)
+        assert "all 64 kernels ok" in failure_summary(result)
+
+
+class TestAbortPolicy:
+    def test_abort_is_default_and_raises(self, sg2042, config):
+        always = transient_plan(seed=1, probability=1.0)
+        with chaos.inject_faults(always):
+            with pytest.raises(ReproError):
+                run_suite(sg2042, config)
+
+
+class TestOtherSites:
+    def test_simulate_site_degrades_gracefully(self, sg2042, config):
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(site=FaultSite.SIMULATE, probability=1.0,
+                      kernels=("TRIAD",)),
+        ))
+        with chaos.inject_faults(plan):
+            result = run_suite(
+                sg2042, config, policy=FailurePolicy.SKIP
+            )
+        assert result.failed_kernels().keys() == {"TRIAD"}
+        assert result.failed_kernels()["TRIAD"].error_type == (
+            "SimulationError"
+        )
+
+    @pytest.mark.parametrize("mode", ["nan", "negative"])
+    def test_prediction_corruption_is_caught_not_silent(
+        self, sg2042, config, mode
+    ):
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(site=FaultSite.PREDICTION, probability=1.0,
+                      kernels=("TRIAD",), mode=mode),
+        ))
+        with chaos.inject_faults(plan):
+            result = run_suite(
+                sg2042, config, policy=FailurePolicy.SKIP
+            )
+        assert "TRIAD" in result.failed_kernels()
+        # Corruption never leaks into the surviving numbers.
+        assert all(r.seconds > 0 for r in result.runs.values())
+
+    def test_machine_site_aborts_whole_config(self, sg2042, config):
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(site=FaultSite.MACHINE, probability=1.0),
+        ))
+        with chaos.inject_faults(plan):
+            with pytest.raises(ConfigError, match="machine description"):
+                run_suite(sg2042, config, policy=FailurePolicy.SKIP)
+
+
+class TestSweepResilience:
+    def test_sweep_skip_policy_records_failures(self, sg2042):
+        with chaos.inject_faults(TWENTY_PCT):
+            result = sweep(
+                sg2042,
+                kernels=all_kernels(),
+                threads=(1,),
+                placements=(Placement.CLUSTER,),
+                precisions=(Precision.FP32,),
+                policy=FailurePolicy.SKIP,
+            )
+        assert result.failures
+        assert len(result.points) + len(result.failures) == 64
+        clean = sweep(
+            sg2042,
+            kernels=all_kernels(),
+            threads=(1,),
+            placements=(Placement.CLUSTER,),
+            precisions=(Precision.FP32,),
+        )
+        clean_by_kernel = {p.kernel: p.seconds for p in clean.points}
+        for point in result.points:
+            assert point.seconds == clean_by_kernel[point.kernel]
+
+    def test_sweep_retry_policy_completes_grid(self, sg2042):
+        with chaos.inject_faults(TWENTY_PCT):
+            result = sweep(
+                sg2042,
+                kernels=all_kernels(),
+                threads=(1, 8),
+                placements=(Placement.CLUSTER,),
+                precisions=(Precision.FP32,),
+                policy=FailurePolicy.RETRY,
+                retry=RetrySpec(max_retries=3),
+            )
+        assert not result.failures
+        assert len(result.points) == 128
+
+    def test_machine_fault_fails_config_not_grid(self, sg2042):
+        # Fault on the first MACHINE evaluation only: the first config
+        # fails wholesale, the second completes.
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(site=FaultSite.MACHINE, probability=1.0,
+                      max_failures=1),
+        ))
+        kernels = [get_kernel("TRIAD"), get_kernel("GEMM")]
+        with chaos.inject_faults(plan):
+            result = sweep(
+                sg2042, kernels,
+                threads=(1, 8),
+                placements=(Placement.CLUSTER,),
+                precisions=(Precision.FP32,),
+                policy=FailurePolicy.SKIP,
+            )
+        assert [f.kernel for f in result.failures] == ["*"]
+        assert {p.threads for p in result.points} == {8}
+        assert "failure(s)" in result.failure_summary()
+
+    def test_sweep_abort_policy_raises(self, sg2042):
+        always = transient_plan(seed=1, probability=1.0)
+        with chaos.inject_faults(always):
+            with pytest.raises(ReproError):
+                sweep(
+                    sg2042, [get_kernel("TRIAD")],
+                    threads=(1,),
+                    placements=(Placement.CLUSTER,),
+                    precisions=(Precision.FP32,),
+                )
+
+
+class TestSeedIdentical:
+    def test_hardened_path_matches_historical_numbers(self, sg2042):
+        """No plan installed: every policy produces identical numbers."""
+        config = RunConfig(threads=8, precision="fp32")
+        baseline = run_suite(sg2042, config)
+        for policy in (FailurePolicy.SKIP, FailurePolicy.RETRY):
+            hardened = run_suite(
+                sg2042, config, policy=policy, retry=RetrySpec()
+            )
+            assert not hardened.failures
+            for name in baseline.runs:
+                assert hardened.time(name) == baseline.time(name)

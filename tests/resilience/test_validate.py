@@ -1,0 +1,59 @@
+"""Machine-description validator: catalog passes, corruption is caught."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, Sharing
+from repro.resilience.validate import cpu_violations, validate_cpu
+from repro.util.errors import ConfigError
+
+
+class TestCatalogIsValid:
+    def test_every_catalog_machine_passes(self, all_cpus):
+        for name, cpu in all_cpus.items():
+            assert cpu_violations(cpu) == [], name
+
+    def test_validate_cpu_is_silent_on_valid(self, sg2042):
+        validate_cpu(sg2042)
+
+
+class TestCorruptionCaught:
+    def test_non_monotone_cache_capacities(self, sg2042):
+        # Valid per-level and latency-monotone, but L2 smaller than L1:
+        # only the cross-cutting validator can catch this.
+        shrinking = CacheHierarchy(levels=(
+            CacheLevel(name="L1D", capacity_bytes=64 * 1024,
+                       sharing=Sharing.CORE, latency_cycles=4),
+            CacheLevel(name="L2", capacity_bytes=32 * 1024,
+                       sharing=Sharing.CLUSTER, latency_cycles=12),
+        ))
+        with pytest.raises(ConfigError, match="monotone"):
+            replace(sg2042, caches=shrinking)
+
+    def test_fractional_fp_issue_width(self, sg2042):
+        with pytest.raises(ConfigError, match="issue width"):
+            replace(sg2042, core=replace(
+                sg2042.core, fp_ops_per_cycle=0.5
+            ))
+
+    def test_fractional_ls_issue_width(self, sg2042):
+        with pytest.raises(ConfigError, match="issue width"):
+            replace(sg2042, core=replace(
+                sg2042.core, ls_ops_per_cycle=0.25
+            ))
+
+    def test_violation_message_names_machine(self, sg2042):
+        with pytest.raises(ConfigError, match="Sophon SG2042"):
+            replace(sg2042, core=replace(
+                sg2042.core, fp_ops_per_cycle=0.5
+            ))
+
+    def test_all_violations_listed(self, sg2042):
+        core = replace(
+            sg2042.core, fp_ops_per_cycle=0.5, ls_ops_per_cycle=0.5
+        )
+        with pytest.raises(ConfigError) as err:
+            replace(sg2042, core=core)
+        assert "fp_ops_per_cycle" in str(err.value)
+        assert "ls_ops_per_cycle" in str(err.value)

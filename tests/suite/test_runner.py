@@ -5,8 +5,9 @@ import pytest
 from repro.kernels.base import KernelClass
 from repro.kernels.registry import get_kernel, kernels_in_class
 from repro.machine.vector import DType
+from repro.resilience.retry import FailureRecord
 from repro.suite.config import RunConfig
-from repro.suite.runner import run_suite, verify_kernel
+from repro.suite.runner import SuiteResult, run_suite, verify_kernel
 from repro.util.errors import ConfigError
 
 
@@ -79,6 +80,42 @@ class TestRunSuite:
         assert sg_result.total_seconds() == pytest.approx(
             sum(r.seconds for r in sg_result.runs.values())
         )
+
+
+class TestSuiteResultEdgeCases:
+    def test_empty_result_rejected(self, sg_result):
+        with pytest.raises(ConfigError, match="no kernels"):
+            SuiteResult(
+                cpu_name="x", config=RunConfig(), runs={}
+            )
+
+    def test_empty_runs_allowed_with_failures(self):
+        record = FailureRecord(
+            kernel="TRIAD", error_type="TransientError",
+            message="flake", attempts=3,
+        )
+        result = SuiteResult(
+            cpu_name="x", config=RunConfig(), runs={},
+            failures=(record,),
+        )
+        assert result.total_seconds() == 0.0
+        assert result.class_means() == {}
+        assert result.total_attempts() == 3
+
+    def test_time_is_case_insensitive(self, sg_result):
+        assert sg_result.time("triad") == sg_result.time("TRIAD")
+        assert sg_result.time("Triad") == sg_result.time("TRIAD")
+
+    def test_unknown_kernel_message_names_kernel(self, sg_result):
+        with pytest.raises(ConfigError, match="NOPE"):
+            sg_result.time("NOPE")
+
+    def test_failed_kernels_empty_on_clean_run(self, sg_result):
+        assert sg_result.failed_kernels() == {}
+
+    def test_attempts_default_to_one(self, sg_result):
+        assert all(r.attempts == 1 for r in sg_result.runs.values())
+        assert sg_result.total_attempts() == 64
 
 
 class TestVerifyKernel:

@@ -64,3 +64,15 @@ class TestSweep:
     def test_empty_kernels_rejected(self, sg2042):
         with pytest.raises(ConfigError):
             sweep(sg2042, kernels=[])
+
+    def test_filtered_unknown_attribute_rejected(self, small_sweep):
+        with pytest.raises(ConfigError, match="thread_count"):
+            small_sweep.filtered(thread_count=8)
+
+    def test_filtered_error_lists_known_attributes(self, small_sweep):
+        with pytest.raises(ConfigError, match="threads"):
+            small_sweep.filtered(bogus=1)
+
+    def test_filtered_mixed_known_unknown_rejected(self, small_sweep):
+        with pytest.raises(ConfigError):
+            small_sweep.filtered(threads=8, bogus=1)

@@ -45,7 +45,7 @@ class TestRun:
         rc = main(
             ["run", "--cpu", "sg2042", "--compiler", "clang-16"]
         )
-        assert rc == 1
+        assert rc == 2
         assert "rollback" in capsys.readouterr().err
 
     def test_run_clang_with_rollback(self, capsys):

@@ -58,7 +58,7 @@ class TestSweep:
         assert main(["sweep", "--cpu", "z80"]) == 2
 
     def test_unknown_kernel_surfaces_error(self, capsys):
-        assert main(["sweep", "--kernels", "BOGUS"]) == 1
+        assert main(["sweep", "--kernels", "BOGUS"]) == 2
         assert "unknown kernel" in capsys.readouterr().err
 
 
@@ -86,7 +86,7 @@ class TestMachineFile:
         assert "Custom-920" in capsys.readouterr().out
 
     def test_missing_machine_file(self, capsys):
-        assert main(["run", "--machine-file", "/nope.json"]) == 1
+        assert main(["run", "--machine-file", "/nope.json"]) == 2
         assert "does not exist" in capsys.readouterr().err
 
 
@@ -103,7 +103,7 @@ class TestExplain:
         assert "GEMM" in capsys.readouterr().out
 
     def test_explain_unknown_kernel(self, capsys):
-        assert main(["explain", "BOGUS"]) == 1
+        assert main(["explain", "BOGUS"]) == 2
 
     def test_explain_unknown_cpu(self, capsys):
         assert main(["explain", "TRIAD", "--cpu", "z80"]) == 2

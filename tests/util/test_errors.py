@@ -1,0 +1,66 @@
+"""Exception hierarchy contract: every package error is a ReproError,
+catching ReproError never swallows programming errors."""
+
+import pytest
+
+from repro.util import errors
+from repro.util.errors import (
+    CheckpointError,
+    CompilationError,
+    ConfigError,
+    IsaError,
+    ReproError,
+    SimulationError,
+    TransientError,
+)
+
+ALL_ERRORS = (
+    ConfigError,
+    SimulationError,
+    IsaError,
+    CompilationError,
+    TransientError,
+    CheckpointError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", ALL_ERRORS)
+    def test_derives_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+        assert issubclass(exc_type, Exception)
+
+    def test_checkpoint_error_is_a_config_error(self):
+        # Callers catching ConfigError on sweep setup also see
+        # checkpoint integrity failures.
+        assert issubclass(CheckpointError, ConfigError)
+
+    def test_programming_errors_are_not_repro_errors(self):
+        for exc_type in (TypeError, ValueError, KeyError, OSError):
+            assert not issubclass(exc_type, ReproError)
+
+    def test_every_public_error_is_exported(self):
+        public = {
+            name for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), ReproError)
+        }
+        assert public == {
+            "ReproError", "ConfigError", "SimulationError", "IsaError",
+            "CompilationError", "TransientError", "CheckpointError",
+        }
+
+    def test_catching_base_catches_all(self):
+        for exc_type in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
+
+    def test_messages_preserved(self):
+        exc = TransientError("node fell over")
+        assert str(exc) == "node fell over"
+
+    def test_siblings_are_distinct(self):
+        with pytest.raises(SimulationError):
+            raise SimulationError("x")
+        assert not issubclass(SimulationError, ConfigError)
+        assert not issubclass(TransientError, SimulationError)
