@@ -1,0 +1,33 @@
+"""Static analysis over the model's own artifacts.
+
+Two analyzers turn declared characterizations into *checked*
+consequences:
+
+* :mod:`repro.analyze.races` — a dependence-based race detector over the
+  kernel loop-nest IR that classifies each kernel as parallel-safe,
+  needs-reduction, needs-atomic or serial under the fork-join static
+  schedule, and cross-checks the verdict against the declared
+  :class:`~repro.kernels.base.KernelTraits`.
+* :mod:`repro.analyze.asmcheck` — an abstract interpreter over generated
+  RVV assembly that tracks the ``vsetvli`` state machine, enforces
+  dialect legality (v0.7.1 vs v1.0), checks register def-before-use and
+  proves loop termination.
+
+:mod:`repro.analyze.driver` aggregates both into a
+:class:`~repro.analyze.report.LintReport`, surfaced as the ``repro
+lint`` subcommand (exit 0 clean, exit 3 on error findings) and gated in
+CI. See ``docs/ANALYZE.md``.
+"""
+
+from repro.analyze.report import Finding, LintReport, Severity
+from repro.analyze.races import Verdict, classify_nest
+from repro.analyze.driver import run_lint
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Severity",
+    "Verdict",
+    "classify_nest",
+    "run_lint",
+]

@@ -1,0 +1,414 @@
+"""RVV assembly verifier: an abstract interpreter over instruction
+sequences.
+
+Where :mod:`repro.isa.interpreter` *executes* generated loops on real
+buffers, this module *proves* static properties of them, in either
+dialect, pre- or post-rollback:
+
+* **vsetvli state machine** — SEW/vl must be configured before any
+  vector instruction; ``vsetvli`` operand lists must be legal for the
+  target dialect (policy flags and fractional LMUL are v1.0-only).
+* **dialect legality** — width-encoded memory mnemonics (``vle32.v``)
+  are illegal in v0.7.1 (the rollback must have rewritten them to the
+  SEW-implicit forms); renamed v1.0 mnemonics are rejected under
+  v0.7.1 and vice versa. In v1.0, a width-encoded EEW that differs from
+  the active SEW is flagged as a warning — it is architecturally legal
+  but the rollback tool will refuse it.
+* **def-before-use** — scalar registers (beyond the ABI live-in set)
+  and vector registers must be written before they are read;
+  accumulating ops (``vfmacc``...) read their destination.
+* **loop termination** — every ``bnez`` back-edge must strictly
+  decrease its condition register by a provably positive step: a
+  ``vsetvli``-produced vl (exact termination at zero) or a positive
+  constant (termination under the VLS lane-multiple assumption, noted
+  as INFO).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analyze.report import Finding, Severity
+from repro.isa.encoding import Instruction, parse_assembly
+from repro.isa.rvv import RvvDialect, sew_bits
+from repro.util.errors import IsaError
+
+#: ABI registers considered live on entry (arguments, stack, thread
+#: pointer): the generated loops receive trip count and pointers here.
+DEFAULT_LIVE_IN = frozenset(
+    {"a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+     "sp", "ra", "gp", "tp", "zero", "x0"}
+)
+
+_WIDTH_MEM_RE = re.compile(
+    r"^(?P<op>vl|vs)(?P<kind>e|se|uxei|oxei)(?P<eew>8|16|32|64)\.v$"
+)
+_PLAIN_MEM = frozenset(
+    {"vle.v", "vse.v", "vlse.v", "vsse.v", "vlxe.v", "vsxe.v",
+     "vsuxe.v", "vlw.v", "vsw.v", "vlh.v", "vsh.v", "vlb.v", "vsb.v"}
+)
+
+#: Vector ops whose destination is also a source (accumulators).
+_DEST_IS_SOURCE = ("vfmacc", "vfnmsac", "vfmadd", "vmacc", "vnmsac")
+
+#: Vector ops with an immediate/scalar second operand: only the first
+#: operand is a vector register.
+_SCALAR_TAIL_OPS = frozenset({"vmv.v.i", "vmv.v.x", "vfmv.v.f"})
+
+_MEM_OPERAND_RE = re.compile(r"^\((?P<reg>[a-z][a-z0-9]*)\)$")
+
+
+@dataclass
+class _AbstractState:
+    """Defined-ness tracking, not values (values are the interpreter's
+    job)."""
+
+    scalars: set[str] = field(default_factory=set)
+    vectors: set[str] = field(default_factory=set)
+    sew: int | None = None
+    vl_defined: bool = False
+    #: scalar reg -> how it was last defined ("li:<imm>", "vsetvli:<avl>",
+    #: or "computed") — the termination proof consumes this.
+    provenance: dict = field(default_factory=dict)
+
+
+class AsmChecker:
+    """Single-pass abstract interpretation of one program."""
+
+    def __init__(self, dialect: RvvDialect, program_id: str = "asm",
+                 live_in: frozenset[str] = DEFAULT_LIVE_IN) -> None:
+        self.dialect = dialect
+        self.program_id = program_id
+        self.state = _AbstractState(scalars=set(live_in))
+        self.findings: list[Finding] = []
+
+    # -- finding helpers ----------------------------------------------------
+
+    def _report(self, severity: Severity, index: int, message: str,
+                hint: str = "") -> None:
+        self.findings.append(
+            Finding(
+                severity=severity,
+                analyzer="asm",
+                site=f"{self.program_id}:insn[{index}]",
+                message=message,
+                hint=hint,
+            )
+        )
+
+    # -- register tracking --------------------------------------------------
+
+    def _use_scalar(self, reg: str, index: int, what: str) -> None:
+        if reg not in self.state.scalars:
+            self._report(
+                Severity.ERROR, index,
+                f"{what} reads scalar register {reg!r} before any "
+                "definition",
+                hint="define the register (li/mv/vsetvli) before the "
+                "loop body uses it",
+            )
+
+    def _def_scalar(self, reg: str, provenance: str) -> None:
+        if reg in ("x0", "zero"):
+            return
+        self.state.scalars.add(reg)
+        self.state.provenance[reg] = provenance
+
+    def _use_vector(self, reg: str, index: int, what: str) -> None:
+        if reg not in self.state.vectors:
+            self._report(
+                Severity.ERROR, index,
+                f"{what} reads vector register {reg!r} before any "
+                "definition",
+                hint="load or splat (vmv.v.i) the register first — "
+                "accumulating ops read their destination",
+            )
+
+    def _require_vconfig(self, index: int, mnemonic: str) -> None:
+        if self.state.sew is None or not self.state.vl_defined:
+            self._report(
+                Severity.ERROR, index,
+                f"{mnemonic} executes before any vsetvli: SEW/vl are "
+                "undefined",
+                hint="issue vsetvli before the first vector instruction",
+            )
+
+    # -- instruction handlers -----------------------------------------------
+
+    def _check_vsetvli(self, inst: Instruction, index: int) -> None:
+        ops = tuple(op.strip() for op in inst.operands)
+        try:
+            self.dialect.validate_vsetvli(ops)
+        except IsaError as exc:
+            self._report(
+                Severity.ERROR, index, f"illegal vsetvli: {exc}",
+                hint=f"operand list must be legal RVV "
+                f"{self.dialect.version} syntax",
+            )
+        if len(ops) < 3:
+            return
+        rd, avl = ops[0], ops[1]
+        self._use_scalar(avl, index, "vsetvli AVL")
+        try:
+            self.state.sew = sew_bits(ops[2])
+        except IsaError:
+            self.state.sew = None
+        self.state.vl_defined = True
+        self._def_scalar(rd, f"vsetvli:{avl}")
+
+    def _check_mem(self, inst: Instruction, index: int,
+                   is_load: bool) -> None:
+        self._require_vconfig(index, inst.mnemonic)
+        m = _WIDTH_MEM_RE.match(inst.mnemonic)
+        if m is not None:
+            eew = int(m.group("eew"))
+            if not self.dialect.has_tail_policy:
+                # v0.7.1: memory width comes from SEW, the v1.0
+                # width-encoded mnemonics do not exist. This is the
+                # exact class of instruction the rollback must rewrite.
+                self._report(
+                    Severity.ERROR, index,
+                    f"width-encoded {inst.mnemonic} is illegal in RVV "
+                    f"{self.dialect.version}",
+                    hint="run the rollback tool: v0.7.1 memory ops are "
+                    "SEW-implicit (vle.v/vse.v)",
+                )
+            elif self.state.sew is not None and eew != self.state.sew:
+                self._report(
+                    Severity.WARNING, index,
+                    f"{inst.mnemonic} EEW {eew} differs from active SEW "
+                    f"{self.state.sew}",
+                    hint="legal in v1.0 but the rollback tool refuses "
+                    "it; emit matching widths",
+                )
+        if len(inst.operands) < 2:
+            self._report(
+                Severity.ERROR, index,
+                f"{inst.mnemonic} needs a register and an address",
+            )
+            return
+        vreg = inst.operands[0].strip()
+        addr = _MEM_OPERAND_RE.match(inst.operands[1].strip())
+        if addr is None:
+            self._report(
+                Severity.ERROR, index,
+                f"{inst.mnemonic} address operand "
+                f"{inst.operands[1]!r} is not (reg)",
+            )
+        else:
+            self._use_scalar(addr.group("reg"), index,
+                             f"{inst.mnemonic} base address")
+        if is_load:
+            self.state.vectors.add(vreg)
+        else:
+            self._use_vector(vreg, index, inst.mnemonic)
+
+    def _check_vector_arith(self, inst: Instruction, index: int) -> None:
+        self._require_vconfig(index, inst.mnemonic)
+        ops = tuple(op.strip() for op in inst.operands)
+        if not ops:
+            return
+        vd = ops[0]
+        if inst.mnemonic in _SCALAR_TAIL_OPS:
+            if inst.mnemonic == "vmv.v.x" and len(ops) > 1:
+                self._use_scalar(ops[1], index, inst.mnemonic)
+            self.state.vectors.add(vd)
+            return
+        sources = [op for op in ops[1:] if op.startswith("v")]
+        if inst.mnemonic.startswith(_DEST_IS_SOURCE):
+            sources.append(vd)
+        for src in sources:
+            self._use_vector(src, index, inst.mnemonic)
+        self.state.vectors.add(vd)
+
+    def _check_scalar(self, inst: Instruction, index: int) -> None:
+        m = inst.mnemonic
+        ops = tuple(op.strip() for op in inst.operands)
+        if m == "li" and len(ops) == 2:
+            self._def_scalar(ops[0], f"li:{ops[1]}")
+        elif m in ("add", "sub", "mul") and len(ops) == 3:
+            self._use_scalar(ops[1], index, m)
+            self._use_scalar(ops[2], index, m)
+            self._def_scalar(ops[0], "computed")
+        elif m in ("slli", "srli", "addi") and len(ops) == 3:
+            self._use_scalar(ops[1], index, m)
+            self._def_scalar(ops[0], "computed")
+        elif m == "mv" and len(ops) == 2:
+            self._use_scalar(ops[1], index, m)
+            self._def_scalar(ops[0], self.state.provenance.get(
+                ops[1], "computed"))
+        elif m == "ret":
+            pass
+        else:
+            # Unmodelled scalar instruction: define its first operand
+            # conservatively so later uses don't cascade.
+            if ops:
+                self._def_scalar(ops[0], "computed")
+
+    # -- termination --------------------------------------------------------
+
+    def _check_backedge(self, program, branch_idx: int, target_idx: int,
+                        reg: str) -> None:
+        """Prove the loop body strictly decreases ``reg`` by a positive
+        step before branching on it."""
+        body = program[target_idx:branch_idx]
+        decrements: list[str] = []
+        clobbered = False
+        for inst in body:
+            if not inst.is_code:
+                continue
+            ops = tuple(op.strip() for op in inst.operands)
+            if inst.mnemonic == "sub" and len(ops) == 3 and ops[0] == reg:
+                if ops[1] == reg:
+                    decrements.append(ops[2])
+                else:
+                    clobbered = True
+            elif ops and ops[0] == reg and inst.mnemonic not in (
+                "bnez", "beqz", "bne", "beq",
+            ):
+                clobbered = True
+        if clobbered:
+            self._report(
+                Severity.ERROR, branch_idx,
+                f"cannot prove termination: loop register {reg!r} is "
+                "redefined by something other than a self-decrement",
+            )
+            return
+        if not decrements:
+            self._report(
+                Severity.ERROR, branch_idx,
+                f"bnez back-edge on {reg!r} but the loop body never "
+                f"decrements {reg!r}: the loop cannot terminate",
+                hint="decrement the trip register by the strip length "
+                "each iteration",
+            )
+            return
+        for step in decrements:
+            prov = self.state.provenance.get(step, "computed")
+            if prov.startswith("vsetvli:"):
+                avl = prov.split(":", 1)[1]
+                if avl == reg:
+                    continue  # vl = min(vlmax, reg) > 0 while reg > 0
+                self._report(
+                    Severity.WARNING, branch_idx,
+                    f"step {step!r} comes from vsetvli over {avl!r}, "
+                    f"not over the loop register {reg!r}: termination "
+                    "depends on their relationship",
+                )
+            elif prov.startswith("li:"):
+                try:
+                    value = int(prov.split(":", 1)[1], 0)
+                except ValueError:
+                    value = 0
+                if value <= 0:
+                    self._report(
+                        Severity.ERROR, branch_idx,
+                        f"loop step {step!r} is the non-positive "
+                        f"constant {value}: the loop cannot terminate",
+                    )
+                else:
+                    self._report(
+                        Severity.INFO, branch_idx,
+                        f"termination assumes the trip count is a "
+                        f"multiple of the constant step {value} "
+                        "(VLS lane-multiple convention)",
+                    )
+            else:
+                self._report(
+                    Severity.ERROR, branch_idx,
+                    f"cannot prove loop step {step!r} is positive "
+                    f"(defined by {prov})",
+                )
+
+    # -- driver -------------------------------------------------------------
+
+    def check(self, instructions: list[Instruction]) -> list[Finding]:
+        program = [
+            inst for inst in instructions if inst.is_code or inst.label
+        ]
+        labels: dict[str, int] = {}
+        for idx, inst in enumerate(program):
+            if inst.label:
+                labels[inst.label] = idx
+
+        saw_ret = False
+        for idx, inst in enumerate(program):
+            if not inst.is_code:
+                continue
+            m = inst.mnemonic
+            if m == "ret":
+                saw_ret = True
+                continue
+            if m in ("vsetvli", "vsetvl", "vsetivli"):
+                try:
+                    self.dialect.validate_mnemonic(m)
+                except IsaError as exc:
+                    self._report(Severity.ERROR, idx, str(exc))
+                if m == "vsetvli":
+                    self._check_vsetvli(inst, idx)
+                else:
+                    self.state.vl_defined = True
+                    if len(inst.operands) >= 3:
+                        try:
+                            self.state.sew = sew_bits(
+                                inst.operands[2].strip())
+                        except IsaError:
+                            self.state.sew = None
+                continue
+            if m.startswith("v"):
+                width_mem_in_071 = (
+                    _WIDTH_MEM_RE.match(m) is not None
+                    and not self.dialect.has_tail_policy
+                )
+                if not width_mem_in_071:
+                    # _check_mem owns the width-encoded-in-v0.7.1
+                    # message; everything else gets the dialect table's.
+                    try:
+                        self.dialect.validate_mnemonic(m)
+                    except IsaError as exc:
+                        self._report(
+                            Severity.ERROR, idx, str(exc),
+                            hint=f"not part of RVV {self.dialect.version};"
+                            " the rollback tool rewrites the common cases",
+                        )
+                mem = _WIDTH_MEM_RE.match(m)
+                if mem is not None or m in _PLAIN_MEM:
+                    is_load = m.startswith("vl")
+                    self._check_mem(inst, idx, is_load)
+                else:
+                    self._check_vector_arith(inst, idx)
+                continue
+            if m in ("bnez", "beqz") and len(inst.operands) == 2:
+                reg = inst.operands[0].strip()
+                target = inst.operands[1].strip()
+                self._use_scalar(reg, idx, m)
+                if target not in labels:
+                    self._report(
+                        Severity.ERROR, idx,
+                        f"branch to unknown label {target!r}",
+                    )
+                elif labels[target] <= idx and m == "bnez":
+                    self._check_backedge(program, idx, labels[target], reg)
+                continue
+            self._check_scalar(inst, idx)
+
+        if not saw_ret:
+            self._report(
+                Severity.ERROR, len(program),
+                "program falls off the end without ret",
+            )
+        return self.findings
+
+
+def check_assembly(
+    source: str | list[Instruction],
+    dialect: RvvDialect,
+    program_id: str = "asm",
+) -> list[Finding]:
+    """Verify one assembly program against a dialect; returns findings
+    (empty when the program proves clean)."""
+    instructions = (
+        parse_assembly(source) if isinstance(source, str) else source
+    )
+    return AsmChecker(dialect, program_id).check(instructions)

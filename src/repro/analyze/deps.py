@@ -1,0 +1,280 @@
+"""Dependence analysis over kernel loop-nest IR.
+
+Classifies the array-access conflicts that decide whether a loop nest is
+safe under the fork-join static schedule
+(:func:`repro.perfmodel.threading.static_chunks`): the parallel level of
+each top-level loop is block-partitioned over threads, so two accesses
+race iff they can touch the same element from *different iterations* of
+that level (different iterations can land in different blocks).
+
+Accesses are affine in the innermost counter (``stride * i + offset``,
+with :class:`~repro.compiler.ir.SymbolicStride` standing for a symbolic
+row length) or indirect (``stride=None``). Two partition regimes:
+
+* the parallel level **is** the statement's innermost loop: the affine
+  maps are compared directly (a linear Diophantine solvability check);
+* the parallel level is an **outer** loop with serial loops below it:
+  each outer iteration owns a contiguous slab of the index space
+  (row-major convention), so only accesses whose offsets differ by a
+  *symbolic* (row-scale) amount reach a neighbouring slab.
+
+Non-atomic indirect writes are assumed injective (pack/unpack index
+sets) — the IR convention is that colliding scatters carry
+``atomic=True`` — and surface as an INFO note rather than a conflict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    Access,
+    AccessKind,
+    Call,
+    Compute,
+    Loop,
+    LoopNest,
+    Recurrence,
+    Reduce,
+    Scan,
+    Statement,
+    is_symbolic,
+)
+
+
+@dataclass(frozen=True)
+class PlacedStatement:
+    """A statement with its location inside one top-level region.
+
+    Attributes:
+        stmt: The IR statement.
+        loops: Enclosing loops, outermost first (region loop included).
+        path: Human-readable statement path
+            (``"loop[0].loop[0].stmt[1]"``) used in finding sites.
+    """
+
+    stmt: Statement
+    loops: tuple[Loop, ...]
+    path: str
+
+    @property
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A cross-iteration conflict between two accesses of one array."""
+
+    array: str
+    kind: str  # "write-write" or "read-write"
+    first_path: str
+    second_path: str
+    reason: str
+
+
+def place_statements(
+    region: Loop, region_index: int
+) -> list[PlacedStatement]:
+    """Flatten one top-level loop into located statements."""
+    placed: list[PlacedStatement] = []
+
+    def _walk(loop: Loop, loops: tuple[Loop, ...], prefix: str) -> None:
+        loops = loops + (loop,)
+        stmt_idx = 0
+        loop_idx = 0
+        for item in loop.body:
+            if isinstance(item, Loop):
+                _walk(item, loops, f"{prefix}.loop[{loop_idx}]")
+                loop_idx += 1
+            else:
+                placed.append(
+                    PlacedStatement(
+                        stmt=item,
+                        loops=loops,
+                        path=f"{prefix}.stmt[{stmt_idx}]",
+                    )
+                )
+                stmt_idx += 1
+
+    _walk(region, (), f"loop[{region_index}]")
+    return placed
+
+
+def parallel_level(region: Loop) -> Loop | None:
+    """The outermost loop of the region marked parallel — the level the
+    fork-join schedule partitions — or ``None`` for a region that is
+    serial by construction."""
+    if region.parallel:
+        return region
+    for item in region.body:
+        if isinstance(item, Loop):
+            found = parallel_level(item)
+            if found is not None:
+                return found
+    return None
+
+
+def partition_is_innermost(placed: PlacedStatement, level: Loop) -> bool:
+    """Whether the partitioned level is the statement's innermost
+    enclosing loop (no serial loops privatize the iteration below it)."""
+    return placed.innermost is level
+
+
+def _affine_conflict(write: Access, other: Access) -> str | None:
+    """Conflict reason for two affine accesses compared at the partition
+    level (partition == innermost loop), or ``None`` if they can only
+    meet in the same iteration."""
+    s1, o1 = int(write.stride), int(write.offset)
+    s2, o2 = int(other.stride), int(other.offset)
+    delta = o2 - o1
+    if s1 == s2:
+        if delta == 0:
+            return None  # same element, same iteration only
+        if delta % s1 == 0:
+            iters = delta // s1
+            return (
+                f"iteration i and iteration i+{abs(iters)} touch the "
+                f"same element (stride {s1}, offsets {o1} vs {o2})"
+            )
+        return None
+    if delta % math.gcd(abs(s1), abs(s2)) == 0:
+        return (
+            f"strides {s1} and {s2} intersect (offset delta {delta} is "
+            "a multiple of their gcd)"
+        )
+    return None
+
+
+def _slab_conflict(write: Access, other: Access) -> str | None:
+    """Conflict reason under an outer-level partition: each outer
+    iteration owns a contiguous row-major slab, so only row-scale
+    (symbolic) offset deltas or mixed symbolic/concrete walks escape."""
+    delta = int(other.offset) - int(write.offset)
+    if is_symbolic(delta) or is_symbolic(other.offset) != is_symbolic(
+        write.offset
+    ):
+        if delta != 0:
+            return (
+                "offsets differ by a row-scale amount: the access "
+                "reaches into a neighbouring thread's slab"
+            )
+    if is_symbolic(write.stride) != is_symbolic(other.stride):
+        return (
+            "one access walks rows while the other walks elements: "
+            "their footprints cross slab boundaries"
+        )
+    return None
+
+
+def conflict_between(
+    first: PlacedStatement,
+    second: PlacedStatement,
+    level: Loop,
+) -> list[Conflict]:
+    """All cross-iteration conflicts between two placed statements (which
+    may be the same statement) under partition at ``level``."""
+    acc1 = getattr(first.stmt, "accesses", ())
+    acc2 = getattr(second.stmt, "accesses", ())
+    same = first is second
+    out: list[Conflict] = []
+    seen: set[tuple] = set()
+    for i, a in enumerate(acc1):
+        if a.kind is not AccessKind.WRITE:
+            continue
+        for j, b in enumerate(acc2):
+            if same and i == j:
+                continue  # an access never conflicts with itself
+            if a.array != b.array:
+                continue
+            if a.stride is None or b.stride is None:
+                # Indirect pairs are handled by the injectivity
+                # convention in races.py (note, not conflict).
+                continue
+            if partition_is_innermost(first, level) and (
+                partition_is_innermost(second, level)
+            ):
+                reason = _affine_conflict(a, b)
+            else:
+                reason = _slab_conflict(a, b)
+            if reason is None:
+                continue
+            kind = (
+                "write-write"
+                if b.kind is AccessKind.WRITE
+                else "read-write"
+            )
+            key = (kind, a.array, first.path, second.path, reason)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                Conflict(
+                    array=a.array,
+                    kind=kind,
+                    first_path=first.path,
+                    second_path=second.path,
+                    reason=reason,
+                )
+            )
+    return out
+
+
+def region_conflicts(
+    placed: list[PlacedStatement], level: Loop
+) -> list[Conflict]:
+    """All conflicts among the statements of one parallel region
+    (write-write pairs deduplicated across orientations)."""
+    out: list[Conflict] = []
+    seen: set[tuple] = set()
+    for i, first in enumerate(placed):
+        if not isinstance(first.stmt, (Compute, Scan, Recurrence)):
+            continue
+        for second in placed[i:]:
+            if not isinstance(second.stmt, (Compute, Scan, Recurrence)):
+                continue
+            found = conflict_between(first, second, level)
+            if second is not first:
+                # A write in `second` can also conflict with reads in
+                # `first`; check the reverse orientation too.
+                found += conflict_between(second, first, level)
+            for c in found:
+                key = (
+                    c.kind,
+                    c.array,
+                    frozenset((c.first_path, c.second_path)),
+                )
+                if key not in seen:
+                    seen.add(key)
+                    out.append(c)
+    return out
+
+
+def indirect_writes(placed: list[PlacedStatement]) -> list[PlacedStatement]:
+    """Statements with a non-atomic indirect (scatter) write: safe only
+    under the injectivity convention, worth an INFO note."""
+    out = []
+    for p in placed:
+        accesses = getattr(p.stmt, "accesses", ())
+        atomic = getattr(p.stmt, "atomic", False)
+        if atomic:
+            continue
+        if any(
+            a.kind is AccessKind.WRITE and a.stride is None
+            for a in accesses
+        ):
+            out.append(p)
+    return out
+
+
+def iter_regions(nest: LoopNest):
+    """Yield ``(index, region_loop, placed_statements)`` per top-level
+    loop — each is one fork-join parallel region (barrier between)."""
+    for index, region in enumerate(nest.loops):
+        yield index, region, place_statements(region, index)
+
+
+# Re-export for callers reasoning about Call statements without
+# importing ir directly.
+LIBRARY_STATEMENT = Call

@@ -1,0 +1,181 @@
+"""Lint driver: run every analyzer over every artifact.
+
+Two sweeps feed one :class:`~repro.analyze.report.LintReport`:
+
+* **kernels** — for each of the 64 registered kernels, load its loop-nest
+  IR, run the race detector's traits cross-check
+  (:func:`repro.analyze.races.crosscheck_traits`) and the feature-drift
+  check (:func:`repro.compiler.analysis.features_diff`; decisive drift is
+  an error, informational drift a warning).
+* **assembly** — for each spec shape x dtype x flavour, generate the loop
+  in both dialects, roll the v1.0 output back, and run the abstract
+  interpreter (:mod:`repro.analyze.asmcheck`) over all three against the
+  dialect they claim to target.
+
+``repro lint`` renders the report and returns its exit code (0 clean,
+3 on any ERROR finding); the CI ``lint-models`` job gates on that.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.asmcheck import check_assembly
+from repro.analyze.races import crosscheck_traits
+from repro.analyze.report import Finding, LintReport, Severity
+from repro.compiler.analysis import (
+    derive_features,
+    derive_informational_features,
+    features_diff,
+)
+from repro.compiler.model import VectorFlavor
+from repro.isa.codegen import LoopSpec, generate_loop
+from repro.isa.encoding import render_assembly
+from repro.isa.rollback import RollbackError, rollback
+from repro.isa.rvv import RVV_0_7_1, RVV_1_0, RvvDialect
+from repro.kernels.ir_defs import ir_for
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine.vector import DType
+from repro.util.errors import ReproError
+
+
+def lint_kernel(kernel) -> list[Finding]:
+    """All findings for one kernel: race/traits cross-check plus feature
+    drift."""
+    nest = ir_for(kernel.name)
+    _report, findings = crosscheck_traits(kernel.name, nest, kernel.traits)
+
+    drift = features_diff(
+        kernel.traits.features,
+        derive_features(nest),
+        derive_informational_features(nest),
+    )
+    for feature in sorted(drift.decisive_undeclared, key=lambda f: f.value):
+        findings.append(
+            Finding(
+                severity=Severity.ERROR,
+                analyzer="features",
+                site=f"{kernel.name}:traits.features",
+                message=f"IR derives decisive feature {feature.value} "
+                "but traits do not declare it",
+                hint="decisive drift changes vectorization decisions; "
+                "update the declared features or fix the IR",
+            )
+        )
+    for feature in sorted(drift.decisive_stale, key=lambda f: f.value):
+        findings.append(
+            Finding(
+                severity=Severity.ERROR,
+                analyzer="features",
+                site=f"{kernel.name}:traits.features",
+                message=f"traits declare decisive feature {feature.value} "
+                "but the IR does not support it",
+                hint="decisive drift changes vectorization decisions; "
+                "update the declared features or fix the IR",
+            )
+        )
+    for line in drift.warnings():
+        findings.append(
+            Finding(
+                severity=Severity.WARNING,
+                analyzer="features",
+                site=f"{kernel.name}:traits.features",
+                message=line,
+                hint="informational tags feed the performance model; "
+                "keep them in sync with the IR",
+            )
+        )
+    return findings
+
+
+def lint_kernels(
+    names: list[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Cross-check every (or the named) kernels; returns (findings,
+    kernels checked)."""
+    kernels = (
+        [get_kernel(n) for n in names] if names else all_kernels()
+    )
+    findings: list[Finding] = []
+    for kernel in kernels:
+        findings.extend(lint_kernel(kernel))
+    return findings, len(kernels)
+
+
+#: The loop shapes the assembly sweep generates: a STREAM-style triad
+#: (mul + add over two inputs) and a DAXPY-style accumulating loop
+#: (exercises the vmv.v.i destination-initialization path).
+ASM_SPEC_SHAPES: tuple[tuple[str, int, tuple[str, ...]], ...] = (
+    ("triad", 2, ("vfmul.vv", "vfadd.vv")),
+    ("axpy", 2, ("vfmacc.vv",)),
+)
+
+#: Element types the vector codegen supports.
+ASM_DTYPES: tuple[DType, ...] = (DType.FP16, DType.FP32, DType.FP64)
+
+
+def iter_asm_programs():
+    """Yield ``(program_id, assembly_text, dialect)`` for every codegen
+    output: both spec shapes x dtypes x flavours, each as native v1.0,
+    native v0.7.1, and v1.0 rolled back to v0.7.1."""
+    for shape_name, num_inputs, ops in ASM_SPEC_SHAPES:
+        for dtype in ASM_DTYPES:
+            spec = LoopSpec(dtype=dtype, num_inputs=num_inputs, ops=ops)
+            for flavor in (VectorFlavor.VLS, VectorFlavor.VLA):
+                base = f"{shape_name}/{dtype.label}/{flavor.value}"
+                v10 = render_assembly(
+                    generate_loop(spec, flavor, rvv_version="1.0")
+                )
+                v071 = render_assembly(
+                    generate_loop(spec, flavor, rvv_version="0.7.1")
+                )
+                yield f"{base}/v1.0", v10, RVV_1_0
+                yield f"{base}/v0.7.1", v071, RVV_0_7_1
+                yield f"{base}/rollback", rollback(v10), RVV_0_7_1
+
+
+def lint_assembly() -> tuple[list[Finding], int]:
+    """Verify every generated assembly program; returns (findings,
+    programs checked)."""
+    findings: list[Finding] = []
+    count = 0
+    for program_id, text, dialect in iter_asm_programs():
+        count += 1
+        try:
+            findings.extend(check_assembly(text, dialect, program_id))
+        except (RollbackError, ReproError) as exc:
+            findings.append(
+                Finding(
+                    severity=Severity.ERROR,
+                    analyzer="asm",
+                    site=f"{program_id}:parse",
+                    message=f"program could not be analyzed: {exc}",
+                )
+            )
+    return findings, count
+
+
+def lint_assembly_file(
+    path: str, dialect: RvvDialect
+) -> tuple[list[Finding], int]:
+    """Verify one on-disk assembly file against a dialect (the
+    ``repro lint --asm-file`` path)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    return check_assembly(text, dialect, program_id=path), 1
+
+
+def run_lint(
+    kernels: bool = True,
+    asm: bool = True,
+    names: list[str] | None = None,
+) -> LintReport:
+    """Run the requested analyzers and aggregate their findings."""
+    report = LintReport()
+    if kernels:
+        findings, checked = lint_kernels(names)
+        report.extend(findings)
+        report.kernels_checked = checked
+    if asm:
+        findings, checked = lint_assembly()
+        report.extend(findings)
+        report.programs_checked = checked
+    return report

@@ -1,0 +1,323 @@
+"""Static race detector: loop-nest verdicts and the traits cross-check.
+
+Every top-level loop of a kernel's IR is one fork-join parallel region.
+Under the static schedule the region's parallel level is
+block-partitioned over threads
+(:func:`repro.perfmodel.threading.static_chunks`), and the region is
+classified:
+
+* ``parallel-safe`` — no statement can touch another iteration's data;
+* ``needs-reduction`` — a scalar reduction crosses the partitioned
+  iterations (OpenMP handles it with a ``reduction`` clause);
+* ``needs-atomic`` — an update is declared atomic because iterations
+  can collide (scatter accumulation, atomic reductions);
+* ``serial`` — a scan/recurrence/library call (or an actual data race)
+  makes the partition unsound; the region runs serially, so the
+  kernel's declared ``parallel_fraction`` must be < 1.
+
+The kernel verdict is the worst region verdict. ``crosscheck_traits``
+compares it — and the conflicts behind it — against the declared
+:class:`~repro.kernels.base.KernelTraits`, reporting every disagreement
+with the offending statement path. The shipped tree is pinned clean for
+all 64 kernels in ``tests/analyze/test_races.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analyze.deps import (
+    Conflict,
+    PlacedStatement,
+    indirect_writes,
+    iter_regions,
+    parallel_level,
+    partition_is_innermost,
+    region_conflicts,
+)
+from repro.analyze.report import Finding, Severity
+from repro.compiler.ir import Call, Compute, LoopNest, Recurrence, Reduce, Scan
+from repro.kernels.base import KernelTraits, LoopFeature
+
+
+class Verdict(enum.Enum):
+    """Parallel-safety classification, ordered by increasing severity."""
+
+    PARALLEL_SAFE = "parallel-safe"
+    NEEDS_REDUCTION = "needs-reduction"
+    NEEDS_ATOMIC = "needs-atomic"
+    SERIAL = "serial"
+
+    @property
+    def rank(self) -> int:
+        order = (
+            "parallel-safe",
+            "needs-reduction",
+            "needs-atomic",
+            "serial",
+        )
+        return order.index(self.value)
+
+
+def _worst(verdicts) -> Verdict:
+    return max(verdicts, key=lambda v: v.rank, default=Verdict.PARALLEL_SAFE)
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """Verdict for one top-level loop (one parallel region)."""
+
+    index: int
+    verdict: Verdict
+    reasons: tuple[str, ...]  # "scan@path", "recurrence@path", ...
+    conflicts: tuple[Conflict, ...]
+    notes: tuple[str, ...]  # injectivity assumptions etc.
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """All region reports for one loop nest."""
+
+    regions: tuple[RegionReport, ...]
+    verdict: Verdict = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "verdict", _worst(r.verdict for r in self.regions)
+        )
+
+    def reasons(self) -> list[str]:
+        return [r for region in self.regions for r in region.reasons]
+
+    def conflicts(self) -> list[Conflict]:
+        return [c for region in self.regions for c in region.conflicts]
+
+    def notes(self) -> list[str]:
+        return [n for region in self.regions for n in region.notes]
+
+
+def _classify_region(index, region, placed) -> RegionReport:
+    level = parallel_level(region)
+    reasons: list[str] = []
+    notes: list[str] = []
+    verdicts = [Verdict.PARALLEL_SAFE]
+    conflicts: tuple[Conflict, ...] = ()
+
+    for p in placed:
+        stmt = p.stmt
+        if isinstance(stmt, Call):
+            # Library internals are opaque; the region cannot be
+            # partitioned by the fork-join scheduler.
+            reasons.append(f"library-call({stmt.callee})@{p.path}")
+            verdicts.append(Verdict.SERIAL)
+        elif isinstance(stmt, Scan):
+            if level is None or partition_is_innermost(p, level):
+                reasons.append(f"scan@{p.path}")
+                verdicts.append(Verdict.SERIAL)
+            else:
+                notes.append(
+                    f"{p.path}: scan is private to one partitioned "
+                    "iteration"
+                )
+        elif isinstance(stmt, Recurrence):
+            if level is None or partition_is_innermost(p, level):
+                reasons.append(
+                    f"recurrence(distance={stmt.distance})@{p.path}"
+                )
+                verdicts.append(Verdict.SERIAL)
+            else:
+                notes.append(
+                    f"{p.path}: recurrence is private to one "
+                    "partitioned iteration"
+                )
+        elif isinstance(stmt, Reduce):
+            if stmt.atomic:
+                reasons.append(f"atomic-reduction@{p.path}")
+                verdicts.append(Verdict.NEEDS_ATOMIC)
+            elif level is not None and partition_is_innermost(p, level):
+                # Accumulator is shared across the partitioned
+                # iterations.
+                reasons.append(f"reduction({stmt.op.value})@{p.path}")
+                verdicts.append(Verdict.NEEDS_REDUCTION)
+            else:
+                notes.append(
+                    f"{p.path}: reduction accumulator is private per "
+                    "partitioned iteration"
+                )
+        elif isinstance(stmt, Compute) and stmt.atomic:
+            reasons.append(f"atomic-update@{p.path}")
+            verdicts.append(Verdict.NEEDS_ATOMIC)
+
+    if level is None:
+        if _worst(verdicts) is not Verdict.SERIAL:
+            # Serial by construction without a dependence statement
+            # (unusual but expressible).
+            reasons.append(f"no-parallel-level@loop[{index}]")
+            verdicts.append(Verdict.SERIAL)
+    else:
+        conflicts = tuple(region_conflicts(placed, level))
+        if conflicts:
+            verdicts.append(Verdict.SERIAL)
+            reasons.extend(
+                f"race({c.kind}:{c.array})@{c.first_path}" for c in conflicts
+            )
+        for p in indirect_writes(placed):
+            notes.append(
+                f"{p.path}: non-atomic scatter write assumed injective "
+                "(pack/unpack index sets; colliding scatters must carry "
+                "atomic=True)"
+            )
+
+    return RegionReport(
+        index=index,
+        verdict=_worst(verdicts),
+        reasons=tuple(reasons),
+        conflicts=conflicts,
+        notes=tuple(notes),
+    )
+
+
+def classify_nest(nest: LoopNest) -> RaceReport:
+    """Classify every region of a loop nest under the static schedule."""
+    return RaceReport(
+        regions=tuple(
+            _classify_region(index, region, placed)
+            for index, region, placed in iter_regions(nest)
+        )
+    )
+
+
+#: Serial-reason prefix -> declared feature that must explain it.
+_SERIAL_REASON_FEATURES = (
+    ("scan", LoopFeature.SCAN_DEP),
+    ("recurrence", LoopFeature.LOOP_CARRIED_DEP),
+    ("library-call", LoopFeature.LIBRARY_CALL),
+)
+
+_REDUCTION_FEATURES = frozenset(
+    {LoopFeature.REDUCTION_SUM, LoopFeature.REDUCTION_MINMAX}
+)
+
+
+def crosscheck_traits(
+    kernel_name: str, nest: LoopNest, traits: KernelTraits
+) -> tuple[RaceReport, list[Finding]]:
+    """Race-detector verdicts vs the declared kernel traits.
+
+    Returns the race report and every disagreement as a finding with the
+    offending statement path in its site.
+    """
+    report = classify_nest(nest)
+    findings: list[Finding] = []
+
+    def finding(severity, site_suffix, message, hint=""):
+        findings.append(
+            Finding(
+                severity=severity,
+                analyzer="races",
+                site=f"{kernel_name}:{site_suffix}",
+                message=message,
+                hint=hint,
+            )
+        )
+
+    # Actual races are wrong regardless of traits.
+    for region in report.regions:
+        for c in region.conflicts:
+            finding(
+                Severity.ERROR,
+                c.first_path,
+                f"{c.kind} race on {c.array!r} with {c.second_path}: "
+                f"{c.reason}",
+                hint="privatize the access, make it atomic, or mark the "
+                "loop serial (parallel=False) and lower "
+                "parallel_fraction",
+            )
+
+    declared = traits.features
+    serial_reasons = [
+        r for r in report.reasons() if not r.startswith("race(")
+        and report.verdict is Verdict.SERIAL
+    ]
+    if report.verdict is Verdict.SERIAL:
+        for reason in serial_reasons:
+            prefix_feature = next(
+                (
+                    feat
+                    for prefix, feat in _SERIAL_REASON_FEATURES
+                    if reason.startswith(prefix)
+                ),
+                None,
+            )
+            if prefix_feature is not None and prefix_feature not in declared:
+                path = reason.split("@", 1)[-1]
+                finding(
+                    Severity.ERROR,
+                    path,
+                    f"IR shows {reason.split('@', 1)[0]} but traits do "
+                    f"not declare {prefix_feature.value}",
+                    hint=f"add LoopFeature.{prefix_feature.name} to the "
+                    "kernel's declared features",
+                )
+        if traits.parallel_fraction >= 1.0:
+            finding(
+                Severity.ERROR,
+                "traits.parallel_fraction",
+                "verdict is serial "
+                f"({', '.join(serial_reasons) or 'no parallel level'}) "
+                "but parallel_fraction is 1.0",
+                hint="a serial region bounds the Amdahl fraction below "
+                "1; lower parallel_fraction",
+            )
+
+    needs_atomic = any(
+        r.verdict is Verdict.NEEDS_ATOMIC for r in report.regions
+    )
+    atomic_paths = [
+        r.split("@", 1)[-1]
+        for r in report.reasons()
+        if r.startswith(("atomic-update", "atomic-reduction"))
+    ]
+    if needs_atomic and LoopFeature.ATOMIC not in declared:
+        finding(
+            Severity.ERROR,
+            atomic_paths[0] if atomic_paths else "traits.features",
+            "IR contains an atomic update but traits do not declare "
+            "ATOMIC",
+            hint="add LoopFeature.ATOMIC to the kernel's declared "
+            "features",
+        )
+    if LoopFeature.ATOMIC in declared and not needs_atomic:
+        finding(
+            Severity.ERROR,
+            "traits.features",
+            "traits declare ATOMIC but no IR statement is atomic",
+            hint="drop LoopFeature.ATOMIC or mark the colliding "
+            "statement atomic=True in the IR",
+        )
+
+    needs_reduction = any(
+        r.verdict is Verdict.NEEDS_REDUCTION for r in report.regions
+    )
+    if needs_reduction and not (declared & _REDUCTION_FEATURES):
+        path = next(
+            (
+                r.split("@", 1)[-1]
+                for r in report.reasons()
+                if r.startswith("reduction")
+            ),
+            "traits.features",
+        )
+        finding(
+            Severity.ERROR,
+            path,
+            "a reduction crosses the partitioned iterations but traits "
+            "declare no REDUCTION_* feature",
+            hint="declare REDUCTION_SUM or REDUCTION_MINMAX",
+        )
+
+    for note in report.notes():
+        finding(Severity.INFO, note.split(":", 1)[0], note.split(": ", 1)[-1])
+
+    return report, findings

@@ -1,0 +1,107 @@
+"""Structured lint findings shared by both analyzers.
+
+A finding is one located, human-readable disagreement or hazard with an
+optional fix hint. The driver aggregates findings into a
+:class:`LintReport`; the CLI renders it and maps ERROR findings to exit
+code 3, which is what the CI ``lint-models`` job gates on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Finding severity, ordered: only ERROR gates CI."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        for member in cls:
+            if member.value == label.lower():
+                return member
+        raise ValueError(f"unknown severity {label!r}")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding.
+
+    Attributes:
+        severity: ERROR findings fail ``repro lint`` (exit 3).
+        analyzer: Which analyzer produced it (``"races"``,
+            ``"features"``, ``"asm"``).
+        site: Where — a kernel name plus statement path for IR findings
+            (``"GEMM:loop[0].loop[0].loop[0].stmt[0]"``), a program id
+            plus instruction index for assembly findings
+            (``"vla/fp64/1.0:insn[3]"``).
+        message: What is wrong.
+        hint: How to fix it, when the analyzer can tell.
+    """
+
+    severity: Severity
+    analyzer: str
+    site: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = (
+            f"{self.severity.value.upper():7s} [{self.analyzer}] "
+            f"{self.site}: {self.message}"
+        )
+        if self.hint:
+            text += f"\n        hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """Aggregated findings plus coverage counters."""
+
+    findings: list[Finding] = field(default_factory=list)
+    kernels_checked: int = 0
+    programs_checked: int = 0
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def by_severity(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean of errors, 3 otherwise (the ``repro lint``
+        contract; 3 is distinct from the CLI's generic failure code 2)."""
+        return 3 if self.has_errors else 0
+
+    def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """Human-readable report, most severe findings first."""
+        shown = sorted(
+            (f for f in self.findings
+             if f.severity.rank >= min_severity.rank),
+            key=lambda f: (-f.severity.rank, f.analyzer, f.site),
+        )
+        lines = [f.render() for f in shown]
+        counts = ", ".join(
+            f"{len(self.by_severity(sev))} {sev.value}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        )
+        lines.append(
+            f"lint: {self.kernels_checked} kernels, "
+            f"{self.programs_checked} assembly programs checked: {counts}"
+        )
+        lines.append("lint: " + ("FAIL" if self.has_errors else "clean"))
+        return "\n".join(lines)

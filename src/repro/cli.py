@@ -8,6 +8,7 @@ Subcommands::
     sg2042-repro experiment table2    # reproduce one table/figure
     sg2042-repro experiment all       # reproduce everything
     sg2042-repro verify               # execute all kernels numerically
+    sg2042-repro lint --all           # static analysis of IRs + assembly
 """
 
 from __future__ import annotations
@@ -262,6 +263,25 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze.driver import lint_assembly_file, run_lint
+    from repro.analyze.report import LintReport, Severity
+    from repro.isa.rvv import RVV_0_7_1, RVV_1_0
+
+    min_severity = Severity.from_label(args.min_severity)
+    if args.asm_file:
+        dialect = RVV_0_7_1 if args.dialect == "0.7.1" else RVV_1_0
+        findings, count = lint_assembly_file(args.asm_file, dialect)
+        report = LintReport(findings=findings, programs_checked=count)
+    else:
+        names = args.kernels.split(",") if args.kernels else None
+        report = run_lint(
+            kernels=True, asm=not args.no_asm, names=names
+        )
+    print(report.render(min_severity=min_severity))
+    return report.exit_code
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.machine.vector import DType
 
@@ -325,6 +345,38 @@ def build_parser() -> argparse.ArgumentParser:
                            help="numerically execute every kernel")
     p_ver.add_argument("--size", type=int, default=10_000)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically analyze kernel IRs and generated assembly "
+        "(exit 0 clean, 3 on error findings)",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true",
+        help="lint every kernel IR and every codegen output (default)",
+    )
+    p_lint.add_argument(
+        "--kernels", default=None, metavar="A,B,...",
+        help="restrict the race/traits cross-check to these kernels",
+    )
+    p_lint.add_argument(
+        "--no-asm", action="store_true",
+        help="skip the generated-assembly sweep",
+    )
+    p_lint.add_argument(
+        "--asm-file", default=None, metavar="FILE.s",
+        help="verify one assembly file instead of the model sweeps",
+    )
+    p_lint.add_argument(
+        "--dialect", default="1.0", choices=["0.7.1", "1.0"],
+        help="dialect an --asm-file claims to target",
+    )
+    p_lint.add_argument(
+        "--min-severity", default="info",
+        choices=["info", "warning", "error"],
+        help="hide findings below this severity (exit code is "
+        "unaffected)",
+    )
+
     p_explain = sub.add_parser(
         "explain", help="everything the models know about one kernel"
     )
@@ -382,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "verify": _cmd_verify,
+        "lint": _cmd_lint,
         "measure": _cmd_measure,
         "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,

@@ -21,6 +21,8 @@ are therefore *consequences* of code structure, not free parameters.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.compiler.ir import (
     Access,
     Call,
@@ -32,6 +34,7 @@ from repro.compiler.ir import (
     ReduceOp,
     Scan,
     TRIP_N,
+    is_symbolic,
 )
 from repro.kernels.base import LoopFeature
 from repro.util.errors import CompilationError
@@ -64,7 +67,9 @@ def _access_features(accesses: tuple[Access, ...]) -> set[LoopFeature]:
     for acc in accesses:
         if acc.stride is None:
             out.add(LoopFeature.INDIRECTION)
-        elif abs(acc.stride) != 1:
+        elif is_symbolic(acc.stride) or abs(acc.stride) != 1:
+            # A symbolic row stride and any concrete |stride| > 1 look
+            # the same to the vectorizer: not unit stride.
             out.add(LoopFeature.NONUNIT_STRIDE)
     return out
 
@@ -154,7 +159,109 @@ def features_agree(
     declared: frozenset[LoopFeature], derived: frozenset[LoopFeature]
 ) -> bool:
     """Whether the declared traits and the IR-derived features agree on
-    every decisive feature."""
+    every decisive feature.
+
+    Non-decisive drift (a missing ``STENCIL`` tag, say) is deliberately
+    ignored here — it cannot change a vectorization decision — but it is
+    *not* dropped by the toolchain: :func:`features_diff` surfaces it as
+    a warning list, which the lint driver reports.
+    """
     return (declared & DECISIVE_FEATURES) == (
         derived & DECISIVE_FEATURES
+    )
+
+
+#: Non-decisive features the IR is structured enough to derive. The
+#: remaining informational members (STREAMING, TRIANGULAR, ...) describe
+#: memory behaviour the sketches do not encode, so drift on them is not
+#: checkable and not reported.
+INFORMATIONAL_DERIVABLE = frozenset(
+    {LoopFeature.STENCIL, LoopFeature.OUTER_ONLY_PARALLEL}
+)
+
+
+def derive_informational_features(
+    nest: LoopNest,
+) -> frozenset[LoopFeature]:
+    """Derive the checkable *non-decisive* features from a loop nest:
+    ``STENCIL`` (neighbour reads at constant or row offsets) and
+    ``OUTER_ONLY_PARALLEL`` (a parallel loop with serial subloops)."""
+    out: set[LoopFeature] = set()
+    for stmt, _depth, path in nest.walk():
+        accesses = getattr(stmt, "accesses", ())
+        if any(acc.offset != 0 for acc in accesses):
+            out.add(LoopFeature.STENCIL)
+        for level in path:
+            if level.parallel and any(
+                isinstance(item, Loop) and not item.parallel
+                for item in level.body
+            ):
+                out.add(LoopFeature.OUTER_ONLY_PARALLEL)
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class FeatureDrift:
+    """Structured disagreement between declared traits and IR-derived
+    features.
+
+    Decisive drift changes vectorization decisions and is an error;
+    informational drift (within :data:`INFORMATIONAL_DERIVABLE`) cannot,
+    but silently diverging metadata is still worth a warning.
+    """
+
+    decisive_undeclared: frozenset[LoopFeature]  # derived, not declared
+    decisive_stale: frozenset[LoopFeature]  # declared, not derived
+    informational_undeclared: frozenset[LoopFeature]
+    informational_stale: frozenset[LoopFeature]
+
+    @property
+    def decisive_clean(self) -> bool:
+        return not (self.decisive_undeclared or self.decisive_stale)
+
+    @property
+    def clean(self) -> bool:
+        return self.decisive_clean and not (
+            self.informational_undeclared or self.informational_stale
+        )
+
+    def warnings(self) -> list[str]:
+        """Human-readable lines for every non-decisive disagreement."""
+        out = []
+        for feature in sorted(self.informational_undeclared,
+                              key=lambda f: f.value):
+            out.append(
+                f"IR implies {feature.value} but the kernel traits do "
+                "not declare it"
+            )
+        for feature in sorted(self.informational_stale,
+                              key=lambda f: f.value):
+            out.append(
+                f"traits declare {feature.value} but the IR shows no "
+                "such structure"
+            )
+        return out
+
+
+def features_diff(
+    declared: frozenset[LoopFeature],
+    derived: frozenset[LoopFeature],
+    derived_informational: frozenset[LoopFeature] = frozenset(),
+) -> FeatureDrift:
+    """Full declared-vs-derived drift, decisive and informational.
+
+    ``derived`` is :func:`derive_features` output; pass
+    :func:`derive_informational_features` output as
+    ``derived_informational`` to also check the non-decisive tags that
+    :func:`features_agree` ignores.
+    """
+    decisive_declared = declared & DECISIVE_FEATURES
+    decisive_derived = derived & DECISIVE_FEATURES
+    info_declared = declared & INFORMATIONAL_DERIVABLE
+    info_derived = derived_informational & INFORMATIONAL_DERIVABLE
+    return FeatureDrift(
+        decisive_undeclared=frozenset(decisive_derived - decisive_declared),
+        decisive_stale=frozenset(decisive_declared - decisive_derived),
+        informational_undeclared=frozenset(info_derived - info_declared),
+        informational_stale=frozenset(info_declared - info_derived),
     )

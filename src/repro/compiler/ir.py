@@ -21,6 +21,67 @@ from repro.util.errors import CompilationError
 #: Marker trip count for "the problem size" (symbolic n).
 TRIP_N = -1
 
+#: Numeric carrier value for symbolic strides/offsets. Deliberately not a
+#: plausible problem size or row length (odd, > 2**20) so concrete stride
+#: arithmetic can never collide with it by accident.
+_SYMBOLIC_MAGNITUDE = (1 << 20) + 7
+
+
+class SymbolicStride(int):
+    """A symbolic element stride or offset ("one matrix row").
+
+    The feature analysis only cares that ``|stride| > 1``; the dependence
+    analysis additionally needs to know the value is *symbolic* — i.e.
+    "about one row of the problem, whatever the problem size is" — so a
+    real compile-time constant stride of the same magnitude cannot be
+    confused with it. Behaves as an ``int`` (with a deliberately
+    implausible magnitude) so existing arithmetic keeps working, and
+    arithmetic between symbolic values stays symbolic.
+    """
+
+    _name: str
+
+    def __new__(cls, value: int | None = None,
+                name: str = "SYM") -> "SymbolicStride":
+        if value is None:
+            value = _SYMBOLIC_MAGNITUDE
+        self = super().__new__(cls, value)
+        self._name = name
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self._name
+
+    def _derived(self, value: int, name: str) -> "SymbolicStride":
+        return SymbolicStride(value, name)
+
+    def __neg__(self) -> "SymbolicStride":
+        return self._derived(-int(self), f"-{self._name}")
+
+    def __add__(self, other) -> "SymbolicStride":
+        return self._derived(int(self) + int(other),
+                             f"{self._name}+{other!r}")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "SymbolicStride":
+        return self._derived(int(self) - int(other),
+                             f"{self._name}-{other!r}")
+
+    def __mul__(self, other) -> "SymbolicStride":
+        return self._derived(int(self) * int(other),
+                             f"{self._name}*{other!r}")
+
+    __rmul__ = __mul__
+
+
+def is_symbolic(value) -> bool:
+    """Whether a stride/offset is the symbolic row sentinel (or derived
+    from it), as opposed to a concrete compile-time constant."""
+    return isinstance(value, SymbolicStride) or (
+        value is not None and abs(int(value)) >= _SYMBOLIC_MAGNITUDE
+    )
+
 
 class AccessKind(enum.Enum):
     READ = "read"

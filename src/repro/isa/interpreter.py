@@ -14,6 +14,7 @@ arithmetic, pointer bookkeeping (``add``/``sub``/``slli``), ``bnez`` and
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +22,8 @@ import numpy as np
 from repro.isa.encoding import Instruction, parse_assembly
 from repro.isa.rvv import sew_bits
 from repro.util.errors import IsaError
+
+_WIDTH_MEM_RE = re.compile(r"^v[ls]e(?P<eew>8|16|32|64)\.v$")
 
 #: Architectural vector register width (the C920's 128 bits).
 DEFAULT_VLEN_BITS = 128
@@ -42,6 +45,9 @@ class MachineState:
     memory: bytearray = field(default_factory=bytearray)
     sew: int = 32
     vl: int = 0
+    #: Set by the first ``vsetvli``: vector instructions executed before
+    #: it would run with whatever SEW/vl the state happened to hold.
+    configured: bool = False
 
     def __post_init__(self) -> None:
         if not self.memory:
@@ -113,16 +119,39 @@ class RvvInterpreter:
         vlmax = state.vlen_bits // state.sew
         avl = state.get_s(avl_reg)
         state.vl = min(vlmax, max(0, avl))
+        state.configured = True
         state.set_s(rd, state.vl)
+
+    def _require_configured(self, mnemonic: str) -> None:
+        if not self.state.configured:
+            raise IsaError(
+                f"{mnemonic!r} executed before any vsetvli: SEW/vl are "
+                "undefined"
+            )
+
+    def _check_eew(self, mnemonic: str) -> None:
+        """Width-encoded v1.0 memory ops must match the active SEW — a
+        mismatch would silently move the wrong element width (the same
+        rule the rollback tool enforces)."""
+        m = _WIDTH_MEM_RE.match(mnemonic)
+        if m is not None and int(m.group("eew")) != self.state.sew:
+            raise IsaError(
+                f"{mnemonic!r} EEW {m.group('eew')} does not match the "
+                f"active SEW {self.state.sew}"
+            )
 
     def _vector_load(self, inst: Instruction) -> None:
         state = self.state
+        self._require_configured(inst.mnemonic)
+        self._check_eew(inst.mnemonic)
         vd = inst.operands[0].strip()
         address = state.get_s(_parse_mem_operand(inst.operands[1]))
         state.vectors[vd] = state.read_array(address, state.vl, state.sew)
 
     def _vector_store(self, inst: Instruction) -> None:
         state = self.state
+        self._require_configured(inst.mnemonic)
+        self._check_eew(inst.mnemonic)
         vs = inst.operands[0].strip()
         address = state.get_s(_parse_mem_operand(inst.operands[1]))
         data = self._vreg(vs)
@@ -143,6 +172,7 @@ class RvvInterpreter:
     def _vector_arith(self, inst: Instruction) -> None:
         state = self.state
         m = inst.mnemonic
+        self._require_configured(m)
         if m == "vmv.v.i":
             vd = inst.operands[0].strip()
             imm = int(inst.operands[1].strip(), 0)

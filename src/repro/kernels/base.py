@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -134,6 +135,20 @@ class KernelTraits:
             raise ConfigError("traffic_scale must be in (0, 1]")
         if self.regions_per_rep < 1:
             raise ConfigError("regions_per_rep must be >= 1")
+        serial_deps = self.features & {
+            LoopFeature.SCAN_DEP,
+            LoopFeature.LOOP_CARRIED_DEP,
+        }
+        if serial_deps and self.parallel_fraction >= 1.0:
+            # A true serial dependency bounds the Amdahl fraction below
+            # 1. Warn rather than raise: the full dependence analysis
+            # (``repro lint``) owns the authoritative error.
+            warnings.warn(
+                "parallel_fraction is 1.0 but features declare "
+                f"{', '.join(sorted(f.value for f in serial_deps))}: "
+                "a serial dependency should lower the Amdahl fraction",
+                stacklevel=2,
+            )
 
     def bytes_per_iter(self, dtype: DType) -> float:
         """Nominal bytes moved per iteration for element type ``dtype``."""

@@ -7,10 +7,14 @@ to the declared kernel traits in ``tests/compiler/test_analysis.py`` —
 any drift between the two representations fails loudly.
 
 Conventions: ``TRIP_N`` is the symbolic problem size; stride values are
-element strides of the innermost loop (``ROW`` stands for a symbolic
-row-length stride in 2D/3D nests, any value with |stride| > 1 behaves
-identically in the analysis); ``stride=None`` marks indirect
-(gather/scatter) accesses.
+element strides of the innermost loop; ``stride=None`` marks indirect
+(gather/scatter) accesses. ``ROW`` is the dedicated
+:class:`~repro.compiler.ir.SymbolicStride` sentinel standing for "one
+matrix row" in 2D/3D nests: the feature analysis only needs
+``|stride| > 1`` (any such value behaves identically there), but the
+dependence analysis must distinguish a *symbolic* row-length from a real
+compile-time constant — a kernel with a genuine stride of 1024 would
+otherwise be indistinguishable from a row-major plane walk.
 """
 
 from __future__ import annotations
@@ -24,14 +28,17 @@ from repro.compiler.ir import (
     Reduce,
     ReduceOp,
     Scan,
+    SymbolicStride,
     TRIP_N,
     read,
     write,
 )
 from repro.util.errors import ConfigError
 
-#: Symbolic "one matrix row" stride for 2D/3D plane neighbours.
-ROW = 1024
+#: Symbolic "one matrix row" stride for 2D/3D plane neighbours. Not a
+#: concrete number: ``is_symbolic(ROW)`` (and of ``-ROW``, ``ROW + 1``,
+#: ``ROW * ROW``...) holds, so a problem size of 1024 can never alias it.
+ROW = SymbolicStride(name="ROW")
 
 
 def _elementwise(*arrays_out, reads=(), conditional=False,

@@ -37,6 +37,29 @@ def barrier_seconds(cpu: CPUModel, nthreads: int) -> float:
     )
 
 
+def static_chunks(total_iters: int, nthreads: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, end)`` iteration blocks of the OpenMP static
+    schedule (what GOMP does with no ``schedule`` clause).
+
+    This is the partition :mod:`repro.perfmodel.execution` times (chunk =
+    iterations / threads, slowest thread decides) and the one the static
+    race detector (:mod:`repro.analyze.races`) proves safety against: two
+    iterations can run concurrently iff they land in different blocks.
+    """
+    if total_iters < 0:
+        raise SimulationError(f"total_iters must be >= 0, got {total_iters}")
+    if nthreads < 1:
+        raise SimulationError(f"nthreads must be >= 1, got {nthreads}")
+    base, extra = divmod(total_iters, nthreads)
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    for tid in range(nthreads):
+        size = base + (1 if tid < extra else 0)
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
 def compose_parallel_time(
     serial_fraction_time: float,
     slowest_chunk_time: float,

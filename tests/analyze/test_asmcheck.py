@@ -1,0 +1,236 @@
+"""Assembly verifier: the vsetvli state machine, dialect legality,
+def-before-use, and termination proofs."""
+
+import pytest
+
+from repro.analyze.asmcheck import check_assembly
+from repro.analyze.report import Severity
+from repro.compiler.model import VectorFlavor
+from repro.isa.codegen import LoopSpec, generate_loop
+from repro.isa.encoding import render_assembly
+from repro.isa.rollback import rollback
+from repro.isa.rvv import RVV_0_7_1, RVV_1_0
+from repro.machine.vector import DType
+
+
+def triad_asm(flavor=VectorFlavor.VLA, version="1.0",
+              dtype=DType.FP64):
+    spec = LoopSpec(dtype=dtype, num_inputs=2,
+                    ops=("vfmul.vv", "vfadd.vv"))
+    return render_assembly(generate_loop(spec, flavor, version))
+
+
+def errors(findings):
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+class TestCleanPrograms:
+    def test_vla_v10_is_clean(self):
+        assert check_assembly(triad_asm(), RVV_1_0) == []
+
+    def test_vls_v10_has_only_divisibility_info(self):
+        findings = check_assembly(
+            triad_asm(flavor=VectorFlavor.VLS), RVV_1_0
+        )
+        assert errors(findings) == []
+        assert all(f.severity is Severity.INFO for f in findings)
+        assert any("multiple" in f.message for f in findings)
+
+    def test_native_v071_is_clean(self):
+        findings = check_assembly(
+            triad_asm(version="0.7.1"), RVV_0_7_1
+        )
+        assert errors(findings) == []
+
+    def test_rolled_back_v10_is_clean_under_v071(self):
+        findings = check_assembly(
+            rollback(triad_asm()), RVV_0_7_1
+        )
+        assert errors(findings) == []
+
+    def test_accumulating_loop_is_clean(self):
+        spec = LoopSpec(dtype=DType.FP32, num_inputs=2,
+                        ops=("vfmacc.vv",))
+        asm = render_assembly(
+            generate_loop(spec, VectorFlavor.VLA, "1.0")
+        )
+        assert check_assembly(asm, RVV_1_0) == []
+
+
+class TestDialectLegality:
+    def test_unrolled_width_encoded_load_fails_v071(self):
+        # The seeded-inconsistency demo: claim a v1.0 program was rolled
+        # back without running the rollback tool.
+        findings = check_assembly(triad_asm(), RVV_0_7_1, "fake-rollback")
+        errs = errors(findings)
+        assert any("width-encoded" in e.message for e in errs)
+        assert any("rollback" in e.hint for e in errs)
+        assert all(e.site.startswith("fake-rollback:insn[") for e in errs)
+
+    def test_v071_mnemonic_fails_v10(self):
+        findings = check_assembly(
+            triad_asm(version="0.7.1"), RVV_1_0
+        )
+        assert any(
+            "not part of RVV 1.0" in e.message for e in errors(findings)
+        )
+
+    def test_policy_flags_fail_v071(self):
+        asm = (
+            "loop:\n"
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    sub a0, a0, t0\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        assert any(
+            "vsetvli" in e.message
+            for e in errors(check_assembly(asm, RVV_0_7_1))
+        )
+
+    def test_eew_sew_mismatch_warns_in_v10(self):
+        asm = (
+            "loop:\n"
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    vle64.v v1, (a1)\n"
+            "    vse64.v v1, (a3)\n"
+            "    sub a0, a0, t0\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        findings = check_assembly(asm, RVV_1_0)
+        warns = [f for f in findings if f.severity is Severity.WARNING]
+        assert len(warns) == 2
+        assert "EEW 64" in warns[0].message
+
+
+class TestStateMachine:
+    def test_vector_op_before_vsetvli(self):
+        asm = "    vfadd.vv v0, v1, v1\n    ret\n"
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("before any vsetvli" in e.message for e in errs)
+
+    def test_load_before_vsetvli(self):
+        asm = "    vle.v v1, (a1)\n    ret\n"
+        errs = errors(check_assembly(asm, RVV_0_7_1))
+        assert any("before any vsetvli" in e.message for e in errs)
+
+
+class TestDefBeforeUse:
+    def test_undefined_vector_source(self):
+        asm = (
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    vfadd.vv v0, v9, v9\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("'v9'" in e.message for e in errs)
+
+    def test_accumulator_read_without_init(self):
+        # vfmacc reads its destination: without vmv.v.i the add source
+        # is garbage.
+        asm = (
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    vle32.v v1, (a1)\n"
+            "    vfmacc.vv v0, v1, v1\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("'v0'" in e.message for e in errs)
+
+    def test_undefined_scalar_base_address(self):
+        asm = (
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    vle32.v v1, (t5)\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("'t5'" in e.message for e in errs)
+
+    def test_abi_registers_are_live_in(self):
+        asm = (
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    vle32.v v1, (a7)\n"
+            "    ret\n"
+        )
+        assert errors(check_assembly(asm, RVV_1_0)) == []
+
+
+class TestTermination:
+    def test_missing_decrement(self):
+        asm = (
+            "loop:\n"
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("cannot terminate" in e.message for e in errs)
+
+    def test_nonpositive_constant_step(self):
+        asm = (
+            "    li t1, 0\n"
+            "loop:\n"
+            "    sub a0, a0, t1\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("non-positive" in e.message for e in errs)
+
+    def test_clobbered_loop_register(self):
+        asm = (
+            "    li t1, 4\n"
+            "loop:\n"
+            "    li a0, 7\n"
+            "    sub a0, a0, t1\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("redefined" in e.message for e in errs)
+
+    def test_vsetvli_over_loop_register_proves_exact_termination(self):
+        asm = (
+            "loop:\n"
+            "    vsetvli t0, a0, e32, m1, ta, ma\n"
+            "    sub a0, a0, t0\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        assert check_assembly(asm, RVV_1_0) == []
+
+    def test_vsetvli_over_other_register_warns(self):
+        asm = (
+            "loop:\n"
+            "    vsetvli t0, a5, e32, m1, ta, ma\n"
+            "    sub a0, a0, t0\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        findings = check_assembly(asm, RVV_1_0)
+        assert any(
+            f.severity is Severity.WARNING and "relationship" in f.message
+            for f in findings
+        )
+
+    def test_unknown_branch_target(self):
+        asm = "    li t0, 1\n    bnez t0, nowhere\n    ret\n"
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("unknown label" in e.message for e in errs)
+
+
+class TestProgramShape:
+    def test_missing_ret(self):
+        errs = errors(check_assembly("    li t0, 1\n", RVV_1_0))
+        assert any("without ret" in e.message for e in errs)
+
+    @pytest.mark.parametrize("dtype", [DType.FP16, DType.FP32,
+                                       DType.FP64])
+    @pytest.mark.parametrize("flavor", [VectorFlavor.VLS,
+                                        VectorFlavor.VLA])
+    def test_all_codegen_outputs_error_free(self, dtype, flavor):
+        for version, dialect in (("1.0", RVV_1_0),
+                                 ("0.7.1", RVV_0_7_1)):
+            asm = triad_asm(flavor=flavor, version=version, dtype=dtype)
+            assert errors(check_assembly(asm, dialect)) == []

@@ -1,0 +1,95 @@
+"""The ``repro lint`` subcommand: exit codes and output contract."""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+from repro.cli import main
+from repro.kernels.base import LoopFeature
+from repro.kernels.registry import get_kernel
+
+
+class TestLintCommand:
+    def test_lint_all_exits_zero(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+        assert "64 kernels" in out
+
+    def test_lint_kernel_subset_no_asm(self, capsys):
+        assert main(["lint", "--kernels", "TRIAD,DOT", "--no-asm"]) == 0
+        out = capsys.readouterr().out
+        assert "2 kernels, 0 assembly programs" in out
+
+    def test_min_severity_hides_warning_keeps_exit(self, capsys):
+        assert main(["lint", "--all", "--min-severity", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "JACOBI_2D" not in out
+        assert "lint: clean" in out
+
+    def test_unknown_kernel_is_generic_cli_error(self):
+        assert main(["lint", "--kernels", "NOT_A_KERNEL",
+                     "--no-asm"]) == 2
+
+
+class TestAsmFileLint:
+    def test_bad_file_exits_three(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("    vle32.v v1, (a1)\n    ret\n")
+        rc = main(["lint", "--asm-file", str(bad),
+                   "--dialect", "0.7.1"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "ERROR" in out and "lint: FAIL" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.s"
+        good.write_text(
+            "loop:\n"
+            "    vsetvli t0, a0, e32, m1\n"
+            "    vle.v v1, (a1)\n"
+            "    vfadd.vv v0, v1, v1\n"
+            "    vse.v v0, (a3)\n"
+            "    sub a0, a0, t0\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        assert main(["lint", "--asm-file", str(good),
+                     "--dialect", "0.7.1"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_wrong_dialect_claim_exits_three(self, tmp_path):
+        v071 = tmp_path / "old.s"
+        v071.write_text(
+            "loop:\n"
+            "    vsetvli t0, a0, e32, m1\n"
+            "    vle.v v1, (a1)\n"
+            "    vse.v v1, (a3)\n"
+            "    sub a0, a0, t0\n"
+            "    bnez a0, loop\n"
+            "    ret\n"
+        )
+        assert main(["lint", "--asm-file", str(v071),
+                     "--dialect", "1.0"]) == 3
+
+
+class TestSeededTraitFlipEndToEnd:
+    def test_lint_exits_three_on_seeded_kernel(self, monkeypatch,
+                                               capsys):
+        kernel = get_kernel("SCAN")
+        seeded = SimpleNamespace(
+            name="SCAN",
+            traits=replace(
+                kernel.traits,
+                features=kernel.traits.features
+                - {LoopFeature.SCAN_DEP},
+            ),
+        )
+        monkeypatch.setattr(
+            "repro.analyze.driver.all_kernels", lambda: [seeded]
+        )
+        rc = main(["lint", "--all", "--no-asm"])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "SCAN:loop[0]" in out
+        assert "scan" in out

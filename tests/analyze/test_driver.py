@@ -1,0 +1,132 @@
+"""Lint driver: aggregation, coverage counters, and report rendering."""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+from repro.analyze.driver import (
+    iter_asm_programs,
+    lint_assembly,
+    lint_assembly_file,
+    lint_kernel,
+    lint_kernels,
+    run_lint,
+)
+from repro.analyze.report import Finding, LintReport, Severity
+from repro.isa.rvv import RVV_0_7_1
+from repro.kernels.base import LoopFeature
+from repro.kernels.registry import get_kernel
+
+
+class TestShippedTreeIsClean:
+    def test_full_lint_exits_zero(self):
+        report = run_lint()
+        assert not report.has_errors
+        assert report.exit_code == 0
+        assert report.kernels_checked == 64
+        assert report.programs_checked == 36
+
+    def test_jacobi_2d_informational_drift_is_the_only_warning(self):
+        report = run_lint(asm=False)
+        warnings = report.by_severity(Severity.WARNING)
+        assert len(warnings) == 1
+        assert warnings[0].site.startswith("JACOBI_2D")
+        assert "outer_only_parallel" in warnings[0].message
+
+    def test_render_reports_coverage_and_clean(self):
+        report = run_lint()
+        text = report.render(min_severity=Severity.ERROR)
+        assert "64 kernels, 36 assembly programs" in text
+        assert text.endswith("lint: clean")
+
+
+class TestSweeps:
+    def test_asm_sweep_covers_all_variants(self):
+        ids = [pid for pid, _text, _dialect in iter_asm_programs()]
+        assert len(ids) == 36
+        # 2 shapes x 3 dtypes x 2 flavours x 3 variants
+        for token in ("triad", "axpy", "fp16", "fp32", "fp64", "vls",
+                      "vla", "/v1.0", "/v0.7.1", "/rollback"):
+            assert any(token in pid for pid in ids)
+
+    def test_asm_sweep_has_no_errors(self):
+        findings, count = lint_assembly()
+        assert count == 36
+        assert not any(
+            f.severity is Severity.ERROR for f in findings
+        )
+
+    def test_kernel_subset(self):
+        findings, count = lint_kernels(["TRIAD", "GEMM"])
+        assert count == 2
+        assert not any(
+            f.severity is Severity.ERROR for f in findings
+        )
+
+
+class TestSeededInconsistency:
+    def test_trait_flip_surfaces_as_error(self):
+        kernel = get_kernel("SORT")
+        bad = SimpleNamespace(
+            name="SORT",
+            traits=replace(
+                kernel.traits,
+                features=kernel.traits.features
+                - {LoopFeature.LIBRARY_CALL},
+            ),
+        )
+        findings = lint_kernel(bad)
+        errs = [f for f in findings if f.severity is Severity.ERROR]
+        assert errs
+        # Both the race cross-check and the decisive feature-drift check
+        # catch it, each with a located site.
+        assert any(f.analyzer == "races" for f in errs)
+        assert any(f.analyzer == "features" for f in errs)
+        assert all(f.site.startswith("SORT:") for f in errs)
+
+    def test_assembly_file_lint(self, tmp_path):
+        bad = tmp_path / "bad.s"
+        bad.write_text("    vle32.v v1, (a1)\n    ret\n")
+        findings, count = lint_assembly_file(str(bad), RVV_0_7_1)
+        assert count == 1
+        assert any(f.severity is Severity.ERROR for f in findings)
+        assert all(f.site.startswith(str(bad)) for f in findings)
+
+
+class TestReport:
+    def test_exit_code_contract(self):
+        clean = LintReport()
+        assert clean.exit_code == 0
+        dirty = LintReport(findings=[
+            Finding(Severity.ERROR, "races", "X:loop[0]", "boom"),
+        ])
+        assert dirty.exit_code == 3
+
+    def test_warnings_do_not_fail(self):
+        report = LintReport(findings=[
+            Finding(Severity.WARNING, "features", "X", "drift"),
+            Finding(Severity.INFO, "asm", "Y", "assumption"),
+        ])
+        assert report.exit_code == 0
+
+    def test_render_orders_most_severe_first(self):
+        report = LintReport(findings=[
+            Finding(Severity.INFO, "asm", "a", "info line"),
+            Finding(Severity.ERROR, "races", "b", "error line"),
+            Finding(Severity.WARNING, "features", "c", "warn line"),
+        ])
+        text = report.render()
+        assert text.index("ERROR") < text.index("WARNING")
+        assert text.index("WARNING") < text.index("INFO")
+        assert text.endswith("lint: FAIL")
+
+    def test_min_severity_filters_display_only(self):
+        report = LintReport(findings=[
+            Finding(Severity.INFO, "asm", "a", "quiet note"),
+        ])
+        assert "quiet note" not in report.render(Severity.WARNING)
+        assert report.exit_code == 0
+
+    def test_finding_renders_hint(self):
+        f = Finding(Severity.ERROR, "races", "K:loop[0]", "msg",
+                    hint="fix it")
+        assert "hint: fix it" in f.render()

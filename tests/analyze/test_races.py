@@ -1,0 +1,247 @@
+"""Race detector: verdicts, dependence tests, and the traits
+cross-check — pinned to agree with the declared traits of all 64
+kernels."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analyze.races import Verdict, classify_nest, crosscheck_traits
+from repro.analyze.report import Severity
+from repro.compiler.ir import (
+    Compute,
+    Loop,
+    LoopNest,
+    SymbolicStride,
+    TRIP_N,
+    read,
+    write,
+)
+from repro.kernels.base import KernelTraits, LoopFeature
+from repro.kernels.ir_defs import ir_for
+from repro.kernels.registry import all_kernels, get_kernel
+
+ROW = SymbolicStride(name="ROW")
+
+
+def errors_for(kernel, traits=None):
+    _report, findings = crosscheck_traits(
+        kernel.name, ir_for(kernel.name), traits or kernel.traits
+    )
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+class TestAllKernelsAgree:
+    """The acceptance pin: detector verdicts vs declared traits."""
+
+    @pytest.mark.parametrize(
+        "kernel", all_kernels(), ids=lambda k: k.name
+    )
+    def test_no_error_findings(self, kernel):
+        assert errors_for(kernel) == []
+
+    def test_covers_all_64(self):
+        assert len(all_kernels()) == 64
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize(
+        "name", ["SCAN", "GEN_LIN_RECUR", "TRIDIAG_ELIM", "SORT",
+                 "SORTPAIRS"]
+    )
+    def test_serial_kernels(self, name):
+        assert classify_nest(ir_for(name)).verdict is Verdict.SERIAL
+
+    @pytest.mark.parametrize(
+        "name", ["DAXPY_ATOMIC", "PI_ATOMIC", "NODAL_ACCUMULATION_3D"]
+    )
+    def test_atomic_kernels(self, name):
+        assert classify_nest(ir_for(name)).verdict is Verdict.NEEDS_ATOMIC
+
+    @pytest.mark.parametrize(
+        "name", ["REDUCE_SUM", "DOT", "FIRST_MIN", "TRAP_INT"]
+    )
+    def test_reduction_kernels(self, name):
+        assert (
+            classify_nest(ir_for(name)).verdict is Verdict.NEEDS_REDUCTION
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["TRIAD", "DAXPY", "COPY", "JACOBI_2D", "NESTED_INIT"]
+    )
+    def test_parallel_safe_kernels(self, name):
+        assert classify_nest(ir_for(name)).verdict is Verdict.PARALLEL_SAFE
+
+    def test_nested_reduction_is_private(self):
+        report = classify_nest(ir_for("GEMM"))
+        assert report.verdict is Verdict.PARALLEL_SAFE
+        assert any("private" in n for n in report.notes())
+
+    def test_indirect_write_noted(self):
+        report = classify_nest(ir_for("HALOEXCHANGE"))
+        assert any("injective" in n for n in report.notes())
+
+    def test_verdict_severity_order(self):
+        ranks = [
+            Verdict.PARALLEL_SAFE.rank,
+            Verdict.NEEDS_REDUCTION.rank,
+            Verdict.NEEDS_ATOMIC.rank,
+            Verdict.SERIAL.rank,
+        ]
+        assert ranks == sorted(ranks)
+
+
+class TestDependenceAnalysis:
+    """Hand-built nests exercising the affine and slab tests."""
+
+    def test_write_write_race_detected(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((write("x"),)),
+            Compute((write("x", offset=1),)),
+        )),))
+        report = classify_nest(nest)
+        assert report.verdict is Verdict.SERIAL
+        (conflict,) = report.conflicts()
+        assert conflict.kind == "write-write"
+        assert conflict.array == "x"
+
+    def test_read_write_race_detected(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("x", offset=1), write("x"))),
+        )),))
+        report = classify_nest(nest)
+        assert report.verdict is Verdict.SERIAL
+        (conflict,) = report.conflicts()
+        assert conflict.kind == "read-write"
+
+    def test_disjoint_strided_lanes_are_safe(self):
+        # Write even elements, read odd: delta 1 not divisible by 2.
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("x", stride=2, offset=1),
+                     write("x", stride=2))),
+        )),))
+        assert classify_nest(nest).verdict is Verdict.PARALLEL_SAFE
+
+    def test_gcd_test_catches_intersecting_strides(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((write("x", stride=2),)),
+            Compute((read("x", stride=3),)),
+        )),))
+        assert classify_nest(nest).verdict is Verdict.SERIAL
+
+    def test_stencil_read_within_slab_is_safe(self):
+        # Outer-parallel nest: neighbour reads at element offsets stay
+        # inside the thread's contiguous slab.
+        nest = LoopNest(loops=(Loop(TRIP_N, parallel=True, body=(
+            Loop(TRIP_N, parallel=False, body=(
+                Compute((read("a", offset=1), read("a", offset=-1),
+                         write("b"))),
+            )),
+        )),))
+        assert classify_nest(nest).verdict is Verdict.PARALLEL_SAFE
+
+    def test_row_offset_crosses_slab(self):
+        # In-place row-offset write/read: reaches the neighbour thread's
+        # rows.
+        nest = LoopNest(loops=(Loop(TRIP_N, parallel=True, body=(
+            Loop(TRIP_N, parallel=False, body=(
+                Compute((read("a", offset=ROW), write("a"))),
+            )),
+        )),))
+        report = classify_nest(nest)
+        assert report.verdict is Verdict.SERIAL
+        assert any("slab" in c.reason for c in report.conflicts())
+
+    def test_same_element_same_iteration_is_safe(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("x"), write("x"))),
+        )),))
+        assert classify_nest(nest).verdict is Verdict.PARALLEL_SAFE
+
+
+class TestSeededInconsistencies:
+    """Flipping one trait produces a located, human-readable ERROR."""
+
+    def test_undeclared_scan_dep(self):
+        kernel = get_kernel("SCAN")
+        bad = replace(
+            kernel.traits,
+            features=kernel.traits.features - {LoopFeature.SCAN_DEP},
+        )
+        (err, *rest) = errors_for(kernel, bad)
+        assert "scan" in err.message
+        assert "SCAN:loop[0]" in err.site
+        assert "SCAN_DEP" in err.hint
+
+    def test_serial_with_full_parallel_fraction(self):
+        kernel = get_kernel("SCAN")
+        with pytest.warns(UserWarning, match="scan_dep"):
+            bad = replace(kernel.traits, parallel_fraction=1.0)
+        errs = errors_for(kernel, bad)
+        assert any("parallel_fraction" in e.site for e in errs)
+
+    def test_undeclared_atomic(self):
+        kernel = get_kernel("DAXPY_ATOMIC")
+        bad = replace(
+            kernel.traits,
+            features=kernel.traits.features - {LoopFeature.ATOMIC},
+        )
+        errs = errors_for(kernel, bad)
+        assert any("ATOMIC" in e.message or "atomic" in e.message
+                   for e in errs)
+
+    def test_stale_atomic(self):
+        kernel = get_kernel("TRIAD")
+        bad = replace(
+            kernel.traits,
+            features=kernel.traits.features | {LoopFeature.ATOMIC},
+        )
+        errs = errors_for(kernel, bad)
+        assert any("declare ATOMIC" in e.message for e in errs)
+
+    def test_undeclared_reduction(self):
+        kernel = get_kernel("REDUCE_SUM")
+        bad = replace(
+            kernel.traits,
+            features=kernel.traits.features
+            - {LoopFeature.REDUCTION_SUM},
+        )
+        errs = errors_for(kernel, bad)
+        assert any("REDUCTION" in e.message for e in errs)
+
+    def test_actual_race_is_error_regardless_of_traits(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("x", offset=1), write("x"))),
+        )),))
+        traits = KernelTraits(
+            flops_per_iter=1, reads_per_iter=1, writes_per_iter=1,
+            footprint_elems=1.0, parallel_fraction=0.9,
+        )
+        _report, findings = crosscheck_traits("FAKE", nest, traits)
+        errs = [f for f in findings if f.severity is Severity.ERROR]
+        assert errs and "race" in errs[0].message.replace("-", " ")
+
+
+class TestTraitsConstructionWarning:
+    """kernels/base.py warns at construction on the contradiction."""
+
+    def test_scan_dep_with_full_fraction_warns(self):
+        with pytest.warns(UserWarning, match="parallel_fraction"):
+            KernelTraits(
+                flops_per_iter=1, reads_per_iter=1, writes_per_iter=1,
+                footprint_elems=1.0,
+                features=frozenset({LoopFeature.SCAN_DEP}),
+                parallel_fraction=1.0,
+            )
+
+    def test_loop_carried_dep_with_lowered_fraction_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            KernelTraits(
+                flops_per_iter=1, reads_per_iter=1, writes_per_iter=1,
+                footprint_elems=1.0,
+                features=frozenset({LoopFeature.LOOP_CARRIED_DEP}),
+                parallel_fraction=0.7,
+            )

@@ -205,3 +205,113 @@ class TestIrValidation:
         ((stmt, depth, path),) = list(nest.walk())
         assert depth == 2
         assert path[0].trip == TRIP_N and path[1].trip == 4
+
+
+class TestSymbolicStride:
+    """The ROW sentinel: symbolic magnitude that survives arithmetic."""
+
+    def test_row_is_symbolic(self):
+        from repro.compiler.ir import SymbolicStride, is_symbolic
+        from repro.kernels.ir_defs import ROW
+
+        assert isinstance(ROW, SymbolicStride)
+        assert is_symbolic(ROW)
+        assert not is_symbolic(1) and not is_symbolic(-1024)
+
+    def test_arithmetic_preserves_symbolism(self):
+        from repro.compiler.ir import is_symbolic
+        from repro.kernels.ir_defs import ROW
+
+        for value in (-ROW, ROW + 1, ROW - 1, ROW * ROW, 2 * ROW):
+            assert is_symbolic(value), value
+
+    def test_symbolic_stride_is_nonunit(self):
+        from repro.kernels.ir_defs import ROW
+
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("a", stride=ROW), write("b"))),
+        )),))
+        assert LoopFeature.NONUNIT_STRIDE in derive_features(nest)
+
+    def test_indirect_access_still_distinct(self):
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("a", stride=None), write("b"))),
+        )),))
+        derived = derive_features(nest)
+        assert LoopFeature.INDIRECTION in derived
+        assert LoopFeature.NONUNIT_STRIDE not in derived
+
+
+class TestFeaturesDiff:
+    """Structured drift reporting consumed by the lint driver."""
+
+    def _diff(self, declared, derived, informational=frozenset()):
+        from repro.compiler.analysis import features_diff
+
+        return features_diff(
+            frozenset(declared), frozenset(derived),
+            frozenset(informational),
+        )
+
+    def test_clean_when_identical(self):
+        drift = self._diff({LoopFeature.REDUCTION_SUM},
+                           {LoopFeature.REDUCTION_SUM})
+        assert drift.clean and drift.decisive_clean
+        assert drift.warnings() == []
+
+    def test_decisive_undeclared(self):
+        drift = self._diff(set(), {LoopFeature.SCAN_DEP})
+        assert not drift.decisive_clean
+        assert drift.decisive_undeclared == {LoopFeature.SCAN_DEP}
+
+    def test_decisive_stale(self):
+        drift = self._diff({LoopFeature.ATOMIC}, set())
+        assert drift.decisive_stale == {LoopFeature.ATOMIC}
+
+    def test_informational_drift_is_warning_not_decisive(self):
+        drift = self._diff(
+            set(), set(), informational={LoopFeature.STENCIL}
+        )
+        assert drift.decisive_clean and not drift.clean
+        (warning,) = drift.warnings()
+        assert "stencil" in warning
+
+    def test_informational_stale(self):
+        drift = self._diff({LoopFeature.OUTER_ONLY_PARALLEL}, set())
+        assert drift.informational_stale == {
+            LoopFeature.OUTER_ONLY_PARALLEL
+        }
+        assert any("no such structure" in w for w in drift.warnings())
+
+    def test_features_agree_ignores_informational_drift(self):
+        declared = frozenset({LoopFeature.STENCIL})
+        assert features_agree(declared, frozenset())
+
+
+class TestDeriveInformationalFeatures:
+    def test_stencil_from_offsets(self):
+        from repro.compiler.analysis import derive_informational_features
+
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("a", offset=1), write("b"))),
+        )),))
+        assert LoopFeature.STENCIL in derive_informational_features(nest)
+
+    def test_outer_only_parallel_from_structure(self):
+        from repro.compiler.analysis import derive_informational_features
+
+        nest = LoopNest(loops=(Loop(TRIP_N, parallel=True, body=(
+            Loop(TRIP_N, parallel=False, body=(
+                Compute((write("b"),)),
+            )),
+        )),))
+        derived = derive_informational_features(nest)
+        assert LoopFeature.OUTER_ONLY_PARALLEL in derived
+
+    def test_flat_streaming_loop_derives_nothing(self):
+        from repro.compiler.analysis import derive_informational_features
+
+        nest = LoopNest(loops=(Loop(TRIP_N, body=(
+            Compute((read("a"), write("b"))),
+        )),))
+        assert derive_informational_features(nest) == frozenset()

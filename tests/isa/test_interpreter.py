@@ -164,3 +164,63 @@ class TestInterpreterMechanics:
                 np.ones(4, dtype=np.float32),
                 np.ones(5, dtype=np.float32),
             )
+
+
+class TestExecutionGuards:
+    """Guard paths: runaway loops, unconfigured vector state,
+    mismatched element widths."""
+
+    def test_vector_op_before_vsetvli_rejected(self):
+        with pytest.raises(IsaError, match="before any vsetvli"):
+            RvvInterpreter().run("vfadd.vv v0, v1, v1\nret")
+
+    def test_vector_load_before_vsetvli_rejected(self):
+        state = MachineState()
+        state.set_s("a1", 0)
+        with pytest.raises(IsaError, match="before any vsetvli"):
+            RvvInterpreter(state).run("vle.v v1, (a1)\nret")
+
+    def test_mismatched_eew_load_rejected(self):
+        state = MachineState()
+        state.set_s("a0", 4)
+        state.set_s("a1", 0)
+        program = (
+            "vsetvli t0, a0, e32, m1, ta, ma\n"
+            "vle64.v v1, (a1)\n"
+            "ret"
+        )
+        with pytest.raises(IsaError, match="does not match the active"):
+            RvvInterpreter(state).run(program)
+
+    def test_mismatched_eew_store_rejected(self):
+        state = MachineState()
+        state.set_s("a0", 4)
+        state.set_s("a3", 0)
+        program = (
+            "vsetvli t0, a0, e64, m1, ta, ma\n"
+            "vmv.v.i v0, 0\n"
+            "vse32.v v0, (a3)\n"
+            "ret"
+        )
+        with pytest.raises(IsaError, match="does not match the active"):
+            RvvInterpreter(state).run(program)
+
+    def test_matching_eew_still_executes(self):
+        b, c = data(8)
+        out = run_triad_loop(gen(VectorFlavor.VLA, "1.0"), b, c)
+        np.testing.assert_allclose(out, b * c, rtol=1e-6)
+
+    def test_runaway_vector_loop_bounded(self):
+        # The cap catches loops whose trip register never reaches zero.
+        state = MachineState()
+        state.set_s("a0", 3)
+        program = (
+            "vsetvli t0, a0, e32, m1, ta, ma\n"
+            "li t1, 0\n"
+            "spin:\n"
+            "sub a0, a0, t1\n"
+            "bnez a0, spin\n"
+            "ret"
+        )
+        with pytest.raises(IsaError, match="budget"):
+            RvvInterpreter(state).run(program)
