@@ -1,0 +1,154 @@
+"""Macro-benchmark: the full-grid sweep fast path vs the naive reference.
+
+Times the acceptance grid of the prediction-engine fast path — all 64
+kernels x threads {1, 4, 8, 16, 32, 64} x {block, cyclic} x {fp32, fp64}
+on the SG2042, ``noise_sigma=0`` — twice:
+
+* **reference**: :func:`reference_mode` (per-core slowest-thread scans,
+  per-core sharer map rebuilds) with both cache layers disabled — the
+  engine's behaviour before the fast path existed;
+* **fast**: the default path — placement symmetry-class dedup, shared
+  compile cache, prediction memo.
+
+It asserts the two sweeps are **bit-identical** (dataclass equality over
+every float of every point), that the compile cache compiled each kernel
+exactly once, and that the fast path clears the speedup floor (>= 5x on
+the full grid; a looser >= 1.5x on the ``--reduced`` CI grid, whose
+reference is too quick to amortize fixed costs). Results land in
+``BENCH_sweep.json`` next to the repo root to start the perf trajectory.
+
+Run directly (``python benchmarks/bench_sweep.py [--reduced]``) or via
+pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.kernels.registry import all_kernels
+from repro.machine import catalog
+from repro.perfmodel.placement import reference_mode
+from repro.suite.config import Placement, Precision
+from repro.suite.memo import SuiteCaches
+from repro.suite.sweep import sweep
+
+FULL_THREADS = (1, 4, 8, 16, 32, 64)
+REDUCED_THREADS = (1, 8, 64)
+PLACEMENTS = (Placement.BLOCK, Placement.CYCLIC)
+PRECISIONS = (Precision.FP32, Precision.FP64)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _grid(reduced: bool) -> dict:
+    return {
+        "threads": REDUCED_THREADS if reduced else FULL_THREADS,
+        "placements": PLACEMENTS,
+        "precisions": PRECISIONS,
+    }
+
+
+def run_benchmark(reduced: bool = False) -> dict:
+    """Time reference vs fast sweeps; return the JSON-ready record."""
+    cpu = catalog.sg2042()
+    kernels = all_kernels()
+    grid = _grid(reduced)
+    floor = 1.5 if reduced else 5.0
+
+    start = time.perf_counter()
+    with reference_mode():
+        ref = sweep(cpu, kernels=kernels, caches=SuiteCaches.disabled(),
+                    **grid)
+    ref_seconds = time.perf_counter() - start
+
+    caches = SuiteCaches()
+    start = time.perf_counter()
+    fast = sweep(cpu, kernels=kernels, caches=caches, **grid)
+    fast_seconds = time.perf_counter() - start
+
+    assert fast == ref, "fast path diverged from the reference sweep"
+    stats = caches.stats()
+    assert stats.compile_misses == len(kernels), (
+        f"expected exactly one compilation per kernel, got "
+        f"{stats.compile_misses}"
+    )
+
+    speedup = ref_seconds / fast_seconds
+    configs = (len(grid["threads"]) * len(grid["placements"])
+               * len(grid["precisions"]))
+    return {
+        "benchmark": "sweep_fastpath",
+        "mode": "reduced" if reduced else "full",
+        "cpu": cpu.name,
+        "kernels": len(kernels),
+        "grid_points": configs,
+        "predictions": configs * len(kernels),
+        "reference_seconds": round(ref_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "speedup": round(speedup, 2),
+        "speedup_floor": floor,
+        "bit_identical": True,
+        "compile_cache": {
+            "misses": stats.compile_misses,
+            "hits": stats.compile_hits,
+            "entries": stats.compile_entries,
+        },
+        "prediction_memo": {
+            "misses": stats.predict_misses,
+            "hits": stats.predict_hits,
+            "entries": stats.predict_entries,
+        },
+    }
+
+
+def _report(record: dict) -> str:
+    return (
+        f"full-grid sweep fast path ({record['mode']} grid, "
+        f"{record['predictions']} predictions):\n"
+        f"  reference (per-core scan, no caches): "
+        f"{record['reference_seconds'] * 1e3:9.1f} ms\n"
+        f"  fast (dedup + compile cache + memo):  "
+        f"{record['fast_seconds'] * 1e3:9.1f} ms\n"
+        f"  speedup: {record['speedup']:6.1f}x  "
+        f"(floor {record['speedup_floor']}x)   bit-identical: "
+        f"{record['bit_identical']}\n"
+        f"  compile cache: {record['compile_cache']['misses']} compiled, "
+        f"{record['compile_cache']['hits']} reused"
+    )
+
+
+def test_fast_sweep_is_bit_identical_and_faster():
+    # CI-friendly: the reduced grid keeps the reference run short, so
+    # the asserted floor is deliberately loose; the full floor (5x,
+    # comfortably cleared at ~15-20x) is checked by the direct run.
+    record = run_benchmark(reduced=True)
+    print("\n" + _report(record))
+    assert record["speedup"] >= record["speedup_floor"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="CI grid (threads 1/8/64) with a looser speedup floor",
+    )
+    parser.add_argument(
+        "--output", default=str(OUTPUT), metavar="PATH",
+        help="where to write the JSON record (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(reduced=args.reduced)
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(_report(record))
+    print(f"wrote {args.output}")
+    if record["speedup"] < record["speedup_floor"]:
+        print("FAIL: speedup below floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

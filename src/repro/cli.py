@@ -210,6 +210,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             policy=_failure_policy(args),
             retry=_retry_spec(args),
             checkpoint=args.checkpoint,
+            workers=args.workers,
         )
     if args.csv:
         print(result.to_csv())
@@ -227,6 +228,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             best_t, best_pl, best_pr = result.best_overall()
             print(f"\nbest overall: {best_t} threads, {best_pl.value}, "
                   f"{best_pr.label}")
+        if result.cache_stats is not None:
+            print(result.cache_stats.render())
     if result.failures:
         print()
         print(result.failure_summary())
@@ -396,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--checkpoint", default=None, metavar="FILE.jsonl",
         help="persist completed points here and resume from them",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run up to N grid points concurrently (results are "
+        "bit-identical to a serial sweep)",
     )
     _add_resilience_flags(p_sweep)
 

@@ -1,0 +1,115 @@
+"""Keyed memoization of the vectorizer's compilation analysis.
+
+``analyze`` is a pure function of (compiler, kernel, target ISA, vector
+flavour, rollback) — it never depends on threads, placement, precision
+or run count. A sweep grid therefore recompiles every kernel once per
+grid point for no reason: a 6-thread-counts x 2-placements x
+2-precisions grid performs 24x redundant compilations per kernel. A
+:class:`CompileCache` collapses those to exactly one compilation per
+distinct key and counts its hits/misses so sweeps can prove it
+(``SweepResult.cache_stats``).
+
+The cache computes under its lock, so a key is compiled **exactly
+once** even when sweep workers race on it — that exactly-once property
+is what the acceptance counters pin. Compilation *errors* (e.g. an RVV
+version mismatch without rollback) are intentionally not cached; they
+re-raise identically on every call and sit on cold paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.compiler.model import Compiler, VectorFlavor
+from repro.compiler.vectorizer import VectorizationReport, analyze
+from repro.kernels.base import Kernel
+from repro.machine.vector import VectorISA
+
+#: One compilation's identity: everything ``analyze`` reads.
+CompileKey = tuple[str, str | None, str, str, str | None, VectorFlavor, bool]
+
+
+def compile_key(
+    compiler: Compiler,
+    kernel: Kernel,
+    target: VectorISA,
+    flavor: VectorFlavor,
+    rollback: bool,
+) -> CompileKey:
+    """Key identifying one compilation.
+
+    Compilers and kernels are registry singletons keyed by unique names;
+    the target ISA contributes its name and version so custom machines
+    with re-tuned ISAs of the same name still collide only when equal in
+    the fields ``analyze`` consults.
+    """
+    return (
+        compiler.name,
+        compiler.rvv_version,
+        kernel.name,
+        target.name,
+        target.version,
+        flavor,
+        rollback,
+    )
+
+
+@dataclass(frozen=True)
+class CompileCacheStats:
+    """Counters of one :class:`CompileCache` at a point in time."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+
+class CompileCache:
+    """Thread-safe memo of :func:`repro.compiler.vectorizer.analyze`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[CompileKey, VectorizationReport] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def analyze(
+        self,
+        compiler: Compiler,
+        kernel: Kernel,
+        target: VectorISA,
+        flavor: VectorFlavor = VectorFlavor.VLS,
+        rollback: bool = False,
+    ) -> VectorizationReport:
+        """``analyze`` with memoization; same reports, same errors."""
+        key = compile_key(compiler, kernel, target, flavor, rollback)
+        with self._lock:
+            report = self._entries.get(key)
+            if report is not None:
+                self._hits += 1
+                return report
+            report = analyze(
+                compiler, kernel, target, flavor=flavor, rollback=rollback
+            )
+            self._misses += 1
+            self._entries[key] = report
+            return report
+
+    @property
+    def stats(self) -> CompileCacheStats:
+        with self._lock:
+            return CompileCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0

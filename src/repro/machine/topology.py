@@ -49,6 +49,14 @@ class NumaTopology:
                 raise ConfigError(
                     f"cluster {cluster} straddles NUMA regions {nodes}"
                 )
+        # Reverse maps make numa_of/cluster_of O(1). They are derived
+        # from the (validated) declared fields, so they never enter
+        # equality or hashing of the frozen dataclass.
+        cluster_of = {
+            c: i for i, cl in enumerate(self.clusters) for c in cl
+        }
+        object.__setattr__(self, "_node_of_core", node_of)
+        object.__setattr__(self, "_cluster_of_core", cluster_of)
 
     # -- basic queries ----------------------------------------------------
 
@@ -66,17 +74,17 @@ class NumaTopology:
 
     def numa_of(self, core: int) -> int:
         """NUMA region id containing ``core``."""
-        for i, node in enumerate(self.numa_nodes):
-            if core in node:
-                return i
-        raise ConfigError(f"core {core} not in topology")
+        node = self._node_of_core.get(core)
+        if node is None:
+            raise ConfigError(f"core {core} not in topology")
+        return node
 
     def cluster_of(self, core: int) -> int:
         """Cluster id containing ``core``."""
-        for i, cluster in enumerate(self.clusters):
-            if core in cluster:
-                return i
-        raise ConfigError(f"core {core} not in topology")
+        cluster = self._cluster_of_core.get(core)
+        if cluster is None:
+            raise ConfigError(f"core {core} not in topology")
+        return cluster
 
     def clusters_in_numa(self, numa: int) -> tuple[int, ...]:
         """Cluster ids whose cores live in NUMA region ``numa``."""

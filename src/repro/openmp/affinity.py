@@ -18,6 +18,7 @@ interleaved NUMA map.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 
 from repro.machine.topology import NumaTopology
 from repro.util.errors import ConfigError
@@ -85,7 +86,9 @@ def assign_cores(
 
     Thread *t* runs on the *t*-th returned core. Raises
     :class:`ConfigError` when the machine has fewer cores than threads
-    (the paper never oversubscribes).
+    (the paper never oversubscribes). Placements are pure functions of
+    (topology, nthreads, policy) and are memoized, so a suite asks for
+    its placement once per configuration instead of once per kernel.
     """
     if nthreads < 1:
         raise ConfigError(f"need at least one thread, got {nthreads}")
@@ -93,7 +96,15 @@ def assign_cores(
         raise ConfigError(
             f"{nthreads} threads exceed {topo.num_cores} cores"
         )
+    return _assign_cores_cached(topo, nthreads, policy)
 
+
+@lru_cache(maxsize=4096)
+def _assign_cores_cached(
+    topo: NumaTopology,
+    nthreads: int,
+    policy: PlacementPolicy,
+) -> tuple[int, ...]:
     if policy is PlacementPolicy.BLOCK:
         return tuple(range(nthreads))
 

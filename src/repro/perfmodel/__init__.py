@@ -20,6 +20,12 @@ from repro.perfmodel.cachesim import CacheStats, SetAssociativeCache
 from repro.perfmodel.execution import ExecutionResult, simulate_kernel
 from repro.perfmodel.memory import MemoryTimes, memory_time_per_iter
 from repro.perfmodel.pipeline import pipeline_time_per_iter
+from repro.perfmodel.placement import (
+    CoreClass,
+    PlacementProfile,
+    placement_profile,
+    reference_mode,
+)
 from repro.perfmodel.threading import barrier_seconds, compose_parallel_time
 
 __all__ = [
@@ -32,4 +38,8 @@ __all__ = [
     "pipeline_time_per_iter",
     "barrier_seconds",
     "compose_parallel_time",
+    "CoreClass",
+    "PlacementProfile",
+    "placement_profile",
+    "reference_mode",
 ]

@@ -22,6 +22,11 @@ from repro.kernels.base import Kernel, LoopFeature
 from repro.machine.cache import CacheLevel, Sharing
 from repro.machine.cpu import CPUModel
 from repro.machine.vector import DType
+from repro.perfmodel.placement import (
+    PlacementProfile,
+    placement_profile,
+    reference_active,
+)
 from repro.util.errors import SimulationError
 
 #: Bandwidth efficiency of gather/scatter relative to unit-stride when
@@ -56,19 +61,31 @@ class MemoryTimes:
 
 
 def _sharers_of_level(
-    cpu: CPUModel, level: CacheLevel, core: int, cores: tuple[int, ...]
+    cpu: CPUModel,
+    level: CacheLevel,
+    core: int,
+    cores: tuple[int, ...],
+    profile: PlacementProfile | None = None,
 ) -> int:
     """How many active threads share the instance of ``level`` that
-    ``core`` uses."""
-    topo = cpu.topology
+    ``core`` uses. ``profile`` (see :mod:`repro.perfmodel.placement`)
+    answers the cluster/NUMA cases in O(1); without it the active maps
+    are rebuilt from the topology each call."""
     if level.sharing is Sharing.CORE:
         return 1
+    if level.sharing is Sharing.PACKAGE:
+        return len(cores)
+    if profile is not None:
+        if level.sharing is Sharing.CLUSTER:
+            return profile.cluster_sharers(core)
+        if level.sharing is Sharing.NUMA:
+            return profile.numa_sharers(core)
+        raise SimulationError(f"unknown sharing {level.sharing}")
+    topo = cpu.topology
     if level.sharing is Sharing.CLUSTER:
         return topo.active_per_cluster(cores).get(topo.cluster_of(core), 1)
     if level.sharing is Sharing.NUMA:
         return topo.active_per_numa(cores).get(topo.numa_of(core), 1)
-    if level.sharing is Sharing.PACKAGE:
-        return len(cores)
     raise SimulationError(f"unknown sharing {level.sharing}")
 
 
@@ -84,14 +101,20 @@ def _level_bandwidth_per_thread(
 
 
 def _dram_bandwidth_per_thread(
-    cpu: CPUModel, core: int, cores: tuple[int, ...]
+    cpu: CPUModel,
+    core: int,
+    cores: tuple[int, ...],
+    profile: PlacementProfile | None = None,
 ) -> float:
     """Bytes/s one thread can draw from DRAM given the placement."""
     topo = cpu.topology
     mem = cpu.memory
     if mem.numa_local and topo.num_numa_nodes > 1:
-        region = topo.numa_of(core)
-        active = topo.active_per_numa(cores).get(region, 1)
+        if profile is not None:
+            active = profile.numa_sharers(core)
+        else:
+            region = topo.numa_of(core)
+            active = topo.active_per_numa(cores).get(region, 1)
         regional = mem.effective_region_bandwidth(
             topo.num_numa_nodes, active
         )
@@ -112,6 +135,7 @@ def serving_level(
     dtype: DType,
     core: int,
     cores: tuple[int, ...],
+    profile: PlacementProfile | None = None,
 ) -> CacheLevel | None:
     """Innermost cache level whose (shared) capacity holds the working
     set, or ``None`` when the kernel streams from DRAM.
@@ -124,7 +148,7 @@ def serving_level(
     nthreads = len(cores)
     slice_bytes = kernel.footprint_bytes(n, dtype) / nthreads
     for level in cpu.caches:
-        sharers = _sharers_of_level(cpu, level, core, cores)
+        sharers = _sharers_of_level(cpu, level, core, cores, profile)
         headroom = fit_headroom(sharers)
         if slice_bytes * sharers <= headroom * level.capacity_bytes:
             return level
@@ -138,20 +162,28 @@ def memory_time_per_iter(
     dtype: DType,
     core: int,
     cores: tuple[int, ...],
+    profile: PlacementProfile | None = None,
 ) -> MemoryTimes:
     """Seconds of memory-path time per main-loop iteration for the
-    thread pinned to ``core``."""
+    thread pinned to ``core``.
+
+    ``profile`` is the placement's cached symmetry profile; when omitted
+    it is looked up (cheaply, via the profile cache) so stand-alone
+    callers get the O(1) sharer lookups too.
+    """
     if n < 1:
         raise SimulationError(f"problem size must be >= 1, got {n}")
     if core not in cores:
         raise SimulationError(f"core {core} not in placement {cores}")
+    if profile is None and not reference_active():
+        profile = placement_profile(cpu.topology, cores)
 
     traits = kernel.traits
     bytes_per_iter = traits.bytes_per_iter(dtype)
 
-    level = serving_level(cpu, kernel, n, dtype, core, cores)
+    level = serving_level(cpu, kernel, n, dtype, core, cores, profile)
     if level is not None:
-        sharers = _sharers_of_level(cpu, level, core, cores)
+        sharers = _sharers_of_level(cpu, level, core, cores, profile)
         bandwidth = _level_bandwidth_per_thread(cpu, level, sharers)
         name = level.name
         # Blocked kernels (traffic_scale < 1) also shrink outer-level
@@ -159,7 +191,7 @@ def memory_time_per_iter(
         if level is not cpu.caches.levels[0]:
             bytes_per_iter *= traits.traffic_scale
     else:
-        bandwidth = _dram_bandwidth_per_thread(cpu, core, cores)
+        bandwidth = _dram_bandwidth_per_thread(cpu, core, cores, profile)
         name = "DRAM"
         bytes_per_iter *= traits.traffic_scale
 

@@ -1,0 +1,187 @@
+"""Placement symmetry classes: evaluate each distinct core once.
+
+The memory-path model is per-thread, but a thread's outcome depends on
+its core id only through two integers: how many active threads share its
+L2 cluster and how many share its NUMA region (plus, degenerately, the
+package-wide count, which is the same for every thread). On real
+placements almost every core is therefore *equivalent* to most others —
+all 64 cores of a full-machine block placement on the SG2042 collapse
+into a single class — yet the naive model walked every core and rebuilt
+the active-per-cluster/active-per-NUMA maps from scratch each time.
+
+:func:`placement_profile` computes those maps once per (topology,
+placement) pair, groups the cores into their ``(cluster sharers, NUMA
+sharers)`` equivalence classes and caches the result, so the hot loops
+in :mod:`repro.perfmodel.execution` and :mod:`repro.perfmodel.memory`
+touch each *class* once instead of each core.
+
+Class order is chosen so the slowest-thread scan stays bit-identical to
+the per-core reference: the reference scan keeps the **last** core (in
+placement order) among ties for the maximum, so classes are ordered by
+the position of their last member and compared with ``>=``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.machine.topology import NumaTopology
+from repro.util.errors import SimulationError
+
+#: When True, the execution and memory models ignore placement profiles
+#: and walk every core with the original O(cores) map rebuilds. Flip
+#: only through :func:`reference_mode`; the golden equivalence tests and
+#: ``benchmarks/bench_sweep.py`` use it to pin the fast path against the
+#: pre-optimization reference bit-for-bit.
+_REFERENCE_MODE = False
+
+
+@contextmanager
+def reference_mode():
+    """Run the performance model on the naive per-core reference path."""
+    global _REFERENCE_MODE
+    previous = _REFERENCE_MODE
+    _REFERENCE_MODE = True
+    try:
+        yield
+    finally:
+        _REFERENCE_MODE = previous
+
+
+def reference_active() -> bool:
+    """Whether :func:`reference_mode` is currently installed."""
+    return _REFERENCE_MODE
+
+
+@dataclass(frozen=True)
+class CoreClass:
+    """One equivalence class of cores within a placement.
+
+    Attributes:
+        representative: The class's last core in placement order (the
+            one the reference scan would have kept on a tie).
+        count: Number of placed cores in the class.
+        cluster_sharers: Active threads sharing the representative's L2
+            cluster (identical for every member by construction).
+        numa_sharers: Active threads sharing the representative's NUMA
+            region (identical for every member).
+    """
+
+    representative: int
+    count: int
+    cluster_sharers: int
+    numa_sharers: int
+
+
+class PlacementProfile:
+    """Derived views of one (topology, placement) pair.
+
+    Exposes O(1) lookups the memory model needs per thread and the
+    deduplicated :attr:`classes` the execution model scans. Instances
+    are built by :func:`placement_profile` and shared via its cache; do
+    not mutate them.
+    """
+
+    __slots__ = (
+        "topology",
+        "cores",
+        "classes",
+        "active_per_cluster",
+        "active_per_numa",
+        "_numa_of",
+        "_cluster_of",
+        "_sharers_of",
+    )
+
+    def __init__(self, topology: NumaTopology, cores: tuple[int, ...]):
+        if not cores:
+            raise SimulationError(
+                "placement must contain at least one core"
+            )
+        if len(set(cores)) != len(cores):
+            raise SimulationError(f"duplicate cores in placement {cores}")
+        self.topology = topology
+        self.cores = cores
+        numa_of = {c: topology.numa_of(c) for c in cores}
+        cluster_of = {c: topology.cluster_of(c) for c in cores}
+        per_numa: dict[int, int] = {}
+        per_cluster: dict[int, int] = {}
+        for core in cores:
+            node, cl = numa_of[core], cluster_of[core]
+            per_numa[node] = per_numa.get(node, 0) + 1
+            per_cluster[cl] = per_cluster.get(cl, 0) + 1
+        self.active_per_numa = per_numa
+        self.active_per_cluster = per_cluster
+        self._numa_of = numa_of
+        self._cluster_of = cluster_of
+        sharers = {
+            c: (per_cluster[cluster_of[c]], per_numa[numa_of[c]])
+            for c in cores
+        }
+        self._sharers_of = sharers
+        # Group in placement order; keep the *last* member as the
+        # representative so tie-breaking matches the per-core scan.
+        groups: dict[tuple[int, int], list[int]] = {}
+        for core in cores:
+            groups.setdefault(sharers[core], []).append(core)
+        ordered = sorted(groups.items(), key=lambda kv: cores.index(kv[1][-1]))
+        self.classes: tuple[CoreClass, ...] = tuple(
+            CoreClass(
+                representative=members[-1],
+                count=len(members),
+                cluster_sharers=key[0],
+                numa_sharers=key[1],
+            )
+            for key, members in ordered
+        )
+
+    # -- per-thread lookups (what the memory model asks) ------------------
+
+    def numa_of(self, core: int) -> int:
+        node = self._numa_of.get(core)
+        if node is None:
+            raise SimulationError(
+                f"core {core} not in placement {self.cores}"
+            )
+        return node
+
+    def cluster_sharers(self, core: int) -> int:
+        pair = self._sharers_of.get(core)
+        if pair is None:
+            raise SimulationError(
+                f"core {core} not in placement {self.cores}"
+            )
+        return pair[0]
+
+    def numa_sharers(self, core: int) -> int:
+        pair = self._sharers_of.get(core)
+        if pair is None:
+            raise SimulationError(
+                f"core {core} not in placement {self.cores}"
+            )
+        return pair[1]
+
+    @property
+    def nthreads(self) -> int:
+        return len(self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlacementProfile(cores={len(self.cores)}, "
+            f"classes={len(self.classes)})"
+        )
+
+
+@lru_cache(maxsize=4096)
+def placement_profile(
+    topology: NumaTopology, cores: tuple[int, ...]
+) -> PlacementProfile:
+    """The (cached) profile of ``cores`` placed on ``topology``.
+
+    The cache key is the topology's *value* (frozen dataclass equality),
+    so equal machines share entries and a sweep computes each of its
+    handful of placements exactly once.
+    """
+    return PlacementProfile(topology, cores)

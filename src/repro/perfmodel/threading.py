@@ -14,6 +14,8 @@ Tables 1-3.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.machine.cpu import CPUModel
 from repro.util.errors import SimulationError
 
@@ -23,18 +25,27 @@ from repro.util.errors import SimulationError
 BARRIER_LINEAR_FACTOR = 0.15
 
 
-def barrier_seconds(cpu: CPUModel, nthreads: int) -> float:
-    """Fork-join plus barrier cost of one parallel region."""
-    if nthreads < 1:
-        raise SimulationError(f"nthreads must be >= 1, got {nthreads}")
+@lru_cache(maxsize=4096)
+def _barrier_seconds_cached(fork_join_ns: float, nthreads: int) -> float:
     if nthreads == 1:
         # No parallel region is forked for a single thread.
         return 0.0
     return (
-        cpu.fork_join_ns
+        fork_join_ns
         * (1.0 + BARRIER_LINEAR_FACTOR * (nthreads - 1))
         * 1e-9
     )
+
+
+def barrier_seconds(cpu: CPUModel, nthreads: int) -> float:
+    """Fork-join plus barrier cost of one parallel region.
+
+    Depends only on (fork_join_ns, nthreads), so the value is memoized
+    on that pair — the suite pays one multiply chain per configuration
+    instead of one per kernel."""
+    if nthreads < 1:
+        raise SimulationError(f"nthreads must be >= 1, got {nthreads}")
+    return _barrier_seconds_cached(cpu.fork_join_ns, nthreads)
 
 
 def static_chunks(total_iters: int, nthreads: int) -> list[tuple[int, int]]:

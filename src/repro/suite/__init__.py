@@ -11,6 +11,12 @@ and parallel efficiencies.
 
 from repro.resilience.retry import FailurePolicy, FailureRecord, RetrySpec
 from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.memo import (
+    CacheCounters,
+    PredictionMemo,
+    SuiteCaches,
+    machine_digest,
+)
 from repro.suite.report import (
     class_speedups,
     class_summaries,
@@ -33,4 +39,8 @@ __all__ = [
     "FailurePolicy",
     "FailureRecord",
     "RetrySpec",
+    "CacheCounters",
+    "PredictionMemo",
+    "SuiteCaches",
+    "machine_digest",
 ]

@@ -1,0 +1,147 @@
+"""Content-addressed prediction memo + per-sweep cache bookkeeping.
+
+``simulate_kernel`` is pure: its result is fully determined by the
+machine description, the kernel, the placement, the element type, the
+compilation report and the problem size. The :class:`PredictionMemo`
+keys predictions on exactly that content — the machine enters as a
+digest of its full description (:func:`machine_digest`), so two equal
+machines share entries while any re-tuned parameter changes the key.
+
+The memo is *optional* and conservative: the suite runner bypasses it
+entirely while a chaos fault plan is installed (injected faults are
+stateful per call and must not be replayed from a cache), so resilience
+campaigns observe exactly the historical behaviour.
+
+:class:`SuiteCaches` bundles the two cache layers a sweep shares across
+its grid points; :class:`CacheCounters` is the counters snapshot surfaced
+on ``SuiteResult``/``SweepResult``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compiler.cache import CompileCache
+from repro.machine.cpu import CPUModel
+from repro.machine.vector import DType
+from repro.perfmodel.execution import ExecutionResult
+from repro.util.rng import derive_seed
+
+#: One prediction's identity: (machine digest, kernel name, placement,
+#: dtype, compilation report, problem size).
+PredictionKey = tuple[int, str, tuple[int, ...], DType, object, int]
+
+
+def machine_digest(cpu: CPUModel) -> int:
+    """Stable 63-bit digest of a machine's full description.
+
+    Derived from the ``repr`` of the (frozen, nested-dataclass) model,
+    so it is content-addressed: equal machines digest equally, any
+    parameter change — a cache size, a thrash threshold — changes it.
+    """
+    return derive_seed("machine-digest", repr(cpu))
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """Hit/miss counters of a sweep's (or suite's) cache layers."""
+
+    compile_hits: int = 0
+    compile_misses: int = 0
+    compile_entries: int = 0
+    predict_hits: int = 0
+    predict_misses: int = 0
+    predict_entries: int = 0
+
+    def render(self) -> str:
+        return (
+            f"compile cache: {self.compile_misses} compiled, "
+            f"{self.compile_hits} reused; prediction memo: "
+            f"{self.predict_misses} computed, {self.predict_hits} reused"
+        )
+
+
+class PredictionMemo:
+    """Thread-safe content-addressed memo of kernel predictions.
+
+    Lookups and stores take the lock; the prediction itself is computed
+    outside it so parallel sweep workers never serialize on the model.
+    Two workers racing on one cold key may both compute it — the results
+    are identical by purity, so the last store wins harmlessly (the
+    miss counter then reflects computations performed, not unique keys).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[PredictionKey, ExecutionResult] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(
+        self,
+        key: PredictionKey,
+        compute: Callable[[], ExecutionResult],
+    ) -> ExecutionResult:
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
+        result = compute()
+        with self._lock:
+            self._misses += 1
+            self._entries[key] = result
+        return result
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+@dataclass
+class SuiteCaches:
+    """The cache layers shared across one sweep's grid points.
+
+    Either layer may be ``None`` to disable it; ``SuiteCaches()`` with
+    no arguments enables both (the default a sweep builds for itself).
+    """
+
+    compile: CompileCache | None = field(default_factory=CompileCache)
+    predict: PredictionMemo | None = field(default_factory=PredictionMemo)
+
+    @classmethod
+    def disabled(cls) -> "SuiteCaches":
+        """Caches object with both layers off — the pre-cache behaviour,
+        used by the golden equivalence tests and the sweep benchmark."""
+        return cls(compile=None, predict=None)
+
+    def stats(self) -> CacheCounters:
+        compile_stats = (
+            self.compile.stats if self.compile is not None else None
+        )
+        return CacheCounters(
+            compile_hits=compile_stats.hits if compile_stats else 0,
+            compile_misses=compile_stats.misses if compile_stats else 0,
+            compile_entries=compile_stats.entries if compile_stats else 0,
+            predict_hits=self.predict.hits if self.predict else 0,
+            predict_misses=self.predict.misses if self.predict else 0,
+            predict_entries=len(self.predict) if self.predict else 0,
+        )

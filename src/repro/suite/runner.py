@@ -31,6 +31,7 @@ from repro.machine.vector import DType
 from repro.openmp.affinity import assign_cores
 from repro.perfmodel.execution import ExecutionResult, simulate_kernel
 from repro.resilience import chaos
+from repro.suite.memo import CacheCounters, SuiteCaches, machine_digest
 from repro.resilience.faults import FaultSite
 from repro.resilience.retry import (
     FailurePolicy,
@@ -71,6 +72,10 @@ class SuiteResult:
     config: RunConfig
     runs: dict[str, KernelRun]
     failures: tuple[FailureRecord, ...] = field(default_factory=tuple)
+    #: Snapshot of the shared cache layers' counters when this suite
+    #: finished (None when the suite ran uncached). Excluded from
+    #: equality: two bit-identical results may differ in cache luck.
+    cache_stats: CacheCounters | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.runs and not self.failures:
@@ -118,7 +123,14 @@ class SuiteResult:
 
 def _noisy_average(base_seconds: float, seed: int, runs: int,
                    sigma: float) -> float:
-    """Average of ``runs`` noisy samples of the model prediction."""
+    """Average of ``runs`` noisy samples of the model prediction.
+
+    ``sigma == 0`` (the deterministic default of sweeps and golden
+    tests) short-circuits: the factors would be exactly ones and their
+    mean exactly 1.0, so the product is bit-identical to the base —
+    without paying for the RNG setup and the NumPy array round-trip."""
+    if sigma == 0:
+        return float(base_seconds)
     factors = noise_factors(seed, runs, sigma)
     return float(base_seconds * np.mean(factors))
 
@@ -129,17 +141,28 @@ def _run_one_kernel(
     config: RunConfig,
     compiler,
     cores: tuple[int, ...],
+    caches: SuiteCaches | None = None,
+    cpu_digest: int | None = None,
 ) -> KernelRun:
     """The per-kernel unit of work the failure policy isolates."""
     chaos.raise_if_fault(FaultSite.RUN, kernel.name, kernel.klass)
     if config.vectorize:
-        report = analyze(
-            compiler,
-            kernel,
-            cpu.core.isa,
-            flavor=config.flavor,
-            rollback=config.rollback,
-        )
+        if caches is not None and caches.compile is not None:
+            report = caches.compile.analyze(
+                compiler,
+                kernel,
+                cpu.core.isa,
+                flavor=config.flavor,
+                rollback=config.rollback,
+            )
+        else:
+            report = analyze(
+                compiler,
+                kernel,
+                cpu.core.isa,
+                flavor=config.flavor,
+                rollback=config.rollback,
+            )
     else:
         report = VectorizationReport(
             vectorized=False,
@@ -149,17 +172,38 @@ def _run_one_kernel(
             reason="vectorization disabled",
         )
     size = max(1, int(round(kernel.default_size * config.size_scale)))
-    prediction = simulate_kernel(
-        kernel, cpu, cores, config.precision, report, n=size
-    )
-    seed = derive_seed(
-        cpu.name, kernel.name, config.threads,
-        config.placement.value, config.precision.label,
-        config.vectorize, compiler.name, config.flavor.value,
-    )
-    seconds = _noisy_average(
-        prediction.seconds, seed, config.runs, config.noise_sigma
-    )
+    # The memo is bypassed while a fault plan is active: injected
+    # faults are per-call state that a cached result would skip.
+    memo = caches.predict if caches is not None else None
+    if memo is not None and chaos.active_plan() is None:
+        if cpu_digest is None:
+            cpu_digest = machine_digest(cpu)
+        key = (
+            cpu_digest, kernel.name, cores, config.precision, report, size,
+        )
+        prediction = memo.get_or_compute(
+            key,
+            lambda: simulate_kernel(
+                kernel, cpu, cores, config.precision, report, n=size
+            ),
+        )
+    else:
+        prediction = simulate_kernel(
+            kernel, cpu, cores, config.precision, report, n=size
+        )
+    if config.noise_sigma == 0:
+        # Skip the per-kernel seed derivation too — the seed feeds only
+        # the noise RNG, which zero sigma never consults.
+        seconds = prediction.seconds
+    else:
+        seed = derive_seed(
+            cpu.name, kernel.name, config.threads,
+            config.placement.value, config.precision.label,
+            config.vectorize, compiler.name, config.flavor.value,
+        )
+        seconds = _noisy_average(
+            prediction.seconds, seed, config.runs, config.noise_sigma
+        )
     if not math.isfinite(seconds) or seconds <= 0:
         raise SimulationError(
             f"{kernel.name}: run-averaged time is not a positive finite "
@@ -181,6 +225,7 @@ def run_suite(
     *,
     policy: FailurePolicy = FailurePolicy.ABORT,
     retry: RetrySpec | None = None,
+    caches: SuiteCaches | None = None,
 ) -> SuiteResult:
     """Run (predict) the whole suite on ``cpu`` under ``config``.
 
@@ -193,6 +238,12 @@ def run_suite(
             continue) or RETRY (retry per ``retry``, then record).
         retry: Attempt/backoff budget for the RETRY policy; defaults to
             ``RetrySpec()`` (3 retries, no sleeping). Ignored otherwise.
+        caches: Shared compile cache / prediction memo, typically owned
+            by a sweep spanning many configurations. ``None`` (the
+            default) runs fully uncached. Caching never changes results
+            — both layers are keyed on everything their values depend
+            on — and the prediction memo disables itself while a chaos
+            fault plan is installed.
     """
     if kernels is None:
         kernels = all_kernels()
@@ -205,6 +256,12 @@ def run_suite(
     compiler = config.resolve_compiler(cpu)
     cores = assign_cores(cpu.topology, config.threads, config.placement)
     spec = retry if retry is not None else RetrySpec()
+    use_memo = (
+        caches is not None
+        and caches.predict is not None
+        and chaos.active_plan() is None
+    )
+    cpu_digest = machine_digest(cpu) if use_memo else None
 
     runs: dict[str, KernelRun] = {}
     failures: list[FailureRecord] = []
@@ -214,7 +271,7 @@ def run_suite(
         # seed-identical and essentially free next to the legacy one.
         try:
             runs[kernel.name] = _run_one_kernel(
-                kernel, cpu, config, compiler, cores
+                kernel, cpu, config, compiler, cores, caches, cpu_digest
             )
             continue
         except ReproError as exc:
@@ -235,7 +292,7 @@ def run_suite(
         try:
             run, engine_attempts = call_with_retry(
                 lambda k=kernel: _run_one_kernel(
-                    k, cpu, config, compiler, cores
+                    k, cpu, config, compiler, cores, caches, cpu_digest
                 ),
                 RetrySpec(
                     max_retries=spec.max_retries - 1,
@@ -265,6 +322,7 @@ def run_suite(
         config=config,
         runs=runs,
         failures=tuple(failures),
+        cache_stats=caches.stats() if caches is not None else None,
     )
 
 

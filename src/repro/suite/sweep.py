@@ -9,10 +9,18 @@ Sweeps are resilient: per-kernel failures degrade to explicit
 ``failures`` records under the skip/retry policies instead of killing
 the grid, and a JSONL checkpoint (``checkpoint=``) persists completed
 points so a killed sweep resumes mid-grid without recomputing them.
+
+Sweeps are also fast: every grid point shares one compile cache and one
+prediction memo (each kernel is compiled once per sweep, not once per
+grid point — see :mod:`repro.suite.memo`), and ``workers=N`` dispatches
+independent grid points onto a thread pool. Results are assembled in
+grid order regardless of completion order, so a parallel sweep is
+bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, fields as dataclass_fields
 from itertools import product
 from pathlib import Path
@@ -20,9 +28,11 @@ from typing import Sequence
 
 from repro.kernels.base import Kernel
 from repro.machine.cpu import CPUModel
+from repro.resilience import chaos
 from repro.resilience.checkpoint import SweepCheckpoint, point_key
 from repro.resilience.retry import FailurePolicy, FailureRecord, RetrySpec
 from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.memo import CacheCounters, SuiteCaches
 from repro.suite.runner import SuiteResult, run_suite
 from repro.util.errors import ConfigError, ReproError
 from repro.util.rng import derive_seed
@@ -69,19 +79,30 @@ class SweepResult:
 
     points: tuple[SweepPoint, ...]
     failures: tuple[SweepFailure, ...] = field(default_factory=tuple)
+    #: Final counters of the sweep's shared cache layers (None for a
+    #: cache-disabled sweep). Excluded from equality: a resumed or
+    #: parallel sweep earns different hit counts for identical points.
+    cache_stats: CacheCounters | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.points and not self.failures:
             raise ConfigError("sweep produced no points")
 
     def filtered(self, **criteria) -> list[SweepPoint]:
-        """Points matching all given attribute values."""
+        """Points matching all given attribute values.
+
+        Kernel names are normalized here — the registry stores them
+        upper-case, so ``filtered(kernel="triad")`` matches ``TRIAD``
+        (and ``best_for_kernel`` inherits the same rule).
+        """
         unknown = sorted(set(criteria) - _POINT_ATTRS)
         if unknown:
             raise ConfigError(
                 f"unknown sweep point attribute(s) {unknown}; "
                 f"known: {sorted(_POINT_ATTRS)}"
             )
+        if isinstance(criteria.get("kernel"), str):
+            criteria["kernel"] = criteria["kernel"].upper()
         out = []
         for point in self.points:
             if all(
@@ -93,7 +114,7 @@ class SweepResult:
 
     def best_for_kernel(self, kernel: str) -> SweepPoint:
         """Fastest configuration for one kernel."""
-        candidates = self.filtered(kernel=kernel.upper())
+        candidates = self.filtered(kernel=kernel)
         if not candidates:
             raise ConfigError(f"no sweep points for kernel {kernel!r}")
         return min(candidates, key=lambda p: p.seconds)
@@ -164,6 +185,18 @@ def _grid_hash(
     )
 
 
+@dataclass
+class _GridPoint:
+    """One configuration of the sweep grid, pre-split against the
+    checkpoint into already-completed and still-to-run kernels."""
+
+    threads: int
+    placement: Placement
+    precision: Precision
+    restored: dict[str, SweepPoint]
+    todo: list[Kernel]
+
+
 def sweep(
     cpu: CPUModel,
     kernels: Sequence[Kernel],
@@ -176,6 +209,8 @@ def sweep(
     policy: FailurePolicy = FailurePolicy.ABORT,
     retry: RetrySpec | None = None,
     checkpoint: str | Path | None = None,
+    workers: int = 1,
+    caches: SuiteCaches | None = None,
 ) -> SweepResult:
     """Run the full configuration grid and collect long-format points.
 
@@ -187,14 +222,30 @@ def sweep(
         checkpoint: Path of a JSONL checkpoint. Completed points are
             flushed there as the grid progresses and skipped on resume;
             the file's header hash must match this exact grid.
+        workers: Grid points dispatched concurrently (>= 1). Points are
+            independent, seeds depend only on the point's identity, and
+            results/checkpoint records are assembled in grid order by
+            the main thread — so any worker count returns a SweepResult
+            bit-identical to ``workers=1``. Forced serial while a chaos
+            fault plan is installed (its counters are ordering-
+            sensitive by design).
+        caches: Cache layers shared by every grid point; defaults to a
+            fresh :class:`SuiteCaches` (compile cache + prediction memo
+            enabled), so each (kernel, flavor, rollback) is compiled
+            exactly once per sweep. Pass ``SuiteCaches.disabled()`` to
+            reproduce the uncached behaviour.
     """
     if not kernels:
         raise ConfigError("kernel list is empty")
     if not threads or not placements or not precisions:
         raise ConfigError("sweep axes must be non-empty")
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
     if isinstance(policy, str):
         policy = FailurePolicy.from_label(policy)
     kernel_list = list(kernels)
+    if caches is None:
+        caches = SuiteCaches()
 
     ckpt: SweepCheckpoint | None = None
     if checkpoint is not None:
@@ -204,8 +255,9 @@ def sweep(
                        runs, noise_sigma),
         )
 
-    points: list[SweepPoint] = []
-    failures: list[SweepFailure] = []
+    # Resolve the checkpoint split up front (main thread): grid points
+    # then run independently and are collected back in grid order.
+    grid: list[_GridPoint] = []
     for t, placement, precision in product(
         threads, placements, precisions
     ):
@@ -227,40 +279,51 @@ def sweep(
                 )
             else:
                 todo.append(kernel)
+        grid.append(_GridPoint(t, placement, precision, restored, todo))
 
+    def run_point(gp: _GridPoint) -> SuiteResult | None:
+        if not gp.todo:
+            return None
+        config = RunConfig(
+            threads=gp.threads,
+            placement=gp.placement,
+            precision=gp.precision,
+            runs=runs,
+            noise_sigma=noise_sigma,
+        )
+        return run_suite(
+            cpu, config, kernels=gp.todo, policy=policy, retry=retry,
+            caches=caches,
+        )
+
+    # The chaos module's per-(site, kernel) attempt counters are shared
+    # global state; parallel workers would interleave them
+    # nondeterministically, so fault-plan runs stay serial.
+    effective_workers = min(workers, len(grid))
+    if chaos.active_plan() is not None:
+        effective_workers = 1
+
+    points: list[SweepPoint] = []
+    failures: list[SweepFailure] = []
+
+    def collect(gp: _GridPoint, outcome: SuiteResult | None,
+                error: ReproError | None) -> None:
+        """Fold one grid point's outcome into the sweep (main thread)."""
         fresh: dict[str, SweepPoint] = {}
-        if todo:
-            config = RunConfig(
-                threads=t,
-                placement=placement,
-                precision=precision,
-                runs=runs,
-                noise_sigma=noise_sigma,
+        if error is not None:
+            failures.append(
+                _sweep_failure(
+                    cpu.name, gp.threads, gp.placement, gp.precision,
+                    FailureRecord.from_exception("*", error, 1),
+                )
             )
-            try:
-                result: SuiteResult = run_suite(
-                    cpu, config, kernels=todo, policy=policy, retry=retry
-                )
-            except ReproError as exc:
-                if policy is FailurePolicy.ABORT:
-                    raise
-                failures.append(
-                    _sweep_failure(
-                        cpu.name, t, placement, precision,
-                        FailureRecord.from_exception("*", exc, 1),
-                    )
-                )
-                points.extend(
-                    restored[k.name] for k in kernel_list
-                    if k.name in restored
-                )
-                continue
-            for name, run in result.runs.items():
+        elif outcome is not None:
+            for name, run in outcome.runs.items():
                 point = SweepPoint(
                     cpu=cpu.name,
-                    threads=t,
-                    placement=placement,
-                    precision=precision,
+                    threads=gp.threads,
+                    placement=gp.placement,
+                    precision=gp.precision,
                     kernel=name,
                     seconds=run.seconds,
                 )
@@ -268,24 +331,61 @@ def sweep(
                 if ckpt is not None:
                     ckpt.record({
                         "cpu": cpu.name,
-                        "threads": t,
-                        "placement": placement.value,
-                        "precision": precision.label,
+                        "threads": gp.threads,
+                        "placement": gp.placement.value,
+                        "precision": gp.precision.label,
                         "kernel": name,
                         "seconds": run.seconds,
                         "attempts": run.attempts,
                     })
             failures.extend(
-                _sweep_failure(cpu.name, t, placement, precision, record)
-                for record in result.failures
+                _sweep_failure(
+                    cpu.name, gp.threads, gp.placement, gp.precision,
+                    record,
+                )
+                for record in outcome.failures
             )
-
         # Emit points in kernel order regardless of restore/run split.
         for kernel in kernel_list:
-            point = restored.get(kernel.name) or fresh.get(kernel.name)
+            point = gp.restored.get(kernel.name) or fresh.get(kernel.name)
             if point is not None:
                 points.append(point)
-    return SweepResult(points=tuple(points), failures=tuple(failures))
+
+    if effective_workers <= 1:
+        for gp in grid:
+            try:
+                result = run_point(gp)
+            except ReproError as exc:
+                if policy is FailurePolicy.ABORT:
+                    raise
+                collect(gp, None, exc)
+                continue
+            collect(gp, result, None)
+    else:
+        with ThreadPoolExecutor(max_workers=effective_workers) as pool:
+            futures: list[Future] = [
+                pool.submit(run_point, gp) for gp in grid
+            ]
+            # Collect in submission (= grid) order: deterministic
+            # result assembly and checkpoint writes regardless of
+            # which worker finishes first.
+            for gp, future in zip(grid, futures):
+                try:
+                    result = future.result()
+                except ReproError as exc:
+                    if policy is FailurePolicy.ABORT:
+                        for pending in futures:
+                            pending.cancel()
+                        raise
+                    collect(gp, None, exc)
+                    continue
+                collect(gp, result, None)
+
+    return SweepResult(
+        points=tuple(points),
+        failures=tuple(failures),
+        cache_stats=caches.stats(),
+    )
 
 
 def _sweep_failure(

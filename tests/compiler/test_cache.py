@@ -1,0 +1,79 @@
+"""Compile cache: exactly-once compilation, identical reports/errors."""
+
+import pytest
+
+from repro.compiler.cache import CompileCache, compile_key
+from repro.compiler.model import CLANG_16, XUANTIE_GCC_8_4, VectorFlavor
+from repro.compiler.vectorizer import analyze
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine.vector import rvv_0_7_1, rvv_1_0
+from repro.util.errors import CompilationError
+
+
+class TestCompileCache:
+    def test_hit_returns_the_same_report_object(self):
+        cache = CompileCache()
+        kernel = get_kernel("TRIAD")
+        first = cache.analyze(XUANTIE_GCC_8_4, kernel, rvv_0_7_1())
+        second = cache.analyze(XUANTIE_GCC_8_4, kernel, rvv_0_7_1())
+        assert second is first
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.entries == 1
+        assert cache.stats.calls == 2
+
+    def test_reports_match_uncached_analyze(self):
+        cache = CompileCache()
+        isa = rvv_0_7_1()
+        for kernel in all_kernels():
+            assert cache.analyze(
+                XUANTIE_GCC_8_4, kernel, isa
+            ) == analyze(XUANTIE_GCC_8_4, kernel, isa)
+
+    def test_distinct_flavors_are_distinct_entries(self):
+        cache = CompileCache()
+        kernel = get_kernel("TRIAD")
+        vls = cache.analyze(
+            CLANG_16, kernel, rvv_1_0(), flavor=VectorFlavor.VLS
+        )
+        vla = cache.analyze(
+            CLANG_16, kernel, rvv_1_0(), flavor=VectorFlavor.VLA
+        )
+        assert cache.stats.misses == 2
+        assert vls is not vla
+
+    def test_errors_reraise_and_are_not_cached(self):
+        # Clang on RVV 0.7.1 without rollback cannot target the ISA;
+        # every call must fail afresh rather than poison the cache.
+        cache = CompileCache()
+        kernel = get_kernel("TRIAD")
+        for _ in range(2):
+            with pytest.raises(CompilationError):
+                cache.analyze(CLANG_16, kernel, rvv_0_7_1(), rollback=False)
+        assert cache.stats.entries == 0
+        assert cache.stats.misses == 0
+
+    def test_clear_resets_everything(self):
+        cache = CompileCache()
+        cache.analyze(XUANTIE_GCC_8_4, get_kernel("TRIAD"), rvv_0_7_1())
+        cache.clear()
+        assert cache.stats == type(cache.stats)(hits=0, misses=0, entries=0)
+
+    def test_key_covers_everything_analyze_reads(self):
+        kernel = get_kernel("TRIAD")
+        base = compile_key(
+            XUANTIE_GCC_8_4, kernel, rvv_0_7_1(), VectorFlavor.VLS, False
+        )
+        varied = [
+            compile_key(CLANG_16, kernel, rvv_0_7_1(),
+                        VectorFlavor.VLS, False),
+            compile_key(XUANTIE_GCC_8_4, get_kernel("DOT"), rvv_0_7_1(),
+                        VectorFlavor.VLS, False),
+            compile_key(XUANTIE_GCC_8_4, kernel, rvv_1_0(),
+                        VectorFlavor.VLS, False),
+            compile_key(XUANTIE_GCC_8_4, kernel, rvv_0_7_1(),
+                        VectorFlavor.VLA, False),
+            compile_key(XUANTIE_GCC_8_4, kernel, rvv_0_7_1(),
+                        VectorFlavor.VLS, True),
+        ]
+        assert len({base, *varied}) == len(varied) + 1

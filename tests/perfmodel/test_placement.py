@@ -1,0 +1,162 @@
+"""Placement symmetry classes: grouping, tie-breaking, cached lookups.
+
+These pin the invariants the fast-path scan in ``simulate_kernel``
+relies on: classes partition the placement, sharer counts match the
+direct topology computation, and the class order/representative choice
+reproduces the per-core reference scan's last-wins tie-break.
+"""
+
+import pytest
+
+from repro.openmp.affinity import assign_cores
+from repro.perfmodel.placement import (
+    CoreClass,
+    PlacementProfile,
+    placement_profile,
+    reference_active,
+    reference_mode,
+)
+from repro.suite.config import Placement
+from repro.util.errors import SimulationError
+
+
+def profile_for(cpu, nthreads, policy):
+    cores = assign_cores(cpu.topology, nthreads, policy)
+    return placement_profile(cpu.topology, cores)
+
+
+class TestClassGrouping:
+    def test_single_thread_is_one_class(self, sg2042):
+        p = profile_for(sg2042, 1, Placement.BLOCK)
+        assert p.classes == (
+            CoreClass(representative=0, count=1,
+                      cluster_sharers=1, numa_sharers=1),
+        )
+
+    def test_full_machine_block_collapses_to_one_class(self, sg2042):
+        # All 64 cores see 4 cluster sharers and 16 NUMA sharers; the
+        # whole scan reduces to a single representative.
+        p = profile_for(sg2042, 64, Placement.BLOCK)
+        assert len(p.classes) == 1
+        cc = p.classes[0]
+        assert (cc.count, cc.cluster_sharers, cc.numa_sharers) == (64, 4, 16)
+
+    def test_aligned_block_is_one_class(self, sg2042):
+        # 8 threads fill two full clusters inside one NUMA region.
+        p = profile_for(sg2042, 8, Placement.BLOCK)
+        assert [
+            (c.count, c.cluster_sharers, c.numa_sharers)
+            for c in p.classes
+        ] == [(8, 4, 8)]
+
+    def test_ragged_block_splits_at_cluster_boundary(self, sg2042):
+        # 5 threads = one full cluster of 4 plus a lone core in the
+        # next cluster; both see 5 NUMA sharers.
+        p = profile_for(sg2042, 5, Placement.BLOCK)
+        assert [
+            (c.count, c.cluster_sharers, c.numa_sharers)
+            for c in p.classes
+        ] == [(4, 4, 5), (1, 1, 5)]
+
+    def test_classes_partition_the_placement(self, sg2042, amd_rome):
+        for cpu in (sg2042, amd_rome):
+            for nthreads in (1, 3, 6, 16, 64):
+                for policy in (Placement.BLOCK, Placement.CYCLIC):
+                    p = profile_for(cpu, nthreads, policy)
+                    assert sum(c.count for c in p.classes) == nthreads
+                    assert p.nthreads == nthreads
+
+    def test_sharer_counts_match_direct_topology_computation(self, sg2042):
+        topo = sg2042.topology
+        cores = assign_cores(topo, 11, Placement.CYCLIC)
+        p = placement_profile(topo, cores)
+        per_cluster = topo.active_per_cluster(cores)
+        per_numa = topo.active_per_numa(cores)
+        for core in cores:
+            assert p.numa_of(core) == topo.numa_of(core)
+            assert p.cluster_sharers(core) == per_cluster[
+                topo.cluster_of(core)
+            ]
+            assert p.numa_sharers(core) == per_numa[topo.numa_of(core)]
+
+
+class TestTieBreakOrder:
+    def test_representative_is_last_member_in_placement_order(self, sg2042):
+        # The reference scan keeps the LAST core among maximum ties, so
+        # each class must be represented by its last-placed member.
+        topo = sg2042.topology
+        cores = assign_cores(topo, 6, Placement.BLOCK)
+        p = placement_profile(topo, cores)
+        per_cluster = topo.active_per_cluster(cores)
+        per_numa = topo.active_per_numa(cores)
+        sharers = {
+            c: (per_cluster[topo.cluster_of(c)],
+                per_numa[topo.numa_of(c)])
+            for c in cores
+        }
+        for cc in p.classes:
+            members = [c for c in cores
+                       if sharers[c] == (cc.cluster_sharers,
+                                         cc.numa_sharers)]
+            assert cc.representative == members[-1]
+
+    def test_classes_ordered_by_last_member_position(self, sg2042):
+        topo = sg2042.topology
+        for nthreads in (5, 6, 11, 13):
+            cores = assign_cores(topo, nthreads, Placement.CYCLIC)
+            p = placement_profile(topo, cores)
+            positions = [cores.index(c.representative) for c in p.classes]
+            assert positions == sorted(positions)
+
+
+class TestProfileCache:
+    def test_equal_inputs_share_one_instance(self, sg2042):
+        a = placement_profile(sg2042.topology, (0, 1, 2))
+        b = placement_profile(sg2042.topology, (0, 1, 2))
+        assert a is b
+
+    def test_distinct_placements_get_distinct_profiles(self, sg2042):
+        a = placement_profile(sg2042.topology, (0, 1))
+        b = placement_profile(sg2042.topology, (0, 8))
+        assert a is not b
+        assert a.classes != b.classes
+
+
+class TestValidation:
+    def test_empty_placement_rejected(self, sg2042):
+        with pytest.raises(SimulationError):
+            PlacementProfile(sg2042.topology, ())
+
+    def test_duplicate_cores_rejected(self, sg2042):
+        with pytest.raises(SimulationError):
+            PlacementProfile(sg2042.topology, (0, 1, 0))
+
+    def test_foreign_core_lookup_rejected(self, sg2042):
+        p = placement_profile(sg2042.topology, (0, 1))
+        with pytest.raises(SimulationError):
+            p.numa_of(63)
+        with pytest.raises(SimulationError):
+            p.cluster_sharers(63)
+        with pytest.raises(SimulationError):
+            p.numa_sharers(63)
+
+
+class TestReferenceMode:
+    def test_flag_restored_on_exit(self):
+        assert not reference_active()
+        with reference_mode():
+            assert reference_active()
+        assert not reference_active()
+
+    def test_flag_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with reference_mode():
+                raise RuntimeError("boom")
+        assert not reference_active()
+
+    def test_nesting_preserves_outer_state(self):
+        with reference_mode():
+            with reference_mode():
+                assert reference_active()
+            assert reference_active()
+        assert not reference_active()

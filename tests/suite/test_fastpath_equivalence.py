@@ -1,0 +1,178 @@
+"""Golden equivalence: the fast path is bit-identical to the reference.
+
+The prediction engine's fast path stacks three optimizations — placement
+symmetry-class dedup, compile/prediction memoization, and parallel sweep
+workers. None of them is allowed to change a single bit of any result.
+These tests pin that contract against the naive reference
+(:func:`reference_mode` + :meth:`SuiteCaches.disabled`), across all 64
+kernels, the SG2042 and an x86 catalog machine, block/cyclic placements,
+a resumed checkpoint and ``workers > 1``.
+"""
+
+import pytest
+
+from repro.resilience import chaos
+from repro.resilience.faults import transient_plan
+from repro.kernels.registry import all_kernels
+from repro.perfmodel.placement import reference_mode
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.memo import PredictionMemo, SuiteCaches
+from repro.suite.runner import run_suite
+from repro.suite.sweep import sweep
+
+THREADS = (1, 5, 8, 64)
+PLACEMENTS = (Placement.BLOCK, Placement.CYCLIC)
+PRECISIONS = (Precision.FP32, Precision.FP64)
+
+
+def reference_sweep(cpu, **kwargs):
+    """The pre-optimization behaviour: per-core scans, no caches."""
+    with reference_mode():
+        return sweep(
+            cpu,
+            kernels=all_kernels(),
+            threads=THREADS,
+            placements=PLACEMENTS,
+            precisions=PRECISIONS,
+            caches=SuiteCaches.disabled(),
+            **kwargs,
+        )
+
+
+def fast_sweep(cpu, **kwargs):
+    return sweep(
+        cpu,
+        kernels=all_kernels(),
+        threads=THREADS,
+        placements=PLACEMENTS,
+        precisions=PRECISIONS,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def sg_reference(sg2042):
+    return reference_sweep(sg2042)
+
+
+class TestSweepEquivalence:
+    def test_serial_fast_sweep_bit_identical(self, sg2042, sg_reference):
+        fast = fast_sweep(sg2042)
+        # Dataclass equality compares every float of every point
+        # exactly (cache_stats is excluded by field(compare=False)).
+        assert fast == sg_reference
+
+    def test_parallel_sweep_bit_identical(self, sg2042, sg_reference):
+        fast = fast_sweep(sg2042, workers=4)
+        assert fast == sg_reference
+
+    def test_x86_machine_bit_identical(self, amd_rome):
+        assert fast_sweep(amd_rome, workers=2) == reference_sweep(amd_rome)
+
+    def test_resumed_checkpoint_bit_identical(
+        self, sg2042, sg_reference, tmp_path
+    ):
+        ckpt = tmp_path / "sweep.jsonl"
+        fast_sweep(sg2042, checkpoint=ckpt)
+        # Simulate a mid-grid kill: drop the latter half of the record
+        # lines, keeping the header, then resume with workers.
+        lines = ckpt.read_text().splitlines()
+        assert len(lines) > 3
+        keep = 1 + (len(lines) - 1) // 2
+        ckpt.write_text("\n".join(lines[:keep]) + "\n")
+        resumed = fast_sweep(sg2042, checkpoint=ckpt, workers=4)
+        assert resumed == sg_reference
+
+    def test_compile_cache_compiles_each_kernel_exactly_once(self, sg2042):
+        caches = SuiteCaches()
+        result = fast_sweep(sg2042, caches=caches)
+        stats = result.cache_stats
+        configs = len(THREADS) * len(PLACEMENTS) * len(PRECISIONS)
+        # One flavor/rollback per sweep: 64 unique compile keys, every
+        # other (kernel, grid point) pair a hit.
+        assert stats.compile_misses == 64
+        assert stats.compile_entries == 64
+        assert stats.compile_hits == 64 * (configs - 1)
+        assert stats.predict_misses + stats.predict_hits == 64 * configs
+
+
+class TestSuiteEquivalence:
+    def test_run_suite_matches_reference(self, sg2042):
+        config = RunConfig(threads=8, placement=Placement.BLOCK)
+        with reference_mode():
+            ref = run_suite(sg2042, config)
+        fast = run_suite(sg2042, config, caches=SuiteCaches())
+        assert fast.runs == ref.runs
+        assert fast == ref
+
+    def test_uncached_suite_has_no_cache_stats(self, sg2042):
+        config = RunConfig(threads=2)
+        result = run_suite(sg2042, config)
+        assert result.cache_stats is None
+
+    def test_noise_path_unchanged_by_short_circuit(self, sg2042):
+        # sigma == 0 short-circuits the noise averaging; a nonzero
+        # sigma must still consult the seeded RNG and perturb times.
+        quiet = run_suite(sg2042, RunConfig(threads=2, noise_sigma=0.0))
+        noisy = run_suite(
+            sg2042, RunConfig(threads=2, noise_sigma=0.05, runs=3)
+        )
+        assert quiet.time("TRIAD") != noisy.time("TRIAD")
+
+
+class TestChaosInteraction:
+    def test_memo_bypassed_under_active_fault_plan(self, sg2042):
+        caches = SuiteCaches()
+        config = RunConfig(threads=2)
+        # Probability zero: the plan injects nothing but stays active,
+        # so the runner must refuse to consult the prediction memo.
+        with chaos.inject_faults(transient_plan(seed=7, probability=0.0)):
+            result = run_suite(sg2042, config, caches=caches)
+        assert result.cache_stats.predict_hits == 0
+        assert result.cache_stats.predict_misses == 0
+        # The compile cache is still safe (compilation has no RUN-site
+        # fault hook) and keeps working under the plan.
+        assert result.cache_stats.compile_misses == 64
+
+    def test_sweep_under_fault_plan_forces_serial_and_matches(self, sg2042):
+        kernels = all_kernels()[:4]
+        with chaos.inject_faults(transient_plan(seed=7, probability=0.0)):
+            guarded = sweep(
+                sg2042, kernels=kernels, threads=(1, 8), workers=8
+            )
+        plain = sweep(sg2042, kernels=kernels, threads=(1, 8))
+        assert guarded == plain
+
+
+class TestPredictionMemoUnit:
+    def test_get_or_compute_counts_hits_and_misses(self):
+        memo = PredictionMemo()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        key = (1, "TRIAD", (0,), "fp64", None, 100)
+        assert memo.get_or_compute(key, compute) == "value"
+        assert memo.get_or_compute(key, compute) == "value"
+        assert len(calls) == 1
+        assert memo.hits == 1
+        assert memo.misses == 1
+        assert len(memo) == 1
+
+    def test_clear_resets_entries_and_counters(self):
+        memo = PredictionMemo()
+        memo.get_or_compute((1,), lambda: "x")
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.hits == 0
+        assert memo.misses == 0
+
+
+class TestWorkerValidation:
+    def test_workers_must_be_positive(self, sg2042):
+        from repro.util.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            sweep(sg2042, kernels=all_kernels()[:1], workers=0)

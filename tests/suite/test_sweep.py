@@ -37,6 +37,18 @@ class TestSweep:
     def test_best_for_kernel_case_insensitive(self, small_sweep):
         assert small_sweep.best_for_kernel("triad").kernel == "TRIAD"
 
+    def test_filtered_kernel_case_insensitive(self, small_sweep):
+        # filtered() normalizes like best_for_kernel: the registry
+        # stores names upper-case, so lower-case criteria must match.
+        lower = small_sweep.filtered(kernel="triad")
+        upper = small_sweep.filtered(kernel="TRIAD")
+        assert lower == upper
+        assert len(lower) == 6
+
+    def test_filtered_kernel_normalization_composes(self, small_sweep):
+        points = small_sweep.filtered(kernel="gemm", threads=8)
+        assert [p.kernel for p in points] == ["GEMM", "GEMM"]
+
     def test_best_overall_shape(self, small_sweep):
         threads, placement, precision = small_sweep.best_overall()
         assert threads in (1, 8, 32)
