@@ -1,21 +1,31 @@
 """Macro-benchmark: the full-grid sweep fast path vs the naive reference.
 
-Times the acceptance grid of the prediction-engine fast path — all 64
-kernels x threads {1, 4, 8, 16, 32, 64} x {block, cyclic} x {fp32, fp64}
-on the SG2042, ``noise_sigma=0`` — twice:
+Times the acceptance grid of the prediction engine — all 64 kernels x
+threads {1, 4, 8, 16, 32, 64} x {block, cyclic} x {fp32, fp64} on the
+SG2042, ``noise_sigma=0`` — four ways:
 
 * **reference**: :func:`reference_mode` (per-core slowest-thread scans,
   per-core sharer map rebuilds) with both cache layers disabled — the
-  engine's behaviour before the fast path existed;
-* **fast**: the default path — placement symmetry-class dedup, shared
-  compile cache, prediction memo.
+  engine's behaviour before any fast path existed;
+* **fast**: the default warm path — placement symmetry-class dedup,
+  shared compile cache, prediction memo, batch engine;
+* **cold scalar**: ``engine="scalar"`` with caches disabled — what a
+  cold (never-before-seen) grid cost before the batch engine;
+* **cold batch**: ``engine="batch"`` with fresh (empty) caches — the
+  cold path now: one compile per kernel, one vectorized NumPy pass per
+  configuration.
 
-It asserts the two sweeps are **bit-identical** (dataclass equality over
-every float of every point), that the compile cache compiled each kernel
-exactly once, and that the fast path clears the speedup floor (>= 5x on
-the full grid; a looser >= 1.5x on the ``--reduced`` CI grid, whose
-reference is too quick to amortize fixed costs). Results land in
-``BENCH_sweep.json`` next to the repo root to start the perf trajectory.
+Every variant is timed best-of-:data:`BENCH_RUNS` — the same recipe
+measured mode uses for host kernels — with fresh suite caches per
+attempt, so a one-off allocator or scheduler hiccup cannot decide a
+floor. It asserts all four sweeps are **bit-identical** (dataclass
+equality over every float of every point), that the compile cache
+compiled each kernel exactly once, and that both the warm speedup floor
+(>= 5x full grid) and the cold batch-vs-scalar floor (>= 3x full grid;
+looser 1.5x floors on the ``--reduced`` CI grid, whose runs are too
+quick to amortize fixed costs) are cleared. Results land in
+``BENCH_sweep.json`` next to the repo root to extend the perf
+trajectory.
 
 Run directly (``python benchmarks/bench_sweep.py [--reduced]``) or via
 pytest.
@@ -42,6 +52,27 @@ PLACEMENTS = (Placement.BLOCK, Placement.CYCLIC)
 PRECISIONS = (Precision.FP32, Precision.FP64)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
+#: Timing attempts per variant; the best is reported (measured-mode
+#: recipe: best-of is far less noise-sensitive than a single shot).
+BENCH_RUNS = 3
+
+
+def _best_of(make_run, runs: int = BENCH_RUNS):
+    """Best wall time over ``runs`` fresh attempts.
+
+    ``make_run`` builds and runs one attempt from scratch (fresh suite
+    caches where the variant wants them) and returns
+    ``(sweep_result, caches_or_None)``; the last attempt's pair is
+    returned alongside the best time so the caller can assert on it.
+    """
+    best = float("inf")
+    value = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        value = make_run()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
 
 def _grid(reduced: bool) -> dict:
     return {
@@ -52,31 +83,61 @@ def _grid(reduced: bool) -> dict:
 
 
 def run_benchmark(reduced: bool = False) -> dict:
-    """Time reference vs fast sweeps; return the JSON-ready record."""
+    """Time reference/fast/cold sweeps; return the JSON-ready record."""
     cpu = catalog.sg2042()
     kernels = all_kernels()
     grid = _grid(reduced)
     floor = 1.5 if reduced else 5.0
+    cold_floor = 1.5 if reduced else 3.0
 
-    start = time.perf_counter()
-    with reference_mode():
-        ref = sweep(cpu, kernels=kernels, caches=SuiteCaches.disabled(),
-                    **grid)
-    ref_seconds = time.perf_counter() - start
+    def run_reference():
+        with reference_mode():
+            return sweep(cpu, kernels=kernels,
+                         caches=SuiteCaches.disabled(), **grid), None
 
-    caches = SuiteCaches()
-    start = time.perf_counter()
-    fast = sweep(cpu, kernels=kernels, caches=caches, **grid)
-    fast_seconds = time.perf_counter() - start
+    def run_fast():
+        fast_caches = SuiteCaches()
+        return (
+            sweep(cpu, kernels=kernels, caches=fast_caches, **grid),
+            fast_caches,
+        )
+
+    # Cold comparison: what a never-before-seen grid costs. The scalar
+    # side runs uncached (each point recompiles and re-predicts, the
+    # pre-batch cold behaviour); the batch side starts from fresh,
+    # empty suite caches each attempt — every compile and every
+    # prediction it makes is a cold miss.
+    def run_cold_scalar():
+        return sweep(cpu, kernels=kernels, engine="scalar",
+                     caches=SuiteCaches.disabled(), **grid), None
+
+    def run_cold_batch():
+        batch_caches = SuiteCaches()
+        return (
+            sweep(cpu, kernels=kernels, engine="batch",
+                  caches=batch_caches, **grid),
+            batch_caches,
+        )
+
+    ref_seconds, (ref, _) = _best_of(run_reference)
+    fast_seconds, (fast, caches) = _best_of(run_fast)
+    cold_scalar_seconds, (cold_scalar, _) = _best_of(run_cold_scalar)
+    cold_batch_seconds, (cold_batch, cold_caches) = _best_of(
+        run_cold_batch
+    )
 
     assert fast == ref, "fast path diverged from the reference sweep"
+    assert cold_scalar == ref, "scalar engine diverged from the reference"
+    assert cold_batch == ref, "batch engine diverged from the reference"
     stats = caches.stats()
     assert stats.compile_misses == len(kernels), (
         f"expected exactly one compilation per kernel, got "
         f"{stats.compile_misses}"
     )
+    assert cold_caches.stats().compile_misses == len(kernels)
 
     speedup = ref_seconds / fast_seconds
+    cold_speedup = cold_scalar_seconds / cold_batch_seconds
     configs = (len(grid["threads"]) * len(grid["placements"])
                * len(grid["precisions"]))
     return {
@@ -90,6 +151,10 @@ def run_benchmark(reduced: bool = False) -> dict:
         "fast_seconds": round(fast_seconds, 6),
         "speedup": round(speedup, 2),
         "speedup_floor": floor,
+        "cold_scalar_seconds": round(cold_scalar_seconds, 6),
+        "cold_batch_seconds": round(cold_batch_seconds, 6),
+        "cold_speedup": round(cold_speedup, 2),
+        "cold_speedup_floor": cold_floor,
         "bit_identical": True,
         "compile_cache": {
             "misses": stats.compile_misses,
@@ -110,11 +175,17 @@ def _report(record: dict) -> str:
         f"{record['predictions']} predictions):\n"
         f"  reference (per-core scan, no caches): "
         f"{record['reference_seconds'] * 1e3:9.1f} ms\n"
-        f"  fast (dedup + compile cache + memo):  "
+        f"  fast (dedup + caches + batch):        "
         f"{record['fast_seconds'] * 1e3:9.1f} ms\n"
         f"  speedup: {record['speedup']:6.1f}x  "
         f"(floor {record['speedup_floor']}x)   bit-identical: "
         f"{record['bit_identical']}\n"
+        f"  cold scalar (uncached):               "
+        f"{record['cold_scalar_seconds'] * 1e3:9.1f} ms\n"
+        f"  cold batch (fresh caches):            "
+        f"{record['cold_batch_seconds'] * 1e3:9.1f} ms\n"
+        f"  cold speedup: {record['cold_speedup']:6.1f}x  "
+        f"(floor {record['cold_speedup_floor']}x)\n"
         f"  compile cache: {record['compile_cache']['misses']} compiled, "
         f"{record['compile_cache']['hits']} reused"
     )
@@ -122,11 +193,13 @@ def _report(record: dict) -> str:
 
 def test_fast_sweep_is_bit_identical_and_faster():
     # CI-friendly: the reduced grid keeps the reference run short, so
-    # the asserted floor is deliberately loose; the full floor (5x,
-    # comfortably cleared at ~15-20x) is checked by the direct run.
+    # the asserted floors are deliberately loose; the full floors (5x
+    # warm, 3x cold — comfortably cleared) are checked by the direct
+    # run.
     record = run_benchmark(reduced=True)
     print("\n" + _report(record))
     assert record["speedup"] >= record["speedup_floor"]
+    assert record["cold_speedup"] >= record["cold_speedup_floor"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,7 +218,10 @@ def main(argv: list[str] | None = None) -> int:
     print(_report(record))
     print(f"wrote {args.output}")
     if record["speedup"] < record["speedup_floor"]:
-        print("FAIL: speedup below floor", file=sys.stderr)
+        print("FAIL: warm speedup below floor", file=sys.stderr)
+        return 1
+    if record["cold_speedup"] < record["cold_speedup_floor"]:
+        print("FAIL: cold speedup below floor", file=sys.stderr)
         return 1
     return 0
 

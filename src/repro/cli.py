@@ -187,6 +187,29 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stack frames shown by ``repro sweep --profile``.
+PROFILE_TOP_N = 25
+
+
+def _emit_profile(profiler, out_path: str | None) -> None:
+    """Render a finished cProfile run: top cumulative lines to stderr,
+    or the full report to ``out_path`` when given."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative")
+    if out_path is not None:
+        stats.print_stats()
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(buffer.getvalue())
+        print(f"profile written to {out_path}", file=sys.stderr)
+    else:
+        stats.print_stats(PROFILE_TOP_N)
+        sys.stderr.write(buffer.getvalue())
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.kernels.registry import get_kernel
     from repro.suite.config import Placement, Precision
@@ -204,14 +227,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   for p in args.placements.split(",")]
     precisions = [Precision.from_label(p)
                   for p in args.precisions.split(",")]
+    profiler = None
+    if getattr(args, "profile", False) or getattr(args, "profile_out",
+                                                  None):
+        import cProfile
+
+        profiler = cProfile.Profile()
     with _chaos_context(args):
-        result = sweep(
-            cpu, kernels, threads, placements, precisions,
-            policy=_failure_policy(args),
-            retry=_retry_spec(args),
-            checkpoint=args.checkpoint,
-            workers=args.workers,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = sweep(
+                cpu, kernels, threads, placements, precisions,
+                policy=_failure_policy(args),
+                retry=_retry_spec(args),
+                checkpoint=args.checkpoint,
+                workers=args.workers,
+                workers_mode=args.workers_mode,
+                engine=args.engine,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                _emit_profile(profiler, args.profile_out)
     if args.csv:
         print(result.to_csv())
     else:
@@ -404,6 +442,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="run up to N grid points concurrently (results are "
         "bit-identical to a serial sweep)",
+    )
+    p_sweep.add_argument(
+        "--workers-mode", default="thread",
+        choices=["thread", "process"],
+        help="worker pool type for --workers > 1: 'thread' shares the "
+        "sweep caches but is GIL-bound, 'process' runs grid points in "
+        "separate interpreters (bit-identical results either way)",
+    )
+    p_sweep.add_argument(
+        "--engine", default="batch", choices=["batch", "scalar"],
+        help="prediction engine: 'batch' evaluates each "
+        "configuration's whole kernel list in one vectorized NumPy "
+        "pass, 'scalar' calls the model once per kernel "
+        "(bit-identical results)",
+    )
+    p_sweep.add_argument(
+        "--profile", action="store_true",
+        help="run the sweep under cProfile and print the top "
+        "cumulative-time functions to stderr",
+    )
+    p_sweep.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="write the full pstats text report to FILE instead of "
+        "stderr (implies --profile)",
     )
     _add_resilience_flags(p_sweep)
 

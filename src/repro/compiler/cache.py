@@ -25,6 +25,7 @@ from repro.compiler.model import Compiler, VectorFlavor
 from repro.compiler.vectorizer import VectorizationReport, analyze
 from repro.kernels.base import Kernel
 from repro.machine.vector import VectorISA
+from repro.util.errors import ReproError
 
 #: One compilation's identity: everything ``analyze`` reads.
 CompileKey = tuple[str, str | None, str, str, str | None, VectorFlavor, bool]
@@ -74,6 +75,12 @@ class CompileCache:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._entries: dict[CompileKey, VectorizationReport] = {}
+        # Suite-level composite index: one entry per fully-resolved
+        # (compiler, kernel tuple, target, flavor, rollback) list, so a
+        # sweep's 2nd..Nth grid point resolves its whole kernel list in
+        # one lookup instead of len(kernels) per-key probes. Pure index
+        # over ``_entries`` — never counted in ``stats.entries``.
+        self._suites: dict[tuple, tuple[VectorizationReport, ...]] = {}
         self._hits = 0
         self._misses = 0
 
@@ -99,6 +106,84 @@ class CompileCache:
             self._entries[key] = report
             return report
 
+    def analyze_many(
+        self,
+        compiler: Compiler,
+        kernels: list[Kernel],
+        target: VectorISA,
+        flavor: VectorFlavor = VectorFlavor.VLS,
+        rollback: bool = False,
+    ) -> list[VectorizationReport | None]:
+        """Batched :meth:`analyze` for one configuration's kernel list.
+
+        One lock hold serves the whole list — the
+        per-kernel hit/miss accounting is identical to calling
+        :meth:`analyze` in a loop. A kernel whose compilation *fails*
+        yields ``None`` (instead of raising mid-batch) and leaves the
+        counters untouched, exactly like the scalar path's uncached
+        error; the caller re-runs it individually to surface the
+        authoritative error.
+        """
+        out: list[VectorizationReport | None] = []
+        with self._lock:
+            entries = self._entries
+            for kernel in kernels:
+                key = compile_key(compiler, kernel, target, flavor,
+                                  rollback)
+                report = entries.get(key)
+                if report is not None:
+                    self._hits += 1
+                else:
+                    try:
+                        report = analyze(
+                            compiler, kernel, target, flavor=flavor,
+                            rollback=rollback,
+                        )
+                    except ReproError:
+                        out.append(None)
+                        continue
+                    self._misses += 1
+                    entries[key] = report
+                out.append(report)
+        return out
+
+    def analyze_suite(
+        self,
+        compiler: Compiler,
+        kernels: tuple[Kernel, ...],
+        target: VectorISA,
+        flavor: VectorFlavor = VectorFlavor.VLS,
+        rollback: bool = False,
+    ) -> list[VectorizationReport | None]:
+        """:meth:`analyze_many` with a suite-level composite fast path.
+
+        A sweep resolves the *same* kernel tuple once per grid point;
+        after the first full resolution the whole list is served from
+        one composite lookup. A composite hit scores ``len(kernels)``
+        hits — exactly what the per-key probes it replaces would have
+        counted — so cache statistics are indistinguishable from
+        looping :meth:`analyze`. Lists containing a failed compilation
+        are never stored as composites (errors are not cached), so they
+        re-resolve per kernel every time, like the scalar path.
+        """
+        suite_key = (
+            compiler.name, compiler.rvv_version, kernels,
+            target.name, target.version, flavor, rollback,
+        )
+        with self._lock:
+            reports = self._suites.get(suite_key)
+            if reports is not None:
+                self._hits += len(kernels)
+                return list(reports)
+        out = self.analyze_many(
+            compiler, list(kernels), target, flavor=flavor,
+            rollback=rollback,
+        )
+        if all(report is not None for report in out):
+            with self._lock:
+                self._suites[suite_key] = tuple(out)
+        return out
+
     @property
     def stats(self) -> CompileCacheStats:
         with self._lock:
@@ -111,5 +196,6 @@ class CompileCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._suites.clear()
             self._hits = 0
             self._misses = 0

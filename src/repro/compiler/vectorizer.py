@@ -37,6 +37,20 @@ class VectorizationReport:
     efficiency: float
     reason: str
 
+    def __hash__(self) -> int:
+        # Reports key several hot caches (compile cache, batch-engine
+        # prelude); the generated dataclass hash re-walks the fields —
+        # including a Python-level enum hash — on every lookup. Compute
+        # once, cache on the (frozen) instance. Matches field equality.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.vectorized, self.vector_path_executed, self.flavor,
+                self.efficiency, self.reason,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def effective(self) -> bool:
         """True when vector code actually executes at runtime."""

@@ -227,6 +227,19 @@ class CPUModel:
     fork_join_ns: float = 2000.0
     smt: int = 1
 
+    def __hash__(self) -> int:
+        # A CPUModel keys several hot per-sweep caches (machine digest,
+        # batch-engine prelude); the generated hash re-walks the whole
+        # nested model every lookup. Compute once per (frozen) instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((
+                self.name, self.part, self.core, self.caches,
+                self.topology, self.memory, self.fork_join_ns, self.smt,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __post_init__(self) -> None:
         if self.fork_join_ns < 0:
             raise ConfigError("fork_join_ns must be >= 0")

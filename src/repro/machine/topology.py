@@ -29,6 +29,17 @@ class NumaTopology:
     numa_nodes: tuple[tuple[int, ...], ...]
     clusters: tuple[tuple[int, ...], ...]
 
+    def __hash__(self) -> int:
+        # Topologies key the placement-profile and core-assignment
+        # caches, which a sweep consults per grid point; the generated
+        # hash re-walks both nested core-id tuples every lookup.
+        # Compute once per (frozen) instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.numa_nodes, self.clusters))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __post_init__(self) -> None:
         all_numa = [c for node in self.numa_nodes for c in node]
         all_clus = [c for cl in self.clusters for c in cl]

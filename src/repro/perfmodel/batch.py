@@ -1,0 +1,727 @@
+"""Vectorized whole-suite prediction: the batch engine.
+
+``simulate_kernel`` walks one (kernel, machine, configuration) point at
+Python speed: a handful of function calls, a per-class scan, a dozen
+float operations. A sweep multiplies that by thousands of points, so a
+*cold* grid (empty caches) is rate-limited by the interpreter, not by
+the model's arithmetic.
+
+:func:`predict_batch` evaluates one whole configuration — every kernel
+of a suite at once — by *lowering* the kernel list into
+structure-of-arrays NumPy inputs (:func:`lower_kernels`) and replaying
+the scalar model as array expressions over the kernel axis:
+
+* per-iteration pipeline times come from the (memoized) scalar
+  :func:`~repro.perfmodel.pipeline.pipeline_time_per_iter`, one float
+  per kernel — they depend on the kernel, not the placement;
+* the serving-level decision becomes a masked first-fit select over the
+  cache levels, with sharers/bandwidths taken per *placement symmetry
+  class* (:mod:`repro.perfmodel.placement`) as Python scalars from the
+  same helpers the scalar model uses;
+* the slowest-thread scan becomes a ``>=``-masked running maximum over
+  the classes, preserving the scalar scan's last-wins tie-break;
+* Amdahl composition, fork-join overhead and repetition scaling are
+  elementwise array arithmetic.
+
+**Bit-identity.** Every array expression performs the *same IEEE-754
+double operations in the same order* as the scalar model does per
+point — NumPy elementwise float64 arithmetic rounds identically to
+Python float arithmetic — and every placement- or level-dependent
+scalar (bandwidths, headrooms, barrier costs) is computed by the very
+helper the scalar path calls. The golden and randomized tests in
+``tests/suite/test_batch_equivalence.py`` pin the equality point for
+point across machines, placements and dtypes.
+
+**Fallback contract.** The batch path never raises per-kernel model
+errors: a kernel whose batch evaluation cannot produce a valid
+(finite, positive) prediction gets ``None`` in the returned list, and
+the caller re-runs it through the scalar engine so failure semantics
+(error types, messages, retry accounting) stay byte-identical. Chaos
+fault plans and :func:`~repro.perfmodel.placement.reference_mode` are
+handled one layer up (:mod:`repro.suite.runner` forces the scalar
+engine) because injected faults are per-call state a batched evaluation
+cannot replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.vectorizer import VectorizationReport
+from repro.kernels.base import Kernel, LoopFeature
+from repro.machine.cache import Sharing
+from repro.machine.cpu import CoreModel, CPUModel
+from repro.machine.vector import DType
+from repro.perfmodel.execution import ExecutionResult, execution_dtype
+from repro.perfmodel.memory import (
+    GATHER_EFFICIENCY,
+    dram_bandwidth_per_thread,
+    fit_headroom,
+    level_bandwidth_per_thread,
+)
+from repro.perfmodel.pipeline import pipeline_time_per_iter
+from repro.perfmodel.placement import placement_profile
+from repro.perfmodel.threading import barrier_seconds
+from repro.util.errors import ReproError, SimulationError
+
+#: Serving-level code for DRAM in the batched select (cache levels use
+#: their index in ``cpu.caches.levels``).
+_DRAM_CODE = -1
+
+
+@dataclass(frozen=True)
+class KernelSoA:
+    """Structure-of-arrays lowering of a kernel list.
+
+    One float64 (or bool) entry per kernel for every trait the analytic
+    model reads per iteration. Arrays are read-only views shared through
+    the :func:`lower_kernels` cache; do not mutate them.
+    """
+
+    kernels: tuple[Kernel, ...]
+    flops_per_iter: np.ndarray
+    reads_per_iter: np.ndarray
+    writes_per_iter: np.ndarray
+    footprint_elems: np.ndarray
+    traffic_scale: np.ndarray
+    parallel_fraction: np.ndarray
+    regions_per_rep: np.ndarray
+    reps: np.ndarray
+    gather: np.ndarray  # bool: INDIRECTION in features
+    default_sizes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+
+def _frozen(values, dtype=np.float64) -> np.ndarray:
+    arr = np.array(values, dtype=dtype)
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=256)
+def lower_kernels(kernels: tuple[Kernel, ...]) -> KernelSoA:
+    """Lower ``kernels`` into the SoA form the batch engine consumes.
+
+    Cached on the kernel tuple (registry kernels are singletons), so a
+    sweep lowers its suite once, not once per grid point.
+    """
+    traits = [k.traits for k in kernels]
+    return KernelSoA(
+        kernels=kernels,
+        flops_per_iter=_frozen([t.flops_per_iter for t in traits]),
+        reads_per_iter=_frozen([t.reads_per_iter for t in traits]),
+        writes_per_iter=_frozen([t.writes_per_iter for t in traits]),
+        footprint_elems=_frozen([t.footprint_elems for t in traits]),
+        traffic_scale=_frozen([t.traffic_scale for t in traits]),
+        parallel_fraction=_frozen([t.parallel_fraction for t in traits]),
+        regions_per_rep=_frozen([t.regions_per_rep for t in traits]),
+        reps=_frozen([k.reps for k in kernels]),
+        gather=_frozen(
+            [LoopFeature.INDIRECTION in t.features for t in traits],
+            dtype=bool,
+        ),
+        default_sizes=_frozen([k.default_size for k in kernels]),
+    )
+
+
+@lru_cache(maxsize=128)
+def _level_names(cpu: CPUModel) -> tuple[str, ...]:
+    """Serving-level display names, decoded from the batched select."""
+    return tuple(level.name for level in cpu.caches.levels)
+
+
+@lru_cache(maxsize=8192)
+def _pipe_seconds(
+    core: CoreModel,
+    traits,
+    dtype: DType,
+    vectorized: bool,
+    efficiency: float,
+) -> float:
+    """Memoized scalar pipeline time — placement-independent, so one
+    entry serves every grid point of a (kernel, dtype, report) triple."""
+    return pipeline_time_per_iter(core, traits, dtype, vectorized,
+                                  efficiency)
+
+
+@dataclass(frozen=True)
+class _Prelude:
+    """Configuration-independent slice of a batched prediction.
+
+    Everything here depends only on (machine, kernels, precision,
+    reports, sizes) — not on the placement — so one instance serves
+    every grid point of a sweep that shares those inputs. That includes
+    the whole *serial* (master-thread) part: a single-core placement has
+    every sharer count at 1 and a DRAM share that is independent of
+    which core hosts the master (``active == 1`` in both branches of
+    :func:`dram_bandwidth_per_thread`), so its value is the same for
+    every placement in the grid.
+    """
+
+    soa: KernelSoA
+    size: np.ndarray
+    dtype_bytes: np.ndarray
+    pipe: np.ndarray
+    vectorized: tuple[bool, ...]
+    footprint_bytes: np.ndarray
+    bytes_per_iter: np.ndarray
+    par_iters_total: np.ndarray
+    serial_time: np.ndarray
+    base_invalid: np.ndarray  # pipeline failures and negative serial part
+
+
+@lru_cache(maxsize=512)
+def _prelude(
+    cpu: CPUModel,
+    kernels: tuple[Kernel, ...],
+    precision: DType,
+    reports: tuple[VectorizationReport, ...],
+    sizes: tuple[int, ...] | None,
+) -> _Prelude:
+    """Build (and cache) the placement-independent arrays of a batch.
+
+    A full sweep grid re-keys this only when the precision flips, so the
+    per-kernel Python loop below runs twice per grid, not once per
+    point.
+    """
+    soa = lower_kernels(kernels)
+    size = soa.default_sizes if sizes is None else _frozen(sizes)
+    isa = cpu.core.isa
+
+    # Per-kernel scalars: executed dtype, whether vector code runs,
+    # pipeline seconds per iteration.
+    dtype_bytes = np.empty(len(kernels))
+    pipe = np.empty(len(kernels))
+    failed = np.zeros(len(kernels), dtype=bool)
+    vectorized_flags: list[bool] = []
+    for i, (kernel, report) in enumerate(zip(kernels, reports)):
+        dtype = execution_dtype(kernel, precision)
+        vectorized = report.effective and isa.supports(dtype)
+        vectorized_flags.append(vectorized)
+        dtype_bytes[i] = dtype.bytes
+        try:
+            pipe[i] = _pipe_seconds(
+                cpu.core, kernel.traits, dtype, vectorized,
+                report.efficiency if vectorized else 1.0,
+            )
+        except ReproError:
+            # The scalar fallback re-raises the authoritative error for
+            # this kernel; the rest of the batch proceeds.
+            pipe[i] = np.nan
+            failed[i] = True
+
+    with np.errstate(all="ignore"):
+        # Working-set and nominal traffic, in the scalar model's
+        # association order: (elems * n) * bytes.
+        footprint_bytes = (soa.footprint_elems * size) * dtype_bytes
+        bytes_per_iter = (
+            soa.reads_per_iter + soa.writes_per_iter
+        ) * dtype_bytes
+        par_iters_total = soa.parallel_fraction * size
+
+        # Serial part: the master thread with the whole machine idle —
+        # a degenerate single-core placement where every sharer count
+        # is 1 and the slice is the full footprint. Master-independent
+        # (see class docstring), so any valid core represents it.
+        master = cpu.topology.numa_nodes[0][0]
+        serial_iters = (1.0 - soa.parallel_fraction) * size
+        mem1, _ = _class_memory_seconds(
+            cpu, footprint_bytes / 1, bytes_per_iter, soa.traffic_scale,
+            soa.gather, 1, 1, 1,
+            dram_bandwidth_per_thread(
+                cpu, master, (master,),
+                placement_profile(cpu.topology, (master,)),
+            ),
+        )
+        serial_time = np.where(
+            serial_iters > 0, serial_iters * np.maximum(pipe, mem1), 0.0
+        )
+        base_invalid = failed | (serial_time < 0)
+
+    for arr in (dtype_bytes, pipe, footprint_bytes, bytes_per_iter,
+                par_iters_total, serial_time, base_invalid):
+        arr.setflags(write=False)
+    return _Prelude(
+        soa=soa,
+        size=size,
+        dtype_bytes=dtype_bytes,
+        pipe=pipe,
+        vectorized=tuple(vectorized_flags),
+        footprint_bytes=footprint_bytes,
+        bytes_per_iter=bytes_per_iter,
+        par_iters_total=par_iters_total,
+        serial_time=serial_time,
+        base_invalid=base_invalid,
+    )
+
+
+def _class_memory_seconds(
+    cpu: CPUModel,
+    slice_bytes: np.ndarray,
+    bytes_per_iter: np.ndarray,
+    traffic_scale: np.ndarray,
+    gather: np.ndarray,
+    nthreads: int,
+    cluster_sharers: int,
+    numa_sharers: int,
+    dram_bandwidth: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-kernel memory seconds/iteration for one symmetry class.
+
+    Mirrors :func:`repro.perfmodel.memory.memory_time_per_iter` as a
+    masked first-fit over the cache levels: sharers, headrooms and
+    bandwidths are the same Python scalars the scalar model computes
+    (one per level per class, kernel-independent), and only the
+    fit/select and the final divide are arrays.
+
+    Returns ``(seconds_per_iter, level_code)`` where ``level_code`` is
+    the serving level's index in ``cpu.caches.levels`` or ``-1`` (DRAM).
+    """
+    m = len(slice_bytes)
+    seconds = np.zeros(m)
+    level_code = np.full(m, _DRAM_CODE, dtype=np.int64)
+    remaining = np.ones(m, dtype=bool)
+    for idx, level in enumerate(cpu.caches.levels):
+        if level.sharing is Sharing.CORE:
+            sharers = 1
+        elif level.sharing is Sharing.CLUSTER:
+            sharers = cluster_sharers
+        elif level.sharing is Sharing.NUMA:
+            sharers = numa_sharers
+        elif level.sharing is Sharing.PACKAGE:
+            sharers = nthreads
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown sharing {level.sharing}")
+        cap = fit_headroom(sharers) * level.capacity_bytes
+        fits = remaining & (slice_bytes * sharers <= cap)
+        if fits.any():
+            bandwidth = level_bandwidth_per_thread(cpu, level, sharers)
+            if bandwidth <= 0:
+                # Scalar path raises here; poison so the caller falls
+                # back and the scalar error is the one observed.
+                seconds = np.where(fits, np.nan, seconds)
+                remaining &= ~fits
+                continue
+            # Inner level (index 0) sees the full stream; outer levels
+            # (and DRAM below) see the reuse-scaled traffic.
+            traffic = (
+                bytes_per_iter if idx == 0
+                else bytes_per_iter * traffic_scale
+            )
+            if level.name != "L1D":
+                per_thread = np.where(
+                    gather, bandwidth * GATHER_EFFICIENCY, bandwidth
+                )
+            else:
+                per_thread = bandwidth
+            seconds = np.where(fits, traffic / per_thread, seconds)
+            level_code = np.where(fits, idx, level_code)
+            remaining &= ~fits
+    if remaining.any():
+        if dram_bandwidth <= 0:
+            seconds = np.where(remaining, np.nan, seconds)
+        else:
+            per_thread = np.where(
+                gather, dram_bandwidth * GATHER_EFFICIENCY, dram_bandwidth
+            )
+            dram_secs = (bytes_per_iter * traffic_scale) / per_thread
+            seconds = np.where(remaining, dram_secs, seconds)
+    return seconds, level_code
+
+
+def _class_memory_rows(
+    cpu: CPUModel,
+    slice_rk: np.ndarray,
+    bytes_per_iter: np.ndarray,
+    traffic_scale: np.ndarray,
+    gather: np.ndarray,
+    rows: list[tuple[int, int, int, float]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`_class_memory_seconds` lifted over many symmetry classes.
+
+    ``rows`` holds one ``(nthreads, cluster_sharers, numa_sharers,
+    dram_bandwidth)`` tuple per class — classes of *different grid
+    points* stack freely — and ``slice_rk`` the matching per-row slice
+    bytes, shape ``(len(rows), kernels)``. Same first-fit select, same
+    scalar helpers per (level, row), only evaluated for every row at
+    once; returns ``(seconds_per_iter, level_code)`` of that shape.
+    """
+    shape = slice_rk.shape
+    seconds = np.zeros(shape)
+    level_code = np.full(shape, _DRAM_CODE, dtype=np.int64)
+    remaining = np.ones(shape, dtype=bool)
+    for idx, level in enumerate(cpu.caches.levels):
+        if level.sharing is Sharing.CORE:
+            sharers = [1] * len(rows)
+        elif level.sharing is Sharing.CLUSTER:
+            sharers = [row[1] for row in rows]
+        elif level.sharing is Sharing.NUMA:
+            sharers = [row[2] for row in rows]
+        elif level.sharing is Sharing.PACKAGE:
+            sharers = [row[0] for row in rows]
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown sharing {level.sharing}")
+        cap = np.array(
+            [fit_headroom(s) * level.capacity_bytes for s in sharers]
+        ).reshape(-1, 1)
+        sharers_col = np.array(sharers, dtype=np.float64).reshape(-1, 1)
+        fits = remaining & (slice_rk * sharers_col <= cap)
+        if fits.any():
+            bandwidth = np.array([
+                level_bandwidth_per_thread(cpu, level, s) for s in sharers
+            ]).reshape(-1, 1)
+            # Scalar path raises on non-positive bandwidth; poison those
+            # rows so the caller falls back and the scalar error is the
+            # one observed. Their level_code is left un-selected, as in
+            # the 1-D select's early ``continue``.
+            bad = bandwidth <= 0
+            traffic = (
+                bytes_per_iter if idx == 0
+                else bytes_per_iter * traffic_scale
+            )
+            if level.name != "L1D":
+                per_thread = np.where(
+                    gather, bandwidth * GATHER_EFFICIENCY, bandwidth
+                )
+            else:
+                per_thread = bandwidth
+            values = np.where(bad, np.nan, traffic / per_thread)
+            seconds = np.where(fits, values, seconds)
+            level_code = np.where(fits & ~bad, idx, level_code)
+            remaining &= ~fits
+    if remaining.any():
+        dram = np.array([row[3] for row in rows]).reshape(-1, 1)
+        bad = dram <= 0
+        per_thread = np.where(gather, dram * GATHER_EFFICIENCY, dram)
+        dram_secs = np.where(
+            bad, np.nan, (bytes_per_iter * traffic_scale) / per_thread
+        )
+        seconds = np.where(remaining, dram_secs, seconds)
+    return seconds, level_code
+
+
+def predict_batch(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    cores: tuple[int, ...],
+    precision: DType,
+    reports: Sequence[VectorizationReport],
+    sizes: Sequence[int] | None = None,
+) -> list[ExecutionResult | None]:
+    """Predict every kernel of one configuration in one vectorized pass.
+
+    The batched equivalent of calling
+    :func:`~repro.perfmodel.execution.simulate_kernel` once per kernel
+    with this (machine, placement, precision): same inputs, bit-identical
+    outputs. Entries are ``None`` where the batched evaluation could not
+    produce a valid prediction (non-finite or non-positive time) — the
+    caller must re-run those kernels through the scalar engine, which
+    raises the authoritative :class:`SimulationError`.
+
+    Args:
+        cpu: Machine model.
+        kernels: Kernels to predict, one result per entry.
+        cores: Thread placement — one core id per OpenMP thread.
+        precision: FP32 or FP64 run configuration.
+        reports: One compilation outcome per kernel (align with
+            ``kernels``).
+        sizes: Per-kernel problem sizes; defaults to each kernel's
+            RAJAPerf size.
+    """
+    if len(reports) != len(kernels):
+        raise SimulationError(
+            f"{len(kernels)} kernels but {len(reports)} reports"
+        )
+    if not cores:
+        raise SimulationError("placement must contain at least one core")
+    if len(set(cores)) != len(cores):
+        raise SimulationError(f"duplicate cores in placement {cores}")
+    if not kernels:
+        return []
+
+    sizes_key: tuple[int, ...] | None = None
+    if sizes is not None:
+        if len(sizes) != len(kernels):
+            raise SimulationError(
+                f"{len(kernels)} kernels but {len(sizes)} sizes"
+            )
+        if min(sizes) < 1:
+            raise SimulationError("size and reps must be >= 1")
+        sizes_key = tuple(sizes)
+
+    pre = _prelude(cpu, tuple(kernels), precision, tuple(reports),
+                   sizes_key)
+    soa = pre.soa
+    pipe = pre.pipe
+    nthreads = len(cores)
+    profile = placement_profile(cpu.topology, cores)
+
+    with np.errstate(all="ignore"):
+        # Per-thread working-set slice and chunk, in the scalar model's
+        # association order: the prelude's products, then / nthreads.
+        slice_bytes = pre.footprint_bytes / nthreads
+        chunk = pre.par_iters_total / nthreads
+
+        # Parallel part: static schedule, slowest symmetry class decides.
+        # Class order and the ``>=`` update reproduce the scalar scan's
+        # last-wins tie-break.
+        slowest = np.zeros(len(kernels))
+        slow_compute = np.zeros(len(kernels), dtype=bool)
+        slow_level = np.full(len(kernels), _DRAM_CODE - 1, dtype=np.int64)
+        for cc in profile.classes:
+            mem_secs, level_code = _class_memory_seconds(
+                cpu, slice_bytes, pre.bytes_per_iter, soa.traffic_scale,
+                soa.gather, nthreads, cc.cluster_sharers, cc.numa_sharers,
+                dram_bandwidth_per_thread(
+                    cpu, cc.representative, cores, profile
+                ),
+            )
+            t = chunk * np.maximum(pipe, mem_secs)
+            mask = t >= slowest
+            slowest = np.where(mask, t, slowest)
+            slow_compute = np.where(mask, pipe >= mem_secs, slow_compute)
+            slow_level = np.where(mask, level_code, slow_level)
+
+        barrier = barrier_seconds(cpu, nthreads)
+        rep_time = (
+            (pre.serial_time + slowest) + barrier * soa.regions_per_rep
+        )
+        seconds = rep_time * soa.reps
+
+        # A point is invalid wherever the scalar engine would raise:
+        # non-finite or non-positive totals, negative components (the
+        # compose-time validation), or a per-kernel prelude failure.
+        # ``seconds = rep_time * reps`` with ``reps >= 1`` (enforced at
+        # kernel definition), so the finite/positive checks on
+        # ``seconds`` subsume the same checks on ``rep_time``.
+        invalid = (
+            pre.base_invalid
+            | ~np.isfinite(seconds) | (seconds <= 0)
+            | (slowest < 0)
+        )
+
+    level_names = _level_names(cpu)
+    # Bulk-extract to Python scalars once (C-speed) instead of paying a
+    # NumPy scalar round-trip per field per kernel in the loop below.
+    results: list[ExecutionResult | None] = []
+    append = results.append
+    new = object.__new__
+    for bad, secs, rep, code, compute, vec in zip(
+        invalid.tolist(), seconds.tolist(), rep_time.tolist(),
+        slow_level.tolist(), slow_compute.tolist(), pre.vectorized,
+    ):
+        if bad:
+            append(None)
+            continue
+        # Mask-passing entries provably satisfy ``__post_init__`` —
+        # finite, positive times — so skip ``__init__`` and write the
+        # fields directly (~2x cheaper, same equality/repr/asdict).
+        result = new(ExecutionResult)
+        result.__dict__.update(
+            seconds=secs,
+            seconds_per_rep=rep,
+            serving_level=(
+                "DRAM" if code == _DRAM_CODE else level_names[code]
+            ),
+            bound="compute" if compute else "memory",
+            vector_executed=vec,
+        )
+        append(result)
+    return results
+
+
+def predict_grid(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    placements: Sequence[tuple[int, ...]],
+    precisions: Sequence[DType],
+    reports: Sequence[VectorizationReport],
+    sizes: Sequence[int] | None = None,
+) -> list[list[ExecutionResult | None]]:
+    """Predict a whole sweep grid — many configurations — in one pass.
+
+    The grid axis is ``zip(placements, precisions)``: one (thread
+    placement, precision) configuration per entry, all sharing the same
+    ``kernels``/``reports``/``sizes``. Equivalent to calling
+    :func:`predict_batch` once per configuration — bit-identical
+    results, including abstentions — but the per-class memory select,
+    the slowest-class scan and the Amdahl composition run as 2-D array
+    expressions over (configuration, kernel), so a cold sweep pays the
+    NumPy dispatch overhead once per *grid*, not once per grid point.
+
+    Returns one ``predict_batch``-shaped list per configuration, in
+    grid order.
+    """
+    if len(placements) != len(precisions):
+        raise SimulationError(
+            f"{len(placements)} placements but {len(precisions)} "
+            f"precisions"
+        )
+    for cores in placements:
+        if not cores:
+            raise SimulationError(
+                "placement must contain at least one core"
+            )
+        if len(set(cores)) != len(cores):
+            raise SimulationError(
+                f"duplicate cores in placement {cores}"
+            )
+    if len(reports) != len(kernels):
+        raise SimulationError(
+            f"{len(kernels)} kernels but {len(reports)} reports"
+        )
+    if not placements or not kernels:
+        return [[] for _ in placements]
+
+    sizes_key: tuple[int, ...] | None = None
+    if sizes is not None:
+        if len(sizes) != len(kernels):
+            raise SimulationError(
+                f"{len(kernels)} kernels but {len(sizes)} sizes"
+            )
+        if min(sizes) < 1:
+            raise SimulationError("size and reps must be >= 1")
+        sizes_key = tuple(sizes)
+
+    kernels_key = tuple(kernels)
+    reports_key = tuple(reports)
+    # One prelude serves every configuration of a precision; evaluate
+    # each precision's configurations as one 2-D group.
+    groups: dict[DType, list[int]] = {}
+    for i, precision in enumerate(precisions):
+        groups.setdefault(precision, []).append(i)
+
+    results: list[list[ExecutionResult | None]] = [None] * len(placements)
+    for precision, idxs in groups.items():
+        pre = _prelude(cpu, kernels_key, precision, reports_key, sizes_key)
+        group = _predict_group(cpu, pre, [placements[i] for i in idxs])
+        for i, res in zip(idxs, group):
+            results[i] = res
+    return results
+
+
+def _predict_group(
+    cpu: CPUModel,
+    pre: _Prelude,
+    placements: list[tuple[int, ...]],
+) -> list[list[ExecutionResult | None]]:
+    """Evaluate one precision's configurations as a 2-D batch."""
+    soa = pre.soa
+    pipe = pre.pipe
+    num_points = len(placements)
+    num_kernels = len(soa)
+
+    with np.errstate(all="ignore"):
+        nthreads_col = np.array(
+            [len(cores) for cores in placements], dtype=np.float64
+        ).reshape(-1, 1)
+        # (configuration, kernel) slice and chunk — the same
+        # "prelude product / nthreads" association as the scalar model.
+        slice_pk = pre.footprint_bytes / nthreads_col
+        chunk_pk = pre.par_iters_total / nthreads_col
+
+        # Flatten every configuration's symmetry classes into rows.
+        profiles = [
+            placement_profile(cpu.topology, cores) for cores in placements
+        ]
+        row_point: list[int] = []
+        rows: list[tuple[int, int, int, float]] = []
+        for p, (cores, profile) in enumerate(zip(placements, profiles)):
+            for cc in profile.classes:
+                row_point.append(p)
+                rows.append((
+                    len(cores), cc.cluster_sharers, cc.numa_sharers,
+                    dram_bandwidth_per_thread(
+                        cpu, cc.representative, cores, profile
+                    ),
+                ))
+        point_of_row = np.array(row_point)
+        mem_rk, level_rk = _class_memory_rows(
+            cpu, slice_pk[point_of_row], pre.bytes_per_iter,
+            soa.traffic_scale, soa.gather, rows,
+        )
+        t_rk = chunk_pk[point_of_row] * np.maximum(pipe, mem_rk)
+        compute_rk = pipe >= mem_rk
+
+        # Slowest-class scan, batched by class *position*: every
+        # configuration's j-th class updates together, preserving each
+        # configuration's class order and the scalar scan's last-wins
+        # ``>=`` tie-break.
+        slowest = np.zeros((num_points, num_kernels))
+        slow_compute = np.zeros((num_points, num_kernels), dtype=bool)
+        slow_level = np.full(
+            (num_points, num_kernels), _DRAM_CODE - 1, dtype=np.int64
+        )
+        offsets: list[int] = []
+        total = 0
+        for profile in profiles:
+            offsets.append(total)
+            total += len(profile.classes)
+        max_classes = max(len(pr.classes) for pr in profiles)
+        for j in range(max_classes):
+            pts = [
+                p for p, pr in enumerate(profiles)
+                if len(pr.classes) > j
+            ]
+            sel = [offsets[p] + j for p in pts]
+            t = t_rk[sel]
+            prev = slowest[pts]
+            mask = t >= prev
+            slowest[pts] = np.where(mask, t, prev)
+            slow_compute[pts] = np.where(
+                mask, compute_rk[sel], slow_compute[pts]
+            )
+            slow_level[pts] = np.where(
+                mask, level_rk[sel], slow_level[pts]
+            )
+
+        barrier_col = np.array([
+            [barrier_seconds(cpu, len(cores))] for cores in placements
+        ])
+        rep_time = (
+            (pre.serial_time + slowest) + barrier_col * soa.regions_per_rep
+        )
+        seconds = rep_time * soa.reps
+        # Same fused validity mask as ``predict_batch`` (``reps >= 1``
+        # lets the ``seconds`` checks cover ``rep_time`` too).
+        invalid = (
+            pre.base_invalid
+            | ~np.isfinite(seconds) | (seconds <= 0)
+            | (slowest < 0)
+        )
+
+    level_names = _level_names(cpu)
+    vectorized = pre.vectorized
+    new = object.__new__
+    out: list[list[ExecutionResult | None]] = []
+    for bad_row, secs_row, rep_row, code_row, compute_row in zip(
+        invalid.tolist(), seconds.tolist(), rep_time.tolist(),
+        slow_level.tolist(), slow_compute.tolist(),
+    ):
+        results: list[ExecutionResult | None] = []
+        append = results.append
+        for bad, secs, rep, code, compute, vec in zip(
+            bad_row, secs_row, rep_row, code_row, compute_row, vectorized,
+        ):
+            if bad:
+                append(None)
+                continue
+            result = new(ExecutionResult)
+            result.__dict__.update(
+                seconds=secs,
+                seconds_per_rep=rep,
+                serving_level=(
+                    "DRAM" if code == _DRAM_CODE else level_names[code]
+                ),
+                bound="compute" if compute else "memory",
+                vector_executed=vec,
+            )
+            append(result)
+        out.append(results)
+    return out

@@ -89,10 +89,15 @@ def _sharers_of_level(
     raise SimulationError(f"unknown sharing {level.sharing}")
 
 
-def _level_bandwidth_per_thread(
+def level_bandwidth_per_thread(
     cpu: CPUModel, level: CacheLevel, sharers: int
 ) -> float:
-    """Bytes/s one thread can draw from ``level``."""
+    """Bytes/s one thread can draw from ``level``.
+
+    Public because the batch engine (:mod:`repro.perfmodel.batch`)
+    computes the same per-(level, class) scalars — sharing the function
+    is the bit-identity argument.
+    """
     port = level.bandwidth_bytes_per_cycle * cpu.core.clock_hz
     agg = level.effective_aggregate_bandwidth(sharers)
     if agg is None:
@@ -100,13 +105,16 @@ def _level_bandwidth_per_thread(
     return min(port, agg * cpu.core.clock_hz / sharers)
 
 
-def _dram_bandwidth_per_thread(
+def dram_bandwidth_per_thread(
     cpu: CPUModel,
     core: int,
     cores: tuple[int, ...],
     profile: PlacementProfile | None = None,
 ) -> float:
-    """Bytes/s one thread can draw from DRAM given the placement."""
+    """Bytes/s one thread can draw from DRAM given the placement.
+
+    Shared with the batch engine; see :func:`level_bandwidth_per_thread`.
+    """
     topo = cpu.topology
     mem = cpu.memory
     if mem.numa_local and topo.num_numa_nodes > 1:
@@ -184,14 +192,14 @@ def memory_time_per_iter(
     level = serving_level(cpu, kernel, n, dtype, core, cores, profile)
     if level is not None:
         sharers = _sharers_of_level(cpu, level, core, cores, profile)
-        bandwidth = _level_bandwidth_per_thread(cpu, level, sharers)
+        bandwidth = level_bandwidth_per_thread(cpu, level, sharers)
         name = level.name
         # Blocked kernels (traffic_scale < 1) also shrink outer-level
         # traffic; inner levels see the full stream.
         if level is not cpu.caches.levels[0]:
             bytes_per_iter *= traits.traffic_scale
     else:
-        bandwidth = _dram_bandwidth_per_thread(cpu, core, cores, profile)
+        bandwidth = dram_bandwidth_per_thread(cpu, core, cores, profile)
         name = "DRAM"
         bytes_per_iter *= traits.traffic_scale
 

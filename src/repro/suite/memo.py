@@ -6,6 +6,10 @@ compilation report and the problem size. The :class:`PredictionMemo`
 keys predictions on exactly that content — the machine enters as a
 digest of its full description (:func:`machine_digest`), so two equal
 machines share entries while any re-tuned parameter changes the key.
+Everything configuration-level (digest, placement, dtype, compiler
+identity) is interned once per suite run in a :class:`MemoKeyPrefix`
+whose hash is computed once, so the per-kernel keys a cold sweep
+hashes thousands of times stay cheap.
 
 The memo is *optional* and conservative: the suite runner bypasses it
 entirely while a chaos fault plan is installed (injected faults are
@@ -21,27 +25,65 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
 
 from repro.compiler.cache import CompileCache
 from repro.machine.cpu import CPUModel
-from repro.machine.vector import DType
 from repro.perfmodel.execution import ExecutionResult
 from repro.util.rng import derive_seed
 
-#: One prediction's identity: (machine digest, kernel name, placement,
-#: dtype, compilation report, problem size).
-PredictionKey = tuple[int, str, tuple[int, ...], DType, object, int]
+#: One prediction's identity: ``(prefix, kernel name, problem size)``.
+#: The :class:`MemoKeyPrefix` carries everything configuration-level —
+#: machine digest, placement, dtype, compiler identity — and the
+#: compilation report is *implied*: vectorization analysis is
+#: deterministic in (compiler, kernel, ISA, flavor, rollback), every
+#: component of which the prefix or the kernel name pins.
+PredictionKey = tuple["MemoKeyPrefix", str, int]
 
 
+@lru_cache(maxsize=128)
 def machine_digest(cpu: CPUModel) -> int:
     """Stable 63-bit digest of a machine's full description.
 
     Derived from the ``repr`` of the (frozen, nested-dataclass) model,
     so it is content-addressed: equal machines digest equally, any
     parameter change — a cache size, a thrash threshold — changes it.
+    Cached per model object (the ``repr`` walk is far pricier than a
+    dataclass hash), which a cold sweep performs once per grid point.
     """
     return derive_seed("machine-digest", repr(cpu))
+
+
+class MemoKeyPrefix:
+    """Configuration-level prefix of prediction-memo keys, hashed once.
+
+    A cold sweep builds (and hashes) thousands of per-kernel memo keys;
+    the expensive parts — the 64-entry placement tuple, enums, the
+    machine digest — are identical within one suite run. Interning them
+    here with a precomputed hash makes each per-kernel key a cheap
+    ``(prefix, name, size)`` triple. Equality is by content, so prefixes
+    built by different suite runs (or processes) over equal
+    configurations address the same entries.
+    """
+
+    __slots__ = ("_parts", "_hash")
+
+    def __init__(self, *parts) -> None:
+        self._parts = parts
+        self._hash = hash(parts)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MemoKeyPrefix)
+            and self._parts == other._parts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoKeyPrefix{self._parts!r}"
 
 
 @dataclass(frozen=True)
@@ -94,6 +136,51 @@ class PredictionMemo:
             self._misses += 1
             self._entries[key] = result
         return result
+
+    def peek(self, key: PredictionKey) -> ExecutionResult | None:
+        """Cached result for ``key``, or ``None`` — counts a hit when
+        present, counts nothing when absent.
+
+        The batch engine's half of :meth:`get_or_compute`: it peeks every
+        key first, batch-computes the misses in one vectorized pass, then
+        :meth:`put`\\ s them back — the counters end up exactly as if each
+        kernel had gone through ``get_or_compute`` individually."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+            return cached
+
+    def put(self, key: PredictionKey, result: ExecutionResult) -> None:
+        """Store a prediction computed elsewhere; counts a miss."""
+        with self._lock:
+            self._misses += 1
+            self._entries[key] = result
+
+    def peek_many(
+        self, keys: Sequence[PredictionKey]
+    ) -> list[ExecutionResult | None]:
+        """Batched :meth:`peek`: one lock hold for a whole
+        configuration's keys, same per-key counter accounting."""
+        out: list[ExecutionResult | None] = []
+        with self._lock:
+            get = self._entries.get
+            for key in keys:
+                cached = get(key)
+                if cached is not None:
+                    self._hits += 1
+                out.append(cached)
+        return out
+
+    def put_many(
+        self,
+        items: Iterable[tuple[PredictionKey, ExecutionResult]],
+    ) -> None:
+        """Batched :meth:`put` under one lock hold."""
+        with self._lock:
+            for key, result in items:
+                self._misses += 1
+                self._entries[key] = result
 
     @property
     def hits(self) -> int:

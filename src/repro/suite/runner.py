@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -29,9 +30,16 @@ from repro.kernels.registry import all_kernels
 from repro.machine.cpu import CPUModel
 from repro.machine.vector import DType
 from repro.openmp.affinity import assign_cores
+from repro.perfmodel.batch import predict_batch, predict_grid
 from repro.perfmodel.execution import ExecutionResult, simulate_kernel
+from repro.perfmodel.placement import reference_active
 from repro.resilience import chaos
-from repro.suite.memo import CacheCounters, SuiteCaches, machine_digest
+from repro.suite.memo import (
+    CacheCounters,
+    MemoKeyPrefix,
+    SuiteCaches,
+    machine_digest,
+)
 from repro.resilience.faults import FaultSite
 from repro.resilience.retry import (
     FailurePolicy,
@@ -135,6 +143,356 @@ def _noisy_average(base_seconds: float, seed: int, runs: int,
     return float(base_seconds * np.mean(factors))
 
 
+def _resolve_report(
+    kernel: Kernel,
+    cpu: CPUModel,
+    config: RunConfig,
+    compiler,
+    caches: SuiteCaches | None,
+) -> VectorizationReport:
+    """Compilation outcome for one kernel (through the compile cache
+    when one is installed)."""
+    if config.vectorize:
+        if caches is not None and caches.compile is not None:
+            return caches.compile.analyze(
+                compiler,
+                kernel,
+                cpu.core.isa,
+                flavor=config.flavor,
+                rollback=config.rollback,
+            )
+        return analyze(
+            compiler,
+            kernel,
+            cpu.core.isa,
+            flavor=config.flavor,
+            rollback=config.rollback,
+        )
+    return _DISABLED_REPORT
+
+
+#: The report every kernel gets when ``config.vectorize`` is off — a
+#: constant, so no-vectorize sweeps don't rebuild it per kernel per
+#: grid point.
+_DISABLED_REPORT = VectorizationReport(
+    vectorized=False,
+    vector_path_executed=False,
+    flavor=None,
+    efficiency=1.0,
+    reason="vectorization disabled",
+)
+
+
+def _scaled_size(kernel: Kernel, config: RunConfig) -> int:
+    return max(1, int(round(kernel.default_size * config.size_scale)))
+
+
+@lru_cache(maxsize=512)
+def _scaled_sizes(
+    kernels: tuple[Kernel, ...], size_scale: float
+) -> tuple[int, ...]:
+    """Per-kernel :func:`_scaled_size`, cached on the (singleton) kernel
+    tuple so a sweep grid rescales its suite once, not per grid point."""
+    return tuple(
+        max(1, int(round(kernel.default_size * size_scale)))
+        for kernel in kernels
+    )
+
+
+#: ``{kernel name: (report, prediction)}`` as produced by the batch
+#: prefetchers and consumed by :func:`_run_one_kernel`.
+_Prefetched = dict[str, tuple[VectorizationReport, "ExecutionResult | None"]]
+
+
+def _resolve_suite_reports(
+    kernels: list[Kernel],
+    cpu: CPUModel,
+    config: RunConfig,
+    compiler,
+    caches: SuiteCaches | None,
+) -> tuple[list[Kernel], list[VectorizationReport]]:
+    """Resolve one configuration's compilation reports in bulk.
+
+    Kernels whose compilation failed are dropped — the per-kernel
+    policy loop re-runs them and owns the failure, so error types,
+    messages and attempt counts are identical to the scalar engine.
+    """
+    resolved: list[Kernel] = []
+    reports: list[VectorizationReport] = []
+    if (
+        config.vectorize
+        and caches is not None
+        and caches.compile is not None
+    ):
+        # One composite (or one-lock-hold) lookup resolves the whole
+        # list with per-kernel counter parity; failed compilations come
+        # back as None and stay with the policy loop.
+        for kernel, report in zip(
+            kernels,
+            caches.compile.analyze_suite(
+                compiler, tuple(kernels), cpu.core.isa,
+                flavor=config.flavor, rollback=config.rollback,
+            ),
+        ):
+            if report is not None:
+                resolved.append(kernel)
+                reports.append(report)
+    else:
+        for kernel in kernels:
+            try:
+                report = _resolve_report(
+                    kernel, cpu, config, compiler, caches
+                )
+            except ReproError:
+                continue
+            resolved.append(kernel)
+            reports.append(report)
+    return resolved, reports
+
+
+@dataclass
+class _PrefetchPlan:
+    """One configuration's memo-partitioned prediction work."""
+
+    cores: tuple[int, ...]
+    precision: DType
+    prefetched: _Prefetched
+    todo: list[Kernel]
+    todo_reports: list[VectorizationReport]
+    todo_sizes: tuple[int, ...] | list[int]
+    todo_keys: list[tuple]
+    memo: object | None
+
+
+def _plan_prefetch(
+    kernels: list[Kernel],
+    cpu: CPUModel,
+    config: RunConfig,
+    compiler,
+    cores: tuple[int, ...],
+    caches: SuiteCaches | None,
+    memo_prefix: MemoKeyPrefix | None,
+) -> _PrefetchPlan:
+    """Resolve reports and split one configuration against the memo.
+
+    Memo counters mirror the scalar engine's: a
+    :meth:`~repro.suite.memo.PredictionMemo.peek_many` hit here is the
+    hit ``get_or_compute`` would have scored.
+    """
+    memo = (
+        caches.predict
+        if caches is not None and memo_prefix is not None
+        else None
+    )
+    prefetched: _Prefetched = {}
+    resolved, reports = _resolve_suite_reports(
+        kernels, cpu, config, compiler, caches
+    )
+    sizes = _scaled_sizes(tuple(resolved), config.size_scale)
+
+    todo: list[Kernel] = []
+    todo_reports: list[VectorizationReport] = []
+    todo_sizes: list[int] = []
+    todo_keys: list[tuple] = []
+    if memo is not None:
+        keys = [
+            (memo_prefix, kernel.name, size)
+            for kernel, size in zip(resolved, sizes)
+        ]
+        for kernel, report, size, key, cached in zip(
+            resolved, reports, sizes, keys, memo.peek_many(keys)
+        ):
+            if cached is not None:
+                prefetched[kernel.name] = (report, cached)
+            else:
+                todo.append(kernel)
+                todo_reports.append(report)
+                todo_sizes.append(size)
+                todo_keys.append(key)
+    else:
+        todo, todo_reports, todo_sizes = resolved, reports, sizes
+    return _PrefetchPlan(
+        cores=cores,
+        precision=config.precision,
+        prefetched=prefetched,
+        todo=todo,
+        todo_reports=todo_reports,
+        todo_sizes=todo_sizes,
+        todo_keys=todo_keys,
+        memo=memo,
+    )
+
+
+def _finish_prefetch(
+    plan: _PrefetchPlan, predictions: list["ExecutionResult | None"]
+) -> _Prefetched:
+    """Memoize and fold one configuration's batch predictions.
+
+    A :meth:`~repro.suite.memo.PredictionMemo.put_many` entry is the
+    miss ``get_or_compute`` would have scored; abstentions (``None``)
+    are never memoized — the policy loop's scalar path raises the
+    authoritative error for them.
+    """
+    if plan.memo is not None:
+        plan.memo.put_many(
+            (key, prediction)
+            for key, prediction in zip(plan.todo_keys, predictions)
+            if prediction is not None
+        )
+    for kernel, report, prediction in zip(
+        plan.todo, plan.todo_reports, predictions
+    ):
+        plan.prefetched[kernel.name] = (report, prediction)
+    return plan.prefetched
+
+
+def _batch_prefetch(
+    kernels: list[Kernel],
+    cpu: CPUModel,
+    config: RunConfig,
+    compiler,
+    cores: tuple[int, ...],
+    caches: SuiteCaches | None,
+    memo_prefix: MemoKeyPrefix | None,
+) -> _Prefetched:
+    """Resolve reports and batch-predict one whole configuration.
+
+    Returns ``{kernel name: (report, prediction)}``. Kernels whose
+    compilation failed are absent; a ``None`` prediction means the
+    batch engine abstained and the scalar path owns the error. Cache
+    and memo counters are indistinguishable from the scalar engine's.
+    """
+    plan = _plan_prefetch(
+        kernels, cpu, config, compiler, cores, caches, memo_prefix
+    )
+    if not plan.todo:
+        return plan.prefetched
+    predictions = predict_batch(
+        cpu, plan.todo, cores, config.precision, plan.todo_reports,
+        plan.todo_sizes,
+    )
+    return _finish_prefetch(plan, predictions)
+
+
+def grid_prefetch(
+    cpu: CPUModel,
+    jobs: list[tuple[RunConfig, list[Kernel]] | None],
+    caches: SuiteCaches | None,
+) -> list[_Prefetched | None]:
+    """Batch-prefetch a whole sweep grid ahead of its suite runs.
+
+    ``jobs`` carries one ``(config, kernels)`` pair per grid point (or
+    ``None`` for points the sweep wants skipped). Configurations that
+    share an identical still-to-predict workload are evaluated together
+    through :func:`~repro.perfmodel.batch.predict_grid` — for a cold
+    sweep that is the entire grid in one 2-D pass — and each returned
+    entry is exactly what :func:`_batch_prefetch` would have produced
+    for that configuration, with identical cache/memo counter activity.
+
+    A ``None`` entry in the result means this configuration could not
+    be planned here (e.g. its placement or compiler resolution raises);
+    :func:`run_suite` then runs it unprefetched so the authoritative
+    error surfaces in the right place with unchanged semantics.
+    """
+    out: list[_Prefetched | None] = [None] * len(jobs)
+    plans: list[_PrefetchPlan | None] = [None] * len(jobs)
+    buckets: dict[tuple, list[int]] = {}
+    seen: set[tuple] = set()
+    deferred: list[tuple[int, RunConfig, list[Kernel], tuple[int, ...]]] = []
+    for i, job in enumerate(jobs):
+        if job is None:
+            continue
+        config, kernels = job
+        if not kernels:
+            continue
+        try:
+            compiler = config.resolve_compiler(cpu)
+            cores = assign_cores(
+                cpu.topology, config.threads, config.placement
+            )
+        except ReproError:
+            # Leave this point to run_suite, which reproduces the error
+            # under its own policy handling.
+            continue
+        use_memo = (
+            caches is not None
+            and caches.predict is not None
+            and chaos.active_plan() is None
+        )
+        memo_prefix = (
+            MemoKeyPrefix(
+                machine_digest(cpu), cores, config.precision,
+                compiler.name,
+                config.flavor if config.vectorize else None,
+                config.rollback if config.vectorize else None,
+                config.vectorize,
+            )
+            if use_memo
+            else None
+        )
+        if memo_prefix is not None:
+            # Grid points can collide on memo identity (e.g. one thread
+            # under any placement pins the same core). Sequentially the
+            # second point scores pure memo hits; replay that here by
+            # deferring it until the first point's predictions are
+            # stored, keeping every counter equal to the per-point run.
+            dup_key = (
+                memo_prefix,
+                tuple(kernel.name for kernel in kernels),
+                config.size_scale,
+            )
+            if dup_key in seen:
+                deferred.append((i, config, kernels, cores))
+                continue
+            seen.add(dup_key)
+        plan = _plan_prefetch(
+            kernels, cpu, config, compiler, cores, caches, memo_prefix
+        )
+        plans[i] = plan
+        if not plan.todo:
+            out[i] = plan.prefetched
+            continue
+        # Workload identity: same kernels, same reports, same sizes.
+        # Reports are registry/cache singletons, so identity is exact.
+        signature = (
+            tuple(kernel.name for kernel in plan.todo),
+            tuple(id(report) for report in plan.todo_reports),
+            tuple(plan.todo_sizes),
+        )
+        buckets.setdefault(signature, []).append(i)
+
+    for idxs in buckets.values():
+        first = plans[idxs[0]]
+        if len(idxs) == 1:
+            predictions = predict_batch(
+                cpu, first.todo, first.cores, first.precision,
+                first.todo_reports, first.todo_sizes,
+            )
+            out[idxs[0]] = _finish_prefetch(first, predictions)
+            continue
+        grid_predictions = predict_grid(
+            cpu, first.todo,
+            [plans[i].cores for i in idxs],
+            [plans[i].precision for i in idxs],
+            first.todo_reports, first.todo_sizes,
+        )
+        for i, predictions in zip(idxs, grid_predictions):
+            out[i] = _finish_prefetch(plans[i], predictions)
+
+    for i, config, kernels, cores in deferred:
+        compiler = config.resolve_compiler(cpu)
+        memo_prefix = MemoKeyPrefix(
+            machine_digest(cpu), cores, config.precision, compiler.name,
+            config.flavor if config.vectorize else None,
+            config.rollback if config.vectorize else None,
+            config.vectorize,
+        )
+        out[i] = _batch_prefetch(
+            kernels, cpu, config, compiler, cores, caches, memo_prefix
+        )
+    return out
+
+
 def _run_one_kernel(
     kernel: Kernel,
     cpu: CPUModel,
@@ -142,55 +500,39 @@ def _run_one_kernel(
     compiler,
     cores: tuple[int, ...],
     caches: SuiteCaches | None = None,
-    cpu_digest: int | None = None,
+    memo_prefix: MemoKeyPrefix | None = None,
+    prefetched: dict[
+        str, tuple[VectorizationReport, ExecutionResult | None]
+    ] | None = None,
 ) -> KernelRun:
     """The per-kernel unit of work the failure policy isolates."""
     chaos.raise_if_fault(FaultSite.RUN, kernel.name, kernel.klass)
-    if config.vectorize:
-        if caches is not None and caches.compile is not None:
-            report = caches.compile.analyze(
-                compiler,
-                kernel,
-                cpu.core.isa,
-                flavor=config.flavor,
-                rollback=config.rollback,
+    entry = (
+        prefetched.get(kernel.name) if prefetched is not None else None
+    )
+    if entry is not None:
+        report, prediction = entry
+    else:
+        report = _resolve_report(kernel, cpu, config, compiler, caches)
+        prediction = None
+    if prediction is None:
+        size = _scaled_size(kernel, config)
+        # The memo is bypassed while a fault plan is active (injected
+        # faults are per-call state that a cached result would skip) —
+        # ``memo_prefix`` is only built when no plan is installed.
+        memo = caches.predict if caches is not None else None
+        if memo is not None and memo_prefix is not None:
+            key = (memo_prefix, kernel.name, size)
+            prediction = memo.get_or_compute(
+                key,
+                lambda: simulate_kernel(
+                    kernel, cpu, cores, config.precision, report, n=size
+                ),
             )
         else:
-            report = analyze(
-                compiler,
-                kernel,
-                cpu.core.isa,
-                flavor=config.flavor,
-                rollback=config.rollback,
-            )
-    else:
-        report = VectorizationReport(
-            vectorized=False,
-            vector_path_executed=False,
-            flavor=None,
-            efficiency=1.0,
-            reason="vectorization disabled",
-        )
-    size = max(1, int(round(kernel.default_size * config.size_scale)))
-    # The memo is bypassed while a fault plan is active: injected
-    # faults are per-call state that a cached result would skip.
-    memo = caches.predict if caches is not None else None
-    if memo is not None and chaos.active_plan() is None:
-        if cpu_digest is None:
-            cpu_digest = machine_digest(cpu)
-        key = (
-            cpu_digest, kernel.name, cores, config.precision, report, size,
-        )
-        prediction = memo.get_or_compute(
-            key,
-            lambda: simulate_kernel(
+            prediction = simulate_kernel(
                 kernel, cpu, cores, config.precision, report, n=size
-            ),
-        )
-    else:
-        prediction = simulate_kernel(
-            kernel, cpu, cores, config.precision, report, n=size
-        )
+            )
     if config.noise_sigma == 0:
         # Skip the per-kernel seed derivation too — the seed feeds only
         # the noise RNG, which zero sigma never consults.
@@ -226,6 +568,8 @@ def run_suite(
     policy: FailurePolicy = FailurePolicy.ABORT,
     retry: RetrySpec | None = None,
     caches: SuiteCaches | None = None,
+    engine: str = "scalar",
+    prefetched: _Prefetched | None = None,
 ) -> SuiteResult:
     """Run (predict) the whole suite on ``cpu`` under ``config``.
 
@@ -244,11 +588,29 @@ def run_suite(
             — both layers are keyed on everything their values depend
             on — and the prediction memo disables itself while a chaos
             fault plan is installed.
+        engine: ``"scalar"`` (default — one :func:`simulate_kernel` call
+            per kernel, the historical path) or ``"batch"`` — predict
+            the whole kernel list in one vectorized pass
+            (:func:`repro.perfmodel.batch.predict_batch`), bit-identical
+            to scalar. Batch silently degrades to scalar while a chaos
+            fault plan or :func:`reference_mode` is active (both are
+            per-call state a batched evaluation cannot replay), and
+            per-kernel it falls back to scalar wherever the batch pass
+            abstains — so failure semantics are byte-identical too.
+        prefetched: Pre-computed ``{kernel name: (report, prediction)}``
+            from :func:`grid_prefetch` — a sweep passes this so a whole
+            grid is predicted in one pass. When given, the batch
+            engine's own prefetch is skipped (the work, and its cache
+            counter activity, already happened grid-side).
     """
     if kernels is None:
         kernels = all_kernels()
     if not kernels:
         raise ConfigError("kernel list is empty")
+    if engine not in ("scalar", "batch"):
+        raise ConfigError(
+            f"unknown engine {engine!r}; expected 'scalar' or 'batch'"
+        )
     if isinstance(policy, str):
         policy = FailurePolicy.from_label(policy)
     validate_cpu(cpu)
@@ -261,7 +623,29 @@ def run_suite(
         and caches.predict is not None
         and chaos.active_plan() is None
     )
-    cpu_digest = machine_digest(cpu) if use_memo else None
+    # All configuration-level key identity, interned and hashed once.
+    # ``config.vectorize`` False normalizes flavor/rollback away so the
+    # disabled-vectorization entries are shared across flavors, exactly
+    # as the old report-valued keys were.
+    memo_prefix = (
+        MemoKeyPrefix(
+            machine_digest(cpu), cores, config.precision, compiler.name,
+            config.flavor if config.vectorize else None,
+            config.rollback if config.vectorize else None,
+            config.vectorize,
+        )
+        if use_memo
+        else None
+    )
+    if (
+        prefetched is None
+        and engine == "batch"
+        and chaos.active_plan() is None
+        and not reference_active()
+    ):
+        prefetched = _batch_prefetch(
+            kernels, cpu, config, compiler, cores, caches, memo_prefix
+        )
 
     runs: dict[str, KernelRun] = {}
     failures: list[FailureRecord] = []
@@ -271,7 +655,8 @@ def run_suite(
         # seed-identical and essentially free next to the legacy one.
         try:
             runs[kernel.name] = _run_one_kernel(
-                kernel, cpu, config, compiler, cores, caches, cpu_digest
+                kernel, cpu, config, compiler, cores, caches,
+                memo_prefix, prefetched,
             )
             continue
         except ReproError as exc:
@@ -292,7 +677,8 @@ def run_suite(
         try:
             run, engine_attempts = call_with_retry(
                 lambda k=kernel: _run_one_kernel(
-                    k, cpu, config, compiler, cores, caches, cpu_digest
+                    k, cpu, config, compiler, cores, caches,
+                    memo_prefix, prefetched,
                 ),
                 RetrySpec(
                     max_retries=spec.max_retries - 1,

@@ -20,20 +20,26 @@ bit-identical to the serial one.
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field, fields as dataclass_fields
 from itertools import product
 from pathlib import Path
 from typing import Sequence
 
 from repro.kernels.base import Kernel
+from repro.kernels.registry import get_kernel
 from repro.machine.cpu import CPUModel
+from repro.perfmodel.placement import reference_active
 from repro.resilience import chaos
 from repro.resilience.checkpoint import SweepCheckpoint, point_key
 from repro.resilience.retry import FailurePolicy, FailureRecord, RetrySpec
 from repro.suite.config import Placement, Precision, RunConfig
 from repro.suite.memo import CacheCounters, SuiteCaches
-from repro.suite.runner import SuiteResult, run_suite
+from repro.suite.runner import SuiteResult, grid_prefetch, run_suite
 from repro.util.errors import ConfigError, ReproError
 from repro.util.rng import derive_seed
 
@@ -197,6 +203,43 @@ class _GridPoint:
     todo: list[Kernel]
 
 
+#: Per-process cache layers for ``workers_mode="process"`` workers,
+#: created lazily on the worker's first grid point and shared across
+#: every point the pool later dispatches to that process. Caching never
+#: changes results, so per-process (rather than sweep-global) caches
+#: only cost some duplicated compiles.
+_PROCESS_CACHES: SuiteCaches | None = None
+
+
+def _process_run_point(payload: tuple) -> SuiteResult:
+    """Top-level (picklable) worker for ``workers_mode="process"``.
+
+    Kernels travel as names and are re-resolved from the registry in
+    the worker — kernel objects may close over non-picklable state.
+    """
+    (cpu, kernel_names, threads, placement, precision, runs,
+     noise_sigma, policy, retry, engine) = payload
+    global _PROCESS_CACHES
+    if _PROCESS_CACHES is None:
+        _PROCESS_CACHES = SuiteCaches()
+    config = RunConfig(
+        threads=threads,
+        placement=placement,
+        precision=precision,
+        runs=runs,
+        noise_sigma=noise_sigma,
+    )
+    return run_suite(
+        cpu,
+        config,
+        kernels=[get_kernel(name) for name in kernel_names],
+        policy=policy,
+        retry=retry,
+        caches=_PROCESS_CACHES,
+        engine=engine,
+    )
+
+
 def sweep(
     cpu: CPUModel,
     kernels: Sequence[Kernel],
@@ -210,7 +253,9 @@ def sweep(
     retry: RetrySpec | None = None,
     checkpoint: str | Path | None = None,
     workers: int = 1,
+    workers_mode: str = "thread",
     caches: SuiteCaches | None = None,
+    engine: str = "batch",
 ) -> SweepResult:
     """Run the full configuration grid and collect long-format points.
 
@@ -229,11 +274,28 @@ def sweep(
             bit-identical to ``workers=1``. Forced serial while a chaos
             fault plan is installed (its counters are ordering-
             sensitive by design).
+        workers_mode: ``"thread"`` (default) dispatches grid points on
+            a thread pool — cheap, shares the sweep's caches, but the
+            GIL bounds the gain. ``"process"`` uses a process pool:
+            real CPU parallelism for the residual per-point Python,
+            paid for with pickling and per-process caches (each worker
+            lazily builds its own ``SuiteCaches``; the returned
+            ``cache_stats`` then reflects only main-process activity).
+            Results are bit-identical either way. Forced to ``thread``
+            under :func:`reference_mode` (a process-local flag a child
+            process would not inherit); chaos plans force serial
+            execution before mode matters.
         caches: Cache layers shared by every grid point; defaults to a
             fresh :class:`SuiteCaches` (compile cache + prediction memo
             enabled), so each (kernel, flavor, rollback) is compiled
             exactly once per sweep. Pass ``SuiteCaches.disabled()`` to
             reproduce the uncached behaviour.
+        engine: Prediction engine forwarded to :func:`run_suite`:
+            ``"batch"`` (default) evaluates each configuration's whole
+            kernel list in one vectorized NumPy pass, ``"scalar"`` is
+            the historical one-call-per-kernel path. Bit-identical;
+            batch degrades to scalar under chaos plans and
+            ``reference_mode()``.
     """
     if not kernels:
         raise ConfigError("kernel list is empty")
@@ -241,11 +303,24 @@ def sweep(
         raise ConfigError("sweep axes must be non-empty")
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    if workers_mode not in ("thread", "process"):
+        raise ConfigError(
+            f"unknown workers_mode {workers_mode!r}; "
+            f"expected 'thread' or 'process'"
+        )
+    if engine not in ("scalar", "batch"):
+        raise ConfigError(
+            f"unknown engine {engine!r}; expected 'scalar' or 'batch'"
+        )
     if isinstance(policy, str):
         policy = FailurePolicy.from_label(policy)
     kernel_list = list(kernels)
     if caches is None:
         caches = SuiteCaches()
+    if workers_mode == "process" and reference_active():
+        # reference_mode() flips a module global in *this* process only;
+        # a spawned worker would silently run the fast path instead.
+        workers_mode = "thread"
 
     ckpt: SweepCheckpoint | None = None
     if checkpoint is not None:
@@ -281,7 +356,41 @@ def sweep(
                 todo.append(kernel)
         grid.append(_GridPoint(t, placement, precision, restored, todo))
 
-    def run_point(gp: _GridPoint) -> SuiteResult | None:
+    # Whole-grid prediction: one vectorized pass computes every grid
+    # point's predictions up front (uniform points share a single 2-D
+    # ``predict_grid`` evaluation), then each ``run_suite`` consumes its
+    # slice. Bit-identical, with identical cache counter activity — the
+    # per-point prefetch this replaces did the same lookups and stores.
+    # Skipped wherever the per-point batch prefetch would be: scalar
+    # engine, chaos plans, reference mode; and under process workers,
+    # whose children own their caches.
+    prefetches: list[dict | None] = [None] * len(grid)
+    if (
+        engine == "batch"
+        and chaos.active_plan() is None
+        and not reference_active()
+        and not (workers_mode == "process" and min(workers, len(grid)) > 1)
+    ):
+        jobs = []
+        for gp in grid:
+            try:
+                jobs.append((
+                    RunConfig(
+                        threads=gp.threads,
+                        placement=gp.placement,
+                        precision=gp.precision,
+                        runs=runs,
+                        noise_sigma=noise_sigma,
+                    ),
+                    gp.todo,
+                ))
+            except ReproError:
+                # Invalid configuration: left unprefetched so run_suite
+                # raises (or records) the error exactly as before.
+                jobs.append(None)
+        prefetches = grid_prefetch(cpu, jobs, caches)
+
+    def run_point(index: int, gp: _GridPoint) -> SuiteResult | None:
         if not gp.todo:
             return None
         config = RunConfig(
@@ -293,7 +402,7 @@ def sweep(
         )
         return run_suite(
             cpu, config, kernels=gp.todo, policy=policy, retry=retry,
-            caches=caches,
+            caches=caches, engine=engine, prefetched=prefetches[index],
         )
 
     # The chaos module's per-(site, kernel) attempt counters are shared
@@ -352,9 +461,9 @@ def sweep(
                 points.append(point)
 
     if effective_workers <= 1:
-        for gp in grid:
+        for index, gp in enumerate(grid):
             try:
-                result = run_point(gp)
+                result = run_point(index, gp)
             except ReproError as exc:
                 if policy is FailurePolicy.ABORT:
                     raise
@@ -362,20 +471,44 @@ def sweep(
                 continue
             collect(gp, result, None)
     else:
-        with ThreadPoolExecutor(max_workers=effective_workers) as pool:
-            futures: list[Future] = [
-                pool.submit(run_point, gp) for gp in grid
+        if workers_mode == "process":
+            pool_cls = ProcessPoolExecutor
+
+            def submit(pool, gp: _GridPoint, index: int) -> Future | None:
+                if not gp.todo:
+                    return None
+                return pool.submit(
+                    _process_run_point,
+                    (
+                        cpu, tuple(k.name for k in gp.todo), gp.threads,
+                        gp.placement, gp.precision, runs, noise_sigma,
+                        policy, retry, engine,
+                    ),
+                )
+        else:
+            pool_cls = ThreadPoolExecutor
+
+            def submit(pool, gp: _GridPoint, index: int) -> Future | None:
+                return pool.submit(run_point, index, gp)
+
+        with pool_cls(max_workers=effective_workers) as pool:
+            futures: list[Future | None] = [
+                submit(pool, gp, index) for index, gp in enumerate(grid)
             ]
             # Collect in submission (= grid) order: deterministic
             # result assembly and checkpoint writes regardless of
             # which worker finishes first.
             for gp, future in zip(grid, futures):
+                if future is None:
+                    collect(gp, None, None)
+                    continue
                 try:
                     result = future.result()
                 except ReproError as exc:
                     if policy is FailurePolicy.ABORT:
                         for pending in futures:
-                            pending.cancel()
+                            if pending is not None:
+                                pending.cancel()
                         raise
                     collect(gp, None, exc)
                     continue

@@ -77,3 +77,64 @@ class TestCompileCache:
                         VectorFlavor.VLS, True),
         ]
         assert len({base, *varied}) == len(varied) + 1
+
+
+class TestSuiteResolution:
+    """Bulk resolution: ``analyze_many`` and the composite fast path."""
+
+    def test_analyze_many_matches_looped_analyze(self):
+        cache = CompileCache()
+        kernels = all_kernels()
+        reports = cache.analyze_many(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        loop = CompileCache()
+        for kernel, report in zip(kernels, reports):
+            assert report == loop.analyze(XUANTIE_GCC_8_4, kernel, rvv_0_7_1())
+        assert cache.stats == loop.stats
+
+    def test_analyze_many_yields_none_for_failed_compilations(self):
+        # Clang on RVV 0.7.1 without rollback fails for every kernel;
+        # the batch returns None placeholders and caches nothing.
+        cache = CompileCache()
+        kernels = all_kernels()[:4]
+        reports = cache.analyze_many(CLANG_16, kernels, rvv_0_7_1())
+        assert reports == [None] * 4
+        assert cache.stats.entries == 0
+        assert cache.stats.misses == 0
+
+    def test_analyze_suite_counters_match_per_kernel_loop(self):
+        kernels = tuple(all_kernels())
+        suite = CompileCache()
+        for _ in range(3):
+            suite.analyze_suite(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        loop = CompileCache()
+        for _ in range(3):
+            for kernel in kernels:
+                loop.analyze(XUANTIE_GCC_8_4, kernel, rvv_0_7_1())
+        assert suite.stats == loop.stats
+        assert suite.stats.misses == len(kernels)
+        assert suite.stats.hits == 2 * len(kernels)
+
+    def test_analyze_suite_composite_hit_returns_equal_reports(self):
+        kernels = tuple(all_kernels())
+        cache = CompileCache()
+        first = cache.analyze_suite(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        second = cache.analyze_suite(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        assert second == first
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_analyze_suite_never_caches_failing_lists(self):
+        cache = CompileCache()
+        kernels = tuple(all_kernels()[:4])
+        for _ in range(2):
+            reports = cache.analyze_suite(CLANG_16, kernels, rvv_0_7_1())
+            assert reports == [None] * 4
+        assert cache.stats.hits == 0
+
+    def test_clear_drops_composites_too(self):
+        kernels = tuple(all_kernels())
+        cache = CompileCache()
+        cache.analyze_suite(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        cache.clear()
+        cache.analyze_suite(XUANTIE_GCC_8_4, kernels, rvv_0_7_1())
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == len(kernels)

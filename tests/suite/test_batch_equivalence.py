@@ -1,0 +1,466 @@
+"""Golden equivalence: the batch engine is bit-identical to scalar.
+
+The vectorized whole-suite engine (:mod:`repro.perfmodel.batch` +
+``run_suite(engine="batch")``) replays the scalar model's float64
+operations as NumPy array expressions; nothing it does is allowed to
+change a single bit of any result, failure record or grid ordering.
+These tests pin that contract: golden full grids on the SG2042 and AMD
+Rome, a seeded randomized sweep over every catalog machine, failure-
+policy equivalence (including the scalar-fallback path), cache-counter
+parity, the chaos/reference-mode scalar degradation, and the process
+worker pool.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.vectorizer import analyze
+from repro.kernels.base import Kernel, KernelClass, KernelTraits
+from repro.kernels.registry import all_kernels
+from repro.machine.vector import DType
+from repro.perfmodel.batch import (
+    lower_kernels,
+    predict_batch,
+    predict_grid,
+)
+from repro.perfmodel.execution import simulate_kernel
+from repro.perfmodel.placement import reference_mode
+from repro.resilience import chaos
+from repro.resilience.faults import transient_plan
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.suite.memo import PredictionMemo, SuiteCaches
+from repro.suite.runner import run_suite
+from repro.suite.sweep import sweep
+from repro.util.errors import ConfigError, ReproError
+
+THREADS = (1, 5, 8, 64)
+PLACEMENTS = (Placement.BLOCK, Placement.CYCLIC)
+PRECISIONS = (Precision.FP32, Precision.FP64)
+
+
+def grid_sweep(cpu, engine, **kwargs):
+    threads = tuple(
+        t for t in THREADS if t <= cpu.topology.num_cores
+    )
+    return sweep(
+        cpu,
+        kernels=all_kernels(),
+        threads=threads,
+        placements=PLACEMENTS,
+        precisions=PRECISIONS,
+        engine=engine,
+        **kwargs,
+    )
+
+
+class TestGoldenGrids:
+    def test_sg2042_batch_matches_scalar_uncached(self, sg2042):
+        scalar = grid_sweep(
+            sg2042, "scalar", caches=SuiteCaches.disabled()
+        )
+        batch = grid_sweep(sg2042, "batch")
+        assert batch == scalar
+
+    def test_amd_rome_batch_matches_scalar_uncached(self, amd_rome):
+        scalar = grid_sweep(
+            amd_rome, "scalar", caches=SuiteCaches.disabled()
+        )
+        batch = grid_sweep(amd_rome, "batch")
+        assert batch == scalar
+
+    def test_batch_matches_scalar_with_identical_cache_setup(self, sg2042):
+        # Same caches on both sides: counters must agree too — the
+        # batch peek/put protocol scores exactly the hits and misses
+        # get_or_compute would have.
+        scalar = grid_sweep(sg2042, "scalar", caches=SuiteCaches())
+        batch = grid_sweep(sg2042, "batch", caches=SuiteCaches())
+        assert batch == scalar
+        assert batch.cache_stats == scalar.cache_stats
+        configs = sum(
+            1 for _ in THREADS
+        ) * len(PLACEMENTS) * len(PRECISIONS)
+        assert batch.cache_stats.compile_misses == 64
+        assert batch.cache_stats.compile_hits == 64 * (configs - 1)
+        assert (
+            batch.cache_stats.predict_misses
+            + batch.cache_stats.predict_hits
+            == 64 * configs
+        )
+
+    def test_batch_with_caches_disabled(self, sg2042):
+        plain = grid_sweep(sg2042, "batch")
+        uncached = grid_sweep(
+            sg2042, "batch", caches=SuiteCaches.disabled()
+        )
+        assert uncached == plain
+
+
+class TestRandomizedEquivalence:
+    def test_random_points_on_every_machine(self, all_cpus, kernels):
+        """Property test: random kernel subsets, placements, thread
+        counts and dtypes on all seven machines — batch equals scalar
+        point for point."""
+        rng = random.Random(20260806)
+        for cpu in all_cpus.values():
+            ncores = cpu.topology.num_cores
+            compiler = RunConfig(threads=1).resolve_compiler(cpu)
+            reports_all = {
+                k.name: analyze(compiler, k, cpu.core.isa)
+                for k in kernels
+            }
+            for _ in range(6):
+                subset = rng.sample(kernels, rng.randint(1, 12))
+                nthreads = rng.randint(1, ncores)
+                cores = tuple(rng.sample(range(ncores), nthreads))
+                precision = rng.choice((DType.FP32, DType.FP64))
+                reports = [reports_all[k.name] for k in subset]
+                batch = predict_batch(
+                    cpu, subset, cores, precision, reports
+                )
+                for kernel, report, got in zip(subset, reports, batch):
+                    want = simulate_kernel(
+                        kernel, cpu, cores, precision, report
+                    )
+                    assert got == want, (
+                        f"{cpu.name} {kernel.name} cores={cores} "
+                        f"{precision.label}: {got} != {want}"
+                    )
+
+    def test_explicit_sizes_match_scalar(self, sg2042, kernels):
+        compiler = RunConfig(threads=1).resolve_compiler(sg2042)
+        subset = kernels[:6]
+        reports = [analyze(compiler, k, sg2042.core.isa) for k in subset]
+        sizes = [17, 1000, 54321, 1, 99999, 123456]
+        cores = (0, 4, 17)
+        batch = predict_batch(
+            sg2042, subset, cores, DType.FP64, reports, sizes
+        )
+        for kernel, report, size, got in zip(
+            subset, reports, sizes, batch
+        ):
+            assert got == simulate_kernel(
+                kernel, sg2042, cores, DType.FP64, report, n=size
+            )
+
+
+class TestBatchValidation:
+    def test_report_count_mismatch(self, sg2042, kernels):
+        with pytest.raises(ReproError):
+            predict_batch(sg2042, kernels[:3], (0,), DType.FP64, [])
+
+    def test_size_count_mismatch(self, sg2042, kernels):
+        compiler = RunConfig(threads=1).resolve_compiler(sg2042)
+        reports = [analyze(compiler, kernels[0], sg2042.core.isa)]
+        with pytest.raises(ReproError):
+            predict_batch(
+                sg2042, kernels[:1], (0,), DType.FP64, reports, [1, 2]
+            )
+
+    def test_duplicate_cores_rejected(self, sg2042, kernels):
+        compiler = RunConfig(threads=1).resolve_compiler(sg2042)
+        reports = [analyze(compiler, kernels[0], sg2042.core.isa)]
+        with pytest.raises(ReproError):
+            predict_batch(
+                sg2042, kernels[:1], (0, 0), DType.FP64, reports
+            )
+
+    def test_empty_kernel_list_returns_empty(self, sg2042):
+        assert predict_batch(sg2042, [], (0,), DType.FP64, []) == []
+
+    def test_lowering_is_cached(self, kernels):
+        soa_a = lower_kernels(tuple(kernels))
+        soa_b = lower_kernels(tuple(kernels))
+        assert soa_a is soa_b
+        assert len(soa_a) == len(kernels)
+
+
+class TestPredictGrid:
+    """The 2-D whole-grid pass equals per-configuration predict_batch."""
+
+    @staticmethod
+    def _grid_axes(cpu):
+        from repro.openmp.affinity import assign_cores
+
+        placements, precisions = [], []
+        for threads in THREADS:
+            if threads > cpu.topology.num_cores:
+                continue
+            for placement in PLACEMENTS:
+                for precision in PRECISIONS:
+                    placements.append(
+                        assign_cores(cpu.topology, threads, placement)
+                    )
+                    precisions.append(precision)
+        return placements, precisions
+
+    @pytest.mark.parametrize("machine", ["sg2042", "amd_rome"])
+    def test_full_grid_matches_per_point_batch(
+        self, machine, request, kernels
+    ):
+        cpu = request.getfixturevalue(machine)
+        compiler = RunConfig(threads=1).resolve_compiler(cpu)
+        reports = [analyze(compiler, k, cpu.core.isa) for k in kernels]
+        placements, precisions = self._grid_axes(cpu)
+        grid = predict_grid(cpu, kernels, placements, precisions, reports)
+        assert len(grid) == len(placements)
+        for cores, precision, got in zip(placements, precisions, grid):
+            want = predict_batch(cpu, kernels, cores, precision, reports)
+            assert got == want, f"{cpu.name} cores={cores} {precision}"
+
+    def test_random_grids_on_every_machine(self, all_cpus, kernels):
+        rng = random.Random(20260807)
+        for cpu in all_cpus.values():
+            ncores = cpu.topology.num_cores
+            compiler = RunConfig(threads=1).resolve_compiler(cpu)
+            subset = rng.sample(kernels, rng.randint(1, 10))
+            reports = [
+                analyze(compiler, k, cpu.core.isa) for k in subset
+            ]
+            placements = [
+                tuple(rng.sample(range(ncores), rng.randint(1, ncores)))
+                for _ in range(5)
+            ]
+            precisions = [
+                rng.choice((DType.FP32, DType.FP64)) for _ in placements
+            ]
+            grid = predict_grid(
+                cpu, subset, placements, precisions, reports
+            )
+            for cores, precision, got in zip(
+                placements, precisions, grid
+            ):
+                want = predict_batch(
+                    cpu, subset, cores, precision, reports
+                )
+                assert got == want, f"{cpu.name} cores={cores}"
+
+    def test_explicit_sizes_and_abstentions(self, sg2042, kernels):
+        # An exploding kernel abstains (None) identically in the 2-D
+        # pass, in every configuration of the grid.
+        subset = [kernels[0], _ExplodingKernel(), kernels[1]]
+        compiler = RunConfig(threads=1).resolve_compiler(sg2042)
+        reports = [analyze(compiler, k, sg2042.core.isa) for k in subset]
+        sizes = [4096, _ExplodingKernel.default_size, 123457]
+        placements = [(0,), (0, 8, 32, 40), tuple(range(64))]
+        precisions = [DType.FP64, DType.FP32, DType.FP64]
+        grid = predict_grid(
+            sg2042, subset, placements, precisions, reports, sizes
+        )
+        # At 1 and 4 threads the exploder's per-thread chunk overflows
+        # and both engines abstain; at 64 threads it stays finite.
+        assert [got[1] is None for got in grid] == [True, True, False]
+        for cores, precision, got in zip(placements, precisions, grid):
+            assert got == predict_batch(
+                sg2042, subset, cores, precision, reports, sizes
+            )
+
+    def test_axis_length_mismatch(self, sg2042, kernels):
+        with pytest.raises(ReproError):
+            predict_grid(
+                sg2042, kernels[:1], [(0,)], [DType.FP64, DType.FP32], []
+            )
+
+    def test_duplicate_cores_in_any_placement(self, sg2042, kernels):
+        compiler = RunConfig(threads=1).resolve_compiler(sg2042)
+        reports = [analyze(compiler, kernels[0], sg2042.core.isa)]
+        with pytest.raises(ReproError):
+            predict_grid(
+                sg2042, kernels[:1], [(0, 1), (2, 2)],
+                [DType.FP64, DType.FP64], reports,
+            )
+
+    def test_empty_grid_and_empty_kernels(self, sg2042, kernels):
+        assert predict_grid(sg2042, kernels[:2], [], [], [None, None]) \
+            == []
+        assert predict_grid(
+            sg2042, [], [(0,), (1,)], [DType.FP64, DType.FP32], []
+        ) == [[], []]
+
+
+class _ExplodingKernel(Kernel):
+    """Overflows the time prediction to +inf: the scalar engine raises
+    ``SimulationError`` and the batch engine must abstain (return None)
+    so the recorded failure is byte-identical."""
+
+    name = "EXPLODER"
+    klass = KernelClass.STREAM
+    default_size = 100_000_000
+    reps = 700
+    traits = KernelTraits(
+        flops_per_iter=1e308,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+    )
+
+    def prepare(self, n, dtype):  # pragma: no cover - never executed
+        return {}
+
+    def execute(self, ws):  # pragma: no cover - never executed
+        pass
+
+
+class TestFailureEquivalence:
+    def test_exploding_kernel_fails_identically_under_skip(self, sg2042):
+        kernels = [all_kernels()[0], _ExplodingKernel(), all_kernels()[1]]
+        config = RunConfig(threads=8)
+        scalar = run_suite(
+            sg2042, config, kernels=kernels, policy="skip",
+            engine="scalar",
+        )
+        batch = run_suite(
+            sg2042, config, kernels=kernels, policy="skip",
+            engine="batch",
+        )
+        assert batch == scalar
+        assert len(batch.failures) == 1
+        assert batch.failures[0].kernel == "EXPLODER"
+        assert batch.failures[0].attempts == 1
+        assert "finite" in batch.failures[0].message
+
+    def test_exploding_kernel_aborts_identically(self, sg2042):
+        kernels = [_ExplodingKernel()]
+        config = RunConfig(threads=8)
+        with pytest.raises(ReproError) as scalar_exc:
+            run_suite(sg2042, config, kernels=kernels, engine="scalar")
+        with pytest.raises(ReproError) as batch_exc:
+            run_suite(sg2042, config, kernels=kernels, engine="batch")
+        assert str(batch_exc.value) == str(scalar_exc.value)
+        assert type(batch_exc.value) is type(scalar_exc.value)
+
+    def test_retry_attempt_counts_match(self, sg2042):
+        kernels = [all_kernels()[0], _ExplodingKernel()]
+        config = RunConfig(threads=2)
+        scalar = run_suite(
+            sg2042, config, kernels=kernels, policy="retry",
+            engine="scalar",
+        )
+        batch = run_suite(
+            sg2042, config, kernels=kernels, policy="retry",
+            engine="batch",
+        )
+        assert batch == scalar
+        assert batch.failures[0].attempts == scalar.failures[0].attempts
+
+
+class TestRunSuiteEngine:
+    def test_unknown_engine_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            run_suite(sg2042, RunConfig(threads=1), engine="gpu")
+
+    def test_noise_and_runs_match_scalar(self, sg2042):
+        config = RunConfig(threads=8, noise_sigma=0.05, runs=3)
+        scalar = run_suite(sg2042, config, engine="scalar")
+        batch = run_suite(sg2042, config, engine="batch")
+        assert batch == scalar
+
+    def test_vectorize_disabled_matches_scalar(self, sg2042):
+        config = RunConfig(threads=4, vectorize=False)
+        scalar = run_suite(sg2042, config, engine="scalar")
+        batch = run_suite(sg2042, config, engine="batch")
+        assert batch == scalar
+
+    def test_size_scale_matches_scalar(self, sg2042):
+        config = RunConfig(threads=4, size_scale=0.37)
+        scalar = run_suite(sg2042, config, engine="scalar")
+        batch = run_suite(sg2042, config, engine="batch")
+        assert batch == scalar
+
+
+class TestForcedScalarDegradation:
+    def test_chaos_plan_forces_scalar_and_memo_bypass(self, sg2042):
+        caches = SuiteCaches()
+        config = RunConfig(threads=2)
+        with chaos.inject_faults(transient_plan(seed=7, probability=0.0)):
+            result = run_suite(
+                sg2042, config, caches=caches, engine="batch"
+            )
+        # The batch prefetch (which would have peeked/put) must not
+        # have run: under an active plan the memo stays untouched.
+        assert result.cache_stats.predict_hits == 0
+        assert result.cache_stats.predict_misses == 0
+        assert result.cache_stats.compile_misses == 64
+
+    def test_reference_mode_forces_scalar(self, sg2042):
+        config = RunConfig(threads=8)
+        plain = run_suite(sg2042, config, engine="scalar")
+        with reference_mode():
+            referenced = run_suite(sg2042, config, engine="batch")
+        assert referenced == plain
+
+    def test_chaos_faults_fire_identically_under_batch(self, sg2042):
+        kernels = all_kernels()[:6]
+        plan = transient_plan(seed=11, probability=0.5)
+        with chaos.inject_faults(plan):
+            scalar = sweep(
+                sg2042, kernels=kernels, threads=(1, 4),
+                policy="skip", engine="scalar",
+            )
+        with chaos.inject_faults(plan):
+            batch = sweep(
+                sg2042, kernels=kernels, threads=(1, 4),
+                policy="skip", engine="batch",
+            )
+        assert batch == scalar
+
+
+class TestProcessWorkers:
+    def test_process_pool_bit_identical(self, sg2042):
+        kernels = all_kernels()[:10]
+        grid = dict(
+            threads=(1, 8), placements=PLACEMENTS,
+        )
+        serial = sweep(sg2042, kernels=kernels, **grid)
+        proc = sweep(
+            sg2042, kernels=kernels, workers=2,
+            workers_mode="process", **grid,
+        )
+        assert proc == serial
+
+    def test_unknown_workers_mode_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            sweep(
+                sg2042, kernels=all_kernels()[:1],
+                workers_mode="fiber",
+            )
+
+    def test_unknown_sweep_engine_rejected(self, sg2042):
+        with pytest.raises(ConfigError):
+            sweep(sg2042, kernels=all_kernels()[:1], engine="gpu")
+
+    def test_reference_mode_falls_back_to_threads(self, sg2042):
+        # reference_mode() is process-local state: process workers must
+        # not be used (they would silently run the fast path). The
+        # result must still equal the reference.
+        kernels = all_kernels()[:6]
+        with reference_mode():
+            ref = sweep(
+                sg2042, kernels=kernels, threads=(1, 8),
+                caches=SuiteCaches.disabled(), workers=2,
+                workers_mode="process",
+            )
+        plain = sweep(sg2042, kernels=kernels, threads=(1, 8))
+        assert ref == plain
+
+
+class TestMemoPeekPut:
+    def test_peek_counts_hit_only_when_present(self):
+        memo = PredictionMemo()
+        key = (1, "TRIAD", (0,), "fp64", None, 100)
+        assert memo.peek(key) is None
+        assert memo.hits == 0
+        assert memo.misses == 0
+        memo.put(key, "value")
+        assert memo.misses == 1
+        assert len(memo) == 1
+        assert memo.peek(key) == "value"
+        assert memo.hits == 1
+
+    def test_put_then_get_or_compute_hits(self):
+        memo = PredictionMemo()
+        key = (2, "GEMM", (0, 1), "fp32", None, 50)
+        memo.put(key, "batched")
+        assert memo.get_or_compute(key, lambda: "scalar") == "batched"
+        assert memo.hits == 1
+        assert memo.misses == 1

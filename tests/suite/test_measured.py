@@ -6,6 +6,7 @@ from repro.kernels.base import KernelClass
 from repro.kernels.registry import get_kernel, kernels_in_class
 from repro.machine.vector import DType
 from repro.suite.measured import (
+    MEASURED_REPS_CAP,
     Measurement,
     measure_kernel,
     measure_suite,
@@ -47,6 +48,59 @@ class TestMeasureKernel:
                            reps=1, runs=1)
         assert m.flops == 0.0
         assert m.bandwidth_bytes > 0
+
+
+class TestDefaultReps:
+    def test_default_reps_follows_kernel_capped(self, monkeypatch):
+        # TRIAD's RAJAPerf reps is far above the cap; the default must
+        # clamp. Observe the actual loop count through execute().
+        kernel = get_kernel("TRIAD")
+        assert kernel.reps > MEASURED_REPS_CAP
+        executions = []
+        original = type(kernel).execute
+        monkeypatch.setattr(
+            type(kernel), "execute",
+            lambda self, ws: (executions.append(1), original(self, ws)),
+        )
+        measure_kernel(kernel, 1_000, DType.FP64, runs=1, warmup=0)
+        assert len(executions) == MEASURED_REPS_CAP
+
+    def test_default_reps_uses_kernel_reps_when_small(self, monkeypatch):
+        # Find a kernel whose own reps sits under the cap.
+        from repro.kernels.registry import all_kernels
+
+        kernel = next(
+            k for k in all_kernels() if k.reps < MEASURED_REPS_CAP
+        )
+        executions = []
+        original = type(kernel).execute
+        monkeypatch.setattr(
+            type(kernel), "execute",
+            lambda self, ws: (executions.append(1), original(self, ws)),
+        )
+        measure_kernel(kernel, 100, DType.FP64, runs=1, warmup=0)
+        assert len(executions) == kernel.reps
+
+    def test_explicit_reps_still_honoured(self):
+        m = measure_kernel(get_kernel("TRIAD"), 1_000, DType.FP64,
+                           reps=2, runs=1)
+        assert m.seconds_per_rep > 0
+
+    def test_workspace_released_after_measurement(self):
+        # measure_kernel clears the workspace dict it prepared; verify
+        # via a wrapper that keeps a reference to it.
+        kernel = get_kernel("TRIAD")
+        captured = {}
+        original_prepare = kernel.prepare
+
+        class Probe(type(kernel)):
+            def prepare(self, n, dtype):
+                ws = original_prepare(n, dtype)
+                captured["ws"] = ws
+                return ws
+
+        measure_kernel(Probe(), 1_000, DType.FP64, reps=1, runs=1)
+        assert captured["ws"] == {}
 
 
 class TestMeasureSuite:

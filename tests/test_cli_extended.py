@@ -61,6 +61,47 @@ class TestSweep:
         assert main(["sweep", "--kernels", "BOGUS"]) == 2
         assert "unknown kernel" in capsys.readouterr().err
 
+    def test_engine_flag_is_bit_identical(self, capsys):
+        args = ["sweep", "--kernels", "TRIAD,GEMM", "--threads", "1,8",
+                "--placements", "block", "--precisions", "fp64", "--csv"]
+        assert main(args + ["--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(args + ["--engine", "scalar"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert batch_out == scalar_out
+
+    def test_workers_mode_process(self, capsys):
+        assert main(["sweep", "--kernels", "TRIAD", "--threads", "1,8",
+                     "--placements", "block", "--precisions", "fp64",
+                     "--workers", "2", "--workers-mode", "process"]) == 0
+        assert "best overall" in capsys.readouterr().out
+
+    def test_profile_writes_report_to_stderr(self, capsys):
+        assert main(["sweep", "--kernels", "TRIAD", "--threads", "1",
+                     "--placements", "block", "--precisions", "fp64",
+                     "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "cumulative" in captured.err
+        assert "sweep" in captured.err
+
+    def test_profile_out_writes_file(self, capsys, tmp_path):
+        out_file = tmp_path / "profile.txt"
+        assert main(["sweep", "--kernels", "TRIAD", "--threads", "1",
+                     "--placements", "block", "--precisions", "fp64",
+                     "--profile", "--profile-out", str(out_file)]) == 0
+        captured = capsys.readouterr()
+        assert "profile written" in captured.err
+        text = out_file.read_text()
+        assert "cumulative" in text
+
+    def test_profile_out_implies_profile(self, capsys, tmp_path):
+        out_file = tmp_path / "profile.txt"
+        assert main(["sweep", "--kernels", "TRIAD", "--threads", "1",
+                     "--placements", "block", "--precisions", "fp64",
+                     "--profile-out", str(out_file)]) == 0
+        assert "profile written" in capsys.readouterr().err
+        assert "cumulative" in out_file.read_text()
+
 
 class TestChartFlag:
     def test_figure_with_chart(self, capsys):
