@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Trace a prediction sweep end to end with ``repro.telemetry``.
+
+Runs a small thread x placement grid under a telemetry session, then
+shows the three artifacts observability gives you:
+
+1. the rendered summary (span counts, inclusive per-phase time,
+   counters and cache gauges),
+2. a span tree reconstructed from the recorded trace, and
+3. a Chrome trace file (``chrome://tracing`` / Perfetto loadable).
+
+The same data is available from the command line::
+
+    repro trace sweep --trace-out trace.json --metrics-out metrics.txt
+
+Usage::
+
+    python examples/tracing_sweep.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import telemetry
+from repro.kernels.registry import get_kernel
+from repro.machine import catalog
+from repro.suite.config import Placement, Precision
+from repro.suite.sweep import sweep
+from repro.telemetry.export import write_trace
+
+WORKLOAD = ["TRIAD", "DAXPY", "JACOBI_2D", "GEMM"]
+
+
+def print_span_tree(records) -> None:
+    """Render the recorded spans as an indented tree."""
+    children = {}
+    for record in records:
+        children.setdefault(record.parent_id, []).append(record)
+
+    def walk(parent_id, depth):
+        for record in children.get(parent_id, ()):
+            ms = record.duration_ns / 1e6
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in record.attributes().items()
+            )
+            suffix = f"  [{attrs}]" if attrs else ""
+            print(f"{'  ' * depth}{record.name}  {ms:8.3f} ms{suffix}")
+            walk(record.span_id, depth + 1)
+
+    walk(None, 0)
+
+
+def main() -> None:
+    sg2042 = catalog.sg2042()
+    kernels = [get_kernel(name) for name in WORKLOAD]
+
+    with telemetry.telemetry_session() as (recorder, _):
+        result = sweep(
+            sg2042,
+            kernels,
+            threads=(1, 8, 32),
+            placements=(Placement.BLOCK, Placement.CYCLIC),
+            precisions=(Precision.FP32,),
+        )
+
+    print(result.telemetry.render())
+
+    print("\nspan tree (first sweep of the session, caches cold):")
+    print_span_tree(recorder.records())
+
+    out = Path(tempfile.mkdtemp()) / "trace.json"
+    write_trace(out, recorder.records(), result.telemetry.metrics_snapshot())
+    print(f"\nChrome trace written to {out}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load it")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 
 from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS
 from repro.kernels.registry import all_kernels, kernel_names
@@ -60,6 +60,49 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         "--retries", type=int, default=3,
         help="retry budget per kernel for --on-failure retry",
     )
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="record spans and metrics for this invocation and print "
+        "the telemetry summary",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the span trace to FILE — Chrome trace-event JSON, "
+        "or JSONL when FILE ends in .jsonl (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the flat metrics dump to FILE (implies --telemetry)",
+    )
+
+
+@contextmanager
+def _telemetry_scope(args: argparse.Namespace):
+    """Install a telemetry session when the command asked for one.
+
+    ``--trace-out`` / ``--metrics-out`` imply ``--telemetry``. On a
+    successful exit the requested artifacts are written and announced on
+    stderr. Yields the live recorder, or ``None`` when telemetry is off.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (getattr(args, "telemetry", False) or trace_out or metrics_out):
+        yield None
+        return
+    from repro import telemetry
+    from repro.telemetry.export import write_metrics, write_trace
+
+    with telemetry.telemetry_session() as (recorder, registry):
+        yield recorder
+        if trace_out:
+            write_trace(trace_out, recorder.records(), registry.snapshot())
+            print(f"trace written to {trace_out}", file=sys.stderr)
+        if metrics_out:
+            write_metrics(metrics_out, registry.snapshot())
+            print(f"metrics written to {metrics_out}", file=sys.stderr)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -108,7 +151,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         compiler=args.compiler,
         rollback=args.rollback,
     )
-    with _chaos_context(args):
+    with _telemetry_scope(args), _chaos_context(args):
         result = run_suite(
             cpu, config,
             policy=_failure_policy(args),
@@ -136,6 +179,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.failures:
         print()
         print(failure_summary(result))
+    if result.telemetry is not None:
+        print()
+        print(result.telemetry.render())
     return 0
 
 
@@ -152,10 +198,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                   f"{sorted(ALL_EXPERIMENTS)}, 'all' or 'ablations'",
                   file=sys.stderr)
             return 2
-    for name in names:
-        print(ALL_EXPERIMENTS[name](fast=args.fast).render(
-            chart=args.chart))
-        print()
+    with _telemetry_scope(args):
+        for name in names:
+            print(ALL_EXPERIMENTS[name](fast=args.fast).render(
+                chart=args.chart))
+            print()
     return 0
 
 
@@ -170,7 +217,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     else:
         kernels = kernels_in_class(KernelClass.from_label(args.kernel_class))
     precision = DType.from_label(args.precision)
-    measurements = measure_suite(kernels, n=args.size, precision=precision)
+    with _telemetry_scope(args):
+        measurements = measure_suite(kernels, n=args.size,
+                                     precision=precision)
     print(render_measurements(measurements))
     return 0
 
@@ -183,7 +232,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
               file=sys.stderr)
         return 2
-    print(explain_kernel(args.kernel, cpus[args.cpu]))
+    with _telemetry_scope(args):
+        print(explain_kernel(args.kernel, cpus[args.cpu]))
     return 0
 
 
@@ -228,12 +278,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     precisions = [Precision.from_label(p)
                   for p in args.precisions.split(",")]
     profiler = None
+    if getattr(args, "profile_out", None) and not getattr(
+        args, "profile", False
+    ):
+        print("note: --profile-out given without --profile; "
+              "--profile is implied and profiling is enabled",
+              file=sys.stderr)
     if getattr(args, "profile", False) or getattr(args, "profile_out",
                                                   None):
         import cProfile
 
         profiler = cProfile.Profile()
-    with _chaos_context(args):
+    with _telemetry_scope(args), _chaos_context(args):
         if profiler is not None:
             profiler.enable()
         try:
@@ -271,6 +327,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if result.failures:
         print()
         print(result.failure_summary())
+    if not args.csv and result.telemetry is not None:
+        print()
+        print(result.telemetry.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a sweep or an experiment under telemetry and export the
+    trace — observability-first front of ``sweep``/``experiment``."""
+    from repro import telemetry
+    from repro.telemetry.export import write_metrics, write_trace
+
+    with telemetry.telemetry_session() as (recorder, registry):
+        if args.target == "sweep":
+            from repro.kernels.registry import get_kernel
+            from repro.suite.config import Placement, Precision
+            from repro.suite.sweep import sweep
+
+            cpus = catalog.all_cpus()
+            if args.cpu not in cpus:
+                print(f"unknown machine {args.cpu!r}; known: "
+                      f"{sorted(cpus)}", file=sys.stderr)
+                return 2
+            result = sweep(
+                cpus[args.cpu],
+                [get_kernel(n) for n in args.kernels.split(",")],
+                [int(t) for t in args.threads.split(",")],
+                [Placement.from_label(p)
+                 for p in args.placements.split(",")],
+                [Precision.from_label(p)
+                 for p in args.precisions.split(",")],
+                workers=args.workers,
+                workers_mode=args.workers_mode,
+                engine=args.engine,
+            )
+            summary = result.telemetry
+        elif args.target in ALL_EXPERIMENTS:
+            ALL_EXPERIMENTS[args.target](fast=args.fast)
+            summary = telemetry.TelemetrySummary.capture(recorder,
+                                                         registry)
+        else:
+            print(f"unknown trace target {args.target!r}; expected "
+                  f"'sweep' or one of {sorted(ALL_EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+        write_trace(args.trace_out, recorder.records(),
+                    registry.snapshot())
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+        if args.metrics_out:
+            write_metrics(args.metrics_out, registry.snapshot())
+            print(f"metrics written to {args.metrics_out}",
+                  file=sys.stderr)
+    print(summary.render())
     return 0
 
 
@@ -370,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rollback", action="store_true",
                        help="apply the RVV-rollback tool (Clang on C920)")
     _add_resilience_flags(p_run)
+    _add_telemetry_flags(p_run)
 
     p_exp = sub.add_parser("experiment", help="reproduce a table/figure")
     p_exp.add_argument(
@@ -381,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced sweeps for quick checks")
     p_exp.add_argument("--chart", action="store_true",
                        help="append an ASCII bar chart (figures only)")
+    _add_telemetry_flags(p_exp)
 
     p_ver = sub.add_parser("verify",
                            help="numerically execute every kernel")
@@ -423,6 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explain.add_argument("kernel")
     p_explain.add_argument("--cpu", default="sg2042")
+    _add_telemetry_flags(p_explain)
 
     p_sweep = sub.add_parser(
         "sweep", help="sweep a configuration grid over selected kernels"
@@ -468,6 +580,47 @@ def build_parser() -> argparse.ArgumentParser:
         "stderr (implies --profile)",
     )
     _add_resilience_flags(p_sweep)
+    _add_telemetry_flags(p_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a sweep or experiment under telemetry and export "
+        "the span trace",
+    )
+    p_trace.add_argument(
+        "target",
+        help="'sweep' (grid flags below) or an experiment name",
+    )
+    p_trace.add_argument("--cpu", default="sg2042")
+    p_trace.add_argument("--kernels", default="TRIAD,DAXPY,GEMM",
+                         help="comma-separated kernel names (sweep)")
+    p_trace.add_argument("--threads", default="1,8,32")
+    p_trace.add_argument("--placements", default="cyclic,cluster")
+    p_trace.add_argument("--precisions", default="fp32")
+    p_trace.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="grid points dispatched concurrently (sweep)",
+    )
+    p_trace.add_argument(
+        "--workers-mode", default="thread",
+        choices=["thread", "process"],
+        help="worker pool type for --workers > 1 (sweep)",
+    )
+    p_trace.add_argument(
+        "--engine", default="batch", choices=["batch", "scalar"],
+        help="prediction engine (sweep)",
+    )
+    p_trace.add_argument("--fast", action="store_true",
+                         help="reduced sweeps (experiment targets)")
+    p_trace.add_argument(
+        "--trace-out", default="trace.json", metavar="FILE",
+        help="span trace output — Chrome trace-event JSON, or JSONL "
+        "when FILE ends in .jsonl (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="also write the flat metrics dump to FILE",
+    )
 
     p_an = sub.add_parser(
         "analyze",
@@ -492,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_meas.add_argument("--size", type=int, default=100_000)
     p_meas.add_argument("--precision", default="fp64",
                         choices=["fp32", "fp64"])
+    _add_telemetry_flags(p_meas)
 
     return parser
 
@@ -509,6 +663,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "sweep": _cmd_sweep,
         "explain": _cmd_explain,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.compiler.model import Compiler, VectorFlavor
 from repro.compiler.vectorizer import VectorizationReport, analyze
 from repro.kernels.base import Kernel
@@ -99,9 +100,21 @@ class CompileCache:
             if report is not None:
                 self._hits += 1
                 return report
-            report = analyze(
-                compiler, kernel, target, flavor=flavor, rollback=rollback
-            )
+            rec = telemetry.recorder()
+            if rec.active:
+                with rec.span(
+                    "compile.analyze", kernel=kernel.name,
+                    flavor=flavor.value, rollback=rollback,
+                ):
+                    report = analyze(
+                        compiler, kernel, target, flavor=flavor,
+                        rollback=rollback,
+                    )
+            else:
+                report = analyze(
+                    compiler, kernel, target, flavor=flavor,
+                    rollback=rollback,
+                )
             self._misses += 1
             self._entries[key] = report
             return report
@@ -125,6 +138,8 @@ class CompileCache:
         authoritative error.
         """
         out: list[VectorizationReport | None] = []
+        rec = telemetry.recorder()
+        traced = rec.active
         with self._lock:
             entries = self._entries
             for kernel in kernels:
@@ -135,10 +150,20 @@ class CompileCache:
                     self._hits += 1
                 else:
                     try:
-                        report = analyze(
-                            compiler, kernel, target, flavor=flavor,
-                            rollback=rollback,
-                        )
+                        if traced:
+                            with rec.span(
+                                "compile.analyze", kernel=kernel.name,
+                                flavor=flavor.value, rollback=rollback,
+                            ):
+                                report = analyze(
+                                    compiler, kernel, target,
+                                    flavor=flavor, rollback=rollback,
+                                )
+                        else:
+                            report = analyze(
+                                compiler, kernel, target, flavor=flavor,
+                                rollback=rollback,
+                            )
                     except ReproError:
                         out.append(None)
                         continue
@@ -170,19 +195,27 @@ class CompileCache:
             compiler.name, compiler.rvv_version, kernels,
             target.name, target.version, flavor, rollback,
         )
-        with self._lock:
-            reports = self._suites.get(suite_key)
-            if reports is not None:
-                self._hits += len(kernels)
-                return list(reports)
-        out = self.analyze_many(
-            compiler, list(kernels), target, flavor=flavor,
-            rollback=rollback,
+        # Per-configuration site: the unconditional (possibly-null) span
+        # here costs one context manager per grid point, not per kernel.
+        sp = telemetry.recorder().span(
+            "compile.resolve", kernels=len(kernels),
         )
-        if all(report is not None for report in out):
+        with sp:
             with self._lock:
-                self._suites[suite_key] = tuple(out)
-        return out
+                reports = self._suites.get(suite_key)
+                if reports is not None:
+                    self._hits += len(kernels)
+                    sp.set(composite_hit=True)
+                    return list(reports)
+            out = self.analyze_many(
+                compiler, list(kernels), target, flavor=flavor,
+                rollback=rollback,
+            )
+            if all(report is not None for report in out):
+                with self._lock:
+                    self._suites[suite_key] = tuple(out)
+            sp.set(composite_hit=False)
+            return out
 
     @property
     def stats(self) -> CompileCacheStats:

@@ -51,6 +51,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.compiler.vectorizer import VectorizationReport
 from repro.kernels.base import Kernel, LoopFeature
 from repro.machine.cache import Sharing
@@ -416,6 +417,42 @@ def predict_batch(
 ) -> list[ExecutionResult | None]:
     """Predict every kernel of one configuration in one vectorized pass.
 
+    Telemetry-instrumented front of :func:`_predict_batch_impl` (which
+    holds the model documentation): under an active session each call
+    records a ``predict.batch`` span and the
+    ``engine.batch.predictions`` / ``engine.batch.abstentions``
+    counters; when telemetry is off it delegates directly.
+    """
+    rec = telemetry.recorder()
+    if not rec.active:
+        return _predict_batch_impl(
+            cpu, kernels, cores, precision, reports, sizes
+        )
+    with rec.span(
+        "predict.batch", kernels=len(kernels), threads=len(cores),
+    ) as sp:
+        out = _predict_batch_impl(
+            cpu, kernels, cores, precision, reports, sizes
+        )
+        predicted = sum(1 for r in out if r is not None)
+        sp.set(predicted=predicted, abstained=len(out) - predicted)
+    reg = telemetry.metrics()
+    reg.counter("engine.batch.predictions").inc(predicted)
+    if len(out) > predicted:
+        reg.counter("engine.batch.abstentions").inc(len(out) - predicted)
+    return out
+
+
+def _predict_batch_impl(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    cores: tuple[int, ...],
+    precision: DType,
+    reports: Sequence[VectorizationReport],
+    sizes: Sequence[int] | None = None,
+) -> list[ExecutionResult | None]:
+    """Body of :func:`predict_batch`.
+
     The batched equivalent of calling
     :func:`~repro.perfmodel.execution.simulate_kernel` once per kernel
     with this (machine, placement, precision): same inputs, bit-identical
@@ -545,6 +582,47 @@ def predict_grid(
     sizes: Sequence[int] | None = None,
 ) -> list[list[ExecutionResult | None]]:
     """Predict a whole sweep grid — many configurations — in one pass.
+
+    Telemetry-instrumented front of :func:`_predict_grid_impl` (which
+    holds the model documentation): under an active session each call
+    records a ``predict.grid`` span and folds its per-kernel outcomes
+    into the ``engine.batch.predictions`` /
+    ``engine.batch.abstentions`` counters; when telemetry is off it
+    delegates directly.
+    """
+    rec = telemetry.recorder()
+    if not rec.active:
+        return _predict_grid_impl(
+            cpu, kernels, placements, precisions, reports, sizes
+        )
+    with rec.span(
+        "predict.grid", kernels=len(kernels),
+        configurations=len(placements),
+    ) as sp:
+        out = _predict_grid_impl(
+            cpu, kernels, placements, precisions, reports, sizes
+        )
+        total = sum(len(batch) for batch in out)
+        predicted = sum(
+            1 for batch in out for r in batch if r is not None
+        )
+        sp.set(predicted=predicted, abstained=total - predicted)
+    reg = telemetry.metrics()
+    reg.counter("engine.batch.predictions").inc(predicted)
+    if total > predicted:
+        reg.counter("engine.batch.abstentions").inc(total - predicted)
+    return out
+
+
+def _predict_grid_impl(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    placements: Sequence[tuple[int, ...]],
+    precisions: Sequence[DType],
+    reports: Sequence[VectorizationReport],
+    sizes: Sequence[int] | None = None,
+) -> list[list[ExecutionResult | None]]:
+    """Body of :func:`predict_grid`.
 
     The grid axis is ``zip(placements, precisions)``: one (thread
     placement, precision) configuration per entry, all sharing the same

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
+from repro import telemetry
 from repro.util.errors import ConfigError, ReproError
 
 T = TypeVar("T")
@@ -138,19 +139,35 @@ def call_with_retry(
     immediately. Raises :class:`RetryExhaustedError` once the attempt or
     deadline budget is spent.
     """
+    rec = telemetry.recorder()
+    traced = rec.active
     start = clock()
     attempts = 0
     while True:
         attempts += 1
+        if traced:
+            telemetry.metrics().counter("retry.attempts").inc()
         try:
-            return fn(), attempts
+            if traced:
+                with rec.span("retry.attempt", attempt=attempts):
+                    result = fn()
+            else:
+                result = fn()
+            return result, attempts
         except ReproError as exc:
             retries_used = attempts - 1
-            if retries_used >= spec.max_retries:
-                raise RetryExhaustedError(attempts, exc) from exc
-            if (spec.deadline_s is not None
-                    and clock() - start >= spec.deadline_s):
+            exhausted = retries_used >= spec.max_retries or (
+                spec.deadline_s is not None
+                and clock() - start >= spec.deadline_s
+            )
+            if exhausted:
+                if traced:
+                    telemetry.metrics().counter("retry.exhausted").inc()
                 raise RetryExhaustedError(attempts, exc) from exc
             pause = spec.backoff_seconds(retries_used + 1)
             if pause > 0:
+                if traced:
+                    telemetry.metrics().histogram(
+                        "retry.backoff_seconds"
+                    ).observe(pause)
                 sleep(pause)

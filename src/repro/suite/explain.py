@@ -8,6 +8,7 @@ paper's figures summarize statistically, one kernel at a time.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.analysis.roofline import classify_kernels
 from repro.compiler.analysis import DECISIVE_FEATURES, derive_features
 from repro.compiler.model import CLANG_16, VectorFlavor, XUANTIE_GCC_8_4
@@ -96,4 +97,12 @@ def explain_kernel(kernel_name: str, cpu: CPUModel) -> str:
             f"({result.bound}-bound, served by {result.serving_level}, "
             f"{'vector' if result.vector_executed else 'scalar'} path)"
         )
+
+    if telemetry.active():
+        # Under a live session (``explain --telemetry``) the explanation
+        # ends with the spans/metrics its own model calls recorded.
+        summary = telemetry.TelemetrySummary.capture(
+            telemetry.recorder(), telemetry.metrics()
+        )
+        lines += ["", summary.render()]
     return "\n".join(lines)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.kernels.base import Kernel
 from repro.machine.vector import DType
 from repro.perfmodel.execution import execution_dtype
@@ -76,6 +77,30 @@ def measure_kernel(
         reps = max(1, min(kernel.reps, MEASURED_REPS_CAP))
     if n < 1 or reps < 1 or runs < 1 or warmup < 0:
         raise ConfigError("n, reps, runs must be >= 1; warmup >= 0")
+    rec = telemetry.recorder()
+    if not rec.active:
+        return _measure_kernel_timed(
+            kernel, n, precision, reps, runs, warmup
+        )
+    with rec.span(
+        "measure.kernel", kernel=kernel.name, n=n, reps=reps, runs=runs,
+    ):
+        measurement = _measure_kernel_timed(
+            kernel, n, precision, reps, runs, warmup
+        )
+    telemetry.metrics().counter("measure.kernels").inc()
+    return measurement
+
+
+def _measure_kernel_timed(
+    kernel: Kernel,
+    n: int,
+    precision: DType,
+    reps: int,
+    runs: int,
+    warmup: int,
+) -> Measurement:
+    """The timing loop behind :func:`measure_kernel` (validated args)."""
     ws = kernel.prepare(n, precision)
     for _ in range(warmup):
         kernel.execute(ws)

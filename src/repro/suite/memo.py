@@ -88,7 +88,15 @@ class MemoKeyPrefix:
 
 @dataclass(frozen=True)
 class CacheCounters:
-    """Hit/miss counters of a sweep's (or suite's) cache layers."""
+    """Hit/miss counters of a sweep's (or suite's) cache layers.
+
+    This is the legacy ad-hoc view carried on
+    ``SuiteResult.cache_stats`` / ``SweepResult.cache_stats``. When a
+    telemetry session is active the same counters are re-exposed as
+    ``cache.compile.*`` / ``cache.predict.*`` gauges on the metrics
+    registry (:meth:`publish`); the two are published from one snapshot,
+    so they always reconcile exactly.
+    """
 
     compile_hits: int = 0
     compile_misses: int = 0
@@ -96,6 +104,27 @@ class CacheCounters:
     predict_hits: int = 0
     predict_misses: int = 0
     predict_entries: int = 0
+
+    #: ``{metric name: CacheCounters field}`` — the telemetry names the
+    #: counters publish under (see docs/OBSERVABILITY.md).
+    METRIC_FIELDS = (
+        ("cache.compile.hits", "compile_hits"),
+        ("cache.compile.misses", "compile_misses"),
+        ("cache.compile.entries", "compile_entries"),
+        ("cache.predict.hits", "predict_hits"),
+        ("cache.predict.misses", "predict_misses"),
+        ("cache.predict.entries", "predict_entries"),
+    )
+
+    def publish(self, registry) -> None:
+        """Expose these counters as ``cache.*`` gauges on a telemetry
+        metrics registry (:class:`repro.telemetry.MetricsRegistry`).
+
+        Gauges, not counters: each publish is a point-in-time snapshot
+        (last write wins), mirroring the ``cache_stats`` semantics.
+        """
+        for metric_name, field_name in self.METRIC_FIELDS:
+            registry.gauge(metric_name).set(getattr(self, field_name))
 
     def render(self) -> str:
         return (

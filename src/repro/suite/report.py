@@ -92,6 +92,20 @@ def suite_average_relative(
     return arithmetic_mean(list(rel.values()))
 
 
+def telemetry_summary(result) -> str:
+    """Render a result's telemetry digest.
+
+    Accepts any result carrying the ``telemetry`` field
+    (:class:`SuiteResult` or ``SweepResult``); explains how to enable
+    telemetry when the run recorded none.
+    """
+    summary = getattr(result, "telemetry", None)
+    if summary is None:
+        return ("telemetry: off (run under telemetry_session() or pass "
+                "--telemetry)")
+    return summary.render()
+
+
 def failure_summary(result: SuiteResult) -> str:
     """Render a suite's failures as an explicit gap report.
 

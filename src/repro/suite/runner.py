@@ -24,6 +24,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import telemetry
 from repro.compiler.vectorizer import VectorizationReport, analyze
 from repro.kernels.base import Kernel, KernelClass
 from repro.kernels.registry import all_kernels
@@ -83,7 +84,19 @@ class SuiteResult:
     #: Snapshot of the shared cache layers' counters when this suite
     #: finished (None when the suite ran uncached). Excluded from
     #: equality: two bit-identical results may differ in cache luck.
+    #:
+    #: .. deprecated:: legacy thin view — the same counters are
+    #:    re-exposed as ``cache.compile.*`` / ``cache.predict.*`` gauges
+    #:    on the telemetry metrics registry whenever a telemetry session
+    #:    is active (see :mod:`repro.telemetry` and the ``telemetry``
+    #:    field); prefer those for new code.
     cache_stats: CacheCounters | None = field(default=None, compare=False)
+    #: Telemetry digest of the session this suite ran under (``None``
+    #: when telemetry was off). Excluded from equality like
+    #: ``cache_stats``: identical results may carry different timings.
+    telemetry: "telemetry.TelemetrySummary | None" = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.runs and not self.failures:
@@ -299,16 +312,18 @@ def _plan_prefetch(
             (memo_prefix, kernel.name, size)
             for kernel, size in zip(resolved, sizes)
         ]
-        for kernel, report, size, key, cached in zip(
-            resolved, reports, sizes, keys, memo.peek_many(keys)
-        ):
-            if cached is not None:
-                prefetched[kernel.name] = (report, cached)
-            else:
-                todo.append(kernel)
-                todo_reports.append(report)
-                todo_sizes.append(size)
-                todo_keys.append(key)
+        with telemetry.recorder().span("memo.peek", keys=len(keys)) as sp:
+            for kernel, report, size, key, cached in zip(
+                resolved, reports, sizes, keys, memo.peek_many(keys)
+            ):
+                if cached is not None:
+                    prefetched[kernel.name] = (report, cached)
+                else:
+                    todo.append(kernel)
+                    todo_reports.append(report)
+                    todo_sizes.append(size)
+                    todo_keys.append(key)
+            sp.set(hits=len(prefetched), misses=len(todo))
     else:
         todo, todo_reports, todo_sizes = resolved, reports, sizes
     return _PrefetchPlan(
@@ -493,6 +508,29 @@ def grid_prefetch(
     return out
 
 
+def _predict_scalar(
+    kernel: Kernel,
+    cpu: CPUModel,
+    cores: tuple[int, ...],
+    precision: DType,
+    report: VectorizationReport,
+    size: int,
+) -> ExecutionResult:
+    """One scalar-engine model evaluation, traced when telemetry is on.
+
+    The off path costs one recorder lookup per call — and this function
+    is only reached when a kernel was not batch-prefetched, so the
+    batch engine's hot loop never pays it.
+    """
+    rec = telemetry.recorder()
+    if not rec.active:
+        return simulate_kernel(kernel, cpu, cores, precision, report,
+                               n=size)
+    with rec.span("predict.scalar", kernel=kernel.name, n=size):
+        return simulate_kernel(kernel, cpu, cores, precision, report,
+                               n=size)
+
+
 def _run_one_kernel(
     kernel: Kernel,
     cpu: CPUModel,
@@ -525,13 +563,13 @@ def _run_one_kernel(
             key = (memo_prefix, kernel.name, size)
             prediction = memo.get_or_compute(
                 key,
-                lambda: simulate_kernel(
-                    kernel, cpu, cores, config.precision, report, n=size
+                lambda: _predict_scalar(
+                    kernel, cpu, cores, config.precision, report, size
                 ),
             )
         else:
-            prediction = simulate_kernel(
-                kernel, cpu, cores, config.precision, report, n=size
+            prediction = _predict_scalar(
+                kernel, cpu, cores, config.precision, report, size
             )
     if config.noise_sigma == 0:
         # Skip the per-kernel seed derivation too — the seed feeds only
@@ -613,102 +651,137 @@ def run_suite(
         )
     if isinstance(policy, str):
         policy = FailurePolicy.from_label(policy)
-    validate_cpu(cpu)
-    chaos.raise_if_fault(FaultSite.MACHINE)
-    compiler = config.resolve_compiler(cpu)
-    cores = assign_cores(cpu.topology, config.threads, config.placement)
-    spec = retry if retry is not None else RetrySpec()
-    use_memo = (
-        caches is not None
-        and caches.predict is not None
-        and chaos.active_plan() is None
-    )
-    # All configuration-level key identity, interned and hashed once.
-    # ``config.vectorize`` False normalizes flavor/rollback away so the
-    # disabled-vectorization entries are shared across flavors, exactly
-    # as the old report-valued keys were.
-    memo_prefix = (
-        MemoKeyPrefix(
-            machine_digest(cpu), cores, config.precision, compiler.name,
-            config.flavor if config.vectorize else None,
-            config.rollback if config.vectorize else None,
-            config.vectorize,
-        )
-        if use_memo
-        else None
-    )
-    if (
-        prefetched is None
-        and engine == "batch"
-        and chaos.active_plan() is None
-        and not reference_active()
+    rec = telemetry.recorder()
+    # One boolean, hoisted out of the per-kernel loop: the telemetry-off
+    # path pays a local-variable check per kernel, nothing more.
+    traced = rec.active
+    with rec.span(
+        "suite.run", cpu=cpu.name, threads=config.threads,
+        placement=config.placement.value,
+        precision=config.precision.label, engine=engine,
+        kernels=len(kernels),
     ):
-        prefetched = _batch_prefetch(
-            kernels, cpu, config, compiler, cores, caches, memo_prefix
+        validate_cpu(cpu)
+        chaos.raise_if_fault(FaultSite.MACHINE)
+        compiler = config.resolve_compiler(cpu)
+        cores = assign_cores(cpu.topology, config.threads,
+                             config.placement)
+        spec = retry if retry is not None else RetrySpec()
+        use_memo = (
+            caches is not None
+            and caches.predict is not None
+            and chaos.active_plan() is None
         )
+        # All configuration-level key identity, interned and hashed once.
+        # ``config.vectorize`` False normalizes flavor/rollback away so
+        # the disabled-vectorization entries are shared across flavors,
+        # exactly as the old report-valued keys were.
+        memo_prefix = (
+            MemoKeyPrefix(
+                machine_digest(cpu), cores, config.precision,
+                compiler.name,
+                config.flavor if config.vectorize else None,
+                config.rollback if config.vectorize else None,
+                config.vectorize,
+            )
+            if use_memo
+            else None
+        )
+        if (
+            prefetched is None
+            and engine == "batch"
+            and chaos.active_plan() is None
+            and not reference_active()
+        ):
+            prefetched = _batch_prefetch(
+                kernels, cpu, config, compiler, cores, caches,
+                memo_prefix
+            )
 
-    runs: dict[str, KernelRun] = {}
-    failures: list[FailureRecord] = []
-    for kernel in kernels:
-        # First attempt runs inline for every policy: the fault-free
-        # path pays only this try/except, keeping the hardened runner
-        # seed-identical and essentially free next to the legacy one.
-        try:
-            runs[kernel.name] = _run_one_kernel(
-                kernel, cpu, config, compiler, cores, caches,
-                memo_prefix, prefetched,
-            )
-            continue
-        except ReproError as exc:
-            if policy is FailurePolicy.ABORT:
-                raise
-            if policy is FailurePolicy.SKIP or spec.max_retries == 0:
-                failures.append(
-                    FailureRecord.from_exception(kernel.name, exc, 1)
-                )
+        runs: dict[str, KernelRun] = {}
+        failures: list[FailureRecord] = []
+        for kernel in kernels:
+            # First attempt runs inline for every policy: the fault-free
+            # path pays only this try/except, keeping the hardened
+            # runner seed-identical and essentially free next to the
+            # legacy one.
+            try:
+                if traced:
+                    with rec.span("kernel.run", kernel=kernel.name):
+                        runs[kernel.name] = _run_one_kernel(
+                            kernel, cpu, config, compiler, cores, caches,
+                            memo_prefix, prefetched,
+                        )
+                else:
+                    runs[kernel.name] = _run_one_kernel(
+                        kernel, cpu, config, compiler, cores, caches,
+                        memo_prefix, prefetched,
+                    )
                 continue
-        # RETRY: attempt 1 is spent; sleep the first backoff here, then
-        # hand the rest of the budget to the retry engine (its attempt k
-        # is overall attempt k + 1, so its backoff base advances one
-        # step to keep the exponential schedule intact).
-        first_pause = spec.backoff_seconds(1)
-        if first_pause > 0:
-            time.sleep(first_pause)
-        try:
-            run, engine_attempts = call_with_retry(
-                lambda k=kernel: _run_one_kernel(
-                    k, cpu, config, compiler, cores, caches,
-                    memo_prefix, prefetched,
-                ),
-                RetrySpec(
-                    max_retries=spec.max_retries - 1,
-                    backoff_base_s=(
-                        spec.backoff_base_s * spec.backoff_factor
-                    ),
-                    backoff_factor=spec.backoff_factor,
-                    deadline_s=spec.deadline_s,
-                ),
-            )
-            runs[kernel.name] = KernelRun(
-                kernel_name=run.kernel_name,
-                klass=run.klass,
-                seconds=run.seconds,
-                prediction=run.prediction,
-                report=run.report,
-                attempts=engine_attempts + 1,
-            )
-        except RetryExhaustedError as exc:
-            failures.append(
-                FailureRecord.from_exception(
-                    kernel.name, exc.last, exc.attempts + 1
+            except ReproError as exc:
+                if policy is FailurePolicy.ABORT:
+                    raise
+                if policy is FailurePolicy.SKIP or spec.max_retries == 0:
+                    failures.append(
+                        FailureRecord.from_exception(kernel.name, exc, 1)
+                    )
+                    continue
+            # RETRY: attempt 1 is spent; sleep the first backoff here,
+            # then hand the rest of the budget to the retry engine (its
+            # attempt k is overall attempt k + 1, so its backoff base
+            # advances one step to keep the exponential schedule intact).
+            first_pause = spec.backoff_seconds(1)
+            if first_pause > 0:
+                time.sleep(first_pause)
+            try:
+                with rec.span("retry", kernel=kernel.name) as retry_span:
+                    run, engine_attempts = call_with_retry(
+                        lambda k=kernel: _run_one_kernel(
+                            k, cpu, config, compiler, cores, caches,
+                            memo_prefix, prefetched,
+                        ),
+                        RetrySpec(
+                            max_retries=spec.max_retries - 1,
+                            backoff_base_s=(
+                                spec.backoff_base_s * spec.backoff_factor
+                            ),
+                            backoff_factor=spec.backoff_factor,
+                            deadline_s=spec.deadline_s,
+                        ),
+                    )
+                    retry_span.set(attempts=engine_attempts + 1)
+                runs[kernel.name] = KernelRun(
+                    kernel_name=run.kernel_name,
+                    klass=run.klass,
+                    seconds=run.seconds,
+                    prediction=run.prediction,
+                    report=run.report,
+                    attempts=engine_attempts + 1,
                 )
-            )
+            except RetryExhaustedError as exc:
+                failures.append(
+                    FailureRecord.from_exception(
+                        kernel.name, exc.last, exc.attempts + 1
+                    )
+                )
+    stats = caches.stats() if caches is not None else None
+    summary = None
+    if traced:
+        reg = telemetry.metrics()
+        reg.counter("suite.runs").inc()
+        reg.counter("suite.kernel_runs").inc(len(runs))
+        if failures:
+            reg.counter("suite.kernel_failures").inc(len(failures))
+        if stats is not None:
+            stats.publish(reg)
+        summary = telemetry.TelemetrySummary.capture(rec, reg)
     return SuiteResult(
         cpu_name=cpu.name,
         config=config,
         runs=runs,
         failures=tuple(failures),
-        cache_stats=caches.stats() if caches is not None else None,
+        cache_stats=stats,
+        telemetry=summary,
     )
 
 

@@ -25,11 +25,17 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import (
+    dataclass,
+    field,
+    fields as dataclass_fields,
+    replace,
+)
 from itertools import product
 from pathlib import Path
 from typing import Sequence
 
+from repro import telemetry
 from repro.kernels.base import Kernel
 from repro.kernels.registry import get_kernel
 from repro.machine.cpu import CPUModel
@@ -88,7 +94,21 @@ class SweepResult:
     #: Final counters of the sweep's shared cache layers (None for a
     #: cache-disabled sweep). Excluded from equality: a resumed or
     #: parallel sweep earns different hit counts for identical points.
+    #:
+    #: .. deprecated:: legacy thin view — the same counters are
+    #:    re-exposed as ``cache.compile.*`` / ``cache.predict.*`` gauges
+    #:    on the telemetry metrics registry whenever a telemetry session
+    #:    is active (see :mod:`repro.telemetry` and the ``telemetry``
+    #:    field); prefer those for new code.
     cache_stats: CacheCounters | None = field(default=None, compare=False)
+    #: Telemetry digest of the session the sweep ran under (``None``
+    #: when telemetry was off): span counts, per-phase inclusive times,
+    #: and the final metric values — including spans and metrics merged
+    #: back from ``workers_mode="process"`` workers. Excluded from
+    #: equality like ``cache_stats``.
+    telemetry: "telemetry.TelemetrySummary | None" = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.points and not self.failures:
@@ -211,14 +231,32 @@ class _GridPoint:
 _PROCESS_CACHES: SuiteCaches | None = None
 
 
-def _process_run_point(payload: tuple) -> SuiteResult:
+@dataclass(frozen=True)
+class _WorkerTelemetry:
+    """A process worker's result plus its telemetry payload.
+
+    Spans and the metrics snapshot travel back as plain picklable data;
+    the parent merges them into the sweep's session so a multi-process
+    sweep still yields one trace (ordered by start time — span starts
+    are wall-anchored, see :mod:`repro.telemetry.spans`) and one
+    registry.
+    """
+
+    result: SuiteResult
+    spans: tuple
+    metrics: "telemetry.MetricsSnapshot"
+
+
+def _process_run_point(payload: tuple) -> "SuiteResult | _WorkerTelemetry":
     """Top-level (picklable) worker for ``workers_mode="process"``.
 
     Kernels travel as names and are re-resolved from the registry in
     the worker — kernel objects may close over non-picklable state.
+    When the parent sweep runs under telemetry, the worker installs its
+    own session and hands spans + metrics back for merging.
     """
     (cpu, kernel_names, threads, placement, precision, runs,
-     noise_sigma, policy, retry, engine) = payload
+     noise_sigma, policy, retry, engine, traced) = payload
     global _PROCESS_CACHES
     if _PROCESS_CACHES is None:
         _PROCESS_CACHES = SuiteCaches()
@@ -229,15 +267,40 @@ def _process_run_point(payload: tuple) -> SuiteResult:
         runs=runs,
         noise_sigma=noise_sigma,
     )
-    return run_suite(
-        cpu,
-        config,
-        kernels=[get_kernel(name) for name in kernel_names],
-        policy=policy,
-        retry=retry,
-        caches=_PROCESS_CACHES,
-        engine=engine,
-    )
+
+    def run() -> SuiteResult:
+        return run_suite(
+            cpu,
+            config,
+            kernels=[get_kernel(name) for name in kernel_names],
+            policy=policy,
+            retry=retry,
+            caches=_PROCESS_CACHES,
+            engine=engine,
+        )
+
+    if not traced:
+        return run()
+    with telemetry.telemetry_session() as (rec, reg):
+        result = run()
+        return _WorkerTelemetry(
+            result=result,
+            spans=tuple(rec.records()),
+            metrics=reg.snapshot(),
+        )
+
+
+def _absorb_worker(
+    value: "SuiteResult | _WorkerTelemetry",
+) -> SuiteResult:
+    """Merge a process worker's telemetry (if any) into the sweep's
+    session; runs on the main thread in grid order, so merges are
+    deterministic."""
+    if isinstance(value, _WorkerTelemetry):
+        telemetry.recorder().merge(value.spans)
+        telemetry.metrics().merge(value.metrics)
+        return value.result
+    return value
 
 
 def sweep(
@@ -322,6 +385,57 @@ def sweep(
         # a spawned worker would silently run the fast path instead.
         workers_mode = "thread"
 
+    rec = telemetry.recorder()
+    if not rec.active:
+        return _run_sweep(
+            cpu, kernel_list, threads, placements, precisions, runs,
+            noise_sigma, policy, retry, checkpoint, workers,
+            workers_mode, caches, engine,
+        )
+    with rec.span(
+        "sweep", cpu=cpu.name, kernels=len(kernel_list),
+        grid_points=len(threads) * len(placements) * len(precisions),
+        workers=workers, mode=workers_mode, engine=engine,
+    ):
+        result = _run_sweep(
+            cpu, kernel_list, threads, placements, precisions, runs,
+            noise_sigma, policy, retry, checkpoint, workers,
+            workers_mode, caches, engine,
+        )
+    # Publish before capturing: the final cache gauges are the sweep's
+    # own (main-process) counters — the last write, so the registry and
+    # ``cache_stats`` reconcile exactly in every workers mode.
+    reg = telemetry.metrics()
+    reg.counter("sweep.runs").inc()
+    reg.counter("sweep.points").inc(len(result.points))
+    if result.failures:
+        reg.counter("sweep.failures").inc(len(result.failures))
+    if result.cache_stats is not None:
+        result.cache_stats.publish(reg)
+    return replace(
+        result,
+        telemetry=telemetry.TelemetrySummary.capture(rec, reg),
+    )
+
+
+def _run_sweep(
+    cpu: CPUModel,
+    kernel_list: list[Kernel],
+    threads: Sequence[int],
+    placements: Sequence[Placement],
+    precisions: Sequence[Precision],
+    runs: int,
+    noise_sigma: float,
+    policy: FailurePolicy,
+    retry: RetrySpec | None,
+    checkpoint: str | Path | None,
+    workers: int,
+    workers_mode: str,
+    caches: SuiteCaches,
+    engine: str,
+) -> SweepResult:
+    """The grid body behind :func:`sweep`'s validation + telemetry
+    wrapper (arguments arrive normalized)."""
     ckpt: SweepCheckpoint | None = None
     if checkpoint is not None:
         ckpt = SweepCheckpoint(
@@ -388,7 +502,10 @@ def sweep(
                 # Invalid configuration: left unprefetched so run_suite
                 # raises (or records) the error exactly as before.
                 jobs.append(None)
-        prefetches = grid_prefetch(cpu, jobs, caches)
+        with telemetry.recorder().span(
+            "sweep.prefetch", jobs=sum(1 for j in jobs if j is not None),
+        ):
+            prefetches = grid_prefetch(cpu, jobs, caches)
 
     def run_point(index: int, gp: _GridPoint) -> SuiteResult | None:
         if not gp.todo:
@@ -482,7 +599,7 @@ def sweep(
                     (
                         cpu, tuple(k.name for k in gp.todo), gp.threads,
                         gp.placement, gp.precision, runs, noise_sigma,
-                        policy, retry, engine,
+                        policy, retry, engine, telemetry.active(),
                     ),
                 )
         else:
@@ -503,7 +620,7 @@ def sweep(
                     collect(gp, None, None)
                     continue
                 try:
-                    result = future.result()
+                    result = _absorb_worker(future.result())
                 except ReproError as exc:
                     if policy is FailurePolicy.ABORT:
                         for pending in futures:

@@ -1,0 +1,128 @@
+"""Exporters: JSONL span logs, Chrome trace-event JSON, metrics dumps.
+
+Three output formats, all zero-dependency (stdlib ``json``):
+
+* **JSONL span log** (``*.jsonl``) — one JSON object per line per span::
+
+      {"name": "suite.run", "span_id": 3, "parent_id": 1, "pid": 1234,
+       "tid": 5678, "start_ns": 1722945600123456789,
+       "duration_ns": 2400000, "attrs": {"threads": 8}}
+
+* **Chrome trace-event JSON** (``*.json``) — loadable by
+  ``chrome://tracing`` / Perfetto: complete (``"ph": "X"``) duration
+  events with microsecond timestamps, real pid/tid lanes and span
+  attributes in ``args``.
+
+* **Metrics dump** — the flat ``<kind> <name> <value>`` text format of
+  :meth:`repro.telemetry.metrics.MetricsSnapshot.render`.
+
+``write_trace`` dispatches on the path suffix so the CLI's single
+``--trace-out`` flag serves both span formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.telemetry.metrics import MetricsSnapshot
+from repro.telemetry.spans import SpanRecord
+
+
+def span_to_event(record: SpanRecord) -> dict:
+    """One span as a Chrome complete ('X') trace event."""
+    args: dict[str, object] = {
+        key: value for key, value in record.attrs
+    }
+    args["span_id"] = record.span_id
+    if record.parent_id is not None:
+        args["parent_id"] = record.parent_id
+    return {
+        "name": record.name,
+        "cat": "repro",
+        "ph": "X",
+        "ts": record.start_ns / 1e3,   # microseconds
+        "dur": record.duration_ns / 1e3,
+        "pid": record.pid,
+        "tid": record.tid,
+        "args": args,
+    }
+
+
+def chrome_trace(
+    records: Sequence[SpanRecord],
+    metrics: MetricsSnapshot | None = None,
+) -> dict:
+    """The full Chrome trace-event document for ``records``."""
+    other: dict[str, object] = {
+        "generator": "repro.telemetry",
+        "spans": len(records),
+    }
+    if metrics is not None:
+        other["counters"] = dict(metrics.counters)
+        other["gauges"] = dict(metrics.gauges)
+    return {
+        "traceEvents": [span_to_event(r) for r in records],
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    records: Sequence[SpanRecord],
+    metrics: MetricsSnapshot | None = None,
+) -> None:
+    Path(path).write_text(
+        json.dumps(chrome_trace(records, metrics), indent=1) + "\n",
+        encoding="utf-8",
+    )
+
+
+def span_to_json(record: SpanRecord) -> dict:
+    """One span as the JSONL line object."""
+    return {
+        "name": record.name,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "pid": record.pid,
+        "tid": record.tid,
+        "start_ns": record.start_ns,
+        "duration_ns": record.duration_ns,
+        "attrs": {key: value for key, value in record.attrs},
+    }
+
+
+def spans_to_jsonl(records: Iterable[SpanRecord]) -> str:
+    return "".join(
+        json.dumps(span_to_json(r), sort_keys=True) + "\n"
+        for r in records
+    )
+
+
+def write_spans_jsonl(
+    path: str | Path, records: Iterable[SpanRecord]
+) -> None:
+    Path(path).write_text(spans_to_jsonl(records), encoding="utf-8")
+
+
+def write_trace(
+    path: str | Path,
+    records: Sequence[SpanRecord],
+    metrics: MetricsSnapshot | None = None,
+) -> None:
+    """Write ``records`` to ``path`` — JSONL for ``*.jsonl``, Chrome
+    trace-event JSON otherwise."""
+    if str(path).endswith(".jsonl"):
+        write_spans_jsonl(path, records)
+    else:
+        write_chrome_trace(path, records, metrics)
+
+
+def render_metrics(snapshot: MetricsSnapshot) -> str:
+    return snapshot.render()
+
+
+def write_metrics(path: str | Path, snapshot: MetricsSnapshot) -> None:
+    Path(path).write_text(snapshot.render() + "\n", encoding="utf-8")

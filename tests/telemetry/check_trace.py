@@ -1,0 +1,72 @@
+"""Standalone trace/metrics validator for CI's telemetry-smoke step.
+
+Usage::
+
+    python tests/telemetry/check_trace.py trace.json [trace.jsonl ...]
+    python tests/telemetry/check_trace.py --metrics metrics.txt trace.json
+
+Exits non-zero (with the failed assertion) on any schema violation, and
+additionally requires the Chrome-format traces to cover the pipeline's
+core phases (:data:`~tests.telemetry.schema.PIPELINE_PHASES`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from tests.telemetry.schema import (
+        PIPELINE_PHASES,
+        validate_chrome_trace,
+        validate_jsonl,
+        validate_metrics_dump,
+    )
+except ImportError:  # run as a loose script (CI: no installed package)
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from schema import (
+        PIPELINE_PHASES,
+        validate_chrome_trace,
+        validate_jsonl,
+        validate_metrics_dump,
+    )
+
+
+def check_trace(path: Path) -> str:
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".jsonl":
+        spans = validate_jsonl(text)
+        names = {span["name"] for span in spans}
+        count = len(spans)
+    else:
+        events = validate_chrome_trace(json.loads(text))
+        names = {event["name"] for event in events}
+        count = len(events)
+    missing = PIPELINE_PHASES - names
+    assert not missing, f"{path}: trace misses phases {sorted(missing)}"
+    return f"{path}: ok ({count} spans, {len(names)} phases)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="trace files (.json Chrome format, .jsonl)")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="also validate a flat metrics dump")
+    args = parser.parse_args(argv)
+    for trace in args.traces:
+        print(check_trace(Path(trace)))
+    if args.metrics:
+        tables = validate_metrics_dump(
+            Path(args.metrics).read_text(encoding="utf-8")
+        )
+        assert tables["counter"], "metrics dump has no counters"
+        print(f"{args.metrics}: ok ({sum(map(len, tables.values()))} "
+              f"metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

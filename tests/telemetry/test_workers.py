@@ -1,0 +1,100 @@
+"""Telemetry under parallel sweeps: thread and process worker modes.
+
+The acceptance criteria for multi-worker tracing: spans recorded in
+worker *processes* merge back into one trace ordered by start time, and
+the deterministic counters agree with a serial run in every mode.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.kernels.registry import all_kernels
+from repro.machine import catalog
+from repro.suite.config import Placement, Precision
+from repro.suite.sweep import sweep
+
+CPU = catalog.sg2042()
+KERNELS = all_kernels()[:6]
+GRID = dict(
+    threads=(1, 4, 8),
+    placements=(Placement.BLOCK,),
+    precisions=(Precision.FP32, Precision.FP64),
+)
+
+#: Counters that must not depend on worker count or mode. Cache and
+#: compile counts deliberately excluded: process workers own per-process
+#: caches, so their hit/miss split differs by design.
+DETERMINISTIC_COUNTERS = ("sweep.runs", "sweep.points",
+                          "suite.runs", "suite.kernel_runs")
+
+
+def _traced_sweep(**kwargs):
+    with telemetry.telemetry_session() as (rec, _):
+        result = sweep(CPU, KERNELS, **GRID, **kwargs)
+    return result, rec.records()
+
+
+class TestThreadWorkers:
+    def test_results_and_counters_match_serial(self):
+        serial, _ = _traced_sweep(workers=1)
+        threaded, records = _traced_sweep(workers=3,
+                                          workers_mode="thread")
+        assert threaded == serial  # bit-identical points
+        for name in DETERMINISTIC_COUNTERS:
+            assert (threaded.telemetry.counters[name]
+                    == serial.telemetry.counters[name]), name
+        # Thread workers share the sweep caches, so even the cache
+        # gauges reconcile with the serial run's.
+        assert (threaded.telemetry.gauges
+                == serial.telemetry.gauges)
+
+    def test_worker_thread_spans_in_one_trace(self):
+        _, records = _traced_sweep(workers=3, workers_mode="thread")
+        assert len({r.pid for r in records}) == 1
+        suite_spans = [r for r in records if r.name == "suite.run"]
+        assert len(suite_spans) == 6  # one per grid point
+        starts = [r.start_ns for r in records]
+        assert starts == sorted(starts)
+
+
+class TestProcessWorkers:
+    def test_results_and_counters_match_serial(self):
+        serial, _ = _traced_sweep(workers=1)
+        processed, _ = _traced_sweep(workers=2,
+                                     workers_mode="process")
+        assert processed == serial
+        for name in DETERMINISTIC_COUNTERS:
+            assert (processed.telemetry.counters[name]
+                    == serial.telemetry.counters[name]), name
+
+    def test_worker_process_spans_merge_ordered(self):
+        result, records = _traced_sweep(workers=2,
+                                        workers_mode="process")
+        pids = {r.pid for r in records}
+        assert len(pids) > 1, "expected spans from worker processes"
+        starts = [r.start_ns for r in records]
+        assert starts == sorted(starts), "merged trace must be ordered"
+        suite_spans = [r for r in records if r.name == "suite.run"]
+        assert len(suite_spans) == 6
+        # Worker processes hand back full suite traces, not stubs.
+        main_pid = next(r.pid for r in records if r.name == "sweep")
+        worker_names = {r.name for r in records if r.pid != main_pid}
+        assert {"suite.run", "kernel.run"} <= worker_names
+
+    def test_final_gauges_are_main_process(self):
+        # The last cache.* publish is the sweep's own stats(), so the
+        # summary gauges equal cache_stats exactly even though workers
+        # also published their per-process gauges.
+        result, _ = _traced_sweep(workers=2, workers_mode="process")
+        stats = result.cache_stats
+        gauges = result.telemetry.gauges
+        for metric, field_name in stats.METRIC_FIELDS:
+            assert gauges[metric] == getattr(stats, field_name), metric
+
+    def test_worker_telemetry_counters_merge(self):
+        result, _ = _traced_sweep(workers=2, workers_mode="process")
+        counters = result.telemetry.counters
+        # Every grid point's suite ran somewhere; the merged registry
+        # must have absorbed all of them.
+        assert counters["suite.runs"] == 6
+        assert counters["suite.kernel_runs"] == 6 * len(KERNELS)

@@ -20,6 +20,7 @@ EXPECTED_EXAMPLES = {
     "distributed_jacobi.py",
     "hpl_stream.py",
     "custom_machine.py",
+    "tracing_sweep.py",
 }
 
 
@@ -71,3 +72,11 @@ def test_hpl_stream(capsys):
 def test_custom_machine(capsys):
     out = run_example("custom_machine.py", capsys)
     assert "SG2042-Pro" in out
+
+
+def test_tracing_sweep(capsys):
+    out = run_example("tracing_sweep.py", capsys)
+    assert "telemetry:" in out                  # rendered summary
+    assert "span tree" in out
+    assert "sweep.prefetch" in out              # tree shows pipeline phases
+    assert "Chrome trace written to" in out
