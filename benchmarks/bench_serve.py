@@ -1,0 +1,283 @@
+"""Load benchmark + chaos smoke for the prediction service.
+
+Two phases against an in-process :class:`PredictionServer` on an
+ephemeral port:
+
+* **perf** — a seeded zipf-weighted workload (hot kernels dominate, the
+  shape of real serving traffic) from concurrent keep-alive client
+  connections for a fixed duration. Reports throughput, client-side
+  p50/p99 latency and the prediction-memo hit rate into
+  ``BENCH_serve.json``.
+* **chaos** — the same workload with a seeded :class:`FaultPlan`
+  mounted inside the server (every TRIAD run attempt fails) and a low
+  breaker threshold. Asserts the robustness contract end-to-end: zero
+  unhandled server errors, every non-200 response is a structured
+  envelope with a known code, the circuit breaker actually cycled, and
+  the drain completes cleanly.
+
+Run directly (``python benchmarks/bench_serve.py [--smoke]``) or via
+pytest. ``--smoke`` shrinks the durations for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.serve import PredictionServer, ServeConfig
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The serving working set: a hot head and a long tail.
+KERNELS = (
+    "TRIAD", "DAXPY", "GEMM", "DOT", "COPY", "ADD", "MUL", "SCAN",
+    "JACOBI_2D", "FDTD_2D", "ATAX", "MVT", "ENERGY", "PRESSURE",
+    "FIR", "SORT",
+)
+
+#: Zipf exponent for kernel popularity (1/rank^s).
+ZIPF_S = 1.1
+
+#: Request configurations cycled by the workload (all distinct engine
+#: groups, so coalescing and caching both get exercised).
+THREAD_CHOICES = (1, 8, 32, 64)
+
+ERROR_CODES = {
+    "bad_request", "not_found", "shed", "engine_fault",
+    "unavailable", "deadline_exceeded",
+}
+
+
+def zipf_weights(n: int, s: float = ZIPF_S) -> list[float]:
+    return [1.0 / (rank ** s) for rank in range(1, n + 1)]
+
+
+class Workload:
+    """Seeded zipf request stream: (kernel, threads) pairs."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._weights = zipf_weights(len(KERNELS))
+
+    def next_request(self) -> dict:
+        (kernel,) = self._rng.choices(KERNELS, weights=self._weights)
+        return {
+            "kernel": kernel,
+            "threads": self._rng.choice(THREAD_CHOICES),
+            "deadline_ms": 10_000,
+        }
+
+
+async def _client(port, workload, stop_at, latencies, statuses, bodies):
+    """One keep-alive connection issuing requests until the deadline."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        while time.monotonic() < stop_at:
+            body = json.dumps(workload.next_request()).encode()
+            head = (
+                f"POST /predict HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n"
+            ).encode()
+            started = time.monotonic()
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            if not status_line:
+                return
+            status = int(status_line.split()[1])
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0))
+            payload = await reader.readexactly(length) if length else b""
+            latencies.append(time.monotonic() - started)
+            statuses.append(status)
+            if status != 200:
+                bodies.append(json.loads(payload))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_phase(config, *, clients, duration_s, seed):
+    """Drive one server under load; return (stats, server summary)."""
+    server = PredictionServer(config)
+    await server.start()
+    latencies: list[float] = []
+    statuses: list[int] = []
+    error_bodies: list[dict] = []
+    stop_at = time.monotonic() + duration_s
+    started = time.monotonic()
+    await asyncio.gather(*[
+        _client(server.port, Workload(seed + index), stop_at,
+                latencies, statuses, error_bodies)
+        for index in range(clients)
+    ])
+    elapsed = time.monotonic() - started
+    await server.drain()
+    summary = server.final_summary
+    ok = sum(1 for s in statuses if s == 200)
+    ordered = sorted(latencies) or [0.0]
+
+    def pct(q):
+        rank = max(1, -(-len(ordered) * q // 100))
+        return ordered[int(rank) - 1]
+
+    hit_rate = summary.gauges.get("serve.cache_hit_rate")
+    stats = {
+        "requests": len(statuses),
+        "ok": ok,
+        "errors": len(statuses) - ok,
+        "rps": round(len(statuses) / elapsed, 2) if elapsed else 0.0,
+        "p50_ms": round(pct(50) * 1e3, 3),
+        "p99_ms": round(pct(99) * 1e3, 3),
+        "cache_hit_rate": hit_rate,
+        "unhandled_errors": summary.counters.get(
+            "serve.unhandled_errors", 0
+        ),
+        "engine_faults": summary.counters.get("serve.engine_faults", 0),
+        "shed": summary.counters.get("serve.shed", 0),
+        "coalesced": summary.counters.get("serve.coalesced", 0),
+        "batches": summary.counters.get("serve.batches", 0),
+        "breaker_transitions": summary.counters.get(
+            "serve.breaker_transitions", 0
+        ),
+    }
+    return stats, error_bodies
+
+
+def chaos_plan() -> FaultPlan:
+    """Every run attempt of the two hottest kernels fails — enough
+    sustained pressure to cycle the breaker under load."""
+    return FaultPlan(seed=1302, rules=(
+        FaultRule(site="run", probability=1.0,
+                  kernels=("TRIAD", "DAXPY")),
+    ))
+
+
+def perf_phase(*, clients, duration_s):
+    config = ServeConfig(
+        port=0, max_inflight=max(clients * 2, 8),
+        drain_timeout_s=5.0,
+    )
+    stats, _ = asyncio.run(
+        run_phase(config, clients=clients, duration_s=duration_s,
+                  seed=2042)
+    )
+    return stats
+
+
+def chaos_phase(*, clients, duration_s):
+    config = ServeConfig(
+        port=0, max_inflight=max(clients * 2, 8),
+        retries=0, breaker_threshold=3, breaker_cooldown_s=0.05,
+        drain_timeout_s=5.0, fault_plan=chaos_plan(),
+    )
+    stats, error_bodies = asyncio.run(
+        run_phase(config, clients=clients, duration_s=duration_s,
+                  seed=777)
+    )
+    return stats, error_bodies
+
+
+def check_chaos_contract(stats, error_bodies):
+    """The robustness acceptance assertions (also run by CI smoke)."""
+    failures = []
+    if stats["unhandled_errors"] != 0:
+        failures.append(
+            f"unhandled server errors: {stats['unhandled_errors']}"
+        )
+    for body in error_bodies:
+        error = body.get("error") if isinstance(body, dict) else None
+        if not isinstance(error, dict):
+            failures.append(f"non-envelope error body: {body!r:.120}")
+            break
+        if error.get("code") not in ERROR_CODES:
+            failures.append(f"unknown error code: {error.get('code')!r}")
+            break
+        if "Traceback" in str(error):
+            failures.append("traceback leaked into an envelope")
+            break
+    if stats["engine_faults"] == 0:
+        failures.append("chaos plan injected no engine faults")
+    if stats["breaker_transitions"] == 0:
+        failures.append("breaker never transitioned under chaos")
+    if stats["ok"] == 0:
+        failures.append("no request succeeded under chaos")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI run: reduced duration, same assertions",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="S", help="seconds per phase")
+    args = parser.parse_args(argv)
+    duration = args.duration or (2.0 if args.smoke else 8.0)
+
+    print(f"perf phase: {args.clients} clients, {duration:.0f}s ...",
+          flush=True)
+    perf = perf_phase(clients=args.clients, duration_s=duration)
+    print(json.dumps(perf, indent=2))
+
+    print(f"chaos phase: {args.clients} clients, {duration:.0f}s ...",
+          flush=True)
+    chaos_stats, error_bodies = chaos_phase(
+        clients=args.clients, duration_s=duration
+    )
+    print(json.dumps(chaos_stats, indent=2))
+
+    failures = check_chaos_contract(chaos_stats, error_bodies)
+    if perf["unhandled_errors"]:
+        failures.append(
+            f"unhandled errors in the perf phase: "
+            f"{perf['unhandled_errors']}"
+        )
+
+    result = {
+        "benchmark": "serve",
+        "mode": "smoke" if args.smoke else "full",
+        "clients": args.clients,
+        "duration_s": duration,
+        "perf": perf,
+        "chaos": chaos_stats,
+        "contract_failures": failures,
+    }
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve robustness contract: OK")
+    return 0
+
+
+# -- pytest entry points ---------------------------------------------------
+
+
+def test_serve_bench_smoke():
+    assert main(["--smoke", "--clients", "4"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Subcommands::
     sg2042-repro experiment all       # reproduce everything
     sg2042-repro verify               # execute all kernels numerically
     sg2042-repro lint --all           # static analysis of IRs + assembly
+    sg2042-repro serve --port 8642    # the HTTP prediction service
 """
 
 from __future__ import annotations
@@ -432,6 +433,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.resilience import load_fault_plan
+    from repro.serve import ServeConfig, serve_forever
+
+    plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        on_failure=args.on_failure,
+        retries=args.retries,
+        engine_workers=args.engine_workers,
+        drain_timeout_s=args.drain_timeout,
+        fault_plan=plan,
+    )
+    return asyncio.run(serve_forever(config))
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.machine.vector import DType
 
@@ -622,6 +648,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the flat metrics dump to FILE",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant prediction service (HTTP/JSON): "
+        "/predict, /sweep, /explain, /healthz, /readyz, /metrics",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission limit; beyond it requests are shed with a "
+        "structured 429 and Retry-After",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=2000.0,
+        help="default per-request deadline when the client sends none",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="coalescing window: requests arriving within it are "
+        "batched into one engine call",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="largest coalesced batch per engine call",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive engine faults that open the circuit breaker",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=1.0, metavar="S",
+        help="seconds the breaker stays open before probing half-open",
+    )
+    p_serve.add_argument(
+        "--on-failure", default="retry", choices=["abort", "skip",
+                                                  "retry"],
+        help="engine failure policy inside a coalesced batch",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per kernel for --on-failure retry",
+    )
+    p_serve.add_argument(
+        "--engine-workers", type=int, default=2,
+        help="engine thread pool size (forced to 1 under --fault-plan)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="S",
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.json",
+        help="mount this seeded chaos plan inside the server "
+        "(resilience drills)",
+    )
+
     p_an = sub.add_parser(
         "analyze",
         help="roofline or bottleneck analysis of a machine",
@@ -664,6 +747,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "explain": _cmd_explain,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

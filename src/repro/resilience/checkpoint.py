@@ -15,6 +15,7 @@ silent mix of incompatible numbers.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -50,11 +51,14 @@ class SweepCheckpoint:
     # -- reading ----------------------------------------------------------
 
     def _load(self) -> None:
-        lines = self.path.read_text().splitlines()
+        raw = self.path.read_bytes()
+        lines = raw.splitlines()
         if not lines:
             self._write_header()
             return
-        header = self._parse_header(lines[0])
+        header = self._parse_header(
+            lines[0].decode("utf-8", errors="replace")
+        )
         if header.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"checkpoint {self.path} has format version "
@@ -67,6 +71,7 @@ class SweepCheckpoint:
                 f"(grid hash {header.get('grid_hash')} != "
                 f"{self.grid_hash}); delete it or rerun the original grid"
             )
+        torn = False
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
@@ -76,11 +81,18 @@ class SweepCheckpoint:
                 if lineno == len(lines):
                     # Torn final line from a mid-write kill: recompute
                     # that one point instead of failing the resume.
+                    torn = True
                     break
                 raise CheckpointError(
                     f"checkpoint {self.path} is corrupt at line {lineno}"
                 )
             if not all(f in record for f in POINT_FIELDS):
+                if lineno == len(lines):
+                    # A final line can also be torn *within* valid JSON
+                    # (e.g. flushed through a page boundary): parseable
+                    # but missing fields. Same remedy — recompute it.
+                    torn = True
+                    break
                 raise CheckpointError(
                     f"checkpoint {self.path} line {lineno} is missing "
                     f"point fields {POINT_FIELDS}"
@@ -89,6 +101,27 @@ class SweepCheckpoint:
                 record["threads"], record["placement"],
                 record["precision"], record["kernel"],
             )] = record
+        if torn:
+            self._truncate_torn_tail(raw, lines[-1])
+
+    def _truncate_torn_tail(self, raw: bytes, last_line: bytes) -> None:
+        """Cut the torn final line off the file, durably.
+
+        Tolerating the torn line in memory is not enough: left on disk
+        it would be *appended onto* by the next :meth:`record` (merging
+        two records into one corrupt interior line) or, if it ended in a
+        newline, become an interior bad line that hard-fails the next
+        resume. Truncation heals the file so appends stay line-atomic.
+        """
+        tail = len(last_line)
+        if raw.endswith(b"\r\n"):
+            tail += 2
+        elif raw.endswith(b"\n"):
+            tail += 1
+        with self.path.open("r+b") as fh:
+            fh.truncate(len(raw) - tail)
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def _parse_header(self, line: str) -> dict[str, Any]:
         try:
@@ -107,15 +140,29 @@ class SweepCheckpoint:
     # -- writing ----------------------------------------------------------
 
     def _write_header(self) -> None:
+        """Create the checkpoint with its header stamp, atomically.
+
+        The header is written to a temp file, fsynced, then moved into
+        place with :func:`os.replace` — so a kill during creation leaves
+        either no checkpoint or a complete header, never a torn one that
+        would poison every later resume.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("w") as fh:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w") as fh:
             fh.write(json.dumps({
                 "version": CHECKPOINT_VERSION,
                 "grid_hash": self.grid_hash,
             }) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
 
     def record(self, point: dict[str, Any]) -> None:
-        """Append one completed point and flush it to disk."""
+        """Append one completed point, flushed *and fsynced* to disk —
+        a power loss after ``record`` returns cannot lose the point,
+        and a kill mid-``record`` tears at most this one line (which
+        resume detects and recomputes)."""
         missing = [f for f in POINT_FIELDS if f not in point]
         if missing:
             raise CheckpointError(
@@ -131,6 +178,7 @@ class SweepCheckpoint:
         with self.path.open("a") as fh:
             fh.write(json.dumps(point) + "\n")
             fh.flush()
+            os.fsync(fh.fileno())
 
     def has(self, key: PointKey) -> bool:
         return key in self.completed

@@ -10,6 +10,7 @@ the default simulator path (backoff base 0) never sleeps at all.
 from __future__ import annotations
 
 import enum
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
@@ -58,12 +59,22 @@ class RetrySpec:
         backoff_factor: Multiplier per subsequent retry (exponential).
         deadline_s: Wall-clock budget across all attempts; ``None`` is
             unbounded. Checked before each retry, never mid-attempt.
+        jitter: Fraction of each backoff randomized in ``[0, 1]``.
+            ``0`` (default) keeps the historical deterministic schedule;
+            ``1`` is classic *full jitter* — uniform in
+            ``(0, exponential backoff]`` — which decorrelates retries
+            from requests that failed together, so a coalesced batch of
+            failures does not thundering-herd the engine in lockstep.
+            The RNG is injectable (:func:`backoff_seconds` /
+            :func:`call_with_retry` take ``rng=``), so tests pin a seed
+            and stay deterministic.
     """
 
     max_retries: int = 3
     backoff_base_s: float = 0.0
     backoff_factor: float = 2.0
     deadline_s: float | None = None
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -74,12 +85,36 @@ class RetrySpec:
             raise ConfigError("backoff_factor must be >= 1")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ConfigError("deadline_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
 
-    def backoff_seconds(self, retry_index: int) -> float:
-        """Sleep before the ``retry_index``-th retry (1-based)."""
+    def backoff_seconds(
+        self, retry_index: int, rng: random.Random | None = None
+    ) -> float:
+        """Sleep before the ``retry_index``-th retry (1-based).
+
+        With ``jitter > 0`` the exponential envelope is randomized:
+        ``envelope * ((1 - jitter) + jitter * U(0, 1))``, i.e. uniform
+        over the last ``jitter`` fraction of the envelope (full jitter
+        at ``jitter=1``). Pass a seeded ``rng`` for reproducible
+        schedules; ``None`` uses the module RNG.
+        """
         if retry_index < 1:
             raise ConfigError("retry_index must be >= 1")
-        return self.backoff_base_s * self.backoff_factor ** (retry_index - 1)
+        envelope = (
+            self.backoff_base_s * self.backoff_factor ** (retry_index - 1)
+        )
+        if self.jitter == 0 or envelope == 0:
+            return envelope
+        if rng is None:
+            rng = _MODULE_RNG
+        return envelope * ((1.0 - self.jitter) + self.jitter * rng.random())
+
+
+#: Fallback RNG when no injectable one is supplied. Module-level so the
+#: draw sequence (and therefore the jitter) differs across retries even
+#: without a caller-managed RNG.
+_MODULE_RNG = random.Random()
 
 
 @dataclass(frozen=True)
@@ -132,12 +167,15 @@ def call_with_retry(
     *,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
 ) -> tuple[T, int]:
     """Call ``fn`` with retries per ``spec``; return (result, attempts).
 
     Retries only on :class:`ReproError` — programming errors propagate
     immediately. Raises :class:`RetryExhaustedError` once the attempt or
-    deadline budget is spent.
+    deadline budget is spent. ``rng`` seeds the backoff jitter when
+    ``spec.jitter > 0`` (tests pass ``random.Random(seed)`` for exact
+    schedules).
     """
     rec = telemetry.recorder()
     traced = rec.active
@@ -164,7 +202,7 @@ def call_with_retry(
                 if traced:
                     telemetry.metrics().counter("retry.exhausted").inc()
                 raise RetryExhaustedError(attempts, exc) from exc
-            pause = spec.backoff_seconds(retries_used + 1)
+            pause = spec.backoff_seconds(retries_used + 1, rng=rng)
             if pause > 0:
                 if traced:
                     telemetry.metrics().histogram(

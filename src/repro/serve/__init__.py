@@ -1,0 +1,66 @@
+"""``repro.serve`` — the fault-tolerant prediction service.
+
+A long-running asyncio HTTP/JSON server in front of the prediction
+engine: request coalescing into batch engine calls, per-request
+deadlines, admission control with load shedding, a circuit breaker
+around the engine, structured error envelopes, graceful drain, and a
+mountable chaos plan. See ``docs/SERVE.md`` for the full contract.
+
+Usage::
+
+    from repro.serve import PredictionServer, ServeConfig
+
+    server = PredictionServer(ServeConfig(port=0))
+    await server.start()          # inside an event loop
+    ...
+    await server.drain()
+
+Or from the CLI::
+
+    sg2042-repro serve --port 8642
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.coalescer import (
+    Coalescer,
+    CoalescerConfig,
+    EngineState,
+    PredictJob,
+)
+from repro.serve.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    EngineFault,
+    NotFound,
+    ServeError,
+    Shed,
+    Unavailable,
+)
+from repro.serve.server import (
+    MAX_SWEEP_CELLS,
+    PredictionServer,
+    ServeConfig,
+    serve_forever,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BadRequest",
+    "BreakerState",
+    "CircuitBreaker",
+    "Coalescer",
+    "CoalescerConfig",
+    "DeadlineExceeded",
+    "EngineFault",
+    "EngineState",
+    "MAX_SWEEP_CELLS",
+    "NotFound",
+    "PredictJob",
+    "PredictionServer",
+    "ServeConfig",
+    "ServeError",
+    "Shed",
+    "Unavailable",
+    "serve_forever",
+]

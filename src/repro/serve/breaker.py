@@ -1,0 +1,161 @@
+"""Circuit breaker around the prediction engine.
+
+Trips OPEN after ``failure_threshold`` *consecutive* engine faults, so a
+persistently failing engine (corrupted machine description, a chaos
+campaign gone hot) sheds work instantly instead of burning the executor
+on doomed requests. After ``cooldown_s`` the breaker HALF-OPENs and lets
+``half_open_probes`` trial requests through: one success closes it, one
+failure re-opens it for another cooldown.
+
+The clock is injectable so tests drive the timed transitions without
+sleeping. Probe accounting self-heals: a probe whose outcome is never
+reported (client gave up, request shed downstream) frees its slot after
+another cooldown period, so an abandoned probe cannot wedge the breaker
+in HALF_OPEN forever.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+from repro.util.errors import ConfigError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    HALF_OPEN = "half_open"
+    OPEN = "open"
+
+    @property
+    def code(self) -> int:
+        """Numeric encoding for the ``serve.breaker_state`` gauge."""
+        return {"closed": 0, "half_open": 1, "open": 2}[self.value]
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[BreakerState, BreakerState], None]
+        | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ConfigError("cooldown_s must be positive")
+        if half_open_probes < 1:
+            raise ConfigError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_started = 0
+        self._probes_started_at = 0.0
+        self._transitions: list[tuple[str, str]] = []
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def transitions(self) -> tuple[tuple[str, str], ...]:
+        """Every ``(from, to)`` transition so far, oldest first."""
+        with self._lock:
+            return tuple(self._transitions)
+
+    def retry_after_ms(self) -> int:
+        """Suggested client pause while not CLOSED: the remaining
+        cooldown (at least 1 ms)."""
+        with self._lock:
+            remaining = self.cooldown_s - (self._clock() - self._opened_at)
+        return max(1, int(remaining * 1000))
+
+    def _transition(self, to: BreakerState) -> None:
+        # Caller holds the lock.
+        if to is self._state:
+            return
+        frm = self._state
+        self._transitions.append((frm.value, to.value))
+        self._state = to
+        if self._on_transition is not None:
+            self._on_transition(frm, to)
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+            self._probes_started = 0
+
+    # -- the request-path API ---------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether one request may proceed to the engine right now.
+
+        In HALF_OPEN this *consumes a probe slot*; the caller should
+        eventually call :meth:`record_success` or
+        :meth:`record_failure`. Unreported probes are reclaimed after
+        ``cooldown_s``.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                return False
+            now = self._clock()
+            if self._probes_started >= self.half_open_probes:
+                if now - self._probes_started_at < self.cooldown_s:
+                    return False
+                # Probe outcomes never arrived; reclaim the slots.
+                self._probes_started = 0
+            if self._probes_started == 0:
+                self._probes_started_at = now
+            self._probes_started += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.CLOSED)
+                self._probes_started = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._open()
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open()
+
+    def _open(self) -> None:
+        # Caller holds the lock.
+        self._transition(BreakerState.OPEN)
+        self._opened_at = self._clock()
+        self._probes_started = 0
+        self._consecutive_failures = 0

@@ -1,0 +1,280 @@
+"""Request coalescing: many concurrent predictions, one engine batch.
+
+The batch engine (:mod:`repro.perfmodel.batch`) was built for exactly
+this shape: N kernels under one configuration evaluated in a single
+vectorized pass. The coalescer gathers concurrent ``/predict`` requests
+over a short window, groups them by (machine, configuration), deduplicates
+kernels, and runs each group through one :func:`run_suite` call on a
+worker thread — sharing one process-wide :class:`SuiteCaches` per
+machine digest, so repeat traffic is served from the prediction memo.
+
+Robustness is owned here too: jobs whose deadline expired while queued
+are dropped without touching the engine, per-kernel engine faults come
+back as structured :class:`EngineFault` results (retried inside
+``run_suite`` under the server's retry policy first), and every outcome
+feeds the circuit breaker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.kernels.base import Kernel
+from repro.machine.cpu import CPUModel
+from repro.resilience.retry import FailurePolicy, RetrySpec
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.errors import DeadlineExceeded, EngineFault, Unavailable
+from repro.suite.config import RunConfig
+from repro.suite.memo import SuiteCaches, machine_digest
+from repro.suite.runner import KernelRun, run_suite
+
+
+class EngineState:
+    """Process-wide cache layers, one :class:`SuiteCaches` per machine.
+
+    Keyed by :func:`machine_digest`, so two requests naming equal
+    machines (even via different objects) share compile cache and
+    prediction memo entries, while any re-tuned parameter isolates them.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._caches: dict[int, SuiteCaches] = {}
+
+    def caches_for(self, cpu: CPUModel) -> SuiteCaches:
+        digest = machine_digest(cpu)
+        with self._lock:
+            caches = self._caches.get(digest)
+            if caches is None:
+                caches = SuiteCaches()
+                self._caches[digest] = caches
+            return caches
+
+    def stats(self) -> dict[int, "object"]:
+        """``{digest: CacheCounters}`` for every machine served."""
+        with self._lock:
+            items = list(self._caches.items())
+        return {digest: caches.stats() for digest, caches in items}
+
+    def aggregate_hit_rate(self) -> float | None:
+        """Prediction-memo hit rate across all machines (``None`` before
+        any lookup happened)."""
+        hits = misses = 0
+        for counters in self.stats().values():
+            hits += counters.predict_hits
+            misses += counters.predict_misses
+        total = hits + misses
+        return (hits / total) if total else None
+
+
+@dataclass
+class PredictJob:
+    """One in-flight ``/predict`` request inside the coalescer."""
+
+    kernel: Kernel
+    cpu: CPUModel
+    config: RunConfig
+    future: asyncio.Future
+    #: Absolute ``loop.time()`` deadline, or ``None`` for unbounded.
+    deadline: float | None = None
+
+    def fail(self, exc: Exception) -> None:
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+    def resolve(self, run: KernelRun) -> None:
+        if not self.future.done():
+            self.future.set_result(run)
+
+
+@dataclass
+class CoalescerConfig:
+    """Batching and engine-policy knobs (see ``docs/SERVE.md``)."""
+
+    max_batch: int = 64
+    window_s: float = 0.002
+    policy: FailurePolicy = FailurePolicy.RETRY
+    retry: RetrySpec = field(default_factory=lambda: RetrySpec(max_retries=2))
+    engine: str = "batch"
+
+
+class Coalescer:
+    """The batching loop between the HTTP handlers and the engine."""
+
+    def __init__(
+        self,
+        state: EngineState,
+        executor: Executor,
+        config: CoalescerConfig | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        self.state = state
+        self.executor = executor
+        self.config = config or CoalescerConfig()
+        self.breaker = breaker
+        self._queue: asyncio.Queue[PredictJob] = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self._groups: set[asyncio.Task] = set()
+        self._stopping = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("coalescer already started")
+        self._stopping = False
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the batching loop.
+
+        With ``drain=True`` (graceful shutdown) queued jobs are flushed
+        into one final dispatch and in-flight group tasks are awaited;
+        otherwise everything pending fails with ``unavailable``.
+        """
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        pending: list[PredictJob] = []
+        while not self._queue.empty():
+            pending.append(self._queue.get_nowait())
+        if drain and pending:
+            self._dispatch(pending)
+        else:
+            for job in pending:
+                job.fail(Unavailable("service is shutting down"))
+        if self._groups:
+            await asyncio.gather(*tuple(self._groups),
+                                 return_exceptions=True)
+
+    async def submit(self, job: PredictJob) -> None:
+        if self._stopping:
+            job.fail(Unavailable("service is shutting down"))
+            return
+        await self._queue.put(job)
+
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    # -- batching loop ----------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            window_ends = loop.time() + self.config.window_s
+            while len(batch) < self.config.max_batch:
+                remaining = window_ends - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(
+                            self._queue.get(), timeout=remaining
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[PredictJob]) -> None:
+        """Group one window's jobs and launch an engine task per group."""
+        loop = asyncio.get_event_loop()
+        now = loop.time()
+        groups: dict[tuple, list[PredictJob]] = {}
+        for job in batch:
+            if job.future.done():
+                continue  # client already gone (cancelled / timed out)
+            if job.deadline is not None and now >= job.deadline:
+                job.fail(DeadlineExceeded(
+                    f"{job.kernel.name}: deadline elapsed while queued"
+                ))
+                telemetry.metrics().counter(
+                    "serve.deadline_exceeded"
+                ).inc()
+                continue
+            groups.setdefault(
+                (job.cpu.name, job.config), []
+            ).append(job)
+        reg = telemetry.metrics()
+        for jobs in groups.values():
+            reg.counter("serve.batches").inc()
+            reg.histogram("serve.batch_width").observe(len(jobs))
+            if len(jobs) > 1:
+                reg.counter("serve.coalesced").inc(len(jobs) - 1)
+            task = loop.create_task(self._run_group(jobs))
+            self._groups.add(task)
+            task.add_done_callback(self._groups.discard)
+
+    async def _run_group(self, jobs: list[PredictJob]) -> None:
+        """Evaluate one (machine, configuration) group in the engine."""
+        cpu, config = jobs[0].cpu, jobs[0].config
+        kernels: list[Kernel] = []
+        seen: set[str] = set()
+        for job in jobs:
+            if job.kernel.name not in seen:
+                seen.add(job.kernel.name)
+                kernels.append(job.kernel)
+        loop = asyncio.get_running_loop()
+        try:
+            caches = self.state.caches_for(cpu)
+            result = await loop.run_in_executor(
+                self.executor,
+                lambda: run_suite(
+                    cpu,
+                    config,
+                    kernels=kernels,
+                    policy=self.config.policy,
+                    retry=self.config.retry,
+                    caches=caches,
+                    engine=self.config.engine,
+                ),
+            )
+        except Exception as exc:
+            # Whole-group failure (corrupted machine description, an
+            # ABORT policy, an engine bug): every job gets the same
+            # structured fault and the breaker hears about each one.
+            fault = EngineFault.from_exception(exc)
+            for job in jobs:
+                self._record(False)
+                job.fail(fault)
+            telemetry.metrics().counter("serve.engine_faults").inc(
+                len(jobs)
+            )
+            return
+        failed = result.failed_kernels()
+        faults = 0
+        for job in jobs:
+            run = result.runs.get(job.kernel.name)
+            if run is not None:
+                self._record(True)
+                job.resolve(run)
+                continue
+            self._record(False)
+            faults += 1
+            record = failed.get(job.kernel.name.upper())
+            if record is not None:
+                job.fail(EngineFault.from_failure(record))
+            else:
+                job.fail(EngineFault(
+                    f"{job.kernel.name}: engine produced no result"
+                ))
+        if faults:
+            telemetry.metrics().counter("serve.engine_faults").inc(faults)
+
+    def _record(self, success: bool) -> None:
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()

@@ -1,0 +1,147 @@
+"""Structured error envelopes for the prediction service.
+
+Every failure a client can observe maps to one :class:`ServeError`
+subclass with a stable machine-readable ``code``, an HTTP status, a
+``retryable`` hint and (for backpressure responses) a ``Retry-After``
+suggestion. Envelopes are the *only* error shape the service emits:
+handlers convert exceptions into envelopes at the boundary, so internal
+tracebacks never reach the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.errors import ReproError
+
+#: ``code -> HTTP status`` for every envelope the service can emit.
+STATUS_BY_CODE = {
+    "bad_request": 400,
+    "not_found": 404,
+    "shed": 429,
+    "engine_fault": 500,
+    "unavailable": 503,
+    "deadline_exceeded": 504,
+}
+
+
+class ServeError(ReproError):
+    """Base class of every client-visible service failure.
+
+    Attributes:
+        code: Stable machine-readable error code (keys of
+            :data:`STATUS_BY_CODE`).
+        retryable: Whether an identical retry can succeed.
+        retry_after_ms: Suggested client backoff (sent as a
+            ``Retry-After`` header too); ``None`` when retrying sooner
+            is fine.
+        details: Extra structured context (attempt counts, fault sites);
+            must already be JSON-serializable.
+    """
+
+    code = "engine_fault"
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_ms: int | None = None,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.details = details
+
+    @property
+    def status(self) -> int:
+        return STATUS_BY_CODE[self.code]
+
+    def envelope(self) -> dict[str, Any]:
+        """The JSON body for this error — and nothing else: no
+        traceback, no internal type names beyond ``details``."""
+        error: dict[str, Any] = {
+            "code": self.code,
+            "message": str(self),
+            "retryable": self.retryable,
+        }
+        if self.retry_after_ms is not None:
+            error["retry_after_ms"] = int(self.retry_after_ms)
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+class BadRequest(ServeError):
+    """Malformed HTTP, unparsable JSON, or invalid parameters."""
+
+    code = "bad_request"
+    retryable = False
+
+
+class NotFound(ServeError):
+    """Unknown route, kernel, or machine name."""
+
+    code = "not_found"
+    retryable = False
+
+
+class Shed(ServeError):
+    """Load-shed by admission control: the in-flight queue is over its
+    watermark. Retry after the suggested pause."""
+
+    code = "shed"
+    retryable = True
+
+
+class Unavailable(ServeError):
+    """The service cannot take the request right now — draining for
+    shutdown, or the engine circuit breaker is open."""
+
+    code = "unavailable"
+    retryable = True
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline elapsed before a result was produced."""
+
+    code = "deadline_exceeded"
+    retryable = True
+
+
+class EngineFault(ServeError):
+    """The prediction engine failed for this request (possibly after
+    retries). Carries the failure's type/attempt/site summary in
+    ``details`` — never a traceback."""
+
+    code = "engine_fault"
+    retryable = True
+
+    @classmethod
+    def from_failure(cls, record) -> "EngineFault":
+        """Envelope for one kernel's terminal
+        :class:`~repro.resilience.retry.FailureRecord`."""
+        details = {
+            "error_type": record.error_type,
+            "attempts": record.attempts,
+        }
+        if record.site is not None:
+            details["fault_site"] = record.site
+        return cls(
+            f"{record.kernel}: {record.message}",
+            details=details,
+        )
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "EngineFault":
+        details = {"error_type": type(exc).__name__, "attempts": 1}
+        site = getattr(exc, "fault_site", None)
+        if site is not None:
+            details["fault_site"] = site
+        return cls(str(exc), details=details)
+
+
+def internal_error() -> EngineFault:
+    """The generic envelope for an *unexpected* exception. Deliberately
+    message-free: unhandled errors must not leak internals."""
+    return EngineFault("internal error", details={"error_type": "internal"})

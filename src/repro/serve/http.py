@@ -1,0 +1,152 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The service speaks just enough HTTP for JSON request/response traffic
+with keep-alive: request line + headers + ``Content-Length`` body in,
+status line + headers + body out. No dependencies, no chunked encoding,
+no pipelining — a malformed or oversized request turns into a
+:class:`~repro.serve.errors.BadRequest` and the connection is closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.errors import BadRequest
+
+#: Hard cap on request bodies — predictions are small JSON documents.
+MAX_BODY_BYTES = 1 << 20
+
+#: Hard cap on one header line (also bounds the request line).
+MAX_LINE_BYTES = 8 << 10
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict[str, Any]:
+        """The body parsed as a JSON object (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise BadRequest("request body must be a JSON object")
+        return data
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise BadRequest("connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise BadRequest("header line too long")
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequest("header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> HttpRequest | None:
+    """Read one request; ``None`` on clean EOF before a request line.
+
+    Raises :class:`BadRequest` on framing violations (the caller
+    responds 400 and closes the connection).
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line {line!r:.80}")
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    while True:
+        hline = await _read_line(reader)
+        if hline in (b"\r\n", b"\n"):
+            break
+        if not hline:
+            raise BadRequest("connection closed inside headers")
+        name, sep, value = hline.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line {hline!r:.80}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise BadRequest(
+                f"invalid Content-Length {length_header!r}"
+            )
+        if length < 0 or length > max_body_bytes:
+            raise BadRequest(
+                f"Content-Length {length} outside [0, {max_body_bytes}]"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("connection closed mid-body")
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("chunked request bodies are not supported")
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Serialize one response onto ``writer`` (buffered; caller drains)."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+
+
+def json_body(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")

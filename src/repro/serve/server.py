@@ -1,0 +1,668 @@
+"""The fault-tolerant prediction service: ``repro.serve``.
+
+An asyncio HTTP/JSON server (stdlib streams only) in front of the
+prediction engine. Endpoints:
+
+* ``POST /predict`` — one kernel under one configuration; concurrent
+  requests are coalesced into batch engine calls.
+* ``POST /sweep`` — a bounded configuration grid, returned long-format.
+* ``POST /explain`` — the full model story for one kernel.
+* ``GET /healthz`` — liveness (200 while the process runs).
+* ``GET /readyz`` — readiness (503 while draining or the engine circuit
+  breaker is open).
+* ``GET /metrics`` — the telemetry registry as a flat text dump.
+
+The robustness contract (see ``docs/SERVE.md``): every request has a
+deadline; overload sheds with 429 + ``Retry-After`` instead of queueing;
+engine faults surface as structured error envelopes (never tracebacks)
+and feed a circuit breaker; SIGTERM/SIGINT drain in-flight work before
+exit; and a chaos :class:`FaultPlan` can be mounted inside the server so
+all of it is provable end-to-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import telemetry
+from repro.kernels.registry import get_kernel
+from repro.machine import catalog
+from repro.resilience import chaos
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import FailurePolicy, RetrySpec
+from repro.serve import http
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.coalescer import (
+    Coalescer,
+    CoalescerConfig,
+    EngineState,
+    PredictJob,
+)
+from repro.serve.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    NotFound,
+    ServeError,
+    Shed,
+    Unavailable,
+    internal_error,
+)
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.util.errors import ConfigError, ReproError
+
+#: Upper bound on one ``/sweep`` request's grid (points x kernels).
+MAX_SWEEP_CELLS = 512
+
+
+@dataclass
+class ServeConfig:
+    """Everything the service can be tuned with (CLI ``repro serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    #: Admission watermark: in-flight requests beyond this are shed.
+    max_inflight: int = 64
+    base_retry_after_ms: int = 100
+    #: Applied when a request carries no ``deadline_ms`` of its own.
+    default_deadline_ms: float = 2000.0
+    max_deadline_ms: float = 60_000.0
+    #: Coalescing window and batch cap for ``/predict``.
+    batch_window_ms: float = 2.0
+    max_batch: int = 64
+    #: Circuit breaker tuning.
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 1.0
+    half_open_probes: int = 1
+    #: Engine-side failure policy for coalesced batches.
+    on_failure: str = "retry"
+    retries: int = 2
+    backoff_base_s: float = 0.0
+    jitter: float = 1.0
+    #: Worker threads running the (NumPy-heavy, GIL-releasing) engine.
+    engine_workers: int = 2
+    drain_timeout_s: float = 10.0
+    idle_timeout_s: float = 30.0
+    #: Chaos plan mounted for the server's lifetime (CI smoke tests).
+    fault_plan: FaultPlan | None = None
+
+    def retry_spec(self) -> RetrySpec:
+        return RetrySpec(
+            max_retries=self.retries,
+            backoff_base_s=self.backoff_base_s,
+            jitter=self.jitter,
+        )
+
+
+@dataclass
+class _RequestOutcome:
+    """One handler's response triple."""
+
+    status: int
+    body: bytes
+    headers: dict[str, str] = field(default_factory=dict)
+    content_type: str = "application/json"
+
+
+def _error_outcome(exc: ServeError) -> _RequestOutcome:
+    headers = {}
+    if exc.retry_after_ms is not None:
+        # Retry-After is whole seconds in HTTP; round up so "50 ms"
+        # never becomes "0".
+        headers["Retry-After"] = str(max(1, -(-exc.retry_after_ms // 1000)))
+    return _RequestOutcome(
+        status=exc.status,
+        body=http.json_body(exc.envelope()),
+        headers=headers,
+    )
+
+
+class PredictionServer:
+    """One serving process: sockets, queues, breaker, caches, drain."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.state = EngineState()
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            base_retry_after_ms=self.config.base_retry_after_ms,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            half_open_probes=self.config.half_open_probes,
+            on_transition=self._on_breaker_transition,
+        )
+        self.latency = telemetry.LatencyWindow()
+        self._cpus = dict(catalog.all_cpus())
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._coalescer: Coalescer | None = None
+        self._draining = False
+        self._started = False
+        self._chaos_cm = None
+        self._previous_telemetry: tuple | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.port: int | None = None
+        self.final_summary: telemetry.TelemetrySummary | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the batching loop."""
+        if self._started:
+            raise ConfigError("server already started")
+        self._started = True
+        self._draining = False
+        # The server owns a telemetry session for its whole lifetime:
+        # the metrics registry *is* the ops surface (/metrics).
+        self._previous_telemetry = telemetry.install(
+            telemetry.TraceRecorder(), telemetry.MetricsRegistry()
+        )
+        if self.config.fault_plan is not None:
+            self._chaos_cm = chaos.inject_faults(self.config.fault_plan)
+            self._chaos_cm.__enter__()
+        # The chaos module's attempt counters are shared global state;
+        # a single engine worker keeps fault injection deterministic,
+        # mirroring the sweep's forced-serial rule.
+        workers = (
+            1 if self.config.fault_plan is not None
+            else max(1, self.config.engine_workers)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._coalescer = Coalescer(
+            self.state,
+            self._executor,
+            CoalescerConfig(
+                max_batch=self.config.max_batch,
+                window_s=self.config.batch_window_ms / 1000.0,
+                policy=FailurePolicy.from_label(self.config.on_failure),
+                retry=self.config.retry_spec(),
+            ),
+            breaker=self.breaker,
+        )
+        self._coalescer.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        reg = telemetry.metrics()
+        reg.gauge("serve.breaker_state").set(self.breaker.state.code)
+        reg.gauge("serve.draining").set(0)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, flush in-flight batches,
+        emit final telemetry. Idempotent."""
+        if not self._started:
+            return
+        self._draining = True
+        telemetry.metrics().gauge("serve.draining").set(1)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let in-flight requests finish inside the drain budget.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout_s
+        while not self.admission.idle() and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self._coalescer is not None:
+            await self._coalescer.stop(drain=True)
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections),
+                                 return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._refresh_gauges()
+        self.final_summary = telemetry.TelemetrySummary.capture(
+            telemetry.recorder(), telemetry.metrics()
+        )
+        if self._chaos_cm is not None:
+            self._chaos_cm.__exit__(None, None, None)
+            self._chaos_cm = None
+        if self._previous_telemetry is not None:
+            telemetry.install(*self._previous_telemetry)
+            self._previous_telemetry = None
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _on_breaker_transition(
+        self, frm: BreakerState, to: BreakerState
+    ) -> None:
+        reg = telemetry.metrics()
+        reg.gauge("serve.breaker_state").set(to.code)
+        reg.counter("serve.breaker_transitions").inc()
+
+    def _refresh_gauges(self) -> None:
+        """Publish the point-in-time gauges (queue depth, breaker state,
+        latency percentiles, cache hit rate) — called on /metrics and at
+        drain so exports are current."""
+        reg = telemetry.metrics()
+        reg.gauge("serve.queue_depth").set(self.admission.depth)
+        reg.gauge("serve.breaker_state").set(self.breaker.state.code)
+        reg.gauge("serve.draining").set(1 if self._draining else 0)
+        p50 = self.latency.percentile(50)
+        p99 = self.latency.percentile(99)
+        if p50 is not None:
+            reg.gauge("serve.latency_p50_ms").set(round(p50 * 1e3, 3))
+        if p99 is not None:
+            reg.gauge("serve.latency_p99_ms").set(round(p99 * 1e3, 3))
+        hit_rate = self.state.aggregate_hit_rate()
+        if hit_rate is not None:
+            reg.gauge("serve.cache_hit_rate").set(round(hit_rate, 6))
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except Exception:
+            # Connection-level surprises must never escape the task
+            # (an unhandled exception here is exactly what the CI smoke
+            # asserts cannot happen).
+            telemetry.metrics().counter("serve.unhandled_errors").inc()
+        finally:
+            # Swallow CancelledError too: a drain cancels connection
+            # tasks, and a task that *ends* cancelled makes asyncio's
+            # streams callback re-raise into the event loop's exception
+            # handler — exactly the unhandled-error noise the smoke
+            # test asserts cannot happen.
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    http.read_request(reader),
+                    timeout=self.config.idle_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                return
+            except BadRequest as exc:
+                outcome = _error_outcome(exc)
+                http.write_response(
+                    writer, outcome.status, outcome.body, keep_alive=False
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            outcome = await self._dispatch(request)
+            keep_alive = request.keep_alive and not self._draining
+            http.write_response(
+                writer,
+                outcome.status,
+                outcome.body,
+                content_type=outcome.content_type,
+                keep_alive=keep_alive,
+                extra_headers=outcome.headers,
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _dispatch(self, request: http.HttpRequest) -> _RequestOutcome:
+        reg = telemetry.metrics()
+        reg.counter("serve.requests").inc()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            outcome = await self._route(request)
+        except ServeError as exc:
+            reg.counter(f"serve.errors.{exc.code}").inc()
+            outcome = _error_outcome(exc)
+        except ReproError as exc:
+            # Engine/config errors that slipped past a handler still
+            # become structured envelopes, never tracebacks.
+            reg.counter("serve.errors.engine_fault").inc()
+            outcome = _error_outcome(BadRequest(str(exc)))
+        except Exception:
+            reg.counter("serve.unhandled_errors").inc()
+            outcome = _error_outcome(internal_error())
+        self.latency.observe(loop.time() - started)
+        reg.counter(f"serve.responses.{outcome.status // 100}xx").inc()
+        return outcome
+
+    async def _route(self, request: http.HttpRequest) -> _RequestOutcome:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return _RequestOutcome(200, http.json_body({"status": "ok"}))
+        if route == ("GET", "/readyz"):
+            return self._readyz()
+        if route == ("GET", "/metrics"):
+            self._refresh_gauges()
+            dump = telemetry.metrics().snapshot().render()
+            return _RequestOutcome(
+                200, dump.encode("utf-8") + b"\n",
+                content_type="text/plain; charset=utf-8",
+            )
+        if route == ("POST", "/predict"):
+            return await self._predict(request.json())
+        if route == ("POST", "/sweep"):
+            return await self._sweep(request.json())
+        if route == ("POST", "/explain"):
+            return await self._explain(request.json())
+        if request.path in (
+            "/predict", "/sweep", "/explain", "/healthz", "/readyz",
+            "/metrics",
+        ):
+            raise BadRequest(
+                f"method {request.method} not supported on {request.path}"
+            )
+        raise NotFound(f"no route {request.path!r}")
+
+    def _readyz(self) -> _RequestOutcome:
+        if self._draining:
+            raise Unavailable(
+                "draining for shutdown",
+                retry_after_ms=int(self.config.drain_timeout_s * 1000),
+            )
+        state = self.breaker.state
+        if state is BreakerState.OPEN:
+            raise Unavailable(
+                "engine circuit breaker is open",
+                retry_after_ms=self.breaker.retry_after_ms(),
+                details={"breaker_state": state.value},
+            )
+        return _RequestOutcome(
+            200,
+            http.json_body(
+                {"status": "ready", "breaker": state.value}
+            ),
+        )
+
+    # -- request parsing ---------------------------------------------------
+
+    def _resolve_cpu(self, body: dict[str, Any]):
+        name = body.get("cpu", "sg2042")
+        if not isinstance(name, str):
+            raise BadRequest("'cpu' must be a machine name string")
+        cpu = self._cpus.get(name)
+        if cpu is None:
+            raise NotFound(
+                f"unknown machine {name!r}; known: {sorted(self._cpus)}"
+            )
+        return cpu
+
+    def _resolve_kernel(self, name: Any):
+        if not isinstance(name, str) or not name:
+            raise BadRequest("'kernel' must be a kernel name string")
+        try:
+            return get_kernel(name)
+        except ReproError as exc:
+            raise NotFound(str(exc))
+
+    def _resolve_config(self, body: dict[str, Any]) -> RunConfig:
+        try:
+            return RunConfig(
+                threads=int(body.get("threads", 1)),
+                placement=str(body.get("placement", "block")),
+                precision=str(body.get("precision", "fp64")),
+                vectorize=bool(body.get("vectorize", True)),
+                compiler=body.get("compiler"),
+                rollback=bool(body.get("rollback", False)),
+                # Serving is deterministic: one run, exact model output.
+                runs=1,
+                noise_sigma=0.0,
+            )
+        except (ConfigError, ValueError, TypeError) as exc:
+            raise BadRequest(f"invalid configuration: {exc}")
+
+    def _deadline_s(self, body: dict[str, Any]) -> float:
+        raw = body.get("deadline_ms", self.config.default_deadline_ms)
+        try:
+            deadline_ms = float(raw)
+        except (TypeError, ValueError):
+            raise BadRequest(f"'deadline_ms' must be a number, got {raw!r}")
+        if deadline_ms <= 0:
+            raise BadRequest("'deadline_ms' must be positive")
+        return min(deadline_ms, self.config.max_deadline_ms) / 1000.0
+
+    def _admit(self) -> None:
+        """Common gate: drain state, breaker, admission watermark."""
+        if self._draining:
+            raise Unavailable("draining for shutdown")
+        if not self.breaker.allow():
+            raise Unavailable(
+                "engine circuit breaker is open",
+                retry_after_ms=self.breaker.retry_after_ms(),
+                details={"breaker_state": self.breaker.state.value},
+            )
+        if not self.admission.try_acquire():
+            telemetry.metrics().counter("serve.shed").inc()
+            raise Shed(
+                f"service is over its in-flight watermark "
+                f"({self.admission.max_inflight})",
+                retry_after_ms=self.admission.retry_after_ms(),
+            )
+        telemetry.metrics().gauge("serve.queue_depth").set(
+            self.admission.depth
+        )
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _predict(self, body: dict[str, Any]) -> _RequestOutcome:
+        kernel = self._resolve_kernel(body.get("kernel"))
+        cpu = self._resolve_cpu(body)
+        config = self._resolve_config(body)
+        deadline_s = self._deadline_s(body)
+        self._admit()
+        loop = asyncio.get_running_loop()
+        try:
+            job = PredictJob(
+                kernel=kernel,
+                cpu=cpu,
+                config=config,
+                future=loop.create_future(),
+                deadline=loop.time() + deadline_s,
+            )
+            await self._coalescer.submit(job)
+            try:
+                run = await asyncio.wait_for(job.future, timeout=deadline_s)
+            except asyncio.TimeoutError:
+                telemetry.metrics().counter("serve.deadline_exceeded").inc()
+                raise DeadlineExceeded(
+                    f"{kernel.name}: no result within "
+                    f"{deadline_s * 1000:.0f} ms"
+                )
+        finally:
+            self.admission.release()
+        payload = {
+            "kernel": run.kernel_name,
+            "cpu": cpu.name,
+            "threads": config.threads,
+            "placement": config.placement.value,
+            "precision": config.precision.label,
+            "seconds": run.seconds,
+            "serving_level": run.prediction.serving_level,
+            "bound": run.prediction.bound,
+            "vector_executed": run.prediction.vector_executed,
+            "attempts": run.attempts,
+        }
+        return _RequestOutcome(200, http.json_body(payload))
+
+    async def _sweep(self, body: dict[str, Any]) -> _RequestOutcome:
+        from repro.suite.sweep import sweep
+
+        cpu = self._resolve_cpu(body)
+        kernels = [
+            self._resolve_kernel(name)
+            for name in self._str_list(body, "kernels", ["TRIAD"])
+        ]
+        try:
+            threads = [int(t) for t in body.get("threads", [1])]
+            placements = [
+                Placement.from_label(p)
+                for p in self._str_list(body, "placements", ["block"])
+            ]
+            precisions = [
+                Precision.from_label(p)
+                for p in self._str_list(body, "precisions", ["fp64"])
+            ]
+        except (ConfigError, ValueError, TypeError) as exc:
+            raise BadRequest(f"invalid sweep axes: {exc}")
+        cells = (
+            len(threads) * len(placements) * len(precisions) * len(kernels)
+        )
+        if cells > MAX_SWEEP_CELLS:
+            raise BadRequest(
+                f"sweep grid has {cells} cells; the service caps at "
+                f"{MAX_SWEEP_CELLS}"
+            )
+        deadline_s = self._deadline_s(body)
+        self._admit()
+        loop = asyncio.get_running_loop()
+        try:
+            work = loop.run_in_executor(
+                self._executor,
+                lambda: sweep(
+                    cpu, kernels, threads, placements, precisions,
+                    runs=1, noise_sigma=0.0,
+                    policy=FailurePolicy.from_label(self.config.on_failure),
+                    retry=self.config.retry_spec(),
+                    caches=self.state.caches_for(cpu),
+                ),
+            )
+            try:
+                result = await asyncio.wait_for(work, timeout=deadline_s)
+            except asyncio.TimeoutError:
+                telemetry.metrics().counter("serve.deadline_exceeded").inc()
+                raise DeadlineExceeded(
+                    f"sweep did not finish within "
+                    f"{deadline_s * 1000:.0f} ms"
+                )
+            except ReproError as exc:
+                self.breaker.record_failure()
+                telemetry.metrics().counter("serve.engine_faults").inc()
+                from repro.serve.errors import EngineFault
+
+                raise EngineFault.from_exception(exc)
+            self.breaker.record_success()
+        finally:
+            self.admission.release()
+        payload = {
+            "cpu": cpu.name,
+            "points": [
+                {
+                    "kernel": p.kernel,
+                    "threads": p.threads,
+                    "placement": p.placement.value,
+                    "precision": p.precision.label,
+                    "seconds": p.seconds,
+                }
+                for p in result.points
+            ],
+            "failures": [
+                {
+                    "kernel": f.kernel,
+                    "threads": f.threads,
+                    "placement": f.placement.value,
+                    "precision": f.precision.label,
+                    "error_type": f.error_type,
+                    "message": f.message,
+                    "attempts": f.attempts,
+                }
+                for f in result.failures
+            ],
+        }
+        return _RequestOutcome(200, http.json_body(payload))
+
+    async def _explain(self, body: dict[str, Any]) -> _RequestOutcome:
+        from repro.suite.explain import explain_kernel
+
+        kernel = self._resolve_kernel(body.get("kernel"))
+        cpu = self._resolve_cpu(body)
+        deadline_s = self._deadline_s(body)
+        self._admit()
+        loop = asyncio.get_running_loop()
+        try:
+            work = loop.run_in_executor(
+                self._executor,
+                lambda: explain_kernel(kernel.name, cpu),
+            )
+            try:
+                text = await asyncio.wait_for(work, timeout=deadline_s)
+            except asyncio.TimeoutError:
+                telemetry.metrics().counter("serve.deadline_exceeded").inc()
+                raise DeadlineExceeded(
+                    f"explain did not finish within "
+                    f"{deadline_s * 1000:.0f} ms"
+                )
+        finally:
+            self.admission.release()
+        return _RequestOutcome(
+            200,
+            http.json_body({"kernel": kernel.name, "explanation": text}),
+        )
+
+    @staticmethod
+    def _str_list(
+        body: dict[str, Any], key: str, default: list[str]
+    ) -> list[str]:
+        value = body.get(key, default)
+        if not isinstance(value, list) or not all(
+            isinstance(v, str) for v in value
+        ):
+            raise BadRequest(f"{key!r} must be a list of strings")
+        if not value:
+            raise BadRequest(f"{key!r} must be non-empty")
+        return value
+
+
+async def serve_forever(config: ServeConfig | None = None) -> int:
+    """Run a :class:`PredictionServer` until SIGINT/SIGTERM, then drain.
+
+    The CLI entry point. Prints the bound address on stderr (so scripts
+    and the smoke tests can discover an ephemeral port) and the final
+    telemetry summary after a clean drain.
+    """
+    import signal
+
+    server = PredictionServer(config)
+    await server.start()
+    print(
+        f"serving on http://{server.config.host}:{server.port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+    try:
+        await stop.wait()
+    finally:
+        print("draining...", file=sys.stderr, flush=True)
+        await server.drain()
+        if server.final_summary is not None:
+            print(server.final_summary.render(), file=sys.stderr,
+                  flush=True)
+        print("drain complete", file=sys.stderr, flush=True)
+    return 0

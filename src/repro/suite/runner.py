@@ -747,6 +747,7 @@ def run_suite(
                             ),
                             backoff_factor=spec.backoff_factor,
                             deadline_s=spec.deadline_s,
+                            jitter=spec.jitter,
                         ),
                     )
                     retry_span.set(attempts=engine_attempts + 1)

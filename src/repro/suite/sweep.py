@@ -25,6 +25,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import (
     dataclass,
     field,
@@ -615,12 +616,54 @@ def _run_sweep(
             # Collect in submission (= grid) order: deterministic
             # result assembly and checkpoint writes regardless of
             # which worker finishes first.
-            for gp, future in zip(grid, futures):
+            pool_broken = False
+            for index, (gp, future) in enumerate(zip(grid, futures)):
                 if future is None:
                     collect(gp, None, None)
                     continue
+                if pool_broken:
+                    # The pool is gone; every pending future holds the
+                    # same BrokenProcessPool. Degrade to in-process
+                    # execution for the rest of the grid (identical
+                    # results — workers change nothing but wall time).
+                    try:
+                        result = run_point(index, gp)
+                    except ReproError as exc:
+                        if policy is FailurePolicy.ABORT:
+                            raise
+                        collect(gp, None, exc)
+                        continue
+                    collect(gp, result, None)
+                    continue
                 try:
                     result = _absorb_worker(future.result())
+                except BrokenProcessPool as exc:
+                    # A worker process died (OOM-killed, segfaulted).
+                    # That is an infrastructure failure, not a kernel
+                    # failure: record it as an explicit configuration-
+                    # level FailureRecord for this point — under every
+                    # policy, a raw BrokenProcessPool traceback is never
+                    # the sweep's answer — and fall back in-process for
+                    # the remaining grid points.
+                    pool_broken = True
+                    failures.append(
+                        _sweep_failure(
+                            cpu.name, gp.threads, gp.placement,
+                            gp.precision,
+                            FailureRecord(
+                                kernel="*",
+                                error_type=type(exc).__name__,
+                                message=(
+                                    "process pool crashed while running "
+                                    "this grid point; remaining points "
+                                    "fell back to in-process execution"
+                                ),
+                                attempts=1,
+                            ),
+                        )
+                    )
+                    collect(gp, None, None)
+                    continue
                 except ReproError as exc:
                     if policy is FailurePolicy.ABORT:
                         for pending in futures:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.telemetry.metrics import (
     NULL_METRICS,
     HistogramStat,
+    LatencyWindow,
     MetricsRegistry,
     MetricsSnapshot,
     NullMetrics,
@@ -52,6 +53,7 @@ from repro.telemetry.spans import (
 __all__ = [
     "DEFAULT_MAX_SPANS",
     "HistogramStat",
+    "LatencyWindow",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NullMetrics",

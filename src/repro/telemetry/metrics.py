@@ -146,6 +146,58 @@ class Histogram:
             self._total += stat.total
 
 
+class LatencyWindow:
+    """Bounded ring of recent observations with percentile queries.
+
+    The streaming :class:`Histogram` keeps count/total/min/max — enough
+    for rates and means, not for tail latency. A ``LatencyWindow`` keeps
+    the last ``maxlen`` raw observations (a ring buffer, so memory is
+    bounded under sustained load) and answers percentile queries over
+    that window by nearest-rank on a sorted snapshot. The serving layer
+    publishes ``serve.latency_p50_ms`` / ``serve.latency_p99_ms`` gauges
+    from one of these.
+    """
+
+    __slots__ = ("_lock", "_ring", "_maxlen", "_next", "_count")
+
+    def __init__(self, maxlen: int = 2048) -> None:
+        if maxlen < 1:
+            raise ConfigError(f"maxlen must be >= 1, got {maxlen}")
+        self._lock = threading.Lock()
+        self._ring: list[float] = []
+        self._maxlen = maxlen
+        self._next = 0
+        self._count = 0
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        with self._lock:
+            if len(self._ring) < self._maxlen:
+                self._ring.append(value)
+            else:
+                self._ring[self._next] = value
+                self._next = (self._next + 1) % self._maxlen
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations ever made (not just those retained)."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the window;
+        ``None`` before the first observation."""
+        if not 0 <= q <= 100:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._ring:
+                return None
+            ordered = sorted(self._ring)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+
 @dataclass(frozen=True)
 class MetricsSnapshot:
     """Point-in-time, picklable view of a registry's instruments."""

@@ -191,3 +191,71 @@ class TestSweepResume:
         # Resume without the faults: everything recomputes cleanly.
         resumed = run_grid(sg2042, checkpoint=path)
         assert len(resumed.points) == 6
+
+
+class TestCrashSafety:
+    def test_header_written_atomically_no_temp_left(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        SweepCheckpoint(path, grid_hash=1)
+        assert path.exists()
+        assert not (tmp_path / "ck.jsonl.tmp").exists()
+
+    def test_valid_json_final_line_missing_fields_tolerated(
+        self, tmp_path
+    ):
+        """A final line can tear *within* valid JSON (flushed through a
+        page boundary): parseable but missing point fields. Resume must
+        recompute that point, not fail."""
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        ck.record({"threads": 1, "placement": "cluster",
+                   "precision": "fp32", "kernel": "TRIAD",
+                   "seconds": 0.5})
+        with path.open("a") as fh:
+            fh.write('{"threads": 8}\n')
+        again = SweepCheckpoint(path, grid_hash=1)
+        assert len(again) == 1
+        assert again.has(point_key(1, "cluster", "fp32", "TRIAD"))
+
+    def test_interior_line_missing_fields_still_rejected(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        good = json.dumps({"threads": 1, "placement": "cluster",
+                           "precision": "fp32", "kernel": "TRIAD",
+                           "seconds": 0.5})
+        with path.open("a") as fh:
+            fh.write('{"threads": 8}\n')
+            fh.write(good + "\n")
+        with pytest.raises(CheckpointError, match="missing"):
+            SweepCheckpoint(path, grid_hash=1)
+
+    def test_resume_after_torn_tail_recomputes_only_that_point(
+        self, sg2042, tmp_path
+    ):
+        path = tmp_path / "sweep.jsonl"
+        clean = run_grid(sg2042)
+        run_grid(sg2042, checkpoint=path)
+        # Simulate a mid-write kill: tear the final record.
+        lines = path.read_text().splitlines()
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        path.write_text(torn)
+        resumed = run_grid(sg2042, checkpoint=path)
+        assert [
+            (p.kernel, p.threads, p.seconds) for p in resumed.points
+        ] == [
+            (p.kernel, p.threads, p.seconds) for p in clean.points
+        ]
+        # The file healed: every line after the header is complete JSON.
+        for line in path.read_text().splitlines()[1:]:
+            json.loads(line)
+
+    def test_record_survives_reload_after_every_append(self, tmp_path):
+        """Each record() is durable on its own: reloading after every
+        single append sees everything written so far."""
+        path = tmp_path / "ck.jsonl"
+        ck = SweepCheckpoint(path, grid_hash=1)
+        for index, kernel in enumerate(("TRIAD", "GEMM", "DOT")):
+            ck.record({"threads": 1, "placement": "cluster",
+                       "precision": "fp32", "kernel": kernel,
+                       "seconds": float(index)})
+            assert len(SweepCheckpoint(path, grid_hash=1)) == index + 1

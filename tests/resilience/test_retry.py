@@ -138,3 +138,82 @@ class TestFailureRecord:
             "GEMM", ConfigError("bad"), 1
         )
         assert record.site is None
+
+
+class TestJitter:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetrySpec(jitter=-0.1)
+        with pytest.raises(ConfigError):
+            RetrySpec(jitter=1.5)
+
+    def test_zero_jitter_keeps_the_deterministic_schedule(self):
+        spec = RetrySpec(backoff_base_s=0.1, backoff_factor=2.0)
+        assert spec.backoff_seconds(2) == pytest.approx(0.2)
+
+    def test_full_jitter_stays_inside_the_envelope(self):
+        import random
+
+        spec = RetrySpec(backoff_base_s=0.1, backoff_factor=2.0,
+                         jitter=1.0)
+        rng = random.Random(1234)
+        for retry_index in (1, 2, 3):
+            envelope = 0.1 * 2.0 ** (retry_index - 1)
+            for _ in range(200):
+                pause = spec.backoff_seconds(retry_index, rng=rng)
+                assert 0.0 <= pause <= envelope
+
+    def test_partial_jitter_randomizes_only_the_tail(self):
+        import random
+
+        spec = RetrySpec(backoff_base_s=1.0, jitter=0.25)
+        rng = random.Random(7)
+        for _ in range(200):
+            pause = spec.backoff_seconds(1, rng=rng)
+            assert 0.75 <= pause <= 1.0
+
+    def test_pinned_seed_is_deterministic(self):
+        import random
+
+        spec = RetrySpec(backoff_base_s=0.1, jitter=1.0)
+        draws_a = [
+            spec.backoff_seconds(i, rng=random.Random(99))
+            for i in (1, 2, 3)
+        ]
+        draws_b = [
+            spec.backoff_seconds(i, rng=random.Random(99))
+            for i in (1, 2, 3)
+        ]
+        assert draws_a == draws_b
+
+    def test_jitter_actually_varies_the_schedule(self):
+        import random
+
+        spec = RetrySpec(backoff_base_s=0.1, jitter=1.0)
+        rng = random.Random(5)
+        draws = {spec.backoff_seconds(1, rng=rng) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_zero_base_never_sleeps_even_with_jitter(self):
+        spec = RetrySpec(backoff_base_s=0.0, jitter=1.0)
+        assert spec.backoff_seconds(1) == 0.0
+
+    def test_call_with_retry_threads_the_rng_through(self):
+        import random
+
+        sleeps = []
+        spec = RetrySpec(max_retries=2, backoff_base_s=0.1, jitter=1.0)
+        call_with_retry(
+            Flaky(2), spec,
+            sleep=sleeps.append, rng=random.Random(42),
+        )
+        expected_rng = random.Random(42)
+        expected = [
+            spec.backoff_seconds(i, rng=expected_rng) for i in (1, 2)
+        ]
+        assert sleeps == expected
+
+    def test_module_rng_used_when_none_given(self):
+        spec = RetrySpec(backoff_base_s=0.1, jitter=1.0)
+        pause = spec.backoff_seconds(1)
+        assert 0.0 <= pause <= 0.1

@@ -1,0 +1,55 @@
+"""Admission control: bounded in-flight budget, shedding, hints."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController
+from repro.util.errors import ConfigError
+
+
+class TestAdmission:
+    def test_admits_up_to_watermark(self):
+        adm = AdmissionController(max_inflight=3)
+        assert all(adm.try_acquire() for _ in range(3))
+        assert adm.depth == 3
+        assert not adm.try_acquire()
+        assert adm.shed_count == 1
+
+    def test_release_frees_a_slot(self):
+        adm = AdmissionController(max_inflight=1)
+        assert adm.try_acquire()
+        assert not adm.try_acquire()
+        adm.release()
+        assert adm.try_acquire()
+        assert adm.admitted_count == 2
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(ConfigError):
+            AdmissionController().release()
+
+    def test_idle(self):
+        adm = AdmissionController()
+        assert adm.idle()
+        adm.try_acquire()
+        assert not adm.idle()
+        adm.release()
+        assert adm.idle()
+
+    def test_retry_after_grows_with_the_shed_streak(self):
+        adm = AdmissionController(max_inflight=2,
+                                  base_retry_after_ms=100)
+        assert adm.retry_after_ms() == 100  # idle: the base hint
+        adm.try_acquire()
+        adm.try_acquire()
+        adm.try_acquire()  # shed #1
+        adm.try_acquire()  # shed #2
+        assert adm.retry_after_ms() == 200  # 100 * (1 + 2/2)
+        # An admitted request resets the streak (and the hint).
+        adm.release()
+        adm.try_acquire()
+        assert adm.retry_after_ms() == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(base_retry_after_ms=0)

@@ -1,0 +1,145 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.util.errors import ConfigError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(clock, threshold=3, cooldown=10.0, probes=1, on_transition=None):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_s=cooldown,
+        half_open_probes=probes,
+        clock=clock,
+        on_transition=on_transition,
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make(FakeClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make(FakeClock(), threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_after_consecutive_failures(self):
+        breaker = make(FakeClock(), threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+
+class TestHalfOpen:
+    def test_half_opens_after_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_probe_budget_is_bounded(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0, probes=2)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots taken
+
+    def test_abandoned_probes_are_reclaimed(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()      # probe whose outcome never arrives
+        assert not breaker.allow()
+        clock.advance(10.0)         # a full cooldown later...
+        assert breaker.allow()      # ...the slot frees itself
+
+    def test_full_cycle_transitions_recorded(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == (
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        )
+
+
+class TestPlumbing:
+    def test_on_transition_gets_both_states(self):
+        clock = FakeClock()
+        seen = []
+        breaker = make(
+            clock, threshold=1,
+            on_transition=lambda frm, to: seen.append((frm, to)),
+        )
+        breaker.record_failure()
+        assert seen == [(BreakerState.CLOSED, BreakerState.OPEN)]
+
+    def test_retry_after_tracks_remaining_cooldown(self):
+        clock = FakeClock()
+        breaker = make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        assert breaker.retry_after_ms() == 6000
+
+    def test_state_codes_for_the_gauge(self):
+        assert BreakerState.CLOSED.code == 0
+        assert BreakerState.HALF_OPEN.code == 1
+        assert BreakerState.OPEN.code == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown_s=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(half_open_probes=0)

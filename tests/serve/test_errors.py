@@ -1,0 +1,113 @@
+"""Error envelopes: codes, statuses, retryability, no leaked internals."""
+
+import json
+
+import pytest
+
+from repro.resilience.retry import FailureRecord
+from repro.serve.errors import (
+    STATUS_BY_CODE,
+    BadRequest,
+    DeadlineExceeded,
+    EngineFault,
+    NotFound,
+    ServeError,
+    Shed,
+    Unavailable,
+    internal_error,
+)
+from repro.util.errors import ReproError
+
+
+ALL_ERRORS = [BadRequest, NotFound, Shed, Unavailable,
+              DeadlineExceeded, EngineFault]
+
+
+class TestEnvelope:
+    def test_every_code_has_a_status(self):
+        for cls in ALL_ERRORS:
+            assert cls.code in STATUS_BY_CODE
+            assert cls("x").status == STATUS_BY_CODE[cls.code]
+
+    def test_statuses(self):
+        assert BadRequest("x").status == 400
+        assert NotFound("x").status == 404
+        assert Shed("x").status == 429
+        assert EngineFault("x").status == 500
+        assert Unavailable("x").status == 503
+        assert DeadlineExceeded("x").status == 504
+
+    def test_envelope_shape(self):
+        exc = Shed("over watermark", retry_after_ms=250,
+                   details={"depth": 64})
+        env = exc.envelope()
+        assert env == {"error": {
+            "code": "shed",
+            "message": "over watermark",
+            "retryable": True,
+            "retry_after_ms": 250,
+            "details": {"depth": 64},
+        }}
+
+    def test_minimal_envelope_omits_optional_fields(self):
+        env = BadRequest("nope").envelope()
+        assert set(env["error"]) == {"code", "message", "retryable"}
+
+    def test_envelopes_are_json_serializable(self):
+        for cls in ALL_ERRORS:
+            json.dumps(cls("msg").envelope())
+
+    def test_retryability_split(self):
+        retryable = {Shed, Unavailable, DeadlineExceeded, EngineFault}
+        for cls in ALL_ERRORS:
+            assert cls.retryable is (cls in retryable)
+
+    def test_serve_errors_are_repro_errors(self):
+        for cls in ALL_ERRORS:
+            assert issubclass(cls, ServeError)
+            assert issubclass(cls, ReproError)
+
+
+class TestEngineFault:
+    def test_from_failure_carries_summary(self):
+        record = FailureRecord(
+            kernel="TRIAD", error_type="TransientError",
+            message="flake", attempts=3, site="run",
+        )
+        exc = EngineFault.from_failure(record)
+        assert "TRIAD" in str(exc)
+        assert exc.details == {
+            "error_type": "TransientError",
+            "attempts": 3,
+            "fault_site": "run",
+        }
+
+    def test_from_failure_without_site(self):
+        record = FailureRecord(
+            kernel="GEMM", error_type="SimulationError",
+            message="boom", attempts=1,
+        )
+        assert "fault_site" not in EngineFault.from_failure(record).details
+
+    def test_from_exception(self):
+        exc = EngineFault.from_exception(ValueError("bad"))
+        assert exc.details["error_type"] == "ValueError"
+        assert "bad" in str(exc)
+
+    def test_internal_error_leaks_nothing(self):
+        exc = internal_error()
+        env = exc.envelope()
+        assert env["error"]["message"] == "internal error"
+        assert env["error"]["details"] == {"error_type": "internal"}
+
+
+class TestRetryAfter:
+    def test_default_none(self):
+        assert BadRequest("x").retry_after_ms is None
+
+    def test_envelope_carries_int(self):
+        exc = Unavailable("x", retry_after_ms=1500.0)
+        assert exc.envelope()["error"]["retry_after_ms"] == 1500
+        assert isinstance(
+            exc.envelope()["error"]["retry_after_ms"], int
+        )

@@ -1,0 +1,140 @@
+"""HTTP framing: parsing, limits, serialization."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.errors import BadRequest
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpRequest,
+    json_body,
+    read_request,
+    write_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_round_trip_with_body(self):
+        body = b'{"kernel":"TRIAD"}'
+        raw = (
+            b"POST /predict HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/predict"
+        assert request.headers["host"] == "x"
+        assert request.json() == {"kernel": "TRIAD"}
+
+    def test_no_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.body == b""
+        assert request.json() == {}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequest, match="malformed request line"):
+            parse(b"BANANAS\r\n\r\n")
+
+    def test_wrong_protocol(self):
+        with pytest.raises(BadRequest):
+            parse(b"GET / SPDY/3\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(BadRequest, match="malformed header"):
+            parse(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n")
+
+    def test_truncated_headers(self):
+        with pytest.raises(BadRequest):
+            parse(b"GET / HTTP/1.1\r\nHost: x\r\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(BadRequest, match="mid-body"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_invalid_content_length(self):
+        with pytest.raises(BadRequest, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+    def test_oversized_body_rejected_before_reading(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: "
+            + str(MAX_BODY_BYTES + 1).encode() + b"\r\n\r\n"
+        )
+        with pytest.raises(BadRequest, match="outside"):
+            parse(raw)
+
+    def test_chunked_rejected(self):
+        with pytest.raises(BadRequest, match="chunked"):
+            parse(b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+
+
+class TestHttpRequest:
+    def test_keep_alive_default(self):
+        assert HttpRequest("GET", "/").keep_alive
+
+    def test_connection_close(self):
+        request = HttpRequest("GET", "/",
+                              headers={"connection": "Close"})
+        assert not request.keep_alive
+
+    def test_json_rejects_non_object(self):
+        request = HttpRequest("POST", "/", body=b"[1,2]")
+        with pytest.raises(BadRequest, match="JSON object"):
+            request.json()
+
+    def test_json_rejects_garbage(self):
+        request = HttpRequest("POST", "/", body=b"{nope")
+        with pytest.raises(BadRequest, match="not valid JSON"):
+            request.json()
+
+
+class TestWriteResponse:
+    def _render(self, **kwargs):
+        class Sink:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, chunk):
+                self.data += chunk
+
+        sink = Sink()
+        write_response(sink, 200, b'{"ok":true}', **kwargs)
+        return sink.data
+
+    def test_status_line_and_framing(self):
+        data = self._render()
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 11" in head
+        assert body == b'{"ok":true}'
+
+    def test_keep_alive_header(self):
+        assert b"Connection: keep-alive" in self._render()
+        assert b"Connection: close" in self._render(keep_alive=False)
+
+    def test_extra_headers(self):
+        data = self._render(extra_headers={"Retry-After": "2"})
+        assert b"Retry-After: 2\r\n" in data
+
+    def test_json_body_is_compact(self):
+        payload = json_body({"a": 1, "b": [2, 3]})
+        assert payload == b'{"a":1,"b":[2,3]}'
+        assert json.loads(payload) == {"a": 1, "b": [2, 3]}

@@ -1,0 +1,441 @@
+"""End-to-end tests of the prediction service over real sockets."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.kernels.registry import get_kernel
+from repro.machine import catalog
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.serve import PredictionServer, ServeConfig
+from repro.suite.config import RunConfig
+from repro.suite.runner import run_suite
+
+from tests.serve.helpers import http_request, request_on
+
+
+def with_server(config, scenario):
+    """Start a server on an ephemeral port, run ``scenario(server)``,
+    always drain. Returns the scenario's result."""
+
+    async def main():
+        server = PredictionServer(config)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.drain()
+
+    return asyncio.run(main())
+
+
+def default_config(**overrides):
+    base = dict(port=0, drain_timeout_s=2.0)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestHealth:
+    def test_healthz_and_readyz(self):
+        async def scenario(server):
+            health = await http_request(server.port, "GET", "/healthz")
+            ready = await http_request(server.port, "GET", "/readyz")
+            return health, ready
+
+        health, ready = with_server(default_config(), scenario)
+        assert health[0] == 200 and health[2] == {"status": "ok"}
+        assert ready[0] == 200
+        assert ready[2]["breaker"] == "closed"
+
+    def test_unknown_route_404(self):
+        async def scenario(server):
+            return await http_request(server.port, "GET", "/nope")
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_wrong_method_400(self):
+        async def scenario(server):
+            return await http_request(server.port, "GET", "/predict")
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+
+class TestPredict:
+    def test_matches_direct_engine_output(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "GEMM", "threads": 16,
+                 "placement": "cluster", "precision": "fp32"},
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 200
+        direct = run_suite(
+            catalog.sg2042(),
+            RunConfig(threads=16, placement="cluster",
+                      precision="fp32", runs=1, noise_sigma=0.0),
+            kernels=[get_kernel("GEMM")],
+        ).runs["GEMM"]
+        assert body["seconds"] == direct.seconds
+        assert body["serving_level"] == direct.prediction.serving_level
+        assert body["bound"] == direct.prediction.bound
+        assert body["cpu"] == catalog.sg2042().name
+
+    def test_concurrent_requests_coalesce(self):
+        async def scenario(server):
+            results = await asyncio.gather(*[
+                http_request(server.port, "POST", "/predict",
+                             {"kernel": name, "threads": 8})
+                for name in ("TRIAD", "DAXPY", "GEMM", "DOT")
+            ])
+            metrics = await http_request(server.port, "GET", "/metrics")
+            return results, metrics
+
+        results, metrics = with_server(
+            default_config(batch_window_ms=30.0), scenario
+        )
+        assert all(status == 200 for status, _, _ in results)
+        text = metrics[2].decode()
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines() if " " in line
+        )
+        assert int(lines["counter serve.coalesced"]) >= 1
+        assert int(lines["counter serve.batches"]) < 4
+
+    def test_unknown_kernel_404(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/predict", {"kernel": "NOPE"}
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 404
+        assert "NOPE" in body["error"]["message"]
+
+    def test_invalid_config_400(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "TRIAD", "threads": -2},
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 400
+        assert body["error"]["retryable"] is False
+
+    def test_malformed_json_400(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/predict", raw_body=b"{nope",
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_microscopic_deadline_504(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "GEMM", "deadline_ms": 0.001},
+            )
+
+        status, _, body = with_server(
+            default_config(batch_window_ms=20.0), scenario
+        )
+        assert status == 504
+        assert body["error"]["code"] == "deadline_exceeded"
+        assert body["error"]["retryable"] is True
+
+
+class TestSweepAndExplain:
+    def test_sweep_long_format(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/sweep",
+                {"kernels": ["TRIAD", "DAXPY"], "threads": [1, 8],
+                 "placements": ["cluster"], "precisions": ["fp32"],
+                 "deadline_ms": 30000},
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 200
+        assert len(body["points"]) == 4
+        assert body["failures"] == []
+        kernels = {p["kernel"] for p in body["points"]}
+        assert kernels == {"TRIAD", "DAXPY"}
+
+    def test_oversized_sweep_rejected(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/sweep",
+                {"kernels": ["TRIAD"],
+                 "threads": list(range(1, 600)),
+                 "placements": ["cluster"], "precisions": ["fp32"]},
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 400
+        assert "caps" in body["error"]["message"]
+
+    def test_explain(self):
+        async def scenario(server):
+            return await http_request(
+                server.port, "POST", "/explain",
+                {"kernel": "TRIAD", "deadline_ms": 30000},
+            )
+
+        status, _, body = with_server(default_config(), scenario)
+        assert status == 200
+        assert body["kernel"] == "TRIAD"
+        assert "TRIAD" in body["explanation"]
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_retry_after(self):
+        """With a 1-request watermark and a wide batch window, a burst
+        must shed all but one request — with structured 429s."""
+
+        async def scenario(server):
+            return await asyncio.gather(*[
+                http_request(server.port, "POST", "/predict",
+                             {"kernel": "TRIAD", "deadline_ms": 5000})
+                for _ in range(6)
+            ])
+
+        results = with_server(
+            default_config(max_inflight=1, batch_window_ms=100.0),
+            scenario,
+        )
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses.count(200) >= 1
+        assert statuses.count(429) >= 1
+        assert set(statuses) <= {200, 429}
+        for status, headers, body in results:
+            if status == 429:
+                assert body["error"]["code"] == "shed"
+                assert body["error"]["retryable"] is True
+                assert int(headers["retry-after"]) >= 1
+
+    def test_keep_alive_connection_reuse(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            try:
+                first = await request_on(
+                    reader, writer, "GET", "/healthz"
+                )
+                second = await request_on(
+                    reader, writer, "POST", "/predict",
+                    {"kernel": "TRIAD"},
+                )
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            return first, second
+
+        first, second = with_server(default_config(), scenario)
+        assert first[0] == 200
+        assert second[0] == 200
+        assert second[2]["kernel"] == "TRIAD"
+
+
+class TestChaosAndBreaker:
+    def plan(self):
+        """Every TRIAD run attempt fails, other kernels are clean."""
+        return FaultPlan(seed=11, rules=(
+            FaultRule(site="run", probability=1.0,
+                      kernels=("TRIAD",)),
+        ))
+
+    def test_engine_fault_envelope_under_chaos(self):
+        async def scenario(server):
+            fault = await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "TRIAD", "deadline_ms": 10000},
+            )
+            clean = await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "DAXPY", "deadline_ms": 10000},
+            )
+            return fault, clean
+
+        fault, clean = with_server(
+            default_config(fault_plan=self.plan(), retries=1),
+            scenario,
+        )
+        assert fault[0] == 500
+        assert fault[2]["error"]["code"] == "engine_fault"
+        assert fault[2]["error"]["details"]["fault_site"] == "run"
+        assert "Traceback" not in str(fault[2])
+        assert clean[0] == 200
+
+    def test_breaker_opens_half_opens_and_closes(self):
+        """The satellite scenario: consecutive injected faults open the
+        breaker (503 + Retry-After), the cooldown half-opens it, and a
+        clean probe closes it again."""
+
+        async def scenario(server):
+            # 2 faulting requests (sequential: distinct batches) trip
+            # the threshold-2 breaker.
+            for _ in range(2):
+                status, _, body = await http_request(
+                    server.port, "POST", "/predict",
+                    {"kernel": "TRIAD", "deadline_ms": 10000},
+                )
+                assert status == 500, body
+            # OPEN: requests are refused before touching the engine,
+            # and readiness reports unavailable.
+            rejected = await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "DAXPY", "deadline_ms": 10000},
+            )
+            not_ready = await http_request(
+                server.port, "GET", "/readyz"
+            )
+            # Wait out the cooldown; the next clean request is the
+            # half-open probe and closes the breaker.
+            await asyncio.sleep(0.25)
+            probe = await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "DAXPY", "deadline_ms": 10000},
+            )
+            ready = await http_request(server.port, "GET", "/readyz")
+            return rejected, not_ready, probe, ready, server
+
+        rejected, not_ready, probe, ready, server = with_server(
+            default_config(
+                fault_plan=self.plan(), retries=0,
+                breaker_threshold=2, breaker_cooldown_s=0.2,
+            ),
+            scenario,
+        )
+        assert rejected[0] == 503
+        assert rejected[1]["retry-after"] >= "1"
+        assert rejected[2]["error"]["code"] == "unavailable"
+        assert not_ready[0] == 503
+        assert probe[0] == 200
+        assert ready[0] == 200
+        transitions = server.breaker.transitions
+        assert ("closed", "open") in transitions
+        assert ("open", "half_open") in transitions
+        assert ("half_open", "closed") in transitions
+
+    def test_no_unhandled_errors_under_chaos(self):
+        async def scenario(server):
+            await asyncio.gather(*[
+                http_request(
+                    server.port, "POST", "/predict",
+                    {"kernel": kernel, "deadline_ms": 10000},
+                )
+                for kernel in ("TRIAD", "DAXPY", "GEMM") * 3
+            ])
+            return server
+
+        server = with_server(
+            default_config(fault_plan=self.plan(), retries=0,
+                           breaker_threshold=50),
+            scenario,
+        )
+        counters = server.final_summary.counters
+        assert counters.get("serve.unhandled_errors", 0) == 0
+        assert counters.get("serve.engine_faults", 0) >= 1
+
+
+class TestMetricsAndDrain:
+    def test_metrics_exposes_the_ops_surface(self):
+        async def scenario(server):
+            for _ in range(3):
+                await http_request(
+                    server.port, "POST", "/predict",
+                    {"kernel": "TRIAD", "threads": 8},
+                )
+            status, _, raw = await http_request(
+                server.port, "GET", "/metrics"
+            )
+            return status, raw.decode()
+
+        status, text = with_server(default_config(), scenario)
+        assert status == 200
+        for metric in (
+            "counter serve.requests",
+            "counter serve.batches",
+            "gauge serve.queue_depth",
+            "gauge serve.breaker_state",
+            "gauge serve.latency_p50_ms",
+            "gauge serve.latency_p99_ms",
+            "gauge serve.cache_hit_rate",
+        ):
+            assert metric in text, f"{metric} missing from:\n{text}"
+
+    def test_repeat_traffic_reports_cache_hits(self):
+        async def scenario(server):
+            for _ in range(4):
+                await http_request(
+                    server.port, "POST", "/predict",
+                    {"kernel": "TRIAD", "threads": 8},
+                )
+            _, _, raw = await http_request(
+                server.port, "GET", "/metrics"
+            )
+            return raw.decode()
+
+        text = with_server(default_config(), scenario)
+        (rate_line,) = [
+            line for line in text.splitlines()
+            if "serve.cache_hit_rate" in line
+        ]
+        assert float(rate_line.rsplit(" ", 1)[1]) == pytest.approx(0.75)
+
+    def test_drain_rejects_new_work_and_captures_summary(self):
+        async def main():
+            server = PredictionServer(default_config())
+            await server.start()
+            port = server.port
+            ok = await http_request(port, "POST", "/predict",
+                                    {"kernel": "TRIAD"})
+            await server.drain()
+            # The socket is closed after drain: new connections fail.
+            with pytest.raises(OSError):
+                await http_request(port, "GET", "/healthz")
+            return ok, server
+
+        ok, server = asyncio.run(main())
+        assert ok[0] == 200
+        summary = server.final_summary
+        assert summary is not None
+        assert summary.counters.get("serve.requests") == 1
+        assert summary.counters.get("serve.unhandled_errors", 0) == 0
+        assert summary.gauges.get("serve.draining") == 1
+
+    def test_drain_is_idempotent(self):
+        async def main():
+            server = PredictionServer(default_config())
+            await server.start()
+            await server.drain()
+            await server.drain()
+
+        asyncio.run(main())
+
+    def test_server_restores_previous_telemetry(self):
+        from repro import telemetry
+
+        before = telemetry.recorder(), telemetry.metrics()
+
+        async def main():
+            server = PredictionServer(default_config())
+            await server.start()
+            assert telemetry.recorder() is not before[0]
+            await server.drain()
+
+        asyncio.run(main())
+        assert telemetry.recorder() is before[0]
+        assert telemetry.metrics() is before[1]

@@ -1,0 +1,66 @@
+"""LatencyWindow: bounded ring buffer, nearest-rank percentiles."""
+
+import pytest
+
+from repro.telemetry import LatencyWindow
+from repro.util.errors import ConfigError
+
+
+class TestObserve:
+    def test_empty_window_has_no_percentiles(self):
+        window = LatencyWindow()
+        assert window.percentile(50) is None
+        assert window.count == 0
+
+    def test_single_observation_is_every_percentile(self):
+        window = LatencyWindow()
+        window.observe(0.5)
+        assert window.percentile(0) == 0.5
+        assert window.percentile(50) == 0.5
+        assert window.percentile(100) == 0.5
+
+    def test_nearest_rank_on_known_data(self):
+        window = LatencyWindow()
+        for value in range(1, 101):  # 1..100
+            window.observe(value)
+        assert window.percentile(50) == 50
+        assert window.percentile(99) == 99
+        assert window.percentile(100) == 100
+        assert window.percentile(1) == 1
+
+    def test_count_tracks_all_observations(self):
+        window = LatencyWindow(maxlen=4)
+        for value in range(10):
+            window.observe(value)
+        assert window.count == 10
+
+    def test_ring_retains_only_the_newest(self):
+        window = LatencyWindow(maxlen=4)
+        for value in (100.0, 100.0, 100.0, 100.0):
+            window.observe(value)
+        for value in (1.0, 2.0, 3.0, 4.0):  # evict all the 100s
+            window.observe(value)
+        assert window.percentile(100) == 4.0
+        assert window.percentile(0) == 1.0
+
+    def test_partial_eviction_mixes_old_and_new(self):
+        window = LatencyWindow(maxlen=4)
+        for value in (10.0, 20.0, 30.0, 40.0, 50.0):
+            window.observe(value)
+        # 10.0 was evicted; the window holds {20, 30, 40, 50}.
+        assert window.percentile(0) == 20.0
+        assert window.percentile(100) == 50.0
+
+
+class TestValidation:
+    def test_maxlen_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            LatencyWindow(maxlen=0)
+
+    def test_percentile_range_checked(self):
+        window = LatencyWindow()
+        window.observe(1.0)
+        with pytest.raises(ConfigError):
+            window.percentile(-1)
+        with pytest.raises(ConfigError):
+            window.percentile(101)

@@ -21,6 +21,7 @@ EXPECTED_EXAMPLES = {
     "hpl_stream.py",
     "custom_machine.py",
     "tracing_sweep.py",
+    "serve_client.py",
 }
 
 
@@ -80,3 +81,10 @@ def test_tracing_sweep(capsys):
     assert "span tree" in out
     assert "sweep.prefetch" in out              # tree shows pipeline phases
     assert "Chrome trace written to" in out
+
+
+def test_serve_client(capsys):
+    out = run_example("serve_client.py", capsys)
+    assert "coalesced burst" in out
+    assert "code='not_found'" in out
+    assert "server drained cleanly" in out
