@@ -249,42 +249,59 @@ class AsmChecker:
     # -- termination --------------------------------------------------------
 
     def _check_backedge(self, program, branch_idx: int, target_idx: int,
-                        reg: str) -> None:
-        """Prove the loop body strictly decreases ``reg`` by a positive
-        step before branching on it."""
+                        reg: str, mnemonic: str = "bnez",
+                        increasing: bool = False,
+                        exact: bool = True) -> None:
+        """Prove the loop body strictly advances ``reg`` toward the
+        exit condition by a provably positive step.
+
+        ``bnez`` loops run until the register is exactly zero
+        (``exact``), so a constant step additionally assumes the trip
+        count is a step-multiple; threshold comparisons (``bgeu``/
+        ``blt``-style back-edges from the strip-mine remainder idiom)
+        terminate for *any* positive step.  ``increasing`` selects the
+        advance direction: ``sub``-style count-down loops vs
+        ``add``-style count-up loops.
+        """
         body = program[target_idx:branch_idx]
-        decrements: list[str] = []
+        advance = "add" if increasing else "sub"
+        steps: list[str] = []
         clobbered = False
         for inst in body:
             if not inst.is_code:
                 continue
             ops = tuple(op.strip() for op in inst.operands)
-            if inst.mnemonic == "sub" and len(ops) == 3 and ops[0] == reg:
+            if inst.mnemonic == advance and len(ops) == 3 and \
+                    ops[0] == reg:
                 if ops[1] == reg:
-                    decrements.append(ops[2])
+                    steps.append(ops[2])
+                elif increasing and ops[2] == reg:
+                    steps.append(ops[1])  # add is commutative
                 else:
                     clobbered = True
             elif ops and ops[0] == reg and inst.mnemonic not in (
-                "bnez", "beqz", "bne", "beq",
+                "bnez", "beqz", "bne", "beq", "bge", "bgeu", "blt",
+                "bltu",
             ):
                 clobbered = True
         if clobbered:
             self._report(
                 Severity.ERROR, branch_idx,
                 f"cannot prove termination: loop register {reg!r} is "
-                "redefined by something other than a self-decrement",
+                f"redefined by something other than a self-{advance}",
             )
             return
-        if not decrements:
+        if not steps:
+            direction = "increments" if increasing else "decrements"
             self._report(
                 Severity.ERROR, branch_idx,
-                f"bnez back-edge on {reg!r} but the loop body never "
-                f"decrements {reg!r}: the loop cannot terminate",
-                hint="decrement the trip register by the strip length "
-                "each iteration",
+                f"{mnemonic} back-edge on {reg!r} but the loop body "
+                f"never {direction} {reg!r}: the loop cannot terminate",
+                hint=f"{direction.rstrip('s')} the trip register by "
+                "the strip length each iteration",
             )
             return
-        for step in decrements:
+        for step in steps:
             prov = self.state.provenance.get(step, "computed")
             if prov.startswith("vsetvli:"):
                 avl = prov.split(":", 1)[1]
@@ -307,13 +324,15 @@ class AsmChecker:
                         f"loop step {step!r} is the non-positive "
                         f"constant {value}: the loop cannot terminate",
                     )
-                else:
+                elif exact:
                     self._report(
                         Severity.INFO, branch_idx,
                         f"termination assumes the trip count is a "
                         f"multiple of the constant step {value} "
                         "(VLS lane-multiple convention)",
                     )
+                # Threshold back-edges (bgeu/blt) terminate for any
+                # positive constant step: nothing to assume.
             else:
                 self._report(
                     Severity.ERROR, branch_idx,
@@ -389,7 +408,30 @@ class AsmChecker:
                         f"branch to unknown label {target!r}",
                     )
                 elif labels[target] <= idx and m == "bnez":
-                    self._check_backedge(program, idx, labels[target], reg)
+                    self._check_backedge(program, idx, labels[target],
+                                         reg, mnemonic=m)
+                continue
+            if m in ("bge", "bgeu", "blt", "bltu") and \
+                    len(inst.operands) == 3:
+                # The strip-mine remainder idiom: a bgeu-terminated
+                # count-down main loop (loop while reg >= bound) or a
+                # blt-terminated count-up loop (loop while reg < bound).
+                # Threshold exits terminate for any positive step.
+                reg = inst.operands[0].strip()
+                bound = inst.operands[1].strip()
+                target = inst.operands[2].strip()
+                self._use_scalar(reg, idx, m)
+                self._use_scalar(bound, idx, m)
+                if target not in labels:
+                    self._report(
+                        Severity.ERROR, idx,
+                        f"branch to unknown label {target!r}",
+                    )
+                elif labels[target] <= idx:
+                    self._check_backedge(
+                        program, idx, labels[target], reg, mnemonic=m,
+                        increasing=m in ("blt", "bltu"), exact=False,
+                    )
                 continue
             self._check_scalar(inst, idx)
 

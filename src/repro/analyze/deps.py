@@ -36,7 +36,6 @@ from repro.compiler.ir import (
     Loop,
     LoopNest,
     Recurrence,
-    Reduce,
     Scan,
     Statement,
     is_symbolic,

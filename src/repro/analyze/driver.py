@@ -1,6 +1,6 @@
 """Lint driver: run every analyzer over every artifact.
 
-Two sweeps feed one :class:`~repro.analyze.report.LintReport`:
+Three sweeps feed one :class:`~repro.analyze.report.LintReport`:
 
 * **kernels** — for each of the 64 registered kernels, load its loop-nest
   IR, run the race detector's traits cross-check
@@ -11,6 +11,11 @@ Two sweeps feed one :class:`~repro.analyze.report.LintReport`:
   in both dialects, roll the v1.0 output back, and run the abstract
   interpreter (:mod:`repro.analyze.asmcheck`) over all three against the
   dialect they claim to target.
+* **transval** (opt-in: ``repro lint --transval``) — for every
+  (shape x dtype x flavour) rollback pair plus every BLAS-family
+  microkernel, prove the rolled-back v0.7.1 program preserves the v1.0
+  semantics via :mod:`repro.analyze.transval`'s symbolic lockstep
+  execution; BLAS kernels additionally get the kernel cross-checks.
 
 ``repro lint`` renders the report and returns its exit code (0 clean,
 3 on any ERROR finding); the CI ``lint-models`` job gates on that.
@@ -21,6 +26,7 @@ from __future__ import annotations
 from repro.analyze.asmcheck import check_assembly
 from repro.analyze.races import crosscheck_traits
 from repro.analyze.report import Finding, LintReport, Severity
+from repro.analyze.transval import validate_pair
 from repro.compiler.analysis import (
     derive_features,
     derive_informational_features,
@@ -163,10 +169,116 @@ def lint_assembly_file(
     return check_assembly(text, dialect, program_id=path), 1
 
 
+def _pair_trip_count(
+    dtype: DType, flavor: VectorFlavor, strip_mines: bool,
+    vector_bits: int,
+) -> int:
+    """Validation trip count for one pair.
+
+    Loops that can handle a partial strip (VLA strip-mining, the dot
+    microkernel's remainder path) get two full strips plus a remainder
+    — exercising the back-edge *and* the tail lanes.  Plain VLS loops
+    advance by the full lane count unconditionally (the lane-multiple
+    convention asmcheck notes), so they get an exact multiple.
+    """
+    lanes = max(1, vector_bits // dtype.bits)
+    if strip_mines:
+        return 2 * lanes + max(1, lanes - 1)
+    return 3 * lanes
+
+
+def iter_transval_pairs(vector_bits: int = 128):
+    """Yield ``(pair_id, v1.0 text, rolled-back text, trip count)`` for
+    every rollback pair the validator must prove: each spec shape x
+    dtype x flavour, plus each BLAS-family kernel's microkernel x
+    flavour."""
+    from repro.kernels.blas import all_blas_kernels, microkernel_loop
+
+    for shape_name, num_inputs, ops in ASM_SPEC_SHAPES:
+        for dtype in ASM_DTYPES:
+            spec = LoopSpec(dtype=dtype, num_inputs=num_inputs, ops=ops)
+            for flavor in (VectorFlavor.VLS, VectorFlavor.VLA):
+                pair_id = f"{shape_name}/{dtype.label}/{flavor.value}"
+                v10 = render_assembly(
+                    generate_loop(
+                        spec, flavor, rvv_version="1.0",
+                        vector_bits=vector_bits,
+                    )
+                )
+                n = _pair_trip_count(
+                    dtype, flavor, flavor is VectorFlavor.VLA,
+                    vector_bits,
+                )
+                yield pair_id, v10, rollback(v10), n
+    for kernel in all_blas_kernels():
+        for flavor in (VectorFlavor.VLS, VectorFlavor.VLA):
+            pair_id = (
+                f"blas/{kernel.name}/{kernel.microkernel}/{flavor.value}"
+            )
+            v10 = render_assembly(
+                microkernel_loop(
+                    kernel, flavor, rvv_version="1.0",
+                    vector_bits=vector_bits,
+                )
+            )
+            # The dot microkernel owns a remainder path in both
+            # flavours; update microkernels reuse the elementwise loop.
+            strip_mines = (
+                kernel.microkernel == "dot"
+                or flavor is VectorFlavor.VLA
+            )
+            n = _pair_trip_count(
+                DType.FP64, flavor, strip_mines, vector_bits
+            )
+            yield pair_id, v10, rollback(v10), n
+
+
+def lint_transval(
+    demo_miscompile: bool = False,
+    vector_bits: int = 128,
+) -> tuple[list[Finding], int]:
+    """Translation-validate every rollback pair; returns (findings,
+    pairs checked).
+
+    With ``demo_miscompile``, the rolled-back program runs on a
+    hypothetical *tail-agnostic* v0.7.1 machine — modelling a rollback
+    that wrongly assumes agnostic tail semantics.  Reduction
+    microkernels (the BLAS dot family and the axpy shape) then provably
+    diverge with a classified ``tail-policy`` ERROR, while pure
+    elementwise pairs still validate: the sweep pinpoints exactly the
+    kernels for which the policy matters.
+    """
+    tail_model = "agnostic" if demo_miscompile else "undisturbed"
+    findings: list[Finding] = []
+    count = 0
+    for pair_id, v10, v071, n in iter_transval_pairs(vector_bits):
+        count += 1
+        try:
+            verdict = validate_pair(
+                v10, v071, pair_id, n=n, vlen_bits=vector_bits,
+                target_tail_model=tail_model,
+            )
+        except (RollbackError, ReproError) as exc:
+            findings.append(
+                Finding(
+                    severity=Severity.ERROR,
+                    analyzer="transval",
+                    site=f"{pair_id}:validate",
+                    message=f"pair could not be validated: {exc}",
+                    category="exec-error",
+                )
+            )
+            continue
+        findings.extend(verdict.findings)
+    return findings, count
+
+
 def run_lint(
     kernels: bool = True,
     asm: bool = True,
     names: list[str] | None = None,
+    transval: bool = False,
+    demo_miscompile: bool = False,
 ) -> LintReport:
     """Run the requested analyzers and aggregate their findings."""
     report = LintReport()
@@ -178,4 +290,14 @@ def run_lint(
         findings, checked = lint_assembly()
         report.extend(findings)
         report.programs_checked = checked
+    if transval or demo_miscompile:
+        findings, checked = lint_transval(demo_miscompile)
+        report.extend(findings)
+        report.pairs_checked = checked
+        # The BLAS family rides the transval sweep: cross-check its
+        # traits/IR the same way the 64 suite kernels are checked.
+        from repro.kernels.blas import all_blas_kernels
+
+        for kernel in all_blas_kernels():
+            report.extend(lint_kernel(kernel))
     return report

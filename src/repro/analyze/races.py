@@ -29,7 +29,6 @@ from dataclasses import dataclass, field
 
 from repro.analyze.deps import (
     Conflict,
-    PlacedStatement,
     indirect_writes,
     iter_regions,
     parallel_level,

@@ -45,6 +45,10 @@ class Finding:
             (``"vla/fp64/1.0:insn[3]"``).
         message: What is wrong.
         hint: How to fix it, when the analyzer can tell.
+        category: Machine-readable classification (the translation
+            validator emits ``"tail-policy"``, ``"width-load"``,
+            ``"vl-drift"``, ``"vtype-drift"``, ``"value"``,
+            ``"exec-error"``); empty for analyzers that don't classify.
     """
 
     severity: Severity
@@ -52,15 +56,29 @@ class Finding:
     site: str
     message: str
     hint: str = ""
+    category: str = ""
 
     def render(self) -> str:
+        tag = f" <{self.category}>" if self.category else ""
         text = (
-            f"{self.severity.value.upper():7s} [{self.analyzer}] "
+            f"{self.severity.value.upper():7s} [{self.analyzer}]{tag} "
             f"{self.site}: {self.message}"
         )
         if self.hint:
             text += f"\n        hint: {self.hint}"
         return text
+
+    def to_json(self) -> dict:
+        """The stable machine-readable form (``repro lint --format
+        json``)."""
+        return {
+            "severity": self.severity.value,
+            "analyzer": self.analyzer,
+            "category": self.category,
+            "site": self.site,
+            "message": self.message,
+            "hint": self.hint,
+        }
 
 
 @dataclass
@@ -70,6 +88,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     kernels_checked: int = 0
     programs_checked: int = 0
+    #: Translation-validation (v1.0, rolled-back) pairs checked — 0
+    #: unless the ``--transval`` sweep ran.
+    pairs_checked: int = 0
 
     def extend(self, findings: list[Finding]) -> None:
         self.findings.extend(findings)
@@ -99,9 +120,36 @@ class LintReport:
             f"{len(self.by_severity(sev))} {sev.value}"
             for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
         )
-        lines.append(
+        checked = (
             f"lint: {self.kernels_checked} kernels, "
-            f"{self.programs_checked} assembly programs checked: {counts}"
+            f"{self.programs_checked} assembly programs"
         )
+        if self.pairs_checked:
+            checked += f", {self.pairs_checked} rollback pairs"
+        lines.append(f"{checked} checked: {counts}")
         lines.append("lint: " + ("FAIL" if self.has_errors else "clean"))
         return "\n".join(lines)
+
+    def to_json(self, min_severity: Severity = Severity.INFO) -> dict:
+        """Stable machine-readable report for ``--format json`` and the
+        CI artifact.  ``schema_version`` gates consumers; bump it on any
+        incompatible change."""
+        shown = sorted(
+            (f for f in self.findings
+             if f.severity.rank >= min_severity.rank),
+            key=lambda f: (-f.severity.rank, f.analyzer, f.site),
+        )
+        return {
+            "schema_version": 1,
+            "summary": {
+                "kernels_checked": self.kernels_checked,
+                "programs_checked": self.programs_checked,
+                "pairs_checked": self.pairs_checked,
+                "errors": len(self.by_severity(Severity.ERROR)),
+                "warnings": len(self.by_severity(Severity.WARNING)),
+                "infos": len(self.by_severity(Severity.INFO)),
+                "status": "fail" if self.has_errors else "clean",
+                "exit_code": self.exit_code,
+            },
+            "findings": [f.to_json() for f in shown],
+        }

@@ -1,0 +1,542 @@
+"""Translation validation of the RVV v1.0 -> v0.7.1 rollback.
+
+:mod:`repro.isa.rollback` rewrites v1.0 assembly into v0.7.1 and
+:mod:`repro.analyze.asmcheck` proves the result is *legal* — but
+legality is not correctness, and a miscompiling rollback is exactly the
+OpenBLAS-under-0.7.1 bug class the paper diagnoses.  This module proves
+(or refutes) *semantics preservation*: it executes the v1.0 program and
+its rolled-back counterpart over the shared abstract machine of
+:mod:`repro.isa.interpreter`, instantiated with the symbolic element
+domain of :mod:`repro.isa.symbolic` (concolic execution: scalars,
+pointers and control flow are concrete; every vector element is a term
+over the initial memory image), and compares:
+
+* the **vsetvli product automaton** — the sequence of architectural
+  ``(SEW, vl)`` configurations each side passes through.  Drift across
+  the strip-mine back-edge means the two programs partition the
+  iteration space differently (``vl-drift`` / ``vtype-drift``);
+* the **observable behaviour** — every store event (address, width,
+  element terms) and the final symbolic memory.  A divergent store is a
+  proven miscompile, classified by *why* the terms differ:
+
+  - ``tail-policy`` — one side observes a tail-agnostic (unspecified)
+    lane the other side has defined.  This is the BLAS killer: a dot
+    microkernel keeps partial sums in tail lanes across the remainder
+    strip (which is why v1.0 emits ``tu``) and folds them at full
+    width; tail-agnostic execution clobbers the partial sums.
+  - ``width-load`` — bytes are read back at a different element width
+    than the source program used (the width-encoded-load
+    reinterpretation hazard of the rollback's ``vle32.v`` rewrite).
+  - ``value`` — structurally different computation.
+
+Verdicts feed :mod:`repro.analyze.driver` as the third lint sweep
+(``repro lint --transval``) and :mod:`repro.apps.hpl` as the
+correctness gate on BLAS library kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyze.report import Finding, Severity
+from repro.isa.encoding import Instruction
+from repro.isa.interpreter import ProgramRunner
+from repro.isa.rvv import sew_bits
+from repro.isa.symbolic import (
+    Bin,
+    Fma,
+    Fold,
+    Lit,
+    Sym,
+    SymbolicMemory,
+    canonical_op,
+    compare_terms,
+    fresh_undef,
+)
+from repro.util.errors import IsaError
+
+#: Tail models a machine can run under.  ``policy`` honours the active
+#: vsetvli ta/tu flag (RVV v1.0 semantics); ``undisturbed`` is the real
+#: C920 (v0.7.1 has no agnostic mode); ``agnostic`` models hypothetical
+#: tail-agnostic hardware — the assumption a buggy rollback would bake
+#: in, used to *demonstrate* a detectable miscompile.
+TAIL_MODELS = ("policy", "undisturbed", "agnostic")
+
+_WIDTH_PREFIXES = ("vle", "vse")
+
+
+@dataclass(frozen=True)
+class VtypeEvent:
+    """One architectural (SEW, vl) configuration."""
+
+    sew: int
+    vl: int
+
+
+@dataclass(frozen=True)
+class StoreEvent:
+    """One observable vector store: where, at what width, which terms."""
+
+    addr: int
+    width: int
+    elems: tuple[Sym, ...]
+
+
+class SymbolicMachine(ProgramRunner):
+    """The interpreter's abstract machine over symbolic elements.
+
+    Scalars are concrete integers (trip counts and pointers must drive
+    control flow); vector elements are :class:`~repro.isa.symbolic.Sym`
+    terms.  Records a :class:`VtypeEvent` per vset and a
+    :class:`StoreEvent` per vector store — the traces the validator
+    compares.
+    """
+
+    def __init__(
+        self,
+        vlen_bits: int = 128,
+        tail_model: str = "policy",
+    ) -> None:
+        if tail_model not in TAIL_MODELS:
+            raise IsaError(f"unknown tail model {tail_model!r}")
+        self.vlen_bits = vlen_bits
+        self.tail_model = tail_model
+        self.scalars: dict[str, int] = {}
+        self.vectors: dict[str, list[Sym]] = {}
+        self.memory = SymbolicMemory()
+        self.sew = 32
+        self.vl = 0
+        self.configured = False
+        #: Active tail policy from the last vset ("agnostic"/"undisturbed").
+        self.tail_policy = "undisturbed"
+        self.vtype_trace: list[VtypeEvent] = []
+        self.store_trace: list[StoreEvent] = []
+
+    # -- scalar register file ------------------------------------------------
+
+    def get_s(self, reg: str) -> int:
+        if reg in ("x0", "zero"):
+            return 0
+        return int(self.scalars.get(reg, 0))
+
+    def set_s(self, reg: str, value: int) -> None:
+        if reg in ("x0", "zero"):
+            return
+        self.scalars[reg] = int(value)
+
+    # -- vector configuration ------------------------------------------------
+
+    @property
+    def vlmax(self) -> int:
+        return self.vlen_bits // self.sew
+
+    def _configure(self, rd: str, avl: int, config: list[str]) -> None:
+        self.sew = sew_bits(config[0])
+        flags = [tok for tok in config[1:] if tok in ("ta", "tu")]
+        if self.tail_model == "policy":
+            self.tail_policy = "agnostic" if "ta" in flags else "undisturbed"
+        else:
+            self.tail_policy = self.tail_model
+        self.vl = min(self.vlmax, max(0, avl))
+        self.configured = True
+        self.set_s(rd, self.vl)
+        self.vtype_trace.append(VtypeEvent(sew=self.sew, vl=self.vl))
+
+    def _vsetvli(self, inst: Instruction) -> None:
+        ops = [o.strip() for o in inst.operands]
+        self._configure(ops[0], self.get_s(ops[1]), ops[2:])
+
+    def _vsetivli(self, inst: Instruction) -> None:
+        ops = [o.strip() for o in inst.operands]
+        self._configure(ops[0], int(ops[1], 0), ops[2:])
+
+    # -- vector register file ------------------------------------------------
+
+    def _vreg(self, name: str) -> list[Sym]:
+        size = max(self.vl, self.vlmax)
+        if name not in self.vectors:
+            self.vectors[name] = [
+                fresh_undef(f"uninit:{name}") for _ in range(size)
+            ]
+        vec = self.vectors[name]
+        while len(vec) < size:
+            vec.append(fresh_undef(f"uninit:{name}"))
+        return vec
+
+    def _clobber_tail(self, vec: list[Sym], origin: str) -> None:
+        """Apply the active tail policy to lanes [vl:VLMAX]."""
+        if self.tail_policy != "agnostic":
+            return
+        for i in range(self.vl, len(vec)):
+            vec[i] = fresh_undef(origin)
+
+    # -- memory semantics ----------------------------------------------------
+
+    def _mem_width(self, mnemonic: str) -> int:
+        """Element width of a memory op: the encoded EEW for v1.0
+        width-encoded forms, the active SEW for SEW-implicit forms.
+        This asymmetry is what surfaces the reinterpretation hazard."""
+        for prefix in _WIDTH_PREFIXES:
+            rest = mnemonic.removeprefix(prefix)
+            if rest != mnemonic and rest.removesuffix(".v").isdigit():
+                return int(rest.removesuffix(".v"))
+        return self.sew
+
+    def _require_configured(self, mnemonic: str) -> None:
+        if not self.configured:
+            raise IsaError(
+                f"{mnemonic!r} executed before any vsetvli: SEW/vl are "
+                "undefined"
+            )
+
+    def _vector_load(self, inst: Instruction) -> None:
+        self._require_configured(inst.mnemonic)
+        width = self._mem_width(inst.mnemonic)
+        vd = inst.operands[0].strip()
+        base = self.get_s(_mem_base(inst.operands[1]))
+        vec = self._vreg(vd)
+        step = width // 8
+        for i in range(self.vl):
+            vec[i] = self.memory.load(base + i * step, width)
+        self._clobber_tail(vec, f"tail:{inst.mnemonic}")
+
+    def _vector_store(self, inst: Instruction) -> None:
+        self._require_configured(inst.mnemonic)
+        width = self._mem_width(inst.mnemonic)
+        vs = inst.operands[0].strip()
+        base = self.get_s(_mem_base(inst.operands[1]))
+        vec = self._vreg(vs)
+        step = width // 8
+        elems = tuple(vec[: self.vl])
+        for i, term in enumerate(elems):
+            self.memory.store(base + i * step, width, term)
+        self.store_trace.append(
+            StoreEvent(addr=base, width=width, elems=elems)
+        )
+
+    # -- arithmetic semantics ------------------------------------------------
+
+    def _vector_arith(self, inst: Instruction) -> None:
+        m = inst.mnemonic
+        self._require_configured(m)
+        ops = [o.strip() for o in inst.operands]
+        if m == "vmv.v.i":
+            vec = self._vreg(ops[0])
+            lit = Lit(int(ops[1], 0))
+            for i in range(self.vl):
+                vec[i] = lit
+            self._clobber_tail(vec, f"tail:{m}")
+            return
+        if m == "vmv.v.v":
+            src = self._vreg(ops[1])
+            dst = self._vreg(ops[0])
+            dst[: self.vl] = src[: self.vl]
+            self._clobber_tail(dst, f"tail:{m}")
+            return
+        op = canonical_op(m)
+        if op is None:
+            raise IsaError(f"unsupported vector arithmetic {m!r}")
+        if m.endswith(".vs"):
+            # Reduction: vd[0] = fold(vs2[0:vl]) with vs1[0] as init
+            # (operand order vd, vs2, vs1).
+            vd, vs2, vs1 = ops[0], ops[1], ops[2]
+            elems = tuple(self._vreg(vs2)[: self.vl])
+            init = self._vreg(vs1)[0]
+            dst = self._vreg(vd)
+            dst[0] = Fold(op=op, init=init, elems=elems)
+            # Lanes 1..VLMAX of a reduction destination are tail lanes.
+            saved_vl, self.vl = self.vl, 1
+            self._clobber_tail(dst, f"tail:{m}")
+            self.vl = saved_vl
+            return
+        vd, vs1, vs2 = ops[0], ops[1], ops[2]
+        a = self._vreg(vs1)
+        b = self._vreg(vs2)
+        dst = self._vreg(vd)
+        if op in ("fmacc", "fnmsac"):
+            for i in range(self.vl):
+                dst[i] = Fma(acc=dst[i], a=a[i], b=b[i], negate=op == "fnmsac")
+        else:
+            for i in range(self.vl):
+                dst[i] = Bin(op=op, lhs=a[i], rhs=b[i])
+        self._clobber_tail(dst, f"tail:{m}")
+
+
+def _mem_base(operand: str) -> str:
+    text = operand.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise IsaError(f"expected (reg) memory operand, got {operand!r}")
+    return text[1:-1]
+
+
+@dataclass
+class PairVerdict:
+    """Outcome of validating one (v1.0, rolled-back) pair."""
+
+    pair_id: str
+    findings: list[Finding] = field(default_factory=list)
+    vtype_events: int = 0
+    store_events: int = 0
+
+    @property
+    def equivalent(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+
+#: Default ABI layout for validation runs: disjoint input/input/output
+#: regions, far enough apart that no loop walks into the next region.
+INPUT_A = 0x1000
+INPUT_B = 0x2000
+OUTPUT = 0x3000
+
+
+def _run(
+    text: str,
+    n: int,
+    vlen_bits: int,
+    tail_model: str,
+) -> SymbolicMachine:
+    machine = SymbolicMachine(vlen_bits=vlen_bits, tail_model=tail_model)
+    machine.set_s("a0", n)
+    machine.set_s("a1", INPUT_A)
+    machine.set_s("a2", INPUT_B)
+    machine.set_s("a3", OUTPUT)
+    machine.run(text)
+    return machine
+
+
+def validate_pair(
+    source_text: str,
+    target_text: str,
+    pair_id: str,
+    *,
+    n: int,
+    vlen_bits: int = 128,
+    target_tail_model: str = "undisturbed",
+) -> PairVerdict:
+    """Prove (or refute) that the rolled-back ``target_text`` preserves
+    the semantics of the v1.0 ``source_text`` for an ``n``-element run.
+
+    The source machine honours v1.0 tail policies; the target runs
+    under ``target_tail_model`` (``"undisturbed"`` = the real C920,
+    ``"agnostic"`` = the hypothetical hardware a tail-agnostic rollback
+    assumes — the demo-miscompile mode).
+    """
+    verdict = PairVerdict(pair_id=pair_id)
+
+    def report(
+        severity: Severity,
+        category: str,
+        site: str,
+        message: str,
+        hint: str = "",
+    ) -> None:
+        verdict.findings.append(
+            Finding(
+                severity=severity,
+                analyzer="transval",
+                site=f"{pair_id}:{site}",
+                message=message,
+                hint=hint,
+                category=category,
+            )
+        )
+
+    try:
+        src = _run(source_text, n, vlen_bits, "policy")
+    except IsaError as exc:
+        report(
+            Severity.ERROR,
+            "exec-error",
+            "source",
+            f"v1.0 program failed to execute symbolically: {exc}",
+        )
+        return verdict
+    try:
+        tgt = _run(target_text, n, vlen_bits, target_tail_model)
+    except IsaError as exc:
+        report(
+            Severity.ERROR,
+            "exec-error",
+            "target",
+            f"rolled-back program failed to execute symbolically: {exc}",
+        )
+        return verdict
+
+    verdict.vtype_events = len(src.vtype_trace)
+    verdict.store_events = len(src.store_trace)
+
+    stores_diverge = _compare_stores(src, tgt, report)
+    _compare_vtype(src, tgt, stores_diverge, report)
+    if not stores_diverge:
+        _compare_memory(src, tgt, report)
+    return verdict
+
+
+def _compare_vtype(
+    src: SymbolicMachine,
+    tgt: SymbolicMachine,
+    observable: bool,
+    report,
+) -> None:
+    """The product automaton: both sides must step through the same
+    (SEW, vl) configurations.  SEW drift is always an error (every
+    subsequent element is the wrong width); pure vl drift is an error
+    only when a store diverges too, a warning otherwise (the iteration
+    space was re-partitioned but the observable behaviour survived)."""
+    a, b = src.vtype_trace, tgt.vtype_trace
+    if len(a) != len(b):
+        report(
+            Severity.ERROR,
+            "vtype-drift",
+            "vtype",
+            f"v1.0 program configures vtype {len(a)} times, rolled-back "
+            f"{len(b)} times: the strip-mine structures differ",
+            hint="the rollback must preserve one vset per strip "
+            "(vsetivli expands to li+vsetvli, still one event)",
+        )
+        return
+    for idx, (ea, eb) in enumerate(zip(a, b)):
+        if ea.sew != eb.sew:
+            report(
+                Severity.ERROR,
+                "vtype-drift",
+                f"vtype[{idx}]",
+                f"SEW diverges at vset {idx}: v1.0 configures e{ea.sew},"
+                f" rolled-back e{eb.sew}",
+                hint="a wrong SEW reinterprets every subsequent element",
+            )
+            return
+        if ea.vl != eb.vl:
+            severity = Severity.ERROR if observable else Severity.WARNING
+            report(
+                severity,
+                "vl-drift",
+                f"vtype[{idx}]",
+                f"vl diverges at vset {idx}: v1.0 runs the strip at "
+                f"vl={ea.vl}, rolled-back at vl={eb.vl}",
+                hint="vl drift across the back-edge re-partitions the "
+                "iteration space; remaining strips will not line up",
+            )
+            return
+
+
+def _compare_stores(
+    src: SymbolicMachine, tgt: SymbolicMachine, report
+) -> bool:
+    """Compare observable store events; returns whether any diverged."""
+    a, b = src.store_trace, tgt.store_trace
+    diverged = False
+    if len(a) != len(b):
+        report(
+            Severity.ERROR,
+            "value",
+            "stores",
+            f"v1.0 program performs {len(a)} vector stores, rolled-back "
+            f"performs {len(b)}",
+        )
+        return True
+    for idx, (ea, eb) in enumerate(zip(a, b)):
+        site = f"store[{idx}]"
+        if ea.addr != eb.addr:
+            report(
+                Severity.ERROR,
+                "value",
+                site,
+                f"store {idx} targets {ea.addr:#x} in v1.0 but "
+                f"{eb.addr:#x} after rollback",
+            )
+            diverged = True
+            continue
+        if ea.width != eb.width:
+            report(
+                Severity.ERROR,
+                "width-load",
+                site,
+                f"store {idx} writes {ea.width}-bit elements in v1.0 "
+                f"but {eb.width}-bit after rollback",
+                hint="the SEW-implicit v0.7.1 store inherits a vtype "
+                "width different from the encoded v1.0 width",
+            )
+            diverged = True
+            continue
+        if len(ea.elems) != len(eb.elems):
+            report(
+                Severity.ERROR,
+                "vl-drift",
+                site,
+                f"store {idx} writes {len(ea.elems)} elements in v1.0 "
+                f"but {len(eb.elems)} after rollback",
+            )
+            diverged = True
+            continue
+        for lane, (ta, tb) in enumerate(zip(ea.elems, eb.elems)):
+            mismatch = compare_terms(ta, tb)
+            if mismatch is None:
+                continue
+            report(
+                Severity.ERROR,
+                mismatch.reason,
+                f"{site}.elem[{lane}]",
+                f"store {idx} lane {lane} diverges "
+                f"({mismatch.reason}): {mismatch.detail}",
+                hint=_HINTS.get(mismatch.reason, ""),
+            )
+            diverged = True
+            break
+    return diverged
+
+
+_HINTS = {
+    "tail-policy": (
+        "v0.7.1 hardware is tail-undisturbed; a rollback that assumes "
+        "tail-agnostic semantics clobbers cross-strip accumulator lanes "
+        "— the OpenBLAS dot/GEMM miscompile class"
+    ),
+    "width-load": (
+        "insert a vtype toggle or refuse the rewrite: v0.7.1 memory "
+        "ops inherit SEW, so the load width must match the store width"
+    ),
+    "value": "the rolled-back program computes a different expression",
+}
+
+
+def _compare_memory(
+    src: SymbolicMachine, tgt: SymbolicMachine, report
+) -> None:
+    """Final-state check: every byte range either side wrote must hold
+    an equivalent term on the other side (catches stores the event
+    comparison paired up differently)."""
+    a = src.memory.snapshot()
+    b = tgt.memory.snapshot()
+    for addr in sorted(set(a) | set(b)):
+        if addr not in a or addr not in b:
+            side = "v1.0" if addr in a else "rolled-back"
+            report(
+                Severity.ERROR,
+                "value",
+                f"mem[{addr:#x}]",
+                f"only the {side} program wrote memory at {addr:#x}",
+            )
+            return
+        (wa, va), (wb, vb) = a[addr], b[addr]
+        if wa != wb:
+            report(
+                Severity.ERROR,
+                "width-load",
+                f"mem[{addr:#x}]",
+                f"final memory at {addr:#x} written at {wa}-bit width "
+                f"by v1.0 but {wb}-bit after rollback",
+            )
+            return
+        mismatch = compare_terms(va, vb)
+        if mismatch is not None:
+            report(
+                Severity.ERROR,
+                mismatch.reason,
+                f"mem[{addr:#x}]",
+                f"final memory at {addr:#x} diverges "
+                f"({mismatch.reason}): {mismatch.detail}",
+                hint=_HINTS.get(mismatch.reason, ""),
+            )
+            return

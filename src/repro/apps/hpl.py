@@ -187,3 +187,80 @@ def predict_hpl(cpu: CPUModel, threads: int | None = None) -> HplPrediction:
         rpeak_gflops=rpeak / 1e9,
         rmax_gflops=rmax / 1e9,
     )
+
+
+@dataclass(frozen=True)
+class HplLibraryImpact:
+    """Whole-application impact of the BLAS library's rollback verdicts.
+
+    HPL spends essentially all its flops in DGEMM, so one miscompiled
+    library kernel decides the application's fate: a BLAS whose rollback
+    fails translation validation must ship the scalar fallback kernels
+    (what OpenBLAS's generic C path does), and Rmax collapses to the
+    scalar FP64 rate.
+    """
+
+    machine: str
+    threads: int
+    #: Rmax with every library kernel's rollback proven equivalent.
+    vector_rmax_gflops: float
+    #: Rmax with the DGEMM rollback refuted -> scalar fallback kernels.
+    fallback_rmax_gflops: float
+    #: BLAS kernel names whose rollback failed validation.
+    miscompiled: tuple[str, ...]
+
+    @property
+    def rmax_gflops(self) -> float:
+        """The Rmax this library actually achieves."""
+        if "DGEMM" in self.miscompiled:
+            return self.fallback_rmax_gflops
+        return self.vector_rmax_gflops
+
+    @property
+    def slowdown(self) -> float:
+        """Vector-over-achieved ratio (1.0 when the library is clean)."""
+        return self.vector_rmax_gflops / self.rmax_gflops
+
+
+def predict_hpl_library_impact(
+    cpu: CPUModel,
+    miscompiled: tuple[str, ...] | list[str] = (),
+    threads: int | None = None,
+) -> HplLibraryImpact:
+    """Predict HPL Rmax given translation-validation verdicts for the
+    BLAS family (:mod:`repro.kernels.blas`).
+
+    ``miscompiled`` names the kernels whose v0.7.1 rollback failed
+    validation (e.g. from ``repro lint --transval`` findings).  Only
+    DGEMM gates Rmax — HPL's flops are GEMM flops — but all names are
+    carried so callers can report the full library verdict.
+    """
+    base = predict_hpl(cpu, threads)
+    nthreads = base.threads
+    scalar_rmax = (
+        cpu.core.scalar_flops_per_second(DType.FP64)
+        * nthreads
+        * HPL_DGEMM_EFFICIENCY
+    )
+    return HplLibraryImpact(
+        machine=cpu.name,
+        threads=nthreads,
+        vector_rmax_gflops=base.rmax_gflops,
+        fallback_rmax_gflops=scalar_rmax / 1e9,
+        miscompiled=tuple(sorted(str(n).upper() for n in miscompiled)),
+    )
+
+
+def miscompiled_blas_kernels(findings) -> tuple[str, ...]:
+    """Extract the BLAS kernels with ERROR transval findings from a
+    lint report's findings (sites look like ``blas/DGEMM/dot/vls:...``)."""
+    names = set()
+    for finding in findings:
+        if finding.analyzer != "transval":
+            continue
+        if finding.severity.value != "error":
+            continue
+        site = finding.site
+        if site.startswith("blas/"):
+            names.add(site.split("/")[1].upper())
+    return tuple(sorted(names))

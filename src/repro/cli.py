@@ -415,6 +415,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analyze.driver import lint_assembly_file, run_lint
     from repro.analyze.report import LintReport, Severity
     from repro.isa.rvv import RVV_0_7_1, RVV_1_0
@@ -427,9 +429,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         names = args.kernels.split(",") if args.kernels else None
         report = run_lint(
-            kernels=True, asm=not args.no_asm, names=names
+            kernels=True,
+            asm=not args.no_asm,
+            names=names,
+            transval=args.transval,
+            demo_miscompile=args.demo_miscompile,
         )
-    print(report.render(min_severity=min_severity))
+    if args.format == "json":
+        print(json.dumps(report.to_json(min_severity=min_severity),
+                         indent=2))
+    else:
+        print(report.render(min_severity=min_severity))
     return report.exit_code
 
 
@@ -553,6 +563,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["info", "warning", "error"],
         help="hide findings below this severity (exit code is "
         "unaffected)",
+    )
+    p_lint.add_argument(
+        "--transval", action="store_true",
+        help="translation-validate every v1.0->v0.7.1 rollback pair "
+        "(spec shapes and the BLAS microkernel family) by symbolic "
+        "lockstep execution",
+    )
+    p_lint.add_argument(
+        "--demo-miscompile", action="store_true",
+        help="run the transval sweep against a hypothetical "
+        "tail-agnostic v0.7.1 machine: reduction microkernels provably "
+        "miscompile (classified tail-policy ERROR, exit 3)",
+    )
+    p_lint.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format; json is the stable machine-readable "
+        "schema the CI artifact uses",
     )
 
     p_explain = sub.add_parser(

@@ -32,18 +32,25 @@ class LoopSpec:
         ops: Arithmetic vector instructions per iteration (e.g.
             ``("vfmul.vv", "vfadd.vv")`` for a triad).
         has_store: Whether the loop writes a stream.
+        load_dest: Load the destination stream before the arithmetic
+            (the TRSM/SYRK-style load-modify-store update pattern:
+            ``dst[i] -= a[i]*b[i]``) instead of zero-initializing the
+            accumulator.
     """
 
     dtype: DType
     num_inputs: int
     ops: tuple[str, ...]
     has_store: bool = True
+    load_dest: bool = False
 
     def __post_init__(self) -> None:
         if self.num_inputs not in (1, 2):
             raise IsaError("loops model 1 or 2 input streams")
         if not self.ops and not self.has_store:
             raise IsaError("loop must compute or store something")
+        if self.load_dest and not self.has_store:
+            raise IsaError("load_dest loops must store the destination")
 
 
 def _sew(dtype: DType) -> str:
@@ -106,8 +113,12 @@ def generate_loop(
     emit(load, "v1", "(a1)", label=label)
     if spec.num_inputs == 2:
         emit(load, "v2", "(a2)")
-    if any(op.startswith(("vfmacc", "vfnmsac", "vfmadd")) for op in
-           spec.ops):
+    if spec.load_dest:
+        # Update pattern: the destination stream is a live input
+        # (dst[i] op= a[i]*b[i]) — load it instead of zeroing.
+        emit(load, "v0", "(a3)")
+    elif any(op.startswith(("vfmacc", "vfnmsac", "vfmadd")) for op in
+             spec.ops):
         # Accumulating ops read their destination: zero it each strip
         # (the compiler materializes the accumulator per vector chunk).
         emit("vmv.v.i", "v0", "0")
@@ -125,6 +136,105 @@ def generate_loop(
     if spec.has_store:
         emit("add", "a3", "a3", "t2")
     emit("bnez", "a0", loop_label)
+    emit("ret")
+    return body
+
+
+def generate_dot_loop(
+    dtype: DType,
+    flavor: VectorFlavor,
+    rvv_version: str = "1.0",
+    vector_bits: int = 128,
+) -> list[Instruction]:
+    """Emit a dot-product microkernel: ``out[0] = sum(a[i] * b[i])``.
+
+    This is the BLAS inner-product building block (the GEMM/GEMV
+    micro-tile): a vector accumulator gathers partial products across
+    strips and a single ``vfredusum`` folds it at the end. The
+    accumulator is the reason the loop *must* run tail-undisturbed
+    (``tu``): the remainder strip executes with ``vl < VLMAX``, leaving
+    earlier partial sums in the tail lanes, and the final fold reads
+    all of them back. A tail-agnostic execution clobbers those lanes —
+    the OpenBLAS-under-0.7.1 miscompile class the translation validator
+    exists to catch.
+
+    The VLS flavour uses the strip-mine remainder idiom real compilers
+    emit: a ``bgeu``-terminated full-width main loop followed by a
+    ``bnez``-terminated VLA remainder loop. The VLA flavour strip-mines
+    every iteration.
+    """
+    if rvv_version not in ("0.7.1", "1.0"):
+        raise IsaError(f"unknown RVV version {rvv_version!r}")
+    v10 = rvv_version == "1.0"
+    sew = _sew(dtype)
+    lanes = vector_bits // dtype.bits
+    shift = str(dtype.bytes.bit_length() - 1)
+
+    if v10:
+        load = f"vle{dtype.bits}.v"
+        store = f"vse{dtype.bits}.v"
+        # tu, not ta: partial sums live in the tail lanes across strips.
+        flags = ("tu", "ma")
+    else:
+        load = "vle.v"
+        store = "vse.v"
+        flags = ()
+
+    body: list[Instruction] = []
+
+    def emit(mnemonic: str, *operands: str, label: str | None = None,
+             comment: str | None = None) -> None:
+        body.append(
+            Instruction(
+                mnemonic=mnemonic, operands=tuple(operands), label=label,
+                comment=comment,
+            )
+        )
+
+    def vset(rd: str, avl: str, comment: str | None = None,
+             label: str | None = None) -> None:
+        emit("vsetvli", rd, avl, sew, "m1", *flags, label=label,
+             comment=comment)
+
+    emit("li", "t1", str(lanes), comment="full vector length")
+    vset("t0", "t1", comment="tail-undisturbed: accumulator in tails")
+    emit("vmv.v.i", "v0", "0", comment="partial-sum accumulator")
+
+    def strip_body(step: str, label: str | None) -> None:
+        emit(load, "v1", "(a1)", label=label)
+        emit(load, "v2", "(a2)")
+        emit("vfmacc.vv", "v0", "v1", "v2")
+        emit("sub", "a0", "a0", step)
+        emit("slli", "t2", step, shift)
+        emit("add", "a1", "a1", "t2")
+        emit("add", "a2", "a2", "t2")
+
+    if flavor is VectorFlavor.VLS:
+        emit("bltu", "a0", "t1", "dot_rem",
+             comment="short trip: straight to remainder")
+        strip_body("t1", "dot_main")
+        emit("bgeu", "a0", "t1", "dot_main",
+             comment="main loop while a full strip remains")
+        emit("beqz", "a0", "dot_fold", label="dot_rem")
+        vset("t0", "a0", comment="remainder strip")
+        strip_body("t0", None)
+        emit("bnez", "a0", "dot_rem")
+    else:
+        vset("t0", "a0", label="dot_loop", comment="VLA strip-mine")
+        strip_body("t0", None)
+        emit("bnez", "a0", "dot_loop")
+
+    vset("t0", "t1", label="dot_fold",
+         comment="fold over every lane, tails included")
+    emit("vmv.v.i", "v3", "0")
+    fold = "vfredusum.vs" if v10 else "vfredsum.vs"
+    emit(fold, "v3", "v0", "v3")
+    if v10:
+        emit("vsetivli", "t0", "1", sew, "m1", *flags)
+    else:
+        emit("li", "t3", "1")
+        vset("t0", "t3")
+    emit(store, "v3", "(a3)")
     emit("ret")
     return body
 

@@ -5,15 +5,30 @@ dialect, before or after rollback — against real buffers, so tests can
 prove *semantic* equivalence: the rolled-back v0.7.1 loop computes the
 same values as the original v1.0 loop and as the NumPy reference.
 
-The supported subset is exactly what the generated loops use: ``li``,
-``vsetvli``, unit-stride vector loads/stores (both the v1.0
-width-encoded and the v0.7.1 SEW-implicit mnemonics), elementwise vector
-arithmetic, pointer bookkeeping (``add``/``sub``/``slli``), ``bnez`` and
-``ret``.
+The module is split in two layers so the translation validator can
+reuse the machine:
+
+* :class:`ProgramRunner` — the dialect-independent fetch/decode/branch
+  loop plus the concrete scalar unit (``li``, ``add``, ``sub``,
+  ``addi``, ``slli``, ``srli``, ``mul``, ``mv``) and the full branch
+  set (``bnez``/``beqz``/``bge``/``bgeu``/``blt``/``bltu``/``j``).
+  Vector semantics are abstract hooks.  Scalars are *always* concrete
+  — trip counts and pointers drive control flow — which is what lets
+  :mod:`repro.analyze.transval` run the same machine with a symbolic
+  element domain (concolic execution: concrete control, symbolic data).
+* :class:`RvvInterpreter` — the concrete element domain: NumPy arrays
+  in byte-addressable memory.
+
+The supported subset is exactly what the generated loops use,
+including the strip-mine remainder path (``bgeu``-terminated main loop
+plus remainder loop) and the reduction microkernels
+(``vfmacc``/``vfnmsac`` accumulation, ``vfredusum``/``vfredsum``/
+``vfredosum`` folds).
 """
 
 from __future__ import annotations
 
+import abc
 import re
 from dataclasses import dataclass, field
 
@@ -32,6 +47,150 @@ _SEW_DTYPES = {16: np.float16, 32: np.float32, 64: np.float64}
 
 #: Guard against runaway loops (mis-generated tail handling).
 MAX_STEPS = 5_000_000
+
+#: Unconditional and conditional branch mnemonics the runner handles.
+_BRANCH_2OP = frozenset({"bnez", "beqz"})
+_BRANCH_3OP = frozenset({"bge", "bgeu", "blt", "bltu", "bne", "beq"})
+
+
+class ProgramRunner(abc.ABC):
+    """Shared fetch/decode/branch loop over parsed instructions.
+
+    Subclasses provide the scalar register file (:meth:`get_s` /
+    :meth:`set_s`) and the vector semantics (the ``_vsetvli`` /
+    ``_vector_*`` hooks); the runner owns program order, labels,
+    branches, the scalar ALU and the step budget.
+    """
+
+    # -- scalar register file (subclass storage) ----------------------------
+
+    @abc.abstractmethod
+    def get_s(self, reg: str) -> int:
+        """Read a scalar register (x0/zero reads as 0)."""
+
+    @abc.abstractmethod
+    def set_s(self, reg: str, value: int) -> None:
+        """Write a scalar register (writes to x0/zero are dropped)."""
+
+    # -- vector hooks --------------------------------------------------------
+
+    @abc.abstractmethod
+    def _vsetvli(self, inst: Instruction) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _vsetivli(self, inst: Instruction) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _vector_load(self, inst: Instruction) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _vector_store(self, inst: Instruction) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _vector_arith(self, inst: Instruction) -> None:
+        ...
+
+    # -- scalar unit ---------------------------------------------------------
+
+    def _scalar(self, inst: Instruction) -> None:
+        m = inst.mnemonic
+        ops = [o.strip() for o in inst.operands]
+        if m == "li":
+            self.set_s(ops[0], int(ops[1], 0))
+        elif m == "add":
+            self.set_s(ops[0], self.get_s(ops[1]) + self.get_s(ops[2]))
+        elif m == "sub":
+            self.set_s(ops[0], self.get_s(ops[1]) - self.get_s(ops[2]))
+        elif m == "addi":
+            self.set_s(ops[0], self.get_s(ops[1]) + int(ops[2], 0))
+        elif m == "slli":
+            self.set_s(ops[0], self.get_s(ops[1]) << int(ops[2], 0))
+        elif m == "srli":
+            self.set_s(ops[0], self.get_s(ops[1]) >> int(ops[2], 0))
+        elif m == "mul":
+            self.set_s(ops[0], self.get_s(ops[1]) * self.get_s(ops[2]))
+        elif m == "mv":
+            self.set_s(ops[0], self.get_s(ops[1]))
+        else:
+            raise IsaError(f"unsupported scalar instruction {m!r}")
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        m = inst.mnemonic
+        ops = [o.strip() for o in inst.operands]
+        if m in _BRANCH_2OP:
+            value = self.get_s(ops[0])
+            return value != 0 if m == "bnez" else value == 0
+        a, b = self.get_s(ops[0]), self.get_s(ops[1])
+        if m in ("bge", "bgeu"):
+            return a >= b
+        if m in ("blt", "bltu"):
+            return a < b
+        if m == "bne":
+            return a != b
+        if m == "beq":
+            return a == b
+        raise IsaError(f"unsupported branch {m!r}")
+
+    # -- program execution ---------------------------------------------------
+
+    def run(self, text: str) -> int:
+        """Execute assembly text until ``ret``; returns executed
+        instruction count."""
+        program = [
+            inst for inst in parse_assembly(text)
+            if inst.is_code or inst.label
+        ]
+        labels: dict[str, int] = {}
+        for idx, inst in enumerate(program):
+            if inst.label:
+                labels[inst.label] = idx
+
+        pc = 0
+        steps = 0
+        while pc < len(program):
+            inst = program[pc]
+            if not inst.is_code:
+                pc += 1
+                continue
+            steps += 1
+            if steps > MAX_STEPS:
+                raise IsaError("instruction budget exceeded (runaway loop)")
+            m = inst.mnemonic
+            if m == "ret":
+                return steps
+            if m == "vsetvli":
+                self._vsetvli(inst)
+            elif m == "vsetivli":
+                self._vsetivli(inst)
+            elif m.startswith("vle") or m == "vle.v":
+                self._vector_load(inst)
+            elif m.startswith("vse") or m == "vse.v":
+                self._vector_store(inst)
+            elif m.startswith("v"):
+                self._vector_arith(inst)
+            elif m == "j":
+                pc = self._label_target(labels, inst.operands[0].strip())
+                continue
+            elif m in _BRANCH_2OP or m in _BRANCH_3OP:
+                if self._branch_taken(inst):
+                    pc = self._label_target(
+                        labels, inst.operands[-1].strip()
+                    )
+                    continue
+            else:
+                self._scalar(inst)
+            pc += 1
+        raise IsaError("program fell off the end without ret")
+
+    @staticmethod
+    def _label_target(labels: dict[str, int], target: str) -> int:
+        if target not in labels:
+            raise IsaError(f"unknown label {target!r}")
+        return labels[target]
 
 
 @dataclass
@@ -102,25 +261,50 @@ _VECTOR_BINOPS = {
     "vmul.vv": np.multiply,
 }
 
+#: Reduction mnemonics: ``vd[0] = fold(vs2[0:vl]) op vs1[0]`` — the
+#: v1.0 name, the v0.7.1 rename, and the ordered variant all compute
+#: the same concrete sum here (NumPy sums are our "unordered" order).
+_REDUCTIONS = frozenset(
+    {"vfredusum.vs", "vfredsum.vs", "vfredosum.vs", "vredsum.vs"}
+)
 
-class RvvInterpreter:
-    """Execute parsed instructions against a :class:`MachineState`."""
+
+class RvvInterpreter(ProgramRunner):
+    """Execute parsed instructions against a :class:`MachineState`.
+
+    The concrete machine is tail-undisturbed (like the C920): elements
+    past ``vl`` keep their previous contents, which is what the
+    reduction microkernels rely on across strips.
+    """
 
     def __init__(self, state: MachineState | None = None) -> None:
         self.state = state or MachineState()
 
+    # -- scalar register file ------------------------------------------------
+
+    def get_s(self, reg: str) -> int:
+        return self.state.get_s(reg)
+
+    def set_s(self, reg: str, value: int) -> None:
+        self.state.set_s(reg, value)
+
     # -- single-instruction execution ---------------------------------------
 
-    def _vsetvli(self, inst: Instruction) -> None:
+    def _configure(self, rd: str, avl: int, sew_token: str) -> None:
         state = self.state
-        ops = [o.strip() for o in inst.operands]
-        rd, avl_reg, sew_token = ops[0], ops[1], ops[2]
         state.sew = sew_bits(sew_token)
         vlmax = state.vlen_bits // state.sew
-        avl = state.get_s(avl_reg)
         state.vl = min(vlmax, max(0, avl))
         state.configured = True
         state.set_s(rd, state.vl)
+
+    def _vsetvli(self, inst: Instruction) -> None:
+        ops = [o.strip() for o in inst.operands]
+        self._configure(ops[0], self.state.get_s(ops[1]), ops[2])
+
+    def _vsetivli(self, inst: Instruction) -> None:
+        ops = [o.strip() for o in inst.operands]
+        self._configure(ops[0], int(ops[1], 0), ops[2])
 
     def _require_configured(self, mnemonic: str) -> None:
         if not self.state.configured:
@@ -146,7 +330,9 @@ class RvvInterpreter:
         self._check_eew(inst.mnemonic)
         vd = inst.operands[0].strip()
         address = state.get_s(_parse_mem_operand(inst.operands[1]))
-        state.vectors[vd] = state.read_array(address, state.vl, state.sew)
+        loaded = state.read_array(address, state.vl, state.sew)
+        out = self._vreg(vd)
+        out[: state.vl] = loaded
 
     def _vector_store(self, inst: Instruction) -> None:
         state = self.state
@@ -158,13 +344,16 @@ class RvvInterpreter:
         state.write_array(address, data[: state.vl])
 
     def _vreg(self, name: str) -> np.ndarray:
+        """The backing array for one vector register, sized to VLMAX so
+        tail elements survive strips with smaller ``vl``."""
         state = self.state
+        vlmax = max(state.vl, state.vlen_bits // state.sew)
         if name not in state.vectors:
             dtype = _SEW_DTYPES[state.sew]
-            state.vectors[name] = np.zeros(state.vl, dtype=dtype)
+            state.vectors[name] = np.zeros(vlmax, dtype=dtype)
         vec = state.vectors[name]
-        if vec.size < state.vl:
-            grown = np.zeros(state.vl, dtype=vec.dtype)
+        if vec.size < vlmax:
+            grown = np.zeros(vlmax, dtype=vec.dtype)
             grown[: vec.size] = vec
             state.vectors[name] = grown
         return state.vectors[name]
@@ -179,86 +368,36 @@ class RvvInterpreter:
             out = self._vreg(vd)
             out[: state.vl] = imm
             return
+        if m == "vmv.v.v":
+            vd, vs = (o.strip() for o in inst.operands[:2])
+            src = self._vreg(vs)
+            out = self._vreg(vd)
+            out[: state.vl] = src[: state.vl]
+            return
         vd, vs1, vs2 = (o.strip() for o in inst.operands[:3])
+        if m in _REDUCTIONS:
+            # vd[0] = sum(vs1[0:vl]) + vs2[0] (vfredusum.vs vd, vs2, vs1
+            # in spec operand order: vd, vector source, scalar init).
+            vec = self._vreg(vs1)[: state.vl]
+            init = self._vreg(vs2)[0]
+            out = self._vreg(vd)
+            out[0] = init + vec.sum(dtype=vec.dtype)
+            return
         a = self._vreg(vs1)[: state.vl]
         b = self._vreg(vs2)[: state.vl]
         if m == "vfmacc.vv":
             acc = self._vreg(vd)
             acc[: state.vl] = acc[: state.vl] + a * b
             return
+        if m == "vfnmsac.vv":
+            acc = self._vreg(vd)
+            acc[: state.vl] = acc[: state.vl] - a * b
+            return
         if m in _VECTOR_BINOPS:
             out = self._vreg(vd)
             out[: state.vl] = _VECTOR_BINOPS[m](a, b)
             return
         raise IsaError(f"unsupported vector arithmetic {m!r}")
-
-    def _scalar(self, inst: Instruction) -> None:
-        state = self.state
-        m = inst.mnemonic
-        ops = [o.strip() for o in inst.operands]
-        if m == "li":
-            state.set_s(ops[0], int(ops[1], 0))
-        elif m == "add":
-            state.set_s(
-                ops[0], state.get_s(ops[1]) + state.get_s(ops[2])
-            )
-        elif m == "sub":
-            state.set_s(
-                ops[0], state.get_s(ops[1]) - state.get_s(ops[2])
-            )
-        elif m == "slli":
-            state.set_s(ops[0], state.get_s(ops[1]) << int(ops[2], 0))
-        elif m == "mv":
-            state.set_s(ops[0], state.get_s(ops[1]))
-        else:
-            raise IsaError(f"unsupported scalar instruction {m!r}")
-
-    # -- program execution ---------------------------------------------------
-
-    def run(self, text: str) -> int:
-        """Execute assembly text until ``ret``; returns executed
-        instruction count."""
-        program = [
-            inst for inst in parse_assembly(text)
-            if inst.is_code or inst.label
-        ]
-        labels: dict[str, int] = {}
-        for idx, inst in enumerate(program):
-            if inst.label:
-                labels[inst.label] = idx
-
-        pc = 0
-        steps = 0
-        while pc < len(program):
-            inst = program[pc]
-            if not inst.is_code:
-                pc += 1
-                continue
-            steps += 1
-            if steps > MAX_STEPS:
-                raise IsaError("instruction budget exceeded (runaway loop)")
-            m = inst.mnemonic
-            if m == "ret":
-                return steps
-            if m == "vsetvli":
-                self._vsetvli(inst)
-            elif m.startswith("vle") or m == "vle.v":
-                self._vector_load(inst)
-            elif m.startswith("vse") or m == "vse.v":
-                self._vector_store(inst)
-            elif m.startswith("v"):
-                self._vector_arith(inst)
-            elif m == "bnez":
-                if self.state.get_s(inst.operands[0].strip()) != 0:
-                    target = inst.operands[1].strip()
-                    if target not in labels:
-                        raise IsaError(f"unknown label {target!r}")
-                    pc = labels[target]
-                    continue
-            else:
-                self._scalar(inst)
-            pc += 1
-        raise IsaError("program fell off the end without ret")
 
 
 def run_triad_loop(
@@ -290,3 +429,32 @@ def run_triad_loop(
     RvvInterpreter(state).run(text)
     sew = elem * 8
     return state.read_array(base_out, n, sew)
+
+
+def run_dot_loop(
+    text: str,
+    a: np.ndarray,
+    b: np.ndarray,
+    vlen_bits: int = DEFAULT_VLEN_BITS,
+) -> float:
+    """Execute a generated dot-product microkernel on real data.
+
+    Same ABI as :func:`run_triad_loop`; the kernel stores one reduced
+    element at ``a3``, which is returned as a float.
+    """
+    if a.shape != b.shape or a.dtype != b.dtype:
+        raise IsaError("inputs must have matching shape and dtype")
+    n = a.size
+    elem = a.dtype.itemsize
+    state = MachineState(vlen_bits=vlen_bits,
+                         memory_bytes=max(1 << 20, 4 * n * elem + 4096))
+    base_a, base_b, base_out = 0, n * elem, 2 * n * elem
+    state.write_array(base_a, a)
+    state.write_array(base_b, b)
+    state.set_s("a0", n)
+    state.set_s("a1", base_a)
+    state.set_s("a2", base_b)
+    state.set_s("a3", base_out)
+    RvvInterpreter(state).run(text)
+    sew = elem * 8
+    return float(state.read_array(base_out, 1, sew)[0])

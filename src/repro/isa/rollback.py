@@ -93,6 +93,18 @@ def _rollback_vsetivli(
     if len(ops) < 3:
         raise RollbackError(f"malformed vsetivli: {inst.render().strip()}")
     rd, imm, rest = ops[0], ops[1], ops[2:]
+    try:
+        avl = int(imm, 0)
+    except ValueError:
+        raise RollbackError(
+            f"vsetivli AVL {imm!r} is not an integer immediate"
+        ) from None
+    if not 0 <= avl <= 31:
+        # The v1.0 uimm field is 5 bits; anything outside it was never
+        # a legal vsetivli, so refuse rather than silently materialize.
+        raise RollbackError(
+            f"vsetivli AVL {avl} outside the 5-bit immediate range 0..31"
+        )
     li = Instruction(mnemonic="li", operands=("t6", imm), label=inst.label)
     vset = Instruction(
         mnemonic="vsetvli",

@@ -24,7 +24,8 @@ from repro.util.errors import IsaError
 SCALAR_MNEMONICS = frozenset(
     {
         "add", "addi", "sub", "mul", "li", "lui", "mv", "slli", "srli",
-        "beq", "bne", "bge", "blt", "bnez", "beqz", "j", "jal", "jalr",
+        "beq", "bne", "bge", "bgeu", "blt", "bltu", "bnez", "beqz",
+        "j", "jal", "jalr",
         "ret", "ld", "sd", "lw", "sw", "fld", "fsd", "flw", "fsw",
         "fadd.d", "fmul.d", "fmadd.d", "fadd.s", "fmul.s", "fmadd.s",
         "min", "max", "neg", "sext.w",

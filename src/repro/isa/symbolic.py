@@ -1,0 +1,359 @@
+"""Symbolic element domain for translation validation.
+
+The concrete interpreter (:mod:`repro.isa.interpreter`) executes vector
+programs on real NumPy buffers; the translation validator
+(:mod:`repro.analyze.transval`) executes them over *this* domain
+instead: every element is a term in a tiny expression language whose
+leaves are "the initial memory contents at byte address A, read at
+width W".  Two programs are observationally equivalent when every store
+they perform writes structurally equal terms to the same addresses —
+the element terms capture exactly the things the RVV v1.0 -> v0.7.1
+rollback can get wrong:
+
+* a width-encoded v1.0 load (``vle32.v``) rewritten to a SEW-implicit
+  form under the wrong ``vsetvli`` reinterprets the same bytes at a
+  different width — the ``Mem``/``Reinterpret`` leaves make that a
+  visible structural difference;
+* tail elements clobbered under a tail-agnostic model become ``Undef``
+  terms — harmless until something *observes* one, which is precisely
+  the reduction-accumulator pattern BLAS microkernels rely on;
+* renamed mnemonics (``vfredusum.vs`` -> ``vfredsum.vs``) map to the
+  same canonical operator, so a correct rename compares equal.
+
+Terms are frozen, hashable, and compared structurally.  Floating-point
+algebra is deliberately *not* applied: ``a+b`` and ``b+a`` are distinct
+terms, because the validator must prove the rollback preserves the
+exact operation order, not merely a mathematically equal result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Canonical semantic operator for each supported vector mnemonic.
+#: Dialect renames map to the SAME canonical op — that is the whole
+#: point: ``vfredusum.vs`` (v1.0) and ``vfredsum.vs`` (v0.7.1) must
+#: compare equal after a correct rollback.
+CANONICAL_OPS = {
+    "vfadd.vv": "fadd",
+    "vfsub.vv": "fsub",
+    "vfmul.vv": "fmul",
+    "vfdiv.vv": "fdiv",
+    "vfmin.vv": "fmin",
+    "vfmax.vv": "fmax",
+    "vadd.vv": "add",
+    "vsub.vv": "sub",
+    "vmul.vv": "mul",
+    "vfmacc.vv": "fmacc",
+    "vfnmsac.vv": "fnmsac",
+    "vfredusum.vs": "fredsum",
+    "vfredsum.vs": "fredsum",
+    "vfredosum.vs": "fredosum",
+    "vredsum.vs": "redsum",
+}
+
+
+class Sym:
+    """Base class for symbolic element terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Mem(Sym):
+    """The initial contents of memory at ``addr``, read at ``width``
+    bits — the symbolic input leaves."""
+
+    addr: int
+    width: int
+
+    def __repr__(self) -> str:
+        return f"mem[{self.addr:#x}]:{self.width}"
+
+
+@dataclass(frozen=True)
+class Lit(Sym):
+    """A compile-time immediate (``vmv.v.i``)."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"lit({self.value})"
+
+
+@dataclass(frozen=True)
+class Undef(Sym):
+    """A tail-agnostic (or otherwise unspecified) element.
+
+    Each instance is *fresh*: two Undefs never compare equal to each
+    other by serial, modelling "the hardware may put anything here".
+    The validator treats Undef-vs-Undef as compatible (both sides are
+    unspecified) but Undef-vs-defined as a divergence.
+    """
+
+    origin: str
+    serial: int
+
+    def __repr__(self) -> str:
+        return f"undef<{self.origin}#{self.serial}>"
+
+
+@dataclass(frozen=True)
+class Bin(Sym):
+    """An elementwise binary operation."""
+
+    op: str
+    lhs: Sym
+    rhs: Sym
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.lhs!r}, {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class Fma(Sym):
+    """A fused multiply-accumulate (``acc +/- a*b`` in one rounding)."""
+
+    acc: Sym
+    a: Sym
+    b: Sym
+    negate: bool = False
+
+    def __repr__(self) -> str:
+        sign = "-" if self.negate else "+"
+        return f"fma({self.acc!r} {sign} {self.a!r}*{self.b!r})"
+
+
+@dataclass(frozen=True)
+class Fold(Sym):
+    """A vector reduction folded into element 0."""
+
+    op: str
+    init: Sym
+    elems: tuple[Sym, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.op}(init={self.init!r}, n={len(self.elems)})"
+
+
+@dataclass(frozen=True)
+class Reinterpret(Sym):
+    """Bytes stored at one width, loaded back at another.
+
+    ``parts`` lists the overlapping stored ``(addr, width, value)``
+    triples; ``width`` is the width of the offending load.  Any term
+    containing one of these witnesses a width-encoded-load
+    reinterpretation hazard.
+    """
+
+    addr: int
+    width: int
+    parts: tuple[tuple[int, int, Sym], ...]
+
+    def __repr__(self) -> str:
+        return f"reinterp[{self.addr:#x}]:{self.width}"
+
+
+_UNDEF_COUNTER = itertools.count()
+
+
+def fresh_undef(origin: str) -> Undef:
+    """A fresh unspecified element (tail-agnostic clobber)."""
+    return Undef(origin=origin, serial=next(_UNDEF_COUNTER))
+
+
+def canonical_op(mnemonic: str) -> str | None:
+    """The dialect-independent operator for a vector mnemonic, or
+    ``None`` when the mnemonic is not a modelled arithmetic op."""
+    return CANONICAL_OPS.get(mnemonic)
+
+
+def contains_undef(term: Sym) -> bool:
+    """Whether any leaf of ``term`` is an :class:`Undef`."""
+    if isinstance(term, Undef):
+        return True
+    if isinstance(term, Bin):
+        return contains_undef(term.lhs) or contains_undef(term.rhs)
+    if isinstance(term, Fma):
+        return (
+            contains_undef(term.acc)
+            or contains_undef(term.a)
+            or contains_undef(term.b)
+        )
+    if isinstance(term, Fold):
+        return contains_undef(term.init) or any(
+            contains_undef(e) for e in term.elems
+        )
+    if isinstance(term, Reinterpret):
+        return any(contains_undef(v) for _a, _w, v in term.parts)
+    return False
+
+
+def load_widths(term: Sym) -> frozenset[int]:
+    """All memory-read widths appearing in the leaves of ``term``."""
+    out: set[int] = set()
+    _collect_widths(term, out)
+    return frozenset(out)
+
+
+def _collect_widths(term: Sym, out: set[int]) -> None:
+    if isinstance(term, Mem):
+        out.add(term.width)
+    elif isinstance(term, Reinterpret):
+        out.add(term.width)
+        for _addr, width, value in term.parts:
+            out.add(width)
+            _collect_widths(value, out)
+    elif isinstance(term, Bin):
+        _collect_widths(term.lhs, out)
+        _collect_widths(term.rhs, out)
+    elif isinstance(term, Fma):
+        _collect_widths(term.acc, out)
+        _collect_widths(term.a, out)
+        _collect_widths(term.b, out)
+    elif isinstance(term, Fold):
+        _collect_widths(term.init, out)
+        for elem in term.elems:
+            _collect_widths(elem, out)
+
+
+def contains_reinterpret(term: Sym) -> bool:
+    """Whether ``term`` contains a width-reinterpretation witness."""
+    if isinstance(term, Reinterpret):
+        return True
+    if isinstance(term, Bin):
+        return contains_reinterpret(term.lhs) or contains_reinterpret(term.rhs)
+    if isinstance(term, Fma):
+        return (
+            contains_reinterpret(term.acc)
+            or contains_reinterpret(term.a)
+            or contains_reinterpret(term.b)
+        )
+    if isinstance(term, Fold):
+        return contains_reinterpret(term.init) or any(
+            contains_reinterpret(e) for e in term.elems
+        )
+    return False
+
+
+def mem_leaves(term: Sym) -> frozenset[Mem]:
+    """Every initial-memory leaf read by ``term`` — the term's input
+    footprint, used to show which bytes a divergent value depends on."""
+    out: set[Mem] = set()
+    _collect_mem(term, out)
+    return frozenset(out)
+
+
+def _collect_mem(term: Sym, out: set[Mem]) -> None:
+    if isinstance(term, Mem):
+        out.add(term)
+    elif isinstance(term, Bin):
+        _collect_mem(term.lhs, out)
+        _collect_mem(term.rhs, out)
+    elif isinstance(term, Fma):
+        _collect_mem(term.acc, out)
+        _collect_mem(term.a, out)
+        _collect_mem(term.b, out)
+    elif isinstance(term, Fold):
+        _collect_mem(term.init, out)
+        for elem in term.elems:
+            _collect_mem(elem, out)
+    elif isinstance(term, Reinterpret):
+        for _addr, _width, value in term.parts:
+            _collect_mem(value, out)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """Why two terms are not equivalent."""
+
+    reason: str
+    detail: str = ""
+
+
+def compare_terms(src: Sym, tgt: Sym) -> Mismatch | None:
+    """Structural equivalence of two element terms.
+
+    Returns ``None`` when equivalent.  ``Undef`` on both sides is
+    compatible (both unspecified); ``Undef`` on exactly one side is the
+    tail-policy hazard; differing load widths are the reinterpretation
+    hazard; anything else is a plain value divergence.
+    """
+    if src == tgt:
+        return None
+    src_undef = contains_undef(src)
+    tgt_undef = contains_undef(tgt)
+    if isinstance(src, Undef) and isinstance(tgt, Undef):
+        return None
+    if src_undef != tgt_undef:
+        side = "source" if src_undef else "rolled-back"
+        return Mismatch(
+            reason="tail-policy",
+            detail=f"the {side} value is tail-agnostic (unspecified) "
+            "while the other side carries a defined value",
+        )
+    if src_undef and tgt_undef:
+        # Both contain undef mixed into arithmetic: unspecified either
+        # way, but through different computations — still a hazard.
+        return Mismatch(
+            reason="tail-policy",
+            detail="both sides mix tail-agnostic values into arithmetic "
+            "through different expressions",
+        )
+    if contains_reinterpret(src) or contains_reinterpret(tgt):
+        return Mismatch(
+            reason="width-load",
+            detail="a load reinterprets bytes stored at a different "
+            "element width",
+        )
+    if load_widths(src) != load_widths(tgt):
+        return Mismatch(
+            reason="width-load",
+            detail=f"source reads memory at widths "
+            f"{sorted(load_widths(src))}, rolled-back at "
+            f"{sorted(load_widths(tgt))}",
+        )
+    return Mismatch(
+        reason="value",
+        detail=f"source computes {src!r}, rolled-back computes {tgt!r}",
+    )
+
+
+@dataclass
+class SymbolicMemory:
+    """Element-granular symbolic memory.
+
+    Reads of never-written addresses produce :class:`Mem` leaves (the
+    symbolic initial image, shared by both machines of a validation
+    pair); reads that overlap prior stores return the stored term when
+    the (address, width) matches exactly and a :class:`Reinterpret`
+    witness otherwise.
+    """
+
+    cells: dict[int, tuple[int, Sym]] = field(default_factory=dict)
+
+    def store(self, addr: int, width: int, value: Sym) -> None:
+        self.cells[addr] = (width, value)
+
+    def load(self, addr: int, width: int) -> Sym:
+        hit = self.cells.get(addr)
+        if hit is not None and hit[0] == width:
+            return hit[1]
+        overlaps = self._overlapping(addr, width)
+        if not overlaps:
+            return Mem(addr=addr, width=width)
+        return Reinterpret(addr=addr, width=width, parts=tuple(overlaps))
+
+    def _overlapping(
+        self, addr: int, width: int
+    ) -> list[tuple[int, int, Sym]]:
+        lo, hi = addr, addr + width // 8
+        out = []
+        for cell_addr, (cell_width, value) in sorted(self.cells.items()):
+            if cell_addr < hi and lo < cell_addr + cell_width // 8:
+                out.append((cell_addr, cell_width, value))
+        return out
+
+    def snapshot(self) -> dict[int, tuple[int, Sym]]:
+        return dict(self.cells)

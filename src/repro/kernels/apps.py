@@ -645,7 +645,10 @@ class Vol3d(Kernel):
         axes = np.arange(side, dtype=np.float64)
         zz, yy, xx = np.meshgrid(axes, axes, axes, indexing="ij")
         rng = self.rng()
-        jitter = lambda: (rng.random((side, side, side)) - 0.5) * 0.2
+
+        def jitter():
+            return (rng.random((side, side, side)) - 0.5) * 0.2
+
         return {
             "x": (xx + jitter()).astype(npdt),
             "y": (yy + jitter()).astype(npdt),

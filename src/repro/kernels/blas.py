@@ -1,0 +1,278 @@
+"""BLAS library-kernel family: GEMM/GEMV/TRSM/SYRK-shaped workloads.
+
+The paper's ecosystem finding is that the SG2042's RVV 0.7.1 breaks the
+library stack — OpenBLAS miscomputes under the v1.0->v0.7.1 rollback
+(the HPCGame problem in SNIPPETS.md). This module models that stack:
+each kernel is a blocked BLAS routine characterized like the RAJAPerf
+kernels (traits + loop-nest IR in :mod:`repro.kernels.ir_defs`) and
+additionally names the **vector microkernel** its inner loop compiles
+to:
+
+* ``"dot"`` — the inner-product micro-tile (GEMM/GEMV): a vector
+  accumulator carries partial sums *across strips in its tail lanes*,
+  folded once at the end. Correct only under tail-undisturbed
+  semantics — the microkernel the rollback can miscompile.
+* ``"update"`` — the load-modify-store micro-tile (TRSM elimination
+  steps, SYRK rank-k accumulation): every lane is written back each
+  strip, so no value survives in a tail lane.
+
+``repro lint --transval`` rolls each microkernel back to v0.7.1 and
+proves (or refutes) semantic equivalence; :mod:`repro.apps.hpl`
+consumes the verdicts to predict whole-application impact — a kernel
+whose rollback fails validation must take the scalar fallback path,
+exactly what OpenBLAS's generic C kernels do.
+
+The family deliberately lives *outside* the 64-kernel RAJAPerf
+registry (the suite composition is pinned to the paper); lookup goes
+through :func:`repro.kernels.registry.get_kernel`'s library fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import (
+    Kernel,
+    KernelClass,
+    KernelTraits,
+    LoopFeature,
+    Workspace,
+    numpy_dtype,
+)
+from repro.machine.vector import DType
+from repro.util.errors import ConfigError
+
+#: Microkernel shapes a BLAS kernel's inner loop compiles to.
+MICROKERNELS = ("dot", "update")
+
+
+def _square(n: int) -> int:
+    return max(1, int(round(n ** 0.5)))
+
+
+def _matrix(kernel: Kernel, dim: int, dtype: DType, salt: int) -> np.ndarray:
+    rng = kernel.rng(salt)
+    return rng.random((dim, dim)).astype(numpy_dtype(dtype))
+
+
+class BlasKernel(Kernel):
+    """A BLAS routine with a named vector microkernel."""
+
+    #: Which micro-tile the inner loop lowers to ("dot" or "update").
+    microkernel: str = "dot"
+    #: The accumulating vector op of an "update" microkernel.
+    update_op: str = "vfmacc.vv"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if getattr(cls, "name", "") and cls.microkernel not in MICROKERNELS:
+            raise ConfigError(
+                f"{cls.name}: unknown microkernel {cls.microkernel!r}"
+            )
+
+
+class Dgemm(BlasKernel):
+    """Blocked ``C = alpha*A@B + beta*C`` — HPL's flop carrier.
+
+    The micro-tile is a dot product: the k-loop accumulates into vector
+    registers and folds once per tile, so the rollback must preserve
+    tail-undisturbed accumulator lanes.
+    """
+
+    name = "DGEMM"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000  # -> 1000x1000
+    reps = 5
+    microkernel = "dot"
+    traits = KernelTraits(
+        flops_per_iter=2000.0,  # 2*N per element at N=1000
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=3.0,
+        features=frozenset(
+            {LoopFeature.OUTER_ONLY_PARALLEL, LoopFeature.SMALL_INNER_TRIP}
+        ),
+        traffic_scale=0.05,  # blocked: most operands come from cache
+        vector_speedup_cap=0.8,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, dim, dtype, 0),
+            "B": _matrix(self, dim, dtype, 1),
+            "C": _matrix(self, dim, dtype, 2),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        C = ws["C"]
+        C *= ws["beta"]
+        C += ws["alpha"] * (ws["A"] @ ws["B"])
+
+
+class Dgemv(BlasKernel):
+    """``y = alpha*A@x + beta*y`` — one dot product per output row."""
+
+    name = "DGEMV"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000
+    reps = 50
+    microkernel = "dot"
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=1.0,
+        writes_per_iter=0.01,
+        footprint_elems=1.0,
+        features=frozenset(
+            {LoopFeature.NESTED_REDUCTION, LoopFeature.OUTER_ONLY_PARALLEL}
+        ),
+        vector_speedup_cap=0.7,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        rng = self.rng(1)
+        return {
+            "A": _matrix(self, dim, dtype, 0),
+            "x": rng.random(dim).astype(npdt),
+            "y": np.zeros(dim, dtype=npdt),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        y = ws["y"]
+        y *= ws["beta"]
+        y += ws["alpha"] * (ws["A"] @ ws["x"])
+
+
+class Dtrsm(BlasKernel):
+    """Triangular solve ``L x = b`` (forward substitution).
+
+    The elimination step is an update microkernel: each solved unknown
+    is scattered into the remaining right-hand side with ``vfnmsac``
+    (``b[i] -= L[i,j] * x[j]``) — a load-modify-store with no live tail
+    state. The solve order itself is a true recurrence.
+    """
+
+    name = "DTRSM"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000
+    reps = 20
+    microkernel = "update"
+    update_op = "vfnmsac.vv"
+    traits = KernelTraits(
+        flops_per_iter=2.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=1.5,
+        features=frozenset({LoopFeature.LOOP_CARRIED_DEP}),
+        parallel_fraction=0.70,
+        vector_speedup_cap=0.6,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        rng = self.rng(1)
+        L = np.tril(_matrix(self, dim, dtype, 0)) + np.eye(
+            dim, dtype=npdt
+        ) * npdt(dim)
+        return {"L": L, "b": rng.random(dim).astype(npdt)}
+
+    def execute(self, ws: Workspace) -> None:
+        L, b = ws["L"], ws["b"]
+        x = b.copy()
+        for j in range(L.shape[0]):
+            x[j] /= L[j, j]
+            # The update microkernel: b[j+1:] -= L[j+1:, j] * x[j].
+            x[j + 1:] -= L[j + 1:, j] * x[j]
+        ws["x"] = x
+
+    def checksum(self, ws: Workspace) -> float:
+        return float(np.sum(ws.get("x", ws["b"]), dtype=np.float64))
+
+
+class Dsyrk(BlasKernel):
+    """Rank-k update ``C = alpha*A@A.T + beta*C``.
+
+    Blocked like GEMM but the accumulation streams through memory
+    (``C`` tiles are loaded, updated with ``vfmacc`` and stored back),
+    so the microkernel is an update, not a dot.
+    """
+
+    name = "DSYRK"
+    klass = KernelClass.POLYBENCH
+    default_size = 1_000_000
+    reps = 5
+    microkernel = "update"
+    update_op = "vfmacc.vv"
+    traits = KernelTraits(
+        flops_per_iter=2000.0,
+        reads_per_iter=2.0,
+        writes_per_iter=1.0,
+        footprint_elems=2.0,
+        features=frozenset(
+            {LoopFeature.OUTER_ONLY_PARALLEL, LoopFeature.SMALL_INNER_TRIP}
+        ),
+        traffic_scale=0.05,
+        vector_speedup_cap=0.8,
+    )
+
+    def prepare(self, n: int, dtype: DType) -> Workspace:
+        dim = _square(n)
+        npdt = numpy_dtype(dtype)
+        return {
+            "A": _matrix(self, dim, dtype, 0),
+            "C": _matrix(self, dim, dtype, 1),
+            "alpha": npdt(1.5),
+            "beta": npdt(1.2),
+        }
+
+    def execute(self, ws: Workspace) -> None:
+        C = ws["C"]
+        C *= ws["beta"]
+        C += ws["alpha"] * (ws["A"] @ ws["A"].T)
+
+
+BLAS_KERNELS: tuple[type[BlasKernel], ...] = (Dgemm, Dgemv, Dtrsm, Dsyrk)
+
+
+def blas_kernel_types() -> dict[str, type[BlasKernel]]:
+    """BLAS kernel classes by name (the registry's library fallback)."""
+    return {ktype.name: ktype for ktype in BLAS_KERNELS}
+
+
+def all_blas_kernels() -> list[BlasKernel]:
+    """Fresh instances of the whole BLAS family."""
+    return [ktype() for ktype in BLAS_KERNELS]
+
+
+def microkernel_loop(
+    kernel: BlasKernel, flavor, rvv_version: str = "1.0",
+    vector_bits: int = 128,
+):
+    """The vector microkernel a BLAS kernel's inner loop compiles to,
+    as a list of :class:`~repro.isa.encoding.Instruction` — the program
+    the translation validator rolls back and checks."""
+    from repro.isa.codegen import LoopSpec, generate_dot_loop, generate_loop
+
+    if kernel.microkernel == "dot":
+        return generate_dot_loop(
+            DType.FP64, flavor, rvv_version=rvv_version,
+            vector_bits=vector_bits,
+        )
+    spec = LoopSpec(
+        dtype=DType.FP64,
+        num_inputs=2,
+        ops=(kernel.update_op,),
+        has_store=True,
+        load_dest=True,
+    )
+    return generate_loop(
+        spec, flavor, rvv_version=rvv_version, vector_bits=vector_bits
+    )

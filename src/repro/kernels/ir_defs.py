@@ -485,9 +485,31 @@ KERNEL_IR: dict[str, LoopNest] = {
 }
 
 
+#: Loop-nest IR for the BLAS library family (:mod:`repro.kernels.blas`).
+#: Kept out of :data:`KERNEL_IR` so the RAJAPerf catalog stays pinned at
+#: 64 entries; :func:`ir_for` consults both.
+BLAS_IR: dict[str, LoopNest] = {
+    "DGEMM": _matmul_nest(),
+    "DGEMV": _matvec_nest(),
+    "DSYRK": _matmul_nest(),
+    # Forward substitution: the solve order is a distance-1 recurrence
+    # (each unknown feeds the next elimination step).
+    "DTRSM": LoopNest(
+        loops=(
+            Loop(TRIP_N, parallel=False, body=(
+                Recurrence((read("L"), read("b"), write("x")),
+                           distance=1),
+            )),
+        )
+    ),
+}
+
+
 def ir_for(kernel_name: str) -> LoopNest:
-    """The IR sketch for one kernel (by RAJAPerf name)."""
+    """The IR sketch for one kernel (by RAJAPerf or BLAS name)."""
     key = kernel_name.upper()
-    if key not in KERNEL_IR:
-        raise ConfigError(f"no IR defined for kernel {kernel_name!r}")
-    return KERNEL_IR[key]
+    if key in KERNEL_IR:
+        return KERNEL_IR[key]
+    if key in BLAS_IR:
+        return BLAS_IR[key]
+    raise ConfigError(f"no IR defined for kernel {kernel_name!r}")

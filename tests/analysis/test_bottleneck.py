@@ -6,7 +6,7 @@ from repro.analysis.bottleneck import (
     attribute_bottlenecks,
     render_bottleneck_report,
 )
-from repro.kernels.registry import all_kernels, get_kernel
+from repro.kernels.registry import get_kernel
 from repro.suite.config import RunConfig
 from repro.util.errors import ConfigError
 

@@ -8,7 +8,7 @@ from repro.analysis.roofline import (
     classify_kernels,
     render_roofline_report,
 )
-from repro.kernels.registry import all_kernels, get_kernel
+from repro.kernels.registry import get_kernel
 from repro.machine import catalog
 from repro.machine.vector import DType
 from repro.util.errors import ConfigError

@@ -6,7 +6,7 @@ import pytest
 from repro.analyze.asmcheck import check_assembly
 from repro.analyze.report import Severity
 from repro.compiler.model import VectorFlavor
-from repro.isa.codegen import LoopSpec, generate_loop
+from repro.isa.codegen import LoopSpec, generate_dot_loop, generate_loop
 from repro.isa.encoding import render_assembly
 from repro.isa.rollback import rollback
 from repro.isa.rvv import RVV_0_7_1, RVV_1_0
@@ -218,6 +218,107 @@ class TestTermination:
         asm = "    li t0, 1\n    bnez t0, nowhere\n    ret\n"
         errs = errors(check_assembly(asm, RVV_1_0))
         assert any("unknown label" in e.message for e in errs)
+
+
+class TestThresholdBackedges:
+    """bgeu/blt-terminated loops — the strip-mine remainder idiom the
+    dot microkernel emits.  Threshold exits terminate for any positive
+    step, so no lane-multiple INFO applies."""
+
+    @pytest.mark.parametrize("flavor", [VectorFlavor.VLS,
+                                        VectorFlavor.VLA])
+    @pytest.mark.parametrize("version,dialect",
+                             [("1.0", RVV_1_0), ("0.7.1", RVV_0_7_1)])
+    def test_dot_loops_prove_clean(self, flavor, version, dialect):
+        asm = render_assembly(
+            generate_dot_loop(DType.FP64, flavor, rvv_version=version)
+        )
+        assert check_assembly(asm, dialect) == []
+
+    def test_rolled_back_dot_loop_proves_clean(self):
+        asm = render_assembly(
+            generate_dot_loop(DType.FP64, VectorFlavor.VLS)
+        )
+        assert check_assembly(rollback(asm), RVV_0_7_1) == []
+
+    def test_bgeu_countdown_loop_needs_no_divisibility_info(self):
+        asm = (
+            "    li t1, 4\n"
+            "loop:\n"
+            "    sub a0, a0, t1\n"
+            "    bgeu a0, t1, loop\n"
+            "    ret\n"
+        )
+        assert check_assembly(asm, RVV_1_0) == []
+
+    def test_blt_countup_loop_proves_clean(self):
+        asm = (
+            "    li t0, 0\n"
+            "    li t1, 4\n"
+            "    li t2, 64\n"
+            "loop:\n"
+            "    add t0, t0, t1\n"
+            "    blt t0, t2, loop\n"
+            "    ret\n"
+        )
+        assert check_assembly(asm, RVV_1_0) == []
+
+    def test_blt_commuted_add_proves_clean(self):
+        asm = (
+            "    li t0, 0\n"
+            "    li t1, 4\n"
+            "    li t2, 64\n"
+            "loop:\n"
+            "    add t0, t1, t0\n"
+            "    blt t0, t2, loop\n"
+            "    ret\n"
+        )
+        assert check_assembly(asm, RVV_1_0) == []
+
+    def test_bgeu_loop_without_decrement_is_an_error(self):
+        asm = (
+            "    li t1, 4\n"
+            "loop:\n"
+            "    add a1, a1, t1\n"
+            "    bgeu a0, t1, loop\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("cannot terminate" in e.message for e in errs)
+
+    def test_blt_loop_without_increment_is_an_error(self):
+        asm = (
+            "    li t0, 0\n"
+            "    li t2, 64\n"
+            "loop:\n"
+            "    add a1, a1, t2\n"
+            "    blt t0, t2, loop\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("never increments" in e.message for e in errs)
+
+    def test_clobbered_threshold_register_is_an_error(self):
+        asm = (
+            "    li t1, 4\n"
+            "loop:\n"
+            "    li a0, 9\n"
+            "    sub a0, a0, t1\n"
+            "    bgeu a0, t1, loop\n"
+            "    ret\n"
+        )
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("redefined" in e.message for e in errs)
+
+    def test_threshold_branch_to_unknown_label(self):
+        asm = "    li t1, 4\n    bgeu a0, t1, nowhere\n    ret\n"
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("unknown label" in e.message for e in errs)
+
+    def test_threshold_branch_checks_both_registers(self):
+        asm = "    bltu a0, t5, done\ndone:\n    ret\n"
+        errs = errors(check_assembly(asm, RVV_1_0))
+        assert any("'t5'" in e.message for e in errs)
 
 
 class TestProgramShape:

@@ -1,5 +1,6 @@
 """The ``repro lint`` subcommand: exit codes and output contract."""
 
+import json
 from dataclasses import replace
 from types import SimpleNamespace
 
@@ -29,6 +30,53 @@ class TestLintCommand:
     def test_unknown_kernel_is_generic_cli_error(self):
         assert main(["lint", "--kernels", "NOT_A_KERNEL",
                      "--no-asm"]) == 2
+
+
+class TestTransvalCommand:
+    def test_transval_sweep_is_clean(self, capsys):
+        assert main(["lint", "--all", "--transval"]) == 0
+        out = capsys.readouterr().out
+        assert "20 rollback pairs" in out
+        assert "lint: clean" in out
+
+    def test_demo_miscompile_exits_three(self, capsys):
+        rc = main(
+            ["lint", "--no-asm", "--kernels", "TRIAD", "--transval",
+             "--demo-miscompile"]
+        )
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "tail-policy" in out
+        assert "blas/DGEMM" in out and "blas/DGEMV" in out
+        assert "lint: FAIL" in out
+
+    def test_json_format_emits_the_stable_schema(self, capsys):
+        rc = main(
+            ["lint", "--no-asm", "--kernels", "TRIAD", "--transval",
+             "--format", "json"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        summary = report["summary"]
+        assert summary["pairs_checked"] == 20
+        assert summary["status"] == "clean"
+        assert summary["exit_code"] == 0
+
+    def test_json_findings_carry_categories(self, capsys):
+        rc = main(
+            ["lint", "--no-asm", "--kernels", "TRIAD", "--transval",
+             "--demo-miscompile", "--format", "json",
+             "--min-severity", "error"]
+        )
+        assert rc == 3
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["exit_code"] == 3
+        assert report["findings"]
+        assert all(
+            f["category"] == "tail-policy" and f["severity"] == "error"
+            for f in report["findings"]
+        )
 
 
 class TestAsmFileLint:

@@ -130,3 +130,61 @@ class TestReport:
         f = Finding(Severity.ERROR, "races", "K:loop[0]", "msg",
                     hint="fix it")
         assert "hint: fix it" in f.render()
+
+    def test_finding_renders_category_tag(self):
+        f = Finding(Severity.ERROR, "transval", "p:store[0]", "msg",
+                    category="tail-policy")
+        assert "<tail-policy>" in f.render()
+        assert "<" not in Finding(
+            Severity.INFO, "asm", "a", "plain"
+        ).render()
+
+    def test_pairs_counter_only_rendered_when_the_sweep_ran(self):
+        silent = LintReport(kernels_checked=2)
+        assert "rollback pairs" not in silent.render()
+        ran = LintReport(kernels_checked=2, pairs_checked=20)
+        assert "20 rollback pairs" in ran.render()
+
+
+class TestJsonReport:
+    def test_schema_and_summary(self):
+        report = LintReport(
+            findings=[
+                Finding(Severity.INFO, "asm", "a", "note"),
+                Finding(Severity.ERROR, "transval", "b", "boom",
+                        category="vl-drift"),
+            ],
+            kernels_checked=64,
+            programs_checked=36,
+            pairs_checked=20,
+        )
+        doc = report.to_json()
+        assert doc["schema_version"] == 1
+        assert doc["summary"] == {
+            "kernels_checked": 64,
+            "programs_checked": 36,
+            "pairs_checked": 20,
+            "errors": 1,
+            "warnings": 0,
+            "infos": 1,
+            "status": "fail",
+            "exit_code": 3,
+        }
+        # Most severe first; findings are the stable per-item form.
+        assert doc["findings"][0] == {
+            "severity": "error",
+            "analyzer": "transval",
+            "category": "vl-drift",
+            "site": "b",
+            "message": "boom",
+            "hint": "",
+        }
+
+    def test_min_severity_filters_findings_not_counts(self):
+        report = LintReport(findings=[
+            Finding(Severity.INFO, "asm", "a", "note"),
+        ])
+        doc = report.to_json(min_severity=Severity.WARNING)
+        assert doc["findings"] == []
+        assert doc["summary"]["infos"] == 1
+        assert doc["summary"]["status"] == "clean"

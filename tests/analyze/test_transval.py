@@ -1,0 +1,392 @@
+"""Translation validation: the symbolic domain, the lockstep machine,
+pair verdicts and their miscompile classifications, and the lint
+sweep's coverage."""
+
+import pytest
+
+from repro.analyze.driver import iter_transval_pairs, lint_transval
+from repro.analyze.report import Severity
+from repro.analyze.transval import (
+    INPUT_A,
+    SymbolicMachine,
+    validate_pair,
+)
+from repro.compiler.model import VectorFlavor
+from repro.isa.codegen import LoopSpec, generate_dot_loop, generate_loop
+from repro.isa.encoding import render_assembly
+from repro.isa.rollback import rollback
+from repro.isa.symbolic import (
+    Bin,
+    Fold,
+    Lit,
+    Mem,
+    Reinterpret,
+    SymbolicMemory,
+    Undef,
+    canonical_op,
+    compare_terms,
+    contains_undef,
+    fresh_undef,
+    load_widths,
+)
+from repro.machine.vector import DType
+from repro.util.errors import IsaError
+
+
+def categories(verdict):
+    return {f.category for f in verdict.findings}
+
+
+def error_categories(verdict):
+    return {
+        f.category
+        for f in verdict.findings
+        if f.severity is Severity.ERROR
+    }
+
+
+def dot_pair(flavor=VectorFlavor.VLS, dtype=DType.FP64):
+    v10 = render_assembly(generate_dot_loop(dtype, flavor))
+    return v10, rollback(v10)
+
+
+def triad_pair(flavor=VectorFlavor.VLS, dtype=DType.FP32):
+    spec = LoopSpec(
+        dtype=dtype, num_inputs=2, ops=("vfmul.vv", "vfadd.vv")
+    )
+    v10 = render_assembly(generate_loop(spec, flavor, rvv_version="1.0"))
+    return v10, rollback(v10)
+
+
+class TestSymbolicTerms:
+    def test_identical_terms_compare_equal(self):
+        a = Bin("fadd", Mem(0x10, 32), Mem(0x20, 32))
+        b = Bin("fadd", Mem(0x10, 32), Mem(0x20, 32))
+        assert compare_terms(a, b) is None
+
+    def test_renamed_reductions_share_a_canonical_op(self):
+        assert canonical_op("vfredusum.vs") == canonical_op(
+            "vfredsum.vs"
+        )
+        fold_a = Fold("fredsum", Lit(0), (Mem(0, 64),))
+        fold_b = Fold("fredsum", Lit(0), (Mem(0, 64),))
+        assert compare_terms(fold_a, fold_b) is None
+
+    def test_undef_vs_defined_is_tail_policy(self):
+        mismatch = compare_terms(Mem(0, 32), fresh_undef("tail"))
+        assert mismatch is not None
+        assert mismatch.reason == "tail-policy"
+
+    def test_two_bare_undefs_are_compatible(self):
+        assert compare_terms(
+            fresh_undef("a"), fresh_undef("b")
+        ) is None
+
+    def test_undef_mixed_into_arithmetic_is_still_tail_policy(self):
+        a = Bin("fadd", fresh_undef("t"), Mem(0, 32))
+        b = Bin("fadd", fresh_undef("t"), Mem(0, 32))
+        mismatch = compare_terms(a, b)
+        assert mismatch is not None
+        assert mismatch.reason == "tail-policy"
+        assert contains_undef(a) and contains_undef(b)
+
+    def test_reinterpret_is_width_load(self):
+        witness = Reinterpret(0x10, 32, ((0x10, 64, Lit(1)),))
+        mismatch = compare_terms(Mem(0x10, 32), witness)
+        assert mismatch is not None
+        assert mismatch.reason == "width-load"
+
+    def test_differing_load_widths_are_width_load(self):
+        mismatch = compare_terms(Mem(0x10, 32), Mem(0x10, 64))
+        assert mismatch is not None
+        assert mismatch.reason == "width-load"
+        assert load_widths(Mem(0x10, 64)) == frozenset({64})
+
+    def test_plain_divergence_is_value(self):
+        a = Bin("fadd", Mem(0, 32), Mem(4, 32))
+        b = Bin("fmul", Mem(0, 32), Mem(4, 32))
+        mismatch = compare_terms(a, b)
+        assert mismatch is not None
+        assert mismatch.reason == "value"
+
+
+class TestSymbolicMemory:
+    def test_unwritten_load_yields_mem_leaf(self):
+        mem = SymbolicMemory()
+        assert mem.load(0x100, 64) == Mem(0x100, 64)
+
+    def test_exact_match_returns_stored_term(self):
+        mem = SymbolicMemory()
+        mem.store(0x100, 32, Lit(7))
+        assert mem.load(0x100, 32) == Lit(7)
+
+    def test_width_mismatched_reload_is_reinterpret(self):
+        mem = SymbolicMemory()
+        mem.store(0x100, 64, Lit(7))
+        loaded = mem.load(0x100, 32)
+        assert isinstance(loaded, Reinterpret)
+        assert loaded.parts == ((0x100, 64, Lit(7)),)
+
+    def test_partial_overlap_is_reinterpret(self):
+        mem = SymbolicMemory()
+        mem.store(0x100, 32, Lit(1))
+        loaded = mem.load(0x102, 32)
+        assert isinstance(loaded, Reinterpret)
+
+
+class TestSymbolicMachine:
+    def run_machine(self, text, n=2, tail_model="policy"):
+        machine = SymbolicMachine(tail_model=tail_model)
+        machine.set_s("a0", n)
+        machine.set_s("a1", INPUT_A)
+        machine.run(text)
+        return machine
+
+    def test_unknown_tail_model_rejected(self):
+        with pytest.raises(IsaError, match="tail model"):
+            SymbolicMachine(tail_model="mystery")
+
+    def test_vtype_trace_records_sew_and_vl(self):
+        machine = self.run_machine(
+            "vsetvli t0, a0, e32, m1, ta, ma\nret", n=3
+        )
+        assert len(machine.vtype_trace) == 1
+        event = machine.vtype_trace[0]
+        assert event.sew == 32 and event.vl == 3
+
+    def test_policy_model_honours_flags(self):
+        ta = self.run_machine("vsetvli t0, a0, e32, m1, ta, ma\nret")
+        tu = self.run_machine("vsetvli t0, a0, e32, m1, tu, ma\nret")
+        assert ta.tail_policy == "agnostic"
+        assert tu.tail_policy == "undisturbed"
+
+    def test_agnostic_model_clobbers_tail_lanes(self):
+        machine = self.run_machine(
+            "vsetvli t0, a0, e32, m1\nvle.v v1, (a1)\nret",
+            tail_model="agnostic",
+        )
+        tail = machine.vectors["v1"][machine.vl :]
+        assert tail and all(
+            isinstance(t, Undef) and t.origin.startswith("tail:")
+            for t in tail
+        )
+
+    def test_undisturbed_model_leaves_tails_alone(self):
+        machine = self.run_machine(
+            "vsetvli t0, a0, e32, m1\nvle.v v1, (a1)\nret",
+            tail_model="undisturbed",
+        )
+        tail = machine.vectors["v1"][machine.vl :]
+        assert all(t.origin.startswith("uninit:") for t in tail)
+
+    def test_store_trace_records_symbolic_lanes(self):
+        machine = SymbolicMachine()
+        machine.set_s("a0", 2)
+        machine.set_s("a1", INPUT_A)
+        machine.set_s("a3", 0x3000)
+        machine.run(
+            "vsetvli t0, a0, e32, m1, ta, ma\n"
+            "vle32.v v1, (a1)\n"
+            "vse32.v v1, (a3)\n"
+            "ret"
+        )
+        assert len(machine.store_trace) == 1
+        event = machine.store_trace[0]
+        assert event.addr == 0x3000 and event.width == 32
+        assert event.elems == (Mem(INPUT_A, 32), Mem(INPUT_A + 4, 32))
+
+
+SRC_COPY = (
+    "vsetvli t0, a0, e32, m1, ta, ma\n"
+    "vle32.v v1, (a1)\n"
+    "vse32.v v1, (a3)\n"
+    "ret"
+)
+
+
+class TestValidatePair:
+    def test_correct_rollback_is_equivalent(self):
+        v10, v071 = triad_pair(VectorFlavor.VLS)
+        verdict = validate_pair(v10, v071, "triad/vls", n=12)
+        assert verdict.equivalent
+        assert verdict.findings == []
+        assert verdict.store_events > 0
+
+    def test_dot_rollback_is_equivalent_on_real_hardware_model(self):
+        v10, v071 = dot_pair(VectorFlavor.VLS)
+        verdict = validate_pair(v10, v071, "dot/vls", n=5)
+        assert verdict.equivalent
+        assert verdict.findings == []
+
+    @pytest.mark.parametrize(
+        "flavor", [VectorFlavor.VLS, VectorFlavor.VLA]
+    )
+    def test_tail_agnostic_rollback_miscompiles_dot(self, flavor):
+        """The seeded demo: a rollback assuming tail-agnostic hardware
+        clobbers the cross-strip partial sums the fold reads back."""
+        v10, v071 = dot_pair(flavor)
+        verdict = validate_pair(
+            v10, v071, "dot", n=5, target_tail_model="agnostic"
+        )
+        assert not verdict.equivalent
+        assert "tail-policy" in error_categories(verdict)
+
+    def test_tail_agnostic_model_spares_elementwise_loops(self):
+        """Elementwise loops never observe a tail lane: the demo model
+        pinpoints the kernels where the policy matters."""
+        v10, v071 = triad_pair(VectorFlavor.VLS)
+        verdict = validate_pair(
+            v10, v071, "triad", n=12, target_tail_model="agnostic"
+        )
+        assert verdict.equivalent
+
+    def test_vl_drift_without_stores_is_a_warning(self):
+        src = "vsetvli t0, a0, e32, m1, ta, ma\nret"
+        tgt = "li t5, 2\nvsetvli t0, t5, e32, m1\nret"
+        verdict = validate_pair(src, tgt, "pair", n=3)
+        assert verdict.equivalent  # warning only
+        assert categories(verdict) == {"vl-drift"}
+        assert verdict.findings[0].severity is Severity.WARNING
+
+    def test_observed_vl_drift_is_an_error(self):
+        tgt = (
+            "li t5, 2\n"
+            "vsetvli t0, t5, e32, m1\n"
+            "vle.v v1, (a1)\n"
+            "vse.v v1, (a3)\n"
+            "ret"
+        )
+        verdict = validate_pair(SRC_COPY, tgt, "pair", n=3)
+        assert not verdict.equivalent
+        assert "vl-drift" in error_categories(verdict)
+
+    def test_sew_divergence_is_vtype_drift(self):
+        src = "vsetvli t0, a0, e32, m1, ta, ma\nret"
+        tgt = "vsetvli t0, a0, e64, m1\nret"
+        verdict = validate_pair(src, tgt, "pair", n=2)
+        assert error_categories(verdict) == {"vtype-drift"}
+
+    def test_vset_count_divergence_is_vtype_drift(self):
+        src = "vsetvli t0, a0, e32, m1, ta, ma\nret"
+        tgt = (
+            "vsetvli t0, a0, e32, m1\n"
+            "vsetvli t0, a0, e32, m1\n"
+            "ret"
+        )
+        verdict = validate_pair(src, tgt, "pair", n=2)
+        assert error_categories(verdict) == {"vtype-drift"}
+        assert any(
+            "configures vtype" in f.message for f in verdict.findings
+        )
+
+    def test_store_width_divergence_is_width_load(self):
+        tgt = (
+            "vsetvli t0, a0, e32, m1\n"
+            "vle.v v1, (a1)\n"
+            "vse64.v v1, (a3)\n"
+            "ret"
+        )
+        verdict = validate_pair(SRC_COPY, tgt, "pair", n=3)
+        assert "width-load" in error_categories(verdict)
+
+    def test_load_width_divergence_is_width_load(self):
+        tgt = (
+            "vsetvli t0, a0, e32, m1\n"
+            "vle64.v v1, (a1)\n"
+            "vse.v v1, (a3)\n"
+            "ret"
+        )
+        verdict = validate_pair(SRC_COPY, tgt, "pair", n=3)
+        assert "width-load" in error_categories(verdict)
+
+    def test_dropped_store_is_value_divergence(self):
+        tgt = "vsetvli t0, a0, e32, m1\nvle.v v1, (a1)\nret"
+        verdict = validate_pair(SRC_COPY, tgt, "pair", n=3)
+        assert "value" in error_categories(verdict)
+        assert any(
+            "vector stores" in f.message for f in verdict.findings
+        )
+
+    def test_different_computation_is_value_divergence(self):
+        src = (
+            "vsetvli t0, a0, e32, m1, ta, ma\n"
+            "vle32.v v1, (a1)\n"
+            "vle32.v v2, (a2)\n"
+            "vfadd.vv v0, v1, v2\n"
+            "vse32.v v0, (a3)\n"
+            "ret"
+        )
+        tgt = (
+            "vsetvli t0, a0, e32, m1\n"
+            "vle.v v1, (a1)\n"
+            "vle.v v2, (a2)\n"
+            "vfmul.vv v0, v1, v2\n"
+            "vse.v v0, (a3)\n"
+            "ret"
+        )
+        verdict = validate_pair(src, tgt, "pair", n=3)
+        assert error_categories(verdict) == {"value"}
+
+    def test_broken_target_is_exec_error(self):
+        verdict = validate_pair(
+            SRC_COPY, "vfadd.vv v0, v1, v2\nret", "pair", n=3
+        )
+        assert error_categories(verdict) == {"exec-error"}
+        assert verdict.findings[0].site.endswith(":target")
+
+    def test_broken_source_is_exec_error(self):
+        verdict = validate_pair(
+            "vfadd.vv v0, v1, v2\nret", SRC_COPY, "pair", n=3
+        )
+        assert error_categories(verdict) == {"exec-error"}
+        assert verdict.findings[0].site.endswith(":source")
+
+    def test_findings_carry_the_pair_id_site_prefix(self):
+        v10, v071 = dot_pair()
+        verdict = validate_pair(
+            v10, v071, "blas/DGEMM/dot/vls", n=5,
+            target_tail_model="agnostic",
+        )
+        assert verdict.findings
+        assert all(
+            f.site.startswith("blas/DGEMM/dot/vls:")
+            for f in verdict.findings
+        )
+
+
+class TestLintSweep:
+    def test_sweep_covers_every_pair(self):
+        pairs = list(iter_transval_pairs())
+        ids = [pair_id for pair_id, _v10, _v071, _n in pairs]
+        # 2 shapes x 3 dtypes x 2 flavours + 4 BLAS kernels x 2 flavours
+        assert len(ids) == 20
+        assert len(set(ids)) == 20
+        for token in (
+            "triad/fp64/vls",
+            "axpy/fp16/vla",
+            "blas/DGEMM/dot/vls",
+            "blas/DGEMV/dot/vla",
+            "blas/DTRSM/update/vls",
+            "blas/DSYRK/update/vla",
+        ):
+            assert token in ids
+
+    def test_clean_sweep_proves_all_pairs(self):
+        findings, count = lint_transval()
+        assert count == 20
+        assert findings == []
+
+    def test_demo_miscompile_pinpoints_the_dot_microkernels(self):
+        findings, count = lint_transval(demo_miscompile=True)
+        assert count == 20
+        errs = [
+            f for f in findings if f.severity is Severity.ERROR
+        ]
+        assert len(errs) == 4
+        assert all(f.category == "tail-policy" for f in errs)
+        assert {f.site.split(":")[0] for f in errs} == {
+            "blas/DGEMM/dot/vls",
+            "blas/DGEMM/dot/vla",
+            "blas/DGEMV/dot/vls",
+            "blas/DGEMV/dot/vla",
+        }

@@ -11,9 +11,10 @@ from repro.apps.hpl import (
     hpl_residual,
     lu_factor,
     lu_solve,
+    miscompiled_blas_kernels,
     predict_hpl,
+    predict_hpl_library_impact,
 )
-from repro.machine import catalog
 from repro.util.errors import ConfigError
 
 
@@ -125,3 +126,73 @@ class TestPredictions:
     def test_thread_validation(self, sg2042):
         with pytest.raises(ConfigError):
             predict_hpl(sg2042, threads=65)
+
+
+class TestLibraryImpact:
+    """Translation-validation verdicts propagated to whole-application
+    terms: a miscompiled DGEMM forces the scalar BLAS fallback."""
+
+    def test_clean_library_keeps_the_vector_rmax(self, sg2042):
+        impact = predict_hpl_library_impact(sg2042)
+        assert impact.miscompiled == ()
+        assert impact.rmax_gflops == impact.vector_rmax_gflops
+        assert impact.slowdown == pytest.approx(1.0)
+
+    def test_miscompiled_dgemm_falls_back_to_scalar(self,
+                                                    intel_icelake):
+        impact = predict_hpl_library_impact(
+            intel_icelake, miscompiled=("DGEMM",)
+        )
+        assert impact.rmax_gflops == impact.fallback_rmax_gflops
+        assert impact.slowdown > 3.0
+
+    def test_sg2042_fallback_costs_nothing(self, sg2042):
+        """The paper's FP64 finding in library terms: the C920 has no
+        FP64 vectors, so the scalar fallback loses nothing."""
+        impact = predict_hpl_library_impact(
+            sg2042, miscompiled=("DGEMM",)
+        )
+        assert impact.slowdown == pytest.approx(1.0)
+
+    def test_only_dgemm_gates_rmax(self, intel_icelake):
+        impact = predict_hpl_library_impact(
+            intel_icelake, miscompiled=("DGEMV", "DTRSM")
+        )
+        assert impact.rmax_gflops == impact.vector_rmax_gflops
+        assert impact.miscompiled == ("DGEMV", "DTRSM")
+
+    def test_names_are_normalized_and_sorted(self, sg2042):
+        impact = predict_hpl_library_impact(
+            sg2042, miscompiled=["dsyrk", "dgemm"]
+        )
+        assert impact.miscompiled == ("DGEMM", "DSYRK")
+
+    def test_extraction_from_lint_findings(self):
+        from repro.analyze.report import Finding, Severity
+
+        findings = [
+            Finding(Severity.ERROR, "transval",
+                    "blas/DGEMM/dot/vls:store[0].elem[0]", "boom",
+                    category="tail-policy"),
+            Finding(Severity.WARNING, "transval",
+                    "blas/DSYRK/update/vls:vtype[1]", "drift",
+                    category="vl-drift"),
+            Finding(Severity.ERROR, "transval",
+                    "triad/fp32/vls:store[0]", "boom"),
+            Finding(Severity.ERROR, "races", "blas/DGEMV:loop[0]",
+                    "not transval"),
+        ]
+        assert miscompiled_blas_kernels(findings) == ("DGEMM",)
+
+    def test_end_to_end_demo_sweep_gates_hpl(self, intel_icelake):
+        """repro lint --transval --demo-miscompile -> DGEMM/DGEMV
+        refuted -> icelake HPL collapses to the scalar path."""
+        from repro.analyze.driver import lint_transval
+
+        findings, _count = lint_transval(demo_miscompile=True)
+        refuted = miscompiled_blas_kernels(findings)
+        assert refuted == ("DGEMM", "DGEMV")
+        impact = predict_hpl_library_impact(
+            intel_icelake, miscompiled=refuted
+        )
+        assert impact.slowdown > 3.0

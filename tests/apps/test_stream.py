@@ -7,7 +7,6 @@ from repro.apps.stream import (
     predict_stream,
     render_stream_table,
 )
-from repro.machine import catalog
 from repro.openmp.affinity import PlacementPolicy
 from repro.util.errors import ConfigError
 

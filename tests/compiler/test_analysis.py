@@ -27,7 +27,6 @@ from repro.compiler.ir import (
 from repro.compiler.model import CLANG_16, XUANTIE_GCC_8_4
 from repro.kernels.base import LoopFeature
 from repro.kernels.ir_defs import KERNEL_IR, ir_for
-from repro.kernels.registry import all_kernels
 from repro.util.errors import CompilationError, ConfigError
 
 

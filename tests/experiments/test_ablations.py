@@ -5,10 +5,6 @@ import pytest
 
 from repro.experiments.ablations import (
     ABLATIONS,
-    ablation_barrier,
-    ablation_l2_sharing,
-    ablation_l3_contention,
-    ablation_l3_slicing,
 )
 
 

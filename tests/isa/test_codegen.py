@@ -7,6 +7,7 @@ from repro.compiler.model import VectorFlavor
 from repro.isa.codegen import (
     LoopSpec,
     count_dynamic_instructions,
+    generate_dot_loop,
     generate_loop,
 )
 from repro.isa.encoding import render_assembly
@@ -77,6 +78,102 @@ class TestGeneration:
     def test_bad_spec_rejected(self):
         with pytest.raises(IsaError):
             LoopSpec(dtype=DType.FP32, num_inputs=3, ops=("vfadd.vv",))
+
+
+class TestLoadDest:
+    """The TRSM/SYRK-style load-modify-store update pattern."""
+
+    def update_spec(self):
+        return LoopSpec(
+            dtype=DType.FP64, num_inputs=2, ops=("vfnmsac.vv",),
+            has_store=True, load_dest=True,
+        )
+
+    def test_destination_is_loaded_not_zeroed(self):
+        insts = generate_loop(self.update_spec(), VectorFlavor.VLS)
+        mnemonics = [i.mnemonic for i in insts]
+        assert "vmv.v.i" not in mnemonics
+        dest_loads = [
+            i for i in insts
+            if i.mnemonic == "vle64.v" and "(a3)" in i.operands
+        ]
+        assert len(dest_loads) == 1
+
+    def test_without_load_dest_accumulator_is_zeroed(self):
+        spec = LoopSpec(
+            dtype=DType.FP64, num_inputs=2, ops=("vfnmsac.vv",)
+        )
+        insts = generate_loop(spec, VectorFlavor.VLS)
+        assert "vmv.v.i" in [i.mnemonic for i in insts]
+
+    def test_load_dest_requires_a_store(self):
+        with pytest.raises(IsaError, match="store"):
+            LoopSpec(
+                dtype=DType.FP64, num_inputs=2, ops=("vfmacc.vv",),
+                has_store=False, load_dest=True,
+            )
+
+
+class TestDotLoop:
+    """The BLAS inner-product microkernel, both flavours and dialects."""
+
+    def test_v10_uses_tail_undisturbed_policy(self):
+        insts = generate_dot_loop(DType.FP64, VectorFlavor.VLS)
+        vsets = [i for i in insts if i.mnemonic == "vsetvli"]
+        assert vsets and all("tu" in v.operands for v in vsets)
+        assert all("ta" not in v.operands for v in vsets)
+
+    def test_v10_folds_with_vfredusum_and_vsetivli(self):
+        mnemonics = [
+            i.mnemonic
+            for i in generate_dot_loop(DType.FP64, VectorFlavor.VLS)
+        ]
+        assert "vfredusum.vs" in mnemonics
+        assert "vsetivli" in mnemonics
+
+    def test_v071_folds_with_vfredsum_and_no_policy_flags(self):
+        insts = generate_dot_loop(
+            DType.FP64, VectorFlavor.VLS, rvv_version="0.7.1"
+        )
+        mnemonics = [i.mnemonic for i in insts]
+        assert "vfredsum.vs" in mnemonics
+        assert "vsetivli" not in mnemonics
+        for inst in insts:
+            if inst.mnemonic == "vsetvli":
+                assert "tu" not in inst.operands
+
+    def test_vls_flavour_has_the_strip_mine_remainder_idiom(self):
+        insts = generate_dot_loop(DType.FP64, VectorFlavor.VLS)
+        mnemonics = [i.mnemonic for i in insts]
+        for branch in ("bltu", "bgeu", "beqz", "bnez"):
+            assert branch in mnemonics
+        labels = {i.label for i in insts if i.label}
+        assert {"dot_main", "dot_rem", "dot_fold"} <= labels
+
+    def test_vla_flavour_strip_mines_one_loop(self):
+        insts = generate_dot_loop(DType.FP64, VectorFlavor.VLA)
+        labels = {i.label for i in insts if i.label}
+        assert "dot_loop" in labels
+        assert "dot_main" not in labels
+
+    @pytest.mark.parametrize(
+        "flavor", [VectorFlavor.VLS, VectorFlavor.VLA]
+    )
+    def test_rolled_back_dot_loop_is_valid_v071(self, flavor):
+        from repro.isa.encoding import parse_assembly
+
+        rolled = rollback(
+            render_assembly(generate_dot_loop(DType.FP64, flavor))
+        )
+        for inst in parse_assembly(rolled):
+            if inst.is_code and inst.mnemonic.startswith("v"):
+                RVV_0_7_1.validate_mnemonic(inst.mnemonic)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(IsaError):
+            generate_dot_loop(
+                DType.FP64, VectorFlavor.VLS, rvv_version="2.0"
+            )
 
 
 class TestPipelineWithRollback:

@@ -6,11 +6,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler.model import VectorFlavor
-from repro.isa.codegen import LoopSpec, generate_loop
+from repro.isa.codegen import LoopSpec, generate_dot_loop, generate_loop
 from repro.isa.encoding import render_assembly
 from repro.isa.interpreter import (
     MachineState,
     RvvInterpreter,
+    run_dot_loop,
     run_triad_loop,
 )
 from repro.isa.rollback import rollback
@@ -98,6 +99,65 @@ class TestSemanticEquivalence:
         b, c = data(96)
         out = run_triad_loop(text, b, c)
         assert np.isfinite(out).all()
+
+
+class TestDotLoopExecution:
+    """The BLAS dot microkernel, executed on real data: remainder
+    strips exercise the tail-undisturbed accumulator path."""
+
+    def dot_text(self, flavor, version="1.0", dtype=DType.FP64):
+        return render_assembly(
+            generate_dot_loop(dtype, flavor, rvv_version=version)
+        )
+
+    @pytest.mark.parametrize("flavor", [VectorFlavor.VLS,
+                                        VectorFlavor.VLA])
+    def test_dot_matches_numpy_with_remainder(self, flavor):
+        a, b = data(19, np.float64)  # 19 = 9 full fp64 strips + 1
+        out = run_dot_loop(self.dot_text(flavor), a, b)
+        assert out == pytest.approx(float(a @ b), rel=1e-12)
+
+    @pytest.mark.parametrize("flavor", [VectorFlavor.VLS,
+                                        VectorFlavor.VLA])
+    def test_rolled_back_dot_is_bit_identical(self, flavor):
+        a, b = data(19, np.float64)
+        original = self.dot_text(flavor)
+        assert run_dot_loop(rollback(original), a, b) == run_dot_loop(
+            original, a, b
+        )
+
+    def test_native_v071_dot_matches_numpy(self):
+        a, b = data(13, np.float64)
+        out = run_dot_loop(
+            self.dot_text(VectorFlavor.VLA, version="0.7.1"), a, b
+        )
+        assert out == pytest.approx(float(a @ b), rel=1e-12)
+
+    def test_lane_multiple_trip_count(self):
+        a, b = data(16, np.float64)  # no remainder strip at all
+        out = run_dot_loop(self.dot_text(VectorFlavor.VLS), a, b)
+        assert out == pytest.approx(float(a @ b), rel=1e-12)
+
+    def test_short_trip_goes_straight_to_remainder(self):
+        a, b = data(1, np.float64)  # below one full fp64 strip
+        out = run_dot_loop(self.dot_text(VectorFlavor.VLS), a, b)
+        assert out == pytest.approx(float(a[0] * b[0]), rel=1e-12)
+
+    def test_fp32_dot(self):
+        a, b = data(11, np.float32)
+        out = run_dot_loop(self.dot_text(VectorFlavor.VLA,
+                                         dtype=DType.FP32), a, b)
+        assert out == pytest.approx(float(a.astype(np.float64)
+                                          @ b.astype(np.float64)),
+                                    rel=1e-5)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(IsaError):
+            run_dot_loop(
+                "ret",
+                np.ones(4, dtype=np.float64),
+                np.ones(5, dtype=np.float64),
+            )
 
 
 class TestInterpreterMechanics:

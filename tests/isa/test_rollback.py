@@ -31,6 +31,28 @@ class TestVsetvli:
         assert ms == ["li", "vsetvli"]
         assert "t6, 8" in out
 
+    @pytest.mark.parametrize("imm", [0, 31])
+    def test_vsetivli_immediate_boundaries_accepted(self, imm):
+        out = rollback(f"vsetivli t0, {imm}, e32, m1, ta, ma")
+        assert f"t6, {imm}" in out
+
+    @pytest.mark.parametrize("imm", ["32", "-1", "100"])
+    def test_vsetivli_immediate_out_of_field_rejected(self, imm):
+        with pytest.raises(RollbackError, match="5-bit immediate"):
+            rollback(f"vsetivli t0, {imm}, e32, m1, ta, ma")
+
+    def test_vsetivli_non_integer_immediate_rejected(self):
+        with pytest.raises(RollbackError, match="not an integer"):
+            rollback("vsetivli t0, a0, e32, m1, ta, ma")
+
+    def test_vsetivli_hex_immediate_accepted(self):
+        out = rollback("vsetivli t0, 0x1f, e32, m1, ta, ma")
+        assert "t6, 0x1f" in out
+
+    def test_vsetivli_fractional_lmul_rejected(self):
+        with pytest.raises(RollbackError, match="fractional LMUL"):
+            rollback("vsetivli t0, 8, e32, mf2, ta, ma")
+
     def test_malformed_rejected(self):
         with pytest.raises(RollbackError):
             rollback("vsetvli t0")
@@ -145,3 +167,29 @@ class TestEndToEnd:
         src = "vsetvli t0, a0, e32, m1, ta, ma\nvle32.v v1, (a1)"
         once = rollback(src)
         assert rollback(once) == once
+
+    def test_idempotent_on_every_codegen_output(self):
+        """rollback(rollback(x)) == rollback(x) for the full sweep of
+        generated programs, including the vsetivli-carrying dot loop."""
+        from repro.compiler.model import VectorFlavor
+        from repro.isa.codegen import (
+            LoopSpec,
+            generate_dot_loop,
+            generate_loop,
+        )
+        from repro.isa.encoding import render_assembly
+        from repro.machine.vector import DType
+
+        spec = LoopSpec(
+            dtype=DType.FP32, num_inputs=2, ops=("vfmacc.vv",)
+        )
+        for flavor in (VectorFlavor.VLS, VectorFlavor.VLA):
+            programs = [
+                render_assembly(generate_loop(spec, flavor)),
+                render_assembly(
+                    generate_dot_loop(DType.FP64, flavor)
+                ),
+            ]
+            for text in programs:
+                once = rollback(text)
+                assert rollback(once) == once

@@ -1,0 +1,157 @@
+"""BLAS library family: composition, registry fallback, IR coverage,
+microkernel codegen, and numerical correctness of the executable
+faces."""
+
+import numpy as np
+import pytest
+
+from repro.analyze.driver import lint_kernel
+from repro.analyze.report import Severity
+from repro.compiler.model import VectorFlavor
+from repro.kernels.blas import (
+    BLAS_KERNELS,
+    BlasKernel,
+    Dgemm,
+    Dtrsm,
+    all_blas_kernels,
+    blas_kernel_types,
+    microkernel_loop,
+)
+from repro.kernels.ir_defs import ir_for
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine.vector import DType
+from repro.util.errors import ConfigError
+
+
+class TestFamilyComposition:
+    def test_four_kernels_with_unique_names(self):
+        names = [k.name for k in BLAS_KERNELS]
+        assert names == ["DGEMM", "DGEMV", "DTRSM", "DSYRK"]
+
+    def test_microkernel_assignment(self):
+        by_name = blas_kernel_types()
+        assert by_name["DGEMM"].microkernel == "dot"
+        assert by_name["DGEMV"].microkernel == "dot"
+        assert by_name["DTRSM"].microkernel == "update"
+        assert by_name["DSYRK"].microkernel == "update"
+
+    def test_update_ops(self):
+        by_name = blas_kernel_types()
+        assert by_name["DTRSM"].update_op == "vfnmsac.vv"
+        assert by_name["DSYRK"].update_op == "vfmacc.vv"
+
+    def test_unknown_microkernel_rejected_at_class_creation(self):
+        with pytest.raises(ConfigError, match="microkernel"):
+            type(
+                "Bad",
+                (BlasKernel,),
+                {"name": "BAD", "microkernel": "gather"},
+            )
+
+    def test_family_stays_out_of_the_suite_registry(self):
+        """The 64-kernel RAJAPerf composition is pinned to the paper;
+        the library family must not leak into it."""
+        suite_names = {k.name for k in all_kernels()}
+        assert len(suite_names) == 64
+        assert suite_names.isdisjoint(blas_kernel_types())
+
+    def test_get_kernel_falls_back_to_the_library(self):
+        kernel = get_kernel("dgemm")
+        assert isinstance(kernel, Dgemm)
+
+    def test_unknown_kernel_error_lists_the_library_too(self):
+        with pytest.raises(ConfigError, match="DGEMM"):
+            get_kernel("NOT_A_KERNEL")
+
+
+class TestCharacterization:
+    @pytest.mark.parametrize(
+        "kernel", all_blas_kernels(), ids=lambda k: k.name
+    )
+    def test_every_kernel_has_an_ir(self, kernel):
+        nest = ir_for(kernel.name)
+        assert nest.loops
+
+    @pytest.mark.parametrize(
+        "kernel", all_blas_kernels(), ids=lambda k: k.name
+    )
+    def test_traits_and_ir_lint_clean(self, kernel):
+        findings = lint_kernel(kernel)
+        assert not any(
+            f.severity is Severity.ERROR for f in findings
+        )
+
+
+class TestMicrokernelCodegen:
+    @pytest.mark.parametrize(
+        "kernel", all_blas_kernels(), ids=lambda k: k.name
+    )
+    @pytest.mark.parametrize(
+        "flavor", [VectorFlavor.VLS, VectorFlavor.VLA]
+    )
+    def test_loop_emits_the_declared_microkernel(self, kernel, flavor):
+        insts = microkernel_loop(kernel, flavor, rvv_version="1.0")
+        mnemonics = {i.mnemonic for i in insts}
+        if kernel.microkernel == "dot":
+            assert "vfredusum.vs" in mnemonics
+            assert "vfmacc.vv" in mnemonics
+        else:
+            assert kernel.update_op in mnemonics
+            assert "vfredusum.vs" not in mnemonics
+            # The update pattern loads the destination, never zeroes it.
+            assert "vmv.v.i" not in mnemonics
+
+    def test_update_loop_loads_the_destination_stream(self):
+        insts = microkernel_loop(get_kernel("DTRSM"), VectorFlavor.VLS)
+        loads = [
+            i for i in insts if i.mnemonic == "vle64.v"
+            and "(a3)" in i.operands
+        ]
+        assert len(loads) == 1
+
+
+class TestNumerics:
+    def test_dgemm_computes_the_blas_update(self):
+        kernel = get_kernel("DGEMM")
+        ws = kernel.prepare(16, DType.FP64)
+        expected = ws["beta"] * ws["C"] + ws["alpha"] * (
+            ws["A"] @ ws["B"]
+        )
+        kernel.execute(ws)
+        np.testing.assert_allclose(ws["C"], expected, rtol=1e-12)
+
+    def test_dgemv_computes_the_blas_update(self):
+        kernel = get_kernel("DGEMV")
+        ws = kernel.prepare(16, DType.FP64)
+        expected = ws["beta"] * ws["y"] + ws["alpha"] * (
+            ws["A"] @ ws["x"]
+        )
+        kernel.execute(ws)
+        np.testing.assert_allclose(ws["y"], expected, rtol=1e-12)
+
+    def test_dtrsm_solves_the_triangular_system(self):
+        kernel = get_kernel("DTRSM")
+        ws = kernel.prepare(64, DType.FP64)
+        kernel.execute(ws)
+        np.testing.assert_allclose(
+            ws["x"], np.linalg.solve(ws["L"], ws["b"]), rtol=1e-10
+        )
+
+    def test_dtrsm_checksum_tracks_the_solution(self):
+        kernel = Dtrsm()
+        ws = kernel.prepare(16, DType.FP64)
+        before = kernel.checksum(ws)
+        kernel.execute(ws)
+        assert kernel.checksum(ws) != before
+        assert kernel.checksum(ws) == pytest.approx(
+            float(np.sum(ws["x"]))
+        )
+
+    def test_dsyrk_computes_the_rank_k_update(self):
+        kernel = get_kernel("DSYRK")
+        ws = kernel.prepare(16, DType.FP64)
+        expected = ws["beta"] * ws["C"] + ws["alpha"] * (
+            ws["A"] @ ws["A"].T
+        )
+        kernel.execute(ws)
+        np.testing.assert_allclose(ws["C"], expected, rtol=1e-12)

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.kernels.registry import all_kernels, get_kernel, kernel_names
+from repro.kernels.registry import get_kernel, kernel_names
 from repro.machine.vector import DType
 
 #: Sizes chosen to stress rounding: primes, one-off-perfect powers.

@@ -97,7 +97,6 @@ def test_floyd_warshall_triangle_inequality():
     ws = k.prepare(10 * 10, DType.FP64)
     k.execute(ws)
     p = ws["path"]
-    n = p.shape[0]
     via = p[:, :, None] + p[None, :, :]
     # p[i,j] <= p[i,k] + p[k,j] for all k after convergence.
     assert (p[:, None, :] <= via.transpose(0, 1, 2) + 1e-9).all()

@@ -85,7 +85,7 @@ class TestSweepCheckpointFile:
 
     def test_corrupt_interior_line_rejected(self, tmp_path):
         path = tmp_path / "ck.jsonl"
-        ck = SweepCheckpoint(path, grid_hash=1)
+        SweepCheckpoint(path, grid_hash=1)
         lines = path.read_text()
         path.write_text(lines + "garbage\n" + json.dumps({
             "threads": 1, "placement": "cluster", "precision": "fp32",
@@ -219,7 +219,7 @@ class TestCrashSafety:
 
     def test_interior_line_missing_fields_still_rejected(self, tmp_path):
         path = tmp_path / "ck.jsonl"
-        ck = SweepCheckpoint(path, grid_hash=1)
+        SweepCheckpoint(path, grid_hash=1)
         good = json.dumps({"threads": 1, "placement": "cluster",
                            "precision": "fp32", "kernel": "TRIAD",
                            "seconds": 0.5})

@@ -7,7 +7,6 @@ import subprocess
 import sys
 import time
 
-import pytest
 
 from repro.cli import build_parser
 

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.resilience.retry import FailureRecord
 from repro.serve.errors import (

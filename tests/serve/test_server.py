@@ -1,7 +1,6 @@
 """End-to-end tests of the prediction service over real sockets."""
 
 import asyncio
-import time
 
 import pytest
 

@@ -9,7 +9,6 @@ from repro.compiler.model import (
     VectorFlavor,
     XUANTIE_GCC_8_4,
 )
-from repro.machine import catalog
 from repro.machine.vector import DType
 from repro.openmp.affinity import PlacementPolicy
 from repro.suite.config import RunConfig

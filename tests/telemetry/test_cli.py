@@ -3,7 +3,6 @@
 
 import json
 
-import pytest
 
 from repro.cli import main
 from tests.telemetry.schema import (

@@ -7,7 +7,6 @@ results stay bit-identical to untraced ones, and with telemetry off the
 results carry no summary at all.
 """
 
-import pytest
 
 from repro import telemetry
 from repro.kernels.registry import all_kernels

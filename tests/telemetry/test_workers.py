@@ -5,7 +5,6 @@ worker *processes* merge back into one trace ordered by start time, and
 the deterministic counters agree with a serial run in every mode.
 """
 
-import pytest
 
 from repro import telemetry
 from repro.kernels.registry import all_kernels

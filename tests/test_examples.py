@@ -5,10 +5,8 @@ rotting. Each is run in-process via runpy with stdout captured.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
 

@@ -1,7 +1,6 @@
 """Statistics tests, including hypothesis properties for the paper's
 "times faster/slower" convention."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
