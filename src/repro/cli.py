@@ -38,6 +38,51 @@ def _chaos_context(args: argparse.Namespace):
     return nullcontext()
 
 
+def _parse_kernels(spec: str) -> list:
+    """Kernel objects for a ``--kernels`` value (``all`` = catalog)."""
+    from repro.kernels.registry import get_kernel
+
+    if spec.strip().lower() == "all":
+        return all_kernels()
+    return [get_kernel(n) for n in spec.split(",")]
+
+
+def _sweep_caches(args: argparse.Namespace):
+    """Cache layers for ``--store``/``--memo-cap``/``--no-cache``.
+
+    Returns ``(caches, store)``; ``caches`` is ``None`` for the sweep
+    default (in-memory layers), ``store`` is the opened artifact store
+    or ``None``. Installing the store as the process default also gives
+    the SoA lowering cache its disk tier.
+    """
+    from repro.util.errors import ConfigError
+
+    if getattr(args, "no_cache", False):
+        if getattr(args, "store", None):
+            raise ConfigError("--no-cache and --store are contradictory")
+        from repro.suite.memo import SuiteCaches
+
+        return SuiteCaches.disabled(), None
+    memo_cap = getattr(args, "memo_cap", None)
+    if getattr(args, "store", None):
+        from repro.store import ArtifactStore, set_default_store
+        from repro.suite.memo import SuiteCaches
+
+        store = ArtifactStore(args.store)
+        set_default_store(store)
+        return SuiteCaches.persistent(store, memo_entry_cap=memo_cap), \
+            store
+    if memo_cap is not None:
+        from repro.compiler.cache import CompileCache
+        from repro.suite.memo import PredictionMemo, SuiteCaches
+
+        return SuiteCaches(
+            compile=CompileCache(),
+            predict=PredictionMemo(max_entries=memo_cap),
+        ), None
+    return None, None
+
+
 def _failure_policy(args: argparse.Namespace) -> FailurePolicy:
     return FailurePolicy.from_label(args.on_failure)
 
@@ -262,22 +307,29 @@ def _emit_profile(profiler, out_path: str | None) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.kernels.registry import get_kernel
+    import time
+
     from repro.suite.config import Placement, Precision
-    from repro.suite.sweep import sweep
+    from repro.suite.sweep import distributed_sweep, sweep
 
     cpus = catalog.all_cpus()
     if args.cpu not in cpus:
         print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
               file=sys.stderr)
         return 2
+    if args.hosts > 1 and args.workers > 1:
+        print("error: --hosts and --workers are mutually exclusive "
+              "(a distributed sweep already runs one rank per host)",
+              file=sys.stderr)
+        return 2
     cpu = cpus[args.cpu]
-    kernels = [get_kernel(n) for n in args.kernels.split(",")]
+    kernels = _parse_kernels(args.kernels)
     threads = [int(t) for t in args.threads.split(",")]
     placements = [Placement.from_label(p)
                   for p in args.placements.split(",")]
     precisions = [Precision.from_label(p)
                   for p in args.precisions.split(",")]
+    caches, store = _sweep_caches(args)
     profiler = None
     if getattr(args, "profile_out", None) and not getattr(
         args, "profile", False
@@ -293,20 +345,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with _telemetry_scope(args), _chaos_context(args):
         if profiler is not None:
             profiler.enable()
+        started = time.perf_counter()
         try:
-            result = sweep(
-                cpu, kernels, threads, placements, precisions,
-                policy=_failure_policy(args),
-                retry=_retry_spec(args),
-                checkpoint=args.checkpoint,
-                workers=args.workers,
-                workers_mode=args.workers_mode,
-                engine=args.engine,
-            )
+            if args.hosts > 1:
+                result = distributed_sweep(
+                    cpu, kernels, threads, placements, precisions,
+                    hosts=args.hosts,
+                    policy=_failure_policy(args),
+                    retry=_retry_spec(args),
+                    checkpoint=args.checkpoint,
+                    caches=caches,
+                    engine=args.engine,
+                )
+            else:
+                result = sweep(
+                    cpu, kernels, threads, placements, precisions,
+                    policy=_failure_policy(args),
+                    retry=_retry_spec(args),
+                    checkpoint=args.checkpoint,
+                    workers=args.workers,
+                    workers_mode=args.workers_mode,
+                    caches=caches,
+                    engine=args.engine,
+                )
         finally:
+            elapsed = time.perf_counter() - started
             if profiler is not None:
                 profiler.disable()
                 _emit_profile(profiler, args.profile_out)
+    if args.stats_out:
+        _write_sweep_stats(args.stats_out, result, elapsed, store)
     if args.csv:
         print(result.to_csv())
     else:
@@ -331,6 +399,78 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.csv and result.telemetry is not None:
         print()
         print(result.telemetry.render())
+    return 0
+
+
+def _write_sweep_stats(path: str, result, elapsed: float,
+                       store) -> None:
+    """Machine-readable sweep stats for cross-process comparisons.
+
+    The in-process wall time matters here: a subprocess's total runtime
+    is dominated by interpreter + NumPy import, which would drown the
+    store's effect; ``seconds`` times only the sweep call.
+    """
+    import json
+    from dataclasses import asdict
+
+    payload = {
+        "seconds": elapsed,
+        "points": len(result.points),
+        "failures": len(result.failures),
+        "restored": result.restored,
+        "cache_stats": (
+            asdict(result.cache_stats)
+            if result.cache_stats is not None else None
+        ),
+        "store": (
+            {
+                namespace: asdict(stats)
+                for namespace, stats in store.stats().items()
+            }
+            if store is not None else None
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"sweep stats written to {path}", file=sys.stderr)
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    from repro.compiler.model import VectorFlavor
+    from repro.store import ArtifactStore, set_default_store
+    from repro.store.warm import warm_store
+
+    cpus = catalog.all_cpus()
+    if args.cpu.strip().lower() == "all":
+        names = sorted(cpus)
+    else:
+        names = [n.strip() for n in args.cpu.split(",")]
+        unknown = [n for n in names if n not in cpus]
+        if unknown:
+            print(f"unknown machine(s) {unknown}; known: {sorted(cpus)}",
+                  file=sys.stderr)
+            return 2
+    kernels = _parse_kernels(args.kernels)
+    combos = []
+    for label in args.flavors.split(","):
+        flavor = VectorFlavor(label.strip().lower())
+        combos.append((flavor, False))
+        if args.rollback:
+            combos.append((flavor, True))
+    store = ArtifactStore(args.store)
+    set_default_store(store)
+    for name in names:
+        report = warm_store(
+            store, cpus[name], kernels, combos=combos,
+            compiler=args.compiler,
+        )
+        print(report.render())
+    print(
+        f"store {args.store}: {store.artifact_count('compile')} compile "
+        f"+ {store.artifact_count('soa')} soa "
+        f"+ {store.artifact_count('predict')} prediction artifact(s)"
+    )
     return 0
 
 
@@ -464,6 +604,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine_workers=args.engine_workers,
         drain_timeout_s=args.drain_timeout,
         fault_plan=plan,
+        store_path=args.store,
+        memo_cap=args.memo_cap,
+        prewarm=not args.no_prewarm,
+        prewarm_cpus=tuple(
+            name.strip() for name in args.prewarm_cpu.split(",")
+            if name.strip()
+        ),
     )
     return asyncio.run(serve_forever(config))
 
@@ -632,8 +779,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full pstats text report to FILE instead of "
         "stderr (implies --profile)",
     )
+    p_sweep.add_argument(
+        "--hosts", type=int, default=1, metavar="N",
+        help="shard the grid across N simulated hosts over the SPMD "
+        "cluster runtime (bit-identical results and cache counters)",
+    )
+    p_sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store: compile reports, lowered "
+        "kernels and predictions are read from and written to DIR, so "
+        "a second process starts near-warm (see 'repro warm')",
+    )
+    p_sweep.add_argument(
+        "--memo-cap", type=int, default=None, metavar="N",
+        help="bound the prediction memo's in-memory tier to N entries "
+        "(LRU); with --store, evicted entries stay readable on disk",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the compile cache and prediction memo (the "
+        "scalar-reference cold path; incompatible with --store)",
+    )
+    p_sweep.add_argument(
+        "--stats-out", default=None, metavar="FILE",
+        help="write in-process sweep seconds + cache/store counters "
+        "as JSON to FILE (for cross-process benchmark comparisons)",
+    )
     _add_resilience_flags(p_sweep)
     _add_telemetry_flags(p_sweep)
+
+    p_warm = sub.add_parser(
+        "warm",
+        help="pre-populate a persistent artifact store: compile the "
+        "kernel catalog and persist every report + the SoA lowering",
+    )
+    p_warm.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="artifact store directory (created if missing)",
+    )
+    p_warm.add_argument(
+        "--cpu", default="sg2042",
+        help="machine name, comma-separated list, or 'all'",
+    )
+    p_warm.add_argument(
+        "--kernels", default="all",
+        help="comma-separated kernel names, or 'all' (default: the "
+        "whole 64-kernel catalog)",
+    )
+    p_warm.add_argument(
+        "--flavors", default="vls",
+        help="comma-separated vector flavors to compile (vls,vla)",
+    )
+    p_warm.add_argument(
+        "--rollback", action="store_true",
+        help="additionally warm the RVV-rollback variants",
+    )
+    p_warm.add_argument(
+        "--compiler", default=None,
+        help="compiler short id (default: the platform default)",
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -731,6 +935,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="mount this seeded chaos plan inside the server "
         "(resilience drills)",
     )
+    p_serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent artifact store backing the engine caches; "
+        "/readyz reports not-ready until the startup pre-warm from "
+        "DIR completes",
+    )
+    p_serve.add_argument(
+        "--memo-cap", type=int, default=None, metavar="N",
+        help="bound the prediction memo's in-memory tier to N entries "
+        "per machine (LRU) so a long-lived server stays bounded",
+    )
+    p_serve.add_argument(
+        "--no-prewarm", action="store_true",
+        help="with --store: skip the startup pre-warm (the server is "
+        "ready immediately and warms lazily per request)",
+    )
+    p_serve.add_argument(
+        "--prewarm-cpu", default="sg2042", metavar="NAME[,NAME...]",
+        help="machine(s) the startup pre-warm compiles for",
+    )
 
     p_an = sub.add_parser(
         "analyze",
@@ -775,6 +999,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "warm": _cmd_warm,
     }
     try:
         return handlers[args.command](args)

@@ -14,12 +14,22 @@ once** even when sweep workers race on it — that exactly-once property
 is what the acceptance counters pin. Compilation *errors* (e.g. an RVV
 version mismatch without rollback) are intentionally not cached; they
 re-raise identically on every call and sit on cold paths.
+
+With an :class:`~repro.store.ArtifactStore` attached the cache gains a
+*disk tier*: a memory miss probes the store before compiling, and every
+fresh compilation is written through, so ``analyze()`` results survive
+process restarts (the cold-start cost ``repro serve`` and CI pay).
+Disk hits are counted separately from memory hits — ``stats.hits``
+keeps meaning "served from this process's memory" — and any unusable
+artifact degrades to recompute with a :class:`~repro.store.StoreWarning`.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.compiler.model import Compiler, VectorFlavor
@@ -27,6 +37,9 @@ from repro.compiler.vectorizer import VectorizationReport, analyze
 from repro.kernels.base import Kernel
 from repro.machine.vector import VectorISA
 from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ArtifactStore
 
 #: One compilation's identity: everything ``analyze`` reads.
 CompileKey = tuple[str, str | None, str, str, str | None, VectorFlavor, bool]
@@ -59,21 +72,30 @@ def compile_key(
 
 @dataclass(frozen=True)
 class CompileCacheStats:
-    """Counters of one :class:`CompileCache` at a point in time."""
+    """Counters of one :class:`CompileCache` at a point in time.
+
+    ``hits`` are memory hits only; ``disk_hits`` count entries served
+    from the attached artifact store (zero when no store is attached).
+    """
 
     hits: int
     misses: int
     entries: int
+    disk_hits: int = 0
 
     @property
     def calls(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
 
 class CompileCache:
-    """Thread-safe memo of :func:`repro.compiler.vectorizer.analyze`."""
+    """Thread-safe memo of :func:`repro.compiler.vectorizer.analyze`.
 
-    def __init__(self) -> None:
+    ``store`` attaches an optional disk tier (see the module docstring);
+    without one the cache behaves exactly as before.
+    """
+
+    def __init__(self, store: "ArtifactStore | None" = None) -> None:
         self._lock = threading.Lock()
         self._entries: dict[CompileKey, VectorizationReport] = {}
         # Suite-level composite index: one entry per fully-resolved
@@ -82,8 +104,97 @@ class CompileCache:
         # one lookup instead of len(kernels) per-key probes. Pure index
         # over ``_entries`` — never counted in ``stats.entries``.
         self._suites: dict[tuple, tuple[VectorizationReport, ...]] = {}
+        self._store = store
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _disk_get(self, key: CompileKey) -> VectorizationReport | None:
+        """Probe the store for ``key``; unusable payloads are misses."""
+        from repro.store.artifact import StoreWarning
+        from repro.store.codecs import (
+            CodecError,
+            decode_report,
+            jsonable_parts,
+        )
+
+        payload = self._store.get("compile", jsonable_parts(key))
+        if payload is None:
+            return None
+        try:
+            return decode_report(payload)
+        except CodecError as exc:
+            warnings.warn(
+                f"stored compile report for {key[2]} is unusable "
+                f"({exc}); recompiling",
+                StoreWarning, stacklevel=4,
+            )
+            return None
+
+    def _disk_put(self, key: CompileKey,
+                  report: VectorizationReport) -> None:
+        from repro.store.codecs import encode_report, jsonable_parts
+
+        self._store.put("compile", jsonable_parts(key),
+                        encode_report(report))
+
+    @staticmethod
+    def _suite_store_key(suite_key: tuple) -> list:
+        """On-disk key for a whole suite's report list.
+
+        The in-memory ``suite_key`` holds kernel objects; the store key
+        lowers them to their (unique, registry-pinned) names.
+        """
+        from repro.store.codecs import jsonable_parts
+
+        (name, rvv, kernels, target_name, target_version, flavor,
+         rollback) = suite_key
+        return jsonable_parts((
+            "suite", name, rvv, tuple(k.name for k in kernels),
+            target_name, target_version, flavor, rollback,
+        ))
+
+    def _suite_disk_get(
+        self, suite_key: tuple
+    ) -> tuple[VectorizationReport, ...] | None:
+        """Probe the store for a whole suite's reports in one read."""
+        from repro.store.artifact import StoreWarning
+        from repro.store.codecs import CodecError, decode_report
+
+        payload = self._store.get(
+            "compile", self._suite_store_key(suite_key)
+        )
+        if payload is None:
+            return None
+        try:
+            encoded = payload["reports"]
+            if not isinstance(encoded, list) or len(encoded) != len(
+                suite_key[2]
+            ):
+                raise CodecError(
+                    "suite report list does not match the kernel list"
+                )
+            return tuple(decode_report(entry) for entry in encoded)
+        except (CodecError, KeyError, TypeError) as exc:
+            warnings.warn(
+                f"stored suite compile artifact is unusable ({exc}); "
+                f"recompiling",
+                StoreWarning, stacklevel=4,
+            )
+            return None
+
+    def _suite_disk_put(
+        self, suite_key: tuple,
+        reports: tuple[VectorizationReport, ...],
+    ) -> None:
+        from repro.store.codecs import encode_report
+
+        self._store.put(
+            "compile", self._suite_store_key(suite_key),
+            {"reports": [encode_report(report) for report in reports]},
+        )
 
     def analyze(
         self,
@@ -100,6 +211,12 @@ class CompileCache:
             if report is not None:
                 self._hits += 1
                 return report
+            if self._store is not None:
+                report = self._disk_get(key)
+                if report is not None:
+                    self._disk_hits += 1
+                    self._entries[key] = report
+                    return report
             rec = telemetry.recorder()
             if rec.active:
                 with rec.span(
@@ -117,6 +234,8 @@ class CompileCache:
                 )
             self._misses += 1
             self._entries[key] = report
+            if self._store is not None:
+                self._disk_put(key, report)
             return report
 
     def analyze_many(
@@ -148,6 +267,12 @@ class CompileCache:
                 report = entries.get(key)
                 if report is not None:
                     self._hits += 1
+                elif (
+                    self._store is not None
+                    and (report := self._disk_get(key)) is not None
+                ):
+                    self._disk_hits += 1
+                    entries[key] = report
                 else:
                     try:
                         if traced:
@@ -169,6 +294,8 @@ class CompileCache:
                         continue
                     self._misses += 1
                     entries[key] = report
+                    if self._store is not None:
+                        self._disk_put(key, report)
                 out.append(report)
         return out
 
@@ -207,6 +334,22 @@ class CompileCache:
                     self._hits += len(kernels)
                     sp.set(composite_hit=True)
                     return list(reports)
+                if self._store is not None:
+                    # Whole-suite disk probe: one artifact read restores
+                    # the full report list (a fresh process's first grid
+                    # point), counted as one disk hit per kernel — the
+                    # same totals the per-kernel probes would score.
+                    reports = self._suite_disk_get(suite_key)
+                    if reports is not None:
+                        self._disk_hits += len(kernels)
+                        for kernel, report in zip(kernels, reports):
+                            self._entries[
+                                compile_key(compiler, kernel, target,
+                                            flavor, rollback)
+                            ] = report
+                        self._suites[suite_key] = reports
+                        sp.set(composite_hit=True)
+                        return list(reports)
             out = self.analyze_many(
                 compiler, list(kernels), target, flavor=flavor,
                 rollback=rollback,
@@ -214,6 +357,8 @@ class CompileCache:
             if all(report is not None for report in out):
                 with self._lock:
                     self._suites[suite_key] = tuple(out)
+                if self._store is not None:
+                    self._suite_disk_put(suite_key, tuple(out))
             sp.set(composite_hit=False)
             return out
 
@@ -224,11 +369,18 @@ class CompileCache:
                 hits=self._hits,
                 misses=self._misses,
                 entries=len(self._entries),
+                disk_hits=self._disk_hits,
             )
 
+    @property
+    def store(self) -> "ArtifactStore | None":
+        return self._store
+
     def clear(self) -> None:
+        """Drop the in-memory tiers (disk artifacts are untouched)."""
         with self._lock:
             self._entries.clear()
             self._suites.clear()
             self._hits = 0
             self._misses = 0
+            self._disk_hits = 0

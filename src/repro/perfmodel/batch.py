@@ -110,8 +110,76 @@ def lower_kernels(kernels: tuple[Kernel, ...]) -> KernelSoA:
     """Lower ``kernels`` into the SoA form the batch engine consumes.
 
     Cached on the kernel tuple (registry kernels are singletons), so a
-    sweep lowers its suite once, not once per grid point.
+    sweep lowers its suite once, not once per grid point. When a
+    process-wide default :class:`~repro.store.ArtifactStore` is
+    installed, lowerings additionally persist under the ``soa``
+    namespace so fresh processes skip the trait walk; the on-disk key
+    is the *content* of the lowering inputs (per-kernel trait scalars),
+    so any re-tuned trait self-invalidates.
     """
+    from repro.store import default_store
+
+    store = default_store()
+    if store is None:
+        return _lower_kernels_impl(kernels)
+
+    import warnings
+
+    from repro.store.artifact import StoreWarning
+    from repro.store.codecs import CodecError, decode_soa, encode_soa
+
+    key = _soa_key_parts(kernels)
+    payload = store.get("soa", key)
+    if payload is not None:
+        try:
+            return decode_soa(payload, kernels)
+        except CodecError as exc:
+            warnings.warn(
+                f"stored SoA lowering is unusable ({exc}); relowering",
+                StoreWarning, stacklevel=2,
+            )
+    soa = _lower_kernels_impl(kernels)
+    store.put("soa", key, encode_soa(soa))
+    return soa
+
+
+def _soa_key_parts(kernels: tuple[Kernel, ...]) -> list:
+    """Content key of a lowering: every scalar the SoA is built from.
+
+    Deliberately *not* ``repr(traits)`` — trait feature sets render in
+    hash order, which is not stable across processes.
+    """
+    rows = []
+    for k in kernels:
+        t = k.traits
+        rows.append([
+            k.name,
+            float(t.flops_per_iter), float(t.reads_per_iter),
+            float(t.writes_per_iter), float(t.footprint_elems),
+            float(t.traffic_scale), float(t.parallel_fraction),
+            float(t.regions_per_rep), float(k.reps),
+            bool(LoopFeature.INDIRECTION in t.features),
+            float(k.default_size),
+        ])
+    return ["kernels", rows]
+
+
+def persist_lowering(kernels: tuple[Kernel, ...], store) -> None:
+    """Write ``kernels``' SoA lowering to ``store`` unconditionally.
+
+    ``repro warm`` uses this: :func:`lower_kernels` only writes through
+    on an in-process cache miss, but warming must persist the artifact
+    even when this process already lowered the tuple.
+    """
+    from repro.store.codecs import encode_soa
+
+    store.put(
+        "soa", _soa_key_parts(kernels),
+        encode_soa(_lower_kernels_impl(kernels)),
+    )
+
+
+def _lower_kernels_impl(kernels: tuple[Kernel, ...]) -> KernelSoA:
     traits = [k.traits for k in kernels]
     return KernelSoA(
         kernels=kernels,

@@ -21,6 +21,7 @@ import asyncio
 import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.kernels.base import Kernel
@@ -29,8 +30,11 @@ from repro.resilience.retry import FailurePolicy, RetrySpec
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.errors import DeadlineExceeded, EngineFault, Unavailable
 from repro.suite.config import RunConfig
-from repro.suite.memo import SuiteCaches, machine_digest
+from repro.suite.memo import PredictionMemo, SuiteCaches, machine_digest
 from repro.suite.runner import KernelRun, run_suite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ArtifactStore
 
 
 class EngineState:
@@ -39,18 +43,44 @@ class EngineState:
     Keyed by :func:`machine_digest`, so two requests naming equal
     machines (even via different objects) share compile cache and
     prediction memo entries, while any re-tuned parameter isolates them.
+
+    With ``store`` set, every machine's cache bundle is persistent
+    (:meth:`SuiteCaches.persistent` over the one shared store), so
+    restarts pick up compile reports and prediction pages from disk;
+    ``memo_cap`` bounds each memo's in-memory tier (LRU).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        store: "ArtifactStore | None" = None,
+        memo_cap: int | None = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._caches: dict[int, SuiteCaches] = {}
+        self._store = store
+        self._memo_cap = memo_cap
+
+    @property
+    def store(self) -> "ArtifactStore | None":
+        return self._store
+
+    def _build_caches(self) -> SuiteCaches:
+        if self._store is not None:
+            return SuiteCaches.persistent(
+                self._store, memo_entry_cap=self._memo_cap
+            )
+        if self._memo_cap is not None:
+            return SuiteCaches(
+                predict=PredictionMemo(max_entries=self._memo_cap)
+            )
+        return SuiteCaches()
 
     def caches_for(self, cpu: CPUModel) -> SuiteCaches:
         digest = machine_digest(cpu)
         with self._lock:
             caches = self._caches.get(digest)
             if caches is None:
-                caches = SuiteCaches()
+                caches = self._build_caches()
                 self._caches[digest] = caches
             return caches
 

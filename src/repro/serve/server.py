@@ -8,8 +8,9 @@ prediction engine. Endpoints:
 * ``POST /sweep`` — a bounded configuration grid, returned long-format.
 * ``POST /explain`` — the full model story for one kernel.
 * ``GET /healthz`` — liveness (200 while the process runs).
-* ``GET /readyz`` — readiness (503 while draining or the engine circuit
-  breaker is open).
+* ``GET /readyz`` — readiness (503 while draining, while the engine
+  circuit breaker is open, or while the startup pre-warm from a
+  configured artifact store is still running).
 * ``GET /metrics`` — the telemetry registry as a flat text dump.
 
 The robustness contract (see ``docs/SERVE.md``): every request has a
@@ -24,6 +25,8 @@ from __future__ import annotations
 
 import asyncio
 import sys
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -89,6 +92,17 @@ class ServeConfig:
     idle_timeout_s: float = 30.0
     #: Chaos plan mounted for the server's lifetime (CI smoke tests).
     fault_plan: FaultPlan | None = None
+    #: Artifact-store directory backing the engine caches (persistent
+    #: compile reports + prediction pages). ``None`` keeps the caches
+    #: memory-only, exactly the historical behaviour.
+    store_path: str | None = None
+    #: LRU entry cap on each machine's in-memory prediction memo.
+    memo_cap: int | None = None
+    #: With a store configured, pre-warm the engine caches from disk at
+    #: startup; ``/readyz`` reports 503 until the pre-warm finishes.
+    prewarm: bool = True
+    #: Machines to pre-warm (catalog names).
+    prewarm_cpus: tuple[str, ...] = ("sg2042",)
 
     def retry_spec(self) -> RetrySpec:
         return RetrySpec(
@@ -126,7 +140,21 @@ class PredictionServer:
 
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
-        self.state = EngineState()
+        self.store = None
+        if self.config.store_path is not None:
+            from repro.store import ArtifactStore
+
+            self.store = ArtifactStore(self.config.store_path)
+        self.state = EngineState(
+            store=self.store, memo_cap=self.config.memo_cap
+        )
+        # No store (or pre-warm disabled) means nothing to wait for:
+        # the server is ready the moment the socket binds, exactly the
+        # historical behaviour.
+        self._prewarm_pending = (
+            self.store is not None and self.config.prewarm
+        )
+        self._previous_store: tuple | None = None
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             base_retry_after_ms=self.config.base_retry_after_ms,
@@ -188,6 +216,12 @@ class PredictionServer:
             breaker=self.breaker,
         )
         self._coalescer.start()
+        if self.store is not None:
+            # Route module-level artifacts (the suite SoA lowering)
+            # through the server's store for the process lifetime.
+            from repro.store import set_default_store
+
+            self._previous_store = (set_default_store(self.store),)
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
@@ -195,6 +229,58 @@ class PredictionServer:
         reg = telemetry.metrics()
         reg.gauge("serve.breaker_state").set(self.breaker.state.code)
         reg.gauge("serve.draining").set(0)
+        if self._prewarm_pending:
+            reg.gauge("serve.ready").set(0)
+            future = asyncio.get_running_loop().run_in_executor(
+                self._executor, self._prewarm_worker
+            )
+            future.add_done_callback(self._prewarm_finished)
+        else:
+            reg.gauge("serve.ready").set(1)
+
+    def _prewarm_worker(self) -> None:
+        """Warm every configured machine's caches from the store.
+
+        Runs on an engine worker thread before the server reports
+        ready. Failure is never fatal: a machine that cannot warm is
+        logged (``serve.prewarm_errors``) and the server becomes ready
+        anyway — the request path recomputes on demand, bit-identically.
+        """
+        from repro.store.warm import warm_caches
+
+        started = time.monotonic()
+        reg = telemetry.metrics()
+        for name in self.config.prewarm_cpus:
+            cpu = self._cpus.get(name)
+            if cpu is None:
+                reg.counter("serve.prewarm_errors").inc()
+                warnings.warn(
+                    f"prewarm: unknown machine {name!r}; known: "
+                    f"{sorted(self._cpus)}",
+                    stacklevel=2,
+                )
+                continue
+            try:
+                resolved = warm_caches(self.state.caches_for(cpu), cpu)
+                reg.counter("serve.prewarm_kernels").inc(resolved)
+            except Exception as exc:
+                reg.counter("serve.prewarm_errors").inc()
+                warnings.warn(
+                    f"prewarm failed for {name!r}: {exc} "
+                    f"(serving cold; requests recompute on demand)",
+                    stacklevel=2,
+                )
+        reg.gauge("serve.prewarm_seconds").set(
+            round(time.monotonic() - started, 6)
+        )
+
+    def _prewarm_finished(self, future) -> None:
+        self._prewarm_pending = False
+        exc = future.exception() if not future.cancelled() else None
+        if exc is not None:  # pragma: no cover - worker catches its own
+            telemetry.metrics().counter("serve.prewarm_errors").inc()
+        if self._started:
+            telemetry.metrics().gauge("serve.ready").set(1)
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, flush in-flight batches,
@@ -230,6 +316,11 @@ class PredictionServer:
         if self._previous_telemetry is not None:
             telemetry.install(*self._previous_telemetry)
             self._previous_telemetry = None
+        if self._previous_store is not None:
+            from repro.store import set_default_store
+
+            set_default_store(self._previous_store[0])
+            self._previous_store = None
         self._started = False
 
     @property
@@ -387,6 +478,11 @@ class PredictionServer:
                 "engine circuit breaker is open",
                 retry_after_ms=self.breaker.retry_after_ms(),
                 details={"breaker_state": state.value},
+            )
+        if self._prewarm_pending:
+            raise Unavailable(
+                "pre-warming engine caches from the artifact store",
+                retry_after_ms=1000,
             )
         return _RequestOutcome(
             200,

@@ -1,0 +1,69 @@
+"""``repro.store`` — persistent artifacts for the cold path.
+
+The package persists the artifact kinds a fresh process otherwise
+recomputes from scratch — compilation reports, lowered-kernel SoA
+arrays, prediction pages, and whole-sweep results — in a
+content-addressed, versioned, crash-safe on-disk
+:class:`ArtifactStore`. The cache layers
+(:class:`repro.compiler.cache.CompileCache`,
+:class:`repro.suite.memo.PredictionMemo`) accept a store as an optional
+disk tier; :func:`repro.suite.memo.SuiteCaches.persistent` bundles
+them; ``repro warm`` pre-populates a store for a whole catalog, and
+``repro serve`` pre-warms from one before reporting ready.
+
+A process-wide *default store* hook exists for the one cache that is
+module-level rather than object-level (the batch engine's
+``lower_kernels`` LRU): installing a default store gives that cache a
+disk tier too. Everything else takes its store explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.store.artifact import (
+    KNOWN_NAMESPACES,
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    StoreStats,
+    StoreWarning,
+    stable_digest,
+)
+from repro.store.codecs import PAYLOAD_VERSION, CodecError, jsonable_parts
+
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "StoreWarning",
+    "CodecError",
+    "STORE_SCHEMA_VERSION",
+    "PAYLOAD_VERSION",
+    "KNOWN_NAMESPACES",
+    "stable_digest",
+    "jsonable_parts",
+    "default_store",
+    "set_default_store",
+]
+
+_default_lock = threading.Lock()
+_default_store: ArtifactStore | None = None
+
+
+def set_default_store(store: ArtifactStore | None) -> ArtifactStore | None:
+    """Install (or clear) the process-wide default store.
+
+    Returns the previously installed store so scopes can restore it.
+    Only module-level caches (the SoA lowering LRU) consult the
+    default; the per-object cache layers take their store explicitly,
+    so tests and libraries are unaffected unless they opt in.
+    """
+    global _default_store
+    with _default_lock:
+        previous = _default_store
+        _default_store = store
+    return previous
+
+
+def default_store() -> ArtifactStore | None:
+    """The process-wide default store, or ``None``."""
+    return _default_store

@@ -1,0 +1,302 @@
+"""Bit-exact JSON codecs for the artifacts the store persists.
+
+Four artifact kinds:
+
+* ``compile`` — a :class:`VectorizationReport` (the result of
+  :func:`repro.compiler.vectorizer.analyze`);
+* ``predict`` — a page of :class:`ExecutionResult` predictions for one
+  memo-key prefix (one configuration);
+* ``soa`` — a :class:`~repro.perfmodel.batch.KernelSoA` lowering of a
+  kernel tuple;
+* ``sweep`` — a completed (failure-free) sweep's full point list, the
+  whole-grid warm tier a second process restores in one read.
+
+Bit-identity matters more than compactness here: every float travels
+through ``json`` as its ``repr``, which Python guarantees to round-trip
+finite doubles exactly, so a decoded artifact equals the recomputed
+value field for field — the property the store's never-change-results
+rule rests on (and the round-trip tests pin).
+
+Decoders are defensive: any malformed payload raises
+:class:`CodecError`, which the cache layers translate into a
+recompute-with-warning, never a crash.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from repro.compiler.model import VectorFlavor
+from repro.compiler.vectorizer import VectorizationReport
+from repro.perfmodel.execution import ExecutionResult
+from repro.util.errors import ReproError
+
+#: Bump when a codec's payload shape changes incompatibly (independent
+#: of the file-level ``STORE_SCHEMA_VERSION``: one covers the envelope,
+#: this covers the values inside it).
+PAYLOAD_VERSION = 1
+
+
+class CodecError(ReproError):
+    """A store payload did not decode into a valid artifact."""
+
+
+def jsonable_parts(parts: tuple) -> list:
+    """Lower arbitrary cache-key parts to canonical JSON-able values.
+
+    Enums become ``[ClassName, value]`` pairs (class-qualified so two
+    enums sharing a value can never collide), tuples become lists
+    (recursively); ints, floats, strings, bools and ``None`` pass
+    through. Anything else is a programming error — keys must be built
+    from these types only, or they would not be stable across
+    processes.
+    """
+    out: list = []
+    for part in parts:
+        if isinstance(part, enum.Enum):
+            out.append([type(part).__name__, part.value])
+        elif isinstance(part, tuple):
+            out.append(jsonable_parts(part))
+        elif part is None or isinstance(part, (bool, int, float, str)):
+            out.append(part)
+        else:
+            raise CodecError(
+                f"cache key part {part!r} ({type(part).__name__}) is "
+                f"not storable; keys must be built from enums, tuples "
+                f"and JSON scalars"
+            )
+    return out
+
+
+# -- VectorizationReport -------------------------------------------------
+
+
+def encode_report(report: VectorizationReport) -> dict:
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "vectorized": report.vectorized,
+        "vector_path_executed": report.vector_path_executed,
+        "flavor": report.flavor.value if report.flavor else None,
+        "efficiency": report.efficiency,
+        "reason": report.reason,
+    }
+
+
+def decode_report(payload: dict) -> VectorizationReport:
+    _require_version(payload, "compile report")
+    try:
+        flavor = payload["flavor"]
+        report = VectorizationReport(
+            vectorized=bool(payload["vectorized"]),
+            vector_path_executed=bool(payload["vector_path_executed"]),
+            flavor=VectorFlavor(flavor) if flavor is not None else None,
+            efficiency=_finite_float(payload["efficiency"], "efficiency"),
+            reason=str(payload["reason"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed compile report payload: {exc}")
+    return report
+
+
+# -- ExecutionResult -----------------------------------------------------
+
+
+def encode_result(result: ExecutionResult) -> dict:
+    return {
+        "seconds": result.seconds,
+        "seconds_per_rep": result.seconds_per_rep,
+        "serving_level": result.serving_level,
+        "bound": result.bound,
+        "vector_executed": result.vector_executed,
+    }
+
+
+def decode_result(payload: dict) -> ExecutionResult:
+    # Hot path: page restores decode one of these per prediction, so
+    # floats skip the coercion helper when ``json`` already produced
+    # them (finiteness/positivity is still enforced — ``__post_init__``
+    # re-validates every constructed result).
+    try:
+        seconds = payload["seconds"]
+        if type(seconds) is not float:
+            seconds = _finite_float(seconds, "seconds")
+        per_rep = payload["seconds_per_rep"]
+        if type(per_rep) is not float:
+            per_rep = _finite_float(per_rep, "seconds_per_rep")
+        return ExecutionResult(
+            seconds,
+            per_rep,
+            str(payload["serving_level"]),
+            str(payload["bound"]),
+            bool(payload["vector_executed"]),
+        )
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise CodecError(f"malformed prediction payload: {exc}")
+
+
+# -- prediction pages ----------------------------------------------------
+
+
+def encode_prediction_page(
+    entries: dict[str, ExecutionResult],
+) -> dict:
+    """One configuration's predictions, keyed ``"KERNEL|size"``."""
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "entries": {
+            slot: encode_result(result)
+            for slot, result in sorted(entries.items())
+        },
+    }
+
+
+def decode_prediction_page(payload: dict) -> dict[str, ExecutionResult]:
+    _require_version(payload, "prediction page")
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise CodecError("prediction page has no entries object")
+    return {
+        str(slot): decode_result(raw) for slot, raw in entries.items()
+    }
+
+
+def page_slot(kernel_name: str, size: int) -> str:
+    """The page key of one prediction within its configuration page."""
+    return f"{kernel_name}|{int(size)}"
+
+
+# -- whole-sweep results -------------------------------------------------
+
+
+def encode_sweep_points(points) -> dict:
+    """One completed sweep's rows — ``[threads, placement, precision,
+    kernel, seconds]`` — with the CPU name hoisted (a sweep runs one
+    machine, so every row shares it)."""
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "cpu": points[0].cpu,
+        "points": [
+            [p.threads, p.placement.value, p.precision.label, p.kernel,
+             p.seconds]
+            for p in points
+        ],
+    }
+
+
+def decode_sweep_points(payload: dict, cpu_name: str, expected: int):
+    """Rebuild a stored sweep's point tuple.
+
+    ``expected`` is the requested grid's exact point count (axes x
+    kernels); a failure-free sweep always yields it, so any other
+    length means the artifact does not describe this request.
+    """
+    from repro.suite.config import Placement, Precision
+    from repro.suite.sweep import SweepPoint
+
+    _require_version(payload, "sweep result")
+    if payload.get("cpu") != cpu_name:
+        raise CodecError("sweep payload cpu does not match the request")
+    rows = payload.get("points")
+    if not isinstance(rows, list) or len(rows) != expected:
+        found = len(rows) if isinstance(rows, list) else "no"
+        raise CodecError(
+            f"sweep payload holds {found} point(s); "
+            f"this grid needs {expected}"
+        )
+    placements = {p.value: p for p in Placement}
+    precisions = {p.label: p for p in Precision}
+    out = []
+    append = out.append
+    try:
+        for threads, placement, precision, kernel, seconds in rows:
+            if type(seconds) is not float or not math.isfinite(seconds):
+                seconds = _finite_float(seconds, "seconds")
+            append(SweepPoint(
+                cpu_name, int(threads), placements[placement],
+                precisions[precision], str(kernel), seconds,
+            ))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed sweep payload: {exc}")
+    return tuple(out)
+
+
+# -- KernelSoA -----------------------------------------------------------
+
+
+def encode_soa(soa) -> dict:
+    """Lower a :class:`~repro.perfmodel.batch.KernelSoA` to arrays of
+    JSON scalars (bools stay bools, floats stay exact via repr)."""
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "kernels": [k.name for k in soa.kernels],
+        "arrays": {
+            name: [
+                bool(v) if name == "gather" else float(v)
+                for v in getattr(soa, name)
+            ]
+            for name in SOA_ARRAY_FIELDS
+        },
+    }
+
+
+#: The array fields of ``KernelSoA`` in declaration order.
+SOA_ARRAY_FIELDS = (
+    "flops_per_iter", "reads_per_iter", "writes_per_iter",
+    "footprint_elems", "traffic_scale", "parallel_fraction",
+    "regions_per_rep", "reps", "gather", "default_sizes",
+)
+
+
+def decode_soa(payload: dict, kernels: tuple):
+    """Rebuild a ``KernelSoA`` for ``kernels`` from a stored payload.
+
+    The caller supplies the live kernel objects (registry singletons);
+    the payload supplies the arrays. Name order must match exactly —
+    a reordered or renamed catalog is a :class:`CodecError` (and the
+    key digest would normally have changed anyway).
+    """
+    from repro.perfmodel.batch import KernelSoA, _frozen
+
+    _require_version(payload, "SoA lowering")
+    names = payload.get("kernels")
+    if names != [k.name for k in kernels]:
+        raise CodecError("SoA payload kernel names do not match request")
+    arrays = payload.get("arrays")
+    if not isinstance(arrays, dict):
+        raise CodecError("SoA payload has no arrays object")
+    decoded: dict[str, Any] = {}
+    for name in SOA_ARRAY_FIELDS:
+        values = arrays.get(name)
+        if not isinstance(values, list) or len(values) != len(kernels):
+            raise CodecError(f"SoA array {name!r} is missing or mis-sized")
+        if name == "gather":
+            decoded[name] = _frozen([bool(v) for v in values], dtype=bool)
+        else:
+            decoded[name] = _frozen(
+                [_finite_float(v, name) for v in values]
+            )
+    return KernelSoA(kernels=kernels, **decoded)
+
+
+# -- shared helpers ------------------------------------------------------
+
+
+def _finite_float(value: Any, field: str) -> float:
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"{field} is not a number: {exc}")
+    if not math.isfinite(out):
+        raise CodecError(f"{field} is not finite ({out})")
+    return out
+
+
+def _require_version(payload: dict, kind: str) -> None:
+    if payload.get("payload_version") != PAYLOAD_VERSION:
+        raise CodecError(
+            f"{kind} payload has version "
+            f"{payload.get('payload_version')!r}; this build reads "
+            f"{PAYLOAD_VERSION}"
+        )

@@ -598,6 +598,40 @@ def _run_one_kernel(
     )
 
 
+def _bulk_runs(
+    kernels: list[Kernel], prefetched: _Prefetched
+) -> dict[str, KernelRun] | None:
+    """Assemble a whole suite's :class:`KernelRun`\\ s from a complete
+    prefetch, or ``None`` if any kernel needs the per-kernel loop.
+
+    Equivalent to :func:`_run_one_kernel` over ``kernels`` under the
+    caller-checked preconditions (no chaos plan, zero noise, untraced):
+    each run is ``prediction.seconds`` plus the same finiteness guard,
+    and a guard failure rejects the whole bulk so the loop raises the
+    identical :class:`SimulationError`.
+    """
+    runs: dict[str, KernelRun] = {}
+    get = prefetched.get
+    for kernel in kernels:
+        entry = get(kernel.name)
+        if entry is None:
+            return None
+        report, prediction = entry
+        if prediction is None:
+            return None
+        seconds = prediction.seconds
+        if not math.isfinite(seconds) or seconds <= 0:
+            return None
+        runs[kernel.name] = KernelRun(
+            kernel_name=kernel.name,
+            klass=kernel.klass,
+            seconds=seconds,
+            prediction=prediction,
+            report=report,
+        )
+    return runs
+
+
 def run_suite(
     cpu: CPUModel,
     config: RunConfig,
@@ -697,6 +731,32 @@ def run_suite(
                 kernels, cpu, config, compiler, cores, caches,
                 memo_prefix
             )
+
+        # Bulk fold: when every kernel arrived prefetched with a real
+        # prediction and nothing can intervene per kernel (no chaos
+        # plan, no tracing spans, no noise averaging), the per-kernel
+        # policy loop below is pure assembly — do it in one tight pass.
+        # Any kernel that would take a different branch (missing entry,
+        # batch abstention, non-finite time) drops to the loop, so
+        # failure semantics and counters stay byte-identical.
+        if (
+            prefetched is not None
+            and not traced
+            and config.noise_sigma == 0
+            and chaos.active_plan() is None
+        ):
+            bulk = _bulk_runs(kernels, prefetched)
+            if bulk is not None:
+                return SuiteResult(
+                    cpu_name=cpu.name,
+                    config=config,
+                    runs=bulk,
+                    failures=(),
+                    cache_stats=(
+                        caches.stats() if caches is not None else None
+                    ),
+                    telemetry=None,
+                )
 
         runs: dict[str, KernelRun] = {}
         failures: list[FailureRecord] = []

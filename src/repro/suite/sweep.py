@@ -34,21 +34,31 @@ from dataclasses import (
 )
 from itertools import product
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+import warnings
 
 from repro import telemetry
 from repro.kernels.base import Kernel
 from repro.kernels.registry import get_kernel
 from repro.machine.cpu import CPUModel
+from repro.openmp.affinity import assign_cores
 from repro.perfmodel.placement import reference_active
 from repro.resilience import chaos
 from repro.resilience.checkpoint import SweepCheckpoint, point_key
 from repro.resilience.retry import FailurePolicy, FailureRecord, RetrySpec
 from repro.suite.config import Placement, Precision, RunConfig
-from repro.suite.memo import CacheCounters, SuiteCaches
+from repro.suite.memo import (
+    CacheCounters,
+    MemoKeyPrefix,
+    SuiteCaches,
+    machine_digest,
+)
 from repro.suite.runner import SuiteResult, grid_prefetch, run_suite
 from repro.util.errors import ConfigError, ReproError
 from repro.util.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ArtifactStore
 
 
 @dataclass(frozen=True)
@@ -110,6 +120,10 @@ class SweepResult:
     telemetry: "telemetry.TelemetrySummary | None" = field(
         default=None, compare=False
     )
+    #: True when the whole result was restored from a sweep-level store
+    #: artifact (the fastest warm tier) instead of computed. Provenance,
+    #: not content — excluded from equality like ``cache_stats``.
+    restored: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.points and not self.failures:
@@ -210,6 +224,102 @@ def _grid_hash(
         runs,
         noise_sigma,
     )
+
+
+# -- whole-sweep store tier ------------------------------------------------
+
+
+def _sweep_store_key(
+    cpu: CPUModel,
+    kernel_list: list[Kernel],
+    threads: Sequence[int],
+    placements: Sequence[Placement],
+    precisions: Sequence[Precision],
+    runs: int,
+    noise_sigma: float,
+    engine: str,
+) -> tuple:
+    """On-disk key of a whole-sweep artifact: every semantic input of
+    the grid. The engine is included out of caution — engines are
+    bit-identical by contract, but a stored result must never be able
+    to mask a divergence between them."""
+    return (
+        "sweep-result",
+        machine_digest(cpu),
+        tuple(k.name for k in kernel_list),
+        tuple(int(t) for t in threads),
+        tuple(p.value for p in placements),
+        tuple(p.label for p in precisions),
+        int(runs),
+        float(noise_sigma),
+        engine,
+    )
+
+
+def _sweep_store(
+    checkpoint: str | Path | None, caches: SuiteCaches
+) -> "ArtifactStore | None":
+    """The store backing whole-sweep artifacts, or ``None``.
+
+    The tier engages only for a pure grid computation: no checkpoint to
+    feed (resume bookkeeping must observe real per-point completion),
+    no chaos plan (injected faults are stateful and must fire), and not
+    reference mode (an explicit request to run the reference
+    implementation, never a cache)."""
+    if checkpoint is not None:
+        return None
+    if chaos.active_plan() is not None or reference_active():
+        return None
+    return caches.store
+
+
+def _stored_sweep(
+    store: "ArtifactStore",
+    key: tuple,
+    cpu: CPUModel,
+    expected_points: int,
+    caches: SuiteCaches,
+) -> SweepResult | None:
+    """Restore the whole sweep from one artifact read, or ``None``.
+
+    An unusable payload (corruption, version skew, wrong point count)
+    degrades to recompute with a :class:`~repro.store.StoreWarning`,
+    like every other store tier."""
+    from repro.store.artifact import StoreWarning
+    from repro.store.codecs import CodecError, decode_sweep_points
+
+    payload = store.get("sweep", key)
+    if payload is None:
+        return None
+    try:
+        points = decode_sweep_points(payload, cpu.name, expected_points)
+    except CodecError as exc:
+        warnings.warn(
+            f"stored sweep result is unusable ({exc}); recomputing",
+            StoreWarning, stacklevel=4,
+        )
+        return None
+    return SweepResult(
+        points=points,
+        failures=(),
+        cache_stats=caches.stats(),
+        restored=True,
+    )
+
+
+def _persist_sweep(
+    store: "ArtifactStore", key: tuple, result: SweepResult
+) -> None:
+    """Write a completed sweep as one whole-grid artifact.
+
+    Failure-free sweeps only: errors are never cached (they re-raise or
+    re-record identically on every run by design), and a partial point
+    list must not shadow the full grid."""
+    from repro.store.codecs import encode_sweep_points
+
+    if result.failures or not result.points:
+        return
+    store.put("sweep", key, encode_sweep_points(result.points))
 
 
 @dataclass
@@ -409,6 +519,8 @@ def sweep(
     reg = telemetry.metrics()
     reg.counter("sweep.runs").inc()
     reg.counter("sweep.points").inc(len(result.points))
+    if result.restored:
+        reg.counter("sweep.restored").inc()
     if result.failures:
         reg.counter("sweep.failures").inc(len(result.failures))
     if result.cache_stats is not None:
@@ -437,39 +549,27 @@ def _run_sweep(
 ) -> SweepResult:
     """The grid body behind :func:`sweep`'s validation + telemetry
     wrapper (arguments arrive normalized)."""
-    ckpt: SweepCheckpoint | None = None
-    if checkpoint is not None:
-        ckpt = SweepCheckpoint(
-            checkpoint,
-            _grid_hash(cpu, kernel_list, threads, placements, precisions,
-                       runs, noise_sigma),
+    # Whole-sweep store tier: an identical completed sweep restores
+    # from a single artifact read, skipping the grid entirely — the
+    # second-process warm path. Results are bit-identical (floats
+    # round-trip exactly); the cache layers stay untouched, which the
+    # returned counters reflect honestly.
+    store = _sweep_store(checkpoint, caches)
+    if store is not None:
+        store_key = _sweep_store_key(
+            cpu, kernel_list, threads, placements, precisions, runs,
+            noise_sigma, engine,
         )
+        expected = (len(kernel_list) * len(threads) * len(placements)
+                    * len(precisions))
+        restored = _stored_sweep(store, store_key, cpu, expected, caches)
+        if restored is not None:
+            return restored
 
-    # Resolve the checkpoint split up front (main thread): grid points
-    # then run independently and are collected back in grid order.
-    grid: list[_GridPoint] = []
-    for t, placement, precision in product(
-        threads, placements, precisions
-    ):
-        restored: dict[str, SweepPoint] = {}
-        todo: list[Kernel] = []
-        for kernel in kernel_list:
-            key = point_key(
-                t, placement.value, precision.label, kernel.name
-            )
-            if ckpt is not None and ckpt.has(key):
-                record = ckpt.completed[key]
-                restored[kernel.name] = SweepPoint(
-                    cpu=record.get("cpu", cpu.name),
-                    threads=t,
-                    placement=placement,
-                    precision=precision,
-                    kernel=kernel.name,
-                    seconds=float(record["seconds"]),
-                )
-            else:
-                todo.append(kernel)
-        grid.append(_GridPoint(t, placement, precision, restored, todo))
+    ckpt, grid = _checkpoint_grid(
+        cpu, kernel_list, threads, placements, precisions, runs,
+        noise_sigma, checkpoint,
+    )
 
     # Whole-grid prediction: one vectorized pass computes every grid
     # point's predictions up front (uniform points share a single 2-D
@@ -536,47 +636,10 @@ def _run_sweep(
     def collect(gp: _GridPoint, outcome: SuiteResult | None,
                 error: ReproError | None) -> None:
         """Fold one grid point's outcome into the sweep (main thread)."""
-        fresh: dict[str, SweepPoint] = {}
-        if error is not None:
-            failures.append(
-                _sweep_failure(
-                    cpu.name, gp.threads, gp.placement, gp.precision,
-                    FailureRecord.from_exception("*", error, 1),
-                )
-            )
-        elif outcome is not None:
-            for name, run in outcome.runs.items():
-                point = SweepPoint(
-                    cpu=cpu.name,
-                    threads=gp.threads,
-                    placement=gp.placement,
-                    precision=gp.precision,
-                    kernel=name,
-                    seconds=run.seconds,
-                )
-                fresh[name] = point
-                if ckpt is not None:
-                    ckpt.record({
-                        "cpu": cpu.name,
-                        "threads": gp.threads,
-                        "placement": gp.placement.value,
-                        "precision": gp.precision.label,
-                        "kernel": name,
-                        "seconds": run.seconds,
-                        "attempts": run.attempts,
-                    })
-            failures.extend(
-                _sweep_failure(
-                    cpu.name, gp.threads, gp.placement, gp.precision,
-                    record,
-                )
-                for record in outcome.failures
-            )
-        # Emit points in kernel order regardless of restore/run split.
-        for kernel in kernel_list:
-            point = gp.restored.get(kernel.name) or fresh.get(kernel.name)
-            if point is not None:
-                points.append(point)
+        _collect_point(
+            cpu.name, kernel_list, ckpt, points, failures, gp, outcome,
+            error,
+        )
 
     if effective_workers <= 1:
         for index, gp in enumerate(grid):
@@ -674,11 +737,147 @@ def _run_sweep(
                     continue
                 collect(gp, result, None)
 
-    return SweepResult(
+    result = SweepResult(
         points=tuple(points),
         failures=tuple(failures),
         cache_stats=caches.stats(),
     )
+    if store is not None:
+        _persist_sweep(store, store_key, result)
+    return result
+
+
+def _checkpoint_grid(
+    cpu: CPUModel,
+    kernel_list: list[Kernel],
+    threads: Sequence[int],
+    placements: Sequence[Placement],
+    precisions: Sequence[Precision],
+    runs: int,
+    noise_sigma: float,
+    checkpoint: str | Path | None,
+) -> tuple[SweepCheckpoint | None, list[_GridPoint]]:
+    """The sweep grid, pre-split against the checkpoint (main thread).
+
+    Shared by the single-host and distributed drivers — the grid hash
+    covers only the sweep's identity (never how it was dispatched), so
+    their checkpoints are interchangeable mid-sweep.
+    """
+    ckpt: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        ckpt = SweepCheckpoint(
+            checkpoint,
+            _grid_hash(cpu, kernel_list, threads, placements, precisions,
+                       runs, noise_sigma),
+        )
+    grid: list[_GridPoint] = []
+    for t, placement, precision in product(
+        threads, placements, precisions
+    ):
+        if ckpt is None:
+            # No checkpoint: every kernel is todo — skip the per-kernel
+            # key derivation entirely (it is pure overhead here, and a
+            # warm sweep's grid walk is counted in microseconds).
+            grid.append(
+                _GridPoint(t, placement, precision, {},
+                           list(kernel_list))
+            )
+            continue
+        restored: dict[str, SweepPoint] = {}
+        todo: list[Kernel] = []
+        for kernel in kernel_list:
+            key = point_key(
+                t, placement.value, precision.label, kernel.name
+            )
+            if ckpt is not None and ckpt.has(key):
+                record = ckpt.completed[key]
+                restored[kernel.name] = SweepPoint(
+                    cpu=record.get("cpu", cpu.name),
+                    threads=t,
+                    placement=placement,
+                    precision=precision,
+                    kernel=kernel.name,
+                    seconds=float(record["seconds"]),
+                )
+            else:
+                todo.append(kernel)
+        grid.append(_GridPoint(t, placement, precision, restored, todo))
+    return ckpt, grid
+
+
+def _collect_point(
+    cpu_name: str,
+    kernel_list: list[Kernel],
+    ckpt: SweepCheckpoint | None,
+    points: list[SweepPoint],
+    failures: list[SweepFailure],
+    gp: _GridPoint,
+    outcome: SuiteResult | None,
+    error: ReproError | None,
+) -> None:
+    """Fold one grid point's outcome into the sweep's accumulators.
+
+    Always runs on the driving thread in grid order — checkpoint
+    records and result rows come out deterministic no matter which
+    worker (or host) produced the outcome.
+    """
+    fresh: dict[str, SweepPoint] = {}
+    if error is not None:
+        failures.append(
+            _sweep_failure(
+                cpu_name, gp.threads, gp.placement, gp.precision,
+                FailureRecord.from_exception("*", error, 1),
+            )
+        )
+    elif (
+        outcome is not None and ckpt is None and not gp.restored
+    ):
+        # Hot path: no checkpoint to feed and nothing restored, so the
+        # suite's runs (already in kernel order) fold straight into the
+        # point list without the per-kernel reorder pass below.
+        t, placement, precision = gp.threads, gp.placement, gp.precision
+        for name, run in outcome.runs.items():
+            points.append(SweepPoint(
+                cpu_name, t, placement, precision, name, run.seconds,
+            ))
+        failures.extend(
+            _sweep_failure(cpu_name, t, placement, precision, record)
+            for record in outcome.failures
+        )
+        return
+    elif outcome is not None:
+        for name, run in outcome.runs.items():
+            point = SweepPoint(
+                cpu=cpu_name,
+                threads=gp.threads,
+                placement=gp.placement,
+                precision=gp.precision,
+                kernel=name,
+                seconds=run.seconds,
+            )
+            fresh[name] = point
+            if ckpt is not None:
+                ckpt.record({
+                    "cpu": cpu_name,
+                    "threads": gp.threads,
+                    "placement": gp.placement.value,
+                    "precision": gp.precision.label,
+                    "kernel": name,
+                    "seconds": run.seconds,
+                    "attempts": run.attempts,
+                })
+        failures.extend(
+            _sweep_failure(
+                cpu_name, gp.threads, gp.placement, gp.precision,
+                record,
+            )
+            for record in outcome.failures
+        )
+    # Emit points in kernel order regardless of restore/run split.
+    for kernel in kernel_list:
+        point = gp.restored.get(kernel.name) or fresh.get(kernel.name)
+        if point is not None:
+            points.append(point)
 
 
 def _sweep_failure(
@@ -699,3 +898,304 @@ def _sweep_failure(
         attempts=record.attempts,
         site=record.site,
     )
+
+
+# -- distributed sweeps ----------------------------------------------------
+
+
+def _memo_group_token(
+    cpu: CPUModel,
+    gp: _GridPoint,
+    runs: int,
+    noise_sigma: float,
+    caches: SuiteCaches,
+):
+    """Grouping token for shard assignment, or ``None``.
+
+    Two grid points whose predictions share memo keys must run on one
+    rank for the memo counters to stay interleaving-invariant (the
+    second point then scores pure hits exactly as it would serially).
+    Memo keys embed the :class:`MemoKeyPrefix`, so grouping by prefix
+    is sufficient: distinct prefixes touch disjoint memo entries, and
+    the compile cache is invariant anyway (it computes under its lock,
+    exactly once per key). ``None`` means "no constraint" — memo off,
+    or a configuration whose resolution fails (it fails identically
+    wherever it runs).
+    """
+    if caches.predict is None or chaos.active_plan() is not None:
+        return None
+    try:
+        config = RunConfig(
+            threads=gp.threads, placement=gp.placement,
+            precision=gp.precision, runs=runs, noise_sigma=noise_sigma,
+        )
+        compiler = config.resolve_compiler(cpu)
+        cores = assign_cores(
+            cpu.topology, config.threads, config.placement
+        )
+    except ReproError:
+        return None
+    return MemoKeyPrefix(
+        machine_digest(cpu), cores, config.precision, compiler.name,
+        config.flavor if config.vectorize else None,
+        config.rollback if config.vectorize else None,
+        config.vectorize,
+    )
+
+
+def _assign_shards(
+    cpu: CPUModel,
+    grid: list[_GridPoint],
+    runs: int,
+    noise_sigma: float,
+    caches: SuiteCaches,
+    hosts: int,
+) -> list[list[int]]:
+    """Deterministic grid-index shards, one per rank.
+
+    Points are grouped by memo identity (see :func:`_memo_group_token`)
+    and whole groups round-robin across ranks in first-appearance
+    order; indices stay ascending within a rank, so each shard is a
+    subsequence of the grid.
+    """
+    groups: list[list[int]] = []
+    by_token: dict[object, list[int]] = {}
+    for index, gp in enumerate(grid):
+        token = _memo_group_token(cpu, gp, runs, noise_sigma, caches)
+        if token is None:
+            groups.append([index])
+            continue
+        members = by_token.get(token)
+        if members is None:
+            members = []
+            by_token[token] = members
+            groups.append(members)
+        members.append(index)
+    shards: list[list[int]] = [[] for _ in range(hosts)]
+    for g, members in enumerate(groups):
+        shards[g % hosts].extend(members)
+    for shard in shards:
+        shard.sort()
+    return shards
+
+
+def distributed_sweep(
+    cpu: CPUModel,
+    kernels: Sequence[Kernel],
+    threads: Sequence[int] = (1,),
+    placements: Sequence[Placement] = (Placement.BLOCK,),
+    precisions: Sequence[Precision] = (Precision.FP64,),
+    runs: int = 1,
+    noise_sigma: float = 0.0,
+    *,
+    hosts: int = 2,
+    policy: FailurePolicy = FailurePolicy.ABORT,
+    retry: RetrySpec | None = None,
+    checkpoint: str | Path | None = None,
+    caches: SuiteCaches | None = None,
+    engine: str = "batch",
+) -> SweepResult:
+    """:func:`sweep` sharded across ``hosts`` simulated hosts.
+
+    The grid is partitioned into per-rank shards and executed over
+    :class:`repro.cluster.runtime.SpmdRuntime`; each rank prefetches
+    and runs its shard, the shard outcomes are gathered to rank 0
+    (``Communicator.gather``), and the driving thread folds them back
+    **in grid order** — results, failure records and checkpoint writes
+    are bit-identical to the single-host sweep, and so are the shared
+    cache counters (shard assignment keeps memo-key groups on one rank;
+    see :func:`_memo_group_token`). Rank spans land in the caller's
+    telemetry session tagged ``sweep.shard``/``rank=N``, so a
+    distributed sweep still yields one merged trace.
+
+    Single-host semantics are the contract; ``hosts=1`` (or an active
+    chaos plan, whose injection counters are ordering-sensitive by
+    design) simply delegates to :func:`sweep`.
+    """
+    if hosts < 1:
+        raise ConfigError(f"hosts must be >= 1, got {hosts}")
+    if hosts == 1 or chaos.active_plan() is not None:
+        return sweep(
+            cpu, kernels, threads, placements, precisions, runs,
+            noise_sigma, policy=policy, retry=retry,
+            checkpoint=checkpoint, caches=caches, engine=engine,
+        )
+    if not kernels:
+        raise ConfigError("kernel list is empty")
+    if not threads or not placements or not precisions:
+        raise ConfigError("sweep axes must be non-empty")
+    if engine not in ("scalar", "batch"):
+        raise ConfigError(
+            f"unknown engine {engine!r}; expected 'scalar' or 'batch'"
+        )
+    if isinstance(policy, str):
+        policy = FailurePolicy.from_label(policy)
+    kernel_list = list(kernels)
+    if caches is None:
+        caches = SuiteCaches()
+
+    rec = telemetry.recorder()
+    if not rec.active:
+        return _run_distributed(
+            cpu, kernel_list, threads, placements, precisions, runs,
+            noise_sigma, policy, retry, checkpoint, caches, engine,
+            hosts,
+        )
+    with rec.span(
+        "sweep.distributed", cpu=cpu.name, kernels=len(kernel_list),
+        grid_points=len(threads) * len(placements) * len(precisions),
+        hosts=hosts, engine=engine,
+    ):
+        result = _run_distributed(
+            cpu, kernel_list, threads, placements, precisions, runs,
+            noise_sigma, policy, retry, checkpoint, caches, engine,
+            hosts,
+        )
+    reg = telemetry.metrics()
+    reg.counter("sweep.runs").inc()
+    reg.counter("sweep.points").inc(len(result.points))
+    if result.restored:
+        reg.counter("sweep.restored").inc()
+    if result.failures:
+        reg.counter("sweep.failures").inc(len(result.failures))
+    reg.gauge("sweep.hosts").set(hosts)
+    if result.cache_stats is not None:
+        result.cache_stats.publish(reg)
+    return replace(
+        result,
+        telemetry=telemetry.TelemetrySummary.capture(rec, reg),
+    )
+
+
+def _run_distributed(
+    cpu: CPUModel,
+    kernel_list: list[Kernel],
+    threads: Sequence[int],
+    placements: Sequence[Placement],
+    precisions: Sequence[Precision],
+    runs: int,
+    noise_sigma: float,
+    policy: FailurePolicy,
+    retry: RetrySpec | None,
+    checkpoint: str | Path | None,
+    caches: SuiteCaches,
+    engine: str,
+    hosts: int,
+) -> SweepResult:
+    from repro.cluster.runtime import Communicator, SpmdRuntime
+
+    # Same whole-sweep store tier as the single-host driver, probed
+    # before sharding — a restored distributed sweep short-circuits at
+    # the driver exactly like ``hosts=1`` does, so points, counters and
+    # store activity stay identical across host counts.
+    store = _sweep_store(checkpoint, caches)
+    if store is not None:
+        store_key = _sweep_store_key(
+            cpu, kernel_list, threads, placements, precisions, runs,
+            noise_sigma, engine,
+        )
+        expected = (len(kernel_list) * len(threads) * len(placements)
+                    * len(precisions))
+        restored = _stored_sweep(store, store_key, cpu, expected, caches)
+        if restored is not None:
+            return restored
+
+    ckpt, grid = _checkpoint_grid(
+        cpu, kernel_list, threads, placements, precisions, runs,
+        noise_sigma, checkpoint,
+    )
+    num_ranks = min(hosts, max(1, len(grid)))
+    shards = _assign_shards(cpu, grid, runs, noise_sigma, caches,
+                            num_ranks)
+    prefetchable = (
+        engine == "batch"
+        and chaos.active_plan() is None
+        and not reference_active()
+    )
+
+    def shard_body(comm: Communicator):
+        """One rank: prefetch + run its shard, gather to rank 0.
+
+        Ranks are threads sharing ``caches`` — exactly the single-host
+        thread-pool situation, so every counter total is interleaving-
+        invariant (the compile cache computes under its lock; memo-key
+        groups never span ranks). Per-point errors travel as values so
+        the driving thread can apply the failure policy in grid order.
+        """
+        indices = shards[comm.rank]
+        outcomes: list[tuple] = []
+        with telemetry.recorder().span(
+            "sweep.shard", rank=comm.rank, points=len(indices),
+        ):
+            prefetches: dict[int, dict | None] = {}
+            if prefetchable:
+                jobs = []
+                for index in indices:
+                    gp = grid[index]
+                    try:
+                        jobs.append((
+                            RunConfig(
+                                threads=gp.threads,
+                                placement=gp.placement,
+                                precision=gp.precision,
+                                runs=runs,
+                                noise_sigma=noise_sigma,
+                            ),
+                            gp.todo,
+                        ))
+                    except ReproError:
+                        jobs.append(None)
+                prefetches = dict(zip(
+                    indices, grid_prefetch(cpu, jobs, caches)
+                ))
+            for index in indices:
+                gp = grid[index]
+                if not gp.todo:
+                    outcomes.append((index, None, None))
+                    continue
+                try:
+                    config = RunConfig(
+                        threads=gp.threads,
+                        placement=gp.placement,
+                        precision=gp.precision,
+                        runs=runs,
+                        noise_sigma=noise_sigma,
+                    )
+                    result = run_suite(
+                        cpu, config, kernels=gp.todo, policy=policy,
+                        retry=retry, caches=caches, engine=engine,
+                        prefetched=prefetches.get(index),
+                    )
+                except ReproError as exc:
+                    outcomes.append((index, None, exc))
+                    continue
+                outcomes.append((index, result, None))
+        return comm.gather(outcomes, root=0)
+
+    gathered = SpmdRuntime(num_ranks).run(shard_body)[0]
+    merged: dict[int, tuple] = {}
+    for shard_outcomes in gathered:
+        for index, outcome, error in shard_outcomes:
+            merged[index] = (outcome, error)
+
+    points: list[SweepPoint] = []
+    failures: list[SweepFailure] = []
+    for index, gp in enumerate(grid):
+        outcome, error = merged[index]
+        if error is not None and policy is FailurePolicy.ABORT:
+            # Grid-order abort: points before this one are already
+            # folded (and checkpointed), later ones are discarded —
+            # observable state matches the serial sweep exactly.
+            raise error
+        _collect_point(
+            cpu.name, kernel_list, ckpt, points, failures, gp, outcome,
+            error,
+        )
+    result = SweepResult(
+        points=tuple(points),
+        failures=tuple(failures),
+        cache_stats=caches.stats(),
+    )
+    if store is not None:
+        _persist_sweep(store, store_key, result)
+    return result

@@ -1,0 +1,158 @@
+"""Startup pre-warm: /readyz gates on it; answers stay identical."""
+
+import asyncio
+import threading
+
+from repro.kernels.registry import get_kernel
+from repro.machine import catalog
+from repro.serve import PredictionServer, ServeConfig
+from repro.store import ArtifactStore
+from repro.store.warm import warm_store
+from repro.suite.config import RunConfig
+from repro.suite.runner import run_suite
+
+from tests.serve.helpers import http_request
+
+
+def with_server(config, scenario):
+    async def main():
+        server = PredictionServer(config)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.drain()
+
+    return asyncio.run(main())
+
+
+def store_config(tmp_path, **overrides):
+    base = dict(
+        port=0, drain_timeout_s=2.0,
+        store_path=str(tmp_path / "store"),
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+async def _await_ready(server, attempts=200):
+    for _ in range(attempts):
+        status, _, body = await http_request(
+            server.port, "GET", "/readyz"
+        )
+        if status == 200:
+            return status, body
+        await asyncio.sleep(0.02)
+    return status, body  # pragma: no cover - timeout diagnostics
+
+
+class TestReadyGating:
+    def test_readyz_is_503_until_prewarm_completes(
+        self, tmp_path, monkeypatch
+    ):
+        release = threading.Event()
+
+        def blocked_warm(caches, cpu, kernels=None, config=None):
+            assert release.wait(10)
+            return 64
+
+        # The worker imports warm_caches at call time, so patching the
+        # module attribute intercepts it deterministically.
+        monkeypatch.setattr(
+            "repro.store.warm.warm_caches", blocked_warm
+        )
+
+        async def scenario(server):
+            not_ready = await http_request(
+                server.port, "GET", "/readyz"
+            )
+            health = await http_request(server.port, "GET", "/healthz")
+            release.set()
+            ready = await _await_ready(server)
+            return not_ready, health, ready
+
+        not_ready, health, ready = with_server(
+            store_config(tmp_path), scenario
+        )
+        status, headers, body = not_ready
+        assert status == 503
+        assert body["error"]["code"] == "unavailable"
+        assert "pre-warming" in body["error"]["message"]
+        assert headers["retry-after"] == "1"
+        # Liveness is independent of readiness: the process is up.
+        assert health[0] == 200
+        assert ready[0] == 200 and ready[1]["status"] == "ready"
+
+    def test_no_store_is_ready_immediately(self):
+        async def scenario(server):
+            return await http_request(server.port, "GET", "/readyz")
+
+        status, _, body = with_server(
+            ServeConfig(port=0, drain_timeout_s=2.0), scenario
+        )
+        assert status == 200 and body["status"] == "ready"
+
+    def test_prewarm_disabled_is_ready_immediately(self, tmp_path):
+        async def scenario(server):
+            return await http_request(server.port, "GET", "/readyz")
+
+        status, _, body = with_server(
+            store_config(tmp_path, prewarm=False), scenario
+        )
+        assert status == 200
+
+    def test_unknown_prewarm_cpu_becomes_ready_anyway(self, tmp_path):
+        # Pre-warm failure is never fatal: the server warns, counts the
+        # error and serves cold rather than staying unready forever.
+        async def scenario(server):
+            return await _await_ready(server)
+
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            status, body = with_server(
+                store_config(tmp_path, prewarm_cpus=("nonesuch",)),
+                scenario,
+            )
+        assert status == 200 and body["status"] == "ready"
+
+
+class TestWarmAnswers:
+    def test_prewarmed_server_matches_direct_engine_output(
+        self, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "store")
+        warm_store(store, catalog.sg2042())
+
+        async def scenario(server):
+            await _await_ready(server)
+            response = await http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "GEMM", "threads": 16,
+                 "placement": "cluster", "precision": "fp32"},
+            )
+            metrics = await http_request(
+                server.port, "GET", "/metrics"
+            )
+            return response, metrics
+
+        response, metrics = with_server(
+            store_config(tmp_path), scenario
+        )
+        status, _, body = response
+        assert status == 200
+        direct = run_suite(
+            catalog.sg2042(),
+            RunConfig(threads=16, placement="cluster",
+                      precision="fp32", runs=1, noise_sigma=0.0),
+            kernels=[get_kernel("GEMM")],
+        ).runs["GEMM"]
+        assert body["seconds"] == direct.seconds
+
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in metrics[2].decode().splitlines() if " " in line
+        )
+        assert int(lines["counter serve.prewarm_kernels"]) >= 64
+        assert lines["gauge serve.ready"] == "1"

@@ -1,0 +1,209 @@
+"""Codec round-trips are bit-exact; malformed payloads raise CodecError."""
+
+import enum
+import json
+
+import pytest
+
+from repro.compiler.model import XUANTIE_GCC_8_4
+from repro.compiler.vectorizer import analyze
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine.vector import rvv_0_7_1
+from repro.perfmodel.batch import lower_kernels
+from repro.perfmodel.execution import ExecutionResult
+from repro.store import CodecError, jsonable_parts
+from repro.store.codecs import (
+    decode_prediction_page,
+    decode_report,
+    decode_result,
+    decode_soa,
+    decode_sweep_points,
+    encode_prediction_page,
+    encode_report,
+    encode_result,
+    encode_soa,
+    encode_sweep_points,
+    page_slot,
+)
+from repro.suite.config import Placement, Precision
+from repro.suite.sweep import SweepPoint
+
+
+def _json_round_trip(payload):
+    """What the store actually does to a payload between put and get."""
+    return json.loads(json.dumps(payload))
+
+
+RESULT = ExecutionResult(0.1 + 0.2, 3e-7, "L2", "memory", True)
+
+
+class TestReportCodec:
+    def test_round_trip_every_kernel(self):
+        isa = rvv_0_7_1()
+        for kernel in all_kernels():
+            report = analyze(XUANTIE_GCC_8_4, kernel, isa)
+            payload = _json_round_trip(encode_report(report))
+            assert decode_report(payload) == report
+
+    def test_version_mismatch_raises(self):
+        report = analyze(XUANTIE_GCC_8_4, get_kernel("TRIAD"), rvv_0_7_1())
+        payload = encode_report(report)
+        payload["payload_version"] = 99
+        with pytest.raises(CodecError, match="version"):
+            decode_report(payload)
+
+    def test_missing_field_raises(self):
+        report = analyze(XUANTIE_GCC_8_4, get_kernel("TRIAD"), rvv_0_7_1())
+        payload = encode_report(report)
+        del payload["efficiency"]
+        with pytest.raises(CodecError):
+            decode_report(payload)
+
+
+class TestResultCodec:
+    def test_round_trip_is_bit_exact(self):
+        assert decode_result(_json_round_trip(encode_result(RESULT))) \
+            == RESULT
+
+    def test_nonpositive_seconds_rejected(self):
+        payload = encode_result(RESULT) | {"seconds": -1.0}
+        with pytest.raises(CodecError):
+            decode_result(payload)
+
+    def test_nan_rejected(self):
+        # json.loads accepts bare NaN, so a tampered page can deliver
+        # one as a genuine float; the decoder must still refuse it.
+        payload = json.loads(
+            json.dumps(encode_result(RESULT)).replace("3e-07", "NaN")
+        )
+        with pytest.raises(CodecError):
+            decode_result(payload)
+
+    def test_missing_field_rejected(self):
+        payload = encode_result(RESULT)
+        del payload["bound"]
+        with pytest.raises(CodecError):
+            decode_result(payload)
+
+
+class TestPageCodec:
+    def test_round_trip(self):
+        page = {
+            page_slot("TRIAD", 1024): RESULT,
+            page_slot("GEMM", 64): ExecutionResult(
+                1.0, 0.5, "DRAM", "compute", False
+            ),
+        }
+        payload = _json_round_trip(encode_prediction_page(page))
+        assert decode_prediction_page(payload) == page
+
+    def test_entries_must_be_an_object(self):
+        with pytest.raises(CodecError, match="entries"):
+            decode_prediction_page({"payload_version": 1, "entries": []})
+
+    def test_one_bad_entry_poisons_the_page(self):
+        payload = encode_prediction_page({page_slot("TRIAD", 8): RESULT})
+        payload["entries"]["TRIAD|8"]["seconds"] = "soon"
+        with pytest.raises(CodecError):
+            decode_prediction_page(payload)
+
+
+class TestSoaCodec:
+    def test_round_trip_matches_fresh_lowering(self):
+        from repro.store.codecs import SOA_ARRAY_FIELDS
+
+        kernels = tuple(all_kernels()[:5])
+        soa = lower_kernels(kernels)
+        payload = _json_round_trip(encode_soa(soa))
+        decoded = decode_soa(payload, kernels)
+        assert decoded.kernels == soa.kernels
+        for name in SOA_ARRAY_FIELDS:
+            # NumPy equality is elementwise; exact (floats restore
+            # bit-for-bit through repr), so plain == must hold per slot.
+            assert (getattr(decoded, name) == getattr(soa, name)).all()
+
+    def test_kernel_name_mismatch_raises(self):
+        kernels = tuple(all_kernels()[:3])
+        payload = encode_soa(lower_kernels(kernels))
+        with pytest.raises(CodecError, match="kernel names"):
+            decode_soa(payload, tuple(reversed(kernels)))
+
+    def test_missized_array_raises(self):
+        kernels = tuple(all_kernels()[:3])
+        payload = encode_soa(lower_kernels(kernels))
+        payload["arrays"]["reps"] = payload["arrays"]["reps"][:-1]
+        with pytest.raises(CodecError, match="reps"):
+            decode_soa(payload, kernels)
+
+
+class TestSweepPointsCodec:
+    def _points(self):
+        return tuple(
+            SweepPoint("sg2042", threads, placement, precision, kernel,
+                       0.1 * threads + 0.01)
+            for threads in (1, 64)
+            for placement in (Placement.BLOCK, Placement.CYCLIC)
+            for precision in (Precision.FP32,)
+            for kernel in ("TRIAD", "GEMM")
+        )
+
+    def test_round_trip_is_bit_exact(self):
+        points = self._points()
+        payload = _json_round_trip(encode_sweep_points(points))
+        assert decode_sweep_points(payload, "sg2042", len(points)) \
+            == points
+
+    def test_wrong_cpu_raises(self):
+        points = self._points()
+        payload = encode_sweep_points(points)
+        with pytest.raises(CodecError, match="cpu"):
+            decode_sweep_points(payload, "c910-dev", len(points))
+
+    def test_wrong_point_count_raises(self):
+        points = self._points()
+        payload = encode_sweep_points(points)
+        with pytest.raises(CodecError, match="needs"):
+            decode_sweep_points(payload, "sg2042", len(points) + 8)
+
+    def test_infinite_seconds_rejected(self):
+        # type(seconds) is float alone would wave Infinity through —
+        # json.loads produces it from bare "Infinity" tokens.
+        points = self._points()
+        payload = encode_sweep_points(points)
+        payload["points"][0][4] = float("inf")
+        with pytest.raises(CodecError, match="finite"):
+            decode_sweep_points(payload, "sg2042", len(points))
+
+    def test_unknown_placement_raises(self):
+        points = self._points()
+        payload = encode_sweep_points(points)
+        payload["points"][0][1] = "diagonal"
+        with pytest.raises(CodecError, match="malformed"):
+            decode_sweep_points(payload, "sg2042", len(points))
+
+    def test_short_row_raises(self):
+        points = self._points()
+        payload = encode_sweep_points(points)
+        payload["points"][0] = payload["points"][0][:3]
+        with pytest.raises(CodecError):
+            decode_sweep_points(payload, "sg2042", len(points))
+
+
+class TestJsonableParts:
+    def test_enums_are_class_qualified(self):
+        class A(enum.Enum):
+            X = 1
+
+        class B(enum.Enum):
+            X = 1
+
+        assert jsonable_parts((A.X,)) != jsonable_parts((B.X,))
+
+    def test_nested_tuples_lower_to_lists(self):
+        assert jsonable_parts((("a", (1, 2.5)), None, True)) == [
+            ["a", [1, 2.5]], None, True
+        ]
+
+    def test_unstorable_part_raises(self):
+        with pytest.raises(CodecError, match="not storable"):
+            jsonable_parts((object(),))

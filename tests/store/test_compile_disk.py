@@ -1,0 +1,123 @@
+"""CompileCache disk tier: cross-cache restores, suite composites."""
+
+import json
+
+import pytest
+
+from repro.compiler.cache import CompileCache
+from repro.compiler.model import XUANTIE_GCC_8_4
+from repro.compiler.vectorizer import analyze
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.machine.vector import rvv_0_7_1
+from repro.store import ArtifactStore, StoreWarning
+
+KERNELS = tuple(all_kernels()[:6])
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def _suite_artifacts(store):
+    """The composite suite artifacts among the compile namespace."""
+    out = []
+    for path in (store.root / "compile").glob("*.json"):
+        record = json.loads(path.read_text())
+        if "reports" in record["payload"]:
+            out.append(path)
+    return out
+
+
+class TestDiskTier:
+    def test_second_cache_restores_instead_of_compiling(self, store):
+        kernel = get_kernel("TRIAD")
+        isa = rvv_0_7_1()
+        first = CompileCache(store=store)
+        report = first.analyze(XUANTIE_GCC_8_4, kernel, isa)
+        assert first.stats.misses == 1
+
+        second = CompileCache(store=store)
+        restored = second.analyze(XUANTIE_GCC_8_4, kernel, isa)
+        assert restored == report == analyze(XUANTIE_GCC_8_4, kernel, isa)
+        assert second.stats.misses == 0
+        assert second.stats.disk_hits == 1
+        assert second.stats.hits == 0
+
+    def test_disk_hit_becomes_memory_entry(self, store):
+        kernel = get_kernel("TRIAD")
+        isa = rvv_0_7_1()
+        CompileCache(store=store).analyze(XUANTIE_GCC_8_4, kernel, isa)
+        cache = CompileCache(store=store)
+        cache.analyze(XUANTIE_GCC_8_4, kernel, isa)
+        cache.analyze(XUANTIE_GCC_8_4, kernel, isa)
+        stats = cache.stats
+        assert (stats.hits, stats.disk_hits, stats.misses) == (1, 1, 0)
+        assert stats.calls == 2
+
+    def test_no_store_means_no_disk_counters(self):
+        cache = CompileCache()
+        cache.analyze(XUANTIE_GCC_8_4, get_kernel("TRIAD"), rvv_0_7_1())
+        assert cache.stats.disk_hits == 0
+
+    def test_corrupt_report_recompiles_with_warning(self, store):
+        kernel = get_kernel("TRIAD")
+        isa = rvv_0_7_1()
+        first = CompileCache(store=store)
+        report = first.analyze(XUANTIE_GCC_8_4, kernel, isa)
+        for path in (store.root / "compile").glob("*.json"):
+            record = json.loads(path.read_text())
+            record["payload"]["efficiency"] = "very"
+            path.write_text(json.dumps(record))
+        fresh = CompileCache(store=store)
+        with pytest.warns(StoreWarning, match="unusable"):
+            again = fresh.analyze(XUANTIE_GCC_8_4, kernel, isa)
+        assert again == report
+        assert fresh.stats.misses == 1
+
+
+class TestSuiteComposite:
+    def test_suite_restore_costs_one_read(self, store):
+        isa = rvv_0_7_1()
+        primer = CompileCache(store=store)
+        reports = primer.analyze_suite(XUANTIE_GCC_8_4, KERNELS, isa)
+        assert primer.stats.misses == len(KERNELS)
+        assert len(_suite_artifacts(store)) == 1
+
+        # Fresh cache over a *separate handle* so read counters start
+        # clean: the whole suite must come back from one artifact.
+        reader_store = ArtifactStore(store.root)
+        fresh = CompileCache(store=reader_store)
+        restored = fresh.analyze_suite(XUANTIE_GCC_8_4, KERNELS, isa)
+        assert restored == reports
+        assert fresh.stats.disk_hits == len(KERNELS)
+        assert fresh.stats.misses == 0
+        assert reader_store.stats()["compile"].hits == 1
+
+    def test_suite_restore_populates_per_kernel_entries(self, store):
+        isa = rvv_0_7_1()
+        CompileCache(store=store).analyze_suite(
+            XUANTIE_GCC_8_4, KERNELS, isa
+        )
+        fresh = CompileCache(store=store)
+        fresh.analyze_suite(XUANTIE_GCC_8_4, KERNELS, isa)
+        # Per-kernel analyze() calls now hit memory, not disk.
+        fresh.analyze(XUANTIE_GCC_8_4, KERNELS[0], isa)
+        assert fresh.stats.hits == 1
+
+    def test_corrupt_composite_falls_back_to_per_kernel(self, store):
+        isa = rvv_0_7_1()
+        primer = CompileCache(store=store)
+        reports = primer.analyze_suite(XUANTIE_GCC_8_4, KERNELS, isa)
+        suite_path = _suite_artifacts(store)[0]
+        record = json.loads(suite_path.read_text())
+        record["payload"]["reports"] = record["payload"]["reports"][:-1]
+        suite_path.write_text(json.dumps(record))
+
+        fresh = CompileCache(store=store)
+        with pytest.warns(StoreWarning, match="suite compile artifact"):
+            restored = fresh.analyze_suite(XUANTIE_GCC_8_4, KERNELS, isa)
+        assert restored == reports
+        # The per-kernel artifacts are intact: nothing recompiled.
+        assert fresh.stats.misses == 0
+        assert fresh.stats.disk_hits == len(KERNELS)

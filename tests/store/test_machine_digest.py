@@ -1,0 +1,53 @@
+"""machine_digest must be content-addressed AND cross-process stable."""
+
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.machine import catalog
+from repro.suite.memo import machine_digest
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_DIGEST_SCRIPT = (
+    "from repro.machine import catalog;"
+    "from repro.suite.memo import machine_digest;"
+    "print(machine_digest(catalog.sg2042()))"
+)
+
+
+def _digest_in_subprocess(hash_seed):
+    env = dict(os.environ, PYTHONPATH=_SRC, PYTHONHASHSEED=hash_seed)
+    proc = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return int(proc.stdout.strip())
+
+
+class TestMachineDigest:
+    def test_equal_machines_digest_equally(self, sg2042):
+        assert machine_digest(sg2042) == machine_digest(catalog.sg2042())
+
+    def test_any_parameter_change_changes_the_digest(self, sg2042):
+        retuned = replace(
+            sg2042,
+            core=replace(sg2042.core, clock_hz=sg2042.core.clock_hz + 1),
+        )
+        assert machine_digest(retuned) != machine_digest(sg2042)
+
+    def test_different_machines_differ(self, sg2042):
+        digests = {
+            machine_digest(cpu) for cpu in catalog.all_cpus().values()
+        }
+        assert len(digests) == len(catalog.all_cpus())
+
+    def test_stable_across_processes_and_hash_seeds(self, sg2042):
+        # The persistent tier shares pages between processes; with
+        # hash randomization flipping between interpreters, a digest
+        # derived from repr()/hash() would silently address nothing.
+        digest = machine_digest(sg2042)
+        assert _digest_in_subprocess("0") == digest
+        assert _digest_in_subprocess("424242") == digest

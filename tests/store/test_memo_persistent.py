@@ -1,0 +1,155 @@
+"""PredictionMemo: persistent page tier + bounded in-memory tier."""
+
+import pytest
+
+from repro.perfmodel.execution import ExecutionResult
+from repro.store import ArtifactStore, StoreWarning
+from repro.suite.memo import MemoKeyPrefix, PredictionMemo
+
+PREFIX = MemoKeyPrefix(12345, "block", "fp64", ("gcc", "8.4"))
+OTHER_PREFIX = MemoKeyPrefix(12345, "cyclic", "fp64", ("gcc", "8.4"))
+
+
+def _result(seconds):
+    return ExecutionResult(seconds, seconds / 4, "L2", "memory", True)
+
+
+def _key(name, size=1024, prefix=PREFIX):
+    return (prefix, name, size)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestPersistentTier:
+    def test_second_memo_restores_from_disk(self, store):
+        first = PredictionMemo(store=store)
+        first.put(_key("TRIAD"), _result(0.25))
+        second = PredictionMemo(store=store)
+        assert second.peek(_key("TRIAD")) == _result(0.25)
+        assert second.disk_hits == 1
+        assert second.hits == 0  # disk hits are counted separately
+        # Now resident: the next peek is a memory hit, not a page read.
+        assert second.peek(_key("TRIAD")) == _result(0.25)
+        assert second.hits == 1 and second.disk_hits == 1
+
+    def test_prefix_equality_is_by_content(self, store):
+        PredictionMemo(store=store).put(_key("TRIAD"), _result(0.5))
+        rebuilt = MemoKeyPrefix(12345, "block", "fp64", ("gcc", "8.4"))
+        assert PredictionMemo(store=store).peek(
+            (rebuilt, "TRIAD", 1024)
+        ) == _result(0.5)
+
+    def test_pages_partition_by_prefix(self, store):
+        memo = PredictionMemo(store=store)
+        memo.put(_key("TRIAD"), _result(0.25))
+        memo.put(_key("TRIAD", prefix=OTHER_PREFIX), _result(0.75))
+        assert store.artifact_count("predict") == 2
+        fresh = PredictionMemo(store=store)
+        assert fresh.peek(_key("TRIAD")) == _result(0.25)
+        assert fresh.peek(
+            _key("TRIAD", prefix=OTHER_PREFIX)
+        ) == _result(0.75)
+
+    def test_get_or_compute_prefers_disk_over_compute(self, store):
+        PredictionMemo(store=store).put(_key("TRIAD"), _result(0.25))
+        fresh = PredictionMemo(store=store)
+
+        def compute():  # pragma: no cover - must not run
+            raise AssertionError("recomputed a disk-resident entry")
+
+        assert fresh.get_or_compute(
+            _key("TRIAD"), compute
+        ) == _result(0.25)
+
+    def test_corrupt_page_degrades_to_recompute(self, store):
+        PredictionMemo(store=store).put(_key("TRIAD"), _result(0.25))
+        page = next((store.root / "predict").glob("*.json"))
+        # Valid envelope, garbled payload: the codec layer must catch it.
+        text = page.read_text().replace('"seconds":0.25', '"seconds":"x"')
+        page.write_text(text)
+        fresh = PredictionMemo(store=store)
+        with pytest.warns(StoreWarning, match="prediction page"):
+            assert fresh.peek(_key("TRIAD")) is None
+
+    def test_clear_keeps_disk(self, store):
+        memo = PredictionMemo(store=store)
+        memo.put(_key("TRIAD"), _result(0.25))
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.peek(_key("TRIAD")) == _result(0.25)
+        assert memo.disk_hits == 1
+
+
+class TestBatchIO:
+    def test_put_many_peek_many_round_trip(self, store):
+        items = [
+            (_key(name), _result(0.1 * (i + 1)))
+            for i, name in enumerate(("TRIAD", "GEMM", "DAXPY"))
+        ]
+        memo = PredictionMemo(store=store)
+        memo.put_many(items)
+        assert memo.misses == 3
+        fresh = PredictionMemo(store=store)
+        keys = [key for key, _ in items] + [_key("STENCIL")]
+        got = fresh.peek_many(keys)
+        assert got == [result for _, result in items] + [None]
+        assert fresh.disk_hits == 3
+
+    def test_put_many_writes_one_page_per_prefix(self, store):
+        memo = PredictionMemo(store=store)
+        memo.put_many([
+            (_key("TRIAD"), _result(0.1)),
+            (_key("GEMM"), _result(0.2)),
+            (_key("TRIAD", prefix=OTHER_PREFIX), _result(0.3)),
+        ])
+        stats = store.stats()["predict"]
+        assert stats.puts == 2  # two prefixes touched, two page writes
+
+    def test_peek_many_counters_match_sequential_peeks(self, store):
+        items = [(_key(n), _result(0.5)) for n in ("TRIAD", "GEMM")]
+        PredictionMemo(store=store).put_many(items)
+        batched = PredictionMemo(store=store)
+        batched.peek_many([k for k, _ in items])
+        batched.peek_many([k for k, _ in items])
+        sequential = PredictionMemo(store=store)
+        for _ in range(2):
+            for key, _ in items:
+                sequential.peek(key)
+        assert (batched.hits, batched.misses, batched.disk_hits) == (
+            sequential.hits, sequential.misses, sequential.disk_hits
+        )
+
+
+class TestBoundedMemory:
+    def test_lru_eviction_caps_entries(self):
+        memo = PredictionMemo(max_entries=2)
+        for i, name in enumerate(("A", "B", "C")):
+            memo.put(_key(name), _result(1.0 + i))
+        assert len(memo) == 2
+        assert memo.evictions == 1
+        assert memo.peek(_key("A")) is None  # oldest went first
+        assert memo.peek(_key("C")) == _result(3.0)
+
+    def test_hits_refresh_recency(self):
+        memo = PredictionMemo(max_entries=2)
+        memo.put(_key("A"), _result(1.0))
+        memo.put(_key("B"), _result(2.0))
+        memo.peek(_key("A"))  # A is now most recent; C must evict B
+        memo.put(_key("C"), _result(3.0))
+        assert memo.peek(_key("A")) == _result(1.0)
+        assert memo.peek(_key("B")) is None
+
+    def test_evicted_entries_survive_on_disk(self, store):
+        memo = PredictionMemo(store=store, max_entries=1)
+        memo.put(_key("A"), _result(1.0))
+        memo.put(_key("B"), _result(2.0))
+        assert memo.evictions == 1
+        assert memo.peek(_key("A")) == _result(1.0)  # restored from page
+        assert memo.disk_hits == 1
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            PredictionMemo(max_entries=0)

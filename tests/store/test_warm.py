@@ -1,0 +1,63 @@
+"""``repro warm`` core: idempotent, incremental store pre-population."""
+
+import pytest
+
+from repro.kernels.registry import all_kernels
+from repro.store import ArtifactStore
+from repro.store.warm import warm_caches, warm_store
+from repro.suite.memo import SuiteCaches
+
+KERNELS = tuple(all_kernels()[:4])
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestWarmStore:
+    def test_first_warm_compiles_everything(self, store, sg2042):
+        report = warm_store(store, sg2042, KERNELS)
+        assert report.cpu == sg2042.name
+        assert report.kernels == len(KERNELS)
+        assert report.compiled == len(KERNELS)
+        assert report.restored == 0
+        assert report.failed == 0
+        # Per-kernel artifacts + the suite composite, plus the SoA.
+        assert store.artifact_count("compile") == len(KERNELS) + 1
+        assert store.artifact_count("soa") == 1
+
+    def test_rewarm_restores_instead_of_recompiling(self, store, sg2042):
+        warm_store(store, sg2042, KERNELS)
+        again = warm_store(store, sg2042, KERNELS)
+        assert again.compiled == 0
+        assert again.restored == len(KERNELS)
+
+    def test_partial_warm_fills_only_the_gaps(self, store, sg2042):
+        warm_store(store, sg2042, KERNELS[:2])
+        report = warm_store(store, sg2042, KERNELS)
+        # The two pre-warmed kernels restore individually; the full
+        # suite composite did not exist yet, so the rest compile.
+        assert report.compiled == len(KERNELS) - 2
+        assert report.restored == 2
+
+    def test_render_mentions_the_counts(self, store, sg2042):
+        text = warm_store(store, sg2042, KERNELS).render()
+        assert f"{len(KERNELS)} kernels" in text
+        assert f"{len(KERNELS)} compiled" in text
+
+
+class TestWarmCaches:
+    def test_warms_the_memory_tier_from_disk(self, store, sg2042):
+        warm_store(store, sg2042, KERNELS)
+        caches = SuiteCaches.persistent(store)
+        resolved = warm_caches(caches, sg2042, KERNELS)
+        assert resolved == len(KERNELS)
+        stats = caches.compile.stats
+        assert stats.disk_hits == len(KERNELS)
+        assert stats.misses == 0
+
+    def test_cold_store_compiles(self, store, sg2042):
+        caches = SuiteCaches.persistent(store)
+        assert warm_caches(caches, sg2042, KERNELS) == len(KERNELS)
+        assert caches.compile.stats.misses == len(KERNELS)
