@@ -8,12 +8,20 @@ ephemeral port:
   connections for a fixed duration. Reports throughput, client-side
   p50/p99 latency and the prediction-memo hit rate into
   ``BENCH_serve.json``.
-* **chaos** — the same workload with a seeded :class:`FaultPlan`
+* **hot** — a hot-key zipf workload (a handful of repeating requests,
+  the steady state of a dashboard or CI fleet hammering the same
+  queries) after a warm-up pass, so nearly every request is a response
+  cache hit. Reports ``hot_p50_ms``, ``hot_rps`` and
+  ``respcache_hit_rate`` and asserts the hot-path floors: cached p50
+  at or under :data:`HOT_P50_FLOOR_MS` and throughput at least
+  :data:`HOT_RPS_FLOOR` (5x the uncached-engine baseline).
+* **chaos** — the same mixed workload with a seeded :class:`FaultPlan`
   mounted inside the server (every TRIAD run attempt fails) and a low
   breaker threshold. Asserts the robustness contract end-to-end: zero
   unhandled server errors, every non-200 response is a structured
-  envelope with a known code, the circuit breaker actually cycled, and
-  the drain completes cleanly.
+  envelope with a known code, the circuit breaker actually cycled
+  (with the response cache enabled — faults are never served from it),
+  and the drain completes cleanly.
 
 Run directly (``python benchmarks/bench_serve.py [--smoke]``) or via
 pytest. ``--smoke`` shrinks the durations for CI.
@@ -48,6 +56,18 @@ ZIPF_S = 1.1
 #: groups, so coalescing and caching both get exercised).
 THREAD_CHOICES = (1, 8, 32, 64)
 
+#: The hot phase's working set: few enough distinct keys that the
+#: response cache absorbs essentially all of the steady-state traffic.
+HOT_KERNELS = KERNELS[:4]
+
+#: Cached-hit latency floor: pre-serialized bytes must come back in
+#: at most this client-observed p50.
+HOT_P50_FLOOR_MS = 1.0
+
+#: Hot throughput floor: at least 5x the measured uncached-engine
+#: baseline of ~817 req/s (see docs/PERF.md).
+HOT_RPS_FLOOR = 4085.0
+
 ERROR_CODES = {
     "bad_request", "not_found", "shed", "engine_fault",
     "unavailable", "deadline_exceeded",
@@ -72,6 +92,27 @@ class Workload:
             "threads": self._rng.choice(THREAD_CHOICES),
             "deadline_ms": 10_000,
         }
+
+
+class HotWorkload:
+    """Hot-key stream: zipf over a small fixed set of repeat requests."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._weights = zipf_weights(len(HOT_KERNELS))
+
+    @staticmethod
+    def working_set() -> list[dict]:
+        return [
+            {"kernel": kernel, "threads": 8, "deadline_ms": 10_000}
+            for kernel in HOT_KERNELS
+        ]
+
+    def next_request(self) -> dict:
+        (kernel,) = self._rng.choices(
+            HOT_KERNELS, weights=self._weights
+        )
+        return {"kernel": kernel, "threads": 8, "deadline_ms": 10_000}
 
 
 async def _client(port, workload, stop_at, latencies, statuses, bodies):
@@ -113,17 +154,54 @@ async def _client(port, workload, stop_at, latencies, statuses, bodies):
             pass
 
 
-async def run_phase(config, *, clients, duration_s, seed):
+async def _warm_up(port, requests):
+    """Issue each request once so the timed window measures the steady
+    state, not the cold misses."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for request in requests:
+            body = json.dumps(request).encode()
+            writer.write((
+                f"POST /predict HTTP/1.1\r\nHost: bench\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n"
+            ).encode() + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            if not status_line:
+                return
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0))
+            if length:
+                await reader.readexactly(length)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_phase(config, *, clients, duration_s, seed,
+                    workload_cls=Workload, warmup=None):
     """Drive one server under load; return (stats, server summary)."""
     server = PredictionServer(config)
     await server.start()
+    if warmup:
+        await _warm_up(server.port, warmup)
     latencies: list[float] = []
     statuses: list[int] = []
     error_bodies: list[dict] = []
     stop_at = time.monotonic() + duration_s
     started = time.monotonic()
     await asyncio.gather(*[
-        _client(server.port, Workload(seed + index), stop_at,
+        _client(server.port, workload_cls(seed + index), stop_at,
                 latencies, statuses, error_bodies)
         for index in range(clients)
     ])
@@ -138,6 +216,7 @@ async def run_phase(config, *, clients, duration_s, seed):
         return ordered[int(rank) - 1]
 
     hit_rate = summary.gauges.get("serve.cache_hit_rate")
+    respcache_rate = summary.gauges.get("serve.respcache.hit_rate")
     stats = {
         "requests": len(statuses),
         "ok": ok,
@@ -146,6 +225,10 @@ async def run_phase(config, *, clients, duration_s, seed):
         "p50_ms": round(pct(50) * 1e3, 3),
         "p99_ms": round(pct(99) * 1e3, 3),
         "cache_hit_rate": hit_rate,
+        "respcache_hit_rate": respcache_rate,
+        "singleflight_merged": summary.counters.get(
+            "serve.singleflight.merged", 0
+        ),
         "unhandled_errors": summary.counters.get(
             "serve.unhandled_errors", 0
         ),
@@ -179,6 +262,63 @@ def perf_phase(*, clients, duration_s):
                   seed=2042)
     )
     return stats
+
+
+def hot_phase(*, clients, duration_s):
+    """Hot-key steady state: warmed response cache, default config.
+
+    Client count is capped at 4: the benchmark clients share the
+    server's event loop, so beyond a few keep-alive connections extra
+    clients only add client-side queueing to the observed p50 without
+    raising throughput.
+    """
+    clients = min(clients, 4)
+    config = ServeConfig(
+        port=0, max_inflight=max(clients * 2, 8),
+        drain_timeout_s=5.0,
+    )
+    stats, _ = asyncio.run(
+        run_phase(config, clients=clients, duration_s=duration_s,
+                  seed=4242, workload_cls=HotWorkload,
+                  warmup=HotWorkload.working_set())
+    )
+    return {
+        "hot_p50_ms": stats["p50_ms"],
+        "hot_p99_ms": stats["p99_ms"],
+        "hot_rps": stats["rps"],
+        "respcache_hit_rate": stats["respcache_hit_rate"],
+        "requests": stats["requests"],
+        "ok": stats["ok"],
+        "errors": stats["errors"],
+        "unhandled_errors": stats["unhandled_errors"],
+    }
+
+
+def check_hot_floors(stats):
+    """The hot-path acceptance assertions (also run by CI smoke)."""
+    failures = []
+    if stats["errors"] or stats["unhandled_errors"]:
+        failures.append(
+            f"hot phase saw {stats['errors']} errors / "
+            f"{stats['unhandled_errors']} unhandled"
+        )
+    if stats["hot_p50_ms"] > HOT_P50_FLOOR_MS:
+        failures.append(
+            f"hot p50 {stats['hot_p50_ms']}ms over the "
+            f"{HOT_P50_FLOOR_MS}ms floor"
+        )
+    if stats["hot_rps"] < HOT_RPS_FLOOR:
+        failures.append(
+            f"hot rps {stats['hot_rps']} under the "
+            f"{HOT_RPS_FLOOR} floor"
+        )
+    rate = stats["respcache_hit_rate"]
+    if rate is None or rate < 0.9:
+        failures.append(
+            f"respcache hit rate {rate!r} under 0.9 on a hot-key "
+            "workload"
+        )
+    return failures
 
 
 def chaos_phase(*, clients, duration_s):
@@ -238,6 +378,11 @@ def main(argv=None) -> int:
     perf = perf_phase(clients=args.clients, duration_s=duration)
     print(json.dumps(perf, indent=2))
 
+    print(f"hot phase: {args.clients} clients, {duration:.0f}s ...",
+          flush=True)
+    hot = hot_phase(clients=args.clients, duration_s=duration)
+    print(json.dumps(hot, indent=2))
+
     print(f"chaos phase: {args.clients} clients, {duration:.0f}s ...",
           flush=True)
     chaos_stats, error_bodies = chaos_phase(
@@ -246,6 +391,7 @@ def main(argv=None) -> int:
     print(json.dumps(chaos_stats, indent=2))
 
     failures = check_chaos_contract(chaos_stats, error_bodies)
+    failures.extend(check_hot_floors(hot))
     if perf["unhandled_errors"]:
         failures.append(
             f"unhandled errors in the perf phase: "
@@ -258,6 +404,7 @@ def main(argv=None) -> int:
         "clients": args.clients,
         "duration_s": duration,
         "perf": perf,
+        "hot": hot,
         "chaos": chaos_stats,
         "contract_failures": failures,
     }
@@ -268,7 +415,7 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("serve robustness contract: OK")
+    print("serve robustness contract + hot-path floors: OK")
     return 0
 
 

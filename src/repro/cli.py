@@ -611,8 +611,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             name.strip() for name in args.prewarm_cpu.split(",")
             if name.strip()
         ),
+        prewarm_flavors=tuple(
+            label.strip() for label in args.prewarm_flavors.split(",")
+            if label.strip()
+        ),
+        prewarm_rollback=args.prewarm_rollback,
+        respcache_entries=args.respcache_entries,
+        respcache_bytes=int(args.respcache_mb * (1 << 20)),
+        adaptive_window=not args.no_adaptive_window,
+        min_window_ms=args.min_window_ms,
     )
     return asyncio.run(serve_forever(config))
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore
+    from repro.store.prune import prune_store
+
+    store = ArtifactStore(args.store)
+    namespaces = None
+    if args.namespaces:
+        namespaces = tuple(
+            ns.strip() for ns in args.namespaces.split(",")
+            if ns.strip()
+        )
+    max_bytes = (
+        int(args.max_mb * (1 << 20)) if args.max_mb is not None else None
+    )
+    max_age_s = (
+        args.max_age_days * 86400.0
+        if args.max_age_days is not None else None
+    )
+    report = prune_store(
+        store,
+        max_bytes=max_bytes,
+        max_age_s=max_age_s,
+        namespaces=namespaces,
+        dry_run=args.dry_run,
+    )
+    print(report.render())
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -955,6 +993,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--prewarm-cpu", default="sg2042", metavar="NAME[,NAME...]",
         help="machine(s) the startup pre-warm compiles for",
     )
+    p_serve.add_argument(
+        "--prewarm-flavors", default="", metavar="FLAVOR[,FLAVOR...]",
+        help="extra vector flavors (vla) the pre-warm also resolves, "
+        "so flavored requests hit warm caches",
+    )
+    p_serve.add_argument(
+        "--prewarm-rollback", action="store_true",
+        help="also pre-warm the RVV-rollback combo for each flavor",
+    )
+    p_serve.add_argument(
+        "--respcache-entries", type=int, default=2048, metavar="N",
+        help="response-cache entry cap (0 disables the response "
+        "cache entirely)",
+    )
+    p_serve.add_argument(
+        "--respcache-mb", type=float, default=64.0, metavar="MB",
+        help="response-cache body-byte budget in megabytes",
+    )
+    p_serve.add_argument(
+        "--no-adaptive-window", action="store_true",
+        help="use a fixed coalescing window instead of adapting it "
+        "to the arrival rate (--batch-window-ms is then exact, not "
+        "a cap)",
+    )
+    p_serve.add_argument(
+        "--min-window-ms", type=float, default=0.0,
+        help="floor of the adaptive coalescing window",
+    )
+
+    p_store = sub.add_parser(
+        "store",
+        help="manage a persistent artifact store",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_prune = store_sub.add_parser(
+        "prune",
+        help="size-cap + age-based garbage collection for a store "
+        "directory; deleted artifacts recompute on demand",
+    )
+    p_prune.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="artifact store directory to prune",
+    )
+    p_prune.add_argument(
+        "--max-mb", type=float, default=None, metavar="MB",
+        help="keep the store under this many megabytes (oldest "
+        "artifacts deleted first, across namespaces)",
+    )
+    p_prune.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="delete artifacts older than this many days",
+    )
+    p_prune.add_argument(
+        "--namespaces", default=None, metavar="NS[,NS...]",
+        help="restrict the prune to these namespaces "
+        "(default: all known namespaces)",
+    )
+    p_prune.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be deleted without deleting anything",
+    )
 
     p_an = sub.add_parser(
         "analyze",
@@ -1000,6 +1100,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "warm": _cmd_warm,
+        "store": _cmd_store,
     }
     try:
         return handlers[args.command](args)

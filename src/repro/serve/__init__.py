@@ -23,6 +23,7 @@ Or from the CLI::
 from repro.serve.admission import AdmissionController
 from repro.serve.breaker import BreakerState, CircuitBreaker
 from repro.serve.coalescer import (
+    AdaptiveWindow,
     Coalescer,
     CoalescerConfig,
     EngineState,
@@ -37,30 +38,50 @@ from repro.serve.errors import (
     Shed,
     Unavailable,
 )
+from repro.serve.respcache import (
+    CachedResponse,
+    RespCacheStats,
+    ResponseCache,
+    config_digest,
+    explain_key,
+    predict_key,
+    sweep_key,
+)
 from repro.serve.server import (
     MAX_SWEEP_CELLS,
     PredictionServer,
     ServeConfig,
     serve_forever,
 )
+from repro.serve.singleflight import Flight, SingleFlight
 
 __all__ = [
+    "AdaptiveWindow",
     "AdmissionController",
     "BadRequest",
     "BreakerState",
+    "CachedResponse",
     "CircuitBreaker",
     "Coalescer",
     "CoalescerConfig",
     "DeadlineExceeded",
     "EngineFault",
     "EngineState",
+    "Flight",
     "MAX_SWEEP_CELLS",
     "NotFound",
     "PredictJob",
     "PredictionServer",
+    "RespCacheStats",
+    "ResponseCache",
     "ServeConfig",
     "ServeError",
     "Shed",
+    "SingleFlight",
     "Unavailable",
+    "config_digest",
+    "explain_key",
+    "predict_key",
     "serve_forever",
+    "sweep_key",
 ]

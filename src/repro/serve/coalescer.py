@@ -130,6 +130,93 @@ class CoalescerConfig:
     policy: FailurePolicy = FailurePolicy.RETRY
     retry: RetrySpec = field(default_factory=lambda: RetrySpec(max_retries=2))
     engine: str = "batch"
+    #: Adapt the window to load (``window_s`` becomes the cap); off by
+    #: default so the raw coalescer keeps fixed-window semantics.
+    adaptive: bool = False
+    #: Floor the adaptive window never goes below.
+    min_window_s: float = 0.0
+    #: Expected arrivals per full window at which the window saturates
+    #: at its cap.
+    target_batch: int = 8
+    #: EWMA smoothing factor for inter-arrival gaps.
+    ewma_alpha: float = 0.2
+    #: Observed p99 latency (seconds) beyond which the window is scaled
+    #: back down even under pressure; ``None`` disables the guardrail.
+    guardrail_p99_s: float | None = None
+
+
+class AdaptiveWindow:
+    """Load-adaptive batch window: latency-optimal when idle,
+    throughput-optimal under pressure.
+
+    The controller tracks an EWMA of inter-arrival gaps (updated on
+    every ``submit``). The window is::
+
+        expected = cap / gap          # arrivals expected per full window
+        pressure = clamp((expected - 1) / (target_batch - 1), 0, 1)
+        window   = floor + pressure * (cap - floor)
+
+    so a lone request (expected <= 1) waits ``min_window_s`` — zero by
+    default, the latency-optimal choice — while a sustained stream that
+    would fill ``target_batch`` slots per window gets the full cap, the
+    throughput-optimal choice. The gap estimate is decayed by the time
+    since the last arrival (``max(ewma, now - last)``), so a burst
+    followed by silence drops back to the floor instead of remembering
+    its peak rate forever.
+
+    A p99-latency guardrail bounds the failure mode where batching
+    itself is the latency problem: when the observed request p99
+    exceeds ``guardrail_p99_s``, the window is scaled by
+    ``guardrail / p99`` regardless of arrival pressure.
+    """
+
+    def __init__(
+        self,
+        cap_s: float,
+        min_s: float = 0.0,
+        target_batch: int = 8,
+        ewma_alpha: float = 0.2,
+        guardrail_p99_s: float | None = None,
+        latency: "telemetry.LatencyWindow | None" = None,
+    ) -> None:
+        self.cap_s = max(cap_s, 0.0)
+        self.min_s = min(max(min_s, 0.0), self.cap_s)
+        self.target_batch = max(target_batch, 1)
+        self.ewma_alpha = min(max(ewma_alpha, 0.0), 1.0)
+        self.guardrail_p99_s = guardrail_p99_s
+        self.latency = latency
+        self._gap_ewma: float | None = None
+        self._last_arrival: float | None = None
+
+    def observe_arrival(self, now: float) -> None:
+        last = self._last_arrival
+        self._last_arrival = now
+        if last is None:
+            return
+        gap = max(now - last, 1e-9)
+        if self._gap_ewma is None:
+            self._gap_ewma = gap
+        else:
+            self._gap_ewma += self.ewma_alpha * (gap - self._gap_ewma)
+
+    def window_s(self, now: float) -> float:
+        cap = self.cap_s
+        floor = self.min_s
+        if self._gap_ewma is None or self._last_arrival is None:
+            return floor
+        gap = max(self._gap_ewma, now - self._last_arrival, 1e-9)
+        expected = cap / gap
+        if self.target_batch > 1:
+            pressure = (expected - 1.0) / (self.target_batch - 1.0)
+        else:
+            pressure = 1.0 if expected > 1.0 else 0.0
+        pressure = min(max(pressure, 0.0), 1.0)
+        window = floor + pressure * (cap - floor)
+        if self.guardrail_p99_s is not None and self.latency is not None:
+            p99 = self.latency.percentile(99)
+            if p99 is not None and p99 > self.guardrail_p99_s:
+                window *= self.guardrail_p99_s / p99
+        return min(max(window, floor), cap)
 
 
 class Coalescer:
@@ -141,11 +228,22 @@ class Coalescer:
         executor: Executor,
         config: CoalescerConfig | None = None,
         breaker: CircuitBreaker | None = None,
+        latency: "telemetry.LatencyWindow | None" = None,
     ) -> None:
         self.state = state
         self.executor = executor
         self.config = config or CoalescerConfig()
         self.breaker = breaker
+        self._adaptive: AdaptiveWindow | None = None
+        if self.config.adaptive:
+            self._adaptive = AdaptiveWindow(
+                cap_s=self.config.window_s,
+                min_s=self.config.min_window_s,
+                target_batch=self.config.target_batch,
+                ewma_alpha=self.config.ewma_alpha,
+                guardrail_p99_s=self.config.guardrail_p99_s,
+                latency=latency,
+            )
         self._queue: asyncio.Queue[PredictJob] = asyncio.Queue()
         self._task: asyncio.Task | None = None
         self._groups: set[asyncio.Task] = set()
@@ -190,6 +288,10 @@ class Coalescer:
         if self._stopping:
             job.fail(Unavailable("service is shutting down"))
             return
+        if self._adaptive is not None:
+            self._adaptive.observe_arrival(
+                asyncio.get_running_loop().time()
+            )
         await self._queue.put(job)
 
     def queued(self) -> int:
@@ -201,20 +303,41 @@ class Coalescer:
         loop = asyncio.get_running_loop()
         while True:
             batch = [await self._queue.get()]
-            window_ends = loop.time() + self.config.window_s
-            while len(batch) < self.config.max_batch:
-                remaining = window_ends - loop.time()
-                if remaining <= 0:
-                    break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(
-                            self._queue.get(), timeout=remaining
+            # Backlog that built up while the previous batch dispatched
+            # joins immediately — bursts coalesce even at window zero.
+            while (
+                len(batch) < self.config.max_batch
+                and not self._queue.empty()
+            ):
+                batch.append(self._queue.get_nowait())
+            window = self.window_s(loop.time())
+            if window > 0:
+                window_ends = loop.time() + window
+                while len(batch) < self.config.max_batch:
+                    remaining = window_ends - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(
+                                self._queue.get(), timeout=remaining
+                            )
                         )
-                    )
-                except asyncio.TimeoutError:
-                    break
+                    except asyncio.TimeoutError:
+                        break
             self._dispatch(batch)
+
+    def window_s(self, now: float) -> float:
+        """This batch's window (fixed, or adaptive under load), also
+        published as the ``serve.coalesce.window_ms`` gauge."""
+        if self._adaptive is None:
+            window = self.config.window_s
+        else:
+            window = self._adaptive.window_s(now)
+        telemetry.metrics().gauge("serve.coalesce.window_ms").set(
+            round(window * 1e3, 3)
+        )
+        return window
 
     def _dispatch(self, batch: list[PredictJob]) -> None:
         """Group one window's jobs and launch an engine task per group."""

@@ -125,6 +125,32 @@ async def read_request(
     return HttpRequest(method=method, path=path, headers=headers, body=body)
 
 
+def compose_head(
+    status: int,
+    body_length: int,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """The full response head (through the blank line) as bytes.
+
+    Split out from :func:`write_response` so the response cache can
+    precompute heads — Content-Length included — once per entry and
+    serve a hit with a single ``writer.write``.
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {body_length}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
 def write_response(
     writer: asyncio.StreamWriter,
     status: int,
@@ -135,16 +161,13 @@ def write_response(
     extra_headers: dict[str, str] | None = None,
 ) -> None:
     """Serialize one response onto ``writer`` (buffered; caller drains)."""
-    reason = REASONS.get(status, "Unknown")
-    lines = [
-        f"HTTP/1.1 {status} {reason}",
-        f"Content-Type: {content_type}",
-        f"Content-Length: {len(body)}",
-        f"Connection: {'keep-alive' if keep_alive else 'close'}",
-    ]
-    if extra_headers:
-        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
-    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    head = compose_head(
+        status,
+        len(body),
+        content_type=content_type,
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    )
     writer.write(head + body)
 
 

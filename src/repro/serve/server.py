@@ -55,6 +55,14 @@ from repro.serve.errors import (
     Unavailable,
     internal_error,
 )
+from repro.serve.respcache import (
+    CachedResponse,
+    ResponseCache,
+    explain_key,
+    predict_key,
+    sweep_key,
+)
+from repro.serve.singleflight import Flight, SingleFlight
 from repro.suite.config import Placement, Precision, RunConfig
 from repro.util.errors import ConfigError, ReproError
 
@@ -103,6 +111,19 @@ class ServeConfig:
     prewarm: bool = True
     #: Machines to pre-warm (catalog names).
     prewarm_cpus: tuple[str, ...] = ("sg2042",)
+    #: Extra vector flavors ("vla") the pre-warm also resolves, so
+    #: flavored requests hit warm compile caches / the disk tier.
+    prewarm_flavors: tuple[str, ...] = ()
+    #: Also pre-warm the RVV-rollback combo for each warmed flavor.
+    prewarm_rollback: bool = False
+    #: Response cache: entry cap (0 disables it entirely) and total
+    #: body-byte budget for the in-memory tier.
+    respcache_entries: int = 2048
+    respcache_bytes: int = 64 << 20
+    #: Adapt the coalescing window to load (``batch_window_ms`` becomes
+    #: the cap; the window shrinks toward ``min_window_ms`` when idle).
+    adaptive_window: bool = True
+    min_window_ms: float = 0.0
 
     def retry_spec(self) -> RetrySpec:
         return RetrySpec(
@@ -114,12 +135,19 @@ class ServeConfig:
 
 @dataclass
 class _RequestOutcome:
-    """One handler's response triple."""
+    """One handler's response triple.
+
+    When ``cached`` is set the connection loop writes the
+    pre-serialized bytes (head included) directly instead of
+    re-rendering a response — ``status``/``body`` stay populated so the
+    accounting and test surfaces are identical either way.
+    """
 
     status: int
     body: bytes
     headers: dict[str, str] = field(default_factory=dict)
     content_type: str = "application/json"
+    cached: CachedResponse | None = None
 
 
 def _error_outcome(exc: ServeError) -> _RequestOutcome:
@@ -166,6 +194,12 @@ class PredictionServer:
             on_transition=self._on_breaker_transition,
         )
         self.latency = telemetry.LatencyWindow()
+        self.respcache = ResponseCache(
+            store=self.store,
+            max_entries=self.config.respcache_entries,
+            max_bytes=self.config.respcache_bytes,
+        )
+        self.singleflight = SingleFlight()
         self._cpus = dict(catalog.all_cpus())
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -212,8 +246,16 @@ class PredictionServer:
                 window_s=self.config.batch_window_ms / 1000.0,
                 policy=FailurePolicy.from_label(self.config.on_failure),
                 retry=self.config.retry_spec(),
+                adaptive=self.config.adaptive_window,
+                min_window_s=self.config.min_window_ms / 1000.0,
+                # If p99 climbs past a quarter of the default deadline,
+                # batching delay is hurting, not helping — back off.
+                guardrail_p99_s=(
+                    self.config.default_deadline_ms / 1000.0 / 4.0
+                ),
             ),
             breaker=self.breaker,
+            latency=self.latency,
         )
         self._coalescer.start()
         if self.store is not None:
@@ -246,10 +288,29 @@ class PredictionServer:
         logged (``serve.prewarm_errors``) and the server becomes ready
         anyway — the request path recomputes on demand, bit-identically.
         """
+        from repro.compiler.model import VectorFlavor
         from repro.store.warm import warm_caches
 
         started = time.monotonic()
         reg = telemetry.metrics()
+        combos: list[tuple[VectorFlavor, bool]] | None = None
+        if self.config.prewarm_flavors or self.config.prewarm_rollback:
+            flavors = [VectorFlavor.VLS]
+            for label in self.config.prewarm_flavors:
+                try:
+                    flavor = VectorFlavor(label.lower())
+                except ValueError:
+                    reg.counter("serve.prewarm_errors").inc()
+                    warnings.warn(
+                        f"prewarm: unknown vector flavor {label!r}",
+                        stacklevel=2,
+                    )
+                    continue
+                if flavor not in flavors:
+                    flavors.append(flavor)
+            combos = [(flavor, False) for flavor in flavors]
+            if self.config.prewarm_rollback:
+                combos.extend((flavor, True) for flavor in flavors)
         for name in self.config.prewarm_cpus:
             cpu = self._cpus.get(name)
             if cpu is None:
@@ -261,7 +322,9 @@ class PredictionServer:
                 )
                 continue
             try:
-                resolved = warm_caches(self.state.caches_for(cpu), cpu)
+                resolved = warm_caches(
+                    self.state.caches_for(cpu), cpu, combos=combos
+                )
                 reg.counter("serve.prewarm_kernels").inc(resolved)
             except Exception as exc:
                 reg.counter("serve.prewarm_errors").inc()
@@ -351,6 +414,13 @@ class PredictionServer:
         hit_rate = self.state.aggregate_hit_rate()
         if hit_rate is not None:
             reg.gauge("serve.cache_hit_rate").set(round(hit_rate, 6))
+        rc = self.respcache.stats()
+        reg.gauge("serve.respcache.entries").set(rc.entries)
+        reg.gauge("serve.respcache.bytes").set(rc.bytes)
+        if rc.hit_rate is not None:
+            reg.gauge("serve.respcache.hit_rate").set(
+                round(rc.hit_rate, 6)
+            )
 
     # -- connection handling ----------------------------------------------
 
@@ -404,14 +474,20 @@ class PredictionServer:
                 return
             outcome = await self._dispatch(request)
             keep_alive = request.keep_alive and not self._draining
-            http.write_response(
-                writer,
-                outcome.status,
-                outcome.body,
-                content_type=outcome.content_type,
-                keep_alive=keep_alive,
-                extra_headers=outcome.headers,
-            )
+            if outcome.cached is not None:
+                # Hot path: head (Content-Length precomputed) and body
+                # in one write, nothing re-rendered.
+                cached = outcome.cached
+                writer.write(cached.head(keep_alive) + cached.body)
+            else:
+                http.write_response(
+                    writer,
+                    outcome.status,
+                    outcome.body,
+                    content_type=outcome.content_type,
+                    keep_alive=keep_alive,
+                    extra_headers=outcome.headers,
+                )
             await writer.drain()
             if not keep_alive:
                 return
@@ -520,6 +596,7 @@ class PredictionServer:
                 precision=str(body.get("precision", "fp64")),
                 vectorize=bool(body.get("vectorize", True)),
                 compiler=body.get("compiler"),
+                flavor=str(body.get("flavor", "vls")),
                 rollback=bool(body.get("rollback", False)),
                 # Serving is deterministic: one run, exact model output.
                 runs=1,
@@ -566,27 +643,41 @@ class PredictionServer:
         cpu = self._resolve_cpu(body)
         config = self._resolve_config(body)
         deadline_s = self._deadline_s(body)
-        self._admit()
+        key = predict_key(cpu, config, kernel.name)
+        cached = self.respcache.get(key)
+        if cached is not None:
+            # Hot path: pre-serialized bytes. No admission slot, no
+            # engine work, no JSON rendering, no coalescing wait.
+            return _RequestOutcome(200, cached.body, cached=cached)
         loop = asyncio.get_running_loop()
-        try:
-            job = PredictJob(
-                kernel=kernel,
-                cpu=cpu,
-                config=config,
-                future=loop.create_future(),
-                deadline=loop.time() + deadline_s,
-            )
-            await self._coalescer.submit(job)
+        flight, leads = self.singleflight.join(key)
+        if leads:
             try:
-                run = await asyncio.wait_for(job.future, timeout=deadline_s)
-            except asyncio.TimeoutError:
-                telemetry.metrics().counter("serve.deadline_exceeded").inc()
-                raise DeadlineExceeded(
-                    f"{kernel.name}: no result within "
-                    f"{deadline_s * 1000:.0f} ms"
+                self._admit()
+            except ServeError as exc:
+                # Leader failure (shed, breaker open, drain) fans out
+                # to every waiter as the same structured envelope.
+                self.singleflight.abort(flight, exc)
+                raise
+            try:
+                job = PredictJob(
+                    kernel=kernel,
+                    cpu=cpu,
+                    config=config,
+                    future=loop.create_future(),
+                    deadline=loop.time() + deadline_s,
                 )
-        finally:
-            self.admission.release()
+                self.singleflight.launch(flight, job)
+                await self._coalescer.submit(job)
+                run = await self._await_flight(flight, deadline_s, kernel)
+            finally:
+                self.admission.release()
+        else:
+            # Waiter: no admission slot, no engine job — ride the
+            # in-flight computation under this request's own deadline
+            # (which also extends the shared job's parked expiry).
+            flight.extend_deadline(loop.time() + deadline_s)
+            run = await self._await_flight(flight, deadline_s, kernel)
         payload = {
             "kernel": run.kernel_name,
             "cpu": cpu.name,
@@ -599,7 +690,35 @@ class PredictionServer:
             "vector_executed": run.prediction.vector_executed,
             "attempts": run.attempts,
         }
-        return _RequestOutcome(200, http.json_body(payload))
+        response = http.json_body(payload)
+        if run.attempts == 1:
+            # First-try successes only: a retried run embeds attempt
+            # state an uncached request would not reproduce byte-for-
+            # byte, and faults never reach this line at all.
+            self.respcache.put(key, response)
+        return _RequestOutcome(200, response)
+
+    async def _await_flight(
+        self, flight: Flight, deadline_s: float, kernel
+    ):
+        """Await a shared flight under *this* member's deadline.
+
+        The shield keeps one member's timeout from cancelling the
+        shared future: the job keeps running for other members (and
+        warms the caches either way). The last member to give up
+        cancels a still-parked job so it never consumes an engine slot.
+        """
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(flight.future), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
+            self.singleflight.leave(flight)
+            telemetry.metrics().counter("serve.deadline_exceeded").inc()
+            raise DeadlineExceeded(
+                f"{kernel.name}: no result within "
+                f"{deadline_s * 1000:.0f} ms"
+            )
 
     async def _sweep(self, body: dict[str, Any]) -> _RequestOutcome:
         from repro.suite.sweep import sweep
@@ -630,6 +749,13 @@ class PredictionServer:
                 f"{MAX_SWEEP_CELLS}"
             )
         deadline_s = self._deadline_s(body)
+        key = sweep_key(
+            cpu, [k.name for k in kernels], threads, placements,
+            precisions,
+        )
+        cached = self.respcache.get(key)
+        if cached is not None:
+            return _RequestOutcome(200, cached.body, cached=cached)
         self._admit()
         loop = asyncio.get_running_loop()
         try:
@@ -685,7 +811,12 @@ class PredictionServer:
                 for f in result.failures
             ],
         }
-        return _RequestOutcome(200, http.json_body(payload))
+        response = http.json_body(payload)
+        if not result.failures:
+            # Grids with failures are never cached: a retry might
+            # succeed, and failure envelopes must stay live.
+            self.respcache.put(key, response)
+        return _RequestOutcome(200, response)
 
     async def _explain(self, body: dict[str, Any]) -> _RequestOutcome:
         from repro.suite.explain import explain_kernel
@@ -693,6 +824,10 @@ class PredictionServer:
         kernel = self._resolve_kernel(body.get("kernel"))
         cpu = self._resolve_cpu(body)
         deadline_s = self._deadline_s(body)
+        key = explain_key(cpu, kernel.name)
+        cached = self.respcache.get(key)
+        if cached is not None:
+            return _RequestOutcome(200, cached.body, cached=cached)
         self._admit()
         loop = asyncio.get_running_loop()
         try:
@@ -710,10 +845,11 @@ class PredictionServer:
                 )
         finally:
             self.admission.release()
-        return _RequestOutcome(
-            200,
-            http.json_body({"kernel": kernel.name, "explanation": text}),
+        response = http.json_body(
+            {"kernel": kernel.name, "explanation": text}
         )
+        self.respcache.put(key, response)
+        return _RequestOutcome(200, response)
 
     @staticmethod
     def _str_list(

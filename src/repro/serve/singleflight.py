@@ -1,0 +1,168 @@
+"""Singleflight: concurrent identical misses share one engine job.
+
+The coalescer already dedupes identical kernels *within* one batch
+window; singleflight extends the collapse *across* windows. The first
+request for a key becomes the **leader**: it passes admission control,
+submits the engine job, and owns the engine slot. Every concurrent
+identical request that arrives while that job is in flight becomes a
+**waiter**: it consumes no admission slot and submits nothing — it just
+awaits the leader's future.
+
+Rules the server relies on:
+
+* **Waiter deadlines are independent.** Each member (leader included)
+  awaits the shared future under *its own* deadline via
+  ``asyncio.wait_for(asyncio.shield(...))`` — the shield means one
+  member timing out returns 504 to that client only, while the shared
+  job keeps running for the others (and warms the caches either way,
+  the documented deadline semantics).
+* **A waiter can outlive its leader.** Joining a flight extends the
+  engine job's deadline to the latest member's, so a short-deadline
+  leader expiring in the batch window cannot 504 a long-deadline
+  waiter.
+* **Leader failure propagates.** If the leader is shed or the breaker
+  is open, the structured :class:`~repro.serve.errors.ServeError` is
+  fanned out to every waiter — the same envelope each would have
+  received had it led.
+* **No result caching here.** A flight lives exactly as long as its
+  engine job; the next request after completion starts a fresh flight
+  (or, for successes, hits the response cache first). Faults are
+  therefore shared only by *concurrent* requests, never replayed to
+  later ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Hashable
+
+from repro import telemetry
+from repro.serve.coalescer import PredictJob
+from repro.serve.errors import Unavailable
+
+
+def _observe(future: asyncio.Future) -> None:
+    # Retrieve the exception (if any) so asyncio never logs "exception
+    # was never retrieved" when every member timed out before it landed.
+    if not future.cancelled():
+        future.exception()
+
+
+class Flight:
+    """One shared in-progress computation: a future plus its engine job."""
+
+    __slots__ = (
+        "key", "future", "job", "waiters", "members", "pending_deadline",
+    )
+
+    def __init__(self, key: Hashable, future: asyncio.Future) -> None:
+        self.key = key
+        self.future = future
+        #: The leader's coalescer job, once launched.
+        self.job: PredictJob | None = None
+        #: Members beyond the leader.
+        self.waiters = 0
+        #: Members still awaiting the result (leader included).
+        self.members = 1
+        #: Latest member deadline seen before the job existed.
+        self.pending_deadline: float | None = None
+
+    def extend_deadline(self, deadline: float | None) -> None:
+        """Push the engine job's parked-expiry deadline out to cover a
+        newly joined member."""
+        if deadline is None:
+            return
+        job = self.job
+        if job is None:
+            if (
+                self.pending_deadline is None
+                or deadline > self.pending_deadline
+            ):
+                self.pending_deadline = deadline
+        elif job.deadline is not None and deadline > job.deadline:
+            job.deadline = deadline
+
+
+class SingleFlight:
+    """Registry of in-flight keys (single event-loop thread only)."""
+
+    def __init__(self) -> None:
+        self._flights: dict[Hashable, Flight] = {}
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def join(self, key: Hashable) -> tuple[Flight, bool]:
+        """The flight for ``key`` and whether this caller leads it.
+
+        A completed flight is never joined — its key is stale and a
+        fresh flight replaces it (results are shared through the
+        response cache, not here).
+        """
+        flight = self._flights.get(key)
+        if flight is not None and not flight.future.done():
+            flight.waiters += 1
+            flight.members += 1
+            telemetry.metrics().counter("serve.singleflight.merged").inc()
+            return flight, False
+        future = asyncio.get_running_loop().create_future()
+        future.add_done_callback(_observe)
+        flight = Flight(key, future)
+        self._flights[key] = flight
+        return flight, True
+
+    def launch(self, flight: Flight, job: PredictJob) -> None:
+        """Leader attached its engine job: link outcomes and apply any
+        deadline extensions that arrived before the job existed."""
+        flight.job = job
+        if flight.pending_deadline is not None:
+            flight.extend_deadline(flight.pending_deadline)
+        job.future.add_done_callback(
+            lambda done: self._transfer(flight, done)
+        )
+
+    def leave(self, flight: Flight) -> None:
+        """A member timed out and stopped waiting.
+
+        When the *last* member leaves, a job that is still pending is
+        cancelled: if it is parked in the coalescer it never reaches
+        the engine (and never consumes an engine slot); if the engine
+        already has it, the result still lands and warms the caches for
+        the next caller — the documented deadline semantics.
+        """
+        flight.members -= 1
+        if (
+            flight.members <= 0
+            and flight.job is not None
+            and not flight.job.future.done()
+        ):
+            flight.job.future.cancel()
+
+    def abort(self, flight: Flight, exc: Exception) -> None:
+        """Leader failed before launching (shed, breaker open, drain):
+        fan the structured error out to every member."""
+        self._forget(flight)
+        if not flight.future.done():
+            flight.future.set_exception(exc)
+
+    # -- internals ---------------------------------------------------------
+
+    def _transfer(self, flight: Flight, done: asyncio.Future) -> None:
+        self._forget(flight)
+        target = flight.future
+        if target.done():
+            return
+        if done.cancelled():
+            target.set_exception(
+                Unavailable("engine job was cancelled")
+            )
+            return
+        exc = done.exception()
+        if exc is not None:
+            target.set_exception(exc)
+        else:
+            target.set_result(done.result())
+
+    def _forget(self, flight: Flight) -> None:
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]

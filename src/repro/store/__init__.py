@@ -30,15 +30,19 @@ from repro.store.artifact import (
     stable_digest,
 )
 from repro.store.codecs import PAYLOAD_VERSION, CodecError, jsonable_parts
+from repro.store.prune import NamespacePrune, PruneReport, prune_store
 
 __all__ = [
     "ArtifactStore",
+    "NamespacePrune",
+    "PruneReport",
     "StoreStats",
     "StoreWarning",
     "CodecError",
     "STORE_SCHEMA_VERSION",
     "PAYLOAD_VERSION",
     "KNOWN_NAMESPACES",
+    "prune_store",
     "stable_digest",
     "jsonable_parts",
     "default_store",

@@ -46,7 +46,7 @@ from typing import Any
 STORE_SCHEMA_VERSION = 1
 
 #: Namespaces the store recognises; one subdirectory per namespace.
-KNOWN_NAMESPACES = ("compile", "predict", "soa", "sweep")
+KNOWN_NAMESPACES = ("compile", "predict", "responses", "soa", "sweep")
 
 
 class StoreWarning(UserWarning):
@@ -77,6 +77,8 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    #: Artifacts deleted by garbage collection (``prune_store``).
+    evictions: int = 0
 
 
 class ArtifactStore:
@@ -111,10 +113,15 @@ class ArtifactStore:
         so the on-disk echo compares equal to a fresh request."""
         return json.loads(json.dumps(list(key_parts)))
 
-    def _count(self, namespace: str, slot: int) -> None:
+    def _count(self, namespace: str, slot: int, n: int = 1) -> None:
         with self._lock:
-            counts = self._counts.setdefault(namespace, [0, 0, 0, 0])
-            counts[slot] += 1
+            counts = self._counts.setdefault(namespace, [0, 0, 0, 0, 0])
+            counts[slot] += n
+
+    def count_evictions(self, namespace: str, n: int = 1) -> None:
+        """Record ``n`` garbage-collected artifacts (slot 4); the
+        deletion itself is done by :func:`repro.store.prune_store`."""
+        self._count(namespace, 4, n)
 
     # -- reads -------------------------------------------------------------
 
@@ -226,7 +233,8 @@ class ArtifactStore:
         with self._lock:
             return {
                 namespace: StoreStats(
-                    hits=c[0], misses=c[1], puts=c[2], errors=c[3]
+                    hits=c[0], misses=c[1], puts=c[2], errors=c[3],
+                    evictions=c[4],
                 )
                 for namespace, c in sorted(self._counts.items())
             }

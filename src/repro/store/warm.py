@@ -109,22 +109,33 @@ def warm_caches(
     cpu: "CPUModel",
     kernels: Sequence[Kernel] | None = None,
     config: RunConfig | None = None,
+    combos: Iterable[tuple[VectorFlavor, bool]] | None = None,
 ) -> int:
     """Warm an existing cache bundle's memory tier for ``cpu``.
 
     Resolves the whole kernel list through the compile cache (restoring
     from disk where the cache is persistent) and lowers the suite SoA.
-    Returns the number of kernels successfully resolved.
+    ``combos`` warms extra (flavor, rollback) combinations beyond the
+    config's own — the serve pre-warm uses this so flavored requests
+    also start from hot caches. Returns the number of kernels
+    successfully resolved, summed over combos.
     """
     kernel_list = list(kernels) if kernels is not None else all_kernels()
     cfg = config if config is not None else RunConfig()
     comp = cfg.resolve_compiler(cpu)
+    combo_list = (
+        list(combos) if combos is not None
+        else [(cfg.flavor, cfg.rollback)]
+    )
     resolved = 0
     if caches.compile is not None:
-        reports = caches.compile.analyze_suite(
-            comp, tuple(kernel_list), cpu.core.isa,
-            flavor=cfg.flavor, rollback=cfg.rollback,
-        )
-        resolved = sum(1 for report in reports if report is not None)
+        for flavor, rollback in combo_list:
+            reports = caches.compile.analyze_suite(
+                comp, tuple(kernel_list), cpu.core.isa,
+                flavor=flavor, rollback=rollback,
+            )
+            resolved += sum(
+                1 for report in reports if report is not None
+            )
     lower_kernels(tuple(kernel_list))
     return resolved

@@ -52,7 +52,8 @@ class TestReadyGating:
     ):
         release = threading.Event()
 
-        def blocked_warm(caches, cpu, kernels=None, config=None):
+        def blocked_warm(caches, cpu, kernels=None, config=None,
+                         combos=None):
             assert release.wait(10)
             return 64
 

@@ -1,0 +1,233 @@
+"""Response cache unit behaviour: keys, LRU, tiers, pre-serialization."""
+
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.machine import catalog
+from repro.serve import http
+from repro.serve.respcache import (
+    CachedResponse,
+    RESPONSES_NAMESPACE,
+    ResponseCache,
+    config_digest,
+    explain_key,
+    predict_key,
+    sweep_key,
+)
+from repro.store import ArtifactStore, StoreWarning, jsonable_parts
+from repro.suite.config import Placement, Precision, RunConfig
+from repro.util.errors import ConfigError
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_KEY_SCRIPT = (
+    "from repro.machine import catalog;"
+    "from repro.serve.respcache import predict_key;"
+    "from repro.suite.config import RunConfig;"
+    "cfg = RunConfig(threads=8, precision='fp32', placement='cyclic',"
+    "                runs=1, noise_sigma=0.0);"
+    "print(predict_key(catalog.sg2042(), cfg, 'TRIAD'))"
+)
+
+
+def _serving_config(**overrides):
+    base = dict(runs=1, noise_sigma=0.0)
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+class TestKeys:
+    def test_config_digest_is_content_addressed(self):
+        assert config_digest(_serving_config()) == config_digest(
+            _serving_config()
+        )
+        assert config_digest(_serving_config()) != config_digest(
+            _serving_config(threads=2)
+        )
+        assert config_digest(_serving_config()) != config_digest(
+            _serving_config(flavor="vla")
+        )
+        assert config_digest(_serving_config()) != config_digest(
+            _serving_config(rollback=True)
+        )
+
+    def test_predict_key_separates_endpoints_machines_kernels(self):
+        sg = catalog.sg2042()
+        cfg = _serving_config()
+        key = predict_key(sg, cfg, "TRIAD")
+        assert key != predict_key(sg, cfg, "DAXPY")
+        assert key != explain_key(sg, "TRIAD")
+        others = [
+            cpu for name, cpu in catalog.all_cpus().items()
+            if name != "sg2042"
+        ]
+        assert key != predict_key(others[0], cfg, "TRIAD")
+
+    def test_sweep_key_preserves_request_order(self):
+        # /sweep bodies list points in request order, so ordering is
+        # part of the identity — two orderings are two entries.
+        sg = catalog.sg2042()
+        axes = ([1, 8], [Placement.BLOCK], [Precision.FP64])
+        assert sweep_key(sg, ["TRIAD", "DAXPY"], *axes) != sweep_key(
+            sg, ["DAXPY", "TRIAD"], *axes
+        )
+        assert sweep_key(sg, ["TRIAD"], [1, 8], [Placement.BLOCK],
+                         [Precision.FP64]) != sweep_key(
+            sg, ["TRIAD"], [8, 1], [Placement.BLOCK], [Precision.FP64]
+        )
+
+    def test_key_is_stable_across_processes_and_hash_seeds(self):
+        cfg = _serving_config(
+            threads=8, precision="fp32", placement="cyclic"
+        )
+        key = str(predict_key(catalog.sg2042(), cfg, "TRIAD"))
+        for seed in ("0", "424242"):
+            env = dict(
+                os.environ, PYTHONPATH=_SRC, PYTHONHASHSEED=seed
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", _KEY_SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            assert proc.stdout.strip() == key
+
+
+class TestCachedResponse:
+    def test_head_matches_write_response_exactly(self):
+        """A cached hit must put the same bytes on the wire as the
+        render path it replaces."""
+
+        class _Collector:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, chunk):
+                self.data += chunk
+
+        body = http.json_body({"kernel": "TRIAD", "seconds": 0.125})
+        cached = CachedResponse.for_body(body)
+        for keep_alive in (True, False):
+            writer = _Collector()
+            http.write_response(writer, 200, body,
+                                keep_alive=keep_alive)
+            assert cached.head(keep_alive) + cached.body == writer.data
+
+    def test_content_length_is_precomputed(self):
+        body = b'{"a":1}'
+        cached = CachedResponse.for_body(body)
+        assert f"Content-Length: {len(body)}".encode() in cached.head_keep
+        assert len(cached) == len(body)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResponseCache()
+        key = ("predict", "1", "d", ("TRIAD",))
+        assert cache.get(key) is None
+        cache.put(key, b'{"x":1}')
+        hit = cache.get(key)
+        assert hit is not None and hit.body == b'{"x":1}'
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_evicts_oldest_entry_first(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put(("a",), b"1")
+        cache.put(("b",), b"2")
+        assert cache.get(("a",)) is not None  # touch: a is now newest
+        cache.put(("c",), b"3")  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+        assert cache.stats().evictions == 1
+
+    def test_byte_budget_bounds_the_cache(self):
+        cache = ResponseCache(max_entries=100, max_bytes=10)
+        cache.put(("a",), b"x" * 6)
+        cache.put(("b",), b"y" * 6)  # 12 bytes > 10: evicts a
+        assert cache.get(("a",)) is None
+        assert cache.get(("b",)) is not None
+        assert cache.stats().bytes <= 10
+
+    def test_oversized_body_is_never_cached(self):
+        cache = ResponseCache(max_bytes=4)
+        cache.put(("a",), b"x" * 5)
+        assert len(cache) == 0
+
+    def test_put_is_idempotent_per_key(self):
+        cache = ResponseCache()
+        cache.put(("a",), b"1")
+        cache.put(("a",), b"1")
+        assert cache.stats().stores == 1
+
+    def test_zero_entries_disables_everything(self):
+        cache = ResponseCache(max_entries=0)
+        assert not cache.enabled
+        cache.put(("a",), b"1")
+        assert cache.get(("a",)) is None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (0, 0, 0)
+
+    def test_invalid_caps_are_config_errors(self):
+        with pytest.raises(ConfigError):
+            ResponseCache(max_entries=-1)
+        with pytest.raises(ConfigError):
+            ResponseCache(max_bytes=0)
+
+
+class TestDiskTier:
+    def test_round_trips_through_the_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = predict_key(
+            catalog.sg2042(), _serving_config(), "TRIAD"
+        )
+        writer = ResponseCache(store=store)
+        body = http.json_body({"kernel": "TRIAD", "seconds": 0.25})
+        writer.put(key, body)
+        # A fresh cache (fresh process, conceptually) restores from
+        # disk and promotes into memory.
+        reader = ResponseCache(store=store)
+        hit = reader.get(key)
+        assert hit is not None
+        assert hit.body == body
+        assert reader.stats().disk_hits == 1
+        assert reader.get(key) is not None
+        assert reader.stats().hits == 1  # second read: memory tier
+
+    def test_malformed_disk_payload_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = ("predict", "1", "d", ("TRIAD",))
+        store.put(
+            RESPONSES_NAMESPACE, tuple(jsonable_parts(key)),
+            {"payload_version": 1, "status": 200, "body": 42,
+             "content_type": "application/json"},
+        )
+        cache = ResponseCache(store=store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert cache.get(key) is None
+        assert any(
+            issubclass(w.category, StoreWarning) for w in caught
+        )
+
+    def test_unknown_payload_version_degrades_to_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = ("predict", "1", "d", ("TRIAD",))
+        store.put(
+            RESPONSES_NAMESPACE, tuple(jsonable_parts(key)),
+            {"payload_version": 999, "status": 200, "body": "{}",
+             "content_type": "application/json"},
+        )
+        cache = ResponseCache(store=store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert cache.get(key) is None
+        assert any(
+            issubclass(w.category, StoreWarning) for w in caught
+        )

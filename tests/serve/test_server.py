@@ -96,8 +96,11 @@ class TestPredict:
             metrics = await http_request(server.port, "GET", "/metrics")
             return results, metrics
 
+        # A fixed window makes the batching deterministic; under the
+        # (default) adaptive window a cold start dispatches eagerly.
         results, metrics = with_server(
-            default_config(batch_window_ms=30.0), scenario
+            default_config(batch_window_ms=30.0, adaptive_window=False),
+            scenario,
         )
         assert all(status == 200 for status, _, _ in results)
         text = metrics[2].decode()
@@ -200,13 +203,19 @@ class TestSweepAndExplain:
 class TestBackpressure:
     def test_overload_sheds_with_retry_after(self):
         """With a 1-request watermark and a wide batch window, a burst
-        must shed all but one request — with structured 429s."""
+        must shed all but one request — with structured 429s.
+
+        The kernels are distinct on purpose: identical concurrent
+        requests would legitimately merge into one singleflight leader
+        and never need a second admission slot (see
+        ``tests/serve/test_singleflight.py``)."""
 
         async def scenario(server):
             return await asyncio.gather(*[
                 http_request(server.port, "POST", "/predict",
-                             {"kernel": "TRIAD", "deadline_ms": 5000})
-                for _ in range(6)
+                             {"kernel": name, "deadline_ms": 5000})
+                for name in ("TRIAD", "DAXPY", "GEMM", "DOT", "COPY",
+                             "ADD")
             ])
 
         results = with_server(
@@ -376,6 +385,9 @@ class TestMetricsAndDrain:
             assert metric in text, f"{metric} missing from:\n{text}"
 
     def test_repeat_traffic_reports_cache_hits(self):
+        """With the response cache disabled, repeats still reach the
+        engine and the prediction-memo hit rate is reported."""
+
         async def scenario(server):
             for _ in range(4):
                 await http_request(
@@ -387,10 +399,36 @@ class TestMetricsAndDrain:
             )
             return raw.decode()
 
-        text = with_server(default_config(), scenario)
+        text = with_server(
+            default_config(respcache_entries=0), scenario
+        )
         (rate_line,) = [
             line for line in text.splitlines()
             if "serve.cache_hit_rate" in line
+        ]
+        assert float(rate_line.rsplit(" ", 1)[1]) == pytest.approx(0.75)
+
+    def test_repeat_traffic_hits_the_response_cache(self):
+        """By default, repeats are served from the response cache: one
+        miss, three pre-serialized hits."""
+
+        async def scenario(server):
+            for _ in range(4):
+                await http_request(
+                    server.port, "POST", "/predict",
+                    {"kernel": "TRIAD", "threads": 8},
+                )
+            _, _, raw = await http_request(
+                server.port, "GET", "/metrics"
+            )
+            return raw.decode(), server.respcache.stats()
+
+        text, stats = with_server(default_config(), scenario)
+        assert stats.hits == 3
+        assert stats.misses == 1
+        (rate_line,) = [
+            line for line in text.splitlines()
+            if "serve.respcache.hit_rate" in line
         ]
         assert float(rate_line.rsplit(" ", 1)[1]) == pytest.approx(0.75)
 

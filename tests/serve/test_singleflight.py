@@ -1,0 +1,230 @@
+"""Singleflight: identical concurrent misses share one engine job."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import PredictionServer, ServeConfig
+from repro.serve.coalescer import PredictJob
+from repro.serve.errors import Shed, Unavailable
+from repro.serve.singleflight import SingleFlight
+
+from tests.serve.helpers import http_request
+
+
+def _job(loop, deadline=None):
+    # The singleflight layer only touches .future and .deadline.
+    return PredictJob(
+        kernel=None, cpu=None, config=None,
+        future=loop.create_future(), deadline=deadline,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlightLifecycle:
+    def test_leader_result_fans_out_to_waiters(self):
+        async def main():
+            sf = SingleFlight()
+            flight, leads = sf.join("k")
+            assert leads
+            waiter_flight, waiter_leads = sf.join("k")
+            assert waiter_flight is flight and not waiter_leads
+            assert flight.waiters == 1 and flight.members == 2
+
+            job = _job(asyncio.get_running_loop())
+            sf.launch(flight, job)
+            job.resolve("the-run")
+            results = await asyncio.gather(
+                flight.future, asyncio.shield(flight.future)
+            )
+            assert results == ["the-run", "the-run"]
+            # Completed flights leave the registry; the next request
+            # starts fresh (results are shared via the response cache).
+            assert len(sf) == 0
+            new_flight, new_leads = sf.join("k")
+            assert new_leads and new_flight is not flight
+
+        run(main())
+
+    def test_engine_fault_fans_out_to_waiters(self):
+        async def main():
+            sf = SingleFlight()
+            flight, _ = sf.join("k")
+            sf.join("k")
+            job = _job(asyncio.get_running_loop())
+            sf.launch(flight, job)
+            job.fail(Unavailable("boom"))
+            with pytest.raises(Unavailable):
+                await asyncio.shield(flight.future)
+            assert len(sf) == 0
+
+        run(main())
+
+    def test_leader_admission_failure_propagates(self):
+        async def main():
+            sf = SingleFlight()
+            flight, _ = sf.join("k")
+            sf.join("k")
+            sf.abort(flight, Shed("over watermark"))
+            with pytest.raises(Shed):
+                await flight.future
+            assert len(sf) == 0
+
+        run(main())
+
+    def test_waiter_extends_a_parked_jobs_deadline(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            sf = SingleFlight()
+            flight, _ = sf.join("k")
+            job = _job(loop, deadline=loop.time() + 0.05)
+            sf.launch(flight, job)
+            sf.join("k")
+            far = loop.time() + 5.0
+            flight.extend_deadline(far)
+            assert job.deadline == far
+            # A shorter deadline never shrinks it back.
+            flight.extend_deadline(loop.time() + 0.01)
+            assert job.deadline == far
+            job.resolve("r")
+            await flight.future
+
+        run(main())
+
+    def test_deadline_extension_before_launch_is_applied(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            sf = SingleFlight()
+            flight, _ = sf.join("k")
+            far = loop.time() + 5.0
+            flight.extend_deadline(far)  # job does not exist yet
+            job = _job(loop, deadline=loop.time() + 0.05)
+            sf.launch(flight, job)
+            assert job.deadline == far
+            job.resolve("r")
+            await flight.future
+
+        run(main())
+
+    def test_last_member_leaving_cancels_a_parked_job(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            sf = SingleFlight()
+            flight, _ = sf.join("k")
+            job = _job(loop)
+            sf.launch(flight, job)
+            sf.join("k")
+            sf.leave(flight)  # leader timed out: job must survive
+            assert not job.future.cancelled()
+            sf.leave(flight)  # last waiter timed out: nobody is left
+            assert job.future.cancelled()
+            await asyncio.sleep(0)  # let callbacks run
+
+        run(main())
+
+
+class TestEndToEnd:
+    def _with_server(self, config, scenario):
+        async def main():
+            server = PredictionServer(config)
+            await server.start()
+            try:
+                return await scenario(server)
+            finally:
+                await server.drain()
+
+        return asyncio.run(main())
+
+    def _config(self, **overrides):
+        base = dict(port=0, drain_timeout_s=2.0)
+        base.update(overrides)
+        return ServeConfig(**base)
+
+    def test_identical_burst_is_one_engine_job(self):
+        """Five identical concurrent misses: one leader, four merged
+        waiters, one engine batch, five identical bodies — through a
+        1-slot admission controller, because waiters hold no slot."""
+
+        async def scenario(server):
+            results = await asyncio.gather(*[
+                http_request(
+                    server.port, "POST", "/predict",
+                    {"kernel": "TRIAD", "threads": 8,
+                     "deadline_ms": 5000},
+                    raw_body=b'{"kernel":"TRIAD","threads":8,'
+                             b'"deadline_ms":5000}',
+                )
+                for _ in range(5)
+            ])
+            metrics = await http_request(
+                server.port, "GET", "/metrics"
+            )
+            return results, metrics[2].decode()
+
+        results, text = self._with_server(
+            self._config(max_inflight=1, respcache_entries=0,
+                         batch_window_ms=50.0, adaptive_window=False),
+            scenario,
+        )
+        assert [status for status, _, _ in results] == [200] * 5
+        bodies = {str(body) for _, _, body in results}
+        assert len(bodies) == 1
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines() if " " in line
+        )
+        assert int(lines["counter serve.singleflight.merged"]) == 4
+        assert int(lines["counter serve.batches"]) == 1
+        assert "counter serve.shed" not in lines
+
+    def test_waiter_deadline_expires_independently(self):
+        """A short-deadline waiter 504s while the long-deadline leader
+        still gets its 200 from the same flight."""
+
+        async def scenario(server):
+            leader = asyncio.create_task(http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "TRIAD", "deadline_ms": 5000},
+            ))
+            await asyncio.sleep(0.05)  # leader is parked in the window
+            waiter = asyncio.create_task(http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "TRIAD", "deadline_ms": 20},
+            ))
+            return await asyncio.gather(leader, waiter)
+
+        leader, waiter = self._with_server(
+            self._config(batch_window_ms=300.0, adaptive_window=False,
+                         respcache_entries=0),
+            scenario,
+        )
+        assert leader[0] == 200
+        assert waiter[0] == 504
+        assert waiter[2]["error"]["code"] == "deadline_exceeded"
+
+    def test_waiter_outlives_an_expired_leader(self):
+        """A waiter with a longer deadline extends the shared job's
+        parked expiry: the leader 504s, the waiter still gets 200."""
+
+        async def scenario(server):
+            leader = asyncio.create_task(http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "TRIAD", "deadline_ms": 40},
+            ))
+            await asyncio.sleep(0.01)
+            waiter = asyncio.create_task(http_request(
+                server.port, "POST", "/predict",
+                {"kernel": "TRIAD", "deadline_ms": 10_000},
+            ))
+            return await asyncio.gather(leader, waiter)
+
+        leader, waiter = self._with_server(
+            self._config(batch_window_ms=150.0, adaptive_window=False,
+                         respcache_entries=0),
+            scenario,
+        )
+        assert leader[0] == 504
+        assert waiter[0] == 200

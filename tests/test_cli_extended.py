@@ -166,3 +166,47 @@ class TestSensitivityCli:
         out = capsys.readouterr().out
         assert "parameter sensitivity" in out
         assert "elasticity" in out
+
+
+class TestStorePrune:
+    def _populate(self, tmp_path):
+        import os
+
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        store.put("predict", ("old",), {"v": 1})
+        store.put("predict", ("new",), {"v": 2})
+        old = store._path("predict", ("old",))
+        ancient = old.stat().st_mtime - 10 * 86400
+        os.utime(old, (ancient, ancient))
+        return store
+
+    def test_dry_run_reports_without_deleting(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        assert main(["store", "prune", "--store", str(store.root),
+                     "--max-age-days", "1", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would delete 1/2" in out
+        assert store.get("predict", ("old",)) is not None
+
+    def test_prune_deletes_by_age(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        assert main(["store", "prune", "--store", str(store.root),
+                     "--max-age-days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "deleted 1/2" in out
+        assert store.get("predict", ("old",)) is None
+        assert store.get("predict", ("new",)) is not None
+
+    def test_prune_size_cap(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        assert main(["store", "prune", "--store", str(store.root),
+                     "--max-mb", "0"]) == 0
+        assert "deleted 2/2" in capsys.readouterr().out
+
+    def test_prune_requires_a_cap(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        assert main(["store", "prune",
+                     "--store", str(store.root)]) == 2
+        assert "max_bytes" in capsys.readouterr().err
