@@ -273,12 +273,97 @@ def lint_transval(
     return findings, count
 
 
+def lint_registry(
+    registry_paths: tuple[str, ...] = (),
+) -> tuple[list[Finding], int]:
+    """Sweep every registry document through envelope + semantic checks.
+
+    Collects one ERROR finding per broken document instead of stopping
+    at the first (the registry loader raises eagerly; lint wants the
+    whole picture), plus an INFO digest line per machine so the CI
+    artifact records what the data resolves to. The shipped compiler
+    decision table is additionally cross-checked against
+    :meth:`repro.suite.config.RunConfig.resolve_compiler` over every
+    registry machine — the table cannot drift from the code.
+    """
+    from repro.registry import (
+        KINDS,
+        decide_compiler,
+        registry_with_paths,
+        validate_document,
+    )
+    from repro.registry.loader import iter_kind_paths, load_file
+    from repro.suite.config import RunConfig
+    from repro.suite.memo import machine_digest
+    from repro.util.errors import ReproError
+
+    registry = registry_with_paths(registry_paths)
+    findings: list[Finding] = []
+    checked = 0
+    machines: dict[str, object] = {}
+    tables: list[tuple[str, dict]] = []
+    for kind in KINDS:
+        for root, path in iter_kind_paths(list(registry.roots), kind):
+            checked += 1
+            site = f"{kind}/{path.name}"
+            try:
+                rdoc = load_file(path, kind=kind)
+                obj = validate_document(rdoc)
+            except ReproError as exc:
+                findings.append(Finding(
+                    severity=Severity.ERROR,
+                    analyzer="registry",
+                    site=site,
+                    message=str(exc),
+                    hint="fix the document or drop it from the "
+                         "registry root",
+                    category="document",
+                ))
+                continue
+            if kind == "machines":
+                machines[rdoc.name] = obj
+                findings.append(Finding(
+                    severity=Severity.INFO,
+                    analyzer="registry",
+                    site=site,
+                    message=(
+                        f"machine {rdoc.name!r} ok, "
+                        f"digest {machine_digest(obj)}"
+                    ),
+                ))
+            elif kind == "compilers":
+                tables.append((site, dict(rdoc.doc)))
+    from repro.compiler.model import compiler_by_name
+
+    for site, table in tables:
+        for name, cpu in sorted(machines.items()):
+            expected = RunConfig().resolve_compiler(cpu)
+            decided = decide_compiler(table, cpu)
+            if compiler_by_name(decided) is not expected:
+                findings.append(Finding(
+                    severity=Severity.ERROR,
+                    analyzer="registry",
+                    site=site,
+                    message=(
+                        f"decision table picks {decided!r} for "
+                        f"{name!r} but RunConfig.resolve_compiler "
+                        f"picks {expected.name!r}"
+                    ),
+                    hint="update the table's rules to match "
+                         "suite/config.py",
+                    category="compiler-table",
+                ))
+    return findings, checked
+
+
 def run_lint(
     kernels: bool = True,
     asm: bool = True,
     names: list[str] | None = None,
     transval: bool = False,
     demo_miscompile: bool = False,
+    registry: bool = False,
+    registry_paths: tuple[str, ...] = (),
 ) -> LintReport:
     """Run the requested analyzers and aggregate their findings."""
     report = LintReport()
@@ -300,4 +385,8 @@ def run_lint(
 
         for kernel in all_blas_kernels():
             report.extend(lint_kernel(kernel))
+    if registry:
+        findings, checked = lint_registry(registry_paths)
+        report.extend(findings)
+        report.documents_checked = checked
     return report

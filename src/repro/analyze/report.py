@@ -91,6 +91,8 @@ class LintReport:
     #: Translation-validation (v1.0, rolled-back) pairs checked — 0
     #: unless the ``--transval`` sweep ran.
     pairs_checked: int = 0
+    #: Registry documents checked — 0 unless ``--registry`` ran.
+    documents_checked: int = 0
 
     def extend(self, findings: list[Finding]) -> None:
         self.findings.extend(findings)
@@ -126,6 +128,8 @@ class LintReport:
         )
         if self.pairs_checked:
             checked += f", {self.pairs_checked} rollback pairs"
+        if self.documents_checked:
+            checked += f", {self.documents_checked} registry documents"
         lines.append(f"{checked} checked: {counts}")
         lines.append("lint: " + ("FAIL" if self.has_errors else "clean"))
         return "\n".join(lines)
@@ -145,6 +149,7 @@ class LintReport:
                 "kernels_checked": self.kernels_checked,
                 "programs_checked": self.programs_checked,
                 "pairs_checked": self.pairs_checked,
+                "documents_checked": self.documents_checked,
                 "errors": len(self.by_severity(Severity.ERROR)),
                 "warnings": len(self.by_severity(Severity.WARNING)),
                 "infos": len(self.by_severity(Severity.INFO)),

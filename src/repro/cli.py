@@ -20,7 +20,6 @@ from contextlib import contextmanager, nullcontext
 
 from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS
 from repro.kernels.registry import all_kernels, kernel_names
-from repro.machine import catalog
 from repro.resilience import inject_faults, load_fault_plan
 from repro.resilience.retry import FailurePolicy, RetrySpec
 from repro.suite.config import RunConfig
@@ -45,6 +44,43 @@ def _parse_kernels(spec: str) -> list:
     if spec.strip().lower() == "all":
         return all_kernels()
     return [get_kernel(n) for n in spec.split(",")]
+
+
+def _registry_paths(args: argparse.Namespace) -> tuple[str, ...]:
+    return tuple(getattr(args, "registry_path", None) or ())
+
+
+def _registry(args: argparse.Namespace):
+    """The document registry for this invocation: the shipped data plus
+    any ``--registry-path`` roots (later roots override by name)."""
+    from repro.registry import registry_with_paths
+
+    return registry_with_paths(_registry_paths(args))
+
+
+def _resolve_cpu(args: argparse.Namespace, name: str | None = None):
+    """Machine ``name`` (default ``args.cpu``) from the registry.
+
+    Prints the unknown-machine message and returns ``None`` when the
+    name is not registered (callers turn that into exit code 2).
+    """
+    registry = _registry(args)
+    target = args.cpu if name is None else name
+    known = registry.machine_names()
+    if target not in known:
+        print(f"unknown machine {target!r}; known: {sorted(known)}",
+              file=sys.stderr)
+        return None
+    return registry.machine(target)
+
+
+def _add_registry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry-path", action="append", default=None, metavar="DIR",
+        help="extra registry root holding <kind>/<name>.json documents, "
+        "layered over the built-in data (repeatable; later roots "
+        "override earlier names)",
+    )
 
 
 def _sweep_caches(args: argparse.Namespace):
@@ -151,9 +187,9 @@ def _telemetry_scope(args: argparse.Namespace):
             print(f"metrics written to {metrics_out}", file=sys.stderr)
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     print("machines:")
-    for name in catalog.all_cpus():
+    for name in _registry(args).machine_names():
         print(f"  {name}")
     print("experiments:")
     for name in ALL_EXPERIMENTS:
@@ -165,12 +201,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    cpus = catalog.all_cpus()
-    if args.cpu not in cpus:
-        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
-              file=sys.stderr)
+    cpu = _resolve_cpu(args)
+    if cpu is None:
         return 2
-    cpu = cpus[args.cpu]
     print(cpu.describe())
     print()
     print(cpu.topology.lscpu())
@@ -183,12 +216,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         cpu = load_cpu(args.machine_file)
     else:
-        cpus = catalog.all_cpus()
-        if args.cpu not in cpus:
-            print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
-                  file=sys.stderr)
+        cpu = _resolve_cpu(args)
+        if cpu is None:
             return 2
-        cpu = cpus[args.cpu]
     config = RunConfig(
         threads=args.threads,
         precision=args.precision,
@@ -273,13 +303,11 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.suite.explain import explain_kernel
 
-    cpus = catalog.all_cpus()
-    if args.cpu not in cpus:
-        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
-              file=sys.stderr)
+    cpu = _resolve_cpu(args)
+    if cpu is None:
         return 2
     with _telemetry_scope(args):
-        print(explain_kernel(args.kernel, cpus[args.cpu]))
+        print(explain_kernel(args.kernel, cpu))
     return 0
 
 
@@ -312,17 +340,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.suite.config import Placement, Precision
     from repro.suite.sweep import distributed_sweep, sweep
 
-    cpus = catalog.all_cpus()
-    if args.cpu not in cpus:
-        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
-              file=sys.stderr)
+    cpu = _resolve_cpu(args)
+    if cpu is None:
         return 2
     if args.hosts > 1 and args.workers > 1:
         print("error: --hosts and --workers are mutually exclusive "
               "(a distributed sweep already runs one rank per host)",
               file=sys.stderr)
         return 2
-    cpu = cpus[args.cpu]
     kernels = _parse_kernels(args.kernels)
     threads = [int(t) for t in args.threads.split(",")]
     placements = [Placement.from_label(p)
@@ -441,15 +466,16 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     from repro.store import ArtifactStore, set_default_store
     from repro.store.warm import warm_store
 
-    cpus = catalog.all_cpus()
+    registry = _registry(args)
+    known = registry.machine_names()
     if args.cpu.strip().lower() == "all":
-        names = sorted(cpus)
+        names = sorted(known)
     else:
         names = [n.strip() for n in args.cpu.split(",")]
-        unknown = [n for n in names if n not in cpus]
+        unknown = [n for n in names if n not in known]
         if unknown:
-            print(f"unknown machine(s) {unknown}; known: {sorted(cpus)}",
-                  file=sys.stderr)
+            print(f"unknown machine(s) {unknown}; known: "
+                  f"{sorted(known)}", file=sys.stderr)
             return 2
     kernels = _parse_kernels(args.kernels)
     combos = []
@@ -462,7 +488,7 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     set_default_store(store)
     for name in names:
         report = warm_store(
-            store, cpus[name], kernels, combos=combos,
+            store, registry.machine(name), kernels, combos=combos,
             compiler=args.compiler,
         )
         print(report.render())
@@ -486,13 +512,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             from repro.suite.config import Placement, Precision
             from repro.suite.sweep import sweep
 
-            cpus = catalog.all_cpus()
-            if args.cpu not in cpus:
-                print(f"unknown machine {args.cpu!r}; known: "
-                      f"{sorted(cpus)}", file=sys.stderr)
+            cpu = _resolve_cpu(args)
+            if cpu is None:
                 return 2
             result = sweep(
-                cpus[args.cpu],
+                cpu,
                 [get_kernel(n) for n in args.kernels.split(",")],
                 [int(t) for t in args.threads.split(",")],
                 [Placement.from_label(p)
@@ -529,12 +553,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.roofline import render_roofline_report
     from repro.machine.vector import DType
 
-    cpus = catalog.all_cpus()
-    if args.cpu not in cpus:
-        print(f"unknown machine {args.cpu!r}; known: {sorted(cpus)}",
-              file=sys.stderr)
+    cpu = _resolve_cpu(args)
+    if cpu is None:
         return 2
-    cpu = cpus[args.cpu]
     precision = DType.from_label(args.precision)
     kernels = all_kernels()
     if args.mode == "roofline":
@@ -574,6 +595,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             names=names,
             transval=args.transval,
             demo_miscompile=args.demo_miscompile,
+            registry=args.registry,
+            registry_paths=_registry_paths(args),
         )
     if args.format == "json":
         print(json.dumps(report.to_json(min_severity=min_severity),
@@ -620,8 +643,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         respcache_bytes=int(args.respcache_mb * (1 << 20)),
         adaptive_window=not args.no_adaptive_window,
         min_window_ms=args.min_window_ms,
+        registry_paths=_registry_paths(args),
     )
     return asyncio.run(serve_forever(config))
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.registry import KINDS, load_file, validate_document
+
+    registry = _registry(args)
+    if args.registry_command == "list":
+        kinds = [args.kind] if args.kind else list(KINDS)
+        for kind in kinds:
+            names = registry.names(kind)
+            print(f"{kind} ({len(names)}):")
+            for name in names:
+                print(f"  {name}")
+        return 0
+    if args.registry_command == "show":
+        rdoc = registry.document(args.kind, args.name)
+        print(json.dumps(
+            {"schema": rdoc.schema, "name": rdoc.name, "doc": rdoc.doc},
+            indent=2,
+        ))
+        return 0
+    if args.registry_command == "validate":
+        checked = registry.validate_all()
+        roots = ", ".join(str(r) for r in registry.roots)
+        print(f"{checked} document(s) valid across {roots}")
+        return 0
+    # add: validate a document file, then install it under a user root
+    rdoc = load_file(Path(args.file), kind=args.kind)
+    validate_document(rdoc)
+    dest = Path(args.dest) / rdoc.kind / f"{rdoc.name}.json"
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(
+        json.dumps(
+            {"schema": rdoc.schema, "name": rdoc.name, "doc": rdoc.doc},
+            indent=2,
+        ) + "\n",
+        encoding="utf-8",
+    )
+    print(f"added {rdoc.kind}/{rdoc.name} -> {dest}")
+    print(f"use it with --registry-path {args.dest}")
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -681,10 +749,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list machines, kernels, experiments")
+    p_list = sub.add_parser("list",
+                            help="list machines, kernels, experiments")
+    _add_registry_flag(p_list)
 
     p_desc = sub.add_parser("describe", help="describe a machine model")
     p_desc.add_argument("cpu")
+    _add_registry_flag(p_desc)
 
     p_run = sub.add_parser("run", help="run the suite on one machine")
     p_run.add_argument("--cpu", default="sg2042")
@@ -699,6 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--compiler", default=None)
     p_run.add_argument("--rollback", action="store_true",
                        help="apply the RVV-rollback tool (Clang on C920)")
+    _add_registry_flag(p_run)
     _add_resilience_flags(p_run)
     _add_telemetry_flags(p_run)
 
@@ -762,6 +834,14 @@ def build_parser() -> argparse.ArgumentParser:
         "miscompile (classified tail-policy ERROR, exit 3)",
     )
     p_lint.add_argument(
+        "--registry", action="store_true",
+        help="additionally sweep every registry document: schema + "
+        "semantic validation, machine digests, and a cross-check of "
+        "the compiler decision tables against the run-config defaults "
+        "(inconsistencies are ERROR findings, exit 3)",
+    )
+    _add_registry_flag(p_lint)
+    p_lint.add_argument(
         "--format", default="text", choices=["text", "json"],
         help="report format; json is the stable machine-readable "
         "schema the CI artifact uses",
@@ -772,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explain.add_argument("kernel")
     p_explain.add_argument("--cpu", default="sg2042")
+    _add_registry_flag(p_explain)
     _add_telemetry_flags(p_explain)
 
     p_sweep = sub.add_parser(
@@ -843,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write in-process sweep seconds + cache/store counters "
         "as JSON to FILE (for cross-process benchmark comparisons)",
     )
+    _add_registry_flag(p_sweep)
     _add_resilience_flags(p_sweep)
     _add_telemetry_flags(p_sweep)
 
@@ -876,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--compiler", default=None,
         help="compiler short id (default: the platform default)",
     )
+    _add_registry_flag(p_warm)
 
     p_trace = sub.add_parser(
         "trace",
@@ -916,11 +999,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="FILE",
         help="also write the flat metrics dump to FILE",
     )
+    _add_registry_flag(p_trace)
 
     p_serve = sub.add_parser(
         "serve",
         help="run the fault-tolerant prediction service (HTTP/JSON): "
-        "/predict, /sweep, /explain, /healthz, /readyz, /metrics",
+        "/predict, /sweep, /explain, /machines, /healthz, /readyz, "
+        "/metrics",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8642,
@@ -1021,6 +1106,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-window-ms", type=float, default=0.0,
         help="floor of the adaptive coalescing window",
     )
+    _add_registry_flag(p_serve)
+
+    p_reg = sub.add_parser(
+        "registry",
+        help="inspect, validate and extend the document registry "
+        "(machines, kernels, compilers, faults, placements)",
+    )
+    reg_sub = p_reg.add_subparsers(dest="registry_command",
+                                   required=True)
+    p_reg_list = reg_sub.add_parser(
+        "list", help="list registered documents by kind")
+    p_reg_list.add_argument(
+        "--kind", default=None,
+        choices=["machines", "kernels", "compilers", "faults",
+                 "placements"],
+        help="restrict the listing to one kind (default: all kinds)",
+    )
+    _add_registry_flag(p_reg_list)
+    p_reg_show = reg_sub.add_parser(
+        "show", help="print one document's JSON envelope")
+    p_reg_show.add_argument("kind",
+                            choices=["machines", "kernels", "compilers",
+                                     "faults", "placements"])
+    p_reg_show.add_argument("name")
+    _add_registry_flag(p_reg_show)
+    p_reg_val = reg_sub.add_parser(
+        "validate",
+        help="semantically validate every registered document "
+        "(exit 2 on the first inconsistency)",
+    )
+    _add_registry_flag(p_reg_val)
+    p_reg_add = reg_sub.add_parser(
+        "add",
+        help="validate a document file and install it under a user "
+        "registry root (usable via --registry-path)",
+    )
+    p_reg_add.add_argument("file", help="document file (JSON or TOML)")
+    p_reg_add.add_argument(
+        "--dest", required=True, metavar="DIR",
+        help="user registry root to install into (created if missing)",
+    )
+    p_reg_add.add_argument(
+        "--kind", default=None,
+        choices=["machines", "kernels", "compilers", "faults",
+                 "placements"],
+        help="kind the document must declare (default: from its "
+        "schema field)",
+    )
+    _add_registry_flag(p_reg_add)
 
     p_store = sub.add_parser(
         "store",
@@ -1068,6 +1202,7 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["fp32", "fp64"])
     p_an.add_argument("--placement", default="cluster",
                       choices=["block", "cyclic", "cluster"])
+    _add_registry_flag(p_an)
 
     p_meas = sub.add_parser(
         "measure",
@@ -1101,6 +1236,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "warm": _cmd_warm,
         "store": _cmd_store,
+        "registry": _cmd_registry,
     }
     try:
         return handlers[args.command](args)

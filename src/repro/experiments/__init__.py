@@ -31,6 +31,7 @@ from repro.experiments import (
     conclusions,
     extension_mpi,
     extension_yardsticks,
+    sequels,
 )
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.common import ExperimentResult
@@ -58,6 +59,8 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "extension_mpi": extension_mpi.run,
     "extension_yardsticks": extension_yardsticks.run,
     "conclusions": conclusions.run,
+    "sequel_crossover": sequels.run_crossover,
+    "sequel_sockets": sequels.run_scaling,
 }
 
 __all__ = ["EXPERIMENTS", "ABLATIONS", "ALL_EXPERIMENTS",

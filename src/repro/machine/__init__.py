@@ -8,7 +8,12 @@ core-id map.
 """
 
 from repro.machine.cache import CacheHierarchy, CacheLevel, Sharing
-from repro.machine.cpu import CoreModel, CPUModel, MemorySystem
+from repro.machine.cpu import (
+    CoreModel,
+    CPUModel,
+    MemorySystem,
+    SocketInterconnect,
+)
 from repro.machine.topology import NumaTopology
 from repro.machine.vector import DType, VectorISA
 
@@ -21,6 +26,7 @@ __all__ = [
     "CoreModel",
     "CPUModel",
     "MemorySystem",
+    "SocketInterconnect",
     "NumaTopology",
     "VectorISA",
     "DType",

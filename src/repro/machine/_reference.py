@@ -1,0 +1,406 @@
+"""Reference Python constructors for the paper's seven CPUs.
+
+Published parameters (clock, core counts, vector widths, cache sizes and
+sharing, controller counts, NUMA maps) are taken directly from Section 2.1
+and Table 4 of the paper. The remaining calibration factors — sustained
+versus peak efficiencies and per-core bandwidth caps — were fitted so that
+the experiment pipeline reproduces the paper's headline ratios; each
+factory's docstring states the fit rationale.
+
+These factories are the *provenance* of the registry's seed data files
+(``repro/registry/data/machines/*.json``): the shipped JSON is generated
+from them via :func:`repro.machine.serialize.cpu_to_dict` and pinned
+byte-identical by test. Runtime lookups go through
+:mod:`repro.machine.catalog`, which reads the registry; this module stays
+importable so the equivalence pin has an independent side to compare
+against. Machines added after the paper (``sophon_sg2044``,
+``sg2042_2s``) exist only as data files, deliberately.
+"""
+
+from __future__ import annotations
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, Sharing
+from repro.machine.cpu import CoreModel, CPUModel, MemorySystem
+from repro.machine.topology import contiguous_topology, sg2042_topology
+from repro.machine.vector import (
+    avx,
+    avx2,
+    avx512,
+    rvv_0_7_1,
+    scalar_only,
+)
+from repro.util.units import GHZ, KIB, MIB
+
+__all__ = [
+    "sg2042",
+    "visionfive_v2",
+    "visionfive_v1",
+    "amd_rome",
+    "intel_broadwell",
+    "intel_icelake",
+    "intel_sandybridge",
+    "REFERENCE_FACTORIES",
+]
+
+
+def sg2042() -> CPUModel:
+    """Sophon SG2042: 64 XuanTie C920 cores @ 2 GHz, RVV v0.7.1 (128-bit,
+    no FP64 vectors), clusters of 4 sharing 1MiB L2, 64MiB L3, four
+    DDR4-3200 controllers — one per NUMA region.
+
+    Calibration: the C920 sustains well below its 12-stage OoO peak on
+    real codes; scalar efficiency 0.60 with 2 FP ops/cycle gives a 2.4
+    GFLOP/s scalar rate, and the memory system is modelled at the widely
+    reported ~24 GB/s sustained package bandwidth (~23% of peak), 6 GB/s
+    per core.
+    """
+    core = CoreModel(
+        name="XuanTie C920",
+        clock_hz=2.0 * GHZ,
+        fp_ops_per_cycle=2.0,
+        vector_pipes=1,
+        isa=rvv_0_7_1(),
+        fma=True,
+        out_of_order=True,
+        scalar_efficiency=0.60,
+        vector_efficiency=0.50,
+        ls_ops_per_cycle=1.0,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 64 * KIB, Sharing.CORE, associativity=4,
+                       latency_cycles=3, bandwidth_bytes_per_cycle=16.0),
+            CacheLevel("L2", 1 * MIB, Sharing.CLUSTER, associativity=16,
+                       latency_cycles=14, bandwidth_bytes_per_cycle=8.0),
+            # The 64MiB "system cache" is physically sliced per memory
+            # controller — 16MiB in front of each NUMA region's DDR
+            # channel. Each slice sustains ~8 GB/s per requesting core
+            # and ~28 GB/s aggregate, degrading sharply once more than 8
+            # cores in the region hammer it: the mechanism behind both
+            # the block-placement collapse at 32 threads and the
+            # 64-thread collapse of stream kernels (Tables 1-3).
+            CacheLevel("L3", 16 * MIB, Sharing.NUMA, associativity=16,
+                       latency_cycles=40, bandwidth_bytes_per_cycle=6.0,
+                       aggregate_bandwidth_bytes_per_cycle=14.0,
+                       contention_threshold=8,
+                       contention_exponent=3.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=4,
+        channel_bandwidth_bytes=25.6e9,  # DDR4-3200
+        efficiency=0.234,
+        latency_ns=130.0,
+        numa_local=True,
+        per_core_bandwidth_bytes=7.0e9,
+        thrash_threshold=8,
+        thrash_exponent=1.8,
+    )
+    return CPUModel(
+        name="Sophon SG2042",
+        part="SG2042",
+        core=core,
+        caches=caches,
+        topology=sg2042_topology(),
+        memory=memory,
+        fork_join_ns=2500.0,
+    )
+
+
+def visionfive_v2() -> CPUModel:
+    """StarFive VisionFive V2 (JH7110): 4 SiFive U74 cores @ 1.5 GHz,
+    RV64GC only (no vector extension), 2MiB package-shared L2.
+
+    Calibration: the in-order dual-issue U74 is derated to 30% of its
+    dual-issue peak on dependent FP loops (no OoO window), sustaining
+    ~0.63 GFLOP/s; LPDDR4 sustains ~2.8 GB/s package-wide, 1.6 GB/s for
+    one core. These land the paper's 4.3-6.5x (FP64) C920-vs-U74 band.
+    """
+    core = CoreModel(
+        name="SiFive U74",
+        clock_hz=1.5 * GHZ,
+        fp_ops_per_cycle=2.0,
+        vector_pipes=0,
+        isa=scalar_only(),
+        fma=True,
+        out_of_order=False,
+        scalar_efficiency=0.70,
+        inorder_penalty=0.26,
+        ls_ops_per_cycle=1.0,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 32 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=3, bandwidth_bytes_per_cycle=8.0),
+            CacheLevel("L2", 2 * MIB, Sharing.PACKAGE, associativity=16,
+                       latency_cycles=21, bandwidth_bytes_per_cycle=8.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=1,
+        channel_bandwidth_bytes=12.8e9,  # LPDDR4-3200 x32
+        efficiency=0.22,
+        latency_ns=140.0,
+        numa_local=False,
+        per_core_bandwidth_bytes=1.6e9,
+    )
+    return CPUModel(
+        name="StarFive VisionFive V2",
+        part="JH7110",
+        core=core,
+        caches=caches,
+        topology=contiguous_topology(4),
+        memory=memory,
+        fork_join_ns=3000.0,
+    )
+
+
+def visionfive_v1() -> CPUModel:
+    """StarFive VisionFive V1 (JH7100): 2 SiFive U74 cores, nominally the
+    same 1.5 GHz core as the V2 yet measured 3-6x slower at FP64 and 1-3x
+    at FP32 (Figure 1) — a phenomenon the paper leaves unexplained.
+
+    Calibration: we reproduce the measurement with the mechanism the data
+    suggests: the JH7100's DRAM path is drastically slower (its L2/DDR
+    subsystem predates the JH7110 redesign), sustaining ~0.45 GB/s per
+    core. Because FP64 doubles per-element traffic, a bandwidth-starved
+    part degrades twice as much at FP64 as at FP32, matching the paper's
+    asymmetric V1/V2 gap without needing a clock difference.
+    """
+    core = CoreModel(
+        name="SiFive U74",
+        clock_hz=1.5 * GHZ,
+        fp_ops_per_cycle=2.0,
+        vector_pipes=0,
+        isa=scalar_only(),
+        fma=True,
+        out_of_order=False,
+        scalar_efficiency=0.60,
+        inorder_penalty=0.26,
+        ls_ops_per_cycle=1.0,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 32 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=3, bandwidth_bytes_per_cycle=8.0),
+            CacheLevel("L2", 2 * MIB, Sharing.PACKAGE, associativity=16,
+                       latency_cycles=24, bandwidth_bytes_per_cycle=4.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=1,
+        channel_bandwidth_bytes=12.8e9,
+        efficiency=0.05,
+        latency_ns=180.0,
+        numa_local=False,
+        per_core_bandwidth_bytes=0.38e9,
+    )
+    return CPUModel(
+        name="StarFive VisionFive V1",
+        part="JH7100",
+        core=core,
+        caches=caches,
+        topology=contiguous_topology(2),
+        memory=memory,
+        fork_join_ns=3000.0,
+    )
+
+
+def amd_rome() -> CPUModel:
+    """AMD Rome EPYC 7742 (ARCHER2): 64 cores @ 2.25 GHz, AVX2+FMA
+    (256-bit), 512KiB private L2, 16MiB L3 per 4-core CCX, four NUMA
+    regions of 16 cores, eight DDR4-3200 controllers.
+
+    Calibration: mature x86 cores sustain ~85% scalar and ~50% vector
+    peak on RAJAPerf-style loops; package memory sustains ~150 GB/s.
+    """
+    core = CoreModel(
+        name="Zen 2",
+        clock_hz=2.25 * GHZ,
+        fp_ops_per_cycle=4.0,
+        vector_pipes=2,
+        isa=avx2(),
+        fma=True,
+        out_of_order=True,
+        scalar_efficiency=0.85,
+        vector_efficiency=0.50,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 32 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=4, bandwidth_bytes_per_cycle=64.0),
+            CacheLevel("L2", 512 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=12, bandwidth_bytes_per_cycle=32.0),
+            CacheLevel("L3", 16 * MIB, Sharing.CLUSTER, associativity=16,
+                       latency_cycles=39, bandwidth_bytes_per_cycle=16.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=8,
+        channel_bandwidth_bytes=25.6e9,
+        efficiency=0.75,
+        latency_ns=105.0,
+        numa_local=True,
+        per_core_bandwidth_bytes=22.0e9,
+    )
+    return CPUModel(
+        name="AMD Rome",
+        part="EPYC 7742",
+        core=core,
+        caches=caches,
+        topology=contiguous_topology(64, num_numa=4, cluster_size=4),
+        memory=memory,
+        fork_join_ns=1200.0,
+    )
+
+
+def intel_broadwell() -> CPUModel:
+    """Intel Broadwell Xeon E5-2695 v4 (Cirrus): 18 cores @ 2.1 GHz, AVX2,
+    256KiB private L2, 45MiB shared L3, single NUMA region, four DDR4-2400
+    controllers."""
+    core = CoreModel(
+        name="Broadwell",
+        clock_hz=2.1 * GHZ,
+        fp_ops_per_cycle=4.0,
+        vector_pipes=2,
+        isa=avx2(),
+        fma=True,
+        out_of_order=True,
+        scalar_efficiency=0.85,
+        vector_efficiency=0.50,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 32 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=4, bandwidth_bytes_per_cycle=64.0),
+            CacheLevel("L2", 256 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=12, bandwidth_bytes_per_cycle=32.0),
+            CacheLevel("L3", 45 * MIB, Sharing.PACKAGE, associativity=20,
+                       latency_cycles=34, bandwidth_bytes_per_cycle=16.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=4,
+        channel_bandwidth_bytes=19.2e9,  # DDR4-2400
+        efficiency=0.75,
+        latency_ns=95.0,
+        numa_local=False,
+        per_core_bandwidth_bytes=15.0e9,
+    )
+    return CPUModel(
+        name="Intel Broadwell",
+        part="Xeon E5-2695",
+        core=core,
+        caches=caches,
+        topology=contiguous_topology(18),
+        memory=memory,
+        fork_join_ns=900.0,
+    )
+
+
+def intel_icelake() -> CPUModel:
+    """Intel Icelake Xeon 6330: 28 cores @ 2.0 GHz, AVX-512, 1MiB private
+    L2 (four times the SG2042's per-core share), 43MiB shared L3, single
+    NUMA region, eight DDR4-2933 controllers."""
+    core = CoreModel(
+        name="Icelake-SP",
+        clock_hz=2.0 * GHZ,
+        fp_ops_per_cycle=4.0,
+        vector_pipes=2,
+        isa=avx512(),
+        fma=True,
+        out_of_order=True,
+        scalar_efficiency=0.85,
+        vector_efficiency=0.45,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 48 * KIB, Sharing.CORE, associativity=12,
+                       latency_cycles=5, bandwidth_bytes_per_cycle=128.0),
+            CacheLevel("L2", 1 * MIB, Sharing.CORE, associativity=16,
+                       latency_cycles=13, bandwidth_bytes_per_cycle=64.0),
+            CacheLevel("L3", 43 * MIB, Sharing.PACKAGE, associativity=16,
+                       latency_cycles=42, bandwidth_bytes_per_cycle=16.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=8,
+        channel_bandwidth_bytes=23.5e9,  # DDR4-2933
+        efficiency=0.75,
+        latency_ns=90.0,
+        numa_local=False,
+        per_core_bandwidth_bytes=20.0e9,
+    )
+    return CPUModel(
+        name="Intel Icelake",
+        part="Xeon 6330",
+        core=core,
+        caches=caches,
+        topology=contiguous_topology(28),
+        memory=memory,
+        fork_join_ns=900.0,
+    )
+
+
+def intel_sandybridge() -> CPUModel:
+    """Intel Sandybridge Xeon E5-2609 (2012): 4 cores @ 2.4 GHz, AVX with
+    no FMA — the paper treats its effective vector width as 128-bit, the
+    same as the SG2042 — 256KiB private L2, 10MiB shared L3, four DDR3-1066
+    channels.
+
+    Calibration: separate 128-bit add and multiply pipes (vector_pipes=2,
+    fma=False) sustain ~5.8 GFLOP/s FP64 vector — roughly 2.4x the C920's
+    scalar FP64 — while DDR3 per-core bandwidth (~8 GB/s) only matches the
+    C920's, which is why the paper finds Sandybridge *slower* for the
+    memory-bound stream and algorithm classes at FP64.
+    """
+    core = CoreModel(
+        name="Sandy Bridge",
+        clock_hz=2.4 * GHZ,
+        fp_ops_per_cycle=2.0,
+        vector_pipes=2,
+        isa=avx(),
+        fma=False,
+        out_of_order=True,
+        scalar_efficiency=0.75,
+        vector_efficiency=0.50,
+    )
+    caches = CacheHierarchy(
+        levels=(
+            CacheLevel("L1D", 64 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=4, bandwidth_bytes_per_cycle=32.0),
+            CacheLevel("L2", 256 * KIB, Sharing.CORE, associativity=8,
+                       latency_cycles=12, bandwidth_bytes_per_cycle=32.0),
+            CacheLevel("L3", 10 * MIB, Sharing.PACKAGE, associativity=20,
+                       latency_cycles=30, bandwidth_bytes_per_cycle=16.0),
+        )
+    )
+    memory = MemorySystem(
+        controllers=4,
+        channel_bandwidth_bytes=8.53e9,  # DDR3-1066
+        efficiency=0.60,
+        latency_ns=85.0,
+        numa_local=False,
+        per_core_bandwidth_bytes=6.2e9,
+    )
+    return CPUModel(
+        name="Intel Sandybridge",
+        part="Xeon E5-2609",
+        core=core,
+        caches=caches,
+        topology=contiguous_topology(4),
+        memory=memory,
+        fork_join_ns=800.0,
+    )
+
+
+#: Short registry name -> reference constructor, in catalog order.
+REFERENCE_FACTORIES = {
+    "sg2042": sg2042,
+    "visionfive_v2": visionfive_v2,
+    "visionfive_v1": visionfive_v1,
+    "amd_rome": amd_rome,
+    "intel_broadwell": intel_broadwell,
+    "intel_icelake": intel_icelake,
+    "intel_sandybridge": intel_sandybridge,
+}

@@ -202,6 +202,43 @@ class MemorySystem:
 
 
 @dataclass(frozen=True)
+class SocketInterconnect:
+    """The link between sockets of a multi-socket board.
+
+    The 2-socket SG2042 study (arxiv 2502.10320) shows cross-socket
+    traffic collapsing far below local bandwidth; these three numbers
+    feed the socket-hop term in
+    :func:`repro.perfmodel.memory.dram_bandwidth_per_thread`.
+
+    Attributes:
+        bandwidth_bytes: Peak one-direction link bandwidth in bytes/s.
+        latency_ns: Extra latency a remote-socket DRAM access pays on
+            top of the local :attr:`MemorySystem.latency_ns`.
+        efficiency: Sustained/peak calibration factor for the link under
+            contention, in (0, 1].
+    """
+
+    bandwidth_bytes: float
+    latency_ns: float
+    efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes <= 0:
+            raise ConfigError("interconnect bandwidth must be positive")
+        if self.latency_ns <= 0:
+            raise ConfigError("interconnect latency must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError(
+                f"interconnect efficiency must be in (0, 1], "
+                f"got {self.efficiency}"
+            )
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        return self.bandwidth_bytes * self.efficiency
+
+
+@dataclass(frozen=True)
 class CPUModel:
     """A complete CPU package description.
 
@@ -216,6 +253,9 @@ class CPUModel:
             grows with thread count in the runtime model.
         smt: SMT ways; the paper disables SMT everywhere, so always 1 here,
             but kept explicit because the claim matters.
+        interconnect: Socket-to-socket link, required exactly when the
+            topology declares more than one socket; ``None`` for every
+            single-socket machine.
     """
 
     name: str
@@ -226,6 +266,7 @@ class CPUModel:
     memory: MemorySystem
     fork_join_ns: float = 2000.0
     smt: int = 1
+    interconnect: SocketInterconnect | None = None
 
     def __hash__(self) -> int:
         # A CPUModel keys several hot per-sweep caches (machine digest,
@@ -236,6 +277,7 @@ class CPUModel:
             cached = hash((
                 self.name, self.part, self.core, self.caches,
                 self.topology, self.memory, self.fork_join_ns, self.smt,
+                self.interconnect,
             ))
             object.__setattr__(self, "_hash", cached)
         return cached
@@ -246,6 +288,16 @@ class CPUModel:
         if self.smt != 1:
             raise ConfigError(
                 "the paper disables SMT on every platform; smt must be 1"
+            )
+        if self.topology.num_sockets > 1 and self.interconnect is None:
+            raise ConfigError(
+                f"{self.name}: multi-socket topology requires an "
+                "interconnect description"
+            )
+        if self.topology.num_sockets == 1 and self.interconnect is not None:
+            raise ConfigError(
+                f"{self.name}: interconnect given but topology declares "
+                "a single socket"
             )
         if self.memory.numa_local:
             # validated for side effect: controllers divide evenly
@@ -282,4 +334,11 @@ class CPUModel:
             f"  NUMA regions: {self.topology.num_numa_nodes}, "
             f"clusters: {self.topology.num_clusters}"
         )
+        if self.interconnect is not None:
+            ic = self.interconnect
+            lines.append(
+                f"  sockets: {self.topology.num_sockets} linked at "
+                f"{ic.sustained_bandwidth / 1e9:.1f} GB/s sustained, "
+                f"+{ic.latency_ns:.0f} ns remote"
+            )
         return "\n".join(lines)

@@ -1,22 +1,84 @@
 """Machine description serialization (JSON).
 
 Lets users define their own CPUs — the "what if" workflows in
-``examples/future_hardware.py`` — in version-controllable JSON files and
-load them into the same pipelines as the built-in catalog. Round-trip
-fidelity is tested for all seven catalog machines.
+``examples/future_hardware.py`` and the documents under
+``repro.registry`` — in version-controllable JSON files and load them
+into the same pipelines as the built-in catalog. Round-trip fidelity is
+tested for every catalog machine and every shipped registry document.
+
+Deserialization is *strict*: an unknown or missing field raises a
+:class:`~repro.util.errors.ConfigError` naming the dotted field path and
+the document it came from, never a bare ``KeyError`` — user-submitted
+registry documents make these errors user-facing.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro.machine.cache import CacheHierarchy, CacheLevel, Sharing
-from repro.machine.cpu import CoreModel, CPUModel, MemorySystem
+from repro.machine.cpu import (
+    CoreModel,
+    CPUModel,
+    MemorySystem,
+    SocketInterconnect,
+)
 from repro.machine.topology import NumaTopology
 from repro.machine.vector import DType, VectorISA
 from repro.util.errors import ConfigError
+
+#: Sentinel distinguishing "field absent" from "field is None".
+_ABSENT = object()
+
+#: source used in errors when the caller did not name the document.
+DEFAULT_SOURCE = "machine document"
+
+
+class _Section:
+    """One mapping inside a document, checked strictly on access.
+
+    ``require``/``get`` pull fields out; :meth:`finish` then rejects any
+    field the schema never asked for. Both error modes name the dotted
+    path (``core.isa.width_bits``) and the document source.
+    """
+
+    def __init__(self, data: Any, path: str, source: str) -> None:
+        if not isinstance(data, Mapping):
+            raise ConfigError(
+                f"malformed {source}: {path or 'document'} must be a "
+                f"JSON object, got {type(data).__name__}"
+            )
+        self._data = data
+        self._path = path
+        self._source = source
+        self._seen: set[str] = set()
+
+    def _dotted(self, key: str) -> str:
+        return f"{self._path}.{key}" if self._path else key
+
+    def require(self, key: str) -> Any:
+        if key not in self._data:
+            raise ConfigError(
+                f"{self._source}: missing field {self._dotted(key)}"
+            )
+        self._seen.add(key)
+        return self._data[key]
+
+    def get(self, key: str, default: Any = _ABSENT) -> Any:
+        self._seen.add(key)
+        if key not in self._data:
+            return None if default is _ABSENT else default
+        return self._data[key]
+
+    def finish(self) -> None:
+        unknown = sorted(set(self._data) - self._seen)
+        if unknown:
+            fields = ", ".join(self._dotted(key) for key in unknown)
+            raise ConfigError(
+                f"malformed {self._source}: unknown field {fields}"
+            )
 
 
 def isa_to_dict(isa: VectorISA) -> dict[str, Any]:
@@ -29,16 +91,24 @@ def isa_to_dict(isa: VectorISA) -> dict[str, Any]:
     }
 
 
-def isa_from_dict(data: dict[str, Any]) -> VectorISA:
-    return VectorISA(
-        name=data["name"],
-        width_bits=data["width_bits"],
+def isa_from_dict(
+    data: dict[str, Any],
+    *,
+    path: str = "isa",
+    source: str = DEFAULT_SOURCE,
+) -> VectorISA:
+    sec = _Section(data, path, source)
+    isa = VectorISA(
+        name=sec.require("name"),
+        width_bits=sec.require("width_bits"),
         vectorizable=frozenset(
-            DType.from_label(lbl) for lbl in data.get("vectorizable", ())
+            DType.from_label(lbl) for lbl in sec.get("vectorizable", ())
         ),
-        vla=data.get("vla", False),
-        version=data.get("version"),
+        vla=sec.get("vla", False),
+        version=sec.get("version"),
     )
+    sec.finish()
+    return isa
 
 
 def _level_to_dict(level: CacheLevel) -> dict[str, Any]:
@@ -57,29 +127,129 @@ def _level_to_dict(level: CacheLevel) -> dict[str, Any]:
     }
 
 
-def _level_from_dict(data: dict[str, Any]) -> CacheLevel:
-    return CacheLevel(
-        name=data["name"],
-        capacity_bytes=data["capacity_bytes"],
-        sharing=Sharing(data["sharing"]),
-        line_bytes=data.get("line_bytes", 64),
-        associativity=data.get("associativity", 8),
-        latency_cycles=data.get("latency_cycles", 4),
-        bandwidth_bytes_per_cycle=data.get(
+def _level_from_dict(
+    data: dict[str, Any], path: str, source: str
+) -> CacheLevel:
+    sec = _Section(data, path, source)
+    level = CacheLevel(
+        name=sec.require("name"),
+        capacity_bytes=sec.require("capacity_bytes"),
+        sharing=Sharing(sec.require("sharing")),
+        line_bytes=sec.get("line_bytes", 64),
+        associativity=sec.get("associativity", 8),
+        latency_cycles=sec.get("latency_cycles", 4),
+        bandwidth_bytes_per_cycle=sec.get(
             "bandwidth_bytes_per_cycle", 32.0
         ),
-        aggregate_bandwidth_bytes_per_cycle=data.get(
+        aggregate_bandwidth_bytes_per_cycle=sec.get(
             "aggregate_bandwidth_bytes_per_cycle"
         ),
-        contention_threshold=data.get("contention_threshold"),
-        contention_exponent=data.get("contention_exponent", 2.0),
+        contention_threshold=sec.get("contention_threshold"),
+        contention_exponent=sec.get("contention_exponent", 2.0),
     )
+    sec.finish()
+    return level
+
+
+def _core_from_dict(
+    data: dict[str, Any], source: str
+) -> CoreModel:
+    sec = _Section(data, "core", source)
+    core = CoreModel(
+        name=sec.require("name"),
+        clock_hz=sec.require("clock_hz"),
+        fp_ops_per_cycle=sec.require("fp_ops_per_cycle"),
+        vector_pipes=sec.require("vector_pipes"),
+        isa=isa_from_dict(
+            sec.require("isa"), path="core.isa", source=source
+        ),
+        fma=sec.get("fma", True),
+        out_of_order=sec.get("out_of_order", True),
+        scalar_efficiency=sec.get("scalar_efficiency", 0.7),
+        vector_efficiency=sec.get("vector_efficiency", 0.6),
+        inorder_penalty=sec.get("inorder_penalty", 0.55),
+        ls_ops_per_cycle=sec.get("ls_ops_per_cycle", 2.0),
+    )
+    sec.finish()
+    return core
+
+
+def _topology_from_dict(
+    data: dict[str, Any], source: str
+) -> NumaTopology:
+    sec = _Section(data, "topology", source)
+    sockets = sec.get("sockets")
+    topology = NumaTopology(
+        numa_nodes=tuple(
+            tuple(node) for node in sec.require("numa_nodes")
+        ),
+        clusters=tuple(tuple(c) for c in sec.require("clusters")),
+        sockets=(
+            None if sockets is None
+            else tuple(tuple(sock) for sock in sockets)
+        ),
+    )
+    sec.finish()
+    return topology
+
+
+def _memory_from_dict(
+    data: dict[str, Any], source: str
+) -> MemorySystem:
+    sec = _Section(data, "memory", source)
+    memory = MemorySystem(
+        controllers=sec.require("controllers"),
+        channel_bandwidth_bytes=sec.require("channel_bandwidth_bytes"),
+        efficiency=sec.require("efficiency"),
+        latency_ns=sec.get("latency_ns", 100.0),
+        numa_local=sec.get("numa_local", True),
+        per_core_bandwidth_bytes=sec.get(
+            "per_core_bandwidth_bytes", 10e9
+        ),
+        thrash_threshold=sec.get("thrash_threshold"),
+        thrash_exponent=sec.get("thrash_exponent", 1.8),
+    )
+    sec.finish()
+    return memory
+
+
+def _interconnect_to_dict(ic: SocketInterconnect) -> dict[str, Any]:
+    return {
+        "bandwidth_bytes": ic.bandwidth_bytes,
+        "latency_ns": ic.latency_ns,
+        "efficiency": ic.efficiency,
+    }
+
+
+def _interconnect_from_dict(
+    data: dict[str, Any], source: str
+) -> SocketInterconnect:
+    sec = _Section(data, "interconnect", source)
+    ic = SocketInterconnect(
+        bandwidth_bytes=sec.require("bandwidth_bytes"),
+        latency_ns=sec.require("latency_ns"),
+        efficiency=sec.get("efficiency", 0.8),
+    )
+    sec.finish()
+    return ic
 
 
 def cpu_to_dict(cpu: CPUModel) -> dict[str, Any]:
-    """Serialize a CPU model to a JSON-compatible dict."""
+    """Serialize a CPU model to a JSON-compatible dict.
+
+    The optional socket tier (``topology.sockets``, ``interconnect``) is
+    omitted when absent so single-socket machines keep the exact
+    serialization — and therefore the exact ``machine_digest`` — they
+    had before sockets existed.
+    """
     core = cpu.core
-    return {
+    topology: dict[str, Any] = {
+        "numa_nodes": [list(n) for n in cpu.topology.numa_nodes],
+        "clusters": [list(c) for c in cpu.topology.clusters],
+    }
+    if cpu.topology.sockets is not None:
+        topology["sockets"] = [list(s) for s in cpu.topology.sockets]
+    data = {
         "name": cpu.name,
         "part": cpu.part,
         "core": {
@@ -96,10 +266,7 @@ def cpu_to_dict(cpu: CPUModel) -> dict[str, Any]:
             "ls_ops_per_cycle": core.ls_ops_per_cycle,
         },
         "caches": [_level_to_dict(lvl) for lvl in cpu.caches],
-        "topology": {
-            "numa_nodes": [list(n) for n in cpu.topology.numa_nodes],
-            "clusters": [list(c) for c in cpu.topology.clusters],
-        },
+        "topology": topology,
         "memory": {
             "controllers": cpu.memory.controllers,
             "channel_bandwidth_bytes": cpu.memory.channel_bandwidth_bytes,
@@ -114,39 +281,58 @@ def cpu_to_dict(cpu: CPUModel) -> dict[str, Any]:
         "fork_join_ns": cpu.fork_join_ns,
         "smt": cpu.smt,
     }
+    if cpu.interconnect is not None:
+        data["interconnect"] = _interconnect_to_dict(cpu.interconnect)
+    return data
 
 
-def cpu_from_dict(data: dict[str, Any]) -> CPUModel:
-    """Deserialize a CPU model; validation happens in the constructors."""
+def cpu_from_dict(
+    data: dict[str, Any], *, source: str = DEFAULT_SOURCE
+) -> CPUModel:
+    """Deserialize a CPU model, checking fields strictly.
+
+    ``source`` names the document in error messages (typically the file
+    path or the registry document name).
+    """
+    sec = _Section(data, "", source)
+    name = sec.require("name")
+    part = sec.require("part")
+    core = _core_from_dict(sec.require("core"), source)
+    caches_data = sec.require("caches")
+    if not isinstance(caches_data, (list, tuple)):
+        raise ConfigError(
+            f"malformed {source}: caches must be a JSON array"
+        )
+    caches = CacheHierarchy(
+        levels=tuple(
+            _level_from_dict(lvl, f"caches[{i}]", source)
+            for i, lvl in enumerate(caches_data)
+        )
+    )
+    topology = _topology_from_dict(sec.require("topology"), source)
+    memory = _memory_from_dict(sec.require("memory"), source)
+    interconnect_data = sec.get("interconnect")
+    interconnect = (
+        None if interconnect_data is None
+        else _interconnect_from_dict(interconnect_data, source)
+    )
+    fork_join_ns = sec.get("fork_join_ns", 2000.0)
+    smt = sec.get("smt", 1)
+    sec.finish()
     try:
-        core_data = dict(data["core"])
-        core_data["isa"] = isa_from_dict(core_data["isa"])
-        core = CoreModel(**core_data)
-        caches = CacheHierarchy(
-            levels=tuple(_level_from_dict(lvl) for lvl in data["caches"])
-        )
-        topo_data = data["topology"]
-        topology = NumaTopology(
-            numa_nodes=tuple(
-                tuple(node) for node in topo_data["numa_nodes"]
-            ),
-            clusters=tuple(tuple(c) for c in topo_data["clusters"]),
-        )
-        memory = MemorySystem(**data["memory"])
         return CPUModel(
-            name=data["name"],
-            part=data["part"],
+            name=name,
+            part=part,
             core=core,
             caches=caches,
             topology=topology,
             memory=memory,
-            fork_join_ns=data.get("fork_join_ns", 2000.0),
-            smt=data.get("smt", 1),
+            fork_join_ns=fork_join_ns,
+            smt=smt,
+            interconnect=interconnect,
         )
-    except KeyError as exc:
-        raise ConfigError(f"machine JSON missing field: {exc}") from exc
     except TypeError as exc:
-        raise ConfigError(f"malformed machine JSON: {exc}") from exc
+        raise ConfigError(f"malformed {source}: {exc}") from exc
 
 
 def save_cpu(cpu: CPUModel, path: str | Path) -> None:
@@ -161,4 +347,5 @@ def load_cpu(path: str | Path) -> CPUModel:
     target = Path(path)
     if not target.exists():
         raise ConfigError(f"machine file {target} does not exist")
-    return cpu_from_dict(json.loads(target.read_text(encoding="utf-8")))
+    data = json.loads(target.read_text(encoding="utf-8"))
+    return cpu_from_dict(data, source=f"machine document {target}")

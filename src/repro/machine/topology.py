@@ -24,10 +24,17 @@ class NumaTopology:
         clusters: One tuple of core ids per L2-sharing cluster. For CPUs
             with a private (or fully package-shared) L2 each core is its
             own cluster.
+        sockets: One tuple of core ids per physical socket, or ``None``
+            for the common single-socket machine. The multi-socket
+            SG2042 boards (arxiv 2502.10320) motivate modelling sockets
+            as a tier *above* NUMA: every NUMA region must nest inside
+            one socket, and placements spanning sockets pay the
+            interconnect term in :mod:`repro.perfmodel.memory`.
     """
 
     numa_nodes: tuple[tuple[int, ...], ...]
     clusters: tuple[tuple[int, ...], ...]
+    sockets: tuple[tuple[int, ...], ...] | None = None
 
     def __hash__(self) -> int:
         # Topologies key the placement-profile and core-assignment
@@ -36,7 +43,7 @@ class NumaTopology:
         # Compute once per (frozen) instance.
         cached = self.__dict__.get("_hash")
         if cached is None:
-            cached = hash((self.numa_nodes, self.clusters))
+            cached = hash((self.numa_nodes, self.clusters, self.sockets))
             object.__setattr__(self, "_hash", cached)
         return cached
 
@@ -66,8 +73,29 @@ class NumaTopology:
         cluster_of = {
             c: i for i, cl in enumerate(self.clusters) for c in cl
         }
+        socket_of: dict[int, int] = {}
+        if self.sockets is not None:
+            all_sock = [c for sock in self.sockets for c in sock]
+            if sorted(all_sock) != sorted(all_numa):
+                raise ConfigError(
+                    "sockets must partition the same core ids as NUMA nodes"
+                )
+            socket_of = {
+                c: i for i, sock in enumerate(self.sockets) for c in sock
+            }
+            # A NUMA region lives in exactly one socket: memory
+            # controllers are physically attached to a package, so the
+            # regional-bandwidth model (and first-touch placement)
+            # assumes the nesting.
+            for node in self.numa_nodes:
+                socks = {socket_of[c] for c in node}
+                if len(socks) != 1:
+                    raise ConfigError(
+                        f"NUMA node {node} straddles sockets {socks}"
+                    )
         object.__setattr__(self, "_node_of_core", node_of)
         object.__setattr__(self, "_cluster_of_core", cluster_of)
+        object.__setattr__(self, "_socket_of_core", socket_of)
 
     # -- basic queries ----------------------------------------------------
 
@@ -109,6 +137,28 @@ class NumaTopology:
     def cores_per_numa(self) -> tuple[int, ...]:
         return tuple(len(node) for node in self.numa_nodes)
 
+    @property
+    def num_sockets(self) -> int:
+        """Socket count; single-socket unless ``sockets`` is declared."""
+        return 1 if self.sockets is None else len(self.sockets)
+
+    def socket_of(self, core: int) -> int:
+        """Socket id containing ``core`` (always 0 when single-socket)."""
+        if self.sockets is None:
+            if core not in self._node_of_core:
+                raise ConfigError(f"core {core} not in topology")
+            return 0
+        socket = self._socket_of_core.get(core)
+        if socket is None:
+            raise ConfigError(f"core {core} not in topology")
+        return socket
+
+    def sockets_spanned(self, cores: tuple[int, ...]) -> int:
+        """How many distinct sockets a placement touches."""
+        if self.sockets is None:
+            return 1
+        return len({self._socket_of_core[c] for c in cores})
+
     # -- derived views ----------------------------------------------------
 
     def active_per_numa(self, cores: tuple[int, ...]) -> dict[int, int]:
@@ -132,6 +182,7 @@ class NumaTopology:
         how the paper's authors discovered the SG2042 map."""
         lines = [
             f"CPU(s):              {self.num_cores}",
+            f"Socket(s):           {self.num_sockets}",
             f"NUMA node(s):        {self.num_numa_nodes}",
         ]
         for i, node in enumerate(self.numa_nodes):

@@ -133,7 +133,48 @@ def dram_bandwidth_per_thread(
         if mem.thrash_threshold is not None and active > mem.thrash_threshold:
             total *= (mem.thrash_threshold / active) ** mem.thrash_exponent
         share = total / active
+    if cpu.interconnect is not None and topo.num_sockets > 1:
+        share = _socket_adjusted_share(cpu, share, cores)
     return min(share, mem.per_core_bandwidth_bytes)
+
+
+def _socket_adjusted_share(
+    cpu: CPUModel, local_share: float, cores: tuple[int, ...]
+) -> float:
+    """Per-thread DRAM share after the cross-socket interconnect term.
+
+    When a placement spans sockets, first-touch page interleaving over
+    the active sockets makes ``(spanned - 1) / spanned`` of each
+    thread's traffic remote: it crosses the socket link, competes for
+    its sustained bandwidth with every other remote-going thread, and
+    pays the link latency on top of DRAM latency (arxiv 2502.10320
+    measures exactly this collapse on the 2-socket SG2042). The remote
+    and local fractions compose harmonically — time-weighted, like
+    serial bandwidth stages.
+
+    Deliberately *placement-global*: the result depends only on how many
+    sockets the whole placement spans and the thread count, never on
+    which socket ``core`` sits in. That keeps the term identical for
+    every core of a symmetry class, which is what lets the batch engine
+    reuse the scalar engine's per-class calls bit-for-bit.
+    """
+    topo = cpu.topology
+    spanned = topo.sockets_spanned(cores)
+    if spanned <= 1:
+        return local_share
+    ic = cpu.interconnect
+    assert ic is not None  # caller gated
+    remote_fraction = (spanned - 1) / spanned
+    remote_threads = len(cores) * remote_fraction
+    link_share = ic.sustained_bandwidth / remote_threads
+    lat = cpu.memory.latency_ns
+    remote_share = (
+        min(local_share, link_share) * lat / (lat + ic.latency_ns)
+    )
+    return 1.0 / (
+        (1.0 - remote_fraction) / local_share
+        + remote_fraction / remote_share
+    )
 
 
 def serving_level(

@@ -1,0 +1,39 @@
+"""Schema-validated, versioned scenario registry.
+
+Machines, kernel characterizations, compiler decision tables, fault
+plans and placement policies live here as JSON/TOML *documents* rather
+than Python objects — the shipped seed data under ``data/`` re-exports
+the paper's catalog, and user directories layer on top via
+``--registry-path``. See ``docs/REGISTRY.md``.
+"""
+
+from repro.registry.core import (
+    DATA_ROOT,
+    Registry,
+    default_registry,
+    registry_with_paths,
+)
+from repro.registry.loader import load_documents, load_file
+from repro.registry.schema import (
+    KIND_SCHEMAS,
+    KINDS,
+    RegistryDoc,
+    decide_compiler,
+    parse_document,
+    validate_document,
+)
+
+__all__ = [
+    "DATA_ROOT",
+    "Registry",
+    "default_registry",
+    "registry_with_paths",
+    "load_documents",
+    "load_file",
+    "KINDS",
+    "KIND_SCHEMAS",
+    "RegistryDoc",
+    "parse_document",
+    "validate_document",
+    "decide_compiler",
+]

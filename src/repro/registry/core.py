@@ -1,0 +1,124 @@
+"""The registry object: versioned documents resolved into model objects.
+
+A :class:`Registry` layers one or more roots — the shipped
+``repro/registry/data/`` plus any user ``--registry-path`` directories —
+and serves validated documents and constructed machines out of them.
+Loading is lazy per kind and cached per instance;
+:func:`registry_with_paths` additionally caches Registry instances per
+path tuple, so the catalog's thin lookups and repeated CLI calls share
+one parse.
+
+Registries are read-only: runtime machine registration (``repro.serve``
+POST /machines) lives in the server's own machine map, keeping the
+process-wide singleton deterministic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.registry import loader
+from repro.registry.schema import KINDS, RegistryDoc, validate_document
+from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.cpu import CPUModel
+
+#: The shipped seed documents.
+DATA_ROOT = Path(__file__).resolve().parent / "data"
+
+
+class Registry:
+    """Documents from one ordered list of registry roots."""
+
+    def __init__(self, extra_paths: Iterable[str | Path] = ()) -> None:
+        self._roots: tuple[Path, ...] = (
+            DATA_ROOT,
+            *(Path(p) for p in extra_paths),
+        )
+        for root in self._roots[1:]:
+            if not root.is_dir():
+                raise ConfigError(
+                    f"registry path {root} is not a directory"
+                )
+        self._docs: dict[str, dict[str, RegistryDoc]] = {}
+
+    @property
+    def roots(self) -> tuple[Path, ...]:
+        return self._roots
+
+    # -- documents --------------------------------------------------------
+
+    def documents(self, kind: str) -> dict[str, RegistryDoc]:
+        """All documents of ``kind``, keyed by name (envelope-checked,
+        not yet semantically validated)."""
+        if kind not in self._docs:
+            self._docs[kind] = loader.load_documents(self._roots, kind)
+        return dict(self._docs[kind])
+
+    def document(self, kind: str, name: str) -> RegistryDoc:
+        docs = self.documents(kind)
+        if name not in docs:
+            raise ConfigError(
+                f"no {kind} document named {name!r}; "
+                f"known: {sorted(docs)}"
+            )
+        return docs[name]
+
+    def names(self, kind: str) -> list[str]:
+        return sorted(self.documents(kind))
+
+    # -- machines ---------------------------------------------------------
+
+    def machine(self, name: str) -> "CPUModel":
+        """The named machine, constructed strictly from its document.
+
+        Construction is per-call (the catalog contract is fresh equal
+        instances); only the parsed documents are cached. Equal
+        instances hash equal, so every derived cache — machine digest,
+        batch prelude, store keys — still coalesces them.
+        """
+        return validate_document(self.document("machines", name))
+
+    def machines(self) -> dict[str, "CPUModel"]:
+        """Every registered machine, keyed by registry name."""
+        return {
+            name: self.machine(name)
+            for name in self.documents("machines")
+        }
+
+    def machine_names(self) -> list[str]:
+        return self.names("machines")
+
+    # -- validation -------------------------------------------------------
+
+    def validate_all(self) -> int:
+        """Semantically validate every document of every kind.
+
+        Raises on the first inconsistency; returns the number of
+        documents checked. (``repro lint --registry`` collects *all*
+        findings instead — see :func:`repro.analyze.driver.lint_registry`.)
+        """
+        checked = 0
+        for kind in KINDS:
+            for rdoc in self.documents(kind).values():
+                validate_document(rdoc)
+                checked += 1
+        return checked
+
+
+@lru_cache(maxsize=16)
+def _cached_registry(paths: tuple[str, ...]) -> Registry:
+    return Registry(paths)
+
+
+def registry_with_paths(paths: Iterable[str | Path]) -> Registry:
+    """A (cached) registry layering ``paths`` over the shipped data."""
+    return _cached_registry(tuple(str(p) for p in paths))
+
+
+def default_registry() -> Registry:
+    """The process-wide registry over the shipped data only."""
+    return registry_with_paths(())

@@ -1,0 +1,269 @@
+"""Registry document envelope and per-kind semantic validation.
+
+Every registry document is a JSON (or TOML) file with the same
+three-field envelope::
+
+    {"schema": "repro.machine/v1", "name": "sg2042", "doc": {...}}
+
+``schema`` pins the document kind *and* its format version — a future
+``repro.machine/v2`` can change the payload shape without breaking v1
+readers. ``name`` is the registry key; ``doc`` is the kind-specific
+payload. :func:`parse_document` checks the envelope strictly;
+:func:`validate_document` then cross-checks the payload against the
+code that consumes it (machine constructors, the kernel catalog, the
+compiler table, placement policies, fault plans) so a document cannot
+drift silently from the model it describes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.util.errors import ConfigError
+
+#: Document kinds, in the order they appear under ``data/``.
+KINDS = ("machines", "kernels", "compilers", "faults", "placements")
+
+#: Kind -> the schema tag its documents must carry.
+KIND_SCHEMAS = {
+    "machines": "repro.machine/v1",
+    "kernels": "repro.kernel/v1",
+    "compilers": "repro.compiler/v1",
+    "faults": "repro.faultplan/v1",
+    "placements": "repro.placement/v1",
+}
+
+#: Schema tag -> kind (reverse of :data:`KIND_SCHEMAS`).
+SCHEMA_KINDS = {schema: kind for kind, schema in KIND_SCHEMAS.items()}
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]*$")
+
+
+@dataclass(frozen=True)
+class RegistryDoc:
+    """One parsed (but not necessarily semantically valid) document."""
+
+    kind: str
+    name: str
+    schema: str
+    doc: Mapping[str, Any]
+    source: str
+
+
+def parse_document(
+    data: Any, source: str, kind: str | None = None
+) -> RegistryDoc:
+    """Check the envelope of one document; raise :class:`ConfigError`.
+
+    ``kind`` restricts which schema is acceptable (used when the file's
+    directory already implies the kind); ``None`` accepts any known
+    schema (used for ``repro registry add`` and POST /machines).
+    """
+    label = f"registry document {source}"
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"malformed {label}: document must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    for field in ("schema", "name", "doc"):
+        if field not in data:
+            raise ConfigError(f"{label}: missing field {field}")
+    unknown = sorted(set(data) - {"schema", "name", "doc"})
+    if unknown:
+        raise ConfigError(
+            f"malformed {label}: unknown field {', '.join(unknown)}"
+        )
+    schema = data["schema"]
+    if schema not in SCHEMA_KINDS:
+        raise ConfigError(
+            f"{label}: unknown schema {schema!r}; "
+            f"known: {sorted(SCHEMA_KINDS)}"
+        )
+    doc_kind = SCHEMA_KINDS[schema]
+    if kind is not None and doc_kind != kind:
+        raise ConfigError(
+            f"{label}: schema {schema!r} does not belong under "
+            f"{kind}/ (expected {KIND_SCHEMAS[kind]!r})"
+        )
+    name = data["name"]
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ConfigError(
+            f"{label}: name must be a lowercase identifier "
+            f"([a-z0-9_.-]), got {name!r}"
+        )
+    doc = data["doc"]
+    if not isinstance(doc, Mapping):
+        raise ConfigError(f"malformed {label}: doc must be a JSON object")
+    return RegistryDoc(
+        kind=doc_kind, name=name, schema=schema, doc=doc, source=source
+    )
+
+
+# -- per-kind semantic validation -----------------------------------------
+#
+# Consumers are imported lazily inside each validator: the machine
+# validator sits below repro.machine.catalog in the import graph, and the
+# kernel/compiler validators would otherwise pull the whole kernel
+# catalog into every `import repro.machine`.
+
+
+def _validate_machine(rdoc: RegistryDoc) -> Any:
+    from repro.machine.serialize import cpu_from_dict
+
+    return cpu_from_dict(
+        dict(rdoc.doc), source=f"machine document {rdoc.source}"
+    )
+
+
+def _validate_kernel(rdoc: RegistryDoc) -> Any:
+    """Cross-check a kernel characterization against the kernel catalog.
+
+    The document restates traits the Python kernel already declares;
+    validation fails on any divergence, so the shipped characterizations
+    cannot rot as the catalog evolves.
+    """
+    from repro.kernels.registry import get_kernel
+
+    label = f"kernel document {rdoc.source}"
+    kernel = get_kernel(rdoc.name)
+    traits = kernel.traits
+    doc = rdoc.doc
+    unknown = sorted(set(doc) - {"class", "traits"})
+    if unknown:
+        raise ConfigError(
+            f"malformed {label}: unknown field {', '.join(unknown)}"
+        )
+    klass = doc.get("class")
+    if klass is not None and klass != kernel.klass.value:
+        raise ConfigError(
+            f"{label}: class {klass!r} disagrees with the catalog's "
+            f"{kernel.klass.value!r}"
+        )
+    declared = doc.get("traits", {})
+    if not isinstance(declared, Mapping):
+        raise ConfigError(f"malformed {label}: traits must be an object")
+    for key, value in declared.items():
+        if not hasattr(traits, key):
+            raise ConfigError(
+                f"malformed {label}: unknown field traits.{key}"
+            )
+        actual = getattr(traits, key)
+        if key == "features":
+            actual = sorted(f.value for f in actual)
+            value = sorted(value)
+        if value != actual:
+            raise ConfigError(
+                f"{label}: traits.{key} = {value!r} disagrees with "
+                f"the catalog's {actual!r}"
+            )
+    return kernel
+
+
+def _validate_compiler(rdoc: RegistryDoc) -> Any:
+    """Check a compiler decision table: every referenced compiler must
+    exist and every rule may match only on the supported keys."""
+    from repro.compiler.model import compiler_by_name
+
+    label = f"compiler document {rdoc.source}"
+    doc = rdoc.doc
+    unknown = sorted(set(doc) - {"default", "rules"})
+    if unknown:
+        raise ConfigError(
+            f"malformed {label}: unknown field {', '.join(unknown)}"
+        )
+    if "default" not in doc:
+        raise ConfigError(f"{label}: missing field default")
+    compiler_by_name(doc["default"])
+    rules = doc.get("rules", ())
+    if not isinstance(rules, (list, tuple)):
+        raise ConfigError(f"malformed {label}: rules must be an array")
+    for i, rule in enumerate(rules):
+        if not isinstance(rule, Mapping) or set(rule) != {"when", "use"}:
+            raise ConfigError(
+                f"malformed {label}: rules[{i}] must have exactly "
+                "the fields 'when' and 'use'"
+            )
+        when = rule["when"]
+        if not isinstance(when, Mapping) or not when:
+            raise ConfigError(
+                f"malformed {label}: rules[{i}].when must be a "
+                "non-empty object"
+            )
+        bad = sorted(set(when) - {"isa_version", "part"})
+        if bad:
+            raise ConfigError(
+                f"malformed {label}: rules[{i}].when matches on "
+                f"unsupported key {', '.join(bad)}"
+            )
+        compiler_by_name(rule["use"])
+    return doc
+
+
+def decide_compiler(table: Mapping[str, Any], cpu: Any) -> str:
+    """Apply a (validated) compiler decision table to ``cpu``.
+
+    First matching rule wins; used by ``repro lint --registry`` to
+    cross-check the shipped table against
+    :meth:`repro.suite.config.RunConfig.resolve_compiler`.
+    """
+    for rule in table.get("rules", ()):
+        when = rule["when"]
+        if "isa_version" in when and cpu.core.isa.version != when["isa_version"]:
+            continue
+        if "part" in when and cpu.part != when["part"]:
+            continue
+        return rule["use"]
+    return table["default"]
+
+
+def _validate_fault(rdoc: RegistryDoc) -> Any:
+    from repro.resilience.faults import FaultPlan
+
+    try:
+        return FaultPlan.from_dict(dict(rdoc.doc))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"malformed fault document {rdoc.source}: {exc}"
+        ) from exc
+
+
+def _validate_placement(rdoc: RegistryDoc) -> Any:
+    from repro.openmp.affinity import PlacementPolicy
+
+    label = f"placement document {rdoc.source}"
+    doc = rdoc.doc
+    unknown = sorted(set(doc) - {"policy", "description"})
+    if unknown:
+        raise ConfigError(
+            f"malformed {label}: unknown field {', '.join(unknown)}"
+        )
+    if "policy" not in doc:
+        raise ConfigError(f"{label}: missing field policy")
+    policy = PlacementPolicy.from_label(doc["policy"])
+    if rdoc.name != doc["policy"]:
+        raise ConfigError(
+            f"{label}: name {rdoc.name!r} must equal the policy label "
+            f"{doc['policy']!r}"
+        )
+    return policy
+
+
+_VALIDATORS = {
+    "machines": _validate_machine,
+    "kernels": _validate_kernel,
+    "compilers": _validate_compiler,
+    "faults": _validate_fault,
+    "placements": _validate_placement,
+}
+
+
+def validate_document(rdoc: RegistryDoc) -> Any:
+    """Semantically validate one parsed document.
+
+    Returns the materialized object (a :class:`CPUModel` for machines, a
+    kernel, a fault plan, ...) so callers that validate-then-use pay for
+    construction once. Raises :class:`ConfigError` on any inconsistency.
+    """
+    return _VALIDATORS[rdoc.kind](rdoc)

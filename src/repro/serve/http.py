@@ -24,6 +24,8 @@ MAX_LINE_BYTES = 8 << 10
 
 REASONS = {
     200: "OK",
+    201: "Created",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     429: "Too Many Requests",

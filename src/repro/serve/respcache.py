@@ -36,6 +36,7 @@ Correctness rules, in priority order:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import warnings
 from dataclasses import dataclass
@@ -130,6 +131,24 @@ def explain_key(cpu: CPUModel, kernel_name: str) -> ResponseKey:
     return ("explain", str(machine_digest(cpu)), "-", (kernel_name,))
 
 
+def response_etag(body: bytes) -> str:
+    """The strong ``ETag`` of one response body.
+
+    A content digest, so the same body — rendered fresh, served from
+    memory, or recomposed from the disk tier — always validates against
+    a client's ``If-None-Match``.
+    """
+    return f'"{hashlib.sha256(body).hexdigest()[:16]}"'
+
+
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """Does an ``If-None-Match`` header value revalidate ``etag``?"""
+    if not if_none_match or not etag:
+        return False
+    candidates = [v.strip() for v in if_none_match.split(",")]
+    return "*" in candidates or etag in candidates
+
+
 @dataclass(frozen=True)
 class CachedResponse:
     """One fully pre-serialized 200 response.
@@ -145,6 +164,7 @@ class CachedResponse:
     head_close: bytes
     content_type: str = "application/json"
     status: int = 200
+    etag: str = ""
 
     @classmethod
     def for_body(
@@ -153,18 +173,21 @@ class CachedResponse:
         content_type: str = "application/json",
         status: int = 200,
     ) -> "CachedResponse":
+        etag = response_etag(body)
+        extra = {"ETag": etag}
         return cls(
             body=body,
             head_keep=http.compose_head(
                 status, len(body), content_type=content_type,
-                keep_alive=True,
+                keep_alive=True, extra_headers=extra,
             ),
             head_close=http.compose_head(
                 status, len(body), content_type=content_type,
-                keep_alive=False,
+                keep_alive=False, extra_headers=extra,
             ),
             content_type=content_type,
             status=status,
+            etag=etag,
         )
 
     def head(self, keep_alive: bool) -> bytes:
@@ -224,6 +247,9 @@ class ResponseCache:
         self._max_bytes = max_bytes
         self._lock = threading.Lock()
         self._entries: dict[ResponseKey, CachedResponse] = {}
+        #: Machine digests whose persisted responses must not be
+        #: served this process (see :meth:`invalidate`).
+        self._invalidated: set[str] = set()
         self._bytes = 0
         self._hits = 0
         self._misses = 0
@@ -307,6 +333,30 @@ class ResponseCache:
                 },
             )
 
+    def invalidate(self, machine_digest_str: str) -> int:
+        """Drop every cached response keyed on one machine digest.
+
+        The ``POST /machines`` registration hook: the moment a machine
+        document is (re-)registered, responses addressed by its digest
+        are evicted from the memory tier and the digest is blocked from
+        the disk tier for the rest of the process — a stale artifact
+        persisted by an earlier run can never shadow the freshly
+        registered machine. Returns the number of memory entries
+        dropped; counted under ``serve.respcache.invalidated``.
+        """
+        with self._lock:
+            victims = [
+                key for key in self._entries
+                if key[1] == machine_digest_str
+            ]
+            for key in victims:
+                self._bytes -= len(self._entries.pop(key))
+            self._invalidated.add(machine_digest_str)
+        telemetry.metrics().counter(
+            "serve.respcache.invalidated"
+        ).inc(len(victims))
+        return len(victims)
+
     # -- internals ---------------------------------------------------------
 
     def _insert(self, key: ResponseKey, cached: CachedResponse) -> None:
@@ -336,6 +386,9 @@ class ResponseCache:
     def _disk_get(self, key: ResponseKey) -> CachedResponse | None:
         if self._store is None:
             return None
+        with self._lock:
+            if len(key) > 1 and key[1] in self._invalidated:
+                return None
         from repro.store import CodecError, StoreWarning, jsonable_parts
 
         try:

@@ -7,6 +7,9 @@ prediction engine. Endpoints:
   requests are coalesced into batch engine calls.
 * ``POST /sweep`` — a bounded configuration grid, returned long-format.
 * ``POST /explain`` — the full model story for one kernel.
+* ``GET /machines`` — every registered machine with its digest.
+* ``POST /machines`` — register a user-submitted machine document
+  (validated, digest-invalidated in the response cache, pre-warmed).
 * ``GET /healthz`` — liveness (200 while the process runs).
 * ``GET /readyz`` — readiness (503 while draining, while the engine
   circuit breaker is open, or while the startup pre-warm from a
@@ -33,7 +36,6 @@ from typing import Any
 
 from repro import telemetry
 from repro.kernels.registry import get_kernel
-from repro.machine import catalog
 from repro.resilience import chaos
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import FailurePolicy, RetrySpec
@@ -58,8 +60,10 @@ from repro.serve.errors import (
 from repro.serve.respcache import (
     CachedResponse,
     ResponseCache,
+    etag_matches,
     explain_key,
     predict_key,
+    response_etag,
     sweep_key,
 )
 from repro.serve.singleflight import Flight, SingleFlight
@@ -124,6 +128,9 @@ class ServeConfig:
     #: the cap; the window shrinks toward ``min_window_ms`` when idle).
     adaptive_window: bool = True
     min_window_ms: float = 0.0
+    #: Extra registry roots layered over the shipped data; the server's
+    #: machine map is built from the resulting registry at startup.
+    registry_paths: tuple[str, ...] = ()
 
     def retry_spec(self) -> RetrySpec:
         return RetrySpec(
@@ -200,7 +207,14 @@ class PredictionServer:
             max_bytes=self.config.respcache_bytes,
         )
         self.singleflight = SingleFlight()
-        self._cpus = dict(catalog.all_cpus())
+        # The machine map starts as the registry's view (shipped data
+        # plus any --registry-path roots) and grows at runtime through
+        # POST /machines registrations.
+        from repro.registry import registry_with_paths
+
+        self._cpus = registry_with_paths(
+            self.config.registry_paths
+        ).machines()
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._coalescer: Coalescer | None = None
@@ -499,6 +513,21 @@ class PredictionServer:
         started = loop.time()
         try:
             outcome = await self._route(request)
+            if outcome.cached is not None:
+                etag = outcome.cached.etag
+            elif outcome.status == 200:
+                etag = outcome.headers.get("ETag", "")
+            else:
+                etag = ""
+            if etag_matches(
+                request.headers.get("if-none-match"), etag
+            ):
+                # Conditional hit: the client already holds these
+                # bytes — revalidate with a body-less 304.
+                reg.counter("serve.respcache.not_modified").inc()
+                outcome = _RequestOutcome(
+                    status=304, body=b"", headers={"ETag": etag}
+                )
         except ServeError as exc:
             reg.counter(f"serve.errors.{exc.code}").inc()
             outcome = _error_outcome(exc)
@@ -533,9 +562,13 @@ class PredictionServer:
             return await self._sweep(request.json())
         if route == ("POST", "/explain"):
             return await self._explain(request.json())
+        if route == ("GET", "/machines"):
+            return self._machines()
+        if route == ("POST", "/machines"):
+            return self._register_machine(request.json())
         if request.path in (
-            "/predict", "/sweep", "/explain", "/healthz", "/readyz",
-            "/metrics",
+            "/predict", "/sweep", "/explain", "/machines", "/healthz",
+            "/readyz", "/metrics",
         ):
             raise BadRequest(
                 f"method {request.method} not supported on {request.path}"
@@ -566,6 +599,98 @@ class PredictionServer:
                 {"status": "ready", "breaker": state.value}
             ),
         )
+
+    def _machines(self) -> _RequestOutcome:
+        """``GET /machines``: every registered machine + its digest."""
+        from repro.suite.memo import machine_digest
+
+        payload = {
+            "machines": [
+                {
+                    "name": name,
+                    "cpu": cpu.name,
+                    "digest": str(machine_digest(cpu)),
+                }
+                for name, cpu in sorted(self._cpus.items())
+            ]
+        }
+        body = http.json_body(payload)
+        return _RequestOutcome(
+            200, body, headers={"ETag": response_etag(body)}
+        )
+
+    def _register_machine(
+        self, body: dict[str, Any]
+    ) -> _RequestOutcome:
+        """``POST /machines``: validate + register a machine document.
+
+        The body is a full registry envelope (``schema``/``name``/
+        ``doc``). Registration is idempotent on the machine digest; a
+        changed document under a known name replaces it. Every
+        registration invalidates the response cache for the digests
+        involved and pre-warms the new machine's engine caches in the
+        background.
+        """
+        from repro.registry import parse_document, validate_document
+        from repro.suite.memo import machine_digest
+
+        try:
+            rdoc = parse_document(
+                body, source="POST /machines body", kind="machines"
+            )
+            cpu = validate_document(rdoc)
+        except ReproError as exc:
+            raise BadRequest(str(exc))
+        digest = str(machine_digest(cpu))
+        existing = self._cpus.get(rdoc.name)
+        if (
+            existing is not None
+            and str(machine_digest(existing)) == digest
+        ):
+            payload = {
+                "name": rdoc.name,
+                "cpu": cpu.name,
+                "digest": digest,
+                "status": "unchanged",
+            }
+            return _RequestOutcome(200, http.json_body(payload))
+        self._cpus[rdoc.name] = cpu
+        invalidated = self.respcache.invalidate(digest)
+        if existing is not None:
+            # The name changed identity: stale responses for the old
+            # document must not outlive it either.
+            invalidated += self.respcache.invalidate(
+                str(machine_digest(existing))
+            )
+        telemetry.metrics().counter("serve.machines_registered").inc()
+        if self._executor is not None and not self._draining:
+            asyncio.get_running_loop().run_in_executor(
+                self._executor, self._warm_machine, cpu
+            )
+        payload = {
+            "name": rdoc.name,
+            "cpu": cpu.name,
+            "digest": digest,
+            "status": "registered",
+            "invalidated_responses": invalidated,
+        }
+        return _RequestOutcome(201, http.json_body(payload))
+
+    def _warm_machine(self, cpu) -> None:
+        """Background pre-warm of one just-registered machine."""
+        from repro.store.warm import warm_caches
+
+        reg = telemetry.metrics()
+        try:
+            resolved = warm_caches(self.state.caches_for(cpu), cpu)
+            reg.counter("serve.prewarm_kernels").inc(resolved)
+        except Exception as exc:
+            reg.counter("serve.prewarm_errors").inc()
+            warnings.warn(
+                f"pre-warm failed for registered machine "
+                f"{cpu.name!r}: {exc} (serving cold)",
+                stacklevel=2,
+            )
 
     # -- request parsing ---------------------------------------------------
 
@@ -696,7 +821,9 @@ class PredictionServer:
             # state an uncached request would not reproduce byte-for-
             # byte, and faults never reach this line at all.
             self.respcache.put(key, response)
-        return _RequestOutcome(200, response)
+        return _RequestOutcome(
+            200, response, headers={"ETag": response_etag(response)}
+        )
 
     async def _await_flight(
         self, flight: Flight, deadline_s: float, kernel
@@ -816,7 +943,9 @@ class PredictionServer:
             # Grids with failures are never cached: a retry might
             # succeed, and failure envelopes must stay live.
             self.respcache.put(key, response)
-        return _RequestOutcome(200, response)
+        return _RequestOutcome(
+            200, response, headers={"ETag": response_etag(response)}
+        )
 
     async def _explain(self, body: dict[str, Any]) -> _RequestOutcome:
         from repro.suite.explain import explain_kernel
@@ -849,7 +978,9 @@ class PredictionServer:
             {"kernel": kernel.name, "explanation": text}
         )
         self.respcache.put(key, response)
-        return _RequestOutcome(200, response)
+        return _RequestOutcome(
+            200, response, headers={"ETag": response_etag(response)}
+        )
 
     @staticmethod
     def _str_list(

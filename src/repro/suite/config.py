@@ -107,12 +107,20 @@ class RunConfig:
 
         Defaults follow the paper: XuanTie GCC 8.4 for RVV v0.7.1 cores
         (the only toolchain emitting v0.7.1), GCC 11.2 on ARCHER2's AMD
-        Rome, GCC 8.3 everywhere else.
+        Rome, GCC 8.3 everywhere else. Native RVV v1.0 cores (the
+        SG2044's C930 — a registry machine, not a paper one) default to
+        Clang 16, the toolchain that emits v1.0 directly, with no
+        rollback needed. The shipped registry decision table
+        (``registry/data/compilers/paper_defaults.json``) restates these
+        rules and is cross-checked against this method by
+        ``repro lint --registry``.
         """
         if self.compiler is not None:
             comp = compiler_by_name(self.compiler)
         elif cpu.core.isa.version == "0.7.1":
             comp = XUANTIE_GCC_8_4
+        elif cpu.core.isa.version == "1.0":
+            comp = CLANG_16
         elif cpu.part == "EPYC 7742":
             comp = GCC_11_2
         else:

@@ -164,6 +164,7 @@ class TestJsonReport:
             "kernels_checked": 64,
             "programs_checked": 36,
             "pairs_checked": 20,
+            "documents_checked": 0,
             "errors": 1,
             "warnings": 0,
             "infos": 1,

@@ -1,0 +1,74 @@
+"""The sequel experiments: SG2044 crossover + 2-socket scaling."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import sequels
+
+
+@pytest.fixture(scope="module")
+def crossover():
+    return sequels.run_crossover(fast=True)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return sequels.run_scaling(fast=True)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert ALL_EXPERIMENTS["sequel_crossover"] is sequels.run_crossover
+        assert ALL_EXPERIMENTS["sequel_sockets"] is sequels.run_scaling
+
+    def test_default_entry_point(self):
+        assert sequels.run is sequels.run_crossover
+
+
+class TestCrossover:
+    def test_covers_all_kernels(self, crossover):
+        assert len(crossover.rows) == 64
+        assert crossover.exp_id == "sequel_crossover"
+
+    def test_sg2044_wins_overall(self, crossover):
+        """Native RVV 1.0 + DDR5 must beat the C920 on most kernels —
+        the sequel paper's headline."""
+        wins = sum(1 for row in crossover.rows if row[5] == "SG2044")
+        assert wins > 32
+
+    def test_renders_with_class_geomeans(self, crossover):
+        text = crossover.render()
+        assert "geomean" in text
+        assert "SG2044" in text
+
+    def test_chart_data_per_class(self, crossover):
+        classes = [entry[0] for entry in crossover.chart_data]
+        assert classes == sorted(classes)
+        assert "stream" in classes
+
+
+class TestScaling:
+    def test_both_machines_swept(self, scaling):
+        machines = {row[0] for row in scaling.rows}
+        assert machines == {"SG2042 1S", "SG2042 2S"}
+
+    def test_sockets_used_column(self, scaling):
+        for row in scaling.rows:
+            label, threads, sockets = row[0], row[1], row[2]
+            if label == "SG2042 2S" and threads == 128:
+                assert sockets == 2
+            elif threads <= 64:
+                assert sockets == 1
+
+    def test_stream_collapses_across_sockets(self, scaling):
+        """The paper's collapse: the stream class is *slower* at 128
+        threads (two sockets) than at 64 (one socket)."""
+        stream = {
+            (row[0], row[1]): float(row[4]) for row in scaling.rows
+        }
+        assert stream[("SG2042 2S", 128)] > stream[("SG2042 2S", 64)]
+
+    def test_notes_name_the_collapse(self, scaling):
+        notes = " ".join(scaling.notes)
+        assert "slower" in notes
+        assert "socket" in notes

@@ -113,8 +113,11 @@ class TestCachedResponse:
         cached = CachedResponse.for_body(body)
         for keep_alive in (True, False):
             writer = _Collector()
+            # The fresh path emits the same ETag header, so the wire
+            # bytes of a hit and a render stay identical.
             http.write_response(writer, 200, body,
-                                keep_alive=keep_alive)
+                                keep_alive=keep_alive,
+                                extra_headers={"ETag": cached.etag})
             assert cached.head(keep_alive) + cached.body == writer.data
 
     def test_content_length_is_precomputed(self):
